@@ -1,0 +1,141 @@
+//! Bag-of-words featurisation for the end-to-end baselines.
+//!
+//! The original DeepER/DeepMatcher look token embeddings up by index; on
+//! our tape-based autodiff, the differentiable equivalent is a dense
+//! bag-of-words indicator row multiplied into the embedding parameter
+//! (`batch x vocab` · `vocab x dim`). That keeps gradients flowing into
+//! the (per-task!) embedding table — which is exactly the cost the paper
+//! attributes to these systems.
+
+use vaer_data::Table;
+use vaer_linalg::Matrix;
+use vaer_text::{tokenize, Vocab};
+
+/// Fits a capped vocabulary over a dataset and renders attribute values
+/// as normalised bag-of-words rows.
+#[derive(Debug, Clone)]
+pub struct BowFeaturizer {
+    vocab: Vocab,
+}
+
+impl BowFeaturizer {
+    /// Builds the vocabulary from both tables, keeping at most
+    /// `max_vocab` tokens (most frequent first).
+    pub fn fit(tables: &[&Table], max_vocab: usize) -> Self {
+        let mut full = Vocab::new();
+        for table in tables {
+            for sentence in table.sentences() {
+                for tok in tokenize(sentence) {
+                    full.add(&tok);
+                }
+            }
+        }
+        // Keep the top `max_vocab` tokens by count.
+        let mut ranked: Vec<(u32, u64)> =
+            full.iter().map(|(id, _, count)| (id, count)).collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ranked.truncate(max_vocab);
+        let mut vocab = Vocab::new();
+        for (id, _) in ranked {
+            vocab.add(full.token(id));
+        }
+        Self { vocab }
+    }
+
+    /// Vocabulary size (the embedding table's row count).
+    pub fn vocab_size(&self) -> usize {
+        self.vocab.len()
+    }
+
+    /// Renders attribute `attr` of the given `rows` of `table` as an
+    /// L1-normalised bag-of-words matrix (`rows.len() x vocab_size`).
+    pub fn attr_bows(&self, table: &Table, rows: &[usize], attr: usize) -> Matrix {
+        let mut out = Matrix::zeros(rows.len(), self.vocab_size().max(1));
+        for (r, &row_idx) in rows.iter().enumerate() {
+            let ids: Vec<u32> =
+                tokenize(table.value(row_idx, attr)).iter().filter_map(|t| self.vocab.get(t)).collect();
+            if ids.is_empty() {
+                continue;
+            }
+            let w = 1.0 / ids.len() as f32;
+            let out_row = out.row_mut(r);
+            for id in ids {
+                out_row[id as usize] += w;
+            }
+        }
+        out
+    }
+
+    /// Renders every attribute of a whole tuple as one concatenated
+    /// bag-of-words row (used by pair-serialising models).
+    pub fn tuple_bow(&self, table: &Table, row: usize) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.vocab_size().max(1)];
+        let mut n = 0usize;
+        for attr in 0..table.schema.arity() {
+            for tok in tokenize(table.value(row, attr)) {
+                if let Some(id) = self.vocab.get(&tok) {
+                    out[id as usize] += 1.0;
+                    n += 1;
+                }
+            }
+        }
+        if n > 0 {
+            let w = 1.0 / n as f32;
+            for v in &mut out {
+                *v *= w;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_data::Schema;
+
+    fn demo_table() -> Table {
+        let mut t = Table::new(Schema::new("d", &["name", "city"]));
+        t.push(vec!["blue moon cafe".into(), "seattle".into()]);
+        t.push(vec!["blue sky diner".into(), "portland".into()]);
+        t
+    }
+
+    #[test]
+    fn vocabulary_is_capped_by_frequency() {
+        let t = demo_table();
+        let f = BowFeaturizer::fit(&[&t], 3);
+        assert_eq!(f.vocab_size(), 3);
+        // "blue" appears twice — must survive the cap.
+        let bows = f.attr_bows(&t, &[0, 1], 0);
+        assert!(bows.row(0).iter().sum::<f32>() > 0.0);
+        assert!(bows.row(1).iter().sum::<f32>() > 0.0);
+    }
+
+    #[test]
+    fn bow_rows_are_l1_normalised() {
+        let t = demo_table();
+        let f = BowFeaturizer::fit(&[&t], 100);
+        let bows = f.attr_bows(&t, &[0], 0);
+        assert!((bows.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn empty_and_oov_values_are_zero_rows() {
+        let mut t = demo_table();
+        t.push(vec![String::new(), "zzz unknown".into()]);
+        let f = BowFeaturizer::fit(&[&demo_table()], 100);
+        let bows = f.attr_bows(&t, &[2], 0);
+        assert_eq!(bows.row(0).iter().sum::<f32>(), 0.0);
+    }
+
+    #[test]
+    fn tuple_bow_covers_all_attributes() {
+        let t = demo_table();
+        let f = BowFeaturizer::fit(&[&t], 100);
+        let bow = f.tuple_bow(&t, 0);
+        let nonzero = bow.iter().filter(|&&v| v > 0.0).count();
+        assert_eq!(nonzero, 4); // blue, moon, cafe, seattle
+        assert!((bow.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+}

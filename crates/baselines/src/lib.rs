@@ -1,0 +1,88 @@
+//! Deep-ER baselines: the comparators of the paper's Tables V and VI.
+//!
+//! The paper compares VAER against DeepER (Ebraheem et al., PVLDB'18),
+//! DeepMatcher (Mudgal et al., SIGMOD'18) and DITTO (Li et al., PVLDB'20).
+//! The original systems are PyTorch codebases built on pretrained
+//! embeddings/LMs; none is available offline, so this crate provides
+//! reimplementations on the same `vaer-nn` substrate that keep each
+//! system's *cost structure and evidence type* (see DESIGN.md):
+//!
+//! - [`DeepEr`] — trainable word-embedding table, per-attribute averaged
+//!   tuple composition, similarity features (|diff|, ⊙), MLP classifier;
+//!   everything optimised end-to-end per task.
+//! - [`DeepMatcher`] — the heavier hybrid: *two* trainable embedding
+//!   tables (word + context), per-attribute comparison sub-networks, then
+//!   a fusion classifier. Deliberately the most expensive to train, as in
+//!   the paper's Table VI.
+//! - [`Ditto`] — pair serialisation (`COL c VAL v … [SEP] …`) encoded by
+//!   the frozen BERT-style contextual encoder, with a deep fine-tuned
+//!   classification head; mirrors DITTO's "pretrained LM + fine-tune"
+//!   shape where only the head trains per task.
+//! - [`Magellan`] — a classical non-deep extra: per-attribute string
+//!   similarities + logistic regression. The paper excludes Magellan from
+//!   its tables; we include it as the sanity baseline deep ER is measured
+//!   against.
+//!
+//! All three implement [`Baseline`], and every `train` returns the model
+//! plus wall-clock training seconds for the Table VI harness.
+
+mod deeper;
+mod deepmatcher;
+mod ditto;
+mod featurize;
+mod magellan;
+
+pub use deeper::{DeepEr, DeepErConfig};
+pub use deepmatcher::{DeepMatcher, DeepMatcherConfig};
+pub use ditto::{Ditto, DittoConfig};
+pub use featurize::BowFeaturizer;
+pub use magellan::{value_features, Magellan, MagellanConfig, FEATURES_PER_ATTRIBUTE};
+
+use vaer_data::{Dataset, PairSet};
+use vaer_stats::metrics::PrF1;
+
+/// A trained ER baseline that scores labelled pairs.
+pub trait Baseline {
+    /// Display name matching the paper's column headers.
+    fn name(&self) -> &'static str;
+
+    /// Duplicate probabilities for the given pairs of the dataset the
+    /// model was trained on.
+    fn predict(&self, dataset: &Dataset, pairs: &PairSet) -> Vec<f32>;
+
+    /// P/R/F1 at threshold 0.5.
+    fn evaluate(&self, dataset: &Dataset, pairs: &PairSet) -> PrF1 {
+        let probs = self.predict(dataset, pairs);
+        let predicted: Vec<bool> = probs.iter().map(|&p| p > 0.5).collect();
+        PrF1::from_labels(&predicted, &pairs.labels())
+    }
+}
+
+/// Errors from baseline training.
+#[derive(Debug)]
+pub enum BaselineError {
+    /// The training split was empty or single-class.
+    InsufficientData(String),
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BaselineError::InsufficientData(why) => write!(f, "insufficient data: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+pub(crate) fn check_two_classes(pairs: &PairSet) -> Result<(), BaselineError> {
+    if pairs.is_empty() {
+        return Err(BaselineError::InsufficientData("no training pairs".into()));
+    }
+    if pairs.num_positive() == 0 || pairs.num_negative() == 0 {
+        return Err(BaselineError::InsufficientData(
+            "training pairs must contain both classes".into(),
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,184 @@
+//! Magellan-style classical baseline (Konda et al., PVLDB 2016).
+//!
+//! The paper excludes Magellan from its comparison because it is not a
+//! deep-learning system, but a classical feature-based matcher is the
+//! natural sanity baseline for any ER study: per-attribute string
+//! similarities (Levenshtein, Jaccard, Jaro–Winkler, exact, numeric) fed
+//! to a logistic-regression classifier. Cheap, strong on clean data,
+//! brittle on dirty text — exactly the gap deep ER was invented to close.
+
+use crate::{check_two_classes, Baseline, BaselineError};
+use std::time::Instant;
+use vaer_data::{Dataset, LabeledPair, PairSet};
+use vaer_linalg::Matrix;
+use vaer_nn::schedule::minibatches;
+use vaer_nn::{Adam, Dense, Graph, Initializer, NnRng, Optimizer, ParamStore, SeedableRng};
+use vaer_text::strsim::{
+    exact, jaccard_tokens, jaro_winkler, levenshtein_similarity, numeric_similarity,
+};
+
+/// Number of similarity features per attribute.
+pub const FEATURES_PER_ATTRIBUTE: usize = 6;
+
+/// Magellan-style configuration.
+#[derive(Debug, Clone)]
+pub struct MagellanConfig {
+    /// Logistic-regression training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MagellanConfig {
+    fn default() -> Self {
+        Self { epochs: 150, batch_size: 64, learning_rate: 5e-2, seed: 0x3A63 }
+    }
+}
+
+/// The trained classical matcher.
+pub struct Magellan {
+    store: ParamStore,
+    lr: Dense,
+    arity: usize,
+    /// Wall-clock training time in seconds.
+    pub train_secs: f64,
+}
+
+/// The per-attribute similarity feature vector for one value pair.
+pub fn value_features(a: &str, b: &str) -> [f32; FEATURES_PER_ATTRIBUTE] {
+    let missing = if a.is_empty() || b.is_empty() { 1.0 } else { 0.0 };
+    [
+        levenshtein_similarity(a, b),
+        jaccard_tokens(a, b),
+        jaro_winkler(a, b),
+        exact(a, b),
+        numeric_similarity(a, b).unwrap_or(0.0),
+        missing,
+    ]
+}
+
+impl Magellan {
+    /// Trains logistic regression over the similarity features.
+    ///
+    /// # Errors
+    /// [`BaselineError::InsufficientData`] on empty/single-class input.
+    pub fn train(dataset: &Dataset, config: &MagellanConfig) -> Result<Self, BaselineError> {
+        check_two_classes(&dataset.train_pairs)?;
+        let t0 = Instant::now();
+        let arity = dataset.table_a.schema.arity();
+        let mut rng = NnRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let lr = Dense::new(
+            &mut store,
+            "magellan.lr",
+            arity * FEATURES_PER_ATTRIBUTE,
+            1,
+            Initializer::Xavier,
+            &mut rng,
+        );
+        let mut model = Self { store, lr, arity, train_secs: 0.0 };
+        let features = model.features(dataset, &dataset.train_pairs.pairs);
+        let labels: Vec<f32> = dataset
+            .train_pairs
+            .pairs
+            .iter()
+            .map(|p| if p.is_match { 1.0 } else { 0.0 })
+            .collect();
+        let mut adam = Adam::with_rate(config.learning_rate);
+        for _epoch in 0..config.epochs {
+            for batch in minibatches(labels.len(), config.batch_size, &mut rng) {
+                let x = features.select_rows(&batch);
+                let y =
+                    Matrix::from_vec(batch.len(), 1, batch.iter().map(|&i| labels[i]).collect());
+                let mut g = Graph::new();
+                let xt = g.input(x);
+                let logits = model.lr.forward(&mut g, &model.store, xt);
+                let loss = g.bce_with_logits(logits, y);
+                g.backward(loss);
+                adam.step(&mut model.store, &g.param_grads());
+            }
+        }
+        model.train_secs = t0.elapsed().as_secs_f64();
+        Ok(model)
+    }
+
+    fn features(&self, dataset: &Dataset, pairs: &[LabeledPair]) -> Matrix {
+        let mut out = Matrix::zeros(pairs.len(), self.arity * FEATURES_PER_ATTRIBUTE);
+        for (i, p) in pairs.iter().enumerate() {
+            let row = out.row_mut(i);
+            for attr in 0..self.arity {
+                let f = value_features(
+                    dataset.table_a.value(p.left, attr),
+                    dataset.table_b.value(p.right, attr),
+                );
+                row[attr * FEATURES_PER_ATTRIBUTE..(attr + 1) * FEATURES_PER_ATTRIBUTE]
+                    .copy_from_slice(&f);
+            }
+        }
+        out
+    }
+}
+
+impl Baseline for Magellan {
+    fn name(&self) -> &'static str {
+        "Magellan"
+    }
+
+    fn predict(&self, dataset: &Dataset, pairs: &PairSet) -> Vec<f32> {
+        if pairs.is_empty() {
+            return Vec::new();
+        }
+        let features = self.features(dataset, &pairs.pairs);
+        let mut g = Graph::new();
+        let xt = g.input(features);
+        let logits = self.lr.forward(&mut g, &self.store, xt);
+        let probs = g.sigmoid(logits);
+        g.value(probs).as_slice().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_data::domains::{Domain, DomainSpec, Scale};
+
+    #[test]
+    fn value_feature_sanity() {
+        let f = value_features("blue moon cafe", "blue moon cafe");
+        assert_eq!(f[0], 1.0); // levenshtein
+        assert_eq!(f[1], 1.0); // jaccard
+        assert_eq!(f[3], 1.0); // exact
+        assert_eq!(f[5], 0.0); // missing
+        let g = value_features("", "anything");
+        assert_eq!(g[5], 1.0);
+        let n = value_features("10.0", "10.0");
+        assert_eq!(n[4], 1.0);
+    }
+
+    #[test]
+    fn learns_clean_domain_well() {
+        let ds = DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(1);
+        let model = Magellan::train(&ds, &MagellanConfig::default()).unwrap();
+        let report = model.evaluate(&ds, &ds.test_pairs);
+        assert!(report.f1 > 0.6, "Magellan F1 = {report}");
+    }
+
+    #[test]
+    fn rejects_single_class() {
+        let mut ds = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(2);
+        ds.train_pairs.pairs.retain(|p| p.is_match);
+        assert!(Magellan::train(&ds, &MagellanConfig::default()).is_err());
+    }
+
+    #[test]
+    fn probabilities_bounded() {
+        let ds = DomainSpec::new(Domain::Crm, Scale::Tiny).generate(3);
+        let model = Magellan::train(&ds, &MagellanConfig::default()).unwrap();
+        let probs = model.predict(&ds, &ds.test_pairs);
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 5: active-learning F1 as a function of labelled samples.
+//!
+//! Prints each domain's learning curve (labels used → test F1). Reuses
+//! the curves cached by `table8_active_learning` when available;
+//! otherwise runs the AL loop for a representative subset of domains.
+
+use vaer_bench::{banner, cache, dataset, fit_repr_bundle, scale_from_env, seed_from_env};
+use vaer_core::active::{ActiveConfig, ActiveLearner};
+use vaer_core::matcher::{MatcherConfig, PairExamples};
+use vaer_data::domains::{Domain, Scale};
+use vaer_embed::IrKind;
+
+fn main() {
+    banner("Figure 5 — active learning F1 vs labelled samples");
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let key = format!("fig5_{scale:?}_{seed}");
+    let curves: Vec<(String, Vec<(usize, f32)>)> = match cache::get(&key) {
+        Some(text) if !text.trim().is_empty() => text
+            .lines()
+            .filter_map(|l| {
+                let (name, rest) = l.split_once('|')?;
+                let points = rest
+                    .split(';')
+                    .filter_map(|p| {
+                        let (x, y) = p.split_once(':')?;
+                        Some((x.parse().ok()?, y.parse().ok()?))
+                    })
+                    .collect();
+                Some((name.to_string(), points))
+            })
+            .collect(),
+        _ => {
+            println!("(no cache found — running the AL loop on four domains)");
+            let budget = match scale {
+                Scale::Tiny => 40usize,
+                Scale::Small => 60,
+                Scale::Paper => 100,
+            };
+            let mut out = Vec::new();
+            for domain in
+                [Domain::Restaurants, Domain::Citations2, Domain::Software, Domain::Beer]
+            {
+                let ds = dataset(domain, scale, seed);
+                let bundle = fit_repr_bundle(&ds, IrKind::Lsa, 64, seed);
+                let oracle = ds.oracle();
+                let test =
+                    PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
+                let config = ActiveConfig {
+                    iterations: 200,
+                    matcher: MatcherConfig::default(),
+                    seed,
+                    ..ActiveConfig::default()
+                };
+                let mut learner =
+                    ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, config);
+                learner.run(&oracle, budget, Some(&test)).expect("AL run");
+                let points = learner
+                    .history()
+                    .iter()
+                    .filter_map(|c| c.test_f1.map(|f1| (c.labels_used, f1)))
+                    .collect();
+                out.push((ds.name.clone(), points));
+            }
+            out
+        }
+    };
+    for (name, points) in &curves {
+        println!("\n{name}:");
+        println!("  {:>7} {:>6}  curve", "labels", "F1");
+        for &(labels, f1) in points {
+            let bar_len = (f1 * 40.0).round() as usize;
+            println!("  {:>7} {:>6.2}  {}", labels, f1, "#".repeat(bar_len));
+        }
+    }
+    println!("\nShape check: curves should rise steeply in the first iterations and");
+    println!("flatten, as in the paper's Fig. 5 — most of Full F1 is reached early.");
+}

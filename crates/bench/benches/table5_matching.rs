@@ -1,0 +1,71 @@
+//! Table V: supervised matching P/R/F1 — VAER^LSA vs DeepER vs
+//! DeepMatcher vs DITTO, trained on each domain's full training split.
+//!
+//! Also records the training times into the bench cache so the Table VI
+//! target can print them without re-running everything.
+
+use vaer_baselines::{Baseline, DeepEr, DeepErConfig, DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig};
+use vaer_bench::paper::{DOMAIN_ORDER, TABLE_V};
+use vaer_bench::{banner, cache, dataset, domains_from_env, fmt_metric, scale_from_env, seed_from_env};
+use vaer_core::pipeline::{Pipeline, PipelineConfig};
+use vaer_data::domains::Domain;
+
+fn main() {
+    banner("Table V — matching P/R/F1 (VAER^LSA vs DER vs DM vs DITTO)");
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    println!(
+        "{:<8} | {:>17} | {:>17} | {:>17} | {:>17}",
+        "Domain", "VAER (paper F1)", "DER (paper F1)", "DM (paper F1)", "DITTO (paper F1)"
+    );
+    let mut time_rows = Vec::new();
+    for domain in domains_from_env() {
+        let ds = dataset(domain, scale, seed);
+        let di = Domain::ALL.iter().position(|&d| d == domain).expect("known domain");
+
+        let mut config = PipelineConfig::paper();
+        config.seed = seed;
+        let pipeline = Pipeline::fit(&ds, &config).expect("VAER pipeline");
+        let vaer = pipeline.evaluate(&ds.test_pairs);
+
+        let der = DeepEr::train(&ds, &DeepErConfig::default()).expect("DeepER");
+        let der_eval = der.evaluate(&ds, &ds.test_pairs);
+        let dm = DeepMatcher::train(&ds, &DeepMatcherConfig::default()).expect("DeepMatcher");
+        let dm_eval = dm.evaluate(&ds, &ds.test_pairs);
+        let ditto = Ditto::train(&ds, &DittoConfig::default()).expect("DITTO");
+        let ditto_eval = ditto.evaluate(&ds, &ds.test_pairs);
+
+        let paper = TABLE_V[di];
+        let cell = |m: vaer_stats::metrics::PrF1, p: (f32, f32, f32)| {
+            format!(
+                "{}/{}/{} ({})",
+                fmt_metric(m.precision),
+                fmt_metric(m.recall),
+                fmt_metric(m.f1),
+                fmt_metric(p.2)
+            )
+        };
+        println!(
+            "{:<8} | {:>17} | {:>17} | {:>17} | {:>17}",
+            DOMAIN_ORDER[di],
+            cell(vaer, paper[0]),
+            cell(der_eval, paper[1]),
+            cell(dm_eval, paper[2]),
+            cell(ditto_eval, paper[3]),
+        );
+        time_rows.push(format!(
+            "{},{:.3},{:.3},{:.3},{:.3},{:.3}",
+            DOMAIN_ORDER[di],
+            pipeline.timings().repr_secs,
+            pipeline.timings().match_secs,
+            der.train_secs,
+            dm.train_secs,
+            ditto.train_secs
+        ));
+    }
+    let key = format!("table6_{scale:?}_{seed}");
+    cache::put(&key, &time_rows.join("\n"));
+    println!("\nShape check: VAER F1 should be within a few points of the best");
+    println!("baseline on every domain, as in the paper's Table V.");
+    println!("(Training times cached for the Table VI target under key '{key}'.)");
+}

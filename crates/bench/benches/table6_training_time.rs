@@ -1,0 +1,85 @@
+//! Table VI: training times (seconds) — VAER's decoupled representation +
+//! matching stages vs the end-to-end baselines.
+//!
+//! Reuses the timings cached by the `table5_matching` target when
+//! available (same scale/seed); otherwise re-runs the suite.
+
+use vaer_baselines::{DeepEr, DeepErConfig, DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig};
+use vaer_bench::paper::{DOMAIN_ORDER, TABLE_VI};
+use vaer_bench::{banner, cache, dataset, domains_from_env, scale_from_env, seed_from_env};
+use vaer_core::pipeline::{Pipeline, PipelineConfig};
+use vaer_data::domains::Domain;
+
+fn main() {
+    banner("Table VI — training times (s)");
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let key = format!("table6_{scale:?}_{seed}");
+    let rows: Vec<(String, f64, f64, f64, f64, f64)> = match cache::get(&key) {
+        Some(text) if !text.trim().is_empty() => text
+            .lines()
+            .filter_map(|l| {
+                let parts: Vec<&str> = l.split(',').collect();
+                if parts.len() != 6 {
+                    return None;
+                }
+                Some((
+                    parts[0].to_string(),
+                    parts[1].parse().ok()?,
+                    parts[2].parse().ok()?,
+                    parts[3].parse().ok()?,
+                    parts[4].parse().ok()?,
+                    parts[5].parse().ok()?,
+                ))
+            })
+            .collect(),
+        _ => {
+            println!("(no cache found — running the matching suite)");
+            let mut rows = Vec::new();
+            for domain in domains_from_env() {
+                let ds = dataset(domain, scale, seed);
+                let di = Domain::ALL.iter().position(|&d| d == domain).expect("domain");
+                let mut config = PipelineConfig::paper();
+                config.seed = seed;
+                let pipeline = Pipeline::fit(&ds, &config).expect("VAER pipeline");
+                let der = DeepEr::train(&ds, &DeepErConfig::default()).expect("DeepER");
+                let dm =
+                    DeepMatcher::train(&ds, &DeepMatcherConfig::default()).expect("DeepMatcher");
+                let ditto = Ditto::train(&ds, &DittoConfig::default()).expect("DITTO");
+                rows.push((
+                    DOMAIN_ORDER[di].to_string(),
+                    pipeline.timings().repr_secs,
+                    pipeline.timings().match_secs,
+                    der.train_secs,
+                    dm.train_secs,
+                    ditto.train_secs,
+                ));
+            }
+            rows
+        }
+    };
+    println!(
+        "{:<8} | {:>10} {:>10} | {:>9} {:>9} {:>9} | paper (repr/match/der/dm/ditto)",
+        "Domain", "VAER repr", "VAER match", "DER", "DM", "DITTO"
+    );
+    for (name, repr, mtch, der, dm, ditto) in &rows {
+        let di = DOMAIN_ORDER.iter().position(|n| n == name).unwrap_or(0);
+        let p = TABLE_VI[di];
+        println!(
+            "{:<8} | {:>10.2} {:>10.2} | {:>9.2} {:>9.2} {:>9.2} | ({}/{}/{}/{}/{})",
+            name, repr, mtch, der, dm, ditto, p.0, p.1, p.2, p.3, p.4
+        );
+    }
+    // Shape checks the paper's narrative rests on.
+    let match_cheapest = rows
+        .iter()
+        .filter(|r| r.2 < r.3 && r.2 < r.4 && r.2 < r.5)
+        .count();
+    println!(
+        "\nShape check: VAER's matcher is the cheapest stage on {}/{} domains",
+        match_cheapest,
+        rows.len()
+    );
+    println!("(the paper's claim: matching is orders of magnitude cheaper than");
+    println!("the end-to-end baselines, because feature learning is decoupled).");
+}

@@ -1,0 +1,565 @@
+//! Active learning in the latent space — paper §V.
+//!
+//! [`bootstrap`] is Algorithm 1: LSH nearest-neighbour candidates over the
+//! latent means, with the W₂-closest pairs taken as initial positives and
+//! the W₂-furthest as initial negatives. [`ActiveLearner`] is Algorithm 2:
+//! each iteration trains the (cheap) Siamese matcher on the current
+//! labelled pool and then asks the oracle to label four kinds of samples —
+//! certain positives/negatives (low entropy, KDE-consistent distance) and
+//! uncertain positives/negatives (high entropy, KDE-surprising distance) —
+//! giving class-balanced, informative, diverse batches.
+//!
+//! The paper's Algorithm 1 is written over a single tuple collection `T`;
+//! in the two-table ER setting used by every experiment we adapt it to
+//! cross-table candidates (each left tuple is joined to its top-k right
+//! neighbours), which is the pairing the matcher ultimately has to judge.
+
+use crate::entity::{EntityRepr, IrTable};
+use crate::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
+use crate::repr::ReprModel;
+use crate::CoreError;
+use rand::SeedableRng;
+use vaer_data::{LabeledPair, Oracle, PairSet};
+use vaer_index::{knn_join, E2Lsh};
+use vaer_stats::entropy::binary_entropy;
+use vaer_stats::kde::Kde;
+use vaer_stats::metrics::PrF1;
+
+/// Algorithm 1 configuration.
+#[derive(Debug, Clone)]
+pub struct BootstrapConfig {
+    /// Top-K neighbours per left tuple (paper Table III: 10).
+    pub neighbours_k: usize,
+    /// Seed positives/negatives taken from the distance extremes
+    /// (the paper reports ~15 of each on average).
+    pub seeds_per_class: usize,
+    /// LSH seed.
+    pub seed: u64,
+}
+
+impl Default for BootstrapConfig {
+    fn default() -> Self {
+        Self { neighbours_k: 10, seeds_per_class: 15, seed: 0xA1B0 }
+    }
+}
+
+/// Algorithm 1 output: automatically labelled seeds plus the unlabeled
+/// candidate pool `U`.
+#[derive(Debug, Clone)]
+pub struct Bootstrap {
+    /// W₂-closest candidate pairs (assumed duplicates). May contain false
+    /// positives — the paper notes some domains needed manual cleanup.
+    pub positives: Vec<(usize, usize)>,
+    /// W₂-furthest candidate pairs (assumed non-duplicates).
+    pub negatives: Vec<(usize, usize)>,
+    /// Remaining unlabeled candidates, each with its W₂² distance.
+    pub pool: Vec<(usize, usize)>,
+}
+
+/// Runs Algorithm 1 over the entity representations of the two tables.
+pub fn bootstrap(
+    reprs_a: &[EntityRepr],
+    reprs_b: &[EntityRepr],
+    config: &BootstrapConfig,
+) -> Bootstrap {
+    if reprs_a.is_empty() || reprs_b.is_empty() {
+        return Bootstrap { positives: Vec::new(), negatives: Vec::new(), pool: Vec::new() };
+    }
+    // LSH over table B's concatenated means (lines 3–4); W₂ ranking is
+    // sound on Euclidean candidates because the two are positively
+    // correlated (paper §V-A).
+    let b_keys: Vec<Vec<f32>> = reprs_b.iter().map(EntityRepr::flat_mu).collect();
+    let a_keys: Vec<Vec<f32>> = reprs_a.iter().map(EntityRepr::flat_mu).collect();
+    let index = E2Lsh::build_calibrated(b_keys, config.seed);
+    let candidates = knn_join(&a_keys, &index, config.neighbours_k);
+    // Score every candidate with the full W₂² (lines 11–12).
+    let mut scored: Vec<((usize, usize), f32)> = candidates
+        .iter()
+        .map(|c| ((c.left, c.right), reprs_a[c.left].w2_squared(&reprs_b[c.right])))
+        .collect();
+    scored.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal));
+    scored.dedup_by(|a, b| a.0 == b.0);
+    let n = scored.len();
+    let k = config.seeds_per_class.min(n / 3);
+    let positives: Vec<(usize, usize)> = scored[..k].iter().map(|&(p, _)| p).collect();
+    let negatives: Vec<(usize, usize)> = scored[n - k..].iter().map(|&(p, _)| p).collect();
+    let pool: Vec<(usize, usize)> = scored[k..n - k].iter().map(|&(p, _)| p).collect();
+    Bootstrap { positives, negatives, pool }
+}
+
+/// Algorithm 2 configuration.
+#[derive(Debug, Clone)]
+pub struct ActiveConfig {
+    /// Bootstrap (Algorithm 1) settings.
+    pub bootstrap: BootstrapConfig,
+    /// Oracle labels requested per iteration (paper Table III: 10),
+    /// split across the four sample kinds.
+    pub samples_per_iteration: usize,
+    /// Maximum AL iterations.
+    pub iterations: usize,
+    /// Latent samples drawn per labelled positive pair when estimating
+    /// the duplicate-distance density (Eq. 6; the paper uses ~1000 total).
+    pub kde_samples_per_pair: usize,
+    /// Whether bootstrap seeds are oracle-verified (the paper's "false
+    /// positives had to be manually removed"). Verification is *not*
+    /// billed against the AL label budget — the paper reports it
+    /// separately with a † marker — but the number of corrected seeds is
+    /// recorded in [`ActiveLearner::bootstrap_corrections`].
+    pub verify_bootstrap: bool,
+    /// Matcher training settings for each iteration.
+    pub matcher: MatcherConfig,
+    /// RNG seed (sampling).
+    pub seed: u64,
+}
+
+impl Default for ActiveConfig {
+    fn default() -> Self {
+        Self {
+            bootstrap: BootstrapConfig::default(),
+            samples_per_iteration: 10,
+            iterations: 25,
+            kde_samples_per_pair: 64,
+            verify_bootstrap: true,
+            matcher: MatcherConfig::default(),
+            seed: 0xAC71,
+        }
+    }
+}
+
+/// One point of the AL learning curve.
+#[derive(Debug, Clone, Copy)]
+pub struct AlCheckpoint {
+    /// Oracle queries billed so far.
+    pub labels_used: usize,
+    /// Labelled-pool sizes `(positives, negatives)`.
+    pub pool_sizes: (usize, usize),
+    /// Test F1 at this point (if a test set was supplied).
+    pub test_f1: Option<f32>,
+}
+
+/// The Algorithm 2 driver.
+pub struct ActiveLearner<'a> {
+    repr: &'a ReprModel,
+    irs_a: &'a IrTable,
+    irs_b: &'a IrTable,
+    reprs_a: Vec<EntityRepr>,
+    reprs_b: Vec<EntityRepr>,
+    pool: Vec<(usize, usize)>,
+    labeled_pos: Vec<(usize, usize)>,
+    labeled_neg: Vec<(usize, usize)>,
+    config: ActiveConfig,
+    rng: rand::rngs::StdRng,
+    history: Vec<AlCheckpoint>,
+    bootstrap_corrections: usize,
+}
+
+impl<'a> ActiveLearner<'a> {
+    /// Bootstraps the learner (Algorithm 1) from a representation model
+    /// and the IR tables of the two input tables.
+    pub fn new(
+        repr: &'a ReprModel,
+        irs_a: &'a IrTable,
+        irs_b: &'a IrTable,
+        config: ActiveConfig,
+    ) -> Self {
+        let reprs_a =
+            crate::entity::group_entities(repr.encode(&irs_a.irs), irs_a.arity);
+        let reprs_b =
+            crate::entity::group_entities(repr.encode(&irs_b.irs), irs_b.arity);
+        let boot = bootstrap(&reprs_a, &reprs_b, &config.bootstrap);
+        let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        Self {
+            repr,
+            irs_a,
+            irs_b,
+            reprs_a,
+            reprs_b,
+            pool: boot.pool,
+            labeled_pos: boot.positives,
+            labeled_neg: boot.negatives,
+            config,
+            rng,
+            history: Vec::new(),
+            bootstrap_corrections: 0,
+        }
+    }
+
+    /// Number of bootstrap seeds whose automatic label was wrong and had
+    /// to be corrected during verification (the paper's † cases).
+    pub fn bootstrap_corrections(&self) -> usize {
+        self.bootstrap_corrections
+    }
+
+    /// The current labelled set as a [`PairSet`].
+    pub fn labeled(&self) -> PairSet {
+        self.labeled_pos
+            .iter()
+            .map(|&(l, r)| LabeledPair { left: l, right: r, is_match: true })
+            .chain(
+                self.labeled_neg
+                    .iter()
+                    .map(|&(l, r)| LabeledPair { left: l, right: r, is_match: false }),
+            )
+            .collect()
+    }
+
+    /// Remaining unlabeled pool size.
+    pub fn pool_size(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Learning-curve checkpoints recorded by [`run`](Self::run).
+    pub fn history(&self) -> &[AlCheckpoint] {
+        &self.history
+    }
+
+    /// Trains a matcher on the current labelled set.
+    ///
+    /// # Errors
+    /// Propagates [`CoreError::InsufficientData`] when a class is empty.
+    pub fn train_matcher(&self) -> Result<SiameseMatcher, CoreError> {
+        let examples = PairExamples::build(self.irs_a, self.irs_b, &self.labeled());
+        SiameseMatcher::train(self.repr, &examples, &self.config.matcher)
+    }
+
+    /// Verifies bootstrap seeds against the oracle and moves misfiled
+    /// seeds to the correct side. Not billed (see
+    /// [`ActiveConfig::verify_bootstrap`]); corrections are counted.
+    fn verify_bootstrap(&mut self, oracle: &Oracle) {
+        let pos = std::mem::take(&mut self.labeled_pos);
+        let neg = std::mem::take(&mut self.labeled_neg);
+        for (l, r) in pos {
+            if oracle.peek(l, r) {
+                self.labeled_pos.push((l, r));
+            } else {
+                self.bootstrap_corrections += 1;
+                self.labeled_neg.push((l, r));
+            }
+        }
+        for (l, r) in neg {
+            if oracle.peek(l, r) {
+                self.bootstrap_corrections += 1;
+                self.labeled_pos.push((l, r));
+            } else {
+                self.labeled_neg.push((l, r));
+            }
+        }
+    }
+
+    /// Estimates `f̂⁺(d)`: the KDE of Euclidean distances between sampled
+    /// latent encodings of labelled duplicates (Eq. 6).
+    fn positive_distance_kde(&mut self) -> Option<Kde> {
+        if self.labeled_pos.is_empty() {
+            return None;
+        }
+        let mut distances =
+            Vec::with_capacity(self.labeled_pos.len() * self.config.kde_samples_per_pair);
+        for &(l, r) in &self.labeled_pos {
+            for _ in 0..self.config.kde_samples_per_pair {
+                let zs = self.reprs_a[l].sample_flat(&mut self.rng);
+                let zt = self.reprs_b[r].sample_flat(&mut self.rng);
+                distances.push(vaer_linalg::vector::euclidean(&zs, &zt));
+            }
+        }
+        Kde::fit(&distances)
+    }
+
+    /// Runs up to `iterations` AL rounds against `oracle`, stopping early
+    /// when `max_labels` is reached or the pool empties. When `test` is
+    /// supplied, the matcher is evaluated after every round and recorded
+    /// in [`history`](Self::history).
+    ///
+    /// # Errors
+    /// Propagates matcher-training failures.
+    pub fn run(
+        &mut self,
+        oracle: &Oracle,
+        max_labels: usize,
+        test: Option<&PairExamples>,
+    ) -> Result<SiameseMatcher, CoreError> {
+        if self.config.verify_bootstrap {
+            self.verify_bootstrap(oracle);
+        }
+        // Guard: bootstrap can theoretically produce a single class (e.g.
+        // all seeds verified negative); backfill from the pool if so.
+        self.ensure_both_classes(oracle);
+        let mut matcher = self.train_matcher()?;
+        self.checkpoint(oracle, &matcher, test);
+        for _iter in 0..self.config.iterations {
+            if self.pool.is_empty() || oracle.queries_used() >= max_labels {
+                break;
+            }
+            let batch = self.select_batch(&matcher);
+            if batch.is_empty() {
+                break;
+            }
+            for &(l, r) in &batch {
+                if oracle.label(l, r) {
+                    self.labeled_pos.push((l, r));
+                } else {
+                    self.labeled_neg.push((l, r));
+                }
+            }
+            self.pool.retain(|p| !batch.contains(p));
+            matcher = self.train_matcher()?;
+            self.checkpoint(oracle, &matcher, test);
+        }
+        Ok(matcher)
+    }
+
+    fn checkpoint(&mut self, oracle: &Oracle, matcher: &SiameseMatcher, test: Option<&PairExamples>) {
+        let test_f1 = test.map(|t| matcher.evaluate(t).f1);
+        self.history.push(AlCheckpoint {
+            labels_used: oracle.queries_used(),
+            pool_sizes: (self.labeled_pos.len(), self.labeled_neg.len()),
+            test_f1,
+        });
+    }
+
+    fn ensure_both_classes(&mut self, oracle: &Oracle) {
+        // Pool is sorted by W₂ (bootstrap kept the middle); take from the
+        // near end for positives, far end for negatives.
+        while self.labeled_pos.is_empty() && !self.pool.is_empty() {
+            let (l, r) = self.pool.remove(0);
+            if oracle.label(l, r) {
+                self.labeled_pos.push((l, r));
+            } else {
+                self.labeled_neg.push((l, r));
+            }
+        }
+        while self.labeled_neg.is_empty() && !self.pool.is_empty() {
+            let (l, r) = self.pool.pop().expect("non-empty checked");
+            if oracle.label(l, r) {
+                self.labeled_pos.push((l, r));
+            } else {
+                self.labeled_neg.push((l, r));
+            }
+        }
+    }
+
+    /// Selects one balanced, informative, diverse batch (Algorithm 2,
+    /// lines 6–9): per quadrant, the best `samples_per_iteration / 4`
+    /// pool pairs.
+    fn select_batch(&mut self, matcher: &SiameseMatcher) -> Vec<(usize, usize)> {
+        let examples = PairExamples::build_unlabeled(self.irs_a, self.irs_b, &self.pool);
+        let probs = matcher.predict(&examples);
+        let kde = self.positive_distance_kde();
+        const EPS: f32 = 1e-4;
+        // Pre-compute per-candidate entropy and KDE likelihood.
+        let feats: Vec<(usize, f32, f32, bool)> = self
+            .pool
+            .iter()
+            .enumerate()
+            .map(|(i, &(l, r))| {
+                let p = probs[i];
+                let h = binary_entropy(p);
+                let d = self.reprs_a[l].mu_distance(&self.reprs_b[r]);
+                let f = kde.as_ref().map_or(0.5, |k| k.relative_density(d));
+                (i, h, f, p > 0.5)
+            })
+            .collect();
+        let per_kind = (self.config.samples_per_iteration / 4).max(1);
+        let mut chosen: Vec<usize> = Vec::with_capacity(per_kind * 4);
+        let take = |score: Box<dyn Fn(f32, f32) -> f32>, positive: bool, chosen: &mut Vec<usize>| {
+            let mut ranked: Vec<(usize, f32)> = feats
+                .iter()
+                .filter(|&&(i, _, _, pos)| pos == positive && !chosen.contains(&i))
+                .map(|&(i, h, f, _)| (i, score(h, f)))
+                .collect();
+            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            for &(i, _) in ranked.iter().take(per_kind) {
+                chosen.push(i);
+            }
+        };
+        // Certain positives: min H · 1/f̂⁺ (low entropy, high likelihood).
+        take(Box::new(|h, f| h * (1.0 / (f + EPS))), true, &mut chosen);
+        // Certain negatives: min H · f̂⁺ (low entropy, low likelihood).
+        take(Box::new(|h, f| h * f), false, &mut chosen);
+        // Uncertain positives: min (1/H) · f̂⁺ (high entropy, low likelihood).
+        take(Box::new(|h, f| (1.0 / (h + EPS)) * f), true, &mut chosen);
+        // Uncertain negatives: min (1/H) · 1/f̂⁺ (high entropy, high likelihood).
+        take(Box::new(|h, f| (1.0 / (h + EPS)) * (1.0 / (f + EPS))), false, &mut chosen);
+        chosen.sort_unstable();
+        chosen.dedup();
+        chosen.into_iter().map(|i| self.pool[i]).collect()
+    }
+
+    /// Baseline sampler for the ablation study: the `n` highest-entropy
+    /// pool pairs (classic uncertainty sampling, no balance/diversity).
+    pub fn select_entropy_only(&mut self, matcher: &SiameseMatcher, n: usize) -> Vec<(usize, usize)> {
+        let examples = PairExamples::build_unlabeled(self.irs_a, self.irs_b, &self.pool);
+        let probs = matcher.predict(&examples);
+        let mut ranked: Vec<(usize, f32)> = probs
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| (i, binary_entropy(p)))
+            .collect();
+        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let idx: Vec<usize> = ranked.into_iter().take(n).map(|(i, _)| i).collect();
+        let batch: Vec<(usize, usize)> = idx.iter().map(|&i| self.pool[i]).collect();
+        self.pool.retain(|p| !batch.contains(p));
+        batch
+    }
+
+    /// Baseline sampler for the ablation study: `n` uniformly random pool
+    /// pairs instead of the balanced/informative/diverse batch.
+    pub fn select_random(&mut self, n: usize) -> Vec<(usize, usize)> {
+        use rand::RngExt;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n.min(self.pool.len()) {
+            let i = self.rng.random_range(0..self.pool.len());
+            out.push(self.pool.swap_remove(i));
+        }
+        out
+    }
+
+    /// Applies externally selected labels (used by ablation baselines).
+    pub fn absorb_labels(&mut self, oracle: &Oracle, batch: &[(usize, usize)]) {
+        for &(l, r) in batch {
+            if oracle.label(l, r) {
+                self.labeled_pos.push((l, r));
+            } else {
+                self.labeled_neg.push((l, r));
+            }
+        }
+        self.pool.retain(|p| !batch.contains(p));
+    }
+}
+
+/// Evaluates a matcher trained by the AL loop on a labelled test set,
+/// returning standard P/R/F1.
+pub fn evaluate_matcher(
+    matcher: &SiameseMatcher,
+    irs_a: &IrTable,
+    irs_b: &IrTable,
+    test: &PairSet,
+) -> PrF1 {
+    matcher.evaluate(&PairExamples::build(irs_a, irs_b, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::{ReprConfig, ReprModel};
+    use vaer_linalg::{Matrix, XorShiftRng};
+
+    /// A toy two-table world with `n` entities; B's rows 0..n are noisy
+    /// duplicates of A's rows 0..n (identity alignment).
+    struct World {
+        repr: ReprModel,
+        a: IrTable,
+        b: IrTable,
+        duplicates: Vec<(usize, usize)>,
+    }
+
+    fn world(n: usize, seed: u64) -> World {
+        let ir_dim = 8;
+        let mut rng = XorShiftRng::new(seed);
+        let mut a_rows = Vec::new();
+        let mut b_rows = Vec::new();
+        for _ in 0..n {
+            let center: Vec<f32> = (0..ir_dim).map(|_| rng.gaussian()).collect();
+            let attr2: Vec<f32> = center.iter().map(|&x| x * -0.5 + 1.0).collect();
+            let jitter = |c: &[f32], rng: &mut XorShiftRng| -> Vec<f32> {
+                c.iter().map(|&x| x + 0.08 * rng.gaussian()).collect()
+            };
+            a_rows.push(jitter(&center, &mut rng));
+            a_rows.push(jitter(&attr2, &mut rng));
+            b_rows.push(jitter(&center, &mut rng));
+            b_rows.push(jitter(&attr2, &mut rng));
+        }
+        let flat = |rows: &Vec<Vec<f32>>| {
+            Matrix::from_vec(rows.len(), ir_dim, rows.iter().flatten().copied().collect())
+        };
+        let a = IrTable::new(2, flat(&a_rows));
+        let b = IrTable::new(2, flat(&b_rows));
+        let all = a.irs.vconcat(&b.irs);
+        let (repr, _) = ReprModel::train(&all, &ReprConfig::fast(ir_dim)).unwrap();
+        let duplicates = (0..n).map(|i| (i, i)).collect();
+        World { repr, a, b, duplicates }
+    }
+
+    #[test]
+    fn bootstrap_seeds_are_mostly_correct() {
+        let w = world(40, 1);
+        let reprs_a = crate::entity::group_entities(w.repr.encode(&w.a.irs), 2);
+        let reprs_b = crate::entity::group_entities(w.repr.encode(&w.b.irs), 2);
+        let boot = bootstrap(&reprs_a, &reprs_b, &BootstrapConfig::default());
+        assert!(!boot.positives.is_empty());
+        assert!(!boot.negatives.is_empty());
+        let dup: std::collections::HashSet<_> = w.duplicates.iter().copied().collect();
+        let pos_correct =
+            boot.positives.iter().filter(|p| dup.contains(p)).count() as f32
+                / boot.positives.len() as f32;
+        let neg_correct =
+            boot.negatives.iter().filter(|p| !dup.contains(p)).count() as f32
+                / boot.negatives.len() as f32;
+        assert!(pos_correct > 0.6, "bootstrap positive purity {pos_correct}");
+        assert!(neg_correct > 0.9, "bootstrap negative purity {neg_correct}");
+    }
+
+    #[test]
+    fn bootstrap_empty_inputs() {
+        let boot = bootstrap(&[], &[], &BootstrapConfig::default());
+        assert!(boot.positives.is_empty() && boot.pool.is_empty());
+    }
+
+    #[test]
+    fn al_improves_with_labels() {
+        let w = world(40, 2);
+        let oracle = Oracle::new(w.duplicates.iter().copied());
+        let config = ActiveConfig {
+            iterations: 4,
+            matcher: MatcherConfig { epochs: 10, ..MatcherConfig::fast() },
+            ..ActiveConfig::default()
+        };
+        let mut learner = ActiveLearner::new(&w.repr, &w.a, &w.b, config);
+        // Build a small test set: duplicates + shifted negatives.
+        let test: PairSet = (0..40)
+            .map(|i| LabeledPair { left: i, right: i, is_match: true })
+            .chain((0..40).map(|i| LabeledPair { left: i, right: (i + 7) % 40, is_match: false }))
+            .collect();
+        let test_examples = PairExamples::build(&w.a, &w.b, &test);
+        let matcher = learner.run(&oracle, 80, Some(&test_examples)).unwrap();
+        let history = learner.history();
+        assert!(history.len() >= 2, "expected multiple checkpoints");
+        let first = history.first().unwrap().test_f1.unwrap();
+        let last = history.last().unwrap().test_f1.unwrap();
+        assert!(last >= first - 0.05, "AL degraded: {first} -> {last}");
+        let final_f1 = matcher.evaluate(&test_examples).f1;
+        assert!(final_f1 > 0.7, "final F1 {final_f1}");
+        // Label budget respected (bootstrap verification + iterations).
+        assert!(oracle.queries_used() <= 90);
+    }
+
+    #[test]
+    fn labeled_set_grows_each_iteration() {
+        let w = world(30, 3);
+        let oracle = Oracle::new(w.duplicates.iter().copied());
+        let config = ActiveConfig {
+            iterations: 2,
+            matcher: MatcherConfig { epochs: 5, ..MatcherConfig::fast() },
+            ..ActiveConfig::default()
+        };
+        let mut learner = ActiveLearner::new(&w.repr, &w.a, &w.b, config);
+        let before = learner.labeled().len();
+        learner.run(&oracle, 60, None).unwrap();
+        let after = learner.labeled().len();
+        assert!(after > before, "labelled pool did not grow: {before} -> {after}");
+        assert!(learner.pool_size() > 0);
+    }
+
+    #[test]
+    fn random_sampler_consumes_pool() {
+        let w = world(20, 4);
+        let config = ActiveConfig::default();
+        let mut learner = ActiveLearner::new(&w.repr, &w.a, &w.b, config);
+        let pool_before = learner.pool_size();
+        let batch = learner.select_random(5);
+        assert_eq!(batch.len(), 5.min(pool_before));
+        assert_eq!(learner.pool_size(), pool_before - batch.len());
+        let oracle = Oracle::new(w.duplicates.iter().copied());
+        learner.absorb_labels(&oracle, &batch);
+        assert_eq!(oracle.queries_used(), batch.len());
+    }
+}

@@ -1,0 +1,203 @@
+//! Representation-quality evaluation — the top-K protocol of Table IV,
+//! Fig. 4 and Table VII.
+//!
+//! For each labelled test pair `(s, t)`, the pair counts as retrieved when
+//! `t` is among the top-K neighbours of `s` in table B *or* `s` is among
+//! the top-K neighbours of `t` in table A (paper footnote 5). VAER
+//! representations are searched on their μ vectors and re-ranked by the
+//! full W₂² (paper §VI-B); raw IRs are searched on their concatenated
+//! per-attribute vectors.
+
+use crate::entity::{EntityRepr, IrTable};
+use vaer_data::PairSet;
+use vaer_index::{BruteForceKnn, KnnIndex};
+use vaer_stats::metrics::TopKReport;
+
+/// Top-K evaluation over raw IR tuple vectors (the paper's left-hand
+/// baseline columns in Table IV).
+pub fn topk_eval_irs(a: &IrTable, b: &IrTable, test: &PairSet, k: usize) -> TopKReport {
+    let a_keys = flat_ir_keys(a);
+    let b_keys = flat_ir_keys(b);
+    topk_eval_keys(&a_keys, &b_keys, None, test, k)
+}
+
+/// Top-K evaluation over VAER entity representations: μ-vector search
+/// re-ranked by W₂² (the right-hand columns in Table IV).
+pub fn topk_eval_vae(
+    reprs_a: &[EntityRepr],
+    reprs_b: &[EntityRepr],
+    test: &PairSet,
+    k: usize,
+) -> TopKReport {
+    let a_keys: Vec<Vec<f32>> = reprs_a.iter().map(EntityRepr::flat_mu).collect();
+    let b_keys: Vec<Vec<f32>> = reprs_b.iter().map(EntityRepr::flat_mu).collect();
+    topk_eval_keys(&a_keys, &b_keys, Some((reprs_a, reprs_b)), test, k)
+}
+
+/// Recall@K over the full ground-truth duplicate list (used for the
+/// Fig. 4 sweep and Table VII's repr-recall column).
+pub fn recall_at_k_vae(
+    reprs_a: &[EntityRepr],
+    reprs_b: &[EntityRepr],
+    duplicates: &[(usize, usize)],
+    k: usize,
+) -> f32 {
+    let test: PairSet = duplicates
+        .iter()
+        .map(|&(l, r)| vaer_data::LabeledPair { left: l, right: r, is_match: true })
+        .collect();
+    topk_eval_vae(reprs_a, reprs_b, &test, k).recall
+}
+
+/// Concatenates the per-attribute IRs of every tuple into one key vector.
+pub fn flat_ir_keys(table: &IrTable) -> Vec<Vec<f32>> {
+    (0..table.len())
+        .map(|t| {
+            let rows = table.tuple_rows(t);
+            rows.as_slice().to_vec()
+        })
+        .collect()
+}
+
+fn topk_eval_keys(
+    a_keys: &[Vec<f32>],
+    b_keys: &[Vec<f32>],
+    rerank: Option<(&[EntityRepr], &[EntityRepr])>,
+    test: &PairSet,
+    k: usize,
+) -> TopKReport {
+    if a_keys.is_empty() || b_keys.is_empty() || test.is_empty() {
+        return TopKReport::new(0, 0, 0, 0);
+    }
+    // Exact search keeps the evaluation deterministic; LSH speed is
+    // benchmarked separately in the micro benches.
+    let index_b = BruteForceKnn::build(b_keys.to_vec());
+    let index_a = BruteForceKnn::build(a_keys.to_vec());
+    // Per-query retrieval with optional W₂ re-rank.
+    let topk_of = |index: &BruteForceKnn,
+                   query: &[f32],
+                   query_repr: Option<&EntityRepr>,
+                   target_reprs: Option<&[EntityRepr]>|
+     -> Vec<usize> {
+        match (query_repr, target_reprs) {
+            (Some(q), Some(targets)) => {
+                // Over-fetch 2k candidates by μ, re-rank by W₂².
+                let mut cands: Vec<(usize, f32)> = index
+                    .knn(query, 2 * k)
+                    .into_iter()
+                    .map(|n| (n.index, q.w2_squared(&targets[n.index])))
+                    .collect();
+                cands.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                cands.into_iter().take(k).map(|(i, _)| i).collect()
+            }
+            _ => index.knn(query, k).into_iter().map(|n| n.index).collect(),
+        }
+    };
+
+    let mut hits = 0usize;
+    let mut total_pos = 0usize;
+    let mut retrieved_labeled = 0usize;
+    let mut retrieved_positive = 0usize;
+    for p in &test.pairs {
+        let (qa, qb) = (&a_keys[p.left], &b_keys[p.right]);
+        let fw = topk_of(
+            &index_b,
+            qa,
+            rerank.map(|(ra, _)| &ra[p.left]),
+            rerank.map(|(_, rb)| rb),
+        );
+        let bw = topk_of(
+            &index_a,
+            qb,
+            rerank.map(|(_, rb)| &rb[p.right]),
+            rerank.map(|(ra, _)| ra),
+        );
+        let retrieved = fw.contains(&p.right) || bw.contains(&p.left);
+        if p.is_match {
+            total_pos += 1;
+            if retrieved {
+                hits += 1;
+            }
+        }
+        if retrieved {
+            retrieved_labeled += 1;
+            if p.is_match {
+                retrieved_positive += 1;
+            }
+        }
+    }
+    TopKReport::new(hits, total_pos, retrieved_positive, retrieved_labeled)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_data::LabeledPair;
+    use vaer_linalg::Matrix;
+    use vaer_stats::gaussian::DiagGaussian;
+
+    fn repr(mu: &[f32]) -> EntityRepr {
+        EntityRepr::new(vec![DiagGaussian::new(mu.to_vec(), vec![0.1; mu.len()])])
+    }
+
+    #[test]
+    fn perfect_representation_scores_full_recall() {
+        // A[i] and B[i] share coordinates.
+        let reprs_a: Vec<EntityRepr> =
+            (0..5).map(|i| repr(&[i as f32 * 10.0, 0.0])).collect();
+        let reprs_b = reprs_a.clone();
+        let test: PairSet = (0..5)
+            .map(|i| LabeledPair { left: i, right: i, is_match: true })
+            .chain((0..5).map(|i| LabeledPair { left: i, right: (i + 2) % 5, is_match: false }))
+            .collect();
+        let report = topk_eval_vae(&reprs_a, &reprs_b, &test, 1);
+        assert!((report.recall - 1.0).abs() < 1e-6);
+        // With K=1 only the true duplicate is retrieved, so precision = 1.
+        assert!((report.precision - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn scrambled_representation_scores_zero_recall() {
+        let reprs_a: Vec<EntityRepr> =
+            (0..5).map(|i| repr(&[i as f32 * 10.0, 0.0])).collect();
+        // B reversed: duplicates are now far apart.
+        let reprs_b: Vec<EntityRepr> =
+            (0..5).map(|i| repr(&[(4 - i) as f32 * 10.0 + 5.0, 40.0])).collect();
+        let test: PairSet =
+            (0..5).map(|i| LabeledPair { left: i, right: i, is_match: true }).collect();
+        let report = topk_eval_vae(&reprs_a, &reprs_b, &test, 1);
+        assert!(report.recall < 0.5);
+    }
+
+    #[test]
+    fn ir_eval_uses_concatenated_tuples() {
+        // 3 tuples, arity 2, ir_dim 1: keys are 2-d concatenations.
+        let a = IrTable::new(2, Matrix::from_vec(6, 1, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]));
+        let b = a.clone();
+        let keys = flat_ir_keys(&a);
+        assert_eq!(keys.len(), 3);
+        assert_eq!(keys[1], vec![1.0, 1.0]);
+        let test: PairSet =
+            (0..3).map(|i| LabeledPair { left: i, right: i, is_match: true }).collect();
+        let report = topk_eval_irs(&a, &b, &test, 1);
+        assert!((report.recall - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn recall_at_k_increases_with_k() {
+        let reprs_a: Vec<EntityRepr> = (0..8).map(|i| repr(&[i as f32, 0.0])).collect();
+        let reprs_b: Vec<EntityRepr> =
+            (0..8).map(|i| repr(&[i as f32 + 0.6, 0.0])).collect();
+        let duplicates: Vec<(usize, usize)> = (0..8).map(|i| (i, i)).collect();
+        let r1 = recall_at_k_vae(&reprs_a, &reprs_b, &duplicates, 1);
+        let r3 = recall_at_k_vae(&reprs_a, &reprs_b, &duplicates, 3);
+        assert!(r3 >= r1, "recall@3 {r3} < recall@1 {r1}");
+    }
+
+    #[test]
+    fn empty_inputs_yield_zero_report() {
+        let report = topk_eval_vae(&[], &[], &PairSet::new(), 5);
+        assert_eq!(report.recall, 0.0);
+        assert_eq!(report.f1, 0.0);
+    }
+}

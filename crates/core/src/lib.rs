@@ -1,0 +1,58 @@
+//! VAER core: the paper's contribution.
+//!
+//! *Cost-effective Variational Active Entity Resolution* (Bogatu et al.,
+//! ICDE 2021) decouples ER feature engineering from matching:
+//!
+//! 1. [`repr`] — an unsupervised VAE maps intermediate representations
+//!    (IRs) of attribute values to diagonal-Gaussian latent distributions,
+//!    with parameters shared across attributes (paper §III).
+//! 2. [`matcher`] — a Siamese network initialised from the VAE encoder
+//!    compares two tuples attribute-wise via squared 2-Wasserstein
+//!    distance vectors and classifies with a 2-layer MLP, trained with the
+//!    combined cross-entropy + contrastive loss of Eq. 4 (paper §IV).
+//! 3. [`active`] — Algorithm 1 bootstraps initial labels from the latent
+//!    space; Algorithm 2 iteratively samples balanced, informative,
+//!    diverse pairs for the user to label (paper §V).
+//! 4. [`transfer`] — a representation model trained on one domain is
+//!    serialised and reused on another without retraining (paper §III-D).
+//! 5. [`pipeline`] — glues everything into an end-to-end ER run,
+//!    [`evaluation`] implements the paper's top-K representation metrics,
+//!    and [`cluster`] consolidates pairwise links into resolved entities.
+
+pub mod active;
+pub mod cluster;
+pub mod entity;
+pub mod evaluation;
+pub mod matcher;
+pub mod pipeline;
+pub mod repr;
+pub mod transfer;
+
+/// Errors surfaced by the core pipeline.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Training/encoding input had the wrong shape.
+    BadInput(String),
+    /// A model failed to (de)serialise.
+    Model(vaer_nn::NnError),
+    /// Labelled data was insufficient to train (e.g. one class missing).
+    InsufficientData(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::BadInput(why) => write!(f, "bad input: {why}"),
+            CoreError::Model(e) => write!(f, "model error: {e}"),
+            CoreError::InsufficientData(why) => write!(f, "insufficient data: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<vaer_nn::NnError> for CoreError {
+    fn from(e: vaer_nn::NnError) -> Self {
+        CoreError::Model(e)
+    }
+}

@@ -1,0 +1,663 @@
+//! Supervised matching in the latent space — the Siamese network of
+//! paper §IV.
+//!
+//! Two encoder heads *share* the VAE encoder's parameters (bound twice on
+//! the same tape, so gradients from both heads accumulate — §IV-A's
+//! "parameter updating is mirrored"), initialised from the trained
+//! representation model. The Distance layer computes attribute-wise
+//! squared-2-Wasserstein vectors `d⃗ = (μˢ-μᵗ)² + (σˢ-σᵗ)²`, concatenates
+//! them, and a two-layer MLP classifies. Training minimises Eq. 4:
+//! binary cross-entropy plus an attribute-averaged contrastive term with
+//! margin `M`.
+
+use crate::entity::IrTable;
+use crate::repr::ReprModel;
+use crate::CoreError;
+use vaer_data::PairSet;
+use vaer_linalg::Matrix;
+use vaer_nn::schedule::minibatches;
+use vaer_nn::{Adam, Graph, Mlp, MlpConfig, NnRng, Optimizer, ParamStore, SeedableRng};
+use vaer_stats::metrics::PrF1;
+
+/// Which components of the latent Gaussians feed the Distance layer —
+/// the ablation axis for the paper's §IV-A design choice of comparing
+/// full distributions rather than points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DistanceKind {
+    /// Full squared 2-Wasserstein: `(μˢ-μᵗ)² + (σˢ-σᵗ)²` (the paper).
+    #[default]
+    W2,
+    /// Means only (ignores uncertainty; a plain point-embedding Siamese).
+    MuOnly,
+    /// Standard deviations only (sanity-check lower bound).
+    SigmaOnly,
+    /// Variance-normalised mean distance, the symmetrised Mahalanobis
+    /// alternative the paper mentions in §IV-A:
+    /// `(μˢ-μᵗ)² / (½(σˢ² + σᵗ²) + ε)`.
+    Mahalanobis,
+}
+
+/// Matcher hyper-parameters (paper Table III: margin `M = 0.5`, Adam at
+/// `0.001`).
+#[derive(Debug, Clone)]
+pub struct MatcherConfig {
+    /// Contrastive margin `M`.
+    pub margin: f32,
+    /// Weight of the contrastive term relative to cross-entropy.
+    pub contrastive_weight: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub learning_rate: f32,
+    /// Hidden width of the classification MLP.
+    pub mlp_hidden: usize,
+    /// Whether encoder weights are fine-tuned (true) or frozen at their
+    /// transferred values (ablation knob; the paper fine-tunes).
+    pub fine_tune_encoder: bool,
+    /// Minimum number of labelled pairs before fine-tuning kicks in.
+    /// Fine-tuning the encoder on a handful of pairs memorises them (the
+    /// train/test gap observed on small noisy domains); below this
+    /// threshold the encoder stays frozen even when `fine_tune_encoder`
+    /// is set.
+    pub fine_tune_min_pairs: usize,
+    /// Which Gaussian components the Distance layer compares.
+    pub distance: DistanceKind,
+    /// RNG seed (shuffling + MLP init).
+    pub seed: u64,
+}
+
+impl Default for MatcherConfig {
+    fn default() -> Self {
+        Self {
+            margin: 0.5,
+            contrastive_weight: 1.0,
+            epochs: 40,
+            batch_size: 32,
+            learning_rate: 8e-3,
+            mlp_hidden: 32,
+            fine_tune_encoder: true,
+            fine_tune_min_pairs: 400,
+            distance: DistanceKind::W2,
+            seed: 0x3A7C,
+        }
+    }
+}
+
+impl MatcherConfig {
+    /// A fast configuration for unit tests.
+    pub fn fast() -> Self {
+        Self { epochs: 40, mlp_hidden: 16, learning_rate: 1e-2, ..Self::default() }
+    }
+}
+
+/// Training examples for the matcher: row-aligned IR slices of both sides.
+#[derive(Debug, Clone)]
+pub struct PairExamples {
+    /// Per-attribute IR matrices of the left tuples (`arity` matrices of
+    /// `n x ir_dim`).
+    pub left: Vec<Matrix>,
+    /// Per-attribute IR matrices of the right tuples.
+    pub right: Vec<Matrix>,
+    /// Labels (1.0 = duplicate).
+    pub labels: Vec<f32>,
+}
+
+impl PairExamples {
+    /// Assembles examples from two IR tables and labelled pairs.
+    pub fn build(a: &IrTable, b: &IrTable, pairs: &PairSet) -> Self {
+        assert_eq!(a.arity, b.arity, "tables must share arity");
+        let lefts: Vec<usize> = pairs.pairs.iter().map(|p| p.left).collect();
+        let rights: Vec<usize> = pairs.pairs.iter().map(|p| p.right).collect();
+        let left = (0..a.arity).map(|attr| a.attr_rows(&lefts, attr)).collect();
+        let right = (0..b.arity).map(|attr| b.attr_rows(&rights, attr)).collect();
+        let labels = pairs.pairs.iter().map(|p| if p.is_match { 1.0 } else { 0.0 }).collect();
+        Self { left, right, labels }
+    }
+
+    /// From explicit index pairs (used by the AL loop on unlabeled pools).
+    pub fn build_unlabeled(a: &IrTable, b: &IrTable, pairs: &[(usize, usize)]) -> Self {
+        assert_eq!(a.arity, b.arity, "tables must share arity");
+        let lefts: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
+        let rights: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
+        let left = (0..a.arity).map(|attr| a.attr_rows(&lefts, attr)).collect();
+        let right = (0..b.arity).map(|attr| b.attr_rows(&rights, attr)).collect();
+        let labels = vec![0.0; pairs.len()];
+        Self { left, right, labels }
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Arity of the examples.
+    pub fn arity(&self) -> usize {
+        self.left.len()
+    }
+
+    fn select(&self, rows: &[usize]) -> PairExamples {
+        PairExamples {
+            left: self.left.iter().map(|m| m.select_rows(rows)).collect(),
+            right: self.right.iter().map(|m| m.select_rows(rows)).collect(),
+            labels: rows.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+}
+
+/// The trained Siamese matching model (the `γ` of the paper).
+#[derive(Debug, Clone)]
+pub struct SiameseMatcher {
+    store: ParamStore,
+    mlp: Mlp,
+    arity: usize,
+    latent_dim: usize,
+    config: MatcherConfig,
+}
+
+const MLP_NAME: &str = "matcher.mlp";
+
+impl SiameseMatcher {
+    /// Trains the matcher from a representation model and labelled pairs.
+    ///
+    /// The encoder parameters are *copied* from `repr` (the representation
+    /// model itself stays frozen, as in Fig. 1's decoupling) and then
+    /// fine-tuned together with the fresh MLP.
+    ///
+    /// # Errors
+    /// [`CoreError::InsufficientData`] when `examples` is empty or
+    /// single-class.
+    pub fn train(
+        repr: &ReprModel,
+        examples: &PairExamples,
+        config: &MatcherConfig,
+    ) -> Result<Self, CoreError> {
+        if examples.is_empty() {
+            return Err(CoreError::InsufficientData("no training pairs".into()));
+        }
+        let has_pos = examples.labels.iter().any(|&l| l > 0.5);
+        let has_neg = examples.labels.iter().any(|&l| l < 0.5);
+        if !has_pos || !has_neg {
+            return Err(CoreError::InsufficientData(
+                "training pairs must contain both classes".into(),
+            ));
+        }
+        let arity = examples.arity();
+        let latent_dim = repr.config().latent_dim;
+        let mut store = repr.store().clone();
+        let mut rng = NnRng::seed_from_u64(config.seed);
+        let mlp = Mlp::new(
+            &mut store,
+            MLP_NAME,
+            &MlpConfig::relu(vec![arity * latent_dim, config.mlp_hidden, 1]),
+            &mut rng,
+        );
+        let mut matcher = Self {
+            store,
+            mlp,
+            arity,
+            latent_dim,
+            config: config.clone(),
+        };
+        matcher.fit(examples, &mut rng)?;
+        Ok(matcher)
+    }
+
+    fn fit(&mut self, examples: &PairExamples, rng: &mut NnRng) -> Result<(), CoreError> {
+        let mut adam = Adam::with_rate(self.config.learning_rate);
+        let frozen_encoder = !self.config.fine_tune_encoder
+            || examples.len() < self.config.fine_tune_min_pairs;
+        let mut encoder_params: Vec<vaer_nn::ParamId> = Vec::new();
+        if frozen_encoder {
+            for name in [crate::repr::ENC_HIDDEN, crate::repr::ENC_MU, crate::repr::ENC_LOGVAR] {
+                for suffix in ["w", "b"] {
+                    if let Some(id) = self.store.find(&format!("{name}.{suffix}")) {
+                        encoder_params.push(id);
+                    }
+                }
+            }
+        }
+        // Small labelled sets (tiny scaled domains, early AL iterations)
+        // would otherwise see only a handful of gradient steps; guarantee
+        // a minimum optimisation budget regardless of dataset size.
+        let batches_per_epoch =
+            examples.len().div_ceil(self.config.batch_size).max(1);
+        let min_steps = 600usize;
+        let epochs = self
+            .config
+            .epochs
+            .max(min_steps.div_ceil(batches_per_epoch));
+        if frozen_encoder {
+            // The encoder is fixed, so the Distance-layer features are
+            // constants: compute them once and train only the MLP. This is
+            // exactly the cost profile Fig. 1's decoupling promises — the
+            // supervised stage optimises a small classifier over a frozen
+            // representation space.
+            let features = self.distance_features(examples);
+            let labels = Matrix::from_vec(examples.len(), 1, examples.labels.clone());
+            for _epoch in 0..epochs {
+                for batch in minibatches(examples.len(), self.config.batch_size, rng) {
+                    let x = features.select_rows(&batch);
+                    let y = labels.select_rows(&batch);
+                    let mut g = Graph::new();
+                    let xt = g.input(x);
+                    let logits = self.mlp.forward(&mut g, &self.store, xt);
+                    let loss = g.bce_with_logits(logits, y);
+                    g.backward(loss);
+                    adam.step(&mut self.store, &g.param_grads());
+                }
+            }
+            return Ok(());
+        }
+        for _epoch in 0..epochs {
+            for batch in minibatches(examples.len(), self.config.batch_size, rng) {
+                let sub = examples.select(&batch);
+                let mut g = Graph::new();
+                let (loss, _logits) = self.loss_graph(&mut g, &sub);
+                g.backward(loss);
+                let mut grads = g.param_grads();
+                grads.retain(|(id, _)| !encoder_params.contains(id));
+                adam.step(&mut self.store, &grads);
+            }
+        }
+        Ok(())
+    }
+
+    /// Concatenated Distance-layer features for a batch, computed outside
+    /// any gradient tape (used when the encoder is frozen).
+    fn distance_features(&self, examples: &PairExamples) -> Matrix {
+        let mut g = Graph::new();
+        let mut parts = Vec::with_capacity(self.arity);
+        for attr in 0..self.arity {
+            let xs = g.input(examples.left[attr].clone());
+            let xt = g.input(examples.right[attr].clone());
+            let d = self.distance_vector(&mut g, xs, xt);
+            parts.push(d);
+        }
+        let cat = g.concat_cols(&parts);
+        g.value(cat).clone()
+    }
+
+    /// The Distance layer (§IV-A): per-attribute latent distance vector
+    /// according to the configured [`DistanceKind`].
+    fn distance_vector(
+        &self,
+        g: &mut Graph,
+        xs: vaer_nn::Tensor,
+        xt: vaer_nn::Tensor,
+    ) -> vaer_nn::Tensor {
+        let (mu_s, sig_s) = ReprModel::encoder_forward(g, &self.store, xs);
+        let (mu_t, sig_t) = ReprModel::encoder_forward(g, &self.store, xt);
+        let mu_diff = g.sub(mu_s, mu_t);
+        let mu_sq = g.square(mu_diff);
+        let sig_diff = g.sub(sig_s, sig_t);
+        let sig_sq = g.square(sig_diff);
+        match self.config.distance {
+            DistanceKind::W2 => g.add(mu_sq, sig_sq),
+            DistanceKind::MuOnly => mu_sq,
+            DistanceKind::SigmaOnly => sig_sq,
+            DistanceKind::Mahalanobis => {
+                let var_s = g.square(sig_s);
+                let var_t = g.square(sig_t);
+                let var_sum = g.add(var_s, var_t);
+                let var = g.scale(var_sum, 0.5);
+                let var = g.add_scalar(var, 1e-4);
+                g.div(mu_sq, var)
+            }
+        }
+    }
+
+    /// Builds the Eq. 4 loss for a batch on a fresh tape; returns the loss
+    /// and the raw logits tensor.
+    fn loss_graph(
+        &self,
+        g: &mut Graph,
+        batch: &PairExamples,
+    ) -> (vaer_nn::Tensor, vaer_nn::Tensor) {
+        let n = batch.len();
+        let labels = Matrix::from_vec(n, 1, batch.labels.clone());
+        let x = g.input(labels.clone());
+        let ones = g.input(Matrix::filled(n, 1, 1.0));
+        let one_minus_x = g.sub(ones, x);
+        let mut dist_parts = Vec::with_capacity(self.arity);
+        let mut contrastive_terms = Vec::with_capacity(self.arity);
+        for attr in 0..self.arity {
+            let xs = g.input(batch.left[attr].clone());
+            let xt = g.input(batch.right[attr].clone());
+            let d_vec = self.distance_vector(g, xs, xt);
+            dist_parts.push(d_vec);
+            // Contrastive term on the scalar W₂² of this attribute.
+            let w2 = g.row_sum(d_vec); // n x 1
+            let pos = g.mul(x, w2);
+            let neg_margin = g.scale(w2, -1.0);
+            let neg_margin = g.add_scalar(neg_margin, self.config.margin);
+            let hinge = g.relu(neg_margin);
+            let neg = g.mul(one_minus_x, hinge);
+            let term = g.add(pos, neg);
+            contrastive_terms.push(g.mean_all(term));
+        }
+        let dist = g.concat_cols(&dist_parts); // n x (m·k)
+        let logits = self.mlp.forward(g, &self.store, dist);
+        let bce = g.bce_with_logits(logits, labels);
+        let mut contrastive = contrastive_terms[0];
+        for &t in &contrastive_terms[1..] {
+            contrastive = g.add(contrastive, t);
+        }
+        let contrastive =
+            g.scale(contrastive, self.config.contrastive_weight / self.arity as f32);
+        let loss = g.add(bce, contrastive);
+        (loss, logits)
+    }
+
+    /// Predicted duplicate probabilities for a batch of pairs.
+    pub fn predict(&self, examples: &PairExamples) -> Vec<f32> {
+        if examples.is_empty() {
+            return Vec::new();
+        }
+        let mut g = Graph::new();
+        let mut dist_parts = Vec::with_capacity(self.arity);
+        for attr in 0..self.arity {
+            let xs = g.input(examples.left[attr].clone());
+            let xt = g.input(examples.right[attr].clone());
+            let d_vec = self.distance_vector(&mut g, xs, xt);
+            dist_parts.push(d_vec);
+        }
+        let dist = g.concat_cols(&dist_parts);
+        let logits = self.mlp.forward(&mut g, &self.store, dist);
+        let probs = g.sigmoid(logits);
+        g.value(probs).as_slice().to_vec()
+    }
+
+    /// Evaluates P/R/F1 at threshold 0.5 against the examples' labels.
+    pub fn evaluate(&self, examples: &PairExamples) -> PrF1 {
+        let probs = self.predict(examples);
+        let predicted: Vec<bool> = probs.iter().map(|&p| p > 0.5).collect();
+        let actual: Vec<bool> = examples.labels.iter().map(|&l| l > 0.5).collect();
+        PrF1::from_labels(&predicted, &actual)
+    }
+
+    /// Picks the decision threshold maximising F1 on a labelled validation
+    /// set (sweeping the midpoints between consecutive predicted
+    /// probabilities). Returns `(threshold, f1_at_threshold)`; `(0.5, 0)`
+    /// for an empty or single-class validation set.
+    pub fn calibrate_threshold(&self, validation: &PairExamples) -> (f32, f32) {
+        let probs = self.predict(validation);
+        if probs.is_empty() {
+            return (0.5, 0.0);
+        }
+        let mut scored: Vec<(f32, bool)> = probs
+            .iter()
+            .zip(validation.labels.iter())
+            .map(|(&p, &l)| (p, l > 0.5))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+        let total_pos = scored.iter().filter(|&&(_, l)| l).count();
+        if total_pos == 0 || total_pos == scored.len() {
+            return (0.5, 0.0);
+        }
+        let mut best = (0.5f32, 0.0f32);
+        // Threshold candidates: below everything, then each midpoint.
+        let mut candidates = vec![scored[0].0 - 1e-3];
+        for w in scored.windows(2) {
+            candidates.push(0.5 * (w[0].0 + w[1].0));
+        }
+        for t in candidates {
+            let mut tp = 0;
+            let mut fp = 0;
+            for &(p, l) in &scored {
+                if p > t {
+                    if l {
+                        tp += 1;
+                    } else {
+                        fp += 1;
+                    }
+                }
+            }
+            let fn_ = total_pos - tp;
+            let m = PrF1::from_counts(tp, fp, fn_, 0);
+            if m.f1 > best.1 {
+                best = (t, m.f1);
+            }
+        }
+        best
+    }
+
+    /// Mean absolute first-layer MLP weight per attribute block — a cheap
+    /// interpretability probe of which attributes the matcher relies on
+    /// (the "attribute-level weighted matching schemes" §III-A anticipates
+    /// fall out of the learned classifier for free).
+    ///
+    /// Returns one non-negative score per attribute, normalised to sum
+    /// to 1 (uniform if the first layer is all zeros).
+    pub fn attribute_importance(&self) -> Vec<f32> {
+        let first = self
+            .mlp
+            .param_ids()
+            .first()
+            .copied()
+            .expect("MLP has at least one layer");
+        let w = self.store.get(first); // (arity·latent) x hidden
+        let mut scores = vec![0.0f32; self.arity];
+        for (i, score) in scores.iter_mut().enumerate() {
+            let lo = i * self.latent_dim;
+            let hi = lo + self.latent_dim;
+            for row in lo..hi {
+                *score += w.row(row).iter().map(|v| v.abs()).sum::<f32>();
+            }
+        }
+        let total: f32 = scores.iter().sum();
+        if total > f32::EPSILON {
+            for s in &mut scores {
+                *s /= total;
+            }
+        } else {
+            scores.fill(1.0 / self.arity as f32);
+        }
+        scores
+    }
+
+    /// The fine-tuned parameter store (encoder + MLP).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Latent dimensionality per attribute.
+    pub fn latent_dim(&self) -> usize {
+        self.latent_dim
+    }
+
+    /// Arity the matcher was trained for.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The configuration used at training time.
+    pub fn config(&self) -> &MatcherConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::repr::ReprConfig;
+    use vaer_data::LabeledPair;
+    use vaer_linalg::XorShiftRng;
+
+    /// Builds a toy world: tuples are 2-attribute entities whose IRs are
+    /// cluster points; duplicates share a cluster.
+    fn toy_world(seed: u64) -> (ReprModel, IrTable, IrTable, PairSet, PairSet) {
+        let ir_dim = 8;
+        let n_entities = 24;
+        let mut rng = XorShiftRng::new(seed);
+        let mut centers = Vec::new();
+        for _ in 0..n_entities {
+            let c: Vec<f32> = (0..ir_dim).map(|_| rng.gaussian()).collect();
+            centers.push(c);
+        }
+        let jitter = |c: &[f32], rng: &mut XorShiftRng| -> Vec<f32> {
+            c.iter().map(|&x| x + 0.05 * rng.gaussian()).collect()
+        };
+        // Each entity: 2 attributes with distinct cluster centres (offset).
+        let mut a_rows = Vec::new();
+        let mut b_rows = Vec::new();
+        for c in &centers {
+            let attr2: Vec<f32> = c.iter().map(|&x| -x).collect();
+            a_rows.push(jitter(c, &mut rng));
+            a_rows.push(jitter(&attr2, &mut rng));
+            b_rows.push(jitter(c, &mut rng));
+            b_rows.push(jitter(&attr2, &mut rng));
+        }
+        let flat = |rows: &Vec<Vec<f32>>| {
+            Matrix::from_vec(rows.len(), ir_dim, rows.iter().flatten().copied().collect())
+        };
+        let a = IrTable::new(2, flat(&a_rows));
+        let b = IrTable::new(2, flat(&b_rows));
+        // Train the repr model on all IRs.
+        let all = a.irs.vconcat(&b.irs);
+        let (repr, _) = ReprModel::train(&all, &ReprConfig::fast(ir_dim)).unwrap();
+        // Pairs: (i, i) duplicates, (i, i+1) negatives.
+        let mut train = PairSet::new();
+        let mut test = PairSet::new();
+        for i in 0..n_entities {
+            let pos = LabeledPair { left: i, right: i, is_match: true };
+            let neg = LabeledPair { left: i, right: (i + 1) % n_entities, is_match: false };
+            if i % 4 == 0 {
+                test.pairs.push(pos);
+                test.pairs.push(neg);
+            } else {
+                train.pairs.push(pos);
+                train.pairs.push(neg);
+            }
+        }
+        (repr, a, b, train, test)
+    }
+
+    #[test]
+    fn matcher_learns_toy_duplicates() {
+        let (repr, a, b, train, test) = toy_world(1);
+        let examples = PairExamples::build(&a, &b, &train);
+        let matcher = SiameseMatcher::train(&repr, &examples, &MatcherConfig::fast()).unwrap();
+        let report = matcher.evaluate(&PairExamples::build(&a, &b, &test));
+        assert!(report.f1 > 0.8, "F1 = {}", report.f1);
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let (repr, a, b, train, _) = toy_world(2);
+        let examples = PairExamples::build(&a, &b, &train);
+        let matcher = SiameseMatcher::train(&repr, &examples, &MatcherConfig::fast()).unwrap();
+        let probs = matcher.predict(&examples);
+        assert_eq!(probs.len(), examples.len());
+        assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!(matcher.predict(&PairExamples::build_unlabeled(&a, &b, &[])).is_empty());
+    }
+
+    #[test]
+    fn rejects_degenerate_training_sets() {
+        let (repr, a, b, mut train, _) = toy_world(3);
+        // Empty.
+        let empty = PairExamples::build(&a, &b, &PairSet::new());
+        assert!(matches!(
+            SiameseMatcher::train(&repr, &empty, &MatcherConfig::fast()),
+            Err(CoreError::InsufficientData(_))
+        ));
+        // Single class.
+        train.pairs.retain(|p| p.is_match);
+        let one_class = PairExamples::build(&a, &b, &train);
+        assert!(SiameseMatcher::train(&repr, &one_class, &MatcherConfig::fast()).is_err());
+    }
+
+    #[test]
+    fn frozen_encoder_keeps_weights() {
+        let (repr, a, b, train, _) = toy_world(4);
+        let examples = PairExamples::build(&a, &b, &train);
+        let cfg = MatcherConfig { fine_tune_encoder: false, epochs: 4, ..MatcherConfig::fast() };
+        let matcher = SiameseMatcher::train(&repr, &examples, &cfg).unwrap();
+        let orig = repr.store();
+        let tuned = matcher.store();
+        let name = format!("{}.w", crate::repr::ENC_HIDDEN);
+        let a_id = orig.find(&name).unwrap();
+        let b_id = tuned.find(&name).unwrap();
+        assert_eq!(orig.get(a_id), tuned.get(b_id), "frozen encoder changed");
+        // And fine-tuning does change them.
+        let cfg2 = MatcherConfig {
+            fine_tune_encoder: true,
+            fine_tune_min_pairs: 0,
+            epochs: 4,
+            ..MatcherConfig::fast()
+        };
+        let tuned2 = SiameseMatcher::train(&repr, &examples, &cfg2).unwrap();
+        let c_id = tuned2.store().find(&name).unwrap();
+        assert_ne!(orig.get(a_id), tuned2.store().get(c_id), "fine-tuned encoder unchanged");
+    }
+
+    #[test]
+    fn mahalanobis_distance_also_learns() {
+        let (repr, a, b, train, test) = toy_world(6);
+        let examples = PairExamples::build(&a, &b, &train);
+        let cfg = MatcherConfig { distance: DistanceKind::Mahalanobis, ..MatcherConfig::fast() };
+        let matcher = SiameseMatcher::train(&repr, &examples, &cfg).unwrap();
+        let report = matcher.evaluate(&PairExamples::build(&a, &b, &test));
+        assert!(report.f1 > 0.7, "Mahalanobis F1 = {}", report.f1);
+    }
+
+    #[test]
+    fn threshold_calibration_improves_or_matches_default() {
+        let (repr, a, b, train, test) = toy_world(8);
+        let examples = PairExamples::build(&a, &b, &train);
+        let matcher = SiameseMatcher::train(&repr, &examples, &MatcherConfig::fast()).unwrap();
+        let test_examples = PairExamples::build(&a, &b, &test);
+        let (t, f1_at_t) = matcher.calibrate_threshold(&examples);
+        assert!((0.0..=1.0).contains(&t) || t < 0.0, "threshold {t}");
+        // Calibrated F1 on the calibration set beats or matches the 0.5 cut.
+        let default_f1 = matcher.evaluate(&examples).f1;
+        assert!(f1_at_t + 1e-5 >= default_f1, "{f1_at_t} < {default_f1}");
+        // And the degenerate cases do not panic.
+        let empty = PairExamples::build_unlabeled(&a, &b, &[]);
+        assert_eq!(matcher.calibrate_threshold(&empty), (0.5, 0.0));
+        let _ = test_examples;
+    }
+
+    #[test]
+    fn attribute_importance_is_a_distribution() {
+        let (repr, a, b, train, _) = toy_world(7);
+        let examples = PairExamples::build(&a, &b, &train);
+        let matcher = SiameseMatcher::train(&repr, &examples, &MatcherConfig::fast()).unwrap();
+        let imp = matcher.attribute_importance();
+        assert_eq!(imp.len(), 2);
+        assert!(imp.iter().all(|&x| x >= 0.0));
+        assert!((imp.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn fine_tuning_helps_on_misaligned_representations() {
+        // Train the repr model on one distribution, then give the matcher
+        // pairs whose similarity signal is weak in the unsupervised space;
+        // fine-tuning should not be worse than the frozen encoder.
+        let (repr, a, b, train, test) = toy_world(5);
+        let examples = PairExamples::build(&a, &b, &train);
+        let test_examples = PairExamples::build(&a, &b, &test);
+        let frozen = SiameseMatcher::train(
+            &repr,
+            &examples,
+            &MatcherConfig { fine_tune_encoder: false, ..MatcherConfig::fast() },
+        )
+        .unwrap()
+        .evaluate(&test_examples);
+        let tuned = SiameseMatcher::train(
+            &repr,
+            &examples,
+            &MatcherConfig { fine_tune_min_pairs: 0, ..MatcherConfig::fast() },
+        )
+        .unwrap()
+        .evaluate(&test_examples);
+        assert!(tuned.f1 + 0.1 >= frozen.f1, "tuned {} vs frozen {}", tuned.f1, frozen.f1);
+    }
+}

@@ -1,0 +1,389 @@
+//! The end-to-end VAER pipeline: IR generation → unsupervised VAE →
+//! supervised Siamese matching, with per-stage timing (Table VI) and the
+//! blocking/representation reports of §VI-B.
+
+use crate::entity::{group_entities, EntityRepr, IrTable};
+use crate::evaluation::{topk_eval_irs, topk_eval_vae};
+use crate::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
+use crate::repr::{ReprConfig, ReprModel, ReprTrainStats};
+use crate::CoreError;
+use std::time::Instant;
+use vaer_data::{Dataset, PairSet};
+use vaer_embed::{fit_ir_model, IrKind, IrModel};
+use vaer_index::{knn_join, CandidatePair, E2Lsh};
+use vaer_stats::metrics::{PrF1, TopKReport};
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PipelineConfig {
+    /// Which IR family to use (the paper defaults to LSA as most robust).
+    pub ir_kind: IrKind,
+    /// IR dimensionality (shared by all four families).
+    pub ir_dim: usize,
+    /// VAE hyper-parameters (its `ir_dim` is kept in sync automatically).
+    pub repr: ReprConfig,
+    /// Siamese matcher hyper-parameters.
+    pub matcher: MatcherConfig,
+    /// Top-K for blocking and representation reports (paper: 10).
+    pub knn_k: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            ir_kind: IrKind::Lsa,
+            ir_dim: 64,
+            repr: ReprConfig::default(),
+            matcher: MatcherConfig::default(),
+            knn_k: 10,
+            seed: 0x7A3E,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// A small/fast configuration for tests and doc examples.
+    pub fn fast() -> Self {
+        Self {
+            ir_dim: 24,
+            repr: ReprConfig { epochs: 8, ..ReprConfig::fast(24) },
+            matcher: MatcherConfig::fast(),
+            ..Self::default()
+        }
+    }
+
+    /// The configuration used by the reported experiments (closer to the
+    /// paper's Table III, scaled per DESIGN.md).
+    pub fn paper() -> Self {
+        Self {
+            ir_dim: 64,
+            repr: ReprConfig { hidden_dim: 96, latent_dim: 32, epochs: 15, ..ReprConfig::default() },
+            matcher: MatcherConfig { epochs: 40, ..MatcherConfig::default() },
+            ..Self::default()
+        }
+    }
+}
+
+/// Wall-clock timings of the pipeline stages, in seconds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// IR model fitting + encoding.
+    pub ir_secs: f64,
+    /// VAE representation training (the paper's "Repr." column).
+    pub repr_secs: f64,
+    /// Siamese matcher training (the paper's "Match" column).
+    pub match_secs: f64,
+}
+
+impl Timings {
+    /// Total seconds.
+    pub fn total(&self) -> f64 {
+        self.ir_secs + self.repr_secs + self.match_secs
+    }
+}
+
+/// A fitted end-to-end VAER pipeline.
+pub struct Pipeline {
+    ir_model: Box<dyn IrModel>,
+    repr: ReprModel,
+    matcher: SiameseMatcher,
+    irs_a: IrTable,
+    irs_b: IrTable,
+    reprs_a: Vec<EntityRepr>,
+    reprs_b: Vec<EntityRepr>,
+    timings: Timings,
+    repr_stats: ReprTrainStats,
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Fits the full pipeline on a dataset: IRs, VAE, then matcher on the
+    /// dataset's training pairs.
+    ///
+    /// # Errors
+    /// Propagates representation/matcher training failures.
+    pub fn fit(dataset: &Dataset, config: &PipelineConfig) -> Result<Self, CoreError> {
+        Self::fit_inner(dataset, config, None)
+    }
+
+    /// Fits with a *transferred* representation model (paper §III-D):
+    /// representation training is skipped and `repr_secs` is 0. The
+    /// dataset must already be arity-adapted (see
+    /// [`crate::transfer::adapt_dataset_arity`]) and the transferred
+    /// model's `ir_dim` must equal `config.ir_dim`.
+    pub fn fit_transferred(
+        dataset: &Dataset,
+        config: &PipelineConfig,
+        repr: ReprModel,
+    ) -> Result<Self, CoreError> {
+        if repr.config().ir_dim != config.ir_dim {
+            return Err(CoreError::BadInput(format!(
+                "transferred model expects ir_dim {}, config has {}",
+                repr.config().ir_dim,
+                config.ir_dim
+            )));
+        }
+        Self::fit_inner(dataset, config, Some(repr))
+    }
+
+    fn fit_inner(
+        dataset: &Dataset,
+        config: &PipelineConfig,
+        transferred: Option<ReprModel>,
+    ) -> Result<Self, CoreError> {
+        let arity = dataset.table_a.schema.arity();
+        if arity != dataset.table_b.schema.arity() {
+            return Err(CoreError::BadInput("tables must share arity".into()));
+        }
+        // Stage 1: IRs.
+        let t0 = Instant::now();
+        let sentences = dataset.all_sentences();
+        let ir_model = fit_ir_model(
+            config.ir_kind,
+            &sentences,
+            &dataset.tables_raw(),
+            config.ir_dim,
+            config.seed,
+        );
+        let a_sentences: Vec<String> =
+            dataset.table_a.sentences().map(str::to_owned).collect();
+        let b_sentences: Vec<String> =
+            dataset.table_b.sentences().map(str::to_owned).collect();
+        let irs_a = IrTable::new(arity, ir_model.encode_batch(&a_sentences));
+        let irs_b = IrTable::new(arity, ir_model.encode_batch(&b_sentences));
+        let ir_secs = t0.elapsed().as_secs_f64();
+
+        // Stage 2: representation learning (or transfer).
+        let t1 = Instant::now();
+        let mut repr_config = config.repr.clone();
+        repr_config.ir_dim = config.ir_dim;
+        repr_config.seed = config.seed ^ 0xE301;
+        let (repr, repr_stats, repr_secs) = match transferred {
+            Some(model) => (model, ReprTrainStats::default(), 0.0),
+            None => {
+                let all_irs = irs_a.irs.vconcat(&irs_b.irs);
+                let (model, stats) = ReprModel::train(&all_irs, &repr_config)?;
+                (model, stats, t1.elapsed().as_secs_f64())
+            }
+        };
+        let reprs_a = group_entities(repr.encode(&irs_a.irs), arity);
+        let reprs_b = group_entities(repr.encode(&irs_b.irs), arity);
+
+        // Stage 3: supervised matching.
+        let t2 = Instant::now();
+        let mut matcher_config = config.matcher.clone();
+        matcher_config.seed = config.seed ^ 0x3A7C;
+        let examples = PairExamples::build(&irs_a, &irs_b, &dataset.train_pairs);
+        let matcher = SiameseMatcher::train(&repr, &examples, &matcher_config)?;
+        let match_secs = t2.elapsed().as_secs_f64();
+
+        Ok(Self {
+            ir_model,
+            repr,
+            matcher,
+            irs_a,
+            irs_b,
+            reprs_a,
+            reprs_b,
+            timings: Timings { ir_secs, repr_secs, match_secs },
+            repr_stats,
+            config: config.clone(),
+        })
+    }
+
+    /// Duplicate probabilities for labelled pairs.
+    pub fn predict(&self, pairs: &PairSet) -> Vec<f32> {
+        self.matcher.predict(&PairExamples::build(&self.irs_a, &self.irs_b, pairs))
+    }
+
+    /// P/R/F1 of the matcher on a labelled pair set.
+    pub fn evaluate(&self, pairs: &PairSet) -> PrF1 {
+        self.matcher.evaluate(&PairExamples::build(&self.irs_a, &self.irs_b, pairs))
+    }
+
+    /// Table IV right-hand columns: top-K retrieval quality of the VAE
+    /// representations.
+    pub fn representation_report(&self, pairs: &PairSet, k: usize) -> TopKReport {
+        topk_eval_vae(&self.reprs_a, &self.reprs_b, pairs, k)
+    }
+
+    /// Table IV left-hand columns: top-K retrieval quality of the raw IRs.
+    pub fn ir_report(&self, pairs: &PairSet, k: usize) -> TopKReport {
+        topk_eval_irs(&self.irs_a, &self.irs_b, pairs, k)
+    }
+
+    /// Recall@K over the dataset's full duplicate ground truth (Fig. 4 /
+    /// Table VII protocol).
+    pub fn recall_at_k(&self, duplicates: &[(usize, usize)], k: usize) -> f32 {
+        crate::evaluation::recall_at_k_vae(&self.reprs_a, &self.reprs_b, duplicates, k)
+    }
+
+    /// LSH blocking: candidate pairs from the latent means (§VI-B) — the
+    /// filter an end-to-end deployment would run before matching.
+    pub fn blocking_candidates(&self, k: usize) -> Vec<CandidatePair> {
+        let b_keys: Vec<Vec<f32>> = self.reprs_b.iter().map(EntityRepr::flat_mu).collect();
+        let a_keys: Vec<Vec<f32>> = self.reprs_a.iter().map(EntityRepr::flat_mu).collect();
+        let index = E2Lsh::build_calibrated(b_keys, self.config.seed ^ 0xB10C);
+        knn_join(&a_keys, &index, k)
+    }
+
+    /// Full ER resolution: LSH blocking with top-`k` candidates, then
+    /// matcher scoring, keeping links with probability above `threshold`.
+    /// Returns `(a_row, b_row, probability)` triples sorted by descending
+    /// confidence — the deployment entry point sketched in §VI-B.
+    pub fn resolve(&self, k: usize, threshold: f32) -> Vec<(usize, usize, f32)> {
+        let candidates = self.blocking_candidates(k);
+        let pairs: PairSet = candidates
+            .iter()
+            .map(|c| vaer_data::LabeledPair { left: c.left, right: c.right, is_match: false })
+            .collect();
+        let probs = self.predict(&pairs);
+        let mut links: Vec<(usize, usize, f32)> = pairs
+            .pairs
+            .iter()
+            .zip(&probs)
+            .filter(|(_, &p)| p >= threshold)
+            .map(|(pair, &p)| (pair.left, pair.right, p))
+            .collect();
+        links.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        links
+    }
+
+    /// Per-stage wall-clock timings.
+    pub fn timings(&self) -> Timings {
+        self.timings
+    }
+
+    /// The fitted IR model.
+    pub fn ir_model(&self) -> &dyn IrModel {
+        self.ir_model.as_ref()
+    }
+
+    /// The trained representation model.
+    pub fn repr(&self) -> &ReprModel {
+        &self.repr
+    }
+
+    /// VAE training statistics.
+    pub fn repr_stats(&self) -> &ReprTrainStats {
+        &self.repr_stats
+    }
+
+    /// The trained matcher.
+    pub fn matcher(&self) -> &SiameseMatcher {
+        &self.matcher
+    }
+
+    /// The IR tables (`(table_a, table_b)`).
+    pub fn ir_tables(&self) -> (&IrTable, &IrTable) {
+        (&self.irs_a, &self.irs_b)
+    }
+
+    /// The entity representations (`(table_a, table_b)`).
+    pub fn entity_reprs(&self) -> (&[EntityRepr], &[EntityRepr]) {
+        (&self.reprs_a, &self.reprs_b)
+    }
+
+    /// The configuration the pipeline was fitted with.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_data::domains::{Domain, DomainSpec, Scale};
+
+    fn fast_config(seed: u64) -> PipelineConfig {
+        let mut c = PipelineConfig::fast();
+        c.seed = seed;
+        c
+    }
+
+    #[test]
+    fn end_to_end_restaurants() {
+        let ds = DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(7);
+        let p = Pipeline::fit(&ds, &fast_config(7)).unwrap();
+        let report = p.evaluate(&ds.test_pairs);
+        assert!(report.f1 > 0.6, "F1 = {report}");
+        // Timings populated.
+        assert!(p.timings().repr_secs > 0.0);
+        assert!(p.timings().match_secs > 0.0);
+        assert!(p.timings().total() > 0.0);
+    }
+
+    #[test]
+    fn vae_report_at_least_as_good_as_reasonable() {
+        let ds = DomainSpec::new(Domain::Citations1, Scale::Tiny).generate(3);
+        let p = Pipeline::fit(&ds, &fast_config(3)).unwrap();
+        let vae = p.representation_report(&ds.test_pairs, 10);
+        assert!(vae.recall > 0.5, "VAE recall {}", vae.recall);
+        let ir = p.ir_report(&ds.test_pairs, 10);
+        assert!(ir.recall > 0.0);
+    }
+
+    #[test]
+    fn blocking_produces_candidates_covering_duplicates() {
+        let ds = DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(5);
+        let p = Pipeline::fit(&ds, &fast_config(5)).unwrap();
+        let candidates = p.blocking_candidates(10);
+        assert!(!candidates.is_empty());
+        let cand_set: std::collections::HashSet<(usize, usize)> =
+            candidates.iter().map(|c| (c.left, c.right)).collect();
+        let covered = ds
+            .duplicates
+            .iter()
+            .filter(|&&(a, b)| cand_set.contains(&(a, b)))
+            .count();
+        let coverage = covered as f32 / ds.duplicates.len() as f32;
+        assert!(coverage > 0.5, "blocking coverage {coverage}");
+    }
+
+    #[test]
+    fn resolve_returns_confident_sorted_links() {
+        let ds = DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(6);
+        let p = Pipeline::fit(&ds, &fast_config(6)).unwrap();
+        let links = p.resolve(5, 0.5);
+        assert!(!links.is_empty());
+        for w in links.windows(2) {
+            assert!(w[0].2 >= w[1].2, "links not sorted by confidence");
+        }
+        assert!(links.iter().all(|&(_, _, p)| p >= 0.5));
+        // Most confident links should be true duplicates.
+        let truth: std::collections::HashSet<(usize, usize)> =
+            ds.duplicates.iter().copied().collect();
+        let top_correct =
+            links.iter().take(5).filter(|&&(a, b, _)| truth.contains(&(a, b))).count();
+        assert!(top_correct >= 3, "only {top_correct}/5 top links correct");
+    }
+
+    #[test]
+    fn transfer_skips_repr_training() {
+        let src = DomainSpec::new(Domain::Citations1, Scale::Tiny).generate(1);
+        let config = fast_config(1);
+        let source = Pipeline::fit(&src, &config).unwrap();
+        let tgt = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(2);
+        let adapted = crate::transfer::adapt_dataset_arity(&tgt, 4);
+        let transferred =
+            Pipeline::fit_transferred(&adapted, &config, source.repr().clone()).unwrap();
+        assert_eq!(transferred.timings().repr_secs, 0.0);
+        let f1 = transferred.evaluate(&adapted.test_pairs).f1;
+        assert!(f1 > 0.4, "transferred F1 {f1}");
+    }
+
+    #[test]
+    fn transfer_rejects_dim_mismatch() {
+        let src = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(4);
+        let p = Pipeline::fit(&src, &fast_config(4)).unwrap();
+        let mut other = fast_config(4);
+        other.ir_dim = 12;
+        other.repr = crate::repr::ReprConfig::fast(12);
+        assert!(matches!(
+            Pipeline::fit_transferred(&src, &other, p.repr().clone()),
+            Err(CoreError::BadInput(_))
+        ));
+    }
+}

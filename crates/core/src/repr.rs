@@ -1,0 +1,440 @@
+//! Unsupervised entity representation learning — the VAE of paper §III.
+//!
+//! One VAE with parameters *shared across attributes* (§III-A, footnote 1):
+//! every attribute value's IR is a training row, and at inference each
+//! attribute of a tuple is encoded independently into `N(μ, σ)`. The
+//! architecture follows Fig. 2 and Table III:
+//!
+//! ```text
+//! IR (d) ──Dense──ReLU──► hidden ──┬─Dense─► μ (k)
+//!                                  └─Dense─► log σ² (k)
+//! z = μ + σ⊙ε  ──Dense──ReLU──► hidden ──Dense──► ÎR (d)
+//! ```
+//!
+//! trained to maximise Eq. 1 / minimise Eq. 2: reconstruction error plus
+//! `KL(q(z|IR) ‖ N(0, I))`.
+
+use crate::CoreError;
+use vaer_linalg::Matrix;
+use vaer_nn::schedule::minibatches;
+use vaer_nn::{
+    Adam, Dense, Graph, Initializer, NnRng, Optimizer, ParamStore, SeedableRng, Tensor,
+};
+use vaer_stats::gaussian::DiagGaussian;
+
+/// Representation-model hyper-parameters (Table III, scaled down by
+/// default — see DESIGN.md).
+#[derive(Debug, Clone)]
+pub struct ReprConfig {
+    /// IR input dimensionality `d`.
+    pub ir_dim: usize,
+    /// Encoder/decoder hidden width (paper: 200).
+    pub hidden_dim: usize,
+    /// Latent dimensionality `k` (paper: 100).
+    pub latent_dim: usize,
+    /// Training epochs over the IR corpus.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate (paper: 0.001).
+    pub learning_rate: f32,
+    /// Weight of the KL term (β; 1.0 = the plain VAE of the paper).
+    pub kl_weight: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ReprConfig {
+    fn default() -> Self {
+        Self {
+            ir_dim: 64,
+            hidden_dim: 96,
+            latent_dim: 32,
+            epochs: 12,
+            batch_size: 64,
+            learning_rate: 1e-3,
+            kl_weight: 1.0,
+            seed: 0xAE01,
+        }
+    }
+}
+
+impl ReprConfig {
+    /// A fast configuration for unit tests.
+    pub fn fast(ir_dim: usize) -> Self {
+        Self {
+            ir_dim,
+            hidden_dim: 32,
+            latent_dim: 8,
+            epochs: 6,
+            batch_size: 32,
+            ..Self::default()
+        }
+    }
+}
+
+/// Per-epoch training statistics.
+#[derive(Debug, Clone, Default)]
+pub struct ReprTrainStats {
+    /// Mean total loss per epoch.
+    pub epoch_losses: Vec<f32>,
+}
+
+/// The trained representation model (the `φ` of the paper).
+#[derive(Debug, Clone)]
+pub struct ReprModel {
+    store: ParamStore,
+    config: ReprConfig,
+}
+
+/// Layer-name constants shared with the Siamese matcher (which rebinds the
+/// encoder by these names) and the transfer serialiser.
+pub const ENC_HIDDEN: &str = "repr.enc.hidden";
+pub const ENC_MU: &str = "repr.enc.mu";
+pub const ENC_LOGVAR: &str = "repr.enc.logvar";
+const DEC_HIDDEN: &str = "repr.dec.hidden";
+const DEC_OUT: &str = "repr.dec.out";
+
+impl ReprModel {
+    /// Trains the VAE on an `n x ir_dim` matrix of IRs (one attribute value
+    /// per row).
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] when `irs` is empty or its width disagrees
+    /// with `config.ir_dim`.
+    pub fn train(irs: &Matrix, config: &ReprConfig) -> Result<(Self, ReprTrainStats), CoreError> {
+        if irs.rows() == 0 {
+            return Err(CoreError::BadInput("no IRs to train on".into()));
+        }
+        if irs.cols() != config.ir_dim {
+            return Err(CoreError::BadInput(format!(
+                "IR width {} != configured ir_dim {}",
+                irs.cols(),
+                config.ir_dim
+            )));
+        }
+        let mut rng = NnRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let enc_hidden = Dense::new(
+            &mut store,
+            ENC_HIDDEN,
+            config.ir_dim,
+            config.hidden_dim,
+            Initializer::He,
+            &mut rng,
+        );
+        let enc_mu = Dense::new(
+            &mut store,
+            ENC_MU,
+            config.hidden_dim,
+            config.latent_dim,
+            Initializer::Xavier,
+            &mut rng,
+        );
+        let enc_logvar = Dense::new(
+            &mut store,
+            ENC_LOGVAR,
+            config.hidden_dim,
+            config.latent_dim,
+            Initializer::Xavier,
+            &mut rng,
+        );
+        let dec_hidden = Dense::new(
+            &mut store,
+            DEC_HIDDEN,
+            config.latent_dim,
+            config.hidden_dim,
+            Initializer::He,
+            &mut rng,
+        );
+        let dec_out = Dense::new(
+            &mut store,
+            DEC_OUT,
+            config.hidden_dim,
+            config.ir_dim,
+            Initializer::Xavier,
+            &mut rng,
+        );
+
+        let mut adam = Adam::with_rate(config.learning_rate);
+        let mut stats = ReprTrainStats::default();
+        let mut noise_rng = NnRng::seed_from_u64(config.seed ^ 0xE95);
+        for _epoch in 0..config.epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
+            for batch in minibatches(irs.rows(), config.batch_size, &mut rng) {
+                let x = irs.select_rows(&batch);
+                let eps = gaussian_matrix(batch.len(), config.latent_dim, &mut noise_rng);
+                let mut g = Graph::new();
+                let xt = g.input(x);
+                // Encoder.
+                let h = enc_hidden.forward(&mut g, &store, xt);
+                let h = g.relu(h);
+                let mu = enc_mu.forward(&mut g, &store, h);
+                let logvar = enc_logvar.forward(&mut g, &store, h);
+                // Reparameterisation: z = μ + exp(½ logvar) ⊙ ε.
+                let half_logvar = g.scale(logvar, 0.5);
+                let sigma = g.exp(half_logvar);
+                let eps_t = g.input(eps);
+                let noise = g.mul(sigma, eps_t);
+                let z = g.add(mu, noise);
+                // Decoder.
+                let dh = dec_hidden.forward(&mut g, &store, z);
+                let dh = g.relu(dh);
+                let recon = dec_out.forward(&mut g, &store, dh);
+                // Reconstruction: mean squared error over the batch.
+                let diff = g.sub(recon, xt);
+                let sq = g.square(diff);
+                let recon_loss = g.mean_all(sq);
+                let recon_loss = g.scale(recon_loss, config.ir_dim as f32);
+                // KL(q ‖ N(0, I)) = -½ Σ (1 + logvar - μ² - exp(logvar)),
+                // averaged over the batch.
+                let mu_sq = g.square(mu);
+                let exp_logvar = g.exp(logvar);
+                let inner = g.add_scalar(logvar, 1.0);
+                let inner = g.sub(inner, mu_sq);
+                let inner = g.sub(inner, exp_logvar);
+                let kl_sum = g.sum_all(inner);
+                let kl = g.scale(kl_sum, -0.5 / batch.len() as f32);
+                let kl = g.scale(kl, config.kl_weight);
+                let loss = g.add(recon_loss, kl);
+                epoch_loss += g.value(loss).get(0, 0);
+                batches += 1;
+                g.backward(loss);
+                adam.step(&mut store, &g.param_grads());
+            }
+            stats.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+        }
+        Ok((Self { store, config: config.clone() }, stats))
+    }
+
+    /// The model configuration.
+    pub fn config(&self) -> &ReprConfig {
+        &self.config
+    }
+
+    /// The parameter store (encoder + decoder weights).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Encoder forward pass on a tape — reused by the Siamese matcher so
+    /// both share one implementation of Fig. 2's encoding layer.
+    ///
+    /// Returns `(μ, σ)` tensors of shape `batch x latent_dim`, binding the
+    /// encoder parameters from `store` (pass the matcher's own store to
+    /// fine-tune a copy).
+    pub fn encoder_forward(
+        g: &mut Graph,
+        store: &ParamStore,
+        x: Tensor,
+    ) -> (Tensor, Tensor) {
+        let enc_hidden = Dense::from_store(store, ENC_HIDDEN)
+            .expect("store is missing the repr encoder hidden layer");
+        let enc_mu =
+            Dense::from_store(store, ENC_MU).expect("store is missing the repr mu head");
+        let enc_logvar = Dense::from_store(store, ENC_LOGVAR)
+            .expect("store is missing the repr logvar head");
+        let h = enc_hidden.forward(g, store, x);
+        let h = g.relu(h);
+        let mu = enc_mu.forward(g, store, h);
+        let logvar = enc_logvar.forward(g, store, h);
+        let half = g.scale(logvar, 0.5);
+        let sigma = g.exp(half);
+        (mu, sigma)
+    }
+
+    /// Encodes a batch of IRs into diagonal Gaussians (one per row).
+    pub fn encode(&self, irs: &Matrix) -> Vec<DiagGaussian> {
+        assert_eq!(irs.cols(), self.config.ir_dim, "IR width mismatch");
+        if irs.rows() == 0 {
+            return Vec::new();
+        }
+        let mut g = Graph::new();
+        let x = g.input(irs.clone());
+        let (mu, sigma) = Self::encoder_forward(&mut g, &self.store, x);
+        let mu_v = g.value(mu);
+        let sig_v = g.value(sigma);
+        (0..irs.rows())
+            .map(|i| DiagGaussian::new(mu_v.row(i).to_vec(), sig_v.row(i).to_vec()))
+            .collect()
+    }
+
+    /// Decodes latent samples back to IR space (the generative direction).
+    pub fn decode(&self, z: &Matrix) -> Matrix {
+        assert_eq!(z.cols(), self.config.latent_dim, "latent width mismatch");
+        let dec_hidden =
+            Dense::from_store(&self.store, DEC_HIDDEN).expect("decoder hidden layer missing");
+        let dec_out = Dense::from_store(&self.store, DEC_OUT).expect("decoder output missing");
+        let mut g = Graph::new();
+        let zt = g.input(z.clone());
+        let h = dec_hidden.forward(&mut g, &self.store, zt);
+        let h = g.relu(h);
+        let out = dec_out.forward(&mut g, &self.store, h);
+        g.value(out).clone()
+    }
+
+    /// Serialises the model (config header + parameters).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"VAERREPR");
+        for v in [
+            self.config.ir_dim as u32,
+            self.config.hidden_dim as u32,
+            self.config.latent_dim as u32,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&self.store.to_bytes());
+        out
+    }
+
+    /// Deserialises a model produced by [`ReprModel::to_bytes`].
+    ///
+    /// # Errors
+    /// [`CoreError::Model`] on malformed bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        if bytes.len() < 20 || &bytes[..8] != b"VAERREPR" {
+            return Err(CoreError::Model(vaer_nn::NnError::BadFormat(
+                "missing VAERREPR magic".into(),
+            )));
+        }
+        let dim = |i: usize| {
+            u32::from_le_bytes(bytes[8 + 4 * i..12 + 4 * i].try_into().unwrap()) as usize
+        };
+        let store = ParamStore::from_bytes(&bytes[20..])?;
+        let config = ReprConfig {
+            ir_dim: dim(0),
+            hidden_dim: dim(1),
+            latent_dim: dim(2),
+            ..ReprConfig::default()
+        };
+        Ok(Self { store, config })
+    }
+}
+
+fn gaussian_matrix(rows: usize, cols: usize, rng: &mut NnRng) -> Matrix {
+    let data =
+        (0..rows * cols).map(|_| vaer_stats::gaussian::standard_normal(rng)).collect();
+    Matrix::from_vec(rows, cols, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_linalg::XorShiftRng;
+
+    /// IRs drawn from two well-separated clusters.
+    fn clustered_irs(n_per: usize, dim: usize, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = XorShiftRng::new(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                let center = if c == 0 { 1.0 } else { -1.0 };
+                let row: Vec<f32> =
+                    (0..dim).map(|_| center + 0.1 * rng.gaussian()).collect();
+                rows.push(row);
+                labels.push(c);
+            }
+        }
+        let flat: Vec<f32> = rows.iter().flatten().copied().collect();
+        (Matrix::from_vec(2 * n_per, dim, flat), labels)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (irs, _) = clustered_irs(40, 8, 1);
+        let config = ReprConfig { epochs: 10, ..ReprConfig::fast(8) };
+        let (_, stats) = ReprModel::train(&irs, &config).unwrap();
+        let first = stats.epoch_losses[0];
+        let last = *stats.epoch_losses.last().unwrap();
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+    }
+
+    #[test]
+    fn latent_space_preserves_cluster_structure() {
+        let (irs, labels) = clustered_irs(40, 8, 2);
+        let (model, _) = ReprModel::train(&irs, &ReprConfig::fast(8)).unwrap();
+        let reprs = model.encode(&irs);
+        // Mean within-cluster μ distance should be far below between-cluster.
+        let mut within = 0.0f32;
+        let mut between = 0.0f32;
+        let mut n_within = 0;
+        let mut n_between = 0;
+        for i in (0..reprs.len()).step_by(7) {
+            for j in (i + 1..reprs.len()).step_by(5) {
+                let d = vaer_linalg::vector::euclidean(&reprs[i].mu, &reprs[j].mu);
+                if labels[i] == labels[j] {
+                    within += d;
+                    n_within += 1;
+                } else {
+                    between += d;
+                    n_between += 1;
+                }
+            }
+        }
+        let within = within / n_within.max(1) as f32;
+        let between = between / n_between.max(1) as f32;
+        assert!(between > 1.5 * within, "within {within} vs between {between}");
+    }
+
+    #[test]
+    fn encode_shapes_and_sigma_positive() {
+        let (irs, _) = clustered_irs(10, 8, 3);
+        let (model, _) = ReprModel::train(&irs, &ReprConfig::fast(8)).unwrap();
+        let reprs = model.encode(&irs);
+        assert_eq!(reprs.len(), 20);
+        for r in &reprs {
+            assert_eq!(r.dims(), model.config().latent_dim);
+            assert!(r.sigma.iter().all(|&s| s > 0.0), "sigma must be positive");
+        }
+        assert!(model.encode(&Matrix::zeros(0, 8)).is_empty());
+    }
+
+    #[test]
+    fn decode_round_trip_is_reasonable() {
+        let (irs, _) = clustered_irs(50, 8, 4);
+        let config = ReprConfig { epochs: 30, kl_weight: 0.1, ..ReprConfig::fast(8) };
+        let (model, _) = ReprModel::train(&irs, &config).unwrap();
+        let reprs = model.encode(&irs);
+        let mu_mat = Matrix::from_vec(
+            reprs.len(),
+            model.config().latent_dim,
+            reprs.iter().flat_map(|r| r.mu.iter().copied()).collect(),
+        );
+        let recon = model.decode(&mu_mat);
+        // Reconstruction should at least recover the cluster sign pattern.
+        let mut sign_match = 0;
+        let mut total = 0;
+        for i in 0..irs.rows() {
+            for j in 0..irs.cols() {
+                total += 1;
+                if (recon.get(i, j) > 0.0) == (irs.get(i, j) > 0.0) {
+                    sign_match += 1;
+                }
+            }
+        }
+        let frac = sign_match as f32 / total as f32;
+        assert!(frac > 0.8, "sign agreement {frac}");
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let (irs, _) = clustered_irs(10, 8, 5);
+        let (model, _) = ReprModel::train(&irs, &ReprConfig::fast(8)).unwrap();
+        let bytes = model.to_bytes();
+        let back = ReprModel::from_bytes(&bytes).unwrap();
+        assert_eq!(back.config().latent_dim, model.config().latent_dim);
+        let a = model.encode(&irs);
+        let b = back.encode(&irs);
+        assert_eq!(a[3].mu, b[3].mu);
+        assert!(ReprModel::from_bytes(b"garbage").is_err());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(ReprModel::train(&Matrix::zeros(0, 8), &ReprConfig::fast(8)).is_err());
+        assert!(ReprModel::train(&Matrix::zeros(4, 5), &ReprConfig::fast(8)).is_err());
+    }
+}

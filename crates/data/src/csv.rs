@@ -1,0 +1,161 @@
+//! Minimal RFC-4180-style CSV reading and writing (quoted fields,
+//! embedded commas/quotes/newlines) — enough to round-trip benchmark
+//! tables to disk without external dependencies.
+
+use crate::table::{Schema, Table};
+use crate::DataError;
+
+/// Serialises a table to CSV with a header row.
+pub fn to_csv(table: &Table) -> String {
+    let mut out = String::new();
+    write_row(&mut out, table.schema.attributes.iter().map(String::as_str));
+    for row in table.rows() {
+        write_row(&mut out, row.iter().map(String::as_str));
+    }
+    out
+}
+
+fn write_row<'a>(out: &mut String, fields: impl Iterator<Item = &'a str>) {
+    let mut first = true;
+    for f in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if f.contains(',') || f.contains('"') || f.contains('\n') {
+            out.push('"');
+            for c in f.chars() {
+                if c == '"' {
+                    out.push('"');
+                }
+                out.push(c);
+            }
+            out.push('"');
+        } else {
+            out.push_str(f);
+        }
+    }
+    out.push('\n');
+}
+
+/// Parses CSV text (first row is the header) into a [`Table`].
+///
+/// # Errors
+/// [`DataError::MissingHeader`] on empty input,
+/// [`DataError::RaggedRow`] when a row's width differs from the header.
+pub fn from_csv(name: &str, text: &str) -> Result<Table, DataError> {
+    let mut rows = parse_rows(text);
+    if rows.is_empty() {
+        return Err(DataError::MissingHeader);
+    }
+    let header = rows.remove(0);
+    let arity = header.len();
+    let schema = Schema {
+        name: name.to_string(),
+        attributes: header,
+    };
+    let mut table = Table::new(schema);
+    for (i, row) in rows.into_iter().enumerate() {
+        if row.len() != arity {
+            return Err(DataError::RaggedRow { line: i + 2, found: row.len(), expected: arity });
+        }
+        table.push(row);
+    }
+    Ok(table)
+}
+
+/// Low-level CSV row parser handling quotes and escaped quotes.
+fn parse_rows(text: &str) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut in_quotes = false;
+    let mut chars = text.chars().peekable();
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => field.push(c),
+            }
+        } else {
+            match c {
+                '"' => in_quotes = true,
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
+                '\n' => {
+                    row.push(std::mem::take(&mut field));
+                    rows.push(std::mem::take(&mut row));
+                }
+                _ => field.push(c),
+            }
+        }
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        let mut t = Table::new(Schema::new("demo", &["name", "notes"]));
+        t.push(vec!["plain".into(), "simple".into()]);
+        t.push(vec!["has,comma".into(), "has \"quotes\"".into()]);
+        t.push(vec!["multi\nline".into(), String::new()]);
+        t
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = demo();
+        let csv = to_csv(&t);
+        let back = from_csv("demo", &csv).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert_eq!(from_csv("x", ""), Err(DataError::MissingHeader));
+    }
+
+    #[test]
+    fn ragged_row_errors() {
+        let err = from_csv("x", "a,b\n1,2\n3\n").unwrap_err();
+        assert!(matches!(err, DataError::RaggedRow { line: 3, found: 1, expected: 2 }));
+    }
+
+    #[test]
+    fn header_only_is_empty_table() {
+        let t = from_csv("x", "a,b\n").unwrap();
+        assert_eq!(t.len(), 0);
+        assert_eq!(t.schema.arity(), 2);
+    }
+
+    #[test]
+    fn missing_trailing_newline_ok() {
+        let t = from_csv("x", "a,b\n1,2").unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row(0), &["1".to_string(), "2".to_string()]);
+    }
+
+    #[test]
+    fn quoted_empty_fields() {
+        let t = from_csv("x", "a,b\n\"\",\"y\"\n").unwrap();
+        assert_eq!(t.row(0), &[String::new(), "y".to_string()]);
+    }
+}

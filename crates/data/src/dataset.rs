@@ -1,0 +1,104 @@
+//! The bundled experiment input: two tables, ground truth, and splits.
+
+use crate::domains::Domain;
+use crate::oracle::Oracle;
+use crate::pairs::PairSet;
+use crate::table::Table;
+
+/// Everything one ER experiment consumes.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Display name (matches the paper's Table II rows).
+    pub name: String,
+    /// The domain this dataset was generated from.
+    pub domain: Domain,
+    /// Left table.
+    pub table_a: Table,
+    /// Right table.
+    pub table_b: Table,
+    /// Complete ground truth: every duplicate `(a_row, b_row)`.
+    pub duplicates: Vec<(usize, usize)>,
+    /// Labelled training pairs.
+    pub train_pairs: PairSet,
+    /// Labelled test pairs.
+    pub test_pairs: PairSet,
+}
+
+impl Dataset {
+    /// A ground-truth labelling oracle over this dataset.
+    pub fn oracle(&self) -> Oracle {
+        Oracle::new(self.duplicates.iter().copied())
+    }
+
+    /// Every attribute value of both tables as a sentence corpus
+    /// (paper §III-B), table A first.
+    pub fn all_sentences(&self) -> Vec<String> {
+        self.table_a
+            .sentences()
+            .chain(self.table_b.sentences())
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// Raw rows of both tables — the relational input EmbDI requires.
+    pub fn tables_raw(&self) -> Vec<Vec<Vec<String>>> {
+        vec![self.table_a.rows().to_vec(), self.table_b.rows().to_vec()]
+    }
+
+    /// A one-line summary (cardinalities, arity, split sizes).
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {}/{} rows, arity {}, {} duplicates, {} train / {} test pairs",
+            self.name,
+            self.table_a.len(),
+            self.table_b.len(),
+            self.table_a.schema.arity(),
+            self.duplicates.len(),
+            self.train_pairs.len(),
+            self.test_pairs.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::domains::{DomainSpec, Scale};
+
+    fn demo() -> Dataset {
+        DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(1)
+    }
+
+    #[test]
+    fn oracle_agrees_with_ground_truth() {
+        let ds = demo();
+        let oracle = ds.oracle();
+        assert_eq!(oracle.num_duplicates(), ds.duplicates.len());
+        let &(a, b) = ds.duplicates.first().unwrap();
+        assert!(oracle.peek(a, b));
+    }
+
+    #[test]
+    fn sentence_corpus_covers_both_tables() {
+        let ds = demo();
+        let sentences = ds.all_sentences();
+        let expected =
+            ds.table_a.len() * ds.table_a.schema.arity() + ds.table_b.len() * ds.table_b.schema.arity();
+        assert_eq!(sentences.len(), expected);
+    }
+
+    #[test]
+    fn raw_tables_shape() {
+        let ds = demo();
+        let raw = ds.tables_raw();
+        assert_eq!(raw.len(), 2);
+        assert_eq!(raw[0].len(), ds.table_a.len());
+        assert_eq!(raw[1][0].len(), ds.table_b.schema.arity());
+    }
+
+    #[test]
+    fn summary_mentions_name() {
+        let ds = demo();
+        assert!(ds.summary().contains("Rest."));
+    }
+}

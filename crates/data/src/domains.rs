@@ -1,0 +1,635 @@
+//! The nine benchmark domains of the paper's Table II, as synthetic
+//! generators with matching shape (arity, clean/noisy class, scaled
+//! cardinalities and train/test sizes).
+
+use crate::dataset::Dataset;
+use crate::pairs::{LabeledPair, PairSet};
+use crate::perturb::{NoiseProfile, Perturber};
+use crate::pools;
+use crate::table::{Schema, Table};
+use rand::{Rng, RngExt, SeedableRng};
+use std::collections::HashMap;
+
+/// One of the paper's nine evaluation domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Domain {
+    /// Fodors–Zagat-style restaurant listings (clean, arity 6).
+    Restaurants,
+    /// DBLP–ACM-style citations (clean, arity 4).
+    Citations1,
+    /// DBLP–Scholar-style citations, much larger right table (clean, arity 4).
+    Citations2,
+    /// Cosmetics products with near-identical colour variants (noisy, arity 3).
+    Cosmetics,
+    /// Software products: name, numeric price, free-text description (noisy, arity 3).
+    Software,
+    /// iTunes–Amazon-style songs (noisy, arity 8).
+    Music,
+    /// BeerAdvocate–RateBeer-style beers (noisy, arity 4).
+    Beer,
+    /// Company/stock listings (noisy, arity 8).
+    Stocks,
+    /// Person-contact CRM records (clean, arity 12; stands in for the
+    /// private Peak AI dataset).
+    Crm,
+}
+
+/// Static shape of one domain, mirroring a Table II row.
+#[derive(Debug, Clone)]
+pub struct DomainMeta {
+    /// Display name matching the paper's table rows.
+    pub name: &'static str,
+    /// Attribute count.
+    pub arity: usize,
+    /// Paper's left-table cardinality.
+    pub card_a: usize,
+    /// Paper's right-table cardinality.
+    pub card_b: usize,
+    /// Paper's training-pair count.
+    pub train: usize,
+    /// Paper's test-pair count.
+    pub test: usize,
+    /// `true` for † (clean) domains.
+    pub clean: bool,
+    /// Attribute names.
+    pub attributes: &'static [&'static str],
+}
+
+impl Domain {
+    /// All nine domains in Table II order.
+    pub const ALL: [Domain; 9] = [
+        Domain::Restaurants,
+        Domain::Citations1,
+        Domain::Citations2,
+        Domain::Cosmetics,
+        Domain::Software,
+        Domain::Music,
+        Domain::Beer,
+        Domain::Stocks,
+        Domain::Crm,
+    ];
+
+    /// The Table II row for this domain.
+    pub fn meta(self) -> DomainMeta {
+        match self {
+            Domain::Restaurants => DomainMeta {
+                name: "Rest.",
+                arity: 6,
+                card_a: 533,
+                card_b: 331,
+                train: 567,
+                test: 189,
+                clean: true,
+                attributes: &["name", "address", "city", "phone", "cuisine", "price"],
+            },
+            Domain::Citations1 => DomainMeta {
+                name: "Cit. 1",
+                arity: 4,
+                card_a: 2616,
+                card_b: 2294,
+                train: 7417,
+                test: 2473,
+                clean: true,
+                attributes: &["title", "authors", "venue", "year"],
+            },
+            Domain::Citations2 => DomainMeta {
+                name: "Cit. 2",
+                arity: 4,
+                card_a: 2612,
+                card_b: 64263,
+                train: 17223,
+                test: 5742,
+                clean: true,
+                attributes: &["title", "authors", "venue", "year"],
+            },
+            Domain::Cosmetics => DomainMeta {
+                name: "Cosm.",
+                arity: 3,
+                card_a: 11026,
+                card_b: 6443,
+                train: 327,
+                test: 81,
+                clean: false,
+                attributes: &["name", "brand", "description"],
+            },
+            Domain::Software => DomainMeta {
+                name: "Soft.",
+                arity: 3,
+                card_a: 1363,
+                card_b: 3226,
+                train: 6874,
+                test: 2293,
+                clean: false,
+                attributes: &["name", "price", "description"],
+            },
+            Domain::Music => DomainMeta {
+                name: "Music",
+                arity: 8,
+                card_a: 6907,
+                card_b: 55923,
+                train: 321,
+                test: 109,
+                clean: false,
+                attributes: &[
+                    "song", "artist", "album", "year", "genre", "duration", "label", "track",
+                ],
+            },
+            Domain::Beer => DomainMeta {
+                name: "Beer",
+                arity: 4,
+                card_a: 4345,
+                card_b: 3000,
+                train: 268,
+                test: 91,
+                clean: false,
+                attributes: &["name", "brewery", "style", "abv"],
+            },
+            Domain::Stocks => DomainMeta {
+                name: "Stocks",
+                arity: 8,
+                card_a: 2768,
+                card_b: 21863,
+                train: 4472,
+                test: 1117,
+                clean: false,
+                attributes: &[
+                    "symbol", "company", "sector", "exchange", "price", "market_cap", "pe",
+                    "dividend",
+                ],
+            },
+            Domain::Crm => DomainMeta {
+                name: "CRM",
+                arity: 12,
+                card_a: 5742,
+                card_b: 9683,
+                train: 440,
+                test: 220,
+                clean: true,
+                attributes: &[
+                    "first_name", "last_name", "email", "phone", "company", "street", "city",
+                    "state", "zip", "country", "title", "department",
+                ],
+            },
+        }
+    }
+
+    /// Generates one canonical entity row for this domain.
+    fn entity<R: Rng>(self, rng: &mut R) -> Vec<String> {
+        use pools::*;
+        match self {
+            Domain::Restaurants => {
+                let name = format!(
+                    "{} {} {}",
+                    proper_noun(rng),
+                    pick(CUISINES, rng),
+                    pick(RESTAURANT_WORDS, rng)
+                );
+                vec![
+                    name,
+                    address(rng),
+                    pick(CITIES, rng).to_string(),
+                    phone(rng),
+                    pick(CUISINES, rng).to_string(),
+                    pick(PRICE_BANDS, rng).to_string(),
+                ]
+            }
+            Domain::Citations1 | Domain::Citations2 => {
+                let title_len = rng.random_range(4..8usize);
+                let mut title: Vec<&str> =
+                    (0..title_len).map(|_| pick(RESEARCH_WORDS, rng)).collect();
+                title.push(pick(RESEARCH_NOUNS, rng));
+                let n_authors = rng.random_range(1..4usize);
+                let authors = (0..n_authors)
+                    .map(|_| format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng)))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                vec![
+                    title.join(" "),
+                    authors,
+                    pick(VENUES, rng).to_string(),
+                    rng.random_range(1990..2021u32).to_string(),
+                ]
+            }
+            Domain::Cosmetics => {
+                let brand = pick(COSMETIC_BRANDS, rng);
+                let product = pick(COSMETIC_PRODUCTS, rng);
+                let color = pick(COLORS, rng);
+                // A shade number keeps colour variants of the same product
+                // distinct entities (the paper's "only diverge in one
+                // attribute, e.g., color" hard case) without making
+                // unrelated products collide outright.
+                let shade = rng.random_range(1..90u32);
+                let filler = (0..rng.random_range(4..9usize))
+                    .map(|_| pick(DESCRIPTION_FILLER, rng))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                vec![
+                    format!("{brand} {product} {color} {shade:02}"),
+                    brand.to_string(),
+                    format!("{product} shade {shade:02} in {color} {filler}"),
+                ]
+            }
+            Domain::Software => {
+                let name = format!(
+                    "{} {} {} {}",
+                    pick(SOFTWARE_BRANDS, rng),
+                    pick(SOFTWARE_WORDS, rng),
+                    pick(SOFTWARE_WORDS, rng),
+                    rng.random_range(1..13u32)
+                );
+                let desc = (0..rng.random_range(8..18usize))
+                    .map(|_| pick(DESCRIPTION_FILLER, rng))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                vec![name, format!("{:.2}", rng.random_range(5.0..500.0f64)), desc]
+            }
+            Domain::Music => {
+                let song = (0..rng.random_range(2..4usize))
+                    .map(|_| pick(MUSIC_WORDS, rng))
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                let artist = if rng.random_range(0.0f32..1.0) < 0.5 {
+                    format!("the {}s", proper_noun(rng))
+                } else {
+                    format!("{} {}", pick(FIRST_NAMES, rng), pick(LAST_NAMES, rng))
+                };
+                let album = format!("{} {}", pick(MUSIC_WORDS, rng), pick(MUSIC_WORDS, rng));
+                vec![
+                    song,
+                    artist,
+                    album,
+                    rng.random_range(1960..2021u32).to_string(),
+                    pick(GENRES, rng).to_string(),
+                    format!("{}:{:02}", rng.random_range(2..6u32), rng.random_range(0..60u32)),
+                    pick(RECORD_LABELS, rng).to_string(),
+                    rng.random_range(1..16u32).to_string(),
+                ]
+            }
+            Domain::Beer => {
+                let brewery_word = proper_noun(rng);
+                // Beers are usually named after their brewery, which keeps
+                // distinct beers from colliding on the small style pools.
+                let name = format!(
+                    "{} {} {}",
+                    brewery_word,
+                    pick(MUSIC_WORDS, rng),
+                    pick(BEER_STYLES, rng)
+                );
+                let brewery = format!("{} {}", brewery_word, pick(BREWERY_WORDS, rng));
+                vec![
+                    name,
+                    brewery,
+                    pick(BEER_STYLES, rng).to_string(),
+                    format!("{:.1}%", rng.random_range(3.5..12.0f64)),
+                ]
+            }
+            Domain::Stocks => {
+                let word = proper_noun(rng);
+                let symbol: String =
+                    word.chars().take(rng.random_range(3..5usize)).collect::<String>().to_uppercase();
+                let company = format!("{} {}", word, pick(COMPANY_SUFFIXES, rng));
+                vec![
+                    symbol,
+                    company,
+                    pick(SECTORS, rng).to_string(),
+                    pick(EXCHANGES, rng).to_string(),
+                    format!("{:.2}", rng.random_range(1.0..900.0f64)),
+                    format!("{}m", rng.random_range(10..900_000u64)),
+                    format!("{:.1}", rng.random_range(2.0..80.0f64)),
+                    format!("{:.2}%", rng.random_range(0.0..8.0f64)),
+                ]
+            }
+            Domain::Crm => {
+                let first = pick(FIRST_NAMES, rng).to_string();
+                let last = pick(LAST_NAMES, rng).to_string();
+                let company = format!("{} {}", proper_noun(rng), pick(COMPANY_SUFFIXES, rng));
+                let email_domain = company.split(' ').next().unwrap_or("mail").to_string();
+                vec![
+                    first.clone(),
+                    last.clone(),
+                    format!("{first}.{last}@{email_domain}.com"),
+                    phone(rng),
+                    company,
+                    address(rng),
+                    pick(CITIES, rng).to_string(),
+                    pick(STATES, rng).to_string(),
+                    format!("{:05}", rng.random_range(10_000..99_999u32)),
+                    "usa".to_string(),
+                    pick(JOB_TITLES, rng).to_string(),
+                    pick(DEPARTMENTS, rng).to_string(),
+                ]
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Domain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.meta().name)
+    }
+}
+
+/// How far to shrink the paper's cardinalities, so experiments run on a
+/// laptop in seconds-to-minutes instead of a GPU backend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Unit-test scale: tables of ≤ 120 rows.
+    Tiny,
+    /// Quick-experiment scale: tables of ≤ 400 rows.
+    Small,
+    /// Benchmark scale used by the reported experiments: ≤ 1500 rows.
+    Paper,
+}
+
+impl Scale {
+    /// Shrinks a paper-scale count.
+    pub fn shrink(self, n: usize) -> usize {
+        let (divisor, lo, hi) = match self {
+            Scale::Tiny => (30, 40, 120),
+            Scale::Small => (12, 80, 400),
+            Scale::Paper => (6, 120, 1500),
+        };
+        (n / divisor).clamp(lo, hi.min(n.max(lo)))
+    }
+}
+
+/// A fully specified benchmark generation request.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainSpec {
+    /// The domain to generate.
+    pub domain: Domain,
+    /// The size band.
+    pub scale: Scale,
+}
+
+impl DomainSpec {
+    /// New spec.
+    pub fn new(domain: Domain, scale: Scale) -> Self {
+        Self { domain, scale }
+    }
+
+    /// Generates the two tables, ground truth, and labelled splits.
+    ///
+    /// Construction: canonical entities are rendered once into table A
+    /// (verbatim) and — for roughly half of B's rows — re-rendered through
+    /// the domain's [`NoiseProfile`] into table B (these are the
+    /// duplicates). The rest of B holds fresh entities. Labelled pairs mix
+    /// all duplicates with 3× as many negatives, half of them *hard*
+    /// (sharing a first-attribute token with the positive's left tuple).
+    pub fn generate(&self, seed: u64) -> Dataset {
+        let meta = self.domain.meta();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDA7A_5E0D);
+        let card_a = self.scale.shrink(meta.card_a);
+        let card_b = self.scale.shrink(meta.card_b);
+        let noise =
+            if meta.clean { NoiseProfile::clean() } else { NoiseProfile::noisy() };
+        let perturber = Perturber::new(noise);
+
+        // Canonical entities: enough for A plus B's non-duplicates.
+        let dup_count = (card_a.min(card_b) as f32 * 0.45) as usize;
+        let n_entities = card_a + (card_b - dup_count);
+        let entities: Vec<Vec<String>> =
+            (0..n_entities).map(|_| self.domain.entity(&mut rng)).collect();
+
+        let schema_a = Schema {
+            name: format!("{}_a", meta.name),
+            attributes: meta.attributes.iter().map(|&s| s.to_string()).collect(),
+        };
+        let schema_b = Schema { name: format!("{}_b", meta.name), ..schema_a.clone() };
+
+        let mut table_a = Table::new(schema_a);
+        for e in entities.iter().take(card_a) {
+            table_a.push(e.clone());
+        }
+
+        // Table B: duplicates of a spread of A's entities + fresh entities.
+        let mut b_rows: Vec<(Vec<String>, Option<usize>)> = Vec::with_capacity(card_b);
+        let stride = (card_a / dup_count.max(1)).max(1);
+        let mut source = 0usize;
+        for _ in 0..dup_count {
+            // Heterogeneous duplicate difficulty: a third of duplicates are
+            // near-exact copies, a third typical, a third heavily mangled.
+            // This heterogeneity is what makes label *diversity* matter
+            // (paper §V-B3) and keeps bootstrap seeds from covering the
+            // whole positive distribution.
+            let factor = match rng.random_range(0..3u8) {
+                0 => 0.3,
+                1 => 1.0,
+                _ => 2.2,
+            };
+            let scaled = Perturber::new(perturber.profile().scaled(factor));
+            let row = scaled.row(&entities[source], &mut rng);
+            b_rows.push((row, Some(source)));
+            source = (source + stride) % card_a;
+        }
+        for e in entities.iter().skip(card_a).take(card_b - dup_count) {
+            b_rows.push((perturber.row(e, &mut rng), None));
+        }
+        // Shuffle B so duplicates are not clustered at the top.
+        for i in (1..b_rows.len()).rev() {
+            let j = rng.random_range(0..=i);
+            b_rows.swap(i, j);
+        }
+        let mut table_b = Table::new(schema_b);
+        let mut duplicates: Vec<(usize, usize)> = Vec::new();
+        for (b_idx, (row, src)) in b_rows.into_iter().enumerate() {
+            table_b.push(row);
+            if let Some(a_idx) = src {
+                duplicates.push((a_idx, b_idx));
+            }
+        }
+        duplicates.sort_unstable();
+
+        let (train_pairs, test_pairs) =
+            build_pair_splits(&table_a, &table_b, &duplicates, &meta, self.scale, &mut rng);
+
+        Dataset {
+            name: meta.name.to_string(),
+            domain: self.domain,
+            table_a,
+            table_b,
+            duplicates,
+            train_pairs,
+            test_pairs,
+        }
+    }
+}
+
+/// Builds train/test [`PairSet`]s: all (sampled) positives + 3× negatives
+/// (half hard, half random), split according to the paper's train:test
+/// ratio for the domain.
+fn build_pair_splits<R: Rng>(
+    table_a: &Table,
+    table_b: &Table,
+    duplicates: &[(usize, usize)],
+    meta: &DomainMeta,
+    scale: Scale,
+    rng: &mut R,
+) -> (PairSet, PairSet) {
+    let total_budget = scale.shrink(meta.train + meta.test);
+    let pos: Vec<(usize, usize)> = duplicates.to_vec();
+    let n_pos = pos.len().min((total_budget / 4).max(8));
+    // Subsample positives when the budget is tighter than the truth set.
+    let mut pos_sample = pos;
+    while pos_sample.len() > n_pos {
+        let i = rng.random_range(0..pos_sample.len());
+        pos_sample.swap_remove(i);
+    }
+    let n_neg = n_pos * 3;
+
+    // Inverted index over table B's first attribute for hard negatives.
+    let mut token_index: HashMap<String, Vec<usize>> = HashMap::new();
+    for (i, row) in table_b.rows().iter().enumerate() {
+        for tok in row[0].split_whitespace() {
+            token_index.entry(tok.to_string()).or_default().push(i);
+        }
+    }
+    let dup_set: std::collections::HashSet<(usize, usize)> =
+        duplicates.iter().copied().collect();
+    let mut negatives: Vec<(usize, usize)> = Vec::with_capacity(n_neg);
+    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut attempts = 0;
+    while negatives.len() < n_neg && attempts < n_neg * 50 {
+        attempts += 1;
+        let a_idx = rng.random_range(0..table_a.len());
+        let hard = rng.random_range(0.0f32..1.0) < 0.5;
+        let b_idx = if hard {
+            // Pick a B row sharing a token with A's first attribute.
+            let tokens: Vec<&str> = table_a.row(a_idx)[0].split_whitespace().collect();
+            if tokens.is_empty() {
+                rng.random_range(0..table_b.len())
+            } else {
+                let tok = tokens[rng.random_range(0..tokens.len())];
+                match token_index.get(tok) {
+                    Some(rows) if !rows.is_empty() => rows[rng.random_range(0..rows.len())],
+                    _ => rng.random_range(0..table_b.len()),
+                }
+            }
+        } else {
+            rng.random_range(0..table_b.len())
+        };
+        let pair = (a_idx, b_idx);
+        if dup_set.contains(&pair) || !seen.insert(pair) {
+            continue;
+        }
+        negatives.push(pair);
+    }
+
+    // Interleave and split by the domain's train:test proportion.
+    let mut labelled: Vec<LabeledPair> = pos_sample
+        .iter()
+        .map(|&(l, r)| LabeledPair { left: l, right: r, is_match: true })
+        .chain(negatives.iter().map(|&(l, r)| LabeledPair { left: l, right: r, is_match: false }))
+        .collect();
+    for i in (1..labelled.len()).rev() {
+        let j = rng.random_range(0..=i);
+        labelled.swap(i, j);
+    }
+    let train_frac = meta.train as f32 / (meta.train + meta.test) as f32;
+    let n_train = ((labelled.len() as f32) * train_frac).round() as usize;
+    let test = labelled.split_off(n_train.min(labelled.len()));
+    (PairSet { pairs: labelled }, PairSet { pairs: test })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_matches_table_ii() {
+        assert_eq!(Domain::ALL.len(), 9);
+        let m = Domain::Restaurants.meta();
+        assert_eq!((m.card_a, m.card_b, m.arity), (533, 331, 6));
+        assert!(m.clean);
+        let s = Domain::Software.meta();
+        assert!(!s.clean);
+        assert_eq!(s.arity, 3);
+        for d in Domain::ALL {
+            let m = d.meta();
+            assert_eq!(m.attributes.len(), m.arity, "{}", m.name);
+        }
+    }
+
+    #[test]
+    fn generate_respects_shapes() {
+        for d in [Domain::Restaurants, Domain::Software, Domain::Crm] {
+            let ds = DomainSpec::new(d, Scale::Tiny).generate(7);
+            let meta = d.meta();
+            assert_eq!(ds.table_a.schema.arity(), meta.arity);
+            assert_eq!(ds.table_b.schema.arity(), meta.arity);
+            assert!(ds.table_a.len() >= 40);
+            assert!(!ds.duplicates.is_empty());
+            ds.train_pairs.validate(&ds.table_a, &ds.table_b).unwrap();
+            ds.test_pairs.validate(&ds.table_a, &ds.table_b).unwrap();
+        }
+    }
+
+    #[test]
+    fn duplicates_reference_valid_rows_and_are_unique() {
+        let ds = DomainSpec::new(Domain::Music, Scale::Tiny).generate(3);
+        let mut seen = std::collections::HashSet::new();
+        for &(a, b) in &ds.duplicates {
+            assert!(a < ds.table_a.len());
+            assert!(b < ds.table_b.len());
+            assert!(seen.insert((a, b)), "duplicate ground-truth pair");
+        }
+    }
+
+    #[test]
+    fn splits_have_both_classes() {
+        let ds = DomainSpec::new(Domain::Citations1, Scale::Tiny).generate(11);
+        assert!(ds.train_pairs.num_positive() > 0);
+        assert!(ds.train_pairs.num_negative() > 0);
+        assert!(ds.test_pairs.num_positive() > 0);
+        assert!(ds.test_pairs.num_negative() > 0);
+        // Negatives dominate ~3:1.
+        let ratio = ds.train_pairs.num_negative() as f32 / ds.train_pairs.num_positive() as f32;
+        assert!((1.5..6.0).contains(&ratio), "neg:pos ratio {ratio}");
+    }
+
+    #[test]
+    fn noisy_domains_have_more_missing_values() {
+        let clean = DomainSpec::new(Domain::Citations1, Scale::Tiny).generate(5);
+        let noisy = DomainSpec::new(Domain::Cosmetics, Scale::Tiny).generate(5);
+        assert!(noisy.table_b.missing_rate() > clean.table_b.missing_rate());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(9);
+        let b = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(9);
+        assert_eq!(a.table_a, b.table_a);
+        assert_eq!(a.table_b, b.table_b);
+        assert_eq!(a.duplicates, b.duplicates);
+        assert_eq!(a.train_pairs, b.train_pairs);
+        let c = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(10);
+        assert_ne!(a.table_a, c.table_a);
+    }
+
+    #[test]
+    fn scale_shrink_monotone() {
+        for d in Domain::ALL {
+            let m = d.meta();
+            assert!(Scale::Tiny.shrink(m.card_a) <= Scale::Small.shrink(m.card_a));
+            assert!(Scale::Small.shrink(m.card_a) <= Scale::Paper.shrink(m.card_a));
+        }
+    }
+
+    #[test]
+    fn duplicates_share_surface_tokens_mostly() {
+        let ds = DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(21);
+        let mut overlapping = 0;
+        for &(a, b) in &ds.duplicates {
+            let name_a = &ds.table_a.row(a)[0];
+            let name_b = &ds.table_b.row(b)[0];
+            if name_a
+                .split_whitespace()
+                .any(|t| name_b.split_whitespace().any(|u| u == t))
+            {
+                overlapping += 1;
+            }
+        }
+        let frac = overlapping as f32 / ds.duplicates.len() as f32;
+        assert!(frac > 0.7, "only {frac:.2} of duplicates share name tokens");
+    }
+}

@@ -1,0 +1,77 @@
+//! Data model and benchmark datasets for VAER.
+//!
+//! The paper evaluates on nine two-table ER domains (Table II): seven from
+//! the public DeepMatcher benchmark plus two private Peak AI datasets.
+//! None of those files are available offline, so this crate generates
+//! *synthetic equivalents with the same shape* — identical arity, the same
+//! clean (†) / noisy (‡) split, scaled cardinalities and train/test pair
+//! sizes, and a perturbation model (typos, abbreviations, token drops,
+//! missing values, numeric jitter, unstructured descriptions) that makes
+//! duplicates surface-variant renderings of the same underlying entity.
+//! See DESIGN.md ("Substitutions") for the full rationale.
+//!
+//! Key types:
+//! - [`Table`] / [`Schema`] — the relational model, with CSV round-trips,
+//! - [`LabeledPair`] / [`PairSet`] — duplicate/non-duplicate examples,
+//! - [`Oracle`] — ground-truth labeller with a query budget counter (for
+//!   measuring active-learning label cost),
+//! - [`domains::DomainSpec`] — the nine benchmark generators,
+//! - [`loader`] — DeepMatcher-layout CSV loading for real data,
+//! - [`Dataset`] — everything one experiment needs, bundled.
+
+pub mod csv;
+pub mod domains;
+pub mod loader;
+mod dataset;
+mod oracle;
+mod pairs;
+mod perturb;
+mod pools;
+mod table;
+
+pub use dataset::Dataset;
+pub use oracle::Oracle;
+pub use pairs::{LabeledPair, PairSet};
+pub use perturb::{NoiseProfile, Perturber};
+pub use table::{Schema, Table};
+
+/// Errors from data loading/parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// CSV row had a different number of fields than the header.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        found: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// Input was empty where a header was required.
+    MissingHeader,
+    /// A labelled pair referenced a row index outside its table.
+    PairOutOfBounds {
+        /// Which side of the pair.
+        side: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The table length.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::RaggedRow { line, found, expected } => {
+                write!(f, "CSV line {line}: {found} fields, expected {expected}")
+            }
+            DataError::MissingHeader => write!(f, "CSV input has no header row"),
+            DataError::PairOutOfBounds { side, index, len } => {
+                write!(f, "pair {side} index {index} out of bounds for table of {len} rows")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DataError {}

@@ -1,0 +1,207 @@
+//! Loading real benchmark datasets from CSV files.
+//!
+//! The DeepMatcher benchmark distributes each domain as `tableA.csv`,
+//! `tableB.csv`, and `train/valid/test.csv` pair files with
+//! `ltable_id,rtable_id,label` columns. This loader accepts that layout,
+//! so the synthetic generators can be swapped for the real data whenever
+//! it is available — every experiment harness operates on [`Dataset`]
+//! and does not care where it came from.
+
+use crate::csv::from_csv;
+use crate::dataset::Dataset;
+use crate::domains::Domain;
+use crate::pairs::{LabeledPair, PairSet};
+use crate::table::Table;
+use crate::DataError;
+
+/// Parses a DeepMatcher-style pair file: a header containing (at least)
+/// `ltable_id`, `rtable_id`, `label` columns, in any order.
+///
+/// # Errors
+/// [`DataError::MissingHeader`] when required columns are absent, or any
+/// CSV parse error.
+pub fn pairs_from_csv(text: &str) -> Result<PairSet, DataError> {
+    let table = from_csv("pairs", text)?;
+    let col = |name: &str| {
+        table
+            .schema
+            .attributes
+            .iter()
+            .position(|a| a.eq_ignore_ascii_case(name))
+            .ok_or(DataError::MissingHeader)
+    };
+    let l = col("ltable_id")?;
+    let r = col("rtable_id")?;
+    let y = col("label")?;
+    let mut pairs = PairSet::new();
+    for (i, row) in table.rows().iter().enumerate() {
+        let parse = |field: &str| -> Result<usize, DataError> {
+            field.trim().parse().map_err(|_| DataError::RaggedRow {
+                line: i + 2,
+                found: 0,
+                expected: 3,
+            })
+        };
+        pairs.pairs.push(LabeledPair {
+            left: parse(&row[l])?,
+            right: parse(&row[r])?,
+            is_match: row[y].trim() == "1",
+        });
+    }
+    Ok(pairs)
+}
+
+/// Assembles a [`Dataset`] from already-parsed pieces, validating indices
+/// and deriving the ground-truth duplicate list from the labelled splits.
+///
+/// The first column of each table is dropped if it is named `id`
+/// (DeepMatcher tables carry a surrogate-key column the pair files
+/// reference; VAER treats rows positionally).
+///
+/// # Errors
+/// Index-validation failures from the pair sets.
+pub fn assemble_dataset(
+    name: &str,
+    domain: Domain,
+    mut table_a: Table,
+    mut table_b: Table,
+    train: PairSet,
+    test: PairSet,
+) -> Result<Dataset, DataError> {
+    table_a = strip_id_column(table_a);
+    table_b = strip_id_column(table_b);
+    train.validate(&table_a, &table_b)?;
+    test.validate(&table_a, &table_b)?;
+    let mut duplicates: Vec<(usize, usize)> = train
+        .pairs
+        .iter()
+        .chain(test.pairs.iter())
+        .filter(|p| p.is_match)
+        .map(|p| (p.left, p.right))
+        .collect();
+    duplicates.sort_unstable();
+    duplicates.dedup();
+    Ok(Dataset {
+        name: name.to_string(),
+        domain,
+        table_a,
+        table_b,
+        duplicates,
+        train_pairs: train,
+        test_pairs: test,
+    })
+}
+
+fn strip_id_column(table: Table) -> Table {
+    if table
+        .schema
+        .attributes
+        .first()
+        .is_some_and(|a| a.eq_ignore_ascii_case("id"))
+    {
+        let mut schema = table.schema.clone();
+        schema.attributes.remove(0);
+        let mut out = Table::new(schema);
+        for row in table.rows() {
+            out.push(row[1..].to_vec());
+        }
+        out
+    } else {
+        table
+    }
+}
+
+/// Loads a complete dataset from CSV strings in the DeepMatcher layout.
+///
+/// # Errors
+/// Any parse or validation failure.
+pub fn dataset_from_csv_strings(
+    name: &str,
+    domain: Domain,
+    table_a_csv: &str,
+    table_b_csv: &str,
+    train_csv: &str,
+    test_csv: &str,
+) -> Result<Dataset, DataError> {
+    let table_a = from_csv(&format!("{name}_a"), table_a_csv)?;
+    let table_b = from_csv(&format!("{name}_b"), table_b_csv)?;
+    let train = pairs_from_csv(train_csv)?;
+    let test = pairs_from_csv(test_csv)?;
+    assemble_dataset(name, domain, table_a, table_b, train, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TABLE_A: &str = "id,name,city\n0,blue moon cafe,seattle\n1,red sun diner,portland\n";
+    const TABLE_B: &str = "id,name,city\n0,blue moon café,seattle\n1,green hill bar,austin\n";
+    const TRAIN: &str = "ltable_id,rtable_id,label\n0,0,1\n1,1,0\n";
+    const TEST: &str = "ltable_id,rtable_id,label\n1,0,0\n";
+
+    #[test]
+    fn loads_deepmatcher_layout() {
+        let ds = dataset_from_csv_strings(
+            "demo",
+            Domain::Restaurants,
+            TABLE_A,
+            TABLE_B,
+            TRAIN,
+            TEST,
+        )
+        .unwrap();
+        assert_eq!(ds.table_a.len(), 2);
+        // `id` column stripped.
+        assert_eq!(ds.table_a.schema.attributes, vec!["name", "city"]);
+        assert_eq!(ds.table_a.value(0, 0), "blue moon cafe");
+        assert_eq!(ds.train_pairs.len(), 2);
+        assert_eq!(ds.train_pairs.num_positive(), 1);
+        assert_eq!(ds.duplicates, vec![(0, 0)]);
+    }
+
+    #[test]
+    fn pair_columns_found_in_any_order() {
+        let pairs = pairs_from_csv("label,rtable_id,ltable_id\n1,3,2\n").unwrap();
+        assert_eq!(pairs.pairs[0], LabeledPair { left: 2, right: 3, is_match: true });
+    }
+
+    #[test]
+    fn missing_columns_error() {
+        assert!(pairs_from_csv("a,b\n1,2\n").is_err());
+    }
+
+    #[test]
+    fn non_numeric_ids_error() {
+        assert!(pairs_from_csv("ltable_id,rtable_id,label\nx,0,1\n").is_err());
+    }
+
+    #[test]
+    fn out_of_range_pairs_rejected() {
+        let bad_train = "ltable_id,rtable_id,label\n9,0,1\n";
+        assert!(dataset_from_csv_strings(
+            "demo",
+            Domain::Restaurants,
+            TABLE_A,
+            TABLE_B,
+            bad_train,
+            TEST
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn tables_without_id_column_kept_as_is() {
+        let a = from_csv("a", "name\nx\n").unwrap();
+        let b = from_csv("b", "name\ny\n").unwrap();
+        let ds = assemble_dataset(
+            "d",
+            Domain::Beer,
+            a,
+            b,
+            pairs_from_csv("ltable_id,rtable_id,label\n0,0,1\n").unwrap(),
+            PairSet::new(),
+        )
+        .unwrap();
+        assert_eq!(ds.table_a.schema.attributes, vec!["name"]);
+    }
+}

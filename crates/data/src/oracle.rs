@@ -1,0 +1,97 @@
+//! The labelling oracle: simulates the human in the active-learning loop.
+
+use std::cell::Cell;
+use std::collections::HashSet;
+
+/// Ground-truth labeller with a query counter.
+///
+/// Algorithm 2's `label(·)` calls are the paper's only point of user
+/// involvement; experiments measure labelling *cost* as the number of
+/// oracle queries, so the counter is part of the interface. Repeat queries
+/// for the same pair are answered from memory and not re-billed.
+#[derive(Debug)]
+pub struct Oracle {
+    truth: HashSet<(usize, usize)>,
+    asked: std::cell::RefCell<HashSet<(usize, usize)>>,
+    queries: Cell<usize>,
+}
+
+impl Oracle {
+    /// Builds an oracle from the complete set of duplicate `(left, right)`
+    /// row-index pairs.
+    pub fn new(duplicates: impl IntoIterator<Item = (usize, usize)>) -> Self {
+        Self {
+            truth: duplicates.into_iter().collect(),
+            asked: std::cell::RefCell::new(HashSet::new()),
+            queries: Cell::new(0),
+        }
+    }
+
+    /// Labels a pair, billing one query unless this exact pair was asked
+    /// before.
+    pub fn label(&self, left: usize, right: usize) -> bool {
+        if self.asked.borrow_mut().insert((left, right)) {
+            self.queries.set(self.queries.get() + 1);
+        }
+        self.truth.contains(&(left, right))
+    }
+
+    /// Checks ground truth *without* billing (for evaluation code only).
+    pub fn peek(&self, left: usize, right: usize) -> bool {
+        self.truth.contains(&(left, right))
+    }
+
+    /// Number of billed labelling queries so far.
+    pub fn queries_used(&self) -> usize {
+        self.queries.get()
+    }
+
+    /// Total number of duplicate pairs known to the oracle.
+    pub fn num_duplicates(&self) -> usize {
+        self.truth.len()
+    }
+
+    /// All duplicate pairs (for building evaluation sets).
+    pub fn duplicates(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.truth.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_bills() {
+        let o = Oracle::new([(0, 1), (2, 3)]);
+        assert!(o.label(0, 1));
+        assert!(!o.label(0, 2));
+        assert_eq!(o.queries_used(), 2);
+    }
+
+    #[test]
+    fn repeat_queries_not_rebilled() {
+        let o = Oracle::new([(0, 1)]);
+        o.label(0, 1);
+        o.label(0, 1);
+        o.label(0, 1);
+        assert_eq!(o.queries_used(), 1);
+    }
+
+    #[test]
+    fn peek_is_free() {
+        let o = Oracle::new([(5, 5)]);
+        assert!(o.peek(5, 5));
+        assert!(!o.peek(1, 1));
+        assert_eq!(o.queries_used(), 0);
+    }
+
+    #[test]
+    fn duplicate_census() {
+        let o = Oracle::new([(0, 0), (1, 1)]);
+        assert_eq!(o.num_duplicates(), 2);
+        let mut d: Vec<_> = o.duplicates().collect();
+        d.sort_unstable();
+        assert_eq!(d, vec![(0, 0), (1, 1)]);
+    }
+}

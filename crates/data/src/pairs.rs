@@ -1,0 +1,134 @@
+//! Labelled tuple pairs: the supervision format of the matching task.
+
+use crate::table::Table;
+use crate::DataError;
+
+/// One labelled example: a row of table A, a row of table B, and whether
+/// they refer to the same real-world entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LabeledPair {
+    /// Row index into table A.
+    pub left: usize,
+    /// Row index into table B.
+    pub right: usize,
+    /// `true` for duplicates.
+    pub is_match: bool,
+}
+
+/// A set of labelled pairs (a train or test split).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PairSet {
+    /// The pairs.
+    pub pairs: Vec<LabeledPair>,
+}
+
+impl PairSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether there are no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of positive (duplicate) pairs.
+    pub fn num_positive(&self) -> usize {
+        self.pairs.iter().filter(|p| p.is_match).count()
+    }
+
+    /// Number of negative pairs.
+    pub fn num_negative(&self) -> usize {
+        self.len() - self.num_positive()
+    }
+
+    /// Validates every index against the two tables.
+    ///
+    /// # Errors
+    /// [`DataError::PairOutOfBounds`] for the first offending pair.
+    pub fn validate(&self, a: &Table, b: &Table) -> Result<(), DataError> {
+        for p in &self.pairs {
+            if p.left >= a.len() {
+                return Err(DataError::PairOutOfBounds {
+                    side: "left",
+                    index: p.left,
+                    len: a.len(),
+                });
+            }
+            if p.right >= b.len() {
+                return Err(DataError::PairOutOfBounds {
+                    side: "right",
+                    index: p.right,
+                    len: b.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The actual labels as a boolean vector (for metric computation).
+    pub fn labels(&self) -> Vec<bool> {
+        self.pairs.iter().map(|p| p.is_match).collect()
+    }
+}
+
+impl FromIterator<LabeledPair> for PairSet {
+    fn from_iter<T: IntoIterator<Item = LabeledPair>>(iter: T) -> Self {
+        Self { pairs: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{Schema, Table};
+
+    fn tables() -> (Table, Table) {
+        let mut a = Table::new(Schema::new("a", &["x"]));
+        a.push(vec!["1".into()]);
+        a.push(vec!["2".into()]);
+        let mut b = Table::new(Schema::new("b", &["x"]));
+        b.push(vec!["1".into()]);
+        (a, b)
+    }
+
+    #[test]
+    fn counts() {
+        let set: PairSet = [
+            LabeledPair { left: 0, right: 0, is_match: true },
+            LabeledPair { left: 1, right: 0, is_match: false },
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.num_positive(), 1);
+        assert_eq!(set.num_negative(), 1);
+        assert_eq!(set.labels(), vec![true, false]);
+    }
+
+    #[test]
+    fn validate_catches_out_of_bounds() {
+        let (a, b) = tables();
+        let good: PairSet =
+            [LabeledPair { left: 1, right: 0, is_match: true }].into_iter().collect();
+        assert!(good.validate(&a, &b).is_ok());
+        let bad_left: PairSet =
+            [LabeledPair { left: 2, right: 0, is_match: true }].into_iter().collect();
+        assert!(matches!(
+            bad_left.validate(&a, &b),
+            Err(DataError::PairOutOfBounds { side: "left", .. })
+        ));
+        let bad_right: PairSet =
+            [LabeledPair { left: 0, right: 5, is_match: true }].into_iter().collect();
+        assert!(matches!(
+            bad_right.validate(&a, &b),
+            Err(DataError::PairOutOfBounds { side: "right", .. })
+        ));
+    }
+}

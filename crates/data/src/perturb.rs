@@ -1,0 +1,262 @@
+//! The perturbation model: how a duplicate differs from its source tuple.
+//!
+//! Clean (†) domains get light noise (occasional typo or case change);
+//! noisy (‡) domains add missing values, token drops, abbreviations and
+//! word-order shuffles — the failure modes the paper attributes to its
+//! hard datasets (Software's missing values, Cosmetics' near-identical
+//! variants, etc.).
+
+use rand::{Rng, RngExt};
+
+/// Per-attribute noise intensities, all probabilities in `[0, 1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseProfile {
+    /// Probability of one character-level typo per value.
+    pub typo: f32,
+    /// Probability the value is blanked entirely (missing).
+    pub missing: f32,
+    /// Probability one token is dropped.
+    pub token_drop: f32,
+    /// Probability the first token is abbreviated to its initial.
+    pub abbreviate: f32,
+    /// Probability two adjacent tokens swap places.
+    pub token_swap: f32,
+    /// Relative jitter applied to numeric values (e.g. `0.02` = ±2%).
+    pub numeric_jitter: f32,
+}
+
+impl NoiseProfile {
+    /// Light noise for the paper's clean (†) domains.
+    pub fn clean() -> Self {
+        Self {
+            typo: 0.06,
+            missing: 0.01,
+            token_drop: 0.03,
+            abbreviate: 0.03,
+            token_swap: 0.02,
+            numeric_jitter: 0.0,
+        }
+    }
+
+    /// Heavy noise for the paper's noisy (‡) domains.
+    pub fn noisy() -> Self {
+        Self {
+            typo: 0.2,
+            missing: 0.14,
+            token_drop: 0.18,
+            abbreviate: 0.1,
+            token_swap: 0.1,
+            numeric_jitter: 0.03,
+        }
+    }
+
+    /// Scales every probability by `factor` (capped to sane maxima), for
+    /// per-duplicate difficulty mixtures: some duplicates are near-exact
+    /// copies, others are heavily mangled — matching the heterogeneity of
+    /// real ER benchmarks that drives the value of *diverse* labels
+    /// (paper §V-B3).
+    pub fn scaled(&self, factor: f32) -> Self {
+        Self {
+            typo: (self.typo * factor).min(0.6),
+            missing: (self.missing * factor).min(0.45),
+            token_drop: (self.token_drop * factor).min(0.5),
+            abbreviate: (self.abbreviate * factor).min(0.5),
+            token_swap: (self.token_swap * factor).min(0.5),
+            numeric_jitter: (self.numeric_jitter * factor).min(0.2),
+        }
+    }
+
+    /// No noise at all (duplicates are exact copies).
+    pub fn none() -> Self {
+        Self {
+            typo: 0.0,
+            missing: 0.0,
+            token_drop: 0.0,
+            abbreviate: 0.0,
+            token_swap: 0.0,
+            numeric_jitter: 0.0,
+        }
+    }
+}
+
+/// Applies a [`NoiseProfile`] to attribute values.
+#[derive(Debug, Clone)]
+pub struct Perturber {
+    profile: NoiseProfile,
+}
+
+impl Perturber {
+    /// Builds a perturber with the given profile.
+    pub fn new(profile: NoiseProfile) -> Self {
+        Self { profile }
+    }
+
+    /// The active profile.
+    pub fn profile(&self) -> &NoiseProfile {
+        &self.profile
+    }
+
+    /// Perturbs one attribute value.
+    pub fn value<R: Rng>(&self, value: &str, rng: &mut R) -> String {
+        if value.is_empty() {
+            return String::new();
+        }
+        let p = &self.profile;
+        if rng.random_range(0.0f32..1.0) < p.missing {
+            return String::new();
+        }
+        // Numeric values only get jitter.
+        if let Ok(num) = value.parse::<f64>() {
+            if p.numeric_jitter > 0.0 && rng.random_range(0.0f32..1.0) < 0.5 {
+                let jitter = 1.0 + rng.random_range(-p.numeric_jitter..p.numeric_jitter) as f64;
+                let out = num * jitter;
+                return if value.contains('.') {
+                    format!("{out:.2}")
+                } else {
+                    format!("{}", out.round() as i64)
+                };
+            }
+            return value.to_string();
+        }
+        let mut tokens: Vec<String> = value.split_whitespace().map(str::to_owned).collect();
+        if tokens.len() > 1 && rng.random_range(0.0f32..1.0) < p.token_drop {
+            let i = rng.random_range(0..tokens.len());
+            tokens.remove(i);
+        }
+        if !tokens.is_empty() && rng.random_range(0.0f32..1.0) < p.abbreviate {
+            let first = &tokens[0];
+            if first.chars().count() > 1 {
+                let initial: String = first.chars().take(1).collect();
+                tokens[0] = format!("{initial}.");
+            }
+        }
+        if tokens.len() > 1 && rng.random_range(0.0f32..1.0) < p.token_swap {
+            let i = rng.random_range(0..tokens.len() - 1);
+            tokens.swap(i, i + 1);
+        }
+        if rng.random_range(0.0f32..1.0) < p.typo {
+            let i = rng.random_range(0..tokens.len().max(1)).min(tokens.len().saturating_sub(1));
+            if !tokens.is_empty() {
+                tokens[i] = typo(&tokens[i], rng);
+            }
+        }
+        tokens.join(" ")
+    }
+
+    /// Perturbs a whole row.
+    pub fn row<R: Rng>(&self, row: &[String], rng: &mut R) -> Vec<String> {
+        row.iter().map(|v| self.value(v, rng)).collect()
+    }
+}
+
+/// One character-level typo: delete, duplicate, swap, or replace.
+fn typo<R: Rng>(token: &str, rng: &mut R) -> String {
+    let chars: Vec<char> = token.chars().collect();
+    if chars.len() < 2 {
+        return token.to_string();
+    }
+    let i = rng.random_range(0..chars.len());
+    let mut out = chars.clone();
+    match rng.random_range(0..4u8) {
+        0 => {
+            out.remove(i);
+        }
+        1 => {
+            out.insert(i, chars[i]);
+        }
+        2 => {
+            if i + 1 < out.len() {
+                out.swap(i, i + 1);
+            } else {
+                out.swap(i - 1, i);
+            }
+        }
+        _ => {
+            let replacement = (b'a' + rng.random_range(0..26u8)) as char;
+            out[i] = replacement;
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn none_profile_is_identity() {
+        let p = Perturber::new(NoiseProfile::none());
+        let mut r = rng(0);
+        for v in ["hello world", "12.5", ""] {
+            assert_eq!(p.value(v, &mut r), v);
+        }
+    }
+
+    #[test]
+    fn noisy_profile_changes_values_sometimes() {
+        let p = Perturber::new(NoiseProfile::noisy());
+        let mut r = rng(1);
+        let original = "the grand budapest hotel restaurant";
+        let changed = (0..100).filter(|_| p.value(original, &mut r) != original).count();
+        assert!(changed > 20, "only {changed}/100 perturbed");
+        // But most perturbed values still share tokens with the source.
+        let mut shared_any = 0;
+        for _ in 0..100 {
+            let v = p.value(original, &mut r);
+            if v.split_whitespace().any(|t| original.contains(t)) {
+                shared_any += 1;
+            }
+        }
+        assert!(shared_any > 70, "only {shared_any}/100 retain overlap");
+    }
+
+    #[test]
+    fn missing_blanks_values() {
+        let profile = NoiseProfile { missing: 1.0, ..NoiseProfile::none() };
+        let p = Perturber::new(profile);
+        assert_eq!(p.value("anything", &mut rng(2)), "");
+    }
+
+    #[test]
+    fn numeric_jitter_stays_numeric_and_close() {
+        let profile = NoiseProfile { numeric_jitter: 0.05, ..NoiseProfile::none() };
+        let p = Perturber::new(profile);
+        let mut r = rng(3);
+        for _ in 0..50 {
+            let v = p.value("100", &mut r);
+            let n: f64 = v.parse().expect("still numeric");
+            assert!((n - 100.0).abs() <= 6.0, "jittered to {n}");
+        }
+    }
+
+    #[test]
+    fn abbreviation_shortens_first_token() {
+        let profile = NoiseProfile { abbreviate: 1.0, ..NoiseProfile::none() };
+        let p = Perturber::new(profile);
+        let v = p.value("jonathan smith", &mut rng(4));
+        assert!(v.starts_with("j."), "got {v}");
+    }
+
+    #[test]
+    fn typo_changes_one_token_only_slightly() {
+        let mut r = rng(5);
+        for _ in 0..50 {
+            let t = typo("restaurant", &mut r);
+            // Length can shrink/grow by at most one character.
+            assert!((t.chars().count() as i64 - 10).abs() <= 1, "{t}");
+        }
+        assert_eq!(typo("a", &mut r), "a"); // too short to perturb
+    }
+
+    #[test]
+    fn row_perturbs_each_value() {
+        let p = Perturber::new(NoiseProfile::none());
+        let row = vec!["a".to_string(), "b".to_string()];
+        assert_eq!(p.row(&row, &mut rng(6)), row);
+    }
+}

@@ -1,0 +1,179 @@
+//! The relational model: schemas, tuples, tables.
+
+/// Attribute names of a table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Table name (for display).
+    pub name: String,
+    /// Ordered attribute names.
+    pub attributes: Vec<String>,
+}
+
+impl Schema {
+    /// Builds a schema.
+    pub fn new(name: impl Into<String>, attributes: &[&str]) -> Self {
+        Self { name: name.into(), attributes: attributes.iter().map(|&s| s.into()).collect() }
+    }
+
+    /// Number of attributes (the paper's "arity").
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+}
+
+/// A table: a schema plus rows of string values.
+///
+/// Missing values are empty strings, matching how the DeepMatcher benchmark
+/// CSVs represent them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    /// The schema.
+    pub schema: Schema,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// An empty table with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        Self { schema, rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    /// Panics if the row's width differs from the schema arity.
+    pub fn push(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.schema.arity(),
+            "row has {} values, schema '{}' expects {}",
+            row.len(),
+            self.schema.name,
+            self.schema.arity()
+        );
+        self.rows.push(row);
+    }
+
+    /// Number of rows (the paper's "cardinality").
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row accessor.
+    pub fn row(&self, i: usize) -> &[String] {
+        &self.rows[i]
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// One attribute value.
+    pub fn value(&self, row: usize, attr: usize) -> &str {
+        &self.rows[row][attr]
+    }
+
+    /// Iterator over every attribute value as a "sentence" (paper §III-B),
+    /// row-major: row 0's attributes, then row 1's, …
+    pub fn sentences(&self) -> impl Iterator<Item = &str> {
+        self.rows.iter().flat_map(|r| r.iter().map(String::as_str))
+    }
+
+    /// Truncates or pads (with empty-string columns) every row to `arity`
+    /// attributes — the transfer-learning arity adapter of §VI-D.
+    pub fn with_arity(&self, arity: usize) -> Table {
+        let mut attributes: Vec<String> = self
+            .schema
+            .attributes
+            .iter()
+            .take(arity)
+            .cloned()
+            .collect();
+        while attributes.len() < arity {
+            attributes.push(format!("pad_{}", attributes.len()));
+        }
+        let mut out = Table::new(Schema {
+            name: self.schema.name.clone(),
+            attributes,
+        });
+        for row in &self.rows {
+            let mut new_row: Vec<String> = row.iter().take(arity).cloned().collect();
+            while new_row.len() < arity {
+                new_row.push(String::new());
+            }
+            out.push(new_row);
+        }
+        out
+    }
+
+    /// Fraction of cells that are empty (missing) — a quick noisiness probe.
+    pub fn missing_rate(&self) -> f32 {
+        let total: usize = self.rows.len() * self.schema.arity();
+        if total == 0 {
+            return 0.0;
+        }
+        let missing = self.rows.iter().flatten().filter(|v| v.is_empty()).count();
+        missing as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Table {
+        let mut t = Table::new(Schema::new("songs", &["title", "artist"]));
+        t.push(vec!["yellow".into(), "coldplay".into()]);
+        t.push(vec!["creep".into(), String::new()]);
+        t
+    }
+
+    #[test]
+    fn push_and_access() {
+        let t = demo();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.schema.arity(), 2);
+        assert_eq!(t.value(0, 1), "coldplay");
+        assert_eq!(t.row(1)[0], "creep");
+    }
+
+    #[test]
+    #[should_panic]
+    fn wrong_width_panics() {
+        let mut t = demo();
+        t.push(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn sentences_row_major() {
+        let t = demo();
+        let s: Vec<&str> = t.sentences().collect();
+        assert_eq!(s, vec!["yellow", "coldplay", "creep", ""]);
+    }
+
+    #[test]
+    fn with_arity_truncates_and_pads() {
+        let t = demo();
+        let narrow = t.with_arity(1);
+        assert_eq!(narrow.schema.arity(), 1);
+        assert_eq!(narrow.row(0), &["yellow".to_string()]);
+        let wide = t.with_arity(4);
+        assert_eq!(wide.schema.arity(), 4);
+        assert_eq!(wide.row(0)[3], "");
+        assert_eq!(wide.schema.attributes[3], "pad_3");
+    }
+
+    #[test]
+    fn missing_rate() {
+        let t = demo();
+        assert!((t.missing_rate() - 0.25).abs() < 1e-6);
+        let empty = Table::new(Schema::new("e", &["a"]));
+        assert_eq!(empty.missing_rate(), 0.0);
+    }
+}

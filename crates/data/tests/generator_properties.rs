@@ -1,0 +1,94 @@
+//! Property-based tests of the benchmark generators: for any domain and
+//! seed, the generated dataset must satisfy the structural invariants the
+//! rest of the system assumes.
+
+use proptest::prelude::*;
+use vaer_data::domains::{Domain, DomainSpec, Scale};
+
+fn domain_strategy() -> impl Strategy<Value = Domain> {
+    prop_oneof![
+        Just(Domain::Restaurants),
+        Just(Domain::Citations1),
+        Just(Domain::Citations2),
+        Just(Domain::Cosmetics),
+        Just(Domain::Software),
+        Just(Domain::Music),
+        Just(Domain::Beer),
+        Just(Domain::Stocks),
+        Just(Domain::Crm),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn generated_datasets_are_structurally_valid(
+        domain in domain_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let ds = DomainSpec::new(domain, Scale::Tiny).generate(seed);
+        let meta = domain.meta();
+        // Schema shape.
+        prop_assert_eq!(ds.table_a.schema.arity(), meta.arity);
+        prop_assert_eq!(ds.table_b.schema.arity(), meta.arity);
+        prop_assert!(!ds.table_a.is_empty());
+        prop_assert!(!ds.table_b.is_empty());
+        // Splits reference valid rows and carry both classes.
+        ds.train_pairs.validate(&ds.table_a, &ds.table_b).unwrap();
+        ds.test_pairs.validate(&ds.table_a, &ds.table_b).unwrap();
+        prop_assert!(ds.train_pairs.num_positive() > 0);
+        prop_assert!(ds.train_pairs.num_negative() > 0);
+        // Ground truth is deduplicated and in range.
+        let mut dups = ds.duplicates.clone();
+        dups.sort_unstable();
+        dups.dedup();
+        prop_assert_eq!(dups.len(), ds.duplicates.len());
+        for &(a, b) in &ds.duplicates {
+            prop_assert!(a < ds.table_a.len());
+            prop_assert!(b < ds.table_b.len());
+        }
+        // Every labelled positive is in the ground truth; no labelled
+        // negative is.
+        let truth: std::collections::HashSet<(usize, usize)> =
+            ds.duplicates.iter().copied().collect();
+        for p in ds.train_pairs.pairs.iter().chain(ds.test_pairs.pairs.iter()) {
+            prop_assert_eq!(
+                truth.contains(&(p.left, p.right)),
+                p.is_match,
+                "label disagrees with ground truth for ({}, {})",
+                p.left,
+                p.right
+            );
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(domain in domain_strategy(), seed in 0u64..1000) {
+        let a = DomainSpec::new(domain, Scale::Tiny).generate(seed);
+        let b = DomainSpec::new(domain, Scale::Tiny).generate(seed);
+        prop_assert_eq!(a.table_a, b.table_a);
+        prop_assert_eq!(a.table_b, b.table_b);
+        prop_assert_eq!(a.duplicates, b.duplicates);
+        prop_assert_eq!(a.train_pairs, b.train_pairs);
+        prop_assert_eq!(a.test_pairs, b.test_pairs);
+    }
+
+    #[test]
+    fn train_and_test_do_not_share_pairs(
+        domain in domain_strategy(),
+        seed in 0u64..1000,
+    ) {
+        let ds = DomainSpec::new(domain, Scale::Tiny).generate(seed);
+        let train: std::collections::HashSet<(usize, usize)> =
+            ds.train_pairs.pairs.iter().map(|p| (p.left, p.right)).collect();
+        for p in &ds.test_pairs.pairs {
+            prop_assert!(
+                !train.contains(&(p.left, p.right)),
+                "pair ({}, {}) appears in both splits",
+                p.left,
+                p.right
+            );
+        }
+    }
+}

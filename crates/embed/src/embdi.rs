@@ -1,0 +1,287 @@
+//! EmbDI relational embeddings (Cappuzzo, Papotti & Thirumuruganathan,
+//! SIGMOD 2020) — reimplemented from scratch.
+//!
+//! EmbDI builds a tripartite graph over a relation:
+//!
+//! - **value nodes** — every distinct token appearing in a cell,
+//! - **row nodes** (`RID`) — one per tuple,
+//! - **column nodes** (`CID`) — one per attribute,
+//!
+//! with edges *token ↔ row* and *token ↔ column* for each cell occurrence.
+//! Random walks over this graph interleave structural context (which rows
+//! and columns a token appears in) with lexical context, and a skip-gram
+//! model trained over the walks yields embeddings in which tokens that
+//! share rows/columns — e.g. two spellings of the same artist — are close.
+//! Sentence IRs are the normalised mean of token-node embeddings.
+
+use crate::sgns::{SgnsConfig, SgnsEmbeddings};
+use crate::IrModel;
+use rand::{Rng, RngExt, SeedableRng};
+use std::collections::HashMap;
+use vaer_text::tokenize;
+
+/// EmbDI configuration.
+#[derive(Debug, Clone)]
+pub struct EmbDiConfig {
+    /// Embedding (and IR) dimensionality.
+    pub dims: usize,
+    /// Random walks started per graph node.
+    pub walks_per_node: usize,
+    /// Length of each walk (in nodes).
+    pub walk_length: usize,
+    /// Skip-gram window over walk sequences.
+    pub window: usize,
+    /// Skip-gram epochs over the generated walks.
+    pub epochs: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for EmbDiConfig {
+    fn default() -> Self {
+        Self { dims: 64, walks_per_node: 6, walk_length: 12, window: 3, epochs: 2, seed: 0xE3BD }
+    }
+}
+
+/// Node ids: tokens first, then rows, then columns.
+#[derive(Debug, Clone)]
+struct Graph {
+    /// token id → neighbouring structural nodes (row/col ids).
+    token_adj: Vec<Vec<u32>>,
+    /// structural node id (offset past tokens) → token ids it contains.
+    struct_adj: Vec<Vec<u32>>,
+    num_tokens: usize,
+}
+
+impl Graph {
+    fn total_nodes(&self) -> usize {
+        self.num_tokens + self.struct_adj.len()
+    }
+}
+
+/// A fitted EmbDI model.
+pub struct EmbDiModel {
+    token_ids: HashMap<String, u32>,
+    embeddings: SgnsEmbeddings,
+    dims: usize,
+}
+
+impl EmbDiModel {
+    /// Fits EmbDI over one or more tables. Each table is a list of rows;
+    /// each row a list of raw attribute values.
+    pub fn fit(tables: &[Vec<Vec<String>>], config: &EmbDiConfig) -> Self {
+        let (graph, token_ids) = build_graph(tables);
+        if graph.num_tokens == 0 {
+            return Self {
+                token_ids,
+                embeddings: SgnsEmbeddings::train(&[], 0, &[], &SgnsConfig::default()),
+                dims: config.dims,
+            };
+        }
+        let walks = generate_walks(&graph, config);
+        // Train over *all* node ids (tokens + structural); only token
+        // embeddings are used at encode time, but structural nodes carry
+        // the integration signal through the walks.
+        let vocab_size = graph.total_nodes();
+        let mut counts = vec![0u64; vocab_size];
+        for w in &walks {
+            for &n in w {
+                counts[n as usize] += 1;
+            }
+        }
+        let embeddings = SgnsEmbeddings::train(
+            &walks,
+            vocab_size,
+            &counts,
+            &SgnsConfig {
+                dims: config.dims,
+                window: config.window,
+                negatives: 5,
+                epochs: config.epochs,
+                learning_rate: 0.05,
+                seed: config.seed ^ 0x1111,
+            },
+        );
+        Self { token_ids, embeddings, dims: config.dims }
+    }
+
+    /// Number of distinct value tokens in the graph.
+    pub fn num_tokens(&self) -> usize {
+        self.token_ids.len()
+    }
+}
+
+fn build_graph(tables: &[Vec<Vec<String>>]) -> (Graph, HashMap<String, u32>) {
+    let mut token_ids: HashMap<String, u32> = HashMap::new();
+    // First pass: token vocabulary in deterministic order.
+    let mut ordered_tokens: Vec<String> = Vec::new();
+    for table in tables {
+        for row in table {
+            for cell in row {
+                for tok in tokenize(cell) {
+                    if !token_ids.contains_key(&tok) {
+                        token_ids.insert(tok.clone(), ordered_tokens.len() as u32);
+                        ordered_tokens.push(tok);
+                    }
+                }
+            }
+        }
+    }
+    let num_tokens = ordered_tokens.len();
+    let mut token_adj: Vec<Vec<u32>> = vec![Vec::new(); num_tokens];
+    let mut struct_adj: Vec<Vec<u32>> = Vec::new();
+    // Row and column nodes per table.
+    for (t_idx, table) in tables.iter().enumerate() {
+        let arity = table.first().map_or(0, Vec::len);
+        // Column nodes for this table.
+        let col_base = num_tokens + struct_adj.len();
+        for _ in 0..arity {
+            struct_adj.push(Vec::new());
+        }
+        for row in table {
+            let row_node = (num_tokens + struct_adj.len()) as u32;
+            struct_adj.push(Vec::new());
+            for (c, cell) in row.iter().enumerate() {
+                for tok in tokenize(cell) {
+                    let tid = token_ids[&tok];
+                    let col_node = (col_base + c.min(arity.saturating_sub(1))) as u32;
+                    token_adj[tid as usize].push(row_node);
+                    token_adj[tid as usize].push(col_node);
+                    struct_adj[(row_node as usize) - num_tokens].push(tid);
+                    struct_adj[(col_node as usize) - num_tokens].push(tid);
+                }
+            }
+        }
+        let _ = t_idx;
+    }
+    (Graph { token_adj, struct_adj, num_tokens }, token_ids)
+}
+
+fn generate_walks(graph: &Graph, config: &EmbDiConfig) -> Vec<Vec<u32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let mut walks = Vec::with_capacity(graph.total_nodes() * config.walks_per_node);
+    for start in 0..graph.total_nodes() as u32 {
+        for _ in 0..config.walks_per_node {
+            let walk = random_walk(graph, start, config.walk_length, &mut rng);
+            if walk.len() >= 2 {
+                walks.push(walk);
+            }
+        }
+    }
+    walks
+}
+
+/// One walk alternating between token and structural nodes.
+fn random_walk<R: Rng>(graph: &Graph, start: u32, length: usize, rng: &mut R) -> Vec<u32> {
+    let mut walk = Vec::with_capacity(length);
+    let mut current = start;
+    for _ in 0..length {
+        walk.push(current);
+        let neighbours: &[u32] = if (current as usize) < graph.num_tokens {
+            &graph.token_adj[current as usize]
+        } else {
+            &graph.struct_adj[current as usize - graph.num_tokens]
+        };
+        if neighbours.is_empty() {
+            break;
+        }
+        current = neighbours[rng.random_range(0..neighbours.len())];
+    }
+    walk
+}
+
+impl IrModel for EmbDiModel {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn encode(&self, raw_sentence: &str) -> Vec<f32> {
+        let ids: Vec<u32> = tokenize(raw_sentence)
+            .iter()
+            .filter_map(|t| self.token_ids.get(t).copied())
+            .collect();
+        if self.embeddings.is_empty() {
+            return vec![0.0; self.dims];
+        }
+        self.embeddings.mean_vector(&ids)
+    }
+
+    fn name(&self) -> &'static str {
+        "EmbDI"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_linalg::vector::{cosine, norm};
+
+    /// Two-column table where rows pair a "canonical" artist with an album;
+    /// variant spellings share rows with the same albums.
+    fn demo_tables() -> Vec<Vec<Vec<String>>> {
+        let mut rows = Vec::new();
+        for i in 0..30 {
+            let (artist, album) = match i % 3 {
+                0 => ("coldplay", "parachutes"),
+                1 => ("coldplay", "xandy"),
+                _ => ("radiohead", "okcomputer"),
+            };
+            rows.push(vec![artist.to_string(), album.to_string()]);
+        }
+        // Variant spelling sharing album context with "coldplay".
+        for _ in 0..10 {
+            rows.push(vec!["coldpaly".to_string(), "parachutes".to_string()]);
+        }
+        vec![rows]
+    }
+
+    #[test]
+    fn shared_context_tokens_are_close() {
+        let m = EmbDiModel::fit(
+            &demo_tables(),
+            &EmbDiConfig { dims: 16, epochs: 3, seed: 7, ..Default::default() },
+        );
+        let canonical = m.encode("coldplay");
+        let variant = m.encode("coldpaly");
+        let other = m.encode("radiohead");
+        let close = cosine(&canonical, &variant);
+        let far = cosine(&canonical, &other);
+        assert!(close > far, "variant {close} vs other {far}");
+    }
+
+    #[test]
+    fn graph_shape() {
+        let tables = demo_tables();
+        let (graph, tokens) = build_graph(&tables);
+        // 5 distinct tokens, 40 rows, 2 columns.
+        assert_eq!(graph.num_tokens, 6);
+        assert_eq!(tokens.len(), 6);
+        assert_eq!(graph.struct_adj.len(), 40 + 2);
+        // Every token has at least one structural neighbour.
+        assert!(graph.token_adj.iter().all(|a| !a.is_empty()));
+    }
+
+    #[test]
+    fn empty_tables_do_not_panic() {
+        let m = EmbDiModel::fit(&[], &EmbDiConfig { dims: 8, ..Default::default() });
+        assert_eq!(m.encode("whatever"), vec![0.0; 8]);
+        assert_eq!(m.num_tokens(), 0);
+    }
+
+    #[test]
+    fn oov_encodes_to_zero() {
+        let m = EmbDiModel::fit(
+            &demo_tables(),
+            &EmbDiConfig { dims: 8, epochs: 1, seed: 1, ..Default::default() },
+        );
+        assert_eq!(norm(&m.encode("unseen gibberish")), 0.0);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = EmbDiConfig { dims: 8, epochs: 1, seed: 21, ..Default::default() };
+        let a = EmbDiModel::fit(&demo_tables(), &cfg);
+        let b = EmbDiModel::fit(&demo_tables(), &cfg);
+        assert_eq!(a.encode("coldplay"), b.encode("coldplay"));
+    }
+}

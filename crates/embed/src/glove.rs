@@ -1,0 +1,226 @@
+//! GloVe embeddings (Pennington, Socher & Manning, EMNLP 2014).
+//!
+//! The paper's §III-B cites GloVe alongside word2vec as a source of
+//! pre-trained word embeddings for IRs. Like the W2V family, no
+//! pretrained vectors are available offline, so the model is trained on
+//! the task corpus: a windowed co-occurrence matrix followed by AdaGrad
+//! on the weighted least-squares objective
+//!
+//! ```text
+//! J = Σᵢⱼ f(Xᵢⱼ) (wᵢ·w̃ⱼ + bᵢ + b̃ⱼ - ln Xᵢⱼ)²
+//! ```
+//!
+//! Sentence IRs are the L2-normalised mean of `w + w̃` token vectors,
+//! mirroring the W2V averaging contract.
+
+use crate::IrModel;
+use rand::{RngExt, SeedableRng};
+use std::collections::HashMap;
+use vaer_text::Corpus;
+
+/// GloVe hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct GloVeConfig {
+    /// Embedding (and IR) dimensionality.
+    pub dims: usize,
+    /// Co-occurrence window radius (weighted by `1/offset`).
+    pub window: usize,
+    /// Training epochs over the non-zero co-occurrence cells.
+    pub epochs: usize,
+    /// AdaGrad initial learning rate.
+    pub learning_rate: f32,
+    /// Weighting-function cap `x_max`.
+    pub x_max: f32,
+    /// Minimum token frequency to keep.
+    pub min_count: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for GloVeConfig {
+    fn default() -> Self {
+        Self {
+            dims: 64,
+            window: 3,
+            epochs: 12,
+            learning_rate: 0.05,
+            x_max: 20.0,
+            min_count: 1,
+            seed: 0x610E,
+        }
+    }
+}
+
+/// A fitted GloVe IR model.
+pub struct GloVeModel {
+    corpus: Corpus,
+    /// Combined `w + w̃` vectors, one per vocabulary id.
+    vectors: Vec<Vec<f32>>,
+    dims: usize,
+}
+
+impl GloVeModel {
+    /// Builds the co-occurrence matrix and trains the factorisation.
+    pub fn fit<S: AsRef<str>>(sentences: &[S], config: &GloVeConfig) -> Self {
+        let raw: Vec<&str> = sentences.iter().map(AsRef::as_ref).collect();
+        let corpus = Corpus::build(&raw, config.min_count);
+        let v = corpus.vocab().len();
+        if v == 0 {
+            return Self { corpus, vectors: Vec::new(), dims: config.dims };
+        }
+        // Windowed co-occurrence with 1/offset weighting (GloVe §4.2).
+        let mut cooc: HashMap<(u32, u32), f32> = HashMap::new();
+        for sent in corpus.sentences() {
+            for (i, &wi) in sent.iter().enumerate() {
+                let hi = (i + config.window + 1).min(sent.len());
+                for (offset, &wj) in sent[i + 1..hi].iter().enumerate() {
+                    let weight = 1.0 / (offset + 1) as f32;
+                    *cooc.entry((wi, wj)).or_insert(0.0) += weight;
+                    *cooc.entry((wj, wi)).or_insert(0.0) += weight;
+                }
+            }
+        }
+        let mut cells: Vec<((u32, u32), f32)> = cooc.into_iter().collect();
+        // Deterministic order before shuffling with the seeded RNG.
+        cells.sort_by_key(|&(k, _)| k);
+
+        let dims = config.dims;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        let mut init = |n: usize| -> Vec<Vec<f32>> {
+            (0..n)
+                .map(|_| (0..dims).map(|_| rng.random_range(-0.5f32..0.5) / dims as f32).collect())
+                .collect()
+        };
+        let mut w = init(v);
+        let mut w_ctx = init(v);
+        let mut b = vec![0.0f32; v];
+        let mut b_ctx = vec![0.0f32; v];
+        // AdaGrad accumulators.
+        let mut gw = vec![vec![1e-8f32; dims]; v];
+        let mut gw_ctx = vec![vec![1e-8f32; dims]; v];
+        let mut gb = vec![1e-8f32; v];
+        let mut gb_ctx = vec![1e-8f32; v];
+        let lr = config.learning_rate;
+        for _epoch in 0..config.epochs {
+            // Shuffle cells each epoch.
+            for i in (1..cells.len()).rev() {
+                let j = rng.random_range(0..=i);
+                cells.swap(i, j);
+            }
+            for &((i, j), x) in &cells {
+                let (i, j) = (i as usize, j as usize);
+                let weight = (x / config.x_max).powf(0.75).min(1.0);
+                let dot: f32 =
+                    w[i].iter().zip(w_ctx[j].iter()).map(|(&a, &c)| a * c).sum();
+                let diff = dot + b[i] + b_ctx[j] - x.ln();
+                let grad_coeff = (weight * diff).clamp(-10.0, 10.0);
+                for d in 0..dims {
+                    let gi = grad_coeff * w_ctx[j][d];
+                    let gj = grad_coeff * w[i][d];
+                    gw[i][d] += gi * gi;
+                    gw_ctx[j][d] += gj * gj;
+                    w[i][d] -= lr * gi / gw[i][d].sqrt();
+                    w_ctx[j][d] -= lr * gj / gw_ctx[j][d].sqrt();
+                }
+                gb[i] += grad_coeff * grad_coeff;
+                gb_ctx[j] += grad_coeff * grad_coeff;
+                b[i] -= lr * grad_coeff / gb[i].sqrt();
+                b_ctx[j] -= lr * grad_coeff / gb_ctx[j].sqrt();
+            }
+        }
+        // Combined vectors, as recommended by the GloVe paper.
+        let vectors = w
+            .into_iter()
+            .zip(w_ctx)
+            .map(|(a, c)| a.iter().zip(c.iter()).map(|(&x, &y)| x + y).collect())
+            .collect();
+        Self { corpus, vectors, dims }
+    }
+
+    /// Number of embedded tokens.
+    pub fn vocab_size(&self) -> usize {
+        self.vectors.len()
+    }
+}
+
+impl IrModel for GloVeModel {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn encode(&self, raw_sentence: &str) -> Vec<f32> {
+        let ids = self.corpus.encode(raw_sentence);
+        let mut out = vec![0.0f32; self.dims];
+        if ids.is_empty() || self.vectors.is_empty() {
+            return out;
+        }
+        for &t in &ids {
+            for (o, &v) in out.iter_mut().zip(&self.vectors[t as usize]) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / ids.len() as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        vaer_linalg::vector::l2_normalize(&mut out);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "GloVe"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_linalg::vector::{cosine, norm};
+
+    fn demo_corpus() -> Vec<String> {
+        let mut s = Vec::new();
+        for _ in 0..40 {
+            s.push("hot coffee morning drink".to_string());
+            s.push("hot tea morning drink".to_string());
+            s.push("fast car road engine".to_string());
+            s.push("fast truck road engine".to_string());
+        }
+        s
+    }
+
+    #[test]
+    fn cooccurring_words_cluster() {
+        let m = GloVeModel::fit(&demo_corpus(), &GloVeConfig { dims: 16, ..Default::default() });
+        let coffee = m.encode("coffee");
+        let tea = m.encode("tea");
+        let car = m.encode("car");
+        assert!(
+            cosine(&coffee, &tea) > cosine(&coffee, &car),
+            "coffee-tea {} vs coffee-car {}",
+            cosine(&coffee, &tea),
+            cosine(&coffee, &car)
+        );
+    }
+
+    #[test]
+    fn encodings_unit_norm_or_zero() {
+        let m = GloVeModel::fit(&demo_corpus(), &GloVeConfig { dims: 8, epochs: 2, ..Default::default() });
+        assert!((norm(&m.encode("hot drink")) - 1.0).abs() < 1e-4);
+        assert_eq!(norm(&m.encode("zzz unseen")), 0.0);
+    }
+
+    #[test]
+    fn empty_corpus_is_safe() {
+        let m = GloVeModel::fit::<&str>(&[], &GloVeConfig::default());
+        assert_eq!(m.vocab_size(), 0);
+        assert_eq!(m.encode("anything"), vec![0.0; 64]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = GloVeConfig { dims: 8, epochs: 2, seed: 5, ..Default::default() };
+        let a = GloVeModel::fit(&demo_corpus(), &cfg);
+        let b = GloVeModel::fit(&demo_corpus(), &cfg);
+        assert_eq!(a.encode("coffee"), b.encode("coffee"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Latent Semantic Analysis IRs: TF-IDF + sparse randomized truncated SVD.
+//!
+//! The most robust IR family in the paper's Table IV. Documents are the
+//! attribute-value sentences; the fitted model keeps the right-singular
+//! projection so *new* sentences fold into the same latent space, which is
+//! what makes LSA IRs usable under a transferred representation model.
+
+use crate::sparse::SparseMatrix;
+use crate::IrModel;
+use vaer_linalg::{jacobi_eigh, qr_thin, Matrix, XorShiftRng};
+use vaer_text::{tfidf, Corpus, TfIdfModel};
+
+/// LSA configuration.
+#[derive(Debug, Clone)]
+pub struct LsaConfig {
+    /// Latent dimensionality `k`.
+    pub dims: usize,
+    /// Seed for the randomized SVD sketch.
+    pub seed: u64,
+}
+
+impl Default for LsaConfig {
+    fn default() -> Self {
+        Self { dims: 64, seed: 0x15A }
+    }
+}
+
+/// A fitted LSA model.
+pub struct LsaModel {
+    corpus: Corpus,
+    tfidf: TfIdfModel,
+    /// `vocab_size x k` fold-in projection, scaled by `1/σ`.
+    projection: Matrix,
+    dims: usize,
+}
+
+impl LsaModel {
+    /// Fits LSA on the sentence corpus.
+    ///
+    /// The effective dimensionality is clamped to the corpus rank bound
+    /// `min(docs, terms)`; [`IrModel::dims`] still reports the requested
+    /// width (extra dimensions stay zero) so downstream shapes are stable.
+    pub fn fit<S: AsRef<str>>(sentences: &[S], config: &LsaConfig) -> Self {
+        let raw: Vec<&str> = sentences.iter().map(AsRef::as_ref).collect();
+        let corpus = Corpus::build(&raw, 1);
+        let (tfidf_model, docs) = tfidf(&corpus);
+        let n_terms = corpus.vocab().len();
+        let x = SparseMatrix::from_rows(docs, n_terms.max(1));
+        let k = config.dims.min(x.nrows().max(1)).min(n_terms.max(1));
+        let projection = if n_terms == 0 || x.nrows() == 0 || k == 0 {
+            Matrix::zeros(n_terms.max(1), config.dims)
+        } else {
+            sparse_right_singular_projection(&x, k, config.dims, config.seed)
+        };
+        Self { corpus, tfidf: tfidf_model, projection, dims: config.dims }
+    }
+}
+
+/// Computes a `terms x dims` projection `V diag(1/σ)` from the sparse
+/// doc-term matrix via a randomized range finder (2 power iterations).
+fn sparse_right_singular_projection(
+    x: &SparseMatrix,
+    k: usize,
+    out_dims: usize,
+    seed: u64,
+) -> Matrix {
+    let sketch = (k + 8).min(x.nrows()).min(x.ncols());
+    let mut rng = XorShiftRng::new(seed);
+    let omega = Matrix::gaussian(x.ncols(), sketch, &mut rng);
+    let mut q = qr_thin(&x.matmul_dense(&omega)).q;
+    for _ in 0..2 {
+        let z = qr_thin(&x.t_matmul_dense(&q)).q;
+        q = qr_thin(&x.matmul_dense(&z)).q;
+    }
+    // B = Qᵀ X  (sketch x terms), computed as (Xᵀ Q)ᵀ without densifying X.
+    let bt = x.t_matmul_dense(&q); // terms x sketch
+    let gram = bt.t_matmul(&bt); // sketch x sketch = B Bᵀ
+    let eig = match jacobi_eigh(&gram) {
+        Ok(e) => e,
+        Err(_) => return Matrix::zeros(x.ncols(), out_dims),
+    };
+    // V diag(1/σ) = Bᵀ W diag(1/λ) where columns of W are eigenvectors.
+    let mut proj = Matrix::zeros(x.ncols(), out_dims);
+    for comp in 0..k.min(eig.eigenvalues.len()) {
+        let lambda = eig.eigenvalues[comp].max(0.0);
+        if lambda <= 1e-10 {
+            continue;
+        }
+        let w = eig.eigenvectors.col(comp);
+        for t in 0..x.ncols() {
+            let bt_row = bt.row(t);
+            let dot: f32 = bt_row.iter().zip(w.iter()).map(|(&b, &wv)| b * wv).sum();
+            proj.set(t, comp, dot / lambda);
+        }
+    }
+    proj
+}
+
+impl IrModel for LsaModel {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn encode(&self, raw_sentence: &str) -> Vec<f32> {
+        let ids = self.corpus.encode(raw_sentence);
+        let sparse = self.tfidf.transform(&ids);
+        let mut out = vec![0.0f32; self.dims];
+        for &(t, w) in &sparse {
+            let proj_row = self.projection.row(t as usize);
+            for (o, &p) in out.iter_mut().zip(proj_row) {
+                *o += w * p;
+            }
+        }
+        vaer_linalg::vector::l2_normalize(&mut out);
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "LSA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_linalg::vector::cosine;
+
+    fn fit_demo() -> LsaModel {
+        let sentences = vec![
+            "italian pasta restaurant downtown",
+            "italian pizza restaurant downtown",
+            "sushi bar japanese cuisine",
+            "japanese sushi restaurant",
+            "car repair garage service",
+            "auto repair service center",
+        ];
+        LsaModel::fit(&sentences, &LsaConfig { dims: 4, seed: 9 })
+    }
+
+    #[test]
+    fn similar_sentences_are_close() {
+        let m = fit_demo();
+        let a = m.encode("italian pasta restaurant downtown");
+        let b = m.encode("italian pizza restaurant downtown");
+        let c = m.encode("car repair garage service");
+        assert!(cosine(&a, &b) > cosine(&a, &c) + 0.1, "{} vs {}", cosine(&a, &b), cosine(&a, &c));
+    }
+
+    #[test]
+    fn encodings_are_unit_norm_or_zero() {
+        let m = fit_demo();
+        let v = m.encode("sushi bar");
+        let n = vaer_linalg::vector::norm(&v);
+        assert!((n - 1.0).abs() < 1e-4);
+        let z = m.encode("completely unseen glorp");
+        assert!(vaer_linalg::vector::norm(&z) < 1e-6);
+    }
+
+    #[test]
+    fn requested_dims_respected_even_when_rank_small() {
+        let m = LsaModel::fit(&["a b", "b c"], &LsaConfig { dims: 32, seed: 1 });
+        assert_eq!(m.dims(), 32);
+        assert_eq!(m.encode("a").len(), 32);
+    }
+
+    #[test]
+    fn empty_corpus_does_not_panic() {
+        let m = LsaModel::fit::<&str>(&[], &LsaConfig { dims: 8, seed: 1 });
+        assert_eq!(m.encode("anything").len(), 8);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s = vec!["x y z", "x y w", "q r s"];
+        let a = LsaModel::fit(&s, &LsaConfig { dims: 4, seed: 5 });
+        let b = LsaModel::fit(&s, &LsaConfig { dims: 4, seed: 5 });
+        assert_eq!(a.encode("x y"), b.encode("x y"));
+    }
+}

@@ -1,0 +1,283 @@
+//! Skip-gram with negative sampling (SGNS; Mikolov et al., 2013).
+//!
+//! One trainer serves two IR families: [`crate::W2vModel`] feeds it the
+//! attribute-value sentences directly, and [`crate::EmbDiModel`] feeds it
+//! random walks over the tripartite relational graph.
+
+use rand::{RngExt, SeedableRng};
+
+/// SGNS hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct SgnsConfig {
+    /// Embedding dimensionality.
+    pub dims: usize,
+    /// Symmetric context window radius.
+    pub window: usize,
+    /// Negative samples per positive pair.
+    pub negatives: usize,
+    /// Number of passes over the sequences.
+    pub epochs: usize,
+    /// Initial learning rate (linearly decayed to 10% across training).
+    pub learning_rate: f32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SgnsConfig {
+    fn default() -> Self {
+        Self { dims: 64, window: 3, negatives: 5, epochs: 3, learning_rate: 0.05, seed: 0x5916 }
+    }
+}
+
+/// Trained input-side embeddings, one row per vocabulary id.
+#[derive(Debug, Clone)]
+pub struct SgnsEmbeddings {
+    vectors: Vec<Vec<f32>>,
+    dims: usize,
+}
+
+impl SgnsEmbeddings {
+    /// Trains SGNS over token-id `sequences` with vocabulary size
+    /// `vocab_size` and per-id occurrence `counts` (used to build the
+    /// unigram^0.75 negative-sampling table).
+    ///
+    /// # Panics
+    /// Panics if any sequence references an id `>= vocab_size` or if
+    /// `counts.len() != vocab_size`.
+    pub fn train(
+        sequences: &[Vec<u32>],
+        vocab_size: usize,
+        counts: &[u64],
+        config: &SgnsConfig,
+    ) -> Self {
+        assert_eq!(counts.len(), vocab_size, "counts length must equal vocab size");
+        for seq in sequences {
+            for &t in seq {
+                assert!((t as usize) < vocab_size, "token id {t} out of range");
+            }
+        }
+        let dims = config.dims;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+        // Input vectors small-random, output vectors zero (word2vec default).
+        let mut w_in: Vec<Vec<f32>> = (0..vocab_size)
+            .map(|_| {
+                (0..dims).map(|_| (rng.random_range(0.0f32..1.0) - 0.5) / dims as f32).collect()
+            })
+            .collect();
+        let mut w_out: Vec<Vec<f32>> = vec![vec![0.0; dims]; vocab_size];
+        let neg_table = build_negative_table(counts);
+        if neg_table.is_empty() {
+            return Self { vectors: w_in, dims };
+        }
+        let total_steps = (config.epochs * sequences.iter().map(Vec::len).sum::<usize>()).max(1);
+        let mut step = 0usize;
+        let mut grad_in = vec![0.0f32; dims];
+        for _epoch in 0..config.epochs {
+            for seq in sequences {
+                for (center_pos, &center) in seq.iter().enumerate() {
+                    step += 1;
+                    let progress = step as f32 / total_steps as f32;
+                    let lr = config.learning_rate * (1.0 - 0.9 * progress);
+                    // Dynamic window as in word2vec: radius in [1, window].
+                    let radius = rng.random_range(1..=config.window.max(1));
+                    let lo = center_pos.saturating_sub(radius);
+                    let hi = (center_pos + radius + 1).min(seq.len());
+                    for (ctx_pos, &ctx_tok) in seq.iter().enumerate().take(hi).skip(lo) {
+                        if ctx_pos == center_pos {
+                            continue;
+                        }
+                        let context = ctx_tok as usize;
+                        grad_in.iter_mut().for_each(|g| *g = 0.0);
+                        // Positive pair.
+                        sgns_pair(
+                            &mut w_in[center as usize],
+                            &mut w_out[context],
+                            1.0,
+                            lr,
+                            &mut grad_in,
+                        );
+                        // Negative pairs.
+                        for _ in 0..config.negatives {
+                            let neg = neg_table[rng.random_range(0..neg_table.len())] as usize;
+                            if neg == context {
+                                continue;
+                            }
+                            sgns_pair(
+                                &mut w_in[center as usize],
+                                &mut w_out[neg],
+                                0.0,
+                                lr,
+                                &mut grad_in,
+                            );
+                        }
+                        let center_vec = &mut w_in[center as usize];
+                        for (v, &g) in center_vec.iter_mut().zip(grad_in.iter()) {
+                            *v += g;
+                        }
+                    }
+                }
+            }
+        }
+        Self { vectors: w_in, dims }
+    }
+
+    /// Embedding dimensionality.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Number of embedded ids.
+    pub fn len(&self) -> usize {
+        self.vectors.len()
+    }
+
+    /// Whether the embedding table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors.is_empty()
+    }
+
+    /// The vector for id `t`.
+    pub fn vector(&self, t: u32) -> &[f32] {
+        &self.vectors[t as usize]
+    }
+
+    /// Mean of the vectors for `ids`, L2-normalised; zero vector when
+    /// `ids` is empty.
+    pub fn mean_vector(&self, ids: &[u32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.dims];
+        if ids.is_empty() {
+            return out;
+        }
+        for &t in ids {
+            for (o, &v) in out.iter_mut().zip(self.vector(t)) {
+                *o += v;
+            }
+        }
+        let inv = 1.0 / ids.len() as f32;
+        for o in &mut out {
+            *o *= inv;
+        }
+        vaer_linalg::vector::l2_normalize(&mut out);
+        out
+    }
+}
+
+/// One SGNS update for a (center, output) pair with label 1 (positive) or
+/// 0 (negative). Updates `w_out` in place and accumulates the center-word
+/// gradient into `grad_in` (applied once per context for stability).
+#[inline]
+fn sgns_pair(w_in: &mut [f32], w_out: &mut [f32], label: f32, lr: f32, grad_in: &mut [f32]) {
+    let dot: f32 = w_in.iter().zip(w_out.iter()).map(|(&a, &b)| a * b).sum();
+    let pred = 1.0 / (1.0 + (-dot.clamp(-8.0, 8.0)).exp());
+    let g = (label - pred) * lr;
+    for ((gi, &o), i) in grad_in.iter_mut().zip(w_out.iter()).zip(w_in.iter()) {
+        *gi += g * o;
+        let _ = i;
+    }
+    for (o, &i) in w_out.iter_mut().zip(w_in.iter()) {
+        *o += g * i;
+    }
+}
+
+/// Unigram^(3/4) table for negative sampling, ~1e5 slots.
+fn build_negative_table(counts: &[u64]) -> Vec<u32> {
+    const TABLE_SIZE: usize = 100_000;
+    let weights: Vec<f64> = counts.iter().map(|&c| (c as f64).powf(0.75)).collect();
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return Vec::new();
+    }
+    let mut table = Vec::with_capacity(TABLE_SIZE);
+    for (id, &w) in weights.iter().enumerate() {
+        let slots = ((w / total) * TABLE_SIZE as f64).round() as usize;
+        for _ in 0..slots.max(if w > 0.0 { 1 } else { 0 }) {
+            table.push(id as u32);
+        }
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_linalg::vector::cosine;
+
+    /// Two token "topics" that never co-occur; within-topic tokens should
+    /// end up closer than across-topic tokens.
+    fn topic_sequences() -> (Vec<Vec<u32>>, Vec<u64>) {
+        let mut seqs = Vec::new();
+        // Topic A: ids 0..4, topic B: ids 4..8.
+        for i in 0..60 {
+            let base = if i % 2 == 0 { 0u32 } else { 4u32 };
+            seqs.push(vec![base, base + 1, base + 2, base + 3, base + (i as u32 % 4)]);
+        }
+        let mut counts = vec![0u64; 8];
+        for s in &seqs {
+            for &t in s {
+                counts[t as usize] += 1;
+            }
+        }
+        (seqs, counts)
+    }
+
+    #[test]
+    fn cooccurring_tokens_become_similar() {
+        let (seqs, counts) = topic_sequences();
+        let emb = SgnsEmbeddings::train(
+            &seqs,
+            8,
+            &counts,
+            &SgnsConfig { dims: 16, epochs: 8, seed: 3, ..Default::default() },
+        );
+        let within = cosine(emb.vector(0), emb.vector(1));
+        let across = cosine(emb.vector(0), emb.vector(5));
+        assert!(within > across + 0.2, "within {within} vs across {across}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (seqs, counts) = topic_sequences();
+        let cfg = SgnsConfig { dims: 8, epochs: 2, seed: 11, ..Default::default() };
+        let a = SgnsEmbeddings::train(&seqs, 8, &counts, &cfg);
+        let b = SgnsEmbeddings::train(&seqs, 8, &counts, &cfg);
+        assert_eq!(a.vector(3), b.vector(3));
+    }
+
+    #[test]
+    fn mean_vector_unit_norm_or_zero() {
+        let (seqs, counts) = topic_sequences();
+        let emb = SgnsEmbeddings::train(
+            &seqs,
+            8,
+            &counts,
+            &SgnsConfig { dims: 8, epochs: 1, seed: 1, ..Default::default() },
+        );
+        let m = emb.mean_vector(&[0, 1, 2]);
+        assert!((vaer_linalg::vector::norm(&m) - 1.0).abs() < 1e-4);
+        assert_eq!(emb.mean_vector(&[]), vec![0.0; 8]);
+    }
+
+    #[test]
+    fn empty_vocab_trains_without_panic() {
+        let emb = SgnsEmbeddings::train(&[], 0, &[], &SgnsConfig::default());
+        assert!(emb.is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_token_panics() {
+        SgnsEmbeddings::train(&[vec![5]], 2, &[1, 1], &SgnsConfig::default());
+    }
+
+    #[test]
+    fn negative_table_proportional() {
+        let table = build_negative_table(&[100, 1, 0]);
+        assert!(!table.is_empty());
+        let zeros = table.iter().filter(|&&t| t == 0).count();
+        let ones = table.iter().filter(|&&t| t == 1).count();
+        let twos = table.iter().filter(|&&t| t == 2).count();
+        assert!(zeros > ones);
+        assert!(ones >= 1);
+        assert_eq!(twos, 0);
+    }
+}

@@ -1,0 +1,139 @@
+//! A minimal row-sparse matrix for the LSA pipeline.
+
+use vaer_linalg::Matrix;
+
+/// A sparse matrix stored as per-row `(column, value)` lists.
+///
+/// Only the two products the randomized SVD range-finder needs are
+/// implemented: `S · D` and `Sᵀ · D` against dense matrices.
+#[derive(Debug, Clone)]
+pub struct SparseMatrix {
+    rows: Vec<Vec<(u32, f32)>>,
+    cols: usize,
+}
+
+impl SparseMatrix {
+    /// Builds from per-row sparse vectors; `cols` is the full width.
+    ///
+    /// # Panics
+    /// Panics if any entry's column exceeds `cols`.
+    pub fn from_rows(rows: Vec<Vec<(u32, f32)>>, cols: usize) -> Self {
+        for (i, r) in rows.iter().enumerate() {
+            for &(c, _) in r {
+                assert!((c as usize) < cols, "row {i} has column {c} >= {cols}");
+            }
+        }
+        Self { rows, cols }
+    }
+
+    /// Number of rows.
+    pub fn nrows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of columns.
+    pub fn ncols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.rows.iter().map(Vec::len).sum()
+    }
+
+    /// Sparse row accessor.
+    pub fn row(&self, i: usize) -> &[(u32, f32)] {
+        &self.rows[i]
+    }
+
+    /// Dense product `self · d` (`nrows x d.cols()`).
+    pub fn matmul_dense(&self, d: &Matrix) -> Matrix {
+        assert_eq!(self.cols, d.rows(), "sparse matmul shape mismatch");
+        let mut out = Matrix::zeros(self.nrows(), d.cols());
+        for (i, row) in self.rows.iter().enumerate() {
+            let out_row = out.row_mut(i);
+            for &(c, v) in row {
+                let d_row = d.row(c as usize);
+                for (o, &dv) in out_row.iter_mut().zip(d_row) {
+                    *o += v * dv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Dense product `selfᵀ · d` (`ncols x d.cols()`).
+    pub fn t_matmul_dense(&self, d: &Matrix) -> Matrix {
+        assert_eq!(self.nrows(), d.rows(), "sparse t_matmul shape mismatch");
+        let mut out = Matrix::zeros(self.cols, d.cols());
+        for (i, row) in self.rows.iter().enumerate() {
+            let d_row = d.row(i);
+            for &(c, v) in row {
+                let out_row = out.row_mut(c as usize);
+                for (o, &dv) in out_row.iter_mut().zip(d_row) {
+                    *o += v * dv;
+                }
+            }
+        }
+        out
+    }
+
+    /// Densifies (test/debug helper; avoid on large matrices).
+    pub fn to_dense(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.nrows(), self.cols);
+        for (i, row) in self.rows.iter().enumerate() {
+            for &(c, v) in row {
+                out.set(i, c as usize, v);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_linalg::XorShiftRng;
+
+    fn sample() -> SparseMatrix {
+        SparseMatrix::from_rows(
+            vec![vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)], vec![]],
+            3,
+        )
+    }
+
+    #[test]
+    fn shape_and_nnz() {
+        let s = sample();
+        assert_eq!(s.nrows(), 3);
+        assert_eq!(s.ncols(), 3);
+        assert_eq!(s.nnz(), 3);
+        assert!(s.row(2).is_empty());
+    }
+
+    #[test]
+    fn matmul_matches_dense() {
+        let s = sample();
+        let mut rng = XorShiftRng::new(1);
+        let d = Matrix::gaussian(3, 4, &mut rng);
+        let sparse = s.matmul_dense(&d);
+        let dense = s.to_dense().matmul(&d);
+        assert!(sparse.max_abs_diff(&dense) < 1e-6);
+    }
+
+    #[test]
+    fn t_matmul_matches_dense() {
+        let s = sample();
+        let mut rng = XorShiftRng::new(2);
+        let d = Matrix::gaussian(3, 5, &mut rng);
+        let sparse = s.t_matmul_dense(&d);
+        let dense = s.to_dense().transpose().matmul(&d);
+        assert!(sparse.max_abs_diff(&dense) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_column_panics() {
+        SparseMatrix::from_rows(vec![vec![(5, 1.0)]], 3);
+    }
+}

@@ -1,0 +1,139 @@
+//! Word2vec-style IRs: corpus-trained skip-gram, sentence-averaged.
+//!
+//! The paper uses a *pre-trained* word-embedding model and averages token
+//! embeddings per attribute value. With no pretrained weights available
+//! offline, we train SGNS on the task corpus itself (see DESIGN.md,
+//! substitutions) — the sentence-averaging contract is identical.
+
+use crate::sgns::{SgnsConfig, SgnsEmbeddings};
+use crate::IrModel;
+use vaer_text::Corpus;
+
+/// W2V IR configuration.
+#[derive(Debug, Clone)]
+pub struct W2vConfig {
+    /// Embedding (and IR) dimensionality.
+    pub dims: usize,
+    /// Context window radius.
+    pub window: usize,
+    /// Negative samples per positive.
+    pub negatives: usize,
+    /// Training epochs over the corpus.
+    pub epochs: usize,
+    /// Minimum token frequency to keep.
+    pub min_count: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for W2vConfig {
+    fn default() -> Self {
+        Self { dims: 64, window: 3, negatives: 5, epochs: 3, min_count: 1, seed: 0x32F }
+    }
+}
+
+/// A fitted word2vec IR model.
+pub struct W2vModel {
+    corpus: Corpus,
+    embeddings: SgnsEmbeddings,
+    dims: usize,
+}
+
+impl W2vModel {
+    /// Tokenises `sentences`, trains SGNS, and returns the model.
+    pub fn fit<S: AsRef<str>>(sentences: &[S], config: &W2vConfig) -> Self {
+        let raw: Vec<&str> = sentences.iter().map(AsRef::as_ref).collect();
+        let corpus = Corpus::build(&raw, config.min_count);
+        let counts: Vec<u64> =
+            (0..corpus.vocab().len()).map(|i| corpus.vocab().count(i as u32)).collect();
+        let embeddings = SgnsEmbeddings::train(
+            corpus.sentences(),
+            corpus.vocab().len(),
+            &counts,
+            &SgnsConfig {
+                dims: config.dims,
+                window: config.window,
+                negatives: config.negatives,
+                epochs: config.epochs,
+                learning_rate: 0.05,
+                seed: config.seed,
+            },
+        );
+        Self { corpus, embeddings, dims: config.dims }
+    }
+
+    /// The trained token embeddings.
+    pub fn embeddings(&self) -> &SgnsEmbeddings {
+        &self.embeddings
+    }
+
+    /// The tokenised corpus / vocabulary used for training.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+}
+
+impl IrModel for W2vModel {
+    fn dims(&self) -> usize {
+        self.dims
+    }
+
+    fn encode(&self, raw_sentence: &str) -> Vec<f32> {
+        let ids = self.corpus.encode(raw_sentence);
+        self.embeddings.mean_vector(&ids)
+    }
+
+    fn name(&self) -> &'static str {
+        "W2V"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_linalg::vector::{cosine, norm};
+
+    fn fit_demo() -> W2vModel {
+        // Repetitive mini-corpus with two clear topics.
+        let mut sentences = Vec::new();
+        for _ in 0..30 {
+            sentences.push("cheap italian pizza restaurant".to_string());
+            sentences.push("cozy italian pasta restaurant".to_string());
+            sentences.push("fast car engine repair".to_string());
+            sentences.push("quick car brake repair".to_string());
+        }
+        W2vModel::fit(&sentences, &W2vConfig { dims: 16, epochs: 4, seed: 5, ..Default::default() })
+    }
+
+    #[test]
+    fn topical_sentences_cluster() {
+        let m = fit_demo();
+        let a = m.encode("italian pizza restaurant");
+        let b = m.encode("italian pasta restaurant");
+        let c = m.encode("car engine repair");
+        assert!(cosine(&a, &b) > cosine(&a, &c), "{} vs {}", cosine(&a, &b), cosine(&a, &c));
+    }
+
+    #[test]
+    fn oov_only_sentence_is_zero() {
+        let m = fit_demo();
+        let v = m.encode("zzz qqq www");
+        assert_eq!(norm(&v), 0.0);
+    }
+
+    #[test]
+    fn encodings_unit_norm() {
+        let m = fit_demo();
+        let v = m.encode("cheap pizza");
+        assert!((norm(&v) - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn deterministic() {
+        let s: Vec<String> = (0..20).map(|i| format!("token{} shared common", i % 5)).collect();
+        let cfg = W2vConfig { dims: 8, epochs: 2, seed: 13, ..Default::default() };
+        let a = W2vModel::fit(&s, &cfg);
+        let b = W2vModel::fit(&s, &cfg);
+        assert_eq!(a.encode("shared common"), b.encode("shared common"));
+    }
+}

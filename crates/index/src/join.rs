@@ -1,0 +1,104 @@
+//! kNN joins: candidate tuple-pair generation for blocking and
+//! active-learning bootstrapping.
+
+use crate::KnnIndex;
+
+/// One retrieved neighbour: the indexed point's position and its exact
+/// Euclidean distance to the query.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Neighbor {
+    /// Index of the point inside the index it came from.
+    pub index: usize,
+    /// Euclidean distance to the query.
+    pub distance: f32,
+}
+
+/// A candidate pair produced by a join: `(left, right, distance)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidatePair {
+    /// Row in the left (query) collection.
+    pub left: usize,
+    /// Row in the right (indexed) collection.
+    pub right: usize,
+    /// Euclidean distance between the two vectors.
+    pub distance: f32,
+}
+
+/// Joins every query vector against an index, keeping the top-`k`
+/// neighbours of each. This is the blocking step of §VI-B: pairs that
+/// never meet in a top-K list are never compared by the matcher.
+pub fn knn_join(
+    queries: &[Vec<f32>],
+    index: &dyn KnnIndex,
+    k: usize,
+) -> Vec<CandidatePair> {
+    let mut out = Vec::with_capacity(queries.len() * k);
+    for (qi, q) in queries.iter().enumerate() {
+        for n in index.knn(q, k) {
+            out.push(CandidatePair { left: qi, right: n.index, distance: n.distance });
+        }
+    }
+    out
+}
+
+/// Self-join over one collection (Algorithm 1, lines 3–10): each point is
+/// paired with its top-`k` neighbours, excluding itself; symmetric
+/// duplicates `(i, j)` / `(j, i)` are merged with `i < j`.
+pub fn self_knn_join(index: &dyn KnnIndex, points: &[Vec<f32>], k: usize) -> Vec<CandidatePair> {
+    let mut out: Vec<CandidatePair> = Vec::with_capacity(points.len() * k);
+    for (qi, q) in points.iter().enumerate() {
+        // k+1 because the query collides with itself at distance 0.
+        for n in index.knn(q, k + 1) {
+            if n.index == qi {
+                continue;
+            }
+            let (a, b) = if qi < n.index { (qi, n.index) } else { (n.index, qi) };
+            out.push(CandidatePair { left: a, right: b, distance: n.distance });
+        }
+    }
+    out.sort_by_key(|p| (p.left, p.right));
+    out.dedup_by(|a, b| a.left == b.left && a.right == b.right);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brute::BruteForceKnn;
+
+    #[test]
+    fn knn_join_pairs_each_query() {
+        let right = BruteForceKnn::build(vec![vec![0.0], vec![10.0], vec![20.0]]);
+        let queries = vec![vec![1.0], vec![19.0]];
+        let pairs = knn_join(&queries, &right, 1);
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].left, pairs[0].right), (0, 0));
+        assert_eq!((pairs[1].left, pairs[1].right), (1, 2));
+    }
+
+    #[test]
+    fn self_join_excludes_self_and_dedups() {
+        let points = vec![vec![0.0], vec![0.1], vec![5.0]];
+        let idx = BruteForceKnn::build(points.clone());
+        let pairs = self_knn_join(&idx, &points, 1);
+        // 0↔1 are mutual nearest neighbours → one merged pair; 2's nearest
+        // is 1 → pair (1,2).
+        assert_eq!(pairs.len(), 2);
+        assert_eq!((pairs[0].left, pairs[0].right), (0, 1));
+        assert_eq!((pairs[1].left, pairs[1].right), (1, 2));
+        assert!(pairs.iter().all(|p| p.left < p.right));
+    }
+
+    #[test]
+    fn self_join_empty() {
+        let idx = BruteForceKnn::build(Vec::new());
+        assert!(self_knn_join(&idx, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn distances_are_exact() {
+        let right = BruteForceKnn::build(vec![vec![3.0, 4.0]]);
+        let pairs = knn_join(&[vec![0.0, 0.0]], &right, 1);
+        assert!((pairs[0].distance - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,377 @@
+//! Matrix decompositions: thin QR, symmetric Jacobi eigendecomposition,
+//! and randomized truncated SVD (Halko, Martinsson & Tropp, 2011).
+//!
+//! These are the pieces the LSA intermediate-representation generator needs
+//! (TF-IDF → truncated SVD), sized for the "few thousand documents × few
+//! thousand terms" matrices that VAER's benchmark domains produce.
+
+use crate::matrix::Matrix;
+use crate::rng::XorShiftRng;
+use crate::LinalgError;
+
+/// Result of a thin QR factorisation `A = Q R`.
+#[derive(Debug, Clone)]
+pub struct QrResult {
+    /// `m x k` matrix with orthonormal columns (`k = min(m, n)`).
+    pub q: Matrix,
+    /// `k x n` upper-triangular factor.
+    pub r: Matrix,
+}
+
+/// Result of a symmetric eigendecomposition `A = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct EighResult {
+    /// Eigenvalues in descending order.
+    pub eigenvalues: Vec<f32>,
+    /// Matrix whose *columns* are the corresponding eigenvectors.
+    pub eigenvectors: Matrix,
+}
+
+/// Result of a truncated SVD `A ≈ U diag(σ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SvdResult {
+    /// `m x k` left singular vectors.
+    pub u: Matrix,
+    /// Top-`k` singular values, descending.
+    pub singular_values: Vec<f32>,
+    /// `k x n` right singular vectors (as rows of `Vᵀ`).
+    pub vt: Matrix,
+}
+
+/// Thin QR via modified Gram–Schmidt with one re-orthogonalisation pass.
+///
+/// MGS with a second pass is numerically adequate for the tall, well-scaled
+/// sketch matrices used inside [`randomized_svd`]; Householder would be
+/// overkill here. Columns that turn out linearly dependent are replaced by
+/// zero columns (with a zero diagonal in `R`).
+pub fn qr_thin(a: &Matrix) -> QrResult {
+    let (m, n) = a.shape();
+    let k = m.min(n);
+    // Work column-wise on the transpose so each vector is contiguous.
+    let at = a.transpose(); // n x m, row i = column i of A
+    let mut q_cols: Vec<Vec<f32>> = Vec::with_capacity(k);
+    let mut r = Matrix::zeros(k, n);
+    for j in 0..n {
+        let mut v = at.row(j).to_vec();
+        // Two orthogonalisation passes (classical "MGS2").
+        for _pass in 0..2 {
+            for (i, q) in q_cols.iter().enumerate() {
+                let proj = crate::vector::dot(q, &v);
+                if j < n && i < k {
+                    r.set(i, j, r.get(i, j) + proj);
+                }
+                crate::vector::axpy(-proj, q, &mut v);
+            }
+        }
+        if q_cols.len() < k {
+            let nv = crate::vector::norm(&v);
+            if nv > 1e-7 {
+                crate::vector::scale(1.0 / nv, &mut v);
+                r.set(q_cols.len(), j, nv);
+                q_cols.push(v);
+            } else {
+                // Dependent column: keep a zero placeholder to preserve shape.
+                r.set(q_cols.len(), j, 0.0);
+                q_cols.push(vec![0.0; m]);
+            }
+        }
+    }
+    while q_cols.len() < k {
+        q_cols.push(vec![0.0; m]);
+    }
+    let mut q = Matrix::zeros(m, k);
+    for (jc, col) in q_cols.iter().enumerate() {
+        for (i, &v) in col.iter().enumerate() {
+            q.set(i, jc, v);
+        }
+    }
+    QrResult { q, r }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix.
+///
+/// Returns eigenpairs sorted by descending eigenvalue. Intended for the
+/// small (`k x k`, k ≲ 300) Gram matrices formed inside the randomized SVD.
+///
+/// # Errors
+/// Returns [`LinalgError::NoConvergence`] if the off-diagonal mass does not
+/// fall below tolerance within 100 sweeps, and
+/// [`LinalgError::ShapeMismatch`] for non-square input.
+pub fn jacobi_eigh(a: &Matrix) -> Result<EighResult, LinalgError> {
+    let (n, n2) = a.shape();
+    if n != n2 {
+        return Err(LinalgError::ShapeMismatch {
+            expected: "square matrix".into(),
+            found: format!("{n}x{n2}"),
+        });
+    }
+    if n == 0 {
+        return Err(LinalgError::EmptyInput("jacobi_eigh"));
+    }
+    let mut s = a.clone();
+    let mut v = Matrix::identity(n);
+    let max_sweeps = 100;
+    // f32 arithmetic cannot drive the off-diagonal mass much below ~1e-6
+    // relative to the matrix scale; demanding more would spin forever.
+    let tol = 1e-6_f32 * (1.0 + a.fro_norm());
+    for _sweep in 0..max_sweeps {
+        let mut off = 0.0f32;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                off += s.get(p, q) * s.get(p, q);
+            }
+        }
+        if off.sqrt() <= tol {
+            let mut pairs: Vec<(f32, usize)> =
+                (0..n).map(|i| (s.get(i, i), i)).collect();
+            pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+            let eigenvalues: Vec<f32> = pairs.iter().map(|&(l, _)| l).collect();
+            let mut eigenvectors = Matrix::zeros(n, n);
+            for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+                for i in 0..n {
+                    eigenvectors.set(i, new_col, v.get(i, old_col));
+                }
+            }
+            return Ok(EighResult { eigenvalues, eigenvectors });
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = s.get(p, q);
+                if apq.abs() < f32::EPSILON {
+                    continue;
+                }
+                let app = s.get(p, p);
+                let aqq = s.get(q, q);
+                // Standard stable Jacobi rotation (Golub & Van Loan §8.5).
+                let t = {
+                    let tau = (aqq - app) / (2.0 * apq);
+                    let sign = if tau >= 0.0 { 1.0 } else { -1.0 };
+                    sign / (tau.abs() + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let sn = t * c;
+                // Apply rotation to rows/cols p and q of S.
+                for i in 0..n {
+                    let sip = s.get(i, p);
+                    let siq = s.get(i, q);
+                    s.set(i, p, c * sip - sn * siq);
+                    s.set(i, q, sn * sip + c * siq);
+                }
+                for i in 0..n {
+                    let spi = s.get(p, i);
+                    let sqi = s.get(q, i);
+                    s.set(p, i, c * spi - sn * sqi);
+                    s.set(q, i, sn * spi + c * sqi);
+                }
+                // Accumulate eigenvectors.
+                for i in 0..n {
+                    let vip = v.get(i, p);
+                    let viq = v.get(i, q);
+                    v.set(i, p, c * vip - sn * viq);
+                    v.set(i, q, sn * vip + c * viq);
+                }
+            }
+        }
+    }
+    Err(LinalgError::NoConvergence { routine: "jacobi_eigh", iterations: max_sweeps })
+}
+
+/// Randomized truncated SVD: `A ≈ U diag(σ) Vᵀ` with `k` components.
+///
+/// Implements the standard two-stage scheme: a Gaussian sketch with
+/// `oversample` extra columns, `power_iters` subspace (power) iterations
+/// with QR re-orthogonalisation for spectral-decay sharpening, then an
+/// exact eigendecomposition of the small projected Gram matrix.
+///
+/// # Errors
+/// Returns an error on empty input, `k == 0`, or eigensolver failure.
+pub fn randomized_svd(
+    a: &Matrix,
+    k: usize,
+    oversample: usize,
+    power_iters: usize,
+    seed: u64,
+) -> Result<SvdResult, LinalgError> {
+    let (m, n) = a.shape();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::EmptyInput("randomized_svd"));
+    }
+    if k == 0 {
+        return Err(LinalgError::EmptyInput("randomized_svd: k must be > 0"));
+    }
+    let k = k.min(m).min(n);
+    let sketch = (k + oversample).min(m).min(n);
+    let mut rng = XorShiftRng::new(seed);
+    let omega = Matrix::gaussian(n, sketch, &mut rng);
+    // Range finder: Y = A Ω, refined by power iterations.
+    let mut q = qr_thin(&a.matmul(&omega)).q;
+    for _ in 0..power_iters {
+        let z = qr_thin(&a.t_matmul(&q)).q; // n x sketch
+        q = qr_thin(&a.matmul(&z)).q; // m x sketch
+    }
+    // Project: B = Qᵀ A  (sketch x n); eigendecompose B Bᵀ (sketch x sketch).
+    let b = q.t_matmul(a);
+    let gram = b.matmul_t(&b);
+    let eig = jacobi_eigh(&gram)?;
+    let mut singular_values = Vec::with_capacity(k);
+    let mut u = Matrix::zeros(m, k);
+    let mut vt = Matrix::zeros(k, n);
+    // U = Q * W, Vᵀ = diag(1/σ) Wᵀ B, where W holds top-k eigenvectors.
+    for comp in 0..k {
+        let lambda = eig.eigenvalues[comp].max(0.0);
+        let sigma = lambda.sqrt();
+        singular_values.push(sigma);
+        let w_col = eig.eigenvectors.col(comp); // length `sketch`
+        // U[:, comp] = Q w
+        for i in 0..m {
+            u.set(i, comp, crate::vector::dot(q.row(i), &w_col));
+        }
+        // Vᵀ[comp, :] = (wᵀ B) / σ
+        if sigma > 1e-7 {
+            let inv = 1.0 / sigma;
+            for j in 0..n {
+                let mut acc = 0.0;
+                for (p, &w) in w_col.iter().enumerate() {
+                    acc += w * b.get(p, j);
+                }
+                vt.set(comp, j, acc * inv);
+            }
+        }
+    }
+    Ok(SvdResult { u, singular_values, vt })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(q: &Matrix, tol: f32) {
+        let g = q.t_matmul(q);
+        let (k, _) = g.shape();
+        for i in 0..k {
+            for j in 0..k {
+                let expected = if i == j { 1.0 } else { 0.0 };
+                let got = g.get(i, j);
+                // Zero (dependent) columns yield zero diagonal entries.
+                if i == j && got.abs() < tol {
+                    continue;
+                }
+                assert!(
+                    (got - expected).abs() < tol,
+                    "G[{i},{j}] = {got}, expected {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let mut rng = XorShiftRng::new(9);
+        let a = Matrix::gaussian(8, 5, &mut rng);
+        let QrResult { q, r } = qr_thin(&a);
+        assert_orthonormal_cols(&q, 1e-4);
+        let recon = q.matmul(&r);
+        assert!(recon.max_abs_diff(&a) < 1e-4, "diff {}", recon.max_abs_diff(&a));
+    }
+
+    #[test]
+    fn qr_rank_deficient() {
+        // Two identical columns: QR must not blow up.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[3.0, 3.0]]);
+        let QrResult { q, r } = qr_thin(&a);
+        let recon = q.matmul(&r);
+        assert!(recon.max_abs_diff(&a) < 1e-5);
+    }
+
+    #[test]
+    fn jacobi_diagonalises_known_matrix() {
+        // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = jacobi_eigh(&a).unwrap();
+        assert!((e.eigenvalues[0] - 3.0).abs() < 1e-5);
+        assert!((e.eigenvalues[1] - 1.0).abs() < 1e-5);
+        // A v = λ v for the top eigenvector.
+        let v0 = e.eigenvectors.col(0);
+        let av: Vec<f32> = (0..2).map(|i| crate::vector::dot(a.row(i), &v0)).collect();
+        for i in 0..2 {
+            assert!((av[i] - 3.0 * v0[i]).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn jacobi_random_symmetric_reconstruction() {
+        let mut rng = XorShiftRng::new(21);
+        let g = Matrix::gaussian(6, 6, &mut rng);
+        let a = g.t_matmul(&g); // symmetric PSD
+        let e = jacobi_eigh(&a).unwrap();
+        // Reconstruct V diag(λ) Vᵀ.
+        let n = 6;
+        let mut recon = Matrix::zeros(n, n);
+        for c in 0..n {
+            let v = e.eigenvectors.col(c);
+            let l = e.eigenvalues[c];
+            for i in 0..n {
+                for j in 0..n {
+                    recon.set(i, j, recon.get(i, j) + l * v[i] * v[j]);
+                }
+            }
+        }
+        assert!(
+            recon.max_abs_diff(&a) < 1e-2 * (1.0 + a.fro_norm()),
+            "diff {}",
+            recon.max_abs_diff(&a)
+        );
+    }
+
+    #[test]
+    fn jacobi_rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(jacobi_eigh(&a), Err(LinalgError::ShapeMismatch { .. })));
+    }
+
+    #[test]
+    fn svd_low_rank_exact_recovery() {
+        // Build an exactly rank-3 matrix and recover it with k=3.
+        let mut rng = XorShiftRng::new(5);
+        let u = Matrix::gaussian(20, 3, &mut rng);
+        let v = Matrix::gaussian(15, 3, &mut rng);
+        let a = u.matmul_t(&v);
+        let svd = randomized_svd(&a, 3, 4, 2, 77).unwrap();
+        let mut recon = Matrix::zeros(20, 15);
+        for c in 0..3 {
+            let s = svd.singular_values[c];
+            for i in 0..20 {
+                for j in 0..15 {
+                    recon.set(i, j, recon.get(i, j) + s * svd.u.get(i, c) * svd.vt.get(c, j));
+                }
+            }
+        }
+        let rel = recon.sub(&a).fro_norm() / a.fro_norm();
+        assert!(rel < 1e-2, "relative error {rel}");
+    }
+
+    #[test]
+    fn svd_singular_values_descending() {
+        let mut rng = XorShiftRng::new(31);
+        let a = Matrix::gaussian(30, 12, &mut rng);
+        let svd = randomized_svd(&a, 6, 4, 2, 3).unwrap();
+        for w in svd.singular_values.windows(2) {
+            assert!(w[0] >= w[1] - 1e-4, "not descending: {:?}", svd.singular_values);
+        }
+        assert_eq!(svd.u.shape(), (30, 6));
+        assert_eq!(svd.vt.shape(), (6, 12));
+    }
+
+    #[test]
+    fn svd_k_larger_than_rank_is_clamped() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let svd = randomized_svd(&a, 10, 4, 1, 1).unwrap();
+        assert_eq!(svd.u.cols(), 2);
+    }
+
+    #[test]
+    fn svd_errors() {
+        assert!(randomized_svd(&Matrix::zeros(0, 3), 2, 2, 1, 1).is_err());
+        assert!(randomized_svd(&Matrix::zeros(3, 3), 0, 2, 1, 1).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Dense `f32` linear algebra for VAER.
+//!
+//! This crate provides the numerical substrate used by every other VAER
+//! crate: a row-major dense [`Matrix`], vector kernels, and the matrix
+//! decompositions required by the representation-learning pipeline
+//! (QR, symmetric Jacobi eigendecomposition, and randomized truncated SVD
+//! in the style of Halko, Martinsson & Tropp).
+//!
+//! The implementation is deliberately simple and allocation-conscious:
+//! contiguous `Vec<f32>` storage, iterator-driven inner loops (so the
+//! compiler elides bounds checks), and an `ikj`-ordered matmul that is
+//! cache-friendly without any `unsafe`.
+//!
+//! # Example
+//!
+//! ```
+//! use vaer_linalg::Matrix;
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::identity(2);
+//! let c = a.matmul(&b);
+//! assert_eq!(c, a);
+//! ```
+
+mod decomp;
+mod matrix;
+mod ops;
+mod rng;
+pub mod vector;
+
+pub use decomp::{jacobi_eigh, qr_thin, randomized_svd, EighResult, QrResult, SvdResult};
+pub use matrix::Matrix;
+pub use rng::XorShiftRng;
+
+/// Errors produced by fallible linear-algebra routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// An operation received matrices with incompatible shapes.
+    ShapeMismatch {
+        /// Human-readable description of the expected shape relation.
+        expected: String,
+        /// Human-readable description of what was found.
+        found: String,
+    },
+    /// An iterative routine failed to converge within its iteration budget.
+    NoConvergence {
+        /// Name of the routine.
+        routine: &'static str,
+        /// Iterations performed.
+        iterations: usize,
+    },
+    /// A routine received an empty input where data was required.
+    EmptyInput(&'static str),
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::NoConvergence { routine, iterations } => {
+                write!(f, "{routine} did not converge after {iterations} iterations")
+            }
+            LinalgError::EmptyInput(what) => write!(f, "empty input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display() {
+        let e = LinalgError::ShapeMismatch { expected: "2x2".into(), found: "3x1".into() };
+        assert!(e.to_string().contains("2x2"));
+        let e = LinalgError::NoConvergence { routine: "jacobi", iterations: 5 };
+        assert!(e.to_string().contains("jacobi"));
+        let e = LinalgError::EmptyInput("matrix");
+        assert!(e.to_string().contains("matrix"));
+    }
+}

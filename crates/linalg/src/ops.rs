@@ -1,0 +1,305 @@
+//! Arithmetic kernels on [`Matrix`].
+
+use crate::matrix::Matrix;
+
+impl Matrix {
+    /// Matrix product `self * other`.
+    ///
+    /// Uses `ikj` loop order: the innermost loop walks contiguous rows of
+    /// both the output and `other`, which is the cache-friendly layout for
+    /// row-major storage and lets LLVM vectorise the fused multiply-add.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != other.rows()`.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.rows(),
+            "matmul shape mismatch: {:?} x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (m, k) = self.shape();
+        let n = other.cols();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+                if a_ip == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(p);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a_ip * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ * other` without materialising the transpose.
+    pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows(),
+            other.rows(),
+            "t_matmul shape mismatch: {:?}ᵀ x {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let (r, m) = self.shape();
+        let n = other.cols();
+        let mut out = Matrix::zeros(m, n);
+        for p in 0..r {
+            let a_row = self.row(p);
+            let b_row = other.row(p);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * otherᵀ` without materialising the transpose.
+    pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols(),
+            other.cols(),
+            "matmul_t shape mismatch: {:?} x {:?}ᵀ",
+            self.shape(),
+            other.shape()
+        );
+        let m = self.rows();
+        let n = other.rows();
+        let mut out = Matrix::zeros(m, n);
+        for i in 0..m {
+            let a_row = self.row(i);
+            let out_row = out.row_mut(i);
+            for (j, o) in out_row.iter_mut().enumerate().take(n) {
+                *o = crate::vector::dot(a_row, other.row(j));
+            }
+        }
+        out
+    }
+
+    /// Element-wise sum; shapes must match.
+    pub fn add(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Element-wise difference; shapes must match.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Element-wise (Hadamard) product; shapes must match.
+    pub fn hadamard(&self, other: &Matrix) -> Matrix {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Element-wise binary map over two same-shaped matrices.
+    pub fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "element-wise op shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        let data = self
+            .as_slice()
+            .iter()
+            .zip(other.as_slice().iter())
+            .map(|(&a, &b)| f(a, b))
+            .collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// Element-wise unary map.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        let data = self.as_slice().iter().map(|&a| f(a)).collect();
+        Matrix::from_vec(self.rows(), self.cols(), data)
+    }
+
+    /// Scales every element by `s`.
+    pub fn scale(&self, s: f32) -> Matrix {
+        self.map(|a| a * s)
+    }
+
+    /// In-place `self += alpha * other`.
+    pub fn axpy_inplace(&mut self, alpha: f32, other: &Matrix) {
+        assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Adds a row vector to every row (broadcast).
+    pub fn add_row_broadcast(&self, row: &[f32]) -> Matrix {
+        assert_eq!(self.cols(), row.len(), "broadcast row length mismatch");
+        let mut out = self.clone();
+        for i in 0..out.rows() {
+            for (o, &b) in out.row_mut(i).iter_mut().zip(row.iter()) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Frobenius norm.
+    pub fn fro_norm(&self) -> f32 {
+        self.as_slice().iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements; 0 for an empty matrix.
+    pub fn mean(&self) -> f32 {
+        if self.as_slice().is_empty() {
+            0.0
+        } else {
+            self.sum() / self.as_slice().len() as f32
+        }
+    }
+
+    /// Per-column mean, as a vector of length `cols`.
+    pub fn col_means(&self) -> Vec<f32> {
+        let mut means = vec![0.0f32; self.cols()];
+        if self.rows() == 0 {
+            return means;
+        }
+        for i in 0..self.rows() {
+            for (m, &v) in means.iter_mut().zip(self.row(i)) {
+                *m += v;
+            }
+        }
+        let inv = 1.0 / self.rows() as f32;
+        for m in &mut means {
+            *m *= inv;
+        }
+        means
+    }
+
+    /// L2-normalises every row in place; zero rows are left untouched.
+    pub fn l2_normalize_rows(&mut self) {
+        for i in 0..self.rows() {
+            let row = self.row_mut(i);
+            let norm = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            if norm > f32::EPSILON {
+                let inv = 1.0 / norm;
+                for v in row {
+                    *v *= inv;
+                }
+            }
+        }
+    }
+
+    /// Maximum absolute element difference vs `other`.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
+        assert_eq!(self.shape(), other.shape());
+        self.as_slice()
+            .iter()
+            .zip(other.as_slice())
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m22(a: f32, b: f32, c: f32, d: f32) -> Matrix {
+        Matrix::from_rows(&[&[a, b], &[c, d]])
+    }
+
+    #[test]
+    fn matmul_basic() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(5.0, 6.0, 7.0, 8.0);
+        let c = a.matmul(&b);
+        assert_eq!(c, m22(19.0, 22.0, 43.0, 50.0));
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a.matmul(&Matrix::identity(2)), a);
+        assert_eq!(Matrix::identity(2).matmul(&a), a);
+    }
+
+    #[test]
+    fn transpose_products_agree_with_explicit_transpose() {
+        let mut rng = crate::XorShiftRng::new(42);
+        let a = Matrix::gaussian(4, 3, &mut rng);
+        let b = Matrix::gaussian(4, 5, &mut rng);
+        let fast = a.t_matmul(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn matmul_t_agrees() {
+        let mut rng = crate::XorShiftRng::new(1);
+        let a = Matrix::gaussian(3, 4, &mut rng);
+        let b = Matrix::gaussian(5, 4, &mut rng);
+        let fast = a.matmul_t(&b);
+        let slow = a.matmul(&b.transpose());
+        assert!(fast.max_abs_diff(&slow) < 1e-5);
+    }
+
+    #[test]
+    fn elementwise_ops() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        let b = m22(4.0, 3.0, 2.0, 1.0);
+        assert_eq!(a.add(&b), Matrix::filled(2, 2, 5.0));
+        assert_eq!(a.sub(&a), Matrix::zeros(2, 2));
+        assert_eq!(a.hadamard(&b), m22(4.0, 6.0, 6.0, 4.0));
+        assert_eq!(a.scale(2.0), m22(2.0, 4.0, 6.0, 8.0));
+    }
+
+    #[test]
+    fn axpy_and_broadcast() {
+        let mut a = m22(1.0, 1.0, 1.0, 1.0);
+        let b = m22(1.0, 2.0, 3.0, 4.0);
+        a.axpy_inplace(0.5, &b);
+        assert_eq!(a, m22(1.5, 2.0, 2.5, 3.0));
+        let c = b.add_row_broadcast(&[10.0, 20.0]);
+        assert_eq!(c, m22(11.0, 22.0, 13.0, 24.0));
+    }
+
+    #[test]
+    fn reductions() {
+        let a = m22(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.col_means(), vec![2.0, 3.0]);
+        assert!((a.fro_norm() - 30.0f32.sqrt()).abs() < 1e-6);
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let mut a = Matrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        a.l2_normalize_rows();
+        assert!((a.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((a.row(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(a.row(1), &[0.0, 0.0]); // zero row untouched
+    }
+
+    #[test]
+    #[should_panic]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,114 @@
+//! A tiny, dependency-free xorshift64* RNG.
+//!
+//! `vaer-linalg` sits at the bottom of the dependency DAG and must not pull
+//! in `rand`; the randomized SVD only needs a reproducible stream of
+//! approximately-Gaussian values, for which xorshift64* plus a
+//! sum-of-uniforms Gaussian is ample.
+
+/// Deterministic xorshift64* pseudo-random generator.
+///
+/// Not cryptographically secure; used only to draw Gaussian sketching
+/// matrices for [`randomized_svd`](crate::randomized_svd) and test data.
+#[derive(Debug, Clone)]
+pub struct XorShiftRng {
+    state: u64,
+}
+
+impl XorShiftRng {
+    /// Creates a generator from a seed. A zero seed is remapped to a
+    /// non-zero constant because xorshift has a zero fixed point.
+    pub fn new(seed: u64) -> Self {
+        let state = if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed };
+        Self { state }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.state = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn next_f32(&mut self) -> f32 {
+        // Use the top 24 bits for a uniform dyadic rational.
+        ((self.next_u64() >> 40) as f32) / (1u32 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.next_f32()
+    }
+
+    /// Approximately standard-normal `f32` (Irwin–Hall with 12 uniforms).
+    pub fn gaussian(&mut self) -> f32 {
+        let mut s = 0.0f32;
+        for _ in 0..12 {
+            s += self.next_f32();
+        }
+        s - 6.0
+    }
+
+    /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "XorShiftRng::below requires n > 0");
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = XorShiftRng::new(7);
+        let mut b = XorShiftRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn zero_seed_is_remapped() {
+        let mut r = XorShiftRng::new(0);
+        assert_ne!(r.next_u64(), 0);
+    }
+
+    #[test]
+    fn uniform_in_range() {
+        let mut r = XorShiftRng::new(3);
+        for _ in 0..1000 {
+            let x = r.uniform(-2.0, 5.0);
+            assert!((-2.0..5.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gaussian_moments_are_plausible() {
+        let mut r = XorShiftRng::new(11);
+        let n = 20_000;
+        let xs: Vec<f32> = (0..n).map(|_| r.gaussian()).collect();
+        let mean = xs.iter().sum::<f32>() / n as f32;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn below_bounds() {
+        let mut r = XorShiftRng::new(5);
+        for _ in 0..1000 {
+            assert!(r.below(17) < 17);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn below_zero_panics() {
+        XorShiftRng::new(1).below(0);
+    }
+}

@@ -1,0 +1,162 @@
+//! Vector kernels shared across VAER crates.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch: {} vs {}", a.len(), b.len());
+    a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f32]) -> f32 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn sq_euclidean(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn euclidean(a: &[f32], b: &[f32]) -> f32 {
+    sq_euclidean(a, b).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; returns 0 when either vector is zero.
+pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
+    let na = norm(a);
+    let nb = norm(b);
+    if na <= f32::EPSILON || nb <= f32::EPSILON {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// In-place `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
+    assert_eq!(x.len(), y.len(), "axpy length mismatch");
+    for (yi, &xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// In-place scale `x *= alpha`.
+#[inline]
+pub fn scale(alpha: f32, x: &mut [f32]) {
+    for xi in x {
+        *xi *= alpha;
+    }
+}
+
+/// L2-normalises `x` in place; leaves zero vectors untouched.
+pub fn l2_normalize(x: &mut [f32]) {
+    let n = norm(x);
+    if n > f32::EPSILON {
+        scale(1.0 / n, x);
+    }
+}
+
+/// Mean of a slice; 0 for empty input.
+pub fn mean(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        0.0
+    } else {
+        x.iter().sum::<f32>() / x.len() as f32
+    }
+}
+
+/// Population variance of a slice; 0 for empty input.
+pub fn variance(x: &[f32]) -> f32 {
+    if x.is_empty() {
+        return 0.0;
+    }
+    let m = mean(x);
+    x.iter().map(|&v| (v - m) * (v - m)).sum::<f32>() / x.len() as f32
+}
+
+/// Index of the maximum element; `None` for empty input. Ties go to the
+/// first occurrence.
+pub fn argmax(x: &[f32]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .fold(None, |best: Option<(usize, f32)>, (i, &v)| match best {
+            Some((_, bv)) if bv >= v => best,
+            _ => Some((i, v)),
+        })
+        .map(|(i, _)| i)
+}
+
+/// Index of the minimum element; `None` for empty input.
+pub fn argmin(x: &[f32]) -> Option<usize> {
+    x.iter()
+        .enumerate()
+        .fold(None, |best: Option<(usize, f32)>, (i, &v)| match best {
+            Some((_, bv)) if bv <= v => best,
+            _ => Some((i, v)),
+        })
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn distances() {
+        assert_eq!(sq_euclidean(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert!((euclidean(&[0.0, 0.0], &[3.0, 4.0]) - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_properties() {
+        assert!((cosine(&[1.0, 0.0], &[1.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[0.0, 1.0])).abs() < 1e-6);
+        assert!((cosine(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert_eq!(cosine(&[0.0, 0.0], &[1.0, 2.0]), 0.0);
+    }
+
+    #[test]
+    fn axpy_scale_normalize() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, 3.0], &mut y);
+        assert_eq!(y, vec![3.0, 7.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, 3.5]);
+        let mut v = vec![3.0, 4.0];
+        l2_normalize(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        l2_normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn stats() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(variance(&[2.0, 4.0]), 1.0);
+    }
+
+    #[test]
+    fn arg_extrema() {
+        assert_eq!(argmax(&[1.0, 5.0, 3.0]), Some(1));
+        assert_eq!(argmin(&[1.0, 5.0, 3.0]), Some(0));
+        assert_eq!(argmax(&[]), None);
+        // Ties go to first occurrence.
+        assert_eq!(argmax(&[2.0, 2.0]), Some(0));
+    }
+}

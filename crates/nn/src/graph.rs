@@ -1,0 +1,736 @@
+//! The define-by-run autodiff tape.
+//!
+//! A [`Graph`] is an append-only arena of nodes; every op pushes a node
+//! holding its forward value, so node indices are already a topological
+//! order and [`Graph::backward`] is a single reverse sweep.
+
+use crate::params::{ParamId, ParamStore};
+use vaer_linalg::Matrix;
+
+/// Handle to a node (tensor) inside a [`Graph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tensor(usize);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Constant input (no gradient requested).
+    Input,
+    /// Leaf bound to a persistent parameter.
+    Param(ParamId),
+    /// `A * B`.
+    MatMul(usize, usize),
+    /// `A + B` (same shape).
+    Add(usize, usize),
+    /// `A - B` (same shape).
+    Sub(usize, usize),
+    /// Hadamard `A ∘ B`.
+    Mul(usize, usize),
+    /// Element-wise `A / B`.
+    Div(usize, usize),
+    /// `A + 1 bᵀ` where `b` is a `1 x n` row parameter/tensor.
+    AddBias(usize, usize),
+    /// `max(A, 0)`.
+    Relu(usize),
+    /// Logistic sigmoid.
+    Sigmoid(usize),
+    /// Hyperbolic tangent.
+    Tanh(usize),
+    /// Element-wise exponential.
+    Exp(usize),
+    /// Element-wise square.
+    Square(usize),
+    /// `c * A`.
+    Scale(usize, f32),
+    /// `A + c` element-wise.
+    AddScalar(usize),
+    /// Sum of all elements (scalar `1 x 1`).
+    SumAll(usize),
+    /// Mean of all elements (scalar `1 x 1`).
+    MeanAll(usize),
+    /// Per-row sum: `N x D` → `N x 1`.
+    RowSum(usize),
+    /// Horizontal concatenation of several tensors with equal row counts.
+    ConcatCols(Vec<usize>),
+    /// Column slice `[start, end)`.
+    SliceCols(usize, usize, usize),
+    /// Fused mean binary-cross-entropy with logits against constant targets.
+    BceWithLogits { logits: usize, targets: Matrix },
+}
+
+#[derive(Debug)]
+struct Node {
+    op: Op,
+    value: Matrix,
+    /// Whether any parameter is reachable below this node; gradients are
+    /// only propagated into subgraphs that need them.
+    needs_grad: bool,
+}
+
+/// A single forward/backward tape.
+///
+/// Created per training step from a [`ParamStore`]; parameter values are
+/// snapshotted into the graph at bind time (they are small relative to the
+/// activations, so the copy is in the noise).
+pub struct Graph {
+    nodes: Vec<Node>,
+    grads: Vec<Option<Matrix>>,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Graph {
+    /// New empty tape.
+    pub fn new() -> Self {
+        Self { nodes: Vec::with_capacity(64), grads: Vec::new() }
+    }
+
+    fn push(&mut self, op: Op, value: Matrix) -> Tensor {
+        let needs_grad = match &op {
+            Op::Input => false,
+            Op::Param(_) => true,
+            Op::MatMul(a, b)
+            | Op::Add(a, b)
+            | Op::Sub(a, b)
+            | Op::Mul(a, b)
+            | Op::Div(a, b)
+            | Op::AddBias(a, b) => self.nodes[*a].needs_grad || self.nodes[*b].needs_grad,
+            Op::Relu(a)
+            | Op::Sigmoid(a)
+            | Op::Tanh(a)
+            | Op::Exp(a)
+            | Op::Square(a)
+            | Op::Scale(a, _)
+            | Op::AddScalar(a)
+            | Op::SumAll(a)
+            | Op::MeanAll(a)
+            | Op::RowSum(a)
+            | Op::SliceCols(a, _, _) => self.nodes[*a].needs_grad,
+            Op::ConcatCols(parts) => parts.iter().any(|&p| self.nodes[p].needs_grad),
+            Op::BceWithLogits { logits, .. } => self.nodes[*logits].needs_grad,
+        };
+        self.nodes.push(Node { op, value, needs_grad });
+        Tensor(self.nodes.len() - 1)
+    }
+
+    /// Forward value of a tensor.
+    #[inline]
+    pub fn value(&self, t: Tensor) -> &Matrix {
+        &self.nodes[t.0].value
+    }
+
+    /// Gradient of the last [`backward`](Self::backward) loss w.r.t. `t`.
+    ///
+    /// `None` if `t` did not participate in the loss or backward has not
+    /// been run.
+    pub fn grad(&self, t: Tensor) -> Option<&Matrix> {
+        self.grads.get(t.0).and_then(|g| g.as_ref())
+    }
+
+    /// Number of nodes on the tape.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ---- leaf constructors ------------------------------------------------
+
+    /// A constant input (no gradient flows into it; `grad` is still
+    /// recorded so losses can inspect input sensitivities).
+    pub fn input(&mut self, value: Matrix) -> Tensor {
+        self.push(Op::Input, value)
+    }
+
+    /// Binds parameter `id` into the tape, snapshotting its current value.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Tensor {
+        let value = store.get(id).clone();
+        self.push(Op::Param(id), value)
+    }
+
+    // ---- ops ---------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Tensor, b: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
+        self.push(Op::MatMul(a.0, b.0), v)
+    }
+
+    /// Element-wise sum (same shapes).
+    pub fn add(&mut self, a: Tensor, b: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
+        self.push(Op::Add(a.0, b.0), v)
+    }
+
+    /// Element-wise difference (same shapes).
+    pub fn sub(&mut self, a: Tensor, b: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
+        self.push(Op::Sub(a.0, b.0), v)
+    }
+
+    /// Hadamard product (same shapes).
+    pub fn mul(&mut self, a: Tensor, b: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
+        self.push(Op::Mul(a.0, b.0), v)
+    }
+
+    /// Element-wise division `a / b` (same shapes). The caller must keep
+    /// `b` bounded away from zero (as the Mahalanobis distance layer does
+    /// with its variance floor).
+    pub fn div(&mut self, a: Tensor, b: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.zip_with(&self.nodes[b.0].value, |x, y| x / y);
+        self.push(Op::Div(a.0, b.0), v)
+    }
+
+    /// Adds a `1 x n` bias row to every row of `a`.
+    pub fn add_bias(&mut self, a: Tensor, bias: Tensor) -> Tensor {
+        let b = &self.nodes[bias.0].value;
+        assert_eq!(b.rows(), 1, "bias must be a 1 x n row vector");
+        let v = self.nodes[a.0].value.add_row_broadcast(b.row(0));
+        self.push(Op::AddBias(a.0, bias.0), v)
+    }
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
+        self.push(Op::Relu(a.0), v)
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.map(stable_sigmoid);
+        self.push(Op::Sigmoid(a.0), v)
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.map(f32::tanh);
+        self.push(Op::Tanh(a.0), v)
+    }
+
+    /// Element-wise exponential (inputs clamped to ±30 for stability).
+    pub fn exp(&mut self, a: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.map(|x| x.clamp(-30.0, 30.0).exp());
+        self.push(Op::Exp(a.0), v)
+    }
+
+    /// Element-wise square.
+    pub fn square(&mut self, a: Tensor) -> Tensor {
+        let v = self.nodes[a.0].value.map(|x| x * x);
+        self.push(Op::Square(a.0), v)
+    }
+
+    /// Multiplies every element by the constant `c`.
+    pub fn scale(&mut self, a: Tensor, c: f32) -> Tensor {
+        let v = self.nodes[a.0].value.scale(c);
+        self.push(Op::Scale(a.0, c), v)
+    }
+
+    /// Adds the constant `c` to every element.
+    pub fn add_scalar(&mut self, a: Tensor, c: f32) -> Tensor {
+        let v = self.nodes[a.0].value.map(|x| x + c);
+        self.push(Op::AddScalar(a.0), v)
+    }
+
+    /// Sum of all elements as a `1 x 1` tensor.
+    pub fn sum_all(&mut self, a: Tensor) -> Tensor {
+        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
+        self.push(Op::SumAll(a.0), v)
+    }
+
+    /// Mean of all elements as a `1 x 1` tensor.
+    pub fn mean_all(&mut self, a: Tensor) -> Tensor {
+        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.mean()]);
+        self.push(Op::MeanAll(a.0), v)
+    }
+
+    /// Per-row sum: `N x D` → `N x 1`.
+    pub fn row_sum(&mut self, a: Tensor) -> Tensor {
+        let m = &self.nodes[a.0].value;
+        let data: Vec<f32> = (0..m.rows()).map(|i| m.row(i).iter().sum()).collect();
+        let v = Matrix::from_vec(m.rows(), 1, data);
+        self.push(Op::RowSum(a.0), v)
+    }
+
+    /// Horizontally concatenates tensors with equal row counts.
+    ///
+    /// # Panics
+    /// Panics on an empty list or mismatched row counts.
+    pub fn concat_cols(&mut self, parts: &[Tensor]) -> Tensor {
+        assert!(!parts.is_empty(), "concat_cols requires at least one tensor");
+        let mut v = self.nodes[parts[0].0].value.clone();
+        for p in &parts[1..] {
+            v = v.hconcat(&self.nodes[p.0].value);
+        }
+        self.push(Op::ConcatCols(parts.iter().map(|t| t.0).collect()), v)
+    }
+
+    /// Keeps columns `[start, end)`.
+    pub fn slice_cols(&mut self, a: Tensor, start: usize, end: usize) -> Tensor {
+        let m = &self.nodes[a.0].value;
+        assert!(start <= end && end <= m.cols(), "slice_cols {start}..{end} out of bounds");
+        let mut v = Matrix::zeros(m.rows(), end - start);
+        for i in 0..m.rows() {
+            v.row_mut(i).copy_from_slice(&m.row(i)[start..end]);
+        }
+        self.push(Op::SliceCols(a.0, start, end), v)
+    }
+
+    /// Fused, numerically stable mean binary cross-entropy with logits.
+    ///
+    /// `targets` is a constant matrix of the same shape as `logits` with
+    /// entries in `[0, 1]`. Returns a scalar `1 x 1` tensor whose backward
+    /// rule is `(sigmoid(z) - y) / count`.
+    pub fn bce_with_logits(&mut self, logits: Tensor, targets: Matrix) -> Tensor {
+        let z = &self.nodes[logits.0].value;
+        assert_eq!(z.shape(), targets.shape(), "bce target shape mismatch");
+        let n = z.as_slice().len().max(1) as f32;
+        // mean over elements of: softplus(z) - z*y  ==  -[y ln σ + (1-y) ln(1-σ)]
+        let loss = z
+            .as_slice()
+            .iter()
+            .zip(targets.as_slice())
+            .map(|(&z, &y)| softplus(z) - z * y)
+            .sum::<f32>()
+            / n;
+        self.push(Op::BceWithLogits { logits: logits.0, targets }, Matrix::from_vec(1, 1, vec![loss]))
+    }
+
+    // ---- backward ----------------------------------------------------------
+
+    /// Runs reverse-mode differentiation from the scalar `loss`.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 x 1`.
+    pub fn backward(&mut self, loss: Tensor) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward requires a scalar loss"
+        );
+        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        if !self.nodes[loss.0].needs_grad {
+            // A loss with no trainable parameters below it has nothing to
+            // differentiate; leave all gradients empty.
+            return;
+        }
+        self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        for i in (0..self.nodes.len()).rev() {
+            let Some(g) = self.grads[i].take() else { continue };
+            // Re-insert so callers can still read the gradient afterwards.
+            self.propagate(i, &g);
+            self.grads[i] = Some(g);
+        }
+    }
+
+    fn accumulate(&mut self, node: usize, delta: Matrix) {
+        if !self.nodes[node].needs_grad {
+            return;
+        }
+        match &mut self.grads[node] {
+            Some(g) => g.axpy_inplace(1.0, &delta),
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, i: usize, g: &Matrix) {
+        // Clone the op descriptor (cheap: indices + small matrices only for BCE).
+        let op = self.nodes[i].op.clone();
+        match op {
+            Op::Input | Op::Param(_) => {}
+            Op::MatMul(a, b) => {
+                if self.nodes[a].needs_grad {
+                    let da = g.matmul_t(&self.nodes[b].value);
+                    self.accumulate(a, da);
+                }
+                if self.nodes[b].needs_grad {
+                    let db = self.nodes[a].value.t_matmul(g);
+                    self.accumulate(b, db);
+                }
+            }
+            Op::Add(a, b) => {
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(a, g.clone());
+                self.accumulate(b, g.scale(-1.0));
+            }
+            Op::Mul(a, b) => {
+                let da = g.hadamard(&self.nodes[b].value);
+                let db = g.hadamard(&self.nodes[a].value);
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::Div(a, b) => {
+                // d(a/b)/da = 1/b ; d(a/b)/db = -a/b².
+                let da = g.zip_with(&self.nodes[b].value, |gv, bv| gv / bv);
+                let db = g
+                    .zip_with(&self.nodes[a].value, |gv, av| gv * av)
+                    .zip_with(&self.nodes[b].value, |n, bv| -n / (bv * bv));
+                self.accumulate(a, da);
+                self.accumulate(b, db);
+            }
+            Op::AddBias(a, bias) => {
+                self.accumulate(a, g.clone());
+                // Bias gradient: column sums of g, as a 1 x n row.
+                let mut db = Matrix::zeros(1, g.cols());
+                for r in 0..g.rows() {
+                    for (o, &v) in db.row_mut(0).iter_mut().zip(g.row(r)) {
+                        *o += v;
+                    }
+                }
+                self.accumulate(bias, db);
+            }
+            Op::Relu(a) => {
+                let da = g.zip_with(&self.nodes[a].value, |gv, av| if av > 0.0 { gv } else { 0.0 });
+                self.accumulate(a, da);
+            }
+            Op::Sigmoid(a) => {
+                let da = g.zip_with(&self.nodes[i].value, |gv, s| gv * s * (1.0 - s));
+                self.accumulate(a, da);
+            }
+            Op::Tanh(a) => {
+                let da = g.zip_with(&self.nodes[i].value, |gv, y| gv * (1.0 - y * y));
+                self.accumulate(a, da);
+            }
+            Op::Exp(a) => {
+                let da = g.hadamard(&self.nodes[i].value);
+                self.accumulate(a, da);
+            }
+            Op::Square(a) => {
+                let da = g.zip_with(&self.nodes[a].value, |gv, av| 2.0 * gv * av);
+                self.accumulate(a, da);
+            }
+            Op::Scale(a, c) => self.accumulate(a, g.scale(c)),
+            Op::AddScalar(a) => self.accumulate(a, g.clone()),
+            Op::SumAll(a) => {
+                let (r, c) = self.nodes[a].value.shape();
+                self.accumulate(a, Matrix::filled(r, c, g.get(0, 0)));
+            }
+            Op::MeanAll(a) => {
+                let (r, c) = self.nodes[a].value.shape();
+                let n = (r * c).max(1) as f32;
+                self.accumulate(a, Matrix::filled(r, c, g.get(0, 0) / n));
+            }
+            Op::RowSum(a) => {
+                let (r, c) = self.nodes[a].value.shape();
+                let mut da = Matrix::zeros(r, c);
+                for row in 0..r {
+                    let gv = g.get(row, 0);
+                    for v in da.row_mut(row) {
+                        *v = gv;
+                    }
+                }
+                self.accumulate(a, da);
+            }
+            Op::ConcatCols(parts) => {
+                let mut offset = 0;
+                for p in parts {
+                    let cols = self.nodes[p].value.cols();
+                    let rows = self.nodes[p].value.rows();
+                    let mut dp = Matrix::zeros(rows, cols);
+                    for r in 0..rows {
+                        dp.row_mut(r).copy_from_slice(&g.row(r)[offset..offset + cols]);
+                    }
+                    offset += cols;
+                    self.accumulate(p, dp);
+                }
+            }
+            Op::SliceCols(a, start, end) => {
+                let (r, c) = self.nodes[a].value.shape();
+                let mut da = Matrix::zeros(r, c);
+                for row in 0..r {
+                    da.row_mut(row)[start..end].copy_from_slice(g.row(row));
+                }
+                self.accumulate(a, da);
+            }
+            Op::BceWithLogits { logits, targets } => {
+                let z = &self.nodes[logits].value;
+                let n = z.as_slice().len().max(1) as f32;
+                let scale = g.get(0, 0) / n;
+                let dz = z.zip_with(&targets, |zv, yv| (stable_sigmoid(zv) - yv) * scale);
+                self.accumulate(logits, dz);
+            }
+        }
+    }
+
+    /// Accumulated parameter gradients, summed over all tape bindings of
+    /// each [`ParamId`] (this is what makes Siamese weight sharing work).
+    pub fn param_grads(&self) -> Vec<(ParamId, Matrix)> {
+        let mut acc: Vec<(ParamId, Matrix)> = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let Op::Param(id) = node.op else { continue };
+            let Some(g) = self.grads.get(i).and_then(|g| g.as_ref()) else { continue };
+            match acc.iter_mut().find(|(pid, _)| *pid == id) {
+                Some((_, total)) => total.axpy_inplace(1.0, g),
+                None => acc.push((id, g.clone())),
+            }
+        }
+        acc
+    }
+}
+
+#[inline]
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[inline]
+fn softplus(x: f32) -> f32 {
+    // ln(1 + e^x) computed stably.
+    if x > 20.0 {
+        x
+    } else if x < -20.0 {
+        x.exp()
+    } else {
+        x.exp().ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vaer_linalg::XorShiftRng;
+
+    /// Numerically checks d(loss)/d(param) via central differences.
+    fn gradient_check(build: impl Fn(&mut Graph, Tensor) -> Tensor, init: Matrix) {
+        let mut store = ParamStore::new();
+        let pid = store.add("p", init.clone());
+
+        // Analytic gradient.
+        let analytic = {
+            let mut g = Graph::new();
+            let p = g.param(&store, pid);
+            let loss = build(&mut g, p);
+            g.backward(loss);
+            g.grad(p).expect("param must receive a gradient").clone()
+        };
+
+        // Numeric gradient.
+        let eps = 1e-2f32;
+        let (r, c) = init.shape();
+        for i in 0..r {
+            for j in 0..c {
+                let orig = store.get(pid).get(i, j);
+                store.get_mut(pid).set(i, j, orig + eps);
+                let lp = {
+                    let mut g = Graph::new();
+                    let p = g.param(&store, pid);
+                    let loss = build(&mut g, p);
+                    g.value(loss).get(0, 0)
+                };
+                store.get_mut(pid).set(i, j, orig - eps);
+                let lm = {
+                    let mut g = Graph::new();
+                    let p = g.param(&store, pid);
+                    let loss = build(&mut g, p);
+                    g.value(loss).get(0, 0)
+                };
+                store.get_mut(pid).set(i, j, orig);
+                let numeric = (lp - lm) / (2.0 * eps);
+                let got = analytic.get(i, j);
+                assert!(
+                    (numeric - got).abs() < 2e-2 * (1.0 + numeric.abs().max(got.abs())),
+                    "grad mismatch at ({i},{j}): numeric {numeric}, analytic {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_check_dense_relu_mse() {
+        let mut rng = XorShiftRng::new(3);
+        let w = Matrix::gaussian(3, 2, &mut rng).scale(0.5);
+        let x = Matrix::gaussian(4, 3, &mut rng);
+        let y = Matrix::gaussian(4, 2, &mut rng);
+        gradient_check(
+            move |g, p| {
+                let xt = g.input(x.clone());
+                let h0 = g.matmul(xt, p);
+                // Shift pre-activations away from the ReLU kink so central
+                // differences don't straddle the non-differentiable point.
+                let h = g.add_scalar(h0, 0.75);
+                let a = g.relu(h);
+                let yt = g.input(y.clone());
+                let d = g.sub(a, yt);
+                let s = g.square(d);
+                g.mean_all(s)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_check_sigmoid_tanh_exp_chain() {
+        let mut rng = XorShiftRng::new(5);
+        let w = Matrix::gaussian(2, 2, &mut rng).scale(0.3);
+        let x = Matrix::gaussian(3, 2, &mut rng);
+        gradient_check(
+            move |g, p| {
+                let xt = g.input(x.clone());
+                let h = g.matmul(xt, p);
+                let s = g.sigmoid(h);
+                let t = g.tanh(s);
+                let e = g.exp(t);
+                g.sum_all(e)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_check_bias_and_rowsum() {
+        let b = Matrix::from_rows(&[&[0.1, -0.2, 0.3]]);
+        let x = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        gradient_check(
+            move |g, p| {
+                let xt = g.input(x.clone());
+                let h = g.add_bias(xt, p);
+                let sq = g.square(h);
+                let rs = g.row_sum(sq);
+                g.mean_all(rs)
+            },
+            b,
+        );
+    }
+
+    #[test]
+    fn grad_check_concat_and_slice() {
+        let mut rng = XorShiftRng::new(7);
+        let w = Matrix::gaussian(2, 4, &mut rng).scale(0.4);
+        let x = Matrix::gaussian(3, 2, &mut rng);
+        gradient_check(
+            move |g, p| {
+                let xt = g.input(x.clone());
+                let h = g.matmul(xt, p); // 3 x 4
+                let left = g.slice_cols(h, 0, 2);
+                let right = g.slice_cols(h, 2, 4);
+                let prod = g.mul(left, right);
+                let cat = g.concat_cols(&[prod, left]);
+                let sq = g.square(cat);
+                g.sum_all(sq)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_check_bce_with_logits() {
+        let mut rng = XorShiftRng::new(11);
+        let w = Matrix::gaussian(2, 1, &mut rng).scale(0.6);
+        let x = Matrix::gaussian(5, 2, &mut rng);
+        let y = Matrix::from_vec(5, 1, vec![1.0, 0.0, 1.0, 0.0, 1.0]);
+        gradient_check(
+            move |g, p| {
+                let xt = g.input(x.clone());
+                let z = g.matmul(xt, p);
+                g.bce_with_logits(z, y.clone())
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_check_div() {
+        let w = Matrix::from_rows(&[&[1.0, -2.0], &[0.5, 3.0]]);
+        gradient_check(
+            move |g, p| {
+                // Divide by a strictly positive denominator built from p.
+                let sq = g.square(p);
+                let denom = g.add_scalar(sq, 1.0);
+                let num = g.add_scalar(p, 2.0);
+                let q = g.div(num, denom);
+                let s = g.square(q);
+                g.mean_all(s)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn grad_check_scale_addscalar_sub() {
+        let w = Matrix::from_rows(&[&[1.0, -1.0], &[0.5, 2.0]]);
+        gradient_check(
+            move |g, p| {
+                let s = g.scale(p, 3.0);
+                let t = g.add_scalar(s, -1.0);
+                let u = g.sub(t, p);
+                let sq = g.square(u);
+                g.mean_all(sq)
+            },
+            w,
+        );
+    }
+
+    #[test]
+    fn shared_param_grads_accumulate() {
+        // loss = sum(p) + sum(p) ⇒ dp = 2 everywhere.
+        let mut store = ParamStore::new();
+        let pid = store.add("p", Matrix::filled(2, 2, 1.0));
+        let mut g = Graph::new();
+        let p1 = g.param(&store, pid);
+        let p2 = g.param(&store, pid);
+        let s1 = g.sum_all(p1);
+        let s2 = g.sum_all(p2);
+        let loss = g.add(s1, s2);
+        g.backward(loss);
+        let grads = g.param_grads();
+        assert_eq!(grads.len(), 1);
+        assert_eq!(grads[0].1, Matrix::filled(2, 2, 2.0));
+    }
+
+    #[test]
+    fn bce_matches_manual_cross_entropy() {
+        let mut g = Graph::new();
+        let z = g.input(Matrix::from_vec(2, 1, vec![0.7, -1.3]));
+        let y = Matrix::from_vec(2, 1, vec![1.0, 0.0]);
+        let loss = g.bce_with_logits(z, y);
+        let p0 = stable_sigmoid(0.7);
+        let p1 = stable_sigmoid(-1.3);
+        let manual = -(p0.ln() + (1.0 - p1).ln()) / 2.0;
+        assert!((g.value(loss).get(0, 0) - manual).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_is_stable_for_extreme_logits() {
+        let mut g = Graph::new();
+        let z = g.input(Matrix::from_vec(1, 2, vec![100.0, -100.0]));
+        let s = g.sigmoid(z);
+        let v = g.value(s);
+        assert!(v.get(0, 0) > 0.999 && v.get(0, 0).is_finite());
+        assert!(v.get(0, 1) < 1e-3 && v.get(0, 1) >= 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn backward_requires_scalar() {
+        let mut g = Graph::new();
+        let t = g.input(Matrix::zeros(2, 2));
+        g.backward(t);
+    }
+
+    #[test]
+    fn unused_branches_have_no_grad() {
+        let mut store = ParamStore::new();
+        let pid = store.add("p", Matrix::filled(1, 1, 1.0));
+        let mut g = Graph::new();
+        let p = g.param(&store, pid);
+        let unused = g.input(Matrix::filled(1, 1, 5.0));
+        let loss = g.sum_all(p);
+        g.backward(loss);
+        assert!(g.grad(unused).is_none());
+        assert!(g.grad(p).is_some());
+    }
+}

@@ -1,0 +1,78 @@
+//! Weight initialisation schemes.
+
+use crate::NnRng;
+use rand::RngExt;
+use vaer_linalg::Matrix;
+
+/// Initialisation scheme for dense layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Initializer {
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    /// Suited to sigmoid/tanh layers.
+    Xavier,
+    /// He/Kaiming uniform: `U(-a, a)` with `a = sqrt(6 / fan_in)`.
+    /// Suited to ReLU layers.
+    He,
+    /// All zeros (used for biases).
+    Zeros,
+}
+
+impl Initializer {
+    /// Draws a `fan_in x fan_out` weight matrix.
+    pub fn sample(self, fan_in: usize, fan_out: usize, rng: &mut NnRng) -> Matrix {
+        match self {
+            Initializer::Zeros => Matrix::zeros(fan_in, fan_out),
+            Initializer::Xavier => {
+                let a = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+                Self::uniform(fan_in, fan_out, a, rng)
+            }
+            Initializer::He => {
+                let a = (6.0 / fan_in.max(1) as f32).sqrt();
+                Self::uniform(fan_in, fan_out, a, rng)
+            }
+        }
+    }
+
+    fn uniform(rows: usize, cols: usize, a: f32, rng: &mut NnRng) -> Matrix {
+        let data = (0..rows * cols).map(|_| rng.random_range(-a..a)).collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = NnRng::seed_from_u64(1);
+        let w = Initializer::Xavier.sample(10, 20, &mut rng);
+        let a = (6.0f32 / 30.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a));
+        // Not all zero.
+        assert!(w.fro_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_bounds() {
+        let mut rng = NnRng::seed_from_u64(2);
+        let w = Initializer::He.sample(8, 4, &mut rng);
+        let a = (6.0f32 / 8.0).sqrt();
+        assert!(w.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = NnRng::seed_from_u64(3);
+        let w = Initializer::Zeros.sample(3, 3, &mut rng);
+        assert_eq!(w, Matrix::zeros(3, 3));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Initializer::Xavier.sample(4, 4, &mut NnRng::seed_from_u64(9));
+        let b = Initializer::Xavier.sample(4, 4, &mut NnRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

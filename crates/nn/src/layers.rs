@@ -1,0 +1,267 @@
+//! Layer abstractions over the tape: dense layers and MLPs.
+
+use crate::graph::{Graph, Tensor};
+use crate::init::Initializer;
+use crate::params::{ParamId, ParamStore};
+use crate::NnRng;
+
+/// A fully-connected layer `y = x W + b`.
+///
+/// Parameters are registered in a [`ParamStore`] under
+/// `"{name}.w"` / `"{name}.b"`, which is the contract the transfer-learning
+/// code relies on when copying encoder weights between stores.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight parameter handle (`in_dim x out_dim`).
+    pub w: ParamId,
+    /// Bias parameter handle (`1 x out_dim`).
+    pub b: ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Dense {
+    /// Registers a new dense layer in `store`.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        init: Initializer,
+        rng: &mut NnRng,
+    ) -> Self {
+        let w = store.add(format!("{name}.w"), init.sample(in_dim, out_dim, rng));
+        let b = store.add(format!("{name}.b"), Initializer::Zeros.sample(1, out_dim, rng));
+        Self { w, b, in_dim, out_dim }
+    }
+
+    /// Rebinds an existing layer from a store by name.
+    ///
+    /// Returns `None` if either parameter is missing.
+    pub fn from_store(store: &ParamStore, name: &str) -> Option<Self> {
+        let w = store.find(&format!("{name}.w"))?;
+        let b = store.find(&format!("{name}.b"))?;
+        let (in_dim, out_dim) = store.get(w).shape();
+        Some(Self { w, b, in_dim, out_dim })
+    }
+
+    /// Input dimensionality.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimensionality.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer on the tape, binding parameters from `store`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, x: Tensor) -> Tensor {
+        let w = g.param(store, self.w);
+        let b = g.param(store, self.b);
+        let xw = g.matmul(x, w);
+        g.add_bias(xw, b)
+    }
+}
+
+/// Activation applied between MLP layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Identity (no activation).
+    Linear,
+}
+
+impl Activation {
+    fn apply(self, g: &mut Graph, x: Tensor) -> Tensor {
+        match self {
+            Activation::Relu => g.relu(x),
+            Activation::Tanh => g.tanh(x),
+            Activation::Sigmoid => g.sigmoid(x),
+            Activation::Linear => x,
+        }
+    }
+}
+
+/// Configuration for an [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct MlpConfig {
+    /// Sizes of every layer boundary, e.g. `[in, hidden, out]`.
+    pub dims: Vec<usize>,
+    /// Activation between hidden layers.
+    pub hidden_activation: Activation,
+    /// Activation after the final layer (usually `Linear`; losses that need
+    /// probabilities should work on logits via `bce_with_logits`).
+    pub output_activation: Activation,
+    /// Initialiser for the weights.
+    pub init: Initializer,
+}
+
+impl MlpConfig {
+    /// ReLU-hidden, linear-output MLP with He init.
+    pub fn relu(dims: Vec<usize>) -> Self {
+        Self {
+            dims,
+            hidden_activation: Activation::Relu,
+            output_activation: Activation::Linear,
+            init: Initializer::He,
+        }
+    }
+}
+
+/// A multi-layer perceptron: a stack of [`Dense`] layers with activations.
+///
+/// This is the "two-layer MLP with non-linear activation functions" used by
+/// the paper's Matching layer (§IV-A) and by the baselines' classifiers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Registers a new MLP in `store` under `"{name}.{i}"` layer names.
+    ///
+    /// # Panics
+    /// Panics if `config.dims` has fewer than two entries.
+    pub fn new(store: &mut ParamStore, name: &str, config: &MlpConfig, rng: &mut NnRng) -> Self {
+        assert!(config.dims.len() >= 2, "MLP needs at least [in, out] dims");
+        let layers = config
+            .dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense::new(store, &format!("{name}.{i}"), w[0], w[1], config.init, rng))
+            .collect();
+        Self {
+            layers,
+            hidden_activation: config.hidden_activation,
+            output_activation: config.output_activation,
+        }
+    }
+
+    /// Rebinds an MLP with `n_layers` layers from a store by name.
+    pub fn from_store(
+        store: &ParamStore,
+        name: &str,
+        n_layers: usize,
+        hidden_activation: Activation,
+        output_activation: Activation,
+    ) -> Option<Self> {
+        let layers: Option<Vec<Dense>> =
+            (0..n_layers).map(|i| Dense::from_store(store, &format!("{name}.{i}"))).collect();
+        Some(Self { layers: layers?, hidden_activation, output_activation })
+    }
+
+    /// Number of dense layers.
+    pub fn depth(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Parameter names, in forward order (`w` then `b` per layer).
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(|l| [l.w, l.b]).collect()
+    }
+
+    /// Applies the MLP on the tape, binding parameters from `store`.
+    pub fn forward(&self, g: &mut Graph, store: &ParamStore, mut x: Tensor) -> Tensor {
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            x = layer.forward(g, store, x);
+            x = if i == last {
+                self.output_activation.apply(g, x)
+            } else {
+                self.hidden_activation.apply(g, x)
+            };
+        }
+        x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Optimizer, SeedableRng};
+    use vaer_linalg::Matrix;
+
+    #[test]
+    fn dense_forward_shape_and_value() {
+        let mut store = ParamStore::new();
+        let mut rng = NnRng::seed_from_u64(0);
+        let layer = Dense::new(&mut store, "fc", 3, 2, Initializer::Zeros, &mut rng);
+        // Zero weights + zero bias => zero output.
+        let mut g = Graph::new();
+        let x = g.input(Matrix::filled(4, 3, 1.0));
+        let y = layer.forward(&mut g, &store, x);
+        assert_eq!(g.value(y).shape(), (4, 2));
+        assert_eq!(g.value(y).sum(), 0.0);
+        assert_eq!(layer.in_dim(), 3);
+        assert_eq!(layer.out_dim(), 2);
+    }
+
+    #[test]
+    fn dense_from_store_round_trip() {
+        let mut store = ParamStore::new();
+        let mut rng = NnRng::seed_from_u64(1);
+        let a = Dense::new(&mut store, "enc", 4, 2, Initializer::Xavier, &mut rng);
+        let b = Dense::from_store(&store, "enc").unwrap();
+        assert_eq!(a.w, b.w);
+        assert_eq!(a.b, b.b);
+        assert!(Dense::from_store(&store, "missing").is_none());
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut store = ParamStore::new();
+        let mut rng = NnRng::seed_from_u64(42);
+        let mlp = Mlp::new(
+            &mut store,
+            "xor",
+            &MlpConfig {
+                dims: vec![2, 8, 1],
+                hidden_activation: Activation::Tanh,
+                output_activation: Activation::Linear,
+                init: Initializer::Xavier,
+            },
+            &mut rng,
+        );
+        let x = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 1.0], &[1.0, 0.0], &[1.0, 1.0]]);
+        let y = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]);
+        let mut adam = Adam::with_rate(0.05);
+        let mut final_loss = f32::MAX;
+        for _ in 0..400 {
+            let mut g = Graph::new();
+            let xt = g.input(x.clone());
+            let logits = mlp.forward(&mut g, &store, xt);
+            let loss = g.bce_with_logits(logits, y.clone());
+            final_loss = g.value(loss).get(0, 0);
+            g.backward(loss);
+            adam.step(&mut store, &g.param_grads());
+        }
+        assert!(final_loss < 0.1, "XOR did not converge: loss {final_loss}");
+        // Predictions round to the right classes.
+        let mut g = Graph::new();
+        let xt = g.input(x);
+        let logits = mlp.forward(&mut g, &store, xt);
+        let probs = g.sigmoid(logits);
+        let p = g.value(probs);
+        for (i, &target) in [0.0f32, 1.0, 1.0, 0.0].iter().enumerate() {
+            let pred = if p.get(i, 0) > 0.5 { 1.0 } else { 0.0 };
+            assert_eq!(pred, target, "row {i}: p = {}", p.get(i, 0));
+        }
+    }
+
+    #[test]
+    fn mlp_param_ids_cover_all_layers() {
+        let mut store = ParamStore::new();
+        let mut rng = NnRng::seed_from_u64(5);
+        let mlp = Mlp::new(&mut store, "m", &MlpConfig::relu(vec![3, 4, 2]), &mut rng);
+        assert_eq!(mlp.depth(), 2);
+        assert_eq!(mlp.param_ids().len(), 4);
+    }
+}

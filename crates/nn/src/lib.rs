@@ -1,0 +1,86 @@
+//! A small reverse-mode automatic-differentiation engine and neural-network
+//! toolkit, built for VAER's models.
+//!
+//! The paper trains three kinds of networks (a VAE representation model, a
+//! Siamese matcher with shared encoder heads, and MLP classifiers inside the
+//! baselines). All are dense-layer networks over 2-D batches, so the engine
+//! is organised around a define-by-run tape ([`Graph`]) over
+//! [`vaer_linalg::Matrix`] values:
+//!
+//! 1. Persistent parameters live in a [`ParamStore`] (with [`Adam`]/[`Sgd`]
+//!    state and binary save/load for transfer learning).
+//! 2. Each training step builds a fresh [`Graph`], binds parameters into it,
+//!    runs forward ops, and calls [`Graph::backward`] on a scalar loss.
+//! 3. Accumulated parameter gradients are applied by an [`Optimizer`].
+//!
+//! Binding the *same* [`ParamId`] into a graph twice — as the Siamese
+//! matcher does for its two encoder heads — accumulates both heads'
+//! gradients, which is exactly the "mirrored parameter updating" of the
+//! paper's §IV-A.
+//!
+//! # Example: gradient steps on a tiny regression
+//!
+//! ```
+//! use vaer_linalg::Matrix;
+//! use vaer_nn::{Adam, Dense, Graph, Initializer, Optimizer, ParamStore, SeedableRng};
+//!
+//! let mut store = ParamStore::new();
+//! let mut rng = vaer_nn::NnRng::seed_from_u64(0);
+//! let layer = Dense::new(&mut store, "fc", 2, 1, Initializer::Xavier, &mut rng);
+//! let mut adam = Adam::with_rate(0.01);
+//!
+//! let x = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let y = Matrix::from_rows(&[&[1.0], &[0.0]]);
+//! for _ in 0..10 {
+//!     let mut g = Graph::new();
+//!     let xt = g.input(x.clone());
+//!     let pred = layer.forward(&mut g, &store, xt);
+//!     let yt = g.input(y.clone());
+//!     let diff = g.sub(pred, yt);
+//!     let sq = g.square(diff);
+//!     let loss = g.mean_all(sq);
+//!     g.backward(loss);
+//!     adam.step(&mut store, &g.param_grads());
+//! }
+//! ```
+
+mod graph;
+mod init;
+mod layers;
+mod optim;
+mod params;
+pub mod schedule;
+
+pub use graph::{Graph, Tensor};
+pub use init::Initializer;
+pub use layers::{Dense, Mlp, MlpConfig};
+pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use params::{ParamId, ParamStore};
+
+/// The RNG used for parameter initialisation and sampling throughout
+/// `vaer-nn` (re-exported so callers seed consistently).
+pub type NnRng = rand::rngs::StdRng;
+pub use rand::SeedableRng;
+
+/// Errors from model (de)serialisation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NnError {
+    /// The byte stream did not start with the expected magic/version.
+    BadFormat(String),
+    /// The byte stream ended prematurely.
+    Truncated,
+    /// A parameter referenced by name was not found in the store.
+    UnknownParam(String),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::BadFormat(why) => write!(f, "bad model format: {why}"),
+            NnError::Truncated => write!(f, "model byte stream truncated"),
+            NnError::UnknownParam(name) => write!(f, "unknown parameter: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}

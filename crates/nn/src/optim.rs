@@ -1,0 +1,268 @@
+//! First-order optimizers: SGD (with optional momentum) and Adam.
+//!
+//! The paper trains every model with Adam at learning rate `0.001`
+//! (Table III); [`Adam::paper_defaults`] mirrors that configuration.
+
+use crate::params::{ParamId, ParamStore};
+use vaer_linalg::Matrix;
+
+/// A gradient-descent optimizer over a [`ParamStore`].
+pub trait Optimizer {
+    /// Applies one update from accumulated `(param, gradient)` pairs.
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]);
+
+    /// The current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Overrides the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Plain stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// SGD with the given rate and no momentum.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, momentum: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum.
+    pub fn with_momentum(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: Vec::new() }
+    }
+
+    fn slot(&mut self, id: ParamId, shape: (usize, usize)) -> &mut Matrix {
+        if self.velocity.len() <= id.0 {
+            self.velocity.resize(id.0 + 1, None);
+        }
+        self.velocity[id.0].get_or_insert_with(|| Matrix::zeros(shape.0, shape.1))
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
+        for (id, grad) in grads {
+            if self.momentum > 0.0 {
+                let m = self.momentum;
+                let v = self.slot(*id, grad.shape());
+                *v = v.scale(m);
+                v.axpy_inplace(1.0, grad);
+                let vc = v.clone();
+                store.get_mut(*id).axpy_inplace(-self.lr, &vc);
+            } else {
+                store.get_mut(*id).axpy_inplace(-self.lr, grad);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba, 2015) with bias correction and optional decoupled
+/// weight decay (AdamW; Loshchilov & Hutter, 2019).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Option<Matrix>>,
+    v: Vec<Option<Matrix>>,
+}
+
+impl Adam {
+    /// Adam with custom hyper-parameters.
+    pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
+        Self { lr, beta1, beta2, eps, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+
+    /// Enables decoupled (AdamW-style) weight decay: every updated
+    /// parameter additionally shrinks by `lr · decay` per step.
+    pub fn with_weight_decay(mut self, decay: f32) -> Self {
+        self.weight_decay = decay;
+        self
+    }
+
+    /// Adam with standard `β₁ = 0.9, β₂ = 0.999, ε = 1e-8` at rate `lr`.
+    pub fn with_rate(lr: f32) -> Self {
+        Self::new(lr, 0.9, 0.999, 1e-8)
+    }
+
+    /// The paper's configuration: Adam at learning rate `0.001` (Table III).
+    pub fn paper_defaults() -> Self {
+        Self::with_rate(1e-3)
+    }
+
+    /// Number of steps taken so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, store: &mut ParamStore, grads: &[(ParamId, Matrix)]) {
+        self.t += 1;
+        let b1t = 1.0 - self.beta1.powi(self.t as i32);
+        let b2t = 1.0 - self.beta2.powi(self.t as i32);
+        for (id, grad) in grads {
+            if self.m.len() <= id.0 {
+                self.m.resize(id.0 + 1, None);
+                self.v.resize(id.0 + 1, None);
+            }
+            let (rows, cols) = grad.shape();
+            let m = self.m[id.0].get_or_insert_with(|| Matrix::zeros(rows, cols));
+            for (mi, &gi) in m.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+            }
+            let v = self.v[id.0].get_or_insert_with(|| Matrix::zeros(rows, cols));
+            for (vi, &gi) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let m = self.m[id.0].as_ref().expect("just initialised");
+            let v = self.v[id.0].as_ref().expect("just initialised");
+            let p = store.get_mut(*id);
+            let decay = self.lr * self.weight_decay;
+            for ((pi, &mi), &vi) in
+                p.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+            {
+                let m_hat = mi / b1t;
+                let v_hat = vi / b2t;
+                *pi -= self.lr * m_hat / (v_hat.sqrt() + self.eps) + decay * *pi;
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Scales `grads` in place so their global L2 norm is at most `max_norm`
+/// (standard gradient clipping; a no-op when already within bounds).
+pub fn clip_grad_norm(grads: &mut [(ParamId, Matrix)], max_norm: f32) -> f32 {
+    assert!(max_norm > 0.0, "max_norm must be positive");
+    let total_sq: f32 = grads
+        .iter()
+        .map(|(_, g)| g.as_slice().iter().map(|&x| x * x).sum::<f32>())
+        .sum();
+    let norm = total_sq.sqrt();
+    if norm > max_norm {
+        let scale = max_norm / norm;
+        for (_, g) in grads.iter_mut() {
+            for x in g.as_mut_slice() {
+                *x *= scale;
+            }
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimise f(p) = (p - 3)² with each optimizer; both must converge.
+    fn converges(opt: &mut dyn Optimizer) -> f32 {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Matrix::filled(1, 1, 0.0));
+        for _ in 0..500 {
+            let p = store.get(id).get(0, 0);
+            let grad = Matrix::from_vec(1, 1, vec![2.0 * (p - 3.0)]);
+            opt.step(&mut store, &[(id, grad)]);
+        }
+        store.get(id).get(0, 0)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let p = converges(&mut Sgd::new(0.1));
+        assert!((p - 3.0).abs() < 1e-3, "p = {p}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let p = converges(&mut Sgd::with_momentum(0.05, 0.9));
+        assert!((p - 3.0).abs() < 1e-2, "p = {p}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let p = converges(&mut Adam::with_rate(0.1));
+        assert!((p - 3.0).abs() < 1e-2, "p = {p}");
+    }
+
+    #[test]
+    fn adam_step_counter_and_lr() {
+        let mut adam = Adam::paper_defaults();
+        assert_eq!(adam.learning_rate(), 1e-3);
+        adam.set_learning_rate(0.5);
+        assert_eq!(adam.learning_rate(), 0.5);
+        let mut store = ParamStore::new();
+        let id = store.add("p", Matrix::zeros(1, 1));
+        adam.step(&mut store, &[(id, Matrix::filled(1, 1, 1.0))]);
+        assert_eq!(adam.steps(), 1);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_unused_directions() {
+        // With zero gradients and positive decay, parameters decay toward 0.
+        let mut store = ParamStore::new();
+        let id = store.add("p", Matrix::filled(1, 1, 1.0));
+        let mut adam = Adam::with_rate(0.1).with_weight_decay(0.5);
+        for _ in 0..20 {
+            adam.step(&mut store, &[(id, Matrix::zeros(1, 1))]);
+        }
+        let p = store.get(id).get(0, 0);
+        assert!(p < 0.5, "decay did not shrink parameter: {p}");
+    }
+
+    #[test]
+    fn clip_grad_norm_bounds_and_preserves_direction() {
+        let mut store = ParamStore::new();
+        let id = store.add("p", Matrix::zeros(1, 2));
+        let _ = &store;
+        let mut grads = vec![(id, Matrix::from_vec(1, 2, vec![3.0, 4.0]))];
+        let norm = clip_grad_norm(&mut grads, 1.0);
+        assert!((norm - 5.0).abs() < 1e-5);
+        let g = &grads[0].1;
+        let new_norm = (g.get(0, 0).powi(2) + g.get(0, 1).powi(2)).sqrt();
+        assert!((new_norm - 1.0).abs() < 1e-5);
+        // Direction preserved (3:4 ratio).
+        assert!((g.get(0, 1) / g.get(0, 0) - 4.0 / 3.0).abs() < 1e-5);
+        // No-op when within bounds.
+        let mut small = vec![(id, Matrix::from_vec(1, 2, vec![0.1, 0.1]))];
+        let before = small[0].1.clone();
+        clip_grad_norm(&mut small, 10.0);
+        assert_eq!(small[0].1, before);
+    }
+
+    #[test]
+    fn adam_handles_sparse_param_ids() {
+        // Params created out of order / grads for a subset only.
+        let mut store = ParamStore::new();
+        let a = store.add("a", Matrix::zeros(1, 1));
+        let b = store.add("b", Matrix::zeros(1, 1));
+        let mut adam = Adam::with_rate(0.1);
+        adam.step(&mut store, &[(b, Matrix::filled(1, 1, 1.0))]);
+        assert_eq!(store.get(a).get(0, 0), 0.0);
+        assert!(store.get(b).get(0, 0) < 0.0);
+    }
+}

@@ -1,0 +1,261 @@
+//! Persistent parameter storage with binary save/load.
+//!
+//! Transfer learning (paper §III-D) is "serialise the representation
+//! model's `ParamStore`, deserialise it in another ER task" — so the store
+//! owns a small, versioned, dependency-free binary format.
+
+use crate::NnError;
+use vaer_linalg::Matrix;
+
+/// Handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+#[derive(Debug, Clone)]
+struct Param {
+    name: String,
+    value: Matrix,
+}
+
+/// Owns all trainable parameters of one or more models.
+///
+/// Parameters are identified by dense [`ParamId`]s (for hot-path access)
+/// and by `name` (for serialisation and cross-store transfer).
+#[derive(Debug, Clone, Default)]
+pub struct ParamStore {
+    params: Vec<Param>,
+}
+
+impl ParamStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    ///
+    /// # Panics
+    /// Panics if `name` is already registered; parameter names are the
+    /// serialisation key and must be unique.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let name = name.into();
+        assert!(
+            self.find(&name).is_none(),
+            "parameter '{name}' is already registered"
+        );
+        self.params.push(Param { name, value });
+        ParamId(self.params.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.params.is_empty()
+    }
+
+    /// Total number of scalar weights across all parameters.
+    pub fn num_weights(&self) -> usize {
+        self.params.iter().map(|p| p.value.as_slice().len()).sum()
+    }
+
+    /// Looks a parameter up by name.
+    pub fn find(&self, name: &str) -> Option<ParamId> {
+        self.params.iter().position(|p| p.name == name).map(ParamId)
+    }
+
+    /// The name of a parameter.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.params[id.0].name
+    }
+
+    /// Immutable access to a parameter's value.
+    #[inline]
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.params[id.0].value
+    }
+
+    /// Mutable access to a parameter's value.
+    #[inline]
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.params[id.0].value
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> {
+        self.params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (ParamId(i), p.name.as_str(), &p.value))
+    }
+
+    /// Copies values (matched by name) from `other` into this store.
+    ///
+    /// Used for transfer learning: a freshly-built model adopts the weights
+    /// of a previously trained one. Shapes must match.
+    ///
+    /// # Errors
+    /// [`NnError::UnknownParam`] if a name in `names` is missing from either
+    /// store, [`NnError::BadFormat`] on shape mismatch.
+    pub fn copy_from(&mut self, other: &ParamStore, names: &[&str]) -> Result<(), NnError> {
+        for &name in names {
+            let src = other.find(name).ok_or_else(|| NnError::UnknownParam(name.into()))?;
+            let dst = self.find(name).ok_or_else(|| NnError::UnknownParam(name.into()))?;
+            let src_shape = other.get(src).shape();
+            let dst_shape = self.get(dst).shape();
+            if src_shape != dst_shape {
+                return Err(NnError::BadFormat(format!(
+                    "parameter '{name}' shape mismatch: {src_shape:?} vs {dst_shape:?}"
+                )));
+            }
+            *self.get_mut(dst) = other.get(src).clone();
+        }
+        Ok(())
+    }
+
+    /// Serialises the store to a versioned binary blob.
+    ///
+    /// Layout: magic `VAERNN1\0`, then `u32` param count, then per param:
+    /// `u32` name length + UTF-8 name, `u32` rows, `u32` cols, and
+    /// little-endian `f32` data.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.num_weights() * 4);
+        out.extend_from_slice(b"VAERNN1\0");
+        out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
+        for p in &self.params {
+            out.extend_from_slice(&(p.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(p.name.as_bytes());
+            out.extend_from_slice(&(p.value.rows() as u32).to_le_bytes());
+            out.extend_from_slice(&(p.value.cols() as u32).to_le_bytes());
+            for &v in p.value.as_slice() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Deserialises a store previously produced by [`ParamStore::to_bytes`].
+    ///
+    /// # Errors
+    /// [`NnError::BadFormat`] / [`NnError::Truncated`] on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, NnError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let magic = cur.take(8)?;
+        if magic != b"VAERNN1\0" {
+            return Err(NnError::BadFormat("missing VAERNN1 magic".into()));
+        }
+        let count = cur.u32()? as usize;
+        let mut store = ParamStore::new();
+        for _ in 0..count {
+            let name_len = cur.u32()? as usize;
+            let name_bytes = cur.take(name_len)?;
+            let name = std::str::from_utf8(name_bytes)
+                .map_err(|_| NnError::BadFormat("non-UTF8 parameter name".into()))?
+                .to_string();
+            let rows = cur.u32()? as usize;
+            let cols = cur.u32()? as usize;
+            let n = rows
+                .checked_mul(cols)
+                .ok_or_else(|| NnError::BadFormat("shape overflow".into()))?;
+            let mut data = Vec::with_capacity(n);
+            for _ in 0..n {
+                data.push(f32::from_le_bytes(cur.take(4)?.try_into().unwrap()));
+            }
+            store.add(name, Matrix::from_vec(rows, cols, data));
+        }
+        Ok(store)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], NnError> {
+        if self.pos + n > self.bytes.len() {
+            return Err(NnError::Truncated);
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, NnError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut s = ParamStore::new();
+        let id = s.add("w", Matrix::filled(2, 3, 0.5));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.num_weights(), 6);
+        assert_eq!(s.find("w"), Some(id));
+        assert_eq!(s.find("nope"), None);
+        assert_eq!(s.name(id), "w");
+        assert_eq!(s.get(id).shape(), (2, 3));
+    }
+
+    #[test]
+    #[should_panic]
+    fn duplicate_name_panics() {
+        let mut s = ParamStore::new();
+        s.add("w", Matrix::zeros(1, 1));
+        s.add("w", Matrix::zeros(1, 1));
+    }
+
+    #[test]
+    fn serialization_round_trip() {
+        let mut s = ParamStore::new();
+        s.add("enc.w", Matrix::from_rows(&[&[1.0, -2.5], &[3.25, 4.0]]));
+        s.add("enc.b", Matrix::from_rows(&[&[0.125, 7.0]]));
+        let bytes = s.to_bytes();
+        let back = ParamStore::from_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), 2);
+        let id = back.find("enc.w").unwrap();
+        assert_eq!(back.get(id), s.get(s.find("enc.w").unwrap()));
+        assert_eq!(back.name(back.find("enc.b").unwrap()), "enc.b");
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(matches!(ParamStore::from_bytes(b"nope"), Err(NnError::Truncated)));
+        assert!(matches!(
+            ParamStore::from_bytes(b"XXXXXXXX\x01\x00\x00\x00"),
+            Err(NnError::BadFormat(_))
+        ));
+        // Valid magic but truncated payload.
+        let mut s = ParamStore::new();
+        s.add("w", Matrix::filled(4, 4, 1.0));
+        let mut bytes = s.to_bytes();
+        bytes.truncate(bytes.len() - 3);
+        assert!(matches!(ParamStore::from_bytes(&bytes), Err(NnError::Truncated)));
+    }
+
+    #[test]
+    fn copy_from_by_name() {
+        let mut src = ParamStore::new();
+        src.add("a", Matrix::filled(2, 2, 9.0));
+        src.add("b", Matrix::filled(1, 1, 3.0));
+        let mut dst = ParamStore::new();
+        dst.add("a", Matrix::zeros(2, 2));
+        dst.add("c", Matrix::zeros(1, 1));
+        dst.copy_from(&src, &["a"]).unwrap();
+        assert_eq!(dst.get(dst.find("a").unwrap()).get(0, 0), 9.0);
+        assert!(dst.copy_from(&src, &["missing"]).is_err());
+        // Shape mismatch is rejected.
+        let mut bad = ParamStore::new();
+        bad.add("a", Matrix::zeros(3, 3));
+        assert!(matches!(bad.copy_from(&src, &["a"]), Err(NnError::BadFormat(_))));
+    }
+}

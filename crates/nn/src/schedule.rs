@@ -1,0 +1,120 @@
+//! Mini-batch iteration and simple training-loop helpers.
+
+use rand::RngExt;
+
+/// Yields shuffled mini-batches of indices over `n` examples.
+///
+/// The final batch may be smaller than `batch_size`. Shuffling uses the
+/// supplied RNG so epochs are reproducible.
+pub fn minibatches(n: usize, batch_size: usize, rng: &mut crate::NnRng) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0, "batch_size must be > 0");
+    let mut order: Vec<usize> = (0..n).collect();
+    // Fisher–Yates shuffle.
+    for i in (1..n).rev() {
+        let j = rng.random_range(0..=i);
+        order.swap(i, j);
+    }
+    order.chunks(batch_size).map(|c| c.to_vec()).collect()
+}
+
+/// Exponentially-smoothed loss tracker for early stopping.
+#[derive(Debug, Clone)]
+pub struct LossTracker {
+    alpha: f32,
+    smoothed: Option<f32>,
+    best: f32,
+    stall: usize,
+    patience: usize,
+}
+
+impl LossTracker {
+    /// Tracker with smoothing factor `alpha` and early-stop `patience`
+    /// (number of consecutive non-improving updates tolerated).
+    pub fn new(alpha: f32, patience: usize) -> Self {
+        Self { alpha, smoothed: None, best: f32::INFINITY, stall: 0, patience }
+    }
+
+    /// Records a loss value; returns `true` if training should stop.
+    pub fn update(&mut self, loss: f32) -> bool {
+        let s = match self.smoothed {
+            Some(prev) => self.alpha * loss + (1.0 - self.alpha) * prev,
+            None => loss,
+        };
+        self.smoothed = Some(s);
+        if s < self.best - 1e-6 {
+            self.best = s;
+            self.stall = 0;
+        } else {
+            self.stall += 1;
+        }
+        self.stall > self.patience
+    }
+
+    /// Current smoothed loss, if any update has been recorded.
+    pub fn smoothed(&self) -> Option<f32> {
+        self.smoothed
+    }
+
+    /// Best smoothed loss seen.
+    pub fn best(&self) -> f32 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SeedableRng;
+
+    #[test]
+    fn minibatches_cover_all_indices_once() {
+        let mut rng = crate::NnRng::seed_from_u64(0);
+        let batches = minibatches(10, 3, &mut rng);
+        assert_eq!(batches.len(), 4);
+        assert_eq!(batches.last().unwrap().len(), 1);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn minibatches_shuffle_differs_across_rngs() {
+        let a = minibatches(100, 100, &mut crate::NnRng::seed_from_u64(1));
+        let b = minibatches(100, 100, &mut crate::NnRng::seed_from_u64(2));
+        assert_ne!(a[0], b[0]);
+    }
+
+    #[test]
+    fn minibatches_empty_input() {
+        let mut rng = crate::NnRng::seed_from_u64(0);
+        assert!(minibatches(0, 4, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn minibatches_zero_batch_panics() {
+        let mut rng = crate::NnRng::seed_from_u64(0);
+        minibatches(10, 0, &mut rng);
+    }
+
+    #[test]
+    fn loss_tracker_stops_on_plateau() {
+        let mut t = LossTracker::new(1.0, 3);
+        assert!(!t.update(1.0));
+        assert!(!t.update(0.5)); // improvement
+        assert!(!t.update(0.5));
+        assert!(!t.update(0.5));
+        assert!(!t.update(0.5));
+        assert!(t.update(0.5)); // patience exceeded
+        assert_eq!(t.best(), 0.5);
+        assert_eq!(t.smoothed(), Some(0.5));
+    }
+
+    #[test]
+    fn loss_tracker_keeps_going_while_improving() {
+        let mut t = LossTracker::new(1.0, 2);
+        for i in 0..50 {
+            assert!(!t.update(1.0 / (i + 1) as f32));
+        }
+    }
+}

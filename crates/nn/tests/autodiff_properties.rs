@@ -1,0 +1,121 @@
+//! Property-based verification of the autodiff engine: for randomly
+//! generated smooth computation graphs, analytic gradients must agree
+//! with central finite differences.
+
+use proptest::prelude::*;
+use vaer_linalg::Matrix;
+use vaer_nn::{Graph, ParamStore, Tensor};
+
+/// A smooth unary/binary op applied at one step of a random chain.
+#[derive(Debug, Clone, Copy)]
+enum SmoothOp {
+    Tanh,
+    Sigmoid,
+    Square,
+    Scale,
+    AddInput,
+    MulInput,
+    AddScalar,
+}
+
+fn op_strategy() -> impl Strategy<Value = SmoothOp> {
+    prop_oneof![
+        Just(SmoothOp::Tanh),
+        Just(SmoothOp::Sigmoid),
+        Just(SmoothOp::Square),
+        Just(SmoothOp::Scale),
+        Just(SmoothOp::AddInput),
+        Just(SmoothOp::MulInput),
+        Just(SmoothOp::AddScalar),
+    ]
+}
+
+/// Applies the op chain to the parameter tensor, returning a scalar loss.
+fn build(g: &mut Graph, p: Tensor, chain: &[SmoothOp], aux: &Matrix) -> Tensor {
+    let mut x = p;
+    for (i, op) in chain.iter().enumerate() {
+        x = match op {
+            SmoothOp::Tanh => g.tanh(x),
+            SmoothOp::Sigmoid => g.sigmoid(x),
+            SmoothOp::Square => g.square(x),
+            SmoothOp::Scale => g.scale(x, 0.7 + i as f32 * 0.1),
+            SmoothOp::AddInput => {
+                let t = g.input(aux.clone());
+                g.add(x, t)
+            }
+            SmoothOp::MulInput => {
+                let t = g.input(aux.clone());
+                g.mul(x, t)
+            }
+            SmoothOp::AddScalar => g.add_scalar(x, -0.3),
+        };
+    }
+    g.mean_all(x)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn analytic_gradients_match_finite_differences(
+        chain in proptest::collection::vec(op_strategy(), 1..6),
+        values in proptest::collection::vec(-1.5f32..1.5, 4),
+        aux_values in proptest::collection::vec(-1.5f32..1.5, 4),
+    ) {
+        let init = Matrix::from_vec(2, 2, values.clone());
+        let aux = Matrix::from_vec(2, 2, aux_values);
+        let mut store = ParamStore::new();
+        let pid = store.add("p", init);
+
+        // Analytic gradient.
+        let analytic = {
+            let mut g = Graph::new();
+            let p = g.param(&store, pid);
+            let loss = build(&mut g, p, &chain, &aux);
+            g.backward(loss);
+            g.grad(p).expect("param gradient").clone()
+        };
+
+        // Central differences.
+        let eps = 1e-2f32;
+        for i in 0..2 {
+            for j in 0..2 {
+                let orig = store.get(pid).get(i, j);
+                let eval = |store: &ParamStore| {
+                    let mut g = Graph::new();
+                    let p = g.param(store, pid);
+                    let loss = build(&mut g, p, &chain, &aux);
+                    g.value(loss).get(0, 0)
+                };
+                store.get_mut(pid).set(i, j, orig + eps);
+                let up = eval(&store);
+                store.get_mut(pid).set(i, j, orig - eps);
+                let down = eval(&store);
+                store.get_mut(pid).set(i, j, orig);
+                let numeric = (up - down) / (2.0 * eps);
+                let got = analytic.get(i, j);
+                prop_assert!(
+                    (numeric - got).abs() < 5e-2 * (1.0 + numeric.abs().max(got.abs())),
+                    "chain {:?} cell ({i},{j}): numeric {numeric} vs analytic {got}",
+                    chain
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_is_idempotent_on_values(
+        values in proptest::collection::vec(-2.0f32..2.0, 4),
+    ) {
+        // Running backward must not mutate forward values.
+        let mut store = ParamStore::new();
+        let pid = store.add("p", Matrix::from_vec(2, 2, values));
+        let mut g = Graph::new();
+        let p = g.param(&store, pid);
+        let s = g.square(p);
+        let loss = g.mean_all(s);
+        let before = g.value(s).clone();
+        g.backward(loss);
+        prop_assert_eq!(g.value(s), &before);
+    }
+}

@@ -1,0 +1,71 @@
+//! Prediction entropy (paper Eq. 5).
+
+/// Binary prediction entropy in nats:
+/// `H(p) = -p ln p - (1-p) ln(1-p)`.
+///
+/// This is the informativeness measure of Eq. 5 — maximal (`ln 2`) at
+/// `p = 0.5`, zero at `p ∈ {0, 1}`. Inputs outside `[0, 1]` are clamped.
+pub fn binary_entropy(p: f32) -> f32 {
+    let p = p.clamp(0.0, 1.0);
+    let term = |x: f32| if x <= 0.0 { 0.0 } else { -x * x.ln() };
+    term(p) + term(1.0 - p)
+}
+
+/// Entropy of a discrete distribution (in nats). Zero/negative weights are
+/// ignored; the distribution is normalised internally.
+pub fn discrete_entropy(weights: &[f32]) -> f32 {
+    let total: f32 = weights.iter().filter(|&&w| w > 0.0).sum();
+    if total <= 0.0 {
+        return 0.0;
+    }
+    weights
+        .iter()
+        .filter(|&&w| w > 0.0)
+        .map(|&w| {
+            let p = w / total;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maximal_at_half() {
+        let h = binary_entropy(0.5);
+        assert!((h - std::f32::consts::LN_2).abs() < 1e-6);
+        assert!(binary_entropy(0.3) < h);
+        assert!(binary_entropy(0.9) < h);
+    }
+
+    #[test]
+    fn zero_at_certainty() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert_eq!(binary_entropy(1.0), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        for p in [0.1f32, 0.25, 0.4] {
+            assert!((binary_entropy(p) - binary_entropy(1.0 - p)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn clamps_out_of_range() {
+        assert_eq!(binary_entropy(-0.5), 0.0);
+        assert_eq!(binary_entropy(1.5), 0.0);
+    }
+
+    #[test]
+    fn discrete_uniform_is_log_n() {
+        let h = discrete_entropy(&[1.0, 1.0, 1.0, 1.0]);
+        assert!((h - 4.0f32.ln()).abs() < 1e-6);
+        assert_eq!(discrete_entropy(&[]), 0.0);
+        assert_eq!(discrete_entropy(&[0.0, 0.0]), 0.0);
+        // Degenerate distribution has zero entropy.
+        assert!(discrete_entropy(&[5.0, 0.0]).abs() < 1e-6);
+    }
+}

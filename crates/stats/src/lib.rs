@@ -1,0 +1,20 @@
+//! Probability and evaluation utilities for VAER.
+//!
+//! Everything statistical the paper needs outside the neural nets lives
+//! here:
+//!
+//! - [`gaussian`] — diagonal Gaussians, the squared 2-Wasserstein distance
+//!   of Eq. 3, the Mahalanobis alternative mentioned in §IV-A, and
+//!   reparameterised sampling,
+//! - [`kde`] — Gaussian kernel density estimation with Silverman's rule
+//!   (used by the active-learning diversity score, Eq. 6),
+//! - [`entropy`] — the binary prediction entropy of Eq. 5,
+//! - [`metrics`] — precision/recall/F1 and recall@K as defined in §VI-A2,
+//! - [`resample`] — bootstrap confidence intervals for honest comparisons
+//!   on the scaled-down test sets.
+
+pub mod entropy;
+pub mod gaussian;
+pub mod kde;
+pub mod metrics;
+pub mod resample;

@@ -1,0 +1,178 @@
+//! Evaluation metrics as defined in the paper's §VI-A2.
+
+/// Precision / recall / F1 over a binary matching task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrF1 {
+    /// `tp / (tp + fp)`; 0 when undefined.
+    pub precision: f32,
+    /// `tp / (tp + fn)`; 0 when undefined.
+    pub recall: f32,
+    /// Harmonic mean of precision and recall; 0 when undefined.
+    pub f1: f32,
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// False negatives.
+    pub fn_: usize,
+    /// True negatives.
+    pub tn: usize,
+}
+
+impl PrF1 {
+    /// Computes metrics from raw confusion counts.
+    pub fn from_counts(tp: usize, fp: usize, fn_: usize, tn: usize) -> Self {
+        let precision = if tp + fp > 0 { tp as f32 / (tp + fp) as f32 } else { 0.0 };
+        let recall = if tp + fn_ > 0 { tp as f32 / (tp + fn_) as f32 } else { 0.0 };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Self { precision, recall, f1, tp, fp, fn_, tn }
+    }
+
+    /// Computes metrics from parallel `(predicted, actual)` label slices.
+    ///
+    /// # Panics
+    /// Panics on length mismatch.
+    pub fn from_labels(predicted: &[bool], actual: &[bool]) -> Self {
+        assert_eq!(predicted.len(), actual.len(), "label length mismatch");
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut fn_ = 0;
+        let mut tn = 0;
+        for (&p, &a) in predicted.iter().zip(actual.iter()) {
+            match (p, a) {
+                (true, true) => tp += 1,
+                (true, false) => fp += 1,
+                (false, true) => fn_ += 1,
+                (false, false) => tn += 1,
+            }
+        }
+        Self::from_counts(tp, fp, fn_, tn)
+    }
+
+    /// Accuracy over all four cells.
+    pub fn accuracy(&self) -> f32 {
+        let total = self.tp + self.fp + self.fn_ + self.tn;
+        if total == 0 {
+            0.0
+        } else {
+            (self.tp + self.tn) as f32 / total as f32
+        }
+    }
+}
+
+impl std::fmt::Display for PrF1 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "P={:.2} R={:.2} F1={:.2}",
+            self.precision, self.recall, self.f1
+        )
+    }
+}
+
+/// Top-K retrieval metrics for the unsupervised representation experiments
+/// (Table IV / Fig. 4).
+///
+/// For every ground-truth duplicate pair `(s, t)`, the pair counts as
+/// *recalled* if `t` appears among the top-K neighbours retrieved for `s`
+/// (or vice versa — the paper measures "the top-10 most similar neighbours
+/// of either of the two tuples"). Precision is measured over all retrieved
+/// candidate pairs that appear in the labelled test set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopKReport {
+    /// Fraction of labelled duplicates recovered in the top-K lists.
+    pub recall: f32,
+    /// Fraction of retrieved labelled pairs that are duplicates.
+    pub precision: f32,
+    /// Harmonic mean.
+    pub f1: f32,
+}
+
+impl TopKReport {
+    /// Builds a report from counts: `hits` duplicates recovered of
+    /// `total_duplicates`, `retrieved_positive` labelled-positive pairs out
+    /// of `retrieved_labeled` retrieved pairs with labels.
+    pub fn new(
+        hits: usize,
+        total_duplicates: usize,
+        retrieved_positive: usize,
+        retrieved_labeled: usize,
+    ) -> Self {
+        let recall =
+            if total_duplicates > 0 { hits as f32 / total_duplicates as f32 } else { 0.0 };
+        let precision = if retrieved_labeled > 0 {
+            retrieved_positive as f32 / retrieved_labeled as f32
+        } else {
+            0.0
+        };
+        let f1 = if precision + recall > 0.0 {
+            2.0 * precision * recall / (precision + recall)
+        } else {
+            0.0
+        };
+        Self { recall, precision, f1 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_prediction() {
+        let m = PrF1::from_labels(&[true, false, true], &[true, false, true]);
+        assert_eq!(m.precision, 1.0);
+        assert_eq!(m.recall, 1.0);
+        assert_eq!(m.f1, 1.0);
+        assert_eq!(m.accuracy(), 1.0);
+    }
+
+    #[test]
+    fn known_confusion() {
+        // 2 TP, 1 FP, 1 FN, 1 TN.
+        let m = PrF1::from_counts(2, 1, 1, 1);
+        assert!((m.precision - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.recall - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.f1 - 2.0 / 3.0).abs() < 1e-6);
+        assert!((m.accuracy() - 0.6).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_cases_do_not_divide_by_zero() {
+        let m = PrF1::from_counts(0, 0, 0, 5);
+        assert_eq!(m.precision, 0.0);
+        assert_eq!(m.recall, 0.0);
+        assert_eq!(m.f1, 0.0);
+        assert_eq!(m.accuracy(), 1.0);
+        let empty = PrF1::from_labels(&[], &[]);
+        assert_eq!(empty.accuracy(), 0.0);
+    }
+
+    #[test]
+    fn from_labels_matches_manual_count() {
+        let pred = [true, true, false, false, true];
+        let act = [true, false, true, false, true];
+        let m = PrF1::from_labels(&pred, &act);
+        assert_eq!((m.tp, m.fp, m.fn_, m.tn), (2, 1, 1, 1));
+    }
+
+    #[test]
+    fn display_formats() {
+        let m = PrF1::from_counts(1, 0, 0, 0);
+        assert_eq!(m.to_string(), "P=1.00 R=1.00 F1=1.00");
+    }
+
+    #[test]
+    fn topk_report() {
+        let r = TopKReport::new(8, 10, 8, 16);
+        assert!((r.recall - 0.8).abs() < 1e-6);
+        assert!((r.precision - 0.5).abs() < 1e-6);
+        assert!(r.f1 > 0.6 && r.f1 < 0.63);
+        let zero = TopKReport::new(0, 0, 0, 0);
+        assert_eq!(zero.f1, 0.0);
+    }
+}

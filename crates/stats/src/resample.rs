@@ -1,0 +1,123 @@
+//! Bootstrap resampling for metric confidence intervals.
+//!
+//! Scaled-down benchmarks have small test sets, so point estimates of
+//! F1 carry real sampling noise; the experiment harnesses can attach
+//! percentile-bootstrap intervals to make "A beats B" claims honest.
+
+use crate::metrics::PrF1;
+use rand::{RngExt, SeedableRng};
+
+/// A percentile bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f32,
+    /// Point estimate (on the full sample).
+    pub point: f32,
+    /// Upper bound.
+    pub hi: f32,
+}
+
+impl ConfidenceInterval {
+    /// Whether another interval overlaps this one.
+    pub fn overlaps(&self, other: &ConfidenceInterval) -> bool {
+        self.lo <= other.hi && other.lo <= self.hi
+    }
+}
+
+/// Percentile-bootstrap interval for F1 at the given `level` (e.g. 0.95),
+/// resampling `(predicted, actual)` pairs with replacement `iters` times.
+///
+/// # Panics
+/// Panics on length mismatch or `level` outside `(0, 1)`.
+pub fn bootstrap_f1(
+    predicted: &[bool],
+    actual: &[bool],
+    iters: usize,
+    level: f32,
+    seed: u64,
+) -> ConfidenceInterval {
+    assert_eq!(predicted.len(), actual.len(), "label length mismatch");
+    assert!(level > 0.0 && level < 1.0, "level must be in (0, 1)");
+    let point = PrF1::from_labels(predicted, actual).f1;
+    let n = predicted.len();
+    if n == 0 || iters == 0 {
+        return ConfidenceInterval { lo: point, point, hi: point };
+    }
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut samples = Vec::with_capacity(iters);
+    let mut pred_buf = vec![false; n];
+    let mut act_buf = vec![false; n];
+    for _ in 0..iters {
+        for i in 0..n {
+            let j = rng.random_range(0..n);
+            pred_buf[i] = predicted[j];
+            act_buf[i] = actual[j];
+        }
+        samples.push(PrF1::from_labels(&pred_buf, &act_buf).f1);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let alpha = (1.0 - level) / 2.0;
+    let idx = |q: f32| -> usize {
+        ((samples.len() as f32 - 1.0) * q).round() as usize
+    };
+    ConfidenceInterval { lo: samples[idx(alpha)], point, hi: samples[idx(1.0 - alpha)] }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions_have_degenerate_interval() {
+        let labels = vec![true, false, true, false, true];
+        let ci = bootstrap_f1(&labels, &labels, 200, 0.95, 1);
+        assert_eq!(ci.point, 1.0);
+        assert_eq!(ci.lo, 1.0);
+        assert_eq!(ci.hi, 1.0);
+    }
+
+    #[test]
+    fn interval_brackets_point_estimate() {
+        let predicted = vec![true, true, false, false, true, false, true, false];
+        let actual = vec![true, false, false, true, true, false, true, true];
+        let ci = bootstrap_f1(&predicted, &actual, 500, 0.9, 2);
+        assert!(ci.lo <= ci.point, "{ci:?}");
+        assert!(ci.point <= ci.hi, "{ci:?}");
+        assert!(ci.lo < ci.hi, "non-trivial data should give a real interval");
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let predicted = vec![true, true, false, false, true, false, true, true, false, true];
+        let actual = vec![true, false, false, true, true, false, true, true, true, false];
+        let narrow = bootstrap_f1(&predicted, &actual, 800, 0.5, 3);
+        let wide = bootstrap_f1(&predicted, &actual, 800, 0.99, 3);
+        assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let ci = bootstrap_f1(&[], &[], 100, 0.95, 4);
+        assert_eq!(ci.point, 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let predicted = vec![true, false, true, false];
+        let actual = vec![true, true, false, false];
+        let a = bootstrap_f1(&predicted, &actual, 300, 0.95, 7);
+        let b = bootstrap_f1(&predicted, &actual, 300, 0.95, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overlap_logic() {
+        let a = ConfidenceInterval { lo: 0.1, point: 0.2, hi: 0.3 };
+        let b = ConfidenceInterval { lo: 0.25, point: 0.3, hi: 0.5 };
+        let c = ConfidenceInterval { lo: 0.4, point: 0.5, hi: 0.6 };
+        assert!(a.overlaps(&b));
+        assert!(!a.overlaps(&c));
+        assert!(b.overlaps(&c));
+    }
+}

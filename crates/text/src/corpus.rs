@@ -1,0 +1,103 @@
+//! A tokenised corpus over a shared vocabulary.
+
+use crate::normalize::tokenize;
+use crate::vocab::Vocab;
+
+/// A corpus of sentences encoded as token ids over one [`Vocab`].
+///
+/// In VAER, the corpus is "every attribute value of every tuple, one
+/// sentence each" (paper §III-B). Tokens below `min_count` are dropped
+/// from sentences (they keep no id), mirroring standard word2vec/LSA
+/// preprocessing.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    vocab: Vocab,
+    sentences: Vec<Vec<u32>>,
+}
+
+impl Corpus {
+    /// Tokenises `raw_sentences` and builds the vocabulary in one pass.
+    pub fn build<S: AsRef<str>>(raw_sentences: &[S], min_count: u64) -> Self {
+        let tokenised: Vec<Vec<String>> =
+            raw_sentences.iter().map(|s| tokenize(s.as_ref())).collect();
+        let vocab = Vocab::build(
+            tokenised.iter().map(|s| s.iter().map(String::as_str)),
+            min_count,
+        );
+        let sentences = tokenised
+            .iter()
+            .map(|s| s.iter().filter_map(|t| vocab.get(t)).collect())
+            .collect();
+        Self { vocab, sentences }
+    }
+
+    /// The shared vocabulary.
+    pub fn vocab(&self) -> &Vocab {
+        &self.vocab
+    }
+
+    /// Encoded sentences.
+    pub fn sentences(&self) -> &[Vec<u32>] {
+        &self.sentences
+    }
+
+    /// Number of sentences (including ones that became empty).
+    pub fn len(&self) -> usize {
+        self.sentences.len()
+    }
+
+    /// Whether the corpus has no sentences.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.is_empty()
+    }
+
+    /// Total number of (kept) token occurrences.
+    pub fn num_tokens(&self) -> usize {
+        self.sentences.iter().map(Vec::len).sum()
+    }
+
+    /// Encodes a new sentence against the existing vocabulary
+    /// (out-of-vocabulary tokens are dropped).
+    pub fn encode(&self, raw: &str) -> Vec<u32> {
+        tokenize(raw).iter().filter_map(|t| self.vocab.get(t)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_encode() {
+        let corpus = Corpus::build(&["Hello world", "hello there"], 1);
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.vocab().len(), 3);
+        assert_eq!(corpus.num_tokens(), 4);
+        let enc = corpus.encode("WORLD hello unseen");
+        assert_eq!(enc.len(), 2); // "unseen" dropped
+    }
+
+    #[test]
+    fn min_count_filters_sentences() {
+        let corpus = Corpus::build(&["a a b", "a c"], 2);
+        // Only "a" survives (count 3).
+        assert_eq!(corpus.vocab().len(), 1);
+        assert_eq!(corpus.sentences()[0], vec![0, 0]);
+        assert_eq!(corpus.sentences()[1], vec![0]);
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let corpus = Corpus::build::<&str>(&[], 1);
+        assert!(corpus.is_empty());
+        assert_eq!(corpus.num_tokens(), 0);
+    }
+
+    #[test]
+    fn punctuation_only_sentence_is_kept_but_empty() {
+        let corpus = Corpus::build(&["!!!", "real words"], 1);
+        assert_eq!(corpus.len(), 2);
+        assert!(corpus.sentences()[0].is_empty());
+        assert_eq!(corpus.sentences()[1].len(), 2);
+    }
+}

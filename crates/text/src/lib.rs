@@ -1,0 +1,29 @@
+//! Text preprocessing for VAER's intermediate representations.
+//!
+//! The paper treats every attribute value of a table as a "sentence"
+//! (§III-B) and builds intermediate representations (IRs) over the corpus of
+//! all such sentences. This crate supplies the pieces shared by all four IR
+//! generators:
+//!
+//! - [`normalize`] — canonical lower-cased, punctuation-stripped text,
+//! - [`tokenize`] / [`char_ngrams`] — word and character-n-gram tokenisers,
+//! - [`Vocab`] — token interning with frequency-based pruning,
+//! - [`Corpus`] — token-id sentences over a shared vocabulary,
+//! - [`tfidf`] — sparse TF-IDF document vectors (the LSA front-end),
+//! - [`strsim`] — classical string similarities (Levenshtein, Jaccard,
+//!   Jaro–Winkler) for the non-deep baseline.
+//!
+//! It is dependency-free so it can sit at the bottom of the workspace DAG.
+
+mod corpus;
+mod ngram;
+mod normalize;
+pub mod strsim;
+mod tfidf;
+mod vocab;
+
+pub use corpus::Corpus;
+pub use ngram::char_ngrams;
+pub use normalize::{normalize, tokenize};
+pub use tfidf::{tfidf, SparseVector, TfIdfModel};
+pub use vocab::Vocab;

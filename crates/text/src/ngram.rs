@@ -1,0 +1,68 @@
+//! Character n-grams for subword features.
+
+/// Character n-grams of a token, padded with `^`/`$` boundary markers.
+///
+/// These are the subword features used by the BERT-style IR generator to
+/// stay robust to typos: `"hello"` and `"helo"` share most of their
+/// trigrams even though they differ as whole words.
+///
+/// Returns an empty vector for an empty token. If the padded token is
+/// shorter than `n`, a single n-gram containing the whole padded token is
+/// returned.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(vaer_text::char_ngrams("ab", 3), vec!["^ab", "ab$"]);
+/// assert_eq!(vaer_text::char_ngrams("a", 3), vec!["^a$"]);
+/// ```
+pub fn char_ngrams(token: &str, n: usize) -> Vec<String> {
+    assert!(n >= 2, "char_ngrams requires n >= 2");
+    if token.is_empty() {
+        return Vec::new();
+    }
+    let padded: Vec<char> =
+        std::iter::once('^').chain(token.chars()).chain(std::iter::once('$')).collect();
+    if padded.len() <= n {
+        return vec![padded.iter().collect()];
+    }
+    padded.windows(n).map(|w| w.iter().collect()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trigram_coverage() {
+        let grams = char_ngrams("hello", 3);
+        assert_eq!(grams, vec!["^he", "hel", "ell", "llo", "lo$"]);
+    }
+
+    #[test]
+    fn short_tokens() {
+        assert_eq!(char_ngrams("a", 3), vec!["^a$"]);
+        assert_eq!(char_ngrams("ab", 4), vec!["^ab$"]);
+        assert!(char_ngrams("", 3).is_empty());
+    }
+
+    #[test]
+    fn typo_overlap() {
+        let a = char_ngrams("restaurant", 3);
+        let b = char_ngrams("restarant", 3); // missing 'u'
+        let shared = a.iter().filter(|g| b.contains(g)).count();
+        assert!(shared >= a.len() / 2, "only {shared}/{} shared", a.len());
+    }
+
+    #[test]
+    fn unicode_tokens() {
+        let grams = char_ngrams("café", 3);
+        assert!(grams.iter().any(|g| g.contains('é')));
+    }
+
+    #[test]
+    #[should_panic]
+    fn n_below_two_panics() {
+        char_ngrams("x", 1);
+    }
+}

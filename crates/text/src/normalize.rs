@@ -1,0 +1,89 @@
+//! Text canonicalisation and word tokenisation.
+
+/// Normalises a raw attribute value: lower-cases, maps punctuation to
+/// spaces (keeping alphanumerics and the decimal point inside numbers),
+/// and collapses runs of whitespace.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(vaer_text::normalize("  Héllo,   WORLD!! "), "héllo world");
+/// assert_eq!(vaer_text::normalize("v1.2-beta"), "v1.2 beta");
+/// ```
+pub fn normalize(raw: &str) -> String {
+    let mut out = String::with_capacity(raw.len());
+    let chars: Vec<char> = raw.chars().collect();
+    let mut last_was_space = true;
+    for (i, &c) in chars.iter().enumerate() {
+        let keep = c.is_alphanumeric()
+            || (c == '.'
+                && i > 0
+                && i + 1 < chars.len()
+                && chars[i - 1].is_ascii_digit()
+                && chars[i + 1].is_ascii_digit());
+        if keep {
+            for lc in c.to_lowercase() {
+                out.push(lc);
+            }
+            last_was_space = false;
+        } else if !last_was_space {
+            out.push(' ');
+            last_was_space = true;
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Splits normalised text into word tokens.
+///
+/// Applies [`normalize`] first, so it is safe to call on raw values.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(vaer_text::tokenize("The Beatles - Abbey Road (1969)"),
+///            vec!["the", "beatles", "abbey", "road", "1969"]);
+/// ```
+pub fn tokenize(raw: &str) -> Vec<String> {
+    normalize(raw).split_whitespace().map(str::to_owned).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_basic() {
+        assert_eq!(normalize("Hello, World!"), "hello world");
+        assert_eq!(normalize(""), "");
+        assert_eq!(normalize("   "), "");
+        assert_eq!(normalize("a  b\tc\nd"), "a b c d");
+    }
+
+    #[test]
+    fn normalize_preserves_decimal_points() {
+        assert_eq!(normalize("$12.99"), "12.99");
+        assert_eq!(normalize("3.5mm jack."), "3.5mm jack");
+        // A trailing dot is punctuation, not a decimal point.
+        assert_eq!(normalize("end."), "end");
+    }
+
+    #[test]
+    fn normalize_unicode() {
+        assert_eq!(normalize("Café MÜNCHEN"), "café münchen");
+    }
+
+    #[test]
+    fn tokenize_splits_words() {
+        assert_eq!(tokenize("foo-bar baz"), vec!["foo", "bar", "baz"]);
+        assert!(tokenize("!!!").is_empty());
+    }
+
+    #[test]
+    fn tokenize_numbers_kept_whole() {
+        assert_eq!(tokenize("version 2.1"), vec!["version", "2.1"]);
+    }
+}

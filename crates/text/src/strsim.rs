@@ -1,0 +1,186 @@
+//! String similarity measures — the classical ER feature family.
+//!
+//! Used by the Magellan-style non-deep baseline and available as
+//! hand-crafted features anywhere. All similarities are in `[0, 1]` with
+//! 1 meaning identical.
+
+use std::collections::HashSet;
+
+/// Levenshtein edit distance (insertions, deletions, substitutions).
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    // One-row DP.
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Levenshtein similarity: `1 - dist / max_len`; 1 for two empty strings.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f32 {
+    let max_len = a.chars().count().max(b.chars().count());
+    if max_len == 0 {
+        return 1.0;
+    }
+    1.0 - levenshtein(a, b) as f32 / max_len as f32
+}
+
+/// Jaccard similarity over whitespace tokens; 1 for two empty strings.
+pub fn jaccard_tokens(a: &str, b: &str) -> f32 {
+    let sa: HashSet<&str> = a.split_whitespace().collect();
+    let sb: HashSet<&str> = b.split_whitespace().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    inter as f32 / union.max(1) as f32
+}
+
+/// Jaro similarity (basis for Jaro–Winkler).
+pub fn jaro(a: &str, b: &str) -> f32 {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_used = vec![false; b.len()];
+    let mut matches_a: Vec<char> = Vec::new();
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(window);
+        let hi = (i + window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_used[j] && b[j] == ca {
+                b_used[j] = true;
+                matches_a.push(ca);
+                break;
+            }
+        }
+    }
+    let m = matches_a.len();
+    if m == 0 {
+        return 0.0;
+    }
+    let matches_b: Vec<char> =
+        b.iter().enumerate().filter(|&(j, _)| b_used[j]).map(|(_, &c)| c).collect();
+    let transpositions =
+        matches_a.iter().zip(matches_b.iter()).filter(|(x, y)| x != y).count() / 2;
+    let m = m as f32;
+    (m / a.len() as f32 + m / b.len() as f32 + (m - transpositions as f32) / m) / 3.0
+}
+
+/// Jaro–Winkler similarity with the standard prefix scale `p = 0.1` and
+/// a maximum common-prefix length of 4.
+pub fn jaro_winkler(a: &str, b: &str) -> f32 {
+    let j = jaro(a, b);
+    let prefix = a
+        .chars()
+        .zip(b.chars())
+        .take(4)
+        .take_while(|(x, y)| x == y)
+        .count() as f32;
+    (j + prefix * 0.1 * (1.0 - j)).min(1.0)
+}
+
+/// Exact-match indicator after trimming.
+pub fn exact(a: &str, b: &str) -> f32 {
+    if a.trim() == b.trim() {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Relative numeric similarity when both strings parse as numbers:
+/// `1 - |x - y| / max(|x|, |y|)`, else `None`.
+pub fn numeric_similarity(a: &str, b: &str) -> Option<f32> {
+    let x: f64 = a.trim().trim_end_matches('%').parse().ok()?;
+    let y: f64 = b.trim().trim_end_matches('%').parse().ok()?;
+    let denom = x.abs().max(y.abs());
+    if denom == 0.0 {
+        return Some(1.0);
+    }
+    Some((1.0 - ((x - y).abs() / denom)).max(0.0) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_known_values() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("same", "same"), 0);
+    }
+
+    #[test]
+    fn levenshtein_similarity_bounds() {
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+        assert_eq!(levenshtein_similarity("a", "a"), 1.0);
+        assert_eq!(levenshtein_similarity("abc", "xyz"), 0.0);
+        let s = levenshtein_similarity("restaurant", "restarant");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn jaccard_behaviour() {
+        assert_eq!(jaccard_tokens("", ""), 1.0);
+        assert_eq!(jaccard_tokens("a b c", "a b c"), 1.0);
+        assert_eq!(jaccard_tokens("a b", "c d"), 0.0);
+        assert!((jaccard_tokens("a b c", "b c d") - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn jaro_winkler_known_behaviour() {
+        assert_eq!(jaro_winkler("", ""), 1.0);
+        assert_eq!(jaro_winkler("abc", "abc"), 1.0);
+        assert_eq!(jaro("abc", "xyz"), 0.0);
+        // Shared prefix boosts JW above Jaro.
+        let j = jaro("martha", "marhta");
+        let jw = jaro_winkler("martha", "marhta");
+        assert!(jw > j);
+        assert!((j - 0.944).abs() < 0.01, "jaro {j}");
+    }
+
+    #[test]
+    fn exact_and_numeric() {
+        assert_eq!(exact(" x ", "x"), 1.0);
+        assert_eq!(exact("x", "y"), 0.0);
+        assert_eq!(numeric_similarity("100", "100"), Some(1.0));
+        let s = numeric_similarity("100", "90").unwrap();
+        assert!((s - 0.9).abs() < 1e-6);
+        assert_eq!(numeric_similarity("abc", "1"), None);
+        assert_eq!(numeric_similarity("5.5%", "5.5%"), Some(1.0));
+        assert_eq!(numeric_similarity("0", "0"), Some(1.0));
+    }
+
+    #[test]
+    fn similarities_bounded() {
+        let pairs = [("hello", "world"), ("a", ""), ("abc def", "abc xyz")];
+        for (a, b) in pairs {
+            for s in [levenshtein_similarity(a, b), jaccard_tokens(a, b), jaro_winkler(a, b)] {
+                assert!((0.0..=1.0).contains(&s), "{a} vs {b}: {s}");
+            }
+        }
+    }
+}

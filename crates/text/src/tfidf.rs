@@ -1,0 +1,138 @@
+//! Sparse TF-IDF document vectors — the front-end of the LSA IR generator.
+
+use crate::corpus::Corpus;
+
+/// A sparse vector of `(dimension, weight)` pairs, sorted by dimension.
+pub type SparseVector = Vec<(u32, f32)>;
+
+/// Fitted TF-IDF statistics, reusable for out-of-corpus documents.
+#[derive(Debug, Clone)]
+pub struct TfIdfModel {
+    /// `idf[t] = ln((1 + N) / (1 + df_t)) + 1` (smoothed, as in scikit-learn).
+    idf: Vec<f32>,
+}
+
+impl TfIdfModel {
+    /// Fits IDF weights on `corpus`.
+    pub fn fit(corpus: &Corpus) -> Self {
+        let n_docs = corpus.len();
+        let n_terms = corpus.vocab().len();
+        let mut df = vec![0u32; n_terms];
+        let mut seen = vec![u32::MAX; n_terms];
+        for (doc_id, sent) in corpus.sentences().iter().enumerate() {
+            for &t in sent {
+                let t = t as usize;
+                if seen[t] != doc_id as u32 {
+                    seen[t] = doc_id as u32;
+                    df[t] += 1;
+                }
+            }
+        }
+        let idf = df
+            .iter()
+            .map(|&d| ((1.0 + n_docs as f32) / (1.0 + d as f32)).ln() + 1.0)
+            .collect();
+        Self { idf }
+    }
+
+    /// Number of dimensions (vocabulary size).
+    pub fn dims(&self) -> usize {
+        self.idf.len()
+    }
+
+    /// Transforms one token-id sentence into an L2-normalised sparse
+    /// TF-IDF vector.
+    pub fn transform(&self, sentence: &[u32]) -> SparseVector {
+        let mut counts: Vec<(u32, f32)> = Vec::with_capacity(sentence.len());
+        let mut sorted = sentence.to_vec();
+        sorted.sort_unstable();
+        for &t in &sorted {
+            match counts.last_mut() {
+                Some((last, c)) if *last == t => *c += 1.0,
+                _ => counts.push((t, 1.0)),
+            }
+        }
+        let total: f32 = counts.iter().map(|&(_, c)| c).sum();
+        if total == 0.0 {
+            return Vec::new();
+        }
+        let mut vec: SparseVector = counts
+            .into_iter()
+            .map(|(t, c)| (t, (c / total) * self.idf[t as usize]))
+            .collect();
+        let norm: f32 = vec.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
+        if norm > f32::EPSILON {
+            for (_, w) in &mut vec {
+                *w /= norm;
+            }
+        }
+        vec
+    }
+}
+
+/// Fits a [`TfIdfModel`] and transforms every corpus sentence.
+pub fn tfidf(corpus: &Corpus) -> (TfIdfModel, Vec<SparseVector>) {
+    let model = TfIdfModel::fit(corpus);
+    let vectors = corpus.sentences().iter().map(|s| model.transform(s)).collect();
+    (model, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rare_terms_weigh_more() {
+        // "common" in every doc, "rare" only in one.
+        let corpus = Corpus::build(&["common rare", "common x", "common y"], 1);
+        let (model, vecs) = tfidf(&corpus);
+        let common_id = corpus.vocab().get("common").unwrap();
+        let rare_id = corpus.vocab().get("rare").unwrap();
+        let doc0 = &vecs[0];
+        let w_common = doc0.iter().find(|&&(t, _)| t == common_id).unwrap().1;
+        let w_rare = doc0.iter().find(|&&(t, _)| t == rare_id).unwrap().1;
+        assert!(w_rare > w_common, "rare {w_rare} vs common {w_common}");
+        assert_eq!(model.dims(), corpus.vocab().len());
+    }
+
+    #[test]
+    fn vectors_are_unit_norm() {
+        let corpus = Corpus::build(&["a b c", "a a b"], 1);
+        let (_, vecs) = tfidf(&corpus);
+        for v in &vecs {
+            let n: f32 = v.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
+            assert!((n - 1.0).abs() < 1e-5, "norm {n}");
+        }
+    }
+
+    #[test]
+    fn empty_sentence_gives_empty_vector() {
+        let corpus = Corpus::build(&["...", "word"], 1);
+        let (_, vecs) = tfidf(&corpus);
+        assert!(vecs[0].is_empty());
+        assert_eq!(vecs[1].len(), 1);
+    }
+
+    #[test]
+    fn repeated_tokens_accumulate_tf() {
+        let corpus = Corpus::build(&["a a a b"], 1);
+        let (model, _) = tfidf(&corpus);
+        let v = model.transform(&corpus.sentences()[0]);
+        let a = corpus.vocab().get("a").unwrap();
+        let b = corpus.vocab().get("b").unwrap();
+        let wa = v.iter().find(|&&(t, _)| t == a).unwrap().1;
+        let wb = v.iter().find(|&&(t, _)| t == b).unwrap().1;
+        assert!(wa > wb);
+    }
+
+    #[test]
+    fn transform_unseen_ids_sorted_output() {
+        let corpus = Corpus::build(&["q w e r t y"], 1);
+        let (model, _) = tfidf(&corpus);
+        let v = model.transform(&[5, 0, 3, 0]);
+        let dims: Vec<u32> = v.iter().map(|&(t, _)| t).collect();
+        let mut sorted = dims.clone();
+        sorted.sort_unstable();
+        assert_eq!(dims, sorted);
+    }
+}

@@ -1,0 +1,166 @@
+//! Token interning with frequency statistics.
+
+use std::collections::HashMap;
+
+/// A vocabulary mapping tokens to dense `u32` ids.
+///
+/// Ids are assigned in first-seen order, so a vocabulary built from the
+/// same corpus is always identical — important for reproducibility of the
+/// embedding models trained on top.
+#[derive(Debug, Clone, Default)]
+pub struct Vocab {
+    index: HashMap<String, u32>,
+    tokens: Vec<String>,
+    counts: Vec<u64>,
+}
+
+impl Vocab {
+    /// An empty vocabulary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds a vocabulary from token streams, keeping tokens that occur at
+    /// least `min_count` times.
+    pub fn build<'a, I, S>(sentences: I, min_count: u64) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: IntoIterator<Item = &'a str>,
+    {
+        let mut raw: Vec<(String, u64)> = Vec::new();
+        let mut pos: HashMap<String, usize> = HashMap::new();
+        for sentence in sentences {
+            for tok in sentence {
+                match pos.get(tok) {
+                    Some(&i) => raw[i].1 += 1,
+                    None => {
+                        pos.insert(tok.to_owned(), raw.len());
+                        raw.push((tok.to_owned(), 1));
+                    }
+                }
+            }
+        }
+        let mut v = Vocab::new();
+        for (tok, count) in raw {
+            if count >= min_count {
+                v.insert_with_count(tok, count);
+            }
+        }
+        v
+    }
+
+    fn insert_with_count(&mut self, token: String, count: u64) -> u32 {
+        match self.index.get(&token) {
+            Some(&id) => {
+                self.counts[id as usize] += count;
+                id
+            }
+            None => {
+                let id = self.tokens.len() as u32;
+                self.index.insert(token.clone(), id);
+                self.tokens.push(token);
+                self.counts.push(count);
+                id
+            }
+        }
+    }
+
+    /// Interns `token`, creating a new id if unseen, and bumps its count.
+    pub fn add(&mut self, token: &str) -> u32 {
+        match self.index.get(token) {
+            Some(&id) => {
+                self.counts[id as usize] += 1;
+                id
+            }
+            None => self.insert_with_count(token.to_owned(), 1),
+        }
+    }
+
+    /// Id of `token`, if present.
+    pub fn get(&self, token: &str) -> Option<u32> {
+        self.index.get(token).copied()
+    }
+
+    /// Token string for `id`.
+    pub fn token(&self, id: u32) -> &str {
+        &self.tokens[id as usize]
+    }
+
+    /// Occurrence count of `id`.
+    pub fn count(&self, id: u32) -> u64 {
+        self.counts[id as usize]
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Whether the vocabulary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tokens.is_empty()
+    }
+
+    /// Total number of token occurrences recorded.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Iterator over `(id, token, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str, u64)> {
+        self.tokens
+            .iter()
+            .zip(self.counts.iter())
+            .enumerate()
+            .map(|(i, (t, &c))| (i as u32, t.as_str(), c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut v = Vocab::new();
+        let a = v.add("apple");
+        let b = v.add("banana");
+        let a2 = v.add("apple");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(v.get("apple"), Some(a));
+        assert_eq!(v.get("cherry"), None);
+        assert_eq!(v.token(b), "banana");
+        assert_eq!(v.count(a), 2);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.total_count(), 3);
+    }
+
+    #[test]
+    fn build_respects_min_count() {
+        let sents = [vec!["a", "b", "a"], vec!["a", "c"]];
+        let v = Vocab::build(sents.iter().map(|s| s.iter().copied()), 2);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.get("a"), Some(0));
+        assert_eq!(v.count(0), 3);
+        assert_eq!(v.get("b"), None);
+    }
+
+    #[test]
+    fn ids_are_first_seen_order() {
+        let sents = [vec!["z", "y", "x"]];
+        let v = Vocab::build(sents.iter().map(|s| s.iter().copied()), 1);
+        assert_eq!(v.get("z"), Some(0));
+        assert_eq!(v.get("y"), Some(1));
+        assert_eq!(v.get("x"), Some(2));
+    }
+
+    #[test]
+    fn iteration_order_stable() {
+        let mut v = Vocab::new();
+        v.add("one");
+        v.add("two");
+        let items: Vec<_> = v.iter().map(|(id, t, _)| (id, t.to_owned())).collect();
+        assert_eq!(items, vec![(0, "one".to_owned()), (1, "two".to_owned())]);
+    }
+}

@@ -1,0 +1,45 @@
+//! # VAER — Cost-effective Variational Active Entity Resolution
+//!
+//! A pure-Rust reproduction of *"Cost-effective Variational Active Entity
+//! Resolution"* (Bogatu et al., ICDE 2021).
+//!
+//! This facade crate re-exports every member of the workspace so that
+//! downstream users (and the bundled examples) can depend on a single
+//! `vaer` crate:
+//!
+//! - [`linalg`] — dense `f32` matrices, randomized SVD, Jacobi eigensolver.
+//! - [`nn`] — reverse-mode autodiff tape, dense layers, Adam/SGD.
+//! - [`text`] — tokenisation, vocabularies, TF-IDF, corpora from tables.
+//! - [`stats`] — diagonal Gaussians, 2-Wasserstein, KDE, entropy, metrics.
+//! - [`index`] — p-stable Euclidean LSH, brute-force kNN, blocking.
+//! - [`embed`] — the four intermediate-representation generators
+//!   (LSA, word2vec skip-gram, BERT-style contextual, EmbDI).
+//! - [`data`] — the table/tuple model and the nine benchmark domains.
+//! - [`core`] — the paper's contribution: VAE representation learning,
+//!   Siamese matching, transfer, and active learning.
+//! - [`baselines`] — DeepER-, DeepMatcher-, and DITTO-style comparators.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use vaer::core::pipeline::{Pipeline, PipelineConfig};
+//! use vaer::data::domains::{Domain, DomainSpec, Scale};
+//!
+//! // Generate a small benchmark dataset and run end-to-end ER.
+//! let dataset = DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(7);
+//! let mut config = PipelineConfig::fast();
+//! config.seed = 7;
+//! let pipeline = Pipeline::fit(&dataset, &config).unwrap();
+//! let report = pipeline.evaluate(&dataset.test_pairs);
+//! assert!(report.f1 > 0.5, "F1 = {}", report.f1);
+//! ```
+
+pub use vaer_baselines as baselines;
+pub use vaer_core as core;
+pub use vaer_data as data;
+pub use vaer_embed as embed;
+pub use vaer_index as index;
+pub use vaer_linalg as linalg;
+pub use vaer_nn as nn;
+pub use vaer_stats as stats;
+pub use vaer_text as text;

@@ -1,0 +1,104 @@
+//! Integration tests of the active-learning loop against the labelling
+//! oracle: budget accounting, class coverage, and curve behaviour.
+
+use vaer::core::active::{evaluate_matcher, ActiveConfig, ActiveLearner};
+use vaer::core::entity::IrTable;
+use vaer::core::matcher::{MatcherConfig, PairExamples};
+use vaer::core::repr::{ReprConfig, ReprModel};
+use vaer::data::domains::{Domain, DomainSpec, Scale};
+use vaer::data::Dataset;
+use vaer::embed::{fit_ir_model, IrKind};
+
+struct Fixture {
+    dataset: Dataset,
+    irs_a: IrTable,
+    irs_b: IrTable,
+    repr: ReprModel,
+}
+
+fn fixture(domain: Domain, seed: u64) -> Fixture {
+    let dataset = DomainSpec::new(domain, Scale::Tiny).generate(seed);
+    let arity = dataset.table_a.schema.arity();
+    let sentences = dataset.all_sentences();
+    let ir_model = fit_ir_model(IrKind::Lsa, &sentences, &dataset.tables_raw(), 24, seed);
+    let a: Vec<String> = dataset.table_a.sentences().map(str::to_owned).collect();
+    let b: Vec<String> = dataset.table_b.sentences().map(str::to_owned).collect();
+    let irs_a = IrTable::new(arity, ir_model.encode_batch(&a));
+    let irs_b = IrTable::new(arity, ir_model.encode_batch(&b));
+    let all = irs_a.irs.vconcat(&irs_b.irs);
+    let (repr, _) = ReprModel::train(&all, &ReprConfig::fast(24)).unwrap();
+    Fixture { dataset, irs_a, irs_b, repr }
+}
+
+fn al_config(seed: u64) -> ActiveConfig {
+    ActiveConfig {
+        iterations: 5,
+        matcher: MatcherConfig { epochs: 10, ..MatcherConfig::fast() },
+        seed,
+        ..ActiveConfig::default()
+    }
+}
+
+#[test]
+fn oracle_budget_is_respected() {
+    let f = fixture(Domain::Restaurants, 1);
+    let oracle = f.dataset.oracle();
+    let mut learner = ActiveLearner::new(&f.repr, &f.irs_a, &f.irs_b, al_config(1));
+    learner.run(&oracle, 25, None).unwrap();
+    // Bootstrap verification is unbilled; iteration labels must stay
+    // within budget + one final batch.
+    assert!(
+        oracle.queries_used() <= 25 + 10,
+        "used {} labels for budget 25",
+        oracle.queries_used()
+    );
+}
+
+#[test]
+fn labelled_set_contains_both_classes_after_bootstrap() {
+    let f = fixture(Domain::Citations1, 2);
+    let oracle = f.dataset.oracle();
+    let mut learner = ActiveLearner::new(&f.repr, &f.irs_a, &f.irs_b, al_config(2));
+    learner.run(&oracle, 20, None).unwrap();
+    let labeled = learner.labeled();
+    assert!(labeled.num_positive() > 0, "no positives after bootstrap+AL");
+    assert!(labeled.num_negative() > 0, "no negatives after bootstrap+AL");
+}
+
+#[test]
+fn history_labels_are_monotone() {
+    let f = fixture(Domain::Beer, 3);
+    let oracle = f.dataset.oracle();
+    let mut learner = ActiveLearner::new(&f.repr, &f.irs_a, &f.irs_b, al_config(3));
+    let test = PairExamples::build(&f.irs_a, &f.irs_b, &f.dataset.test_pairs);
+    learner.run(&oracle, 30, Some(&test)).unwrap();
+    let history = learner.history();
+    assert!(!history.is_empty());
+    for w in history.windows(2) {
+        assert!(w[1].labels_used >= w[0].labels_used, "labels went backwards");
+    }
+    assert!(history.iter().all(|c| c.test_f1.is_some()));
+}
+
+#[test]
+fn al_matcher_is_usable() {
+    let f = fixture(Domain::Crm, 4);
+    let oracle = f.dataset.oracle();
+    let mut learner = ActiveLearner::new(&f.repr, &f.irs_a, &f.irs_b, al_config(4));
+    let matcher = learner.run(&oracle, 40, None).unwrap();
+    let report = evaluate_matcher(&matcher, &f.irs_a, &f.irs_b, &f.dataset.test_pairs);
+    assert!(report.f1 > 0.5, "AL matcher F1 {}", report.f1);
+}
+
+#[test]
+fn bootstrap_corrections_counted_without_billing() {
+    let f = fixture(Domain::Cosmetics, 5);
+    let oracle = f.dataset.oracle();
+    let mut learner = ActiveLearner::new(&f.repr, &f.irs_a, &f.irs_b, al_config(5));
+    let before = oracle.queries_used();
+    learner.run(&oracle, 0, None).unwrap();
+    // Budget 0: only bootstrap verification (peek, unbilled) and possibly
+    // class backfill ran.
+    let billed = oracle.queries_used() - before;
+    assert!(billed <= 2, "bootstrap verification billed {billed} labels");
+}

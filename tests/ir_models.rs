@@ -1,0 +1,75 @@
+//! Integration tests of the four IR generator families through the full
+//! pipeline: every IR kind must produce a usable end-to-end matcher.
+
+use vaer::core::pipeline::{Pipeline, PipelineConfig};
+use vaer::data::domains::{Domain, DomainSpec, Scale};
+use vaer::embed::{fit_ir_model, IrKind};
+use vaer::linalg::vector::norm;
+
+#[test]
+fn every_ir_kind_drives_a_working_pipeline() {
+    let ds = DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(31);
+    for kind in IrKind::ALL {
+        let mut config = PipelineConfig::fast();
+        config.ir_kind = kind;
+        config.seed = 31;
+        let pipeline = Pipeline::fit(&ds, &config).unwrap();
+        let f1 = pipeline.evaluate(&ds.test_pairs).f1;
+        assert!(f1 > 0.5, "{kind}: F1 {f1}");
+    }
+}
+
+#[test]
+fn ir_models_encode_duplicates_closer_than_random() {
+    let ds = DomainSpec::new(Domain::Citations1, Scale::Tiny).generate(17);
+    let sentences = ds.all_sentences();
+    for kind in IrKind::ALL {
+        let model = fit_ir_model(kind, &sentences, &ds.tables_raw(), 32, 17);
+        let mut dup_cos = 0.0f32;
+        let mut rnd_cos = 0.0f32;
+        let mut n = 0;
+        for &(a, b) in ds.duplicates.iter().take(20) {
+            let va = model.encode(&ds.table_a.row(a)[0]);
+            let vb = model.encode(&ds.table_b.row(b)[0]);
+            let vr = model.encode(&ds.table_b.row((b + 7) % ds.table_b.len())[0]);
+            if norm(&va) == 0.0 || norm(&vb) == 0.0 || norm(&vr) == 0.0 {
+                continue;
+            }
+            dup_cos += vaer::linalg::vector::cosine(&va, &vb);
+            rnd_cos += vaer::linalg::vector::cosine(&va, &vr);
+            n += 1;
+        }
+        assert!(n > 5, "{kind}: too few comparable pairs");
+        assert!(
+            dup_cos / n as f32 > rnd_cos / n as f32,
+            "{kind}: duplicates not closer (dup {} vs rnd {})",
+            dup_cos / n as f32,
+            rnd_cos / n as f32
+        );
+    }
+}
+
+#[test]
+fn encode_batch_matches_encode() {
+    let ds = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(2);
+    let sentences = ds.all_sentences();
+    let model = fit_ir_model(IrKind::Lsa, &sentences, &ds.tables_raw(), 16, 2);
+    let some: Vec<String> = sentences.iter().take(5).cloned().collect();
+    let batch = model.encode_batch(&some);
+    for (i, s) in some.iter().enumerate() {
+        assert_eq!(batch.row(i), model.encode(s).as_slice(), "row {i}");
+    }
+}
+
+#[test]
+fn ir_dims_are_respected_across_kinds() {
+    let ds = DomainSpec::new(Domain::Software, Scale::Tiny).generate(3);
+    let sentences = ds.all_sentences();
+    for dims in [8usize, 48] {
+        for kind in IrKind::ALL {
+            let model = fit_ir_model(kind, &sentences, &ds.tables_raw(), dims, 3);
+            assert_eq!(model.dims(), dims, "{kind} at {dims}");
+            assert_eq!(model.encode("any value").len(), dims, "{kind} at {dims}");
+        }
+    }
+}

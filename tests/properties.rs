@@ -1,0 +1,179 @@
+//! Property-based tests (proptest) of the core invariants: metric
+//! properties of the distances, probability bounds, text-processing
+//! idempotence, serialisation round-trips, and index correctness.
+
+use proptest::prelude::*;
+use vaer::data::{LabeledPair, PairSet};
+use vaer::index::{BruteForceKnn, E2Lsh, KnnIndex};
+use vaer::linalg::Matrix;
+use vaer::nn::ParamStore;
+use vaer::stats::entropy::binary_entropy;
+use vaer::stats::gaussian::{kl_to_standard, mahalanobis_squared, w2_squared, DiagGaussian};
+use vaer::stats::kde::Kde;
+use vaer::stats::metrics::PrF1;
+use vaer::text::{normalize, tfidf, Corpus};
+
+fn gaussian_strategy(dims: usize) -> impl Strategy<Value = DiagGaussian> {
+    (
+        proptest::collection::vec(-10.0f32..10.0, dims),
+        proptest::collection::vec(0.01f32..5.0, dims),
+    )
+        .prop_map(|(mu, sigma)| DiagGaussian::new(mu, sigma))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn w2_is_a_metric_like_form(p in gaussian_strategy(6), q in gaussian_strategy(6)) {
+        // Non-negative, symmetric, zero iff identical parameters.
+        let d_pq = w2_squared(&p, &q);
+        let d_qp = w2_squared(&q, &p);
+        prop_assert!(d_pq >= 0.0);
+        prop_assert!((d_pq - d_qp).abs() <= 1e-3 * (1.0 + d_pq.abs()));
+        prop_assert!(w2_squared(&p, &p) == 0.0);
+    }
+
+    #[test]
+    fn w2_triangle_inequality_on_sqrt(
+        p in gaussian_strategy(4),
+        q in gaussian_strategy(4),
+        r in gaussian_strategy(4),
+    ) {
+        // W2 (not squared) is a true metric on diagonal Gaussians.
+        let pq = w2_squared(&p, &q).sqrt();
+        let qr = w2_squared(&q, &r).sqrt();
+        let pr = w2_squared(&p, &r).sqrt();
+        prop_assert!(pr <= pq + qr + 1e-3 * (1.0 + pr));
+    }
+
+    #[test]
+    fn mahalanobis_non_negative_and_symmetric(p in gaussian_strategy(5), q in gaussian_strategy(5)) {
+        let d = mahalanobis_squared(&p, &q);
+        prop_assert!(d >= 0.0);
+        prop_assert!((d - mahalanobis_squared(&q, &p)).abs() <= 1e-3 * (1.0 + d));
+    }
+
+    #[test]
+    fn kl_to_standard_is_non_negative(p in gaussian_strategy(5)) {
+        prop_assert!(kl_to_standard(&p) >= -1e-4);
+    }
+
+    #[test]
+    fn entropy_bounded_by_ln2(p in 0.0f32..=1.0) {
+        let h = binary_entropy(p);
+        prop_assert!(h >= 0.0);
+        prop_assert!(h <= std::f32::consts::LN_2 + 1e-6);
+    }
+
+    #[test]
+    fn kde_density_non_negative(samples in proptest::collection::vec(-100.0f32..100.0, 1..50),
+                                x in -200.0f32..200.0) {
+        let kde = Kde::fit(&samples).unwrap();
+        prop_assert!(kde.density(x) >= 0.0);
+        prop_assert!(kde.density(x).is_finite());
+        let r = kde.relative_density(x);
+        prop_assert!((0.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn normalize_is_idempotent(raw in ".{0,60}") {
+        let once = normalize(&raw);
+        let twice = normalize(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn tfidf_vectors_unit_norm_or_empty(
+        sentences in proptest::collection::vec("[a-z]{1,8}( [a-z]{1,8}){0,5}", 1..12)
+    ) {
+        let corpus = Corpus::build(&sentences, 1);
+        let (_, vectors) = tfidf(&corpus);
+        for v in vectors {
+            if v.is_empty() {
+                continue;
+            }
+            let norm: f32 = v.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
+            prop_assert!((norm - 1.0).abs() < 1e-4, "norm {}", norm);
+        }
+    }
+
+    #[test]
+    fn prf1_counts_are_consistent(labels in proptest::collection::vec(any::<(bool, bool)>(), 0..64)) {
+        let predicted: Vec<bool> = labels.iter().map(|&(p, _)| p).collect();
+        let actual: Vec<bool> = labels.iter().map(|&(_, a)| a).collect();
+        let m = PrF1::from_labels(&predicted, &actual);
+        prop_assert_eq!(m.tp + m.fp + m.fn_ + m.tn, labels.len());
+        prop_assert!((0.0..=1.0).contains(&m.precision));
+        prop_assert!((0.0..=1.0).contains(&m.recall));
+        prop_assert!((0.0..=1.0).contains(&m.f1));
+        prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-6);
+        prop_assert!(m.f1 + 1e-6 >= m.precision.min(m.recall) * 0.0); // trivially holds; F1 ≥ 0
+    }
+
+    #[test]
+    fn param_store_bytes_round_trip(
+        dims in proptest::collection::vec((1usize..5, 1usize..5), 1..4),
+        values in proptest::collection::vec(-100.0f32..100.0, 16),
+    ) {
+        let mut store = ParamStore::new();
+        let mut vi = 0;
+        for (i, &(r, c)) in dims.iter().enumerate() {
+            let data: Vec<f32> =
+                (0..r * c).map(|k| values[(vi + k) % values.len()]).collect();
+            vi += r * c;
+            store.add(format!("p{i}"), Matrix::from_vec(r, c, data));
+        }
+        let back = ParamStore::from_bytes(&store.to_bytes()).unwrap();
+        prop_assert_eq!(back.len(), store.len());
+        for (id, name, value) in store.iter() {
+            let bid = back.find(name).unwrap();
+            prop_assert_eq!(back.get(bid), value);
+            let _ = id;
+        }
+    }
+
+    #[test]
+    fn lsh_knn_is_subset_quality_of_brute_force(
+        seed in 0u64..1000,
+        n in 20usize..60,
+    ) {
+        // LSH's top-1 neighbour distance can never beat brute force, and
+        // with the fallback it must return k results.
+        let mut rng = vaer::linalg::XorShiftRng::new(seed);
+        let points: Vec<Vec<f32>> =
+            (0..n).map(|_| (0..8).map(|_| rng.gaussian()).collect()).collect();
+        let brute = BruteForceKnn::build(points.clone());
+        let lsh = E2Lsh::build_calibrated(points.clone(), seed);
+        let q = &points[0];
+        let bf = brute.knn(q, 3);
+        let ls = lsh.knn(q, 3);
+        prop_assert_eq!(ls.len(), 3.min(n));
+        prop_assert!(ls[0].distance + 1e-6 >= bf[0].distance);
+        // Self-query must find itself at distance 0.
+        prop_assert!(ls[0].distance <= 1e-6);
+    }
+
+    #[test]
+    fn pair_set_validation_matches_bounds(
+        pairs in proptest::collection::vec((0usize..30, 0usize..30, any::<bool>()), 0..20),
+        len_a in 1usize..30,
+        len_b in 1usize..30,
+    ) {
+        use vaer::data::{Schema, Table};
+        let mut a = Table::new(Schema::new("a", &["x"]));
+        for i in 0..len_a {
+            a.push(vec![format!("{i}")]);
+        }
+        let mut b = Table::new(Schema::new("b", &["x"]));
+        for i in 0..len_b {
+            b.push(vec![format!("{i}")]);
+        }
+        let set: PairSet = pairs
+            .iter()
+            .map(|&(l, r, m)| LabeledPair { left: l, right: r, is_match: m })
+            .collect();
+        let valid = set.pairs.iter().all(|p| p.left < len_a && p.right < len_b);
+        prop_assert_eq!(set.validate(&a, &b).is_ok(), valid);
+    }
+}

@@ -1,0 +1,54 @@
+//! Integration tests of persistence: representation-model save/load and
+//! CSV round-trips of generated benchmark tables.
+
+use vaer::core::pipeline::{Pipeline, PipelineConfig};
+use vaer::core::repr::ReprModel;
+use vaer::data::csv::{from_csv, to_csv};
+use vaer::data::domains::{Domain, DomainSpec, Scale};
+
+#[test]
+fn repr_model_survives_disk_round_trip() {
+    let ds = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(8);
+    let mut config = PipelineConfig::fast();
+    config.seed = 8;
+    let pipeline = Pipeline::fit(&ds, &config).unwrap();
+    let bytes = pipeline.repr().to_bytes();
+    let restored = ReprModel::from_bytes(&bytes).unwrap();
+    // Encodings must be bit-identical.
+    let (irs_a, _) = pipeline.ir_tables();
+    let orig = pipeline.repr().encode(&irs_a.irs);
+    let back = restored.encode(&irs_a.irs);
+    assert_eq!(orig.len(), back.len());
+    for (a, b) in orig.iter().zip(back.iter()) {
+        assert_eq!(a.mu, b.mu);
+        assert_eq!(a.sigma, b.sigma);
+    }
+}
+
+#[test]
+fn generated_tables_round_trip_through_csv() {
+    for domain in [Domain::Restaurants, Domain::Software, Domain::Crm] {
+        let ds = DomainSpec::new(domain, Scale::Tiny).generate(12);
+        for table in [&ds.table_a, &ds.table_b] {
+            let csv = to_csv(table);
+            let back = from_csv(&table.schema.name, &csv).unwrap();
+            assert_eq!(&back, table, "{domain:?}/{}", table.schema.name);
+        }
+    }
+}
+
+#[test]
+fn corrupted_model_bytes_are_rejected() {
+    let ds = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(9);
+    let mut config = PipelineConfig::fast();
+    config.seed = 9;
+    let pipeline = Pipeline::fit(&ds, &config).unwrap();
+    let mut bytes = pipeline.repr().to_bytes();
+    // Flip the magic.
+    bytes[0] ^= 0xFF;
+    assert!(ReprModel::from_bytes(&bytes).is_err());
+    // Truncate the payload.
+    let mut short = pipeline.repr().to_bytes();
+    short.truncate(short.len() / 2);
+    assert!(ReprModel::from_bytes(&short).is_err());
+}
