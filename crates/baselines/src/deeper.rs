@@ -58,7 +58,15 @@ impl Default for DeepErConfig {
 impl DeepErConfig {
     /// A fast configuration for unit tests.
     pub fn fast() -> Self {
-        Self { embed_dim: 16, max_vocab: 800, hidden: 16, recurrent_steps: 4, epochs: 80, learning_rate: 1e-2, ..Self::default() }
+        Self {
+            embed_dim: 16,
+            max_vocab: 800,
+            hidden: 16,
+            recurrent_steps: 4,
+            epochs: 80,
+            learning_rate: 1e-2,
+            ..Self::default()
+        }
     }
 }
 
@@ -127,8 +135,10 @@ impl DeepEr {
         for _epoch in 0..model.config.epochs {
             for batch in minibatches(pairs.len(), model.config.batch_size, &mut rng) {
                 let selected: Vec<_> = batch.iter().map(|&i| pairs.pairs[i]).collect();
-                let labels: Vec<f32> =
-                    selected.iter().map(|p| if p.is_match { 1.0 } else { 0.0 }).collect();
+                let labels: Vec<f32> = selected
+                    .iter()
+                    .map(|p| if p.is_match { 1.0 } else { 0.0 })
+                    .collect();
                 let mut g = Graph::new();
                 let logits = model.forward(&mut g, dataset, &selected);
                 let y = Matrix::from_vec(labels.len(), 1, labels);

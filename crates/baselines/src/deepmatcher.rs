@@ -105,10 +105,22 @@ impl DeepMatcher {
         let mut rng = NnRng::seed_from_u64(config.seed);
         let mut store = ParamStore::new();
         let vocab = featurizer.vocab_size().max(1);
-        let word_embed =
-            Dense::new(&mut store, "dm.word", vocab, config.embed_dim, Initializer::Xavier, &mut rng);
-        let ctx_embed =
-            Dense::new(&mut store, "dm.ctx", vocab, config.embed_dim, Initializer::Xavier, &mut rng);
+        let word_embed = Dense::new(
+            &mut store,
+            "dm.word",
+            vocab,
+            config.embed_dim,
+            Initializer::Xavier,
+            &mut rng,
+        );
+        let ctx_embed = Dense::new(
+            &mut store,
+            "dm.ctx",
+            vocab,
+            config.embed_dim,
+            Initializer::Xavier,
+            &mut rng,
+        );
         let gate = Dense::new(
             &mut store,
             "dm.gate",
@@ -150,8 +162,10 @@ impl DeepMatcher {
         for _epoch in 0..model.config.epochs {
             for batch in minibatches(pairs.len(), model.config.batch_size, &mut rng) {
                 let selected: Vec<_> = batch.iter().map(|&i| pairs.pairs[i]).collect();
-                let labels: Vec<f32> =
-                    selected.iter().map(|p| if p.is_match { 1.0 } else { 0.0 }).collect();
+                let labels: Vec<f32> = selected
+                    .iter()
+                    .map(|p| if p.is_match { 1.0 } else { 0.0 })
+                    .collect();
                 let mut g = Graph::new();
                 let logits = model.forward(&mut g, dataset, &selected);
                 let y = Matrix::from_vec(labels.len(), 1, labels);

@@ -48,7 +48,13 @@ impl Default for DittoConfig {
 impl DittoConfig {
     /// A fast configuration for unit tests.
     pub fn fast() -> Self {
-        Self { encoder_dim: 32, head_hidden: vec![24], epochs: 120, learning_rate: 5e-3, ..Self::default() }
+        Self {
+            encoder_dim: 32,
+            head_hidden: vec![24],
+            epochs: 120,
+            learning_rate: 5e-3,
+            ..Self::default()
+        }
     }
 }
 
@@ -133,8 +139,12 @@ impl Ditto {
         let d = self.config.encoder_dim;
         let mut out = Matrix::zeros(pairs.len(), 4 * d);
         for (i, p) in pairs.pairs.iter().enumerate() {
-            let es = self.encoder.encode(&serialize_tuple(&dataset.table_a, p.left));
-            let et = self.encoder.encode(&serialize_tuple(&dataset.table_b, p.right));
+            let es = self
+                .encoder
+                .encode(&serialize_tuple(&dataset.table_a, p.left));
+            let et = self
+                .encoder
+                .encode(&serialize_tuple(&dataset.table_b, p.right));
             let row = out.row_mut(i);
             for j in 0..d {
                 row[j] = es[j];

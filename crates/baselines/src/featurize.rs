@@ -31,8 +31,7 @@ impl BowFeaturizer {
             }
         }
         // Keep the top `max_vocab` tokens by count.
-        let mut ranked: Vec<(u32, u64)> =
-            full.iter().map(|(id, _, count)| (id, count)).collect();
+        let mut ranked: Vec<(u32, u64)> = full.iter().map(|(id, _, count)| (id, count)).collect();
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         ranked.truncate(max_vocab);
         let mut vocab = Vocab::new();
@@ -52,8 +51,10 @@ impl BowFeaturizer {
     pub fn attr_bows(&self, table: &Table, rows: &[usize], attr: usize) -> Matrix {
         let mut out = Matrix::zeros(rows.len(), self.vocab_size().max(1));
         for (r, &row_idx) in rows.iter().enumerate() {
-            let ids: Vec<u32> =
-                tokenize(table.value(row_idx, attr)).iter().filter_map(|t| self.vocab.get(t)).collect();
+            let ids: Vec<u32> = tokenize(table.value(row_idx, attr))
+                .iter()
+                .filter_map(|t| self.vocab.get(t))
+                .collect();
             if ids.is_empty() {
                 continue;
             }

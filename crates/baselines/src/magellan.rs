@@ -35,7 +35,12 @@ pub struct MagellanConfig {
 
 impl Default for MagellanConfig {
     fn default() -> Self {
-        Self { epochs: 150, batch_size: 64, learning_rate: 5e-2, seed: 0x3A63 }
+        Self {
+            epochs: 150,
+            batch_size: 64,
+            learning_rate: 5e-2,
+            seed: 0x3A63,
+        }
     }
 }
 
@@ -50,7 +55,11 @@ pub struct Magellan {
 
 /// The per-attribute similarity feature vector for one value pair.
 pub fn value_features(a: &str, b: &str) -> [f32; FEATURES_PER_ATTRIBUTE] {
-    let missing = if a.is_empty() || b.is_empty() { 1.0 } else { 0.0 };
+    let missing = if a.is_empty() || b.is_empty() {
+        1.0
+    } else {
+        0.0
+    };
     [
         levenshtein_similarity(a, b),
         jaccard_tokens(a, b),
@@ -80,7 +89,12 @@ impl Magellan {
             Initializer::Xavier,
             &mut rng,
         );
-        let mut model = Self { store, lr, arity, train_secs: 0.0 };
+        let mut model = Self {
+            store,
+            lr,
+            arity,
+            train_secs: 0.0,
+        };
         let features = model.features(dataset, &dataset.train_pairs.pairs);
         let labels: Vec<f32> = dataset
             .train_pairs

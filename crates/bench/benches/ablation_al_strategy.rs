@@ -23,7 +23,12 @@ fn main() {
         "{:<8} | {:>8} {:>12} {:>8}   (test F1 at {budget} labels)",
         "Domain", "VAER", "entropy-only", "random"
     );
-    for domain in [Domain::Restaurants, Domain::Citations2, Domain::Beer, Domain::Music] {
+    for domain in [
+        Domain::Restaurants,
+        Domain::Citations2,
+        Domain::Beer,
+        Domain::Music,
+    ] {
         let ds = dataset(domain, scale, seed);
         let bundle = fit_repr_bundle(&ds, IrKind::Lsa, 64, seed);
         let test = PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.test_pairs);

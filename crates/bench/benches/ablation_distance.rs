@@ -14,17 +14,33 @@ fn main() {
     banner("Ablation — Distance layer: W₂² vs Mahalanobis vs μ-only vs σ-only");
     let scale = scale_from_env();
     let seed = seed_from_env();
-    let kinds =
-        [DistanceKind::W2, DistanceKind::Mahalanobis, DistanceKind::MuOnly, DistanceKind::SigmaOnly];
-    println!("{:<8} | {:>8} {:>8} {:>8} {:>8}", "Domain", "W2", "mahal", "mu-only", "sig-only");
-    for domain in [Domain::Restaurants, Domain::Cosmetics, Domain::Beer, Domain::Software] {
+    let kinds = [
+        DistanceKind::W2,
+        DistanceKind::Mahalanobis,
+        DistanceKind::MuOnly,
+        DistanceKind::SigmaOnly,
+    ];
+    println!(
+        "{:<8} | {:>8} {:>8} {:>8} {:>8}",
+        "Domain", "W2", "mahal", "mu-only", "sig-only"
+    );
+    for domain in [
+        Domain::Restaurants,
+        Domain::Cosmetics,
+        Domain::Beer,
+        Domain::Software,
+    ] {
         let ds = dataset(domain, scale, seed);
         let bundle = fit_repr_bundle(&ds, IrKind::Lsa, 64, seed);
         let train = PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.train_pairs);
         let test = PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
         print!("{:<8} |", ds.name);
         for kind in kinds {
-            let config = MatcherConfig { distance: kind, seed, ..MatcherConfig::default() };
+            let config = MatcherConfig {
+                distance: kind,
+                seed,
+                ..MatcherConfig::default()
+            };
             let f1 = SiameseMatcher::train(&bundle.repr, &train, &config)
                 .map(|m| m.evaluate(&test).f1)
                 .unwrap_or(0.0);

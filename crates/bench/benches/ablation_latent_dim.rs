@@ -14,7 +14,10 @@ fn main() {
     let scale = scale_from_env();
     let seed = seed_from_env();
     let dims = [8usize, 16, 32, 64];
-    println!("{:<8} | {:>24} | {:>24}", "Domain", "recall@10 (k=8/16/32/64)", "F1 (k=8/16/32/64)");
+    println!(
+        "{:<8} | {:>24} | {:>24}",
+        "Domain", "recall@10 (k=8/16/32/64)", "F1 (k=8/16/32/64)"
+    );
     for domain in [Domain::Restaurants, Domain::Citations1, Domain::Beer] {
         let ds = dataset(domain, scale, seed);
         let arity = ds.table_a.schema.arity();
@@ -28,19 +31,41 @@ fn main() {
         let mut recalls = Vec::new();
         let mut f1s = Vec::new();
         for latent in dims {
-            let config = ReprConfig { ir_dim: 64, latent_dim: latent, seed, ..ReprConfig::default() };
+            let config = ReprConfig {
+                ir_dim: 64,
+                latent_dim: latent,
+                seed,
+                ..ReprConfig::default()
+            };
             let (repr, _) = ReprModel::train(&all, &config).expect("VAE");
             let reprs_a = group_entities(repr.encode(&irs_a.irs), arity);
             let reprs_b = group_entities(repr.encode(&irs_b.irs), arity);
-            recalls.push(fmt_metric(recall_at_k_vae(&reprs_a, &reprs_b, &ds.duplicates, 10)));
+            recalls.push(fmt_metric(recall_at_k_vae(
+                &reprs_a,
+                &reprs_b,
+                &ds.duplicates,
+                10,
+            )));
             let train = PairExamples::build(&irs_a, &irs_b, &ds.train_pairs);
             let test = PairExamples::build(&irs_a, &irs_b, &ds.test_pairs);
-            let f1 = SiameseMatcher::train(&repr, &train, &MatcherConfig { seed, ..Default::default() })
-                .map(|m| m.evaluate(&test).f1)
-                .unwrap_or(0.0);
+            let f1 = SiameseMatcher::train(
+                &repr,
+                &train,
+                &MatcherConfig {
+                    seed,
+                    ..Default::default()
+                },
+            )
+            .map(|m| m.evaluate(&test).f1)
+            .unwrap_or(0.0);
             f1s.push(fmt_metric(f1));
         }
-        println!("{:<8} | {:>24} | {:>24}", ds.name, recalls.join("/"), f1s.join("/"));
+        println!(
+            "{:<8} | {:>24} | {:>24}",
+            ds.name,
+            recalls.join("/"),
+            f1s.join("/")
+        );
     }
     println!("\nShape check: quality should saturate well below the paper's k=100 —");
     println!("supporting the scaled-down latent width used throughout this repo.");

@@ -23,7 +23,11 @@ fn main() {
         let test = PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
         print!("{:<8} |", ds.name);
         for m in margins {
-            let config = MatcherConfig { margin: m, seed, ..MatcherConfig::default() };
+            let config = MatcherConfig {
+                margin: m,
+                seed,
+                ..MatcherConfig::default()
+            };
             let f1 = SiameseMatcher::train(&bundle.repr, &train, &config)
                 .map(|model| model.evaluate(&test).f1)
                 .unwrap_or(0.0);

@@ -23,15 +23,25 @@ fn main() {
     );
     for domain in Domain::ALL {
         let ds = dataset(domain, scale, seed);
-        let clean = if domain.meta().clean { "clean" } else { "noisy" };
+        let clean = if domain.meta().clean {
+            "clean"
+        } else {
+            "noisy"
+        };
         let mut config = PipelineConfig::paper();
         config.seed = seed;
         let pipeline = Pipeline::fit(&ds, &config).expect("VAER pipeline");
-        let vaer_pred: Vec<bool> =
-            pipeline.predict(&ds.test_pairs).iter().map(|&p| p > 0.5).collect();
+        let vaer_pred: Vec<bool> = pipeline
+            .predict(&ds.test_pairs)
+            .iter()
+            .map(|&p| p > 0.5)
+            .collect();
         let magellan = Magellan::train(&ds, &MagellanConfig::default()).expect("Magellan");
-        let mag_pred: Vec<bool> =
-            magellan.predict(&ds, &ds.test_pairs).iter().map(|&p| p > 0.5).collect();
+        let mag_pred: Vec<bool> = magellan
+            .predict(&ds, &ds.test_pairs)
+            .iter()
+            .map(|&p| p > 0.5)
+            .collect();
         let actual = ds.test_pairs.labels();
         let vaer_ci = bootstrap_f1(&vaer_pred, &actual, 400, 0.95, seed);
         let mag_ci = bootstrap_f1(&mag_pred, &actual, 400, 0.95, seed);

@@ -38,14 +38,16 @@ fn main() {
                 Scale::Paper => 100,
             };
             let mut out = Vec::new();
-            for domain in
-                [Domain::Restaurants, Domain::Citations2, Domain::Software, Domain::Beer]
-            {
+            for domain in [
+                Domain::Restaurants,
+                Domain::Citations2,
+                Domain::Software,
+                Domain::Beer,
+            ] {
                 let ds = dataset(domain, scale, seed);
                 let bundle = fit_repr_bundle(&ds, IrKind::Lsa, 64, seed);
                 let oracle = ds.oracle();
-                let test =
-                    PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
+                let test = PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
                 let config = ActiveConfig {
                     iterations: 200,
                     matcher: MatcherConfig::default(),

@@ -1,9 +1,13 @@
-//! Criterion micro-benchmarks of the hot kernels underneath every
-//! experiment: matmul, one VAE training step, the W₂² distance, KDE
-//! evaluation, LSH vs brute-force kNN, and one skip-gram epoch.
+//! Micro-benchmarks of the hot kernels underneath every experiment:
+//! matmul, one VAE training step, the W₂² distance, KDE evaluation,
+//! LSH vs brute-force kNN, and one skip-gram epoch.
+//!
+//! Uses a self-contained `Instant` harness (median of timed batches)
+//! since the workspace carries no external bench framework.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
+use vaer_bench::banner;
 use vaer_core::repr::{ReprConfig, ReprModel};
 use vaer_embed::{SgnsConfig, SgnsEmbeddings};
 use vaer_index::{BruteForceKnn, E2Lsh, KnnIndex};
@@ -11,25 +15,63 @@ use vaer_linalg::{Matrix, XorShiftRng};
 use vaer_stats::gaussian::{w2_squared, DiagGaussian};
 use vaer_stats::kde::Kde;
 
-fn bench_matmul(c: &mut Criterion) {
+/// Runs `f` in timed batches and prints the median per-call time.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    // Calibrate: pick a batch size that takes roughly >= 10ms.
+    let mut batch = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        if start.elapsed().as_millis() >= 10 || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            start.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    let median = samples[samples.len() / 2];
+    let (value, unit) = if median >= 1.0 {
+        (median, "s ")
+    } else if median >= 1e-3 {
+        (median * 1e3, "ms")
+    } else if median >= 1e-6 {
+        (median * 1e6, "µs")
+    } else {
+        (median * 1e9, "ns")
+    };
+    println!("{name:<28} {value:>9.3} {unit}/iter  (batch {batch})");
+}
+
+fn bench_matmul() {
     let mut rng = XorShiftRng::new(1);
     let a = Matrix::gaussian(128, 128, &mut rng);
     let b = Matrix::gaussian(128, 128, &mut rng);
-    c.bench_function("matmul_128x128", |bench| {
-        bench.iter(|| black_box(a.matmul(black_box(&b))))
-    });
+    bench("matmul_128x128", || a.matmul(black_box(&b)));
 }
 
-fn bench_vae_epoch(c: &mut Criterion) {
+fn bench_vae_epoch() {
     let mut rng = XorShiftRng::new(2);
     let irs = Matrix::gaussian(256, 64, &mut rng);
-    let config = ReprConfig { epochs: 1, ..ReprConfig::default() };
-    c.bench_function("vae_train_1_epoch_256x64", |bench| {
-        bench.iter(|| black_box(ReprModel::train(black_box(&irs), &config).unwrap()))
+    let config = ReprConfig {
+        epochs: 1,
+        ..ReprConfig::default()
+    };
+    bench("vae_train_1_epoch_256x64", || {
+        ReprModel::train(black_box(&irs), &config).unwrap()
     });
 }
 
-fn bench_w2(c: &mut Criterion) {
+fn bench_w2() {
     let mut rng = XorShiftRng::new(3);
     let p = DiagGaussian::new(
         (0..64).map(|_| rng.gaussian()).collect(),
@@ -39,40 +81,36 @@ fn bench_w2(c: &mut Criterion) {
         (0..64).map(|_| rng.gaussian()).collect(),
         (0..64).map(|_| rng.gaussian().abs() + 0.1).collect(),
     );
-    c.bench_function("w2_squared_64d", |bench| {
-        bench.iter(|| black_box(w2_squared(black_box(&p), black_box(&q))))
+    bench("w2_squared_64d", || {
+        w2_squared(black_box(&p), black_box(&q))
     });
 }
 
-fn bench_kde(c: &mut Criterion) {
+fn bench_kde() {
     let mut rng = XorShiftRng::new(4);
     let samples: Vec<f32> = (0..1000).map(|_| rng.gaussian()).collect();
     let kde = Kde::fit(&samples).unwrap();
-    c.bench_function("kde_density_1000_points", |bench| {
-        bench.iter(|| black_box(kde.density(black_box(0.5))))
-    });
+    bench("kde_density_1000_points", || kde.density(black_box(0.5)));
 }
 
-fn bench_knn(c: &mut Criterion) {
+fn bench_knn() {
     let mut rng = XorShiftRng::new(5);
-    let points: Vec<Vec<f32>> =
-        (0..2000).map(|_| (0..32).map(|_| rng.gaussian()).collect()).collect();
+    let points: Vec<Vec<f32>> = (0..2000)
+        .map(|_| (0..32).map(|_| rng.gaussian()).collect())
+        .collect();
     let query: Vec<f32> = (0..32).map(|_| rng.gaussian()).collect();
     let brute = BruteForceKnn::build(points.clone());
     let lsh = E2Lsh::build_calibrated(points, 9);
-    let mut group = c.benchmark_group("knn_2000x32");
-    group.bench_function("brute_force", |bench| {
-        bench.iter(|| black_box(brute.knn(black_box(&query), 10)))
+    bench("knn_2000x32/brute_force", || {
+        brute.knn(black_box(&query), 10)
     });
-    group.bench_function("e2lsh", |bench| {
-        bench.iter(|| black_box(lsh.knn(black_box(&query), 10)))
-    });
-    group.finish();
+    bench("knn_2000x32/e2lsh", || lsh.knn(black_box(&query), 10));
 }
 
-fn bench_sgns(c: &mut Criterion) {
-    let sequences: Vec<Vec<u32>> =
-        (0..200).map(|i| (0..8).map(|j| ((i * 7 + j * 3) % 100) as u32).collect()).collect();
+fn bench_sgns() {
+    let sequences: Vec<Vec<u32>> = (0..200)
+        .map(|i| (0..8).map(|j| ((i * 7 + j * 3) % 100) as u32).collect())
+        .collect();
     let counts = {
         let mut counts = vec![0u64; 100];
         for s in &sequences {
@@ -82,17 +120,22 @@ fn bench_sgns(c: &mut Criterion) {
         }
         counts
     };
-    let config = SgnsConfig { dims: 32, epochs: 1, ..SgnsConfig::default() };
-    c.bench_function("sgns_1_epoch_200x8", |bench| {
-        bench.iter(|| {
-            black_box(SgnsEmbeddings::train(black_box(&sequences), 100, &counts, &config))
-        })
+    let config = SgnsConfig {
+        dims: 32,
+        epochs: 1,
+        ..SgnsConfig::default()
+    };
+    bench("sgns_1_epoch_200x8", || {
+        SgnsEmbeddings::train(black_box(&sequences), 100, &counts, &config)
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_matmul, bench_vae_epoch, bench_w2, bench_kde, bench_knn, bench_sgns
+fn main() {
+    banner("Micro-benchmarks — hot kernels");
+    bench_matmul();
+    bench_vae_epoch();
+    bench_w2();
+    bench_kde();
+    bench_knn();
+    bench_sgns();
 }
-criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Serial vs parallel wall-clock of the data-parallel runtime's hot
+//! paths: one sharded VAE training step and one large matmul, at 1 thread
+//! and at the machine's full thread count.
+//!
+//! On a single-core host both configurations collapse to the same inline
+//! serial path, so the printed ratio is ~1.0 there by construction; the
+//! speedup claim is only measurable with >= 2 hardware threads.
+
+use std::hint::black_box;
+use std::time::Instant;
+use vaer_bench::banner;
+use vaer_core::repr::{ReprConfig, ReprModel};
+use vaer_linalg::{runtime, Matrix, XorShiftRng};
+
+/// Median per-call seconds over timed batches (same harness as micro.rs).
+fn time_median<T>(mut f: impl FnMut() -> T) -> f64 {
+    let mut batch = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        if start.elapsed().as_millis() >= 10 || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    let mut samples: Vec<f64> = (0..9)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            start.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn report(name: &str, serial: f64, parallel: f64, threads: usize) {
+    println!(
+        "{name:<32} serial {:>9.3} ms   {threads} threads {:>9.3} ms   speedup {:>5.2}x",
+        serial * 1e3,
+        parallel * 1e3,
+        serial / parallel
+    );
+}
+
+fn bench_training_step(threads: usize) {
+    // One epoch over a 256-row batch of 64-dim IRs — the paper's hot
+    // training loop, exercising the sharded-gradient path end to end.
+    let mut rng = XorShiftRng::new(7);
+    let irs = Matrix::gaussian(256, 64, &mut rng);
+    let config = ReprConfig {
+        epochs: 1,
+        batch_size: 256,
+        ..ReprConfig::fast(64)
+    };
+    let step = || ReprModel::train(black_box(&irs), &config).unwrap();
+    runtime::set_threads(1);
+    let serial = time_median(step);
+    runtime::set_threads(threads);
+    let parallel = time_median(step);
+    runtime::set_threads(0);
+    report("vae_train_step_256x64", serial, parallel, threads);
+}
+
+fn bench_matmul(threads: usize) {
+    let mut rng = XorShiftRng::new(8);
+    let a = Matrix::gaussian(512, 256, &mut rng);
+    let b = Matrix::gaussian(256, 512, &mut rng);
+    let f = || a.matmul(black_box(&b));
+    runtime::set_threads(1);
+    let serial = time_median(f);
+    runtime::set_threads(threads);
+    let parallel = time_median(f);
+    runtime::set_threads(0);
+    report("matmul_512x256x512", serial, parallel, threads);
+}
+
+fn main() {
+    banner("parallel runtime: serial vs sharded");
+    let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    println!("hardware threads: {threads}");
+    if threads == 1 {
+        println!("(single-core host: both paths run the same inline serial code)");
+    }
+    bench_matmul(threads.max(2));
+    bench_training_step(threads.max(2));
+}

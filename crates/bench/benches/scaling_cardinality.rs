@@ -16,11 +16,7 @@ use vaer_data::domains::{Domain, DomainSpec, Scale};
 use vaer_data::PairSet;
 use vaer_embed::{fit_ir_model, IrKind};
 
-fn fit_parts(
-    ds: &vaer_data::Dataset,
-    train: &PairSet,
-    seed: u64,
-) -> (f64, f64) {
+fn fit_parts(ds: &vaer_data::Dataset, train: &PairSet, seed: u64) -> (f64, f64) {
     let arity = ds.table_a.schema.arity();
     let sentences = ds.all_sentences();
     let ir_model = fit_ir_model(IrKind::Lsa, &sentences, &ds.tables_raw(), 64, seed);
@@ -30,13 +26,27 @@ fn fit_parts(
     let irs_b = IrTable::new(arity, ir_model.encode_batch(&b));
     let t0 = Instant::now();
     let all = irs_a.irs.vconcat(&irs_b.irs);
-    let (repr, _) =
-        ReprModel::train(&all, &ReprConfig { ir_dim: 64, seed, ..Default::default() }).unwrap();
+    let (repr, _) = ReprModel::train(
+        &all,
+        &ReprConfig {
+            ir_dim: 64,
+            seed,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let repr_secs = t0.elapsed().as_secs_f64();
     let t1 = Instant::now();
     let examples = PairExamples::build(&irs_a, &irs_b, train);
-    SiameseMatcher::train(&repr, &examples, &MatcherConfig { seed, ..Default::default() })
-        .unwrap();
+    SiameseMatcher::train(
+        &repr,
+        &examples,
+        &MatcherConfig {
+            seed,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let match_secs = t1.elapsed().as_secs_f64();
     (repr_secs, match_secs)
 }
@@ -74,7 +84,12 @@ fn main() {
             continue;
         }
         let (repr_secs, match_secs) = fit_parts(&ds, &train, seed);
-        println!("{:>8} {:>10.2} {:>11.2}", train.len(), repr_secs, match_secs);
+        println!(
+            "{:>8} {:>10.2} {:>11.2}",
+            train.len(),
+            repr_secs,
+            match_secs
+        );
     }
     println!("\nShape check: repr seconds grow down sweep 1 while match seconds stay");
     println!("flat; match seconds grow down sweep 2 while repr seconds stay flat —");

@@ -7,7 +7,9 @@
 //! IRs, across all four IR types".
 
 use vaer_bench::paper::{DOMAIN_ORDER, TABLE_IV};
-use vaer_bench::{banner, dataset, domains_from_env, fit_repr_bundle, fmt_metric, scale_from_env, seed_from_env};
+use vaer_bench::{
+    banner, dataset, domains_from_env, fit_repr_bundle, fmt_metric, scale_from_env, seed_from_env,
+};
 use vaer_core::evaluation::{topk_eval_irs, topk_eval_vae};
 use vaer_data::domains::Domain;
 use vaer_embed::IrKind;
@@ -23,7 +25,10 @@ fn main() {
     );
     for domain in domains_from_env() {
         let ds = dataset(domain, scale, seed);
-        let di = Domain::ALL.iter().position(|&d| d == domain).expect("known domain");
+        let di = Domain::ALL
+            .iter()
+            .position(|&d| d == domain)
+            .expect("known domain");
         for (ki, kind) in IrKind::ALL.into_iter().enumerate() {
             let bundle = fit_repr_bundle(&ds, kind, 64, seed ^ (ki as u64) << 8);
             let ir = topk_eval_irs(&bundle.irs_a, &bundle.irs_b, &ds.test_pairs, k);

@@ -4,9 +4,13 @@
 //! Also records the training times into the bench cache so the Table VI
 //! target can print them without re-running everything.
 
-use vaer_baselines::{Baseline, DeepEr, DeepErConfig, DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig};
+use vaer_baselines::{
+    Baseline, DeepEr, DeepErConfig, DeepMatcher, DeepMatcherConfig, Ditto, DittoConfig,
+};
 use vaer_bench::paper::{DOMAIN_ORDER, TABLE_V};
-use vaer_bench::{banner, cache, dataset, domains_from_env, fmt_metric, scale_from_env, seed_from_env};
+use vaer_bench::{
+    banner, cache, dataset, domains_from_env, fmt_metric, scale_from_env, seed_from_env,
+};
 use vaer_core::pipeline::{Pipeline, PipelineConfig};
 use vaer_data::domains::Domain;
 
@@ -21,7 +25,10 @@ fn main() {
     let mut time_rows = Vec::new();
     for domain in domains_from_env() {
         let ds = dataset(domain, scale, seed);
-        let di = Domain::ALL.iter().position(|&d| d == domain).expect("known domain");
+        let di = Domain::ALL
+            .iter()
+            .position(|&d| d == domain)
+            .expect("known domain");
 
         let mut config = PipelineConfig::paper();
         config.seed = seed;

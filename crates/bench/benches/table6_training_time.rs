@@ -38,7 +38,10 @@ fn main() {
             let mut rows = Vec::new();
             for domain in domains_from_env() {
                 let ds = dataset(domain, scale, seed);
-                let di = Domain::ALL.iter().position(|&d| d == domain).expect("domain");
+                let di = Domain::ALL
+                    .iter()
+                    .position(|&d| d == domain)
+                    .expect("domain");
                 let mut config = PipelineConfig::paper();
                 config.seed = seed;
                 let pipeline = Pipeline::fit(&ds, &config).expect("VAER pipeline");

@@ -36,7 +36,10 @@ fn main() {
         if domain == Domain::Citations2 {
             continue;
         }
-        let di = Domain::ALL.iter().position(|&d| d == domain).expect("domain");
+        let di = Domain::ALL
+            .iter()
+            .position(|&d| d == domain)
+            .expect("domain");
         let raw = dataset(domain, scale, seed);
         let ds = adapt_dataset_arity(&raw, source_arity);
         // Local model: trained on this domain's own (arity-adapted) IRs.

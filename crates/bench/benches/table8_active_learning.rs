@@ -7,7 +7,10 @@
 //! used. Also caches each domain's learning curve for the Fig. 5 target.
 
 use vaer_bench::paper::{DOMAIN_ORDER, TABLE_VIII};
-use vaer_bench::{banner, cache, dataset, domains_from_env, fit_repr_bundle, fmt_metric, scale_from_env, seed_from_env};
+use vaer_bench::{
+    banner, cache, dataset, domains_from_env, fit_repr_bundle, fmt_metric, scale_from_env,
+    seed_from_env,
+};
 use vaer_core::active::{evaluate_matcher, ActiveConfig, ActiveLearner};
 use vaer_core::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
 use vaer_data::domains::{Domain, Scale};
@@ -24,12 +27,20 @@ fn main() {
     };
     println!(
         "{:<8} | {:>14} | {:>14} | {:>14} | {:>6} {:>7} | paper F1 (boot/A250/full, F1% / train%)",
-        "Domain", "Bootstrap", "A<budget>".to_string(), "Full", "F1%", "Train%"
+        "Domain",
+        "Bootstrap",
+        "A<budget>".to_string(),
+        "Full",
+        "F1%",
+        "Train%"
     );
     let mut curves = Vec::new();
     for domain in domains_from_env() {
         let ds = dataset(domain, scale, seed);
-        let di = Domain::ALL.iter().position(|&d| d == domain).expect("domain");
+        let di = Domain::ALL
+            .iter()
+            .position(|&d| d == domain)
+            .expect("domain");
         // Never let the budget exceed half the (scaled) training-set size;
         // a label budget above 100% of the training data would make the
         // paper's "Training %" column meaningless.
@@ -39,8 +50,7 @@ fn main() {
         let test_examples = PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
 
         // Full: the conventional supervised matcher on all training pairs.
-        let full_examples =
-            PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.train_pairs);
+        let full_examples = PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.train_pairs);
         let full_matcher =
             SiameseMatcher::train(&bundle.repr, &full_examples, &MatcherConfig::default())
                 .expect("full matcher");
@@ -53,9 +63,11 @@ fn main() {
             seed,
             ..ActiveConfig::default()
         };
-        let mut boot_learner = ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, config);
-        let boot_matcher =
-            boot_learner.run(&oracle, budget, None).expect("bootstrap matcher");
+        let mut boot_learner =
+            ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, config);
+        let boot_matcher = boot_learner
+            .run(&oracle, budget, None)
+            .expect("bootstrap matcher");
         let boot = evaluate_matcher(&boot_matcher, &bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
 
         // A<budget>: full Algorithm 2 until the label budget is exhausted.
@@ -67,17 +79,32 @@ fn main() {
             ..ActiveConfig::default()
         };
         let mut learner = ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, config);
-        let al_matcher =
-            learner.run(&al_oracle, budget, Some(&test_examples)).expect("AL matcher");
+        let al_matcher = learner
+            .run(&al_oracle, budget, Some(&test_examples))
+            .expect("AL matcher");
         let al = evaluate_matcher(&al_matcher, &bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
 
-        let f1_pct = if full.f1 > 0.0 { 100.0 * al.f1 / full.f1 } else { 0.0 };
-        let train_pct = 100.0 * al_oracle.queries_used() as f32 / ds.train_pairs.len().max(1) as f32;
+        let f1_pct = if full.f1 > 0.0 {
+            100.0 * al.f1 / full.f1
+        } else {
+            0.0
+        };
+        let train_pct =
+            100.0 * al_oracle.queries_used() as f32 / ds.train_pairs.len().max(1) as f32;
         let p = TABLE_VIII[di];
         let cell = |m: vaer_stats::metrics::PrF1| {
-            format!("{}/{}/{}", fmt_metric(m.precision), fmt_metric(m.recall), fmt_metric(m.f1))
+            format!(
+                "{}/{}/{}",
+                fmt_metric(m.precision),
+                fmt_metric(m.recall),
+                fmt_metric(m.f1)
+            )
         };
-        let dagger = if learner.bootstrap_corrections() > 0 { "†" } else { " " };
+        let dagger = if learner.bootstrap_corrections() > 0 {
+            "†"
+        } else {
+            " "
+        };
         println!(
             "{:<7}{} | {:>14} | {:>14} | {:>14} | {:>5.0}% {:>6.1}% | ({}/{}/{}, {:.0}% / {:.1}%)",
             DOMAIN_ORDER[di],

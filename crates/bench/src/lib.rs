@@ -23,7 +23,11 @@ use vaer_embed::{fit_ir_model, IrKind};
 
 /// Reads the experiment scale from `VAER_SCALE`.
 pub fn scale_from_env() -> Scale {
-    match std::env::var("VAER_SCALE").unwrap_or_default().to_lowercase().as_str() {
+    match std::env::var("VAER_SCALE")
+        .unwrap_or_default()
+        .to_lowercase()
+        .as_str()
+    {
         "tiny" => Scale::Tiny,
         "paper" => Scale::Paper,
         _ => Scale::Small,
@@ -32,15 +36,17 @@ pub fn scale_from_env() -> Scale {
 
 /// Reads the master seed from `VAER_SEED`.
 pub fn seed_from_env() -> u64 {
-    std::env::var("VAER_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42)
+    std::env::var("VAER_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42)
 }
 
 /// The domains selected by `VAER_DOMAINS` (all nine by default).
 pub fn domains_from_env() -> Vec<Domain> {
     match std::env::var("VAER_DOMAINS") {
         Ok(list) if !list.trim().is_empty() => {
-            let wanted: Vec<String> =
-                list.split(',').map(|s| s.trim().to_lowercase()).collect();
+            let wanted: Vec<String> = list.split(',').map(|s| s.trim().to_lowercase()).collect();
             Domain::ALL
                 .into_iter()
                 .filter(|d| wanted.iter().any(|w| d.meta().name.to_lowercase() == *w))
@@ -88,13 +94,25 @@ pub fn fit_repr_bundle(ds: &Dataset, kind: IrKind, ir_dim: usize, seed: u64) -> 
     let irs_b = IrTable::new(arity, ir_model.encode_batch(&b_sentences));
     let ir_secs = t0.elapsed().as_secs_f64();
     let t1 = std::time::Instant::now();
-    let config = ReprConfig { ir_dim, seed: seed ^ 0xE301, ..ReprConfig::default() };
+    let config = ReprConfig {
+        ir_dim,
+        seed: seed ^ 0xE301,
+        ..ReprConfig::default()
+    };
     let all = irs_a.irs.vconcat(&irs_b.irs);
     let (repr, _) = ReprModel::train(&all, &config).expect("VAE training failed");
     let repr_secs = t1.elapsed().as_secs_f64();
     let reprs_a = group_entities(repr.encode(&irs_a.irs), arity);
     let reprs_b = group_entities(repr.encode(&irs_b.irs), arity);
-    ReprBundle { irs_a, irs_b, repr, reprs_a, reprs_b, ir_secs, repr_secs }
+    ReprBundle {
+        irs_a,
+        irs_b,
+        repr,
+        reprs_a,
+        reprs_b,
+        ir_secs,
+        repr_secs,
+    }
 }
 
 /// Formats a metric the way the paper's tables do (`1`, `.97`, `.5`).

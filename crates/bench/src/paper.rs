@@ -5,8 +5,9 @@
 //! most plausible reading.
 
 /// Table II row order used by every table below.
-pub const DOMAIN_ORDER: [&str; 9] =
-    ["Rest.", "Cit. 1", "Cit. 2", "Cosm.", "Soft.", "Music", "Beer", "Stocks", "CRM"];
+pub const DOMAIN_ORDER: [&str; 9] = [
+    "Rest.", "Cit. 1", "Cit. 2", "Cosm.", "Soft.", "Music", "Beer", "Stocks", "CRM",
+];
 
 /// One Table IV row for one IR family:
 /// `(P_ir, P_vaer, R_ir, R_vaer, F1_ir, F1_vaer)`.
@@ -89,15 +90,60 @@ pub const TABLE_IV: [[TableIvCell; 4]; 9] = [
 /// Table V: matching P/R/F1 per system.
 /// Layout: `[domain] = [(P, R, F1); 4]` in `[VAER, DER, DM, DITTO]` order.
 pub const TABLE_V: [[(f32, f32, f32); 4]; 9] = [
-    [(1.0, 0.97, 0.99), (0.95, 1.0, 0.97), (0.95, 1.0, 0.97), (1.0, 0.95, 0.97)],
-    [(0.97, 1.0, 0.99), (0.96, 0.99, 0.97), (0.96, 0.99, 0.97), (1.0, 0.99, 0.99)],
-    [(0.90, 0.90, 0.90), (0.90, 0.92, 0.91), (0.94, 0.94, 0.94), (0.97, 0.86, 0.91)],
-    [(0.87, 0.94, 0.91), (0.83, 0.96, 0.89), (0.89, 0.92, 0.90), (0.91, 0.81, 0.86)],
-    [(0.62, 0.64, 0.63), (0.62, 0.62, 0.62), (0.59, 0.64, 0.62), (0.72, 0.71, 0.71)],
-    [(0.86, 0.86, 0.86), (0.78, 0.90, 0.83), (0.95, 0.81, 0.88), (0.78, 1.0, 0.87)],
-    [(0.75, 0.85, 0.80), (0.59, 0.92, 0.72), (0.63, 0.85, 0.72), (0.72, 0.92, 0.81)],
-    [(0.99, 0.99, 0.99), (1.0, 1.0, 1.0), (0.99, 0.99, 0.99), (0.99, 0.98, 0.98)],
-    [(0.97, 0.99, 0.99), (0.96, 0.94, 0.95), (0.98, 0.97, 0.97), (0.94, 0.98, 0.96)],
+    [
+        (1.0, 0.97, 0.99),
+        (0.95, 1.0, 0.97),
+        (0.95, 1.0, 0.97),
+        (1.0, 0.95, 0.97),
+    ],
+    [
+        (0.97, 1.0, 0.99),
+        (0.96, 0.99, 0.97),
+        (0.96, 0.99, 0.97),
+        (1.0, 0.99, 0.99),
+    ],
+    [
+        (0.90, 0.90, 0.90),
+        (0.90, 0.92, 0.91),
+        (0.94, 0.94, 0.94),
+        (0.97, 0.86, 0.91),
+    ],
+    [
+        (0.87, 0.94, 0.91),
+        (0.83, 0.96, 0.89),
+        (0.89, 0.92, 0.90),
+        (0.91, 0.81, 0.86),
+    ],
+    [
+        (0.62, 0.64, 0.63),
+        (0.62, 0.62, 0.62),
+        (0.59, 0.64, 0.62),
+        (0.72, 0.71, 0.71),
+    ],
+    [
+        (0.86, 0.86, 0.86),
+        (0.78, 0.90, 0.83),
+        (0.95, 0.81, 0.88),
+        (0.78, 1.0, 0.87),
+    ],
+    [
+        (0.75, 0.85, 0.80),
+        (0.59, 0.92, 0.72),
+        (0.63, 0.85, 0.72),
+        (0.72, 0.92, 0.81),
+    ],
+    [
+        (0.99, 0.99, 0.99),
+        (1.0, 1.0, 1.0),
+        (0.99, 0.99, 0.99),
+        (0.99, 0.98, 0.98),
+    ],
+    [
+        (0.97, 0.99, 0.99),
+        (0.96, 0.94, 0.95),
+        (0.98, 0.97, 0.97),
+        (0.94, 0.98, 0.96),
+    ],
 ];
 
 /// Table VI: training times in seconds.
@@ -132,15 +178,33 @@ pub const TABLE_VII: [(f32, f32, f32, f32); 9] = [
 
 /// Table VIII: active-learning results.
 pub const TABLE_VIII: [TableViiiRow; 9] = [
-    (0.73, 1.0, 0.94, 0.60, 1.0, 1.0, 0.65, 1.0, 0.97, 103.0, 44.0),
-    (0.96, 0.95, 0.97, 0.84, 0.97, 1.0, 0.89, 0.95, 0.99, 96.0, 3.3),
-    (0.90, 0.70, 0.90, 0.33, 0.80, 0.90, 0.48, 0.74, 0.90, 82.0, 1.4),
-    (0.67, 0.80, 0.87, 0.91, 0.85, 0.94, 0.77, 0.82, 0.91, 90.0, 76.0),
-    (0.25, 0.56, 0.62, 0.41, 0.38, 0.64, 0.31, 0.45, 0.63, 71.0, 3.6),
-    (0.46, 0.80, 0.86, 0.63, 0.83, 0.86, 0.53, 0.81, 0.86, 94.0, 76.0),
-    (0.51, 0.71, 0.75, 0.55, 0.73, 0.85, 0.52, 0.71, 0.80, 89.0, 92.0),
-    (0.99, 0.95, 0.99, 0.83, 0.85, 0.99, 0.90, 0.89, 0.99, 90.0, 5.5),
-    (0.83, 0.78, 0.97, 0.63, 0.88, 0.99, 0.71, 0.82, 0.98, 84.0, 56.0),
+    (
+        0.73, 1.0, 0.94, 0.60, 1.0, 1.0, 0.65, 1.0, 0.97, 103.0, 44.0,
+    ),
+    (
+        0.96, 0.95, 0.97, 0.84, 0.97, 1.0, 0.89, 0.95, 0.99, 96.0, 3.3,
+    ),
+    (
+        0.90, 0.70, 0.90, 0.33, 0.80, 0.90, 0.48, 0.74, 0.90, 82.0, 1.4,
+    ),
+    (
+        0.67, 0.80, 0.87, 0.91, 0.85, 0.94, 0.77, 0.82, 0.91, 90.0, 76.0,
+    ),
+    (
+        0.25, 0.56, 0.62, 0.41, 0.38, 0.64, 0.31, 0.45, 0.63, 71.0, 3.6,
+    ),
+    (
+        0.46, 0.80, 0.86, 0.63, 0.83, 0.86, 0.53, 0.81, 0.86, 94.0, 76.0,
+    ),
+    (
+        0.51, 0.71, 0.75, 0.55, 0.73, 0.85, 0.52, 0.71, 0.80, 89.0, 92.0,
+    ),
+    (
+        0.99, 0.95, 0.99, 0.83, 0.85, 0.99, 0.90, 0.89, 0.99, 90.0, 5.5,
+    ),
+    (
+        0.83, 0.78, 0.97, 0.63, 0.88, 0.99, 0.71, 0.82, 0.98, 84.0, 56.0,
+    ),
 ];
 
 #[cfg(test)]

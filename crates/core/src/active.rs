@@ -39,7 +39,11 @@ pub struct BootstrapConfig {
 
 impl Default for BootstrapConfig {
     fn default() -> Self {
-        Self { neighbours_k: 10, seeds_per_class: 15, seed: 0xA1B0 }
+        Self {
+            neighbours_k: 10,
+            seeds_per_class: 15,
+            seed: 0xA1B0,
+        }
     }
 }
 
@@ -63,7 +67,11 @@ pub fn bootstrap(
     config: &BootstrapConfig,
 ) -> Bootstrap {
     if reprs_a.is_empty() || reprs_b.is_empty() {
-        return Bootstrap { positives: Vec::new(), negatives: Vec::new(), pool: Vec::new() };
+        return Bootstrap {
+            positives: Vec::new(),
+            negatives: Vec::new(),
+            pool: Vec::new(),
+        };
     }
     // LSH over table B's concatenated means (lines 3–4); W₂ ranking is
     // sound on Euclidean candidates because the two are positively
@@ -75,7 +83,12 @@ pub fn bootstrap(
     // Score every candidate with the full W₂² (lines 11–12).
     let mut scored: Vec<((usize, usize), f32)> = candidates
         .iter()
-        .map(|c| ((c.left, c.right), reprs_a[c.left].w2_squared(&reprs_b[c.right])))
+        .map(|c| {
+            (
+                (c.left, c.right),
+                reprs_a[c.left].w2_squared(&reprs_b[c.right]),
+            )
+        })
         .collect();
     scored.sort_by(|x, y| x.1.partial_cmp(&y.1).unwrap_or(std::cmp::Ordering::Equal));
     scored.dedup_by(|a, b| a.0 == b.0);
@@ -84,7 +97,11 @@ pub fn bootstrap(
     let positives: Vec<(usize, usize)> = scored[..k].iter().map(|&(p, _)| p).collect();
     let negatives: Vec<(usize, usize)> = scored[n - k..].iter().map(|&(p, _)| p).collect();
     let pool: Vec<(usize, usize)> = scored[k..n - k].iter().map(|&(p, _)| p).collect();
-    Bootstrap { positives, negatives, pool }
+    Bootstrap {
+        positives,
+        negatives,
+        pool,
+    }
 }
 
 /// Algorithm 2 configuration.
@@ -162,10 +179,8 @@ impl<'a> ActiveLearner<'a> {
         irs_b: &'a IrTable,
         config: ActiveConfig,
     ) -> Self {
-        let reprs_a =
-            crate::entity::group_entities(repr.encode(&irs_a.irs), irs_a.arity);
-        let reprs_b =
-            crate::entity::group_entities(repr.encode(&irs_b.irs), irs_b.arity);
+        let reprs_a = crate::entity::group_entities(repr.encode(&irs_a.irs), irs_a.arity);
+        let reprs_b = crate::entity::group_entities(repr.encode(&irs_b.irs), irs_b.arity);
         let boot = bootstrap(&reprs_a, &reprs_b, &config.bootstrap);
         let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         Self {
@@ -194,12 +209,16 @@ impl<'a> ActiveLearner<'a> {
     pub fn labeled(&self) -> PairSet {
         self.labeled_pos
             .iter()
-            .map(|&(l, r)| LabeledPair { left: l, right: r, is_match: true })
-            .chain(
-                self.labeled_neg
-                    .iter()
-                    .map(|&(l, r)| LabeledPair { left: l, right: r, is_match: false }),
-            )
+            .map(|&(l, r)| LabeledPair {
+                left: l,
+                right: r,
+                is_match: true,
+            })
+            .chain(self.labeled_neg.iter().map(|&(l, r)| LabeledPair {
+                left: l,
+                right: r,
+                is_match: false,
+            }))
             .collect()
     }
 
@@ -307,7 +326,12 @@ impl<'a> ActiveLearner<'a> {
         Ok(matcher)
     }
 
-    fn checkpoint(&mut self, oracle: &Oracle, matcher: &SiameseMatcher, test: Option<&PairExamples>) {
+    fn checkpoint(
+        &mut self,
+        oracle: &Oracle,
+        matcher: &SiameseMatcher,
+        test: Option<&PairExamples>,
+    ) {
         let test_f1 = test.map(|t| matcher.evaluate(t).f1);
         self.history.push(AlCheckpoint {
             labels_used: oracle.queries_used(),
@@ -360,17 +384,18 @@ impl<'a> ActiveLearner<'a> {
             .collect();
         let per_kind = (self.config.samples_per_iteration / 4).max(1);
         let mut chosen: Vec<usize> = Vec::with_capacity(per_kind * 4);
-        let take = |score: Box<dyn Fn(f32, f32) -> f32>, positive: bool, chosen: &mut Vec<usize>| {
-            let mut ranked: Vec<(usize, f32)> = feats
-                .iter()
-                .filter(|&&(i, _, _, pos)| pos == positive && !chosen.contains(&i))
-                .map(|&(i, h, f, _)| (i, score(h, f)))
-                .collect();
-            ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
-            for &(i, _) in ranked.iter().take(per_kind) {
-                chosen.push(i);
-            }
-        };
+        let take =
+            |score: Box<dyn Fn(f32, f32) -> f32>, positive: bool, chosen: &mut Vec<usize>| {
+                let mut ranked: Vec<(usize, f32)> = feats
+                    .iter()
+                    .filter(|&&(i, _, _, pos)| pos == positive && !chosen.contains(&i))
+                    .map(|&(i, h, f, _)| (i, score(h, f)))
+                    .collect();
+                ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+                for &(i, _) in ranked.iter().take(per_kind) {
+                    chosen.push(i);
+                }
+            };
         // Certain positives: min H · 1/f̂⁺ (low entropy, high likelihood).
         take(Box::new(|h, f| h * (1.0 / (f + EPS))), true, &mut chosen);
         // Certain negatives: min H · f̂⁺ (low entropy, low likelihood).
@@ -378,7 +403,11 @@ impl<'a> ActiveLearner<'a> {
         // Uncertain positives: min (1/H) · f̂⁺ (high entropy, low likelihood).
         take(Box::new(|h, f| (1.0 / (h + EPS)) * f), true, &mut chosen);
         // Uncertain negatives: min (1/H) · 1/f̂⁺ (high entropy, high likelihood).
-        take(Box::new(|h, f| (1.0 / (h + EPS)) * (1.0 / (f + EPS))), false, &mut chosen);
+        take(
+            Box::new(|h, f| (1.0 / (h + EPS)) * (1.0 / (f + EPS))),
+            false,
+            &mut chosen,
+        );
         chosen.sort_unstable();
         chosen.dedup();
         chosen.into_iter().map(|i| self.pool[i]).collect()
@@ -386,7 +415,11 @@ impl<'a> ActiveLearner<'a> {
 
     /// Baseline sampler for the ablation study: the `n` highest-entropy
     /// pool pairs (classic uncertainty sampling, no balance/diversity).
-    pub fn select_entropy_only(&mut self, matcher: &SiameseMatcher, n: usize) -> Vec<(usize, usize)> {
+    pub fn select_entropy_only(
+        &mut self,
+        matcher: &SiameseMatcher,
+        n: usize,
+    ) -> Vec<(usize, usize)> {
         let examples = PairExamples::build_unlabeled(self.irs_a, self.irs_b, &self.pool);
         let probs = matcher.predict(&examples);
         let mut ranked: Vec<(usize, f32)> = probs
@@ -476,7 +509,12 @@ mod tests {
         let all = a.irs.vconcat(&b.irs);
         let (repr, _) = ReprModel::train(&all, &ReprConfig::fast(ir_dim)).unwrap();
         let duplicates = (0..n).map(|i| (i, i)).collect();
-        World { repr, a, b, duplicates }
+        World {
+            repr,
+            a,
+            b,
+            duplicates,
+        }
     }
 
     #[test]
@@ -488,12 +526,10 @@ mod tests {
         assert!(!boot.positives.is_empty());
         assert!(!boot.negatives.is_empty());
         let dup: std::collections::HashSet<_> = w.duplicates.iter().copied().collect();
-        let pos_correct =
-            boot.positives.iter().filter(|p| dup.contains(p)).count() as f32
-                / boot.positives.len() as f32;
-        let neg_correct =
-            boot.negatives.iter().filter(|p| !dup.contains(p)).count() as f32
-                / boot.negatives.len() as f32;
+        let pos_correct = boot.positives.iter().filter(|p| dup.contains(p)).count() as f32
+            / boot.positives.len() as f32;
+        let neg_correct = boot.negatives.iter().filter(|p| !dup.contains(p)).count() as f32
+            / boot.negatives.len() as f32;
         assert!(pos_correct > 0.6, "bootstrap positive purity {pos_correct}");
         assert!(neg_correct > 0.9, "bootstrap negative purity {neg_correct}");
     }
@@ -510,14 +546,25 @@ mod tests {
         let oracle = Oracle::new(w.duplicates.iter().copied());
         let config = ActiveConfig {
             iterations: 4,
-            matcher: MatcherConfig { epochs: 10, ..MatcherConfig::fast() },
+            matcher: MatcherConfig {
+                epochs: 10,
+                ..MatcherConfig::fast()
+            },
             ..ActiveConfig::default()
         };
         let mut learner = ActiveLearner::new(&w.repr, &w.a, &w.b, config);
         // Build a small test set: duplicates + shifted negatives.
         let test: PairSet = (0..40)
-            .map(|i| LabeledPair { left: i, right: i, is_match: true })
-            .chain((0..40).map(|i| LabeledPair { left: i, right: (i + 7) % 40, is_match: false }))
+            .map(|i| LabeledPair {
+                left: i,
+                right: i,
+                is_match: true,
+            })
+            .chain((0..40).map(|i| LabeledPair {
+                left: i,
+                right: (i + 7) % 40,
+                is_match: false,
+            }))
             .collect();
         let test_examples = PairExamples::build(&w.a, &w.b, &test);
         let matcher = learner.run(&oracle, 80, Some(&test_examples)).unwrap();
@@ -538,14 +585,20 @@ mod tests {
         let oracle = Oracle::new(w.duplicates.iter().copied());
         let config = ActiveConfig {
             iterations: 2,
-            matcher: MatcherConfig { epochs: 5, ..MatcherConfig::fast() },
+            matcher: MatcherConfig {
+                epochs: 5,
+                ..MatcherConfig::fast()
+            },
             ..ActiveConfig::default()
         };
         let mut learner = ActiveLearner::new(&w.repr, &w.a, &w.b, config);
         let before = learner.labeled().len();
         learner.run(&oracle, 60, None).unwrap();
         let after = learner.labeled().len();
-        assert!(after > before, "labelled pool did not grow: {before} -> {after}");
+        assert!(
+            after > before,
+            "labelled pool did not grow: {before} -> {after}"
+        );
         assert!(learner.pool_size() > 0);
     }
 

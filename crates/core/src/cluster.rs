@@ -28,7 +28,10 @@ pub struct UnionFind {
 impl UnionFind {
     /// `n` singleton sets.
     pub fn new(n: usize) -> Self {
-        Self { parent: (0..n).collect(), size: vec![1; n] }
+        Self {
+            parent: (0..n).collect(),
+            size: vec![1; n],
+        }
     }
 
     /// Representative of `x`'s set.
@@ -119,12 +122,16 @@ pub fn cluster_links(
         linked[a] = true;
         linked[len_a + b] = true;
     }
-    for x in 0..total {
-        if !include_singletons && !linked[x] {
+    for (x, &is_linked) in linked.iter().enumerate() {
+        if !include_singletons && !is_linked {
             continue;
         }
         let root = uf.find(x);
-        let id = if x < len_a { RowId::A(x) } else { RowId::B(x - len_a) };
+        let id = if x < len_a {
+            RowId::A(x)
+        } else {
+            RowId::B(x - len_a)
+        };
         groups.entry(root).or_default().push(id);
     }
     let mut clusters: Vec<EntityCluster> = groups
@@ -135,7 +142,9 @@ pub fn cluster_links(
         })
         .collect();
     clusters.sort_by(|x, y| {
-        y.len().cmp(&x.len()).then_with(|| x.members.first().cmp(&y.members.first()))
+        y.len()
+            .cmp(&x.len())
+            .then_with(|| x.members.first().cmp(&y.members.first()))
     });
     clusters
 }
@@ -177,10 +186,7 @@ pub fn pairwise_cluster_metrics(
     }
     let fn_ = truth
         .iter()
-        .filter(|&&(a, b)| {
-            cluster_of_a[a] == usize::MAX
-                || cluster_of_a[a] != cluster_of_b[b]
-        })
+        .filter(|&&(a, b)| cluster_of_a[a] == usize::MAX || cluster_of_a[a] != cluster_of_b[b])
         .count();
     vaer_stats::metrics::PrF1::from_counts(tp, fp, fn_, 0)
 }
@@ -204,7 +210,10 @@ mod tests {
         // A0-B0, A1-B0 → {A0, A1, B0}; A2-B2 separate.
         let clusters = cluster_links(&[(0, 0), (1, 0), (2, 2)], 3, 3, false);
         assert_eq!(clusters.len(), 2);
-        assert_eq!(clusters[0].members, vec![RowId::A(0), RowId::A(1), RowId::B(0)]);
+        assert_eq!(
+            clusters[0].members,
+            vec![RowId::A(0), RowId::A(1), RowId::B(0)]
+        );
         assert_eq!(clusters[1].members, vec![RowId::A(2), RowId::B(2)]);
     }
 

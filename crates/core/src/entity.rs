@@ -31,7 +31,10 @@ impl EntityRepr {
     /// LSH search, justified by the paper's observation that W₂ is
     /// positively correlated with the Euclidean distance of the means.
     pub fn flat_mu(&self) -> Vec<f32> {
-        self.attrs.iter().flat_map(|g| g.mu.iter().copied()).collect()
+        self.attrs
+            .iter()
+            .flat_map(|g| g.mu.iter().copied())
+            .collect()
     }
 
     /// Concatenated `(μ, σ)` sample via the reparameterisation trick — one
@@ -68,7 +71,12 @@ impl EntityRepr {
 /// Panics if `flat.len()` is not a multiple of `arity`.
 pub fn group_entities(flat: Vec<DiagGaussian>, arity: usize) -> Vec<EntityRepr> {
     assert!(arity > 0, "arity must be positive");
-    assert_eq!(flat.len() % arity, 0, "flat length {} not divisible by arity {arity}", flat.len());
+    assert_eq!(
+        flat.len() % arity,
+        0,
+        "flat length {} not divisible by arity {arity}",
+        flat.len()
+    );
     let mut out = Vec::with_capacity(flat.len() / arity);
     let mut iter = flat.into_iter();
     while let Some(first) = iter.next() {
@@ -101,7 +109,12 @@ impl IrTable {
     /// Panics if the row count is not a multiple of `arity`.
     pub fn new(arity: usize, irs: Matrix) -> Self {
         assert!(arity > 0, "arity must be positive");
-        assert_eq!(irs.rows() % arity, 0, "{} rows not divisible by arity {arity}", irs.rows());
+        assert_eq!(
+            irs.rows() % arity,
+            0,
+            "{} rows not divisible by arity {arity}",
+            irs.rows()
+        );
         Self { arity, irs }
     }
 
@@ -130,7 +143,8 @@ impl IrTable {
 
     /// All `arity` IR rows of one tuple as an `arity x ir_dim` matrix.
     pub fn tuple_rows(&self, tuple: usize) -> Matrix {
-        self.irs.slice_rows(tuple * self.arity, (tuple + 1) * self.arity)
+        self.irs
+            .slice_rows(tuple * self.arity, (tuple + 1) * self.arity)
     }
 }
 
@@ -204,8 +218,9 @@ mod tests {
 
     #[test]
     fn grouping() {
-        let flat: Vec<DiagGaussian> =
-            (0..6).map(|i| DiagGaussian::new(vec![i as f32], vec![1.0])).collect();
+        let flat: Vec<DiagGaussian> = (0..6)
+            .map(|i| DiagGaussian::new(vec![i as f32], vec![1.0]))
+            .collect();
         let grouped = group_entities(flat, 3);
         assert_eq!(grouped.len(), 2);
         assert_eq!(grouped[1].attrs[0].mu, vec![3.0]);
@@ -221,7 +236,9 @@ mod tests {
     #[test]
     fn ir_table_access() {
         // 2 tuples, arity 3, ir_dim 2; row value encodes (tuple, attr).
-        let data: Vec<f32> = (0..6).flat_map(|i| vec![i as f32, 10.0 + i as f32]).collect();
+        let data: Vec<f32> = (0..6)
+            .flat_map(|i| vec![i as f32, 10.0 + i as f32])
+            .collect();
         let t = IrTable::new(3, Matrix::from_vec(6, 2, data));
         assert_eq!(t.len(), 2);
         assert_eq!(t.ir_dim(), 2);

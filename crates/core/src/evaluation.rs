@@ -44,7 +44,11 @@ pub fn recall_at_k_vae(
 ) -> f32 {
     let test: PairSet = duplicates
         .iter()
-        .map(|&(l, r)| vaer_data::LabeledPair { left: l, right: r, is_match: true })
+        .map(|&(l, r)| vaer_data::LabeledPair {
+            left: l,
+            right: r,
+            is_match: true,
+        })
         .collect();
     topk_eval_vae(reprs_a, reprs_b, &test, k).recall
 }
@@ -143,12 +147,19 @@ mod tests {
     #[test]
     fn perfect_representation_scores_full_recall() {
         // A[i] and B[i] share coordinates.
-        let reprs_a: Vec<EntityRepr> =
-            (0..5).map(|i| repr(&[i as f32 * 10.0, 0.0])).collect();
+        let reprs_a: Vec<EntityRepr> = (0..5).map(|i| repr(&[i as f32 * 10.0, 0.0])).collect();
         let reprs_b = reprs_a.clone();
         let test: PairSet = (0..5)
-            .map(|i| LabeledPair { left: i, right: i, is_match: true })
-            .chain((0..5).map(|i| LabeledPair { left: i, right: (i + 2) % 5, is_match: false }))
+            .map(|i| LabeledPair {
+                left: i,
+                right: i,
+                is_match: true,
+            })
+            .chain((0..5).map(|i| LabeledPair {
+                left: i,
+                right: (i + 2) % 5,
+                is_match: false,
+            }))
             .collect();
         let report = topk_eval_vae(&reprs_a, &reprs_b, &test, 1);
         assert!((report.recall - 1.0).abs() < 1e-6);
@@ -158,13 +169,18 @@ mod tests {
 
     #[test]
     fn scrambled_representation_scores_zero_recall() {
-        let reprs_a: Vec<EntityRepr> =
-            (0..5).map(|i| repr(&[i as f32 * 10.0, 0.0])).collect();
+        let reprs_a: Vec<EntityRepr> = (0..5).map(|i| repr(&[i as f32 * 10.0, 0.0])).collect();
         // B reversed: duplicates are now far apart.
-        let reprs_b: Vec<EntityRepr> =
-            (0..5).map(|i| repr(&[(4 - i) as f32 * 10.0 + 5.0, 40.0])).collect();
-        let test: PairSet =
-            (0..5).map(|i| LabeledPair { left: i, right: i, is_match: true }).collect();
+        let reprs_b: Vec<EntityRepr> = (0..5)
+            .map(|i| repr(&[(4 - i) as f32 * 10.0 + 5.0, 40.0]))
+            .collect();
+        let test: PairSet = (0..5)
+            .map(|i| LabeledPair {
+                left: i,
+                right: i,
+                is_match: true,
+            })
+            .collect();
         let report = topk_eval_vae(&reprs_a, &reprs_b, &test, 1);
         assert!(report.recall < 0.5);
     }
@@ -172,13 +188,21 @@ mod tests {
     #[test]
     fn ir_eval_uses_concatenated_tuples() {
         // 3 tuples, arity 2, ir_dim 1: keys are 2-d concatenations.
-        let a = IrTable::new(2, Matrix::from_vec(6, 1, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]));
+        let a = IrTable::new(
+            2,
+            Matrix::from_vec(6, 1, vec![0.0, 0.0, 1.0, 1.0, 2.0, 2.0]),
+        );
         let b = a.clone();
         let keys = flat_ir_keys(&a);
         assert_eq!(keys.len(), 3);
         assert_eq!(keys[1], vec![1.0, 1.0]);
-        let test: PairSet =
-            (0..3).map(|i| LabeledPair { left: i, right: i, is_match: true }).collect();
+        let test: PairSet = (0..3)
+            .map(|i| LabeledPair {
+                left: i,
+                right: i,
+                is_match: true,
+            })
+            .collect();
         let report = topk_eval_irs(&a, &b, &test, 1);
         assert!((report.recall - 1.0).abs() < 1e-6);
     }
@@ -186,8 +210,7 @@ mod tests {
     #[test]
     fn recall_at_k_increases_with_k() {
         let reprs_a: Vec<EntityRepr> = (0..8).map(|i| repr(&[i as f32, 0.0])).collect();
-        let reprs_b: Vec<EntityRepr> =
-            (0..8).map(|i| repr(&[i as f32 + 0.6, 0.0])).collect();
+        let reprs_b: Vec<EntityRepr> = (0..8).map(|i| repr(&[i as f32 + 0.6, 0.0])).collect();
         let duplicates: Vec<(usize, usize)> = (0..8).map(|i| (i, i)).collect();
         let r1 = recall_at_k_vae(&reprs_a, &reprs_b, &duplicates, 1);
         let r3 = recall_at_k_vae(&reprs_a, &reprs_b, &duplicates, 3);

@@ -16,7 +16,9 @@ use crate::CoreError;
 use vaer_data::PairSet;
 use vaer_linalg::Matrix;
 use vaer_nn::schedule::minibatches;
-use vaer_nn::{Adam, Graph, Mlp, MlpConfig, NnRng, Optimizer, ParamStore, SeedableRng};
+use vaer_nn::{
+    sharded_step, Adam, Graph, Mlp, MlpConfig, NnRng, Optimizer, ParamStore, SeedableRng,
+};
 use vaer_stats::metrics::PrF1;
 
 /// Which components of the latent Gaussians feed the Distance layer —
@@ -51,6 +53,12 @@ pub struct MatcherConfig {
     pub batch_size: usize,
     /// Adam learning rate.
     pub learning_rate: f32,
+    /// Decoupled (AdamW-style) weight decay applied to the trained
+    /// parameters. Small labelled sets (tens of pairs) drive the MLP to
+    /// saturated, over-confident logits without it; decay keeps the
+    /// decision surface smooth enough to generalise to the hard
+    /// near-duplicate negatives produced by blocking.
+    pub weight_decay: f32,
     /// Hidden width of the classification MLP.
     pub mlp_hidden: usize,
     /// Whether encoder weights are fine-tuned (true) or frozen at their
@@ -76,6 +84,7 @@ impl Default for MatcherConfig {
             epochs: 40,
             batch_size: 32,
             learning_rate: 8e-3,
+            weight_decay: 1e-3,
             mlp_hidden: 32,
             fine_tune_encoder: true,
             fine_tune_min_pairs: 400,
@@ -88,7 +97,12 @@ impl Default for MatcherConfig {
 impl MatcherConfig {
     /// A fast configuration for unit tests.
     pub fn fast() -> Self {
-        Self { epochs: 40, mlp_hidden: 16, learning_rate: 1e-2, ..Self::default() }
+        Self {
+            epochs: 40,
+            mlp_hidden: 16,
+            learning_rate: 1e-2,
+            ..Self::default()
+        }
     }
 }
 
@@ -111,9 +125,19 @@ impl PairExamples {
         let lefts: Vec<usize> = pairs.pairs.iter().map(|p| p.left).collect();
         let rights: Vec<usize> = pairs.pairs.iter().map(|p| p.right).collect();
         let left = (0..a.arity).map(|attr| a.attr_rows(&lefts, attr)).collect();
-        let right = (0..b.arity).map(|attr| b.attr_rows(&rights, attr)).collect();
-        let labels = pairs.pairs.iter().map(|p| if p.is_match { 1.0 } else { 0.0 }).collect();
-        Self { left, right, labels }
+        let right = (0..b.arity)
+            .map(|attr| b.attr_rows(&rights, attr))
+            .collect();
+        let labels = pairs
+            .pairs
+            .iter()
+            .map(|p| if p.is_match { 1.0 } else { 0.0 })
+            .collect();
+        Self {
+            left,
+            right,
+            labels,
+        }
     }
 
     /// From explicit index pairs (used by the AL loop on unlabeled pools).
@@ -122,9 +146,15 @@ impl PairExamples {
         let lefts: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
         let rights: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
         let left = (0..a.arity).map(|attr| a.attr_rows(&lefts, attr)).collect();
-        let right = (0..b.arity).map(|attr| b.attr_rows(&rights, attr)).collect();
+        let right = (0..b.arity)
+            .map(|attr| b.attr_rows(&rights, attr))
+            .collect();
         let labels = vec![0.0; pairs.len()];
-        Self { left, right, labels }
+        Self {
+            left,
+            right,
+            labels,
+        }
     }
 
     /// Number of examples.
@@ -147,6 +177,19 @@ impl PairExamples {
             left: self.left.iter().map(|m| m.select_rows(rows)).collect(),
             right: self.right.iter().map(|m| m.select_rows(rows)).collect(),
             labels: rows.iter().map(|&i| self.labels[i]).collect(),
+        }
+    }
+
+    /// A contiguous row slice (used by the sharded training/scoring paths).
+    fn slice(&self, start: usize, end: usize) -> PairExamples {
+        PairExamples {
+            left: self.left.iter().map(|m| m.slice_rows(start, end)).collect(),
+            right: self
+                .right
+                .iter()
+                .map(|m| m.slice_rows(start, end))
+                .collect(),
+            labels: self.labels[start..end].to_vec(),
         }
     }
 }
@@ -210,12 +253,17 @@ impl SiameseMatcher {
     }
 
     fn fit(&mut self, examples: &PairExamples, rng: &mut NnRng) -> Result<(), CoreError> {
-        let mut adam = Adam::with_rate(self.config.learning_rate);
-        let frozen_encoder = !self.config.fine_tune_encoder
-            || examples.len() < self.config.fine_tune_min_pairs;
+        let mut adam =
+            Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
+        let frozen_encoder =
+            !self.config.fine_tune_encoder || examples.len() < self.config.fine_tune_min_pairs;
         let mut encoder_params: Vec<vaer_nn::ParamId> = Vec::new();
         if frozen_encoder {
-            for name in [crate::repr::ENC_HIDDEN, crate::repr::ENC_MU, crate::repr::ENC_LOGVAR] {
+            for name in [
+                crate::repr::ENC_HIDDEN,
+                crate::repr::ENC_MU,
+                crate::repr::ENC_LOGVAR,
+            ] {
                 for suffix in ["w", "b"] {
                     if let Some(id) = self.store.find(&format!("{name}.{suffix}")) {
                         encoder_params.push(id);
@@ -226,8 +274,7 @@ impl SiameseMatcher {
         // Small labelled sets (tiny scaled domains, early AL iterations)
         // would otherwise see only a handful of gradient steps; guarantee
         // a minimum optimisation budget regardless of dataset size.
-        let batches_per_epoch =
-            examples.len().div_ceil(self.config.batch_size).max(1);
+        let batches_per_epoch = examples.len().div_ceil(self.config.batch_size).max(1);
         let min_steps = 600usize;
         let epochs = self
             .config
@@ -245,12 +292,13 @@ impl SiameseMatcher {
                 for batch in minibatches(examples.len(), self.config.batch_size, rng) {
                     let x = features.select_rows(&batch);
                     let y = labels.select_rows(&batch);
-                    let mut g = Graph::new();
-                    let xt = g.input(x);
-                    let logits = self.mlp.forward(&mut g, &self.store, xt);
-                    let loss = g.bce_with_logits(logits, y);
-                    g.backward(loss);
-                    adam.step(&mut self.store, &g.param_grads());
+                    let step = sharded_step(batch.len(), |g, rows| {
+                        let xt = g.input(x.slice_rows(rows.start, rows.end));
+                        let yt = y.slice_rows(rows.start, rows.end);
+                        let logits = self.mlp.forward(g, &self.store, xt);
+                        g.bce_with_logits(logits, yt)
+                    });
+                    adam.step(&mut self.store, &step.grads);
                 }
             }
             return Ok(());
@@ -258,10 +306,12 @@ impl SiameseMatcher {
         for _epoch in 0..epochs {
             for batch in minibatches(examples.len(), self.config.batch_size, rng) {
                 let sub = examples.select(&batch);
-                let mut g = Graph::new();
-                let (loss, _logits) = self.loss_graph(&mut g, &sub);
-                g.backward(loss);
-                let mut grads = g.param_grads();
+                let step = sharded_step(sub.len(), |g, rows| {
+                    let shard = sub.slice(rows.start, rows.end);
+                    let (loss, _logits) = self.loss_graph(g, &shard);
+                    loss
+                });
+                let mut grads = step.grads;
                 grads.retain(|(id, _)| !encoder_params.contains(id));
                 adam.step(&mut self.store, &grads);
             }
@@ -349,29 +399,42 @@ impl SiameseMatcher {
         for &t in &contrastive_terms[1..] {
             contrastive = g.add(contrastive, t);
         }
-        let contrastive =
-            g.scale(contrastive, self.config.contrastive_weight / self.arity as f32);
+        let contrastive = g.scale(
+            contrastive,
+            self.config.contrastive_weight / self.arity as f32,
+        );
         let loss = g.add(bce, contrastive);
         (loss, logits)
     }
 
     /// Predicted duplicate probabilities for a batch of pairs.
+    ///
+    /// Pairs are scored independently, so large batches (blocking
+    /// candidates, AL pools) are split into contiguous shards on the
+    /// [`vaer_linalg::runtime`] worker pool; each pair's probability is
+    /// bit-identical at any thread count.
     pub fn predict(&self, examples: &PairExamples) -> Vec<f32> {
         if examples.is_empty() {
             return Vec::new();
         }
-        let mut g = Graph::new();
-        let mut dist_parts = Vec::with_capacity(self.arity);
-        for attr in 0..self.arity {
-            let xs = g.input(examples.left[attr].clone());
-            let xt = g.input(examples.right[attr].clone());
-            let d_vec = self.distance_vector(&mut g, xs, xt);
-            dist_parts.push(d_vec);
-        }
-        let dist = g.concat_cols(&dist_parts);
-        let logits = self.mlp.forward(&mut g, &self.store, dist);
-        let probs = g.sigmoid(logits);
-        g.value(probs).as_slice().to_vec()
+        const MIN_PAIRS_PER_SHARD: usize = 64;
+        let shards =
+            vaer_linalg::runtime::map_shards(examples.len(), MIN_PAIRS_PER_SHARD, |rows| {
+                let shard = examples.slice(rows.start, rows.end);
+                let mut g = Graph::new();
+                let mut dist_parts = Vec::with_capacity(self.arity);
+                for attr in 0..self.arity {
+                    let xs = g.input(shard.left[attr].clone());
+                    let xt = g.input(shard.right[attr].clone());
+                    let d_vec = self.distance_vector(&mut g, xs, xt);
+                    dist_parts.push(d_vec);
+                }
+                let dist = g.concat_cols(&dist_parts);
+                let logits = self.mlp.forward(&mut g, &self.store, dist);
+                let probs = g.sigmoid(logits);
+                g.value(probs).as_slice().to_vec()
+            });
+        shards.into_iter().flatten().collect()
     }
 
     /// Evaluates P/R/F1 at threshold 0.5 against the examples' labels.
@@ -526,8 +589,16 @@ mod tests {
         let mut train = PairSet::new();
         let mut test = PairSet::new();
         for i in 0..n_entities {
-            let pos = LabeledPair { left: i, right: i, is_match: true };
-            let neg = LabeledPair { left: i, right: (i + 1) % n_entities, is_match: false };
+            let pos = LabeledPair {
+                left: i,
+                right: i,
+                is_match: true,
+            };
+            let neg = LabeledPair {
+                left: i,
+                right: (i + 1) % n_entities,
+                is_match: false,
+            };
             if i % 4 == 0 {
                 test.pairs.push(pos);
                 test.pairs.push(neg);
@@ -556,7 +627,9 @@ mod tests {
         let probs = matcher.predict(&examples);
         assert_eq!(probs.len(), examples.len());
         assert!(probs.iter().all(|&p| (0.0..=1.0).contains(&p)));
-        assert!(matcher.predict(&PairExamples::build_unlabeled(&a, &b, &[])).is_empty());
+        assert!(matcher
+            .predict(&PairExamples::build_unlabeled(&a, &b, &[]))
+            .is_empty());
     }
 
     #[test]
@@ -578,7 +651,11 @@ mod tests {
     fn frozen_encoder_keeps_weights() {
         let (repr, a, b, train, _) = toy_world(4);
         let examples = PairExamples::build(&a, &b, &train);
-        let cfg = MatcherConfig { fine_tune_encoder: false, epochs: 4, ..MatcherConfig::fast() };
+        let cfg = MatcherConfig {
+            fine_tune_encoder: false,
+            epochs: 4,
+            ..MatcherConfig::fast()
+        };
         let matcher = SiameseMatcher::train(&repr, &examples, &cfg).unwrap();
         let orig = repr.store();
         let tuned = matcher.store();
@@ -595,14 +672,21 @@ mod tests {
         };
         let tuned2 = SiameseMatcher::train(&repr, &examples, &cfg2).unwrap();
         let c_id = tuned2.store().find(&name).unwrap();
-        assert_ne!(orig.get(a_id), tuned2.store().get(c_id), "fine-tuned encoder unchanged");
+        assert_ne!(
+            orig.get(a_id),
+            tuned2.store().get(c_id),
+            "fine-tuned encoder unchanged"
+        );
     }
 
     #[test]
     fn mahalanobis_distance_also_learns() {
         let (repr, a, b, train, test) = toy_world(6);
         let examples = PairExamples::build(&a, &b, &train);
-        let cfg = MatcherConfig { distance: DistanceKind::Mahalanobis, ..MatcherConfig::fast() };
+        let cfg = MatcherConfig {
+            distance: DistanceKind::Mahalanobis,
+            ..MatcherConfig::fast()
+        };
         let matcher = SiameseMatcher::train(&repr, &examples, &cfg).unwrap();
         let report = matcher.evaluate(&PairExamples::build(&a, &b, &test));
         assert!(report.f1 > 0.7, "Mahalanobis F1 = {}", report.f1);
@@ -647,17 +731,28 @@ mod tests {
         let frozen = SiameseMatcher::train(
             &repr,
             &examples,
-            &MatcherConfig { fine_tune_encoder: false, ..MatcherConfig::fast() },
+            &MatcherConfig {
+                fine_tune_encoder: false,
+                ..MatcherConfig::fast()
+            },
         )
         .unwrap()
         .evaluate(&test_examples);
         let tuned = SiameseMatcher::train(
             &repr,
             &examples,
-            &MatcherConfig { fine_tune_min_pairs: 0, ..MatcherConfig::fast() },
+            &MatcherConfig {
+                fine_tune_min_pairs: 0,
+                ..MatcherConfig::fast()
+            },
         )
         .unwrap()
         .evaluate(&test_examples);
-        assert!(tuned.f1 + 0.1 >= frozen.f1, "tuned {} vs frozen {}", tuned.f1, frozen.f1);
+        assert!(
+            tuned.f1 + 0.1 >= frozen.f1,
+            "tuned {} vs frozen {}",
+            tuned.f1,
+            frozen.f1
+        );
     }
 }

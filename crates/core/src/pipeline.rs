@@ -26,6 +26,14 @@ pub struct PipelineConfig {
     pub matcher: MatcherConfig,
     /// Top-K for blocking and representation reports (paper: 10).
     pub knn_k: usize,
+    /// Auto-labelled negatives added to matcher training, as a multiple of
+    /// the labelled pair count. Uniform random (a, b) pairs are negatives
+    /// with overwhelming probability (duplicates are a vanishing fraction
+    /// of the cross product), so — in the spirit of the paper's
+    /// Algorithm 1 bootstrap — they are free labels. Without them a
+    /// matcher trained on a handful of pairs saturates and scores the
+    /// hard negatives surfaced by blocking as confident matches.
+    pub auto_negative_ratio: f32,
     /// Master seed.
     pub seed: u64,
 }
@@ -38,6 +46,7 @@ impl Default for PipelineConfig {
             repr: ReprConfig::default(),
             matcher: MatcherConfig::default(),
             knn_k: 10,
+            auto_negative_ratio: 4.0,
             seed: 0x7A3E,
         }
     }
@@ -48,7 +57,10 @@ impl PipelineConfig {
     pub fn fast() -> Self {
         Self {
             ir_dim: 24,
-            repr: ReprConfig { epochs: 8, ..ReprConfig::fast(24) },
+            repr: ReprConfig {
+                epochs: 8,
+                ..ReprConfig::fast(24)
+            },
             matcher: MatcherConfig::fast(),
             ..Self::default()
         }
@@ -59,8 +71,16 @@ impl PipelineConfig {
     pub fn paper() -> Self {
         Self {
             ir_dim: 64,
-            repr: ReprConfig { hidden_dim: 96, latent_dim: 32, epochs: 15, ..ReprConfig::default() },
-            matcher: MatcherConfig { epochs: 40, ..MatcherConfig::default() },
+            repr: ReprConfig {
+                hidden_dim: 96,
+                latent_dim: 32,
+                epochs: 15,
+                ..ReprConfig::default()
+            },
+            matcher: MatcherConfig {
+                epochs: 40,
+                ..MatcherConfig::default()
+            },
             ..Self::default()
         }
     }
@@ -147,10 +167,8 @@ impl Pipeline {
             config.ir_dim,
             config.seed,
         );
-        let a_sentences: Vec<String> =
-            dataset.table_a.sentences().map(str::to_owned).collect();
-        let b_sentences: Vec<String> =
-            dataset.table_b.sentences().map(str::to_owned).collect();
+        let a_sentences: Vec<String> = dataset.table_a.sentences().map(str::to_owned).collect();
+        let b_sentences: Vec<String> = dataset.table_b.sentences().map(str::to_owned).collect();
         let irs_a = IrTable::new(arity, ir_model.encode_batch(&a_sentences));
         let irs_b = IrTable::new(arity, ir_model.encode_batch(&b_sentences));
         let ir_secs = t0.elapsed().as_secs_f64();
@@ -171,11 +189,26 @@ impl Pipeline {
         let reprs_a = group_entities(repr.encode(&irs_a.irs), arity);
         let reprs_b = group_entities(repr.encode(&irs_b.irs), arity);
 
-        // Stage 3: supervised matching.
+        // Stage 3: supervised matching, with Algorithm-1-style auto-labelled
+        // random negatives mixed into the labelled pairs (see
+        // [`PipelineConfig::auto_negative_ratio`]).
         let t2 = Instant::now();
         let mut matcher_config = config.matcher.clone();
         matcher_config.seed = config.seed ^ 0x3A7C;
-        let examples = PairExamples::build(&irs_a, &irs_b, &dataset.train_pairs);
+        let mut train_pairs = dataset.train_pairs.clone();
+        let n_auto = (config.auto_negative_ratio * train_pairs.pairs.len() as f32).round() as usize;
+        if n_auto > 0 && !dataset.table_a.is_empty() && !dataset.table_b.is_empty() {
+            use rand::{rngs::StdRng, RngExt, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA06E);
+            for _ in 0..n_auto {
+                train_pairs.pairs.push(vaer_data::LabeledPair {
+                    left: rng.random_range(0..dataset.table_a.len()),
+                    right: rng.random_range(0..dataset.table_b.len()),
+                    is_match: false,
+                });
+            }
+        }
+        let examples = PairExamples::build(&irs_a, &irs_b, &train_pairs);
         let matcher = SiameseMatcher::train(&repr, &examples, &matcher_config)?;
         let match_secs = t2.elapsed().as_secs_f64();
 
@@ -187,7 +220,11 @@ impl Pipeline {
             irs_b,
             reprs_a,
             reprs_b,
-            timings: Timings { ir_secs, repr_secs, match_secs },
+            timings: Timings {
+                ir_secs,
+                repr_secs,
+                match_secs,
+            },
             repr_stats,
             config: config.clone(),
         })
@@ -195,12 +232,14 @@ impl Pipeline {
 
     /// Duplicate probabilities for labelled pairs.
     pub fn predict(&self, pairs: &PairSet) -> Vec<f32> {
-        self.matcher.predict(&PairExamples::build(&self.irs_a, &self.irs_b, pairs))
+        self.matcher
+            .predict(&PairExamples::build(&self.irs_a, &self.irs_b, pairs))
     }
 
     /// P/R/F1 of the matcher on a labelled pair set.
     pub fn evaluate(&self, pairs: &PairSet) -> PrF1 {
-        self.matcher.evaluate(&PairExamples::build(&self.irs_a, &self.irs_b, pairs))
+        self.matcher
+            .evaluate(&PairExamples::build(&self.irs_a, &self.irs_b, pairs))
     }
 
     /// Table IV right-hand columns: top-K retrieval quality of the VAE
@@ -233,11 +272,21 @@ impl Pipeline {
     /// matcher scoring, keeping links with probability above `threshold`.
     /// Returns `(a_row, b_row, probability)` triples sorted by descending
     /// confidence — the deployment entry point sketched in §VI-B.
+    ///
+    /// Links are constrained to a (partial) one-to-one matching: each row
+    /// participates in at most one link, resolved greedily by descending
+    /// probability. Two deduplicated tables can share at most one record
+    /// per entity, so many-to-many link sets are structurally wrong and
+    /// were the main precision leak of an unconstrained threshold cut.
     pub fn resolve(&self, k: usize, threshold: f32) -> Vec<(usize, usize, f32)> {
         let candidates = self.blocking_candidates(k);
         let pairs: PairSet = candidates
             .iter()
-            .map(|c| vaer_data::LabeledPair { left: c.left, right: c.right, is_match: false })
+            .map(|c| vaer_data::LabeledPair {
+                left: c.left,
+                right: c.right,
+                is_match: false,
+            })
             .collect();
         let probs = self.predict(&pairs);
         let mut links: Vec<(usize, usize, f32)> = pairs
@@ -248,6 +297,16 @@ impl Pipeline {
             .map(|(pair, &p)| (pair.left, pair.right, p))
             .collect();
         links.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut used_a = std::collections::HashSet::new();
+        let mut used_b = std::collections::HashSet::new();
+        links.retain(|&(a, b, _)| {
+            if used_a.contains(&a) || used_b.contains(&b) {
+                return false;
+            }
+            used_a.insert(a);
+            used_b.insert(b);
+            true
+        });
         links
     }
 
@@ -355,8 +414,11 @@ mod tests {
         // Most confident links should be true duplicates.
         let truth: std::collections::HashSet<(usize, usize)> =
             ds.duplicates.iter().copied().collect();
-        let top_correct =
-            links.iter().take(5).filter(|&&(a, b, _)| truth.contains(&(a, b))).count();
+        let top_correct = links
+            .iter()
+            .take(5)
+            .filter(|&&(a, b, _)| truth.contains(&(a, b)))
+            .count();
         assert!(top_correct >= 3, "only {top_correct}/5 top links correct");
     }
 

@@ -18,7 +18,8 @@ use crate::CoreError;
 use vaer_linalg::Matrix;
 use vaer_nn::schedule::minibatches;
 use vaer_nn::{
-    Adam, Dense, Graph, Initializer, NnRng, Optimizer, ParamStore, SeedableRng, Tensor,
+    sharded_step, Adam, Dense, Graph, Initializer, NnRng, Optimizer, ParamStore, SeedableRng,
+    Tensor,
 };
 use vaer_stats::gaussian::DiagGaussian;
 
@@ -163,49 +164,60 @@ impl ReprModel {
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
             for batch in minibatches(irs.rows(), config.batch_size, &mut rng) {
+                // Batch inputs and noise are drawn up front so the RNG
+                // stream is independent of how many gradient shards the
+                // runtime decides to use.
                 let x = irs.select_rows(&batch);
                 let eps = gaussian_matrix(batch.len(), config.latent_dim, &mut noise_rng);
-                let mut g = Graph::new();
-                let xt = g.input(x);
-                // Encoder.
-                let h = enc_hidden.forward(&mut g, &store, xt);
-                let h = g.relu(h);
-                let mu = enc_mu.forward(&mut g, &store, h);
-                let logvar = enc_logvar.forward(&mut g, &store, h);
-                // Reparameterisation: z = μ + exp(½ logvar) ⊙ ε.
-                let half_logvar = g.scale(logvar, 0.5);
-                let sigma = g.exp(half_logvar);
-                let eps_t = g.input(eps);
-                let noise = g.mul(sigma, eps_t);
-                let z = g.add(mu, noise);
-                // Decoder.
-                let dh = dec_hidden.forward(&mut g, &store, z);
-                let dh = g.relu(dh);
-                let recon = dec_out.forward(&mut g, &store, dh);
-                // Reconstruction: mean squared error over the batch.
-                let diff = g.sub(recon, xt);
-                let sq = g.square(diff);
-                let recon_loss = g.mean_all(sq);
-                let recon_loss = g.scale(recon_loss, config.ir_dim as f32);
-                // KL(q ‖ N(0, I)) = -½ Σ (1 + logvar - μ² - exp(logvar)),
-                // averaged over the batch.
-                let mu_sq = g.square(mu);
-                let exp_logvar = g.exp(logvar);
-                let inner = g.add_scalar(logvar, 1.0);
-                let inner = g.sub(inner, mu_sq);
-                let inner = g.sub(inner, exp_logvar);
-                let kl_sum = g.sum_all(inner);
-                let kl = g.scale(kl_sum, -0.5 / batch.len() as f32);
-                let kl = g.scale(kl, config.kl_weight);
-                let loss = g.add(recon_loss, kl);
-                epoch_loss += g.value(loss).get(0, 0);
+                let step = sharded_step(batch.len(), |g, rows| {
+                    let n = rows.len();
+                    let xt = g.input(x.slice_rows(rows.start, rows.end));
+                    // Encoder.
+                    let h = enc_hidden.forward(g, &store, xt);
+                    let h = g.relu(h);
+                    let mu = enc_mu.forward(g, &store, h);
+                    let logvar = enc_logvar.forward(g, &store, h);
+                    // Reparameterisation: z = μ + exp(½ logvar) ⊙ ε.
+                    let half_logvar = g.scale(logvar, 0.5);
+                    let sigma = g.exp(half_logvar);
+                    let eps_t = g.input(eps.slice_rows(rows.start, rows.end));
+                    let noise = g.mul(sigma, eps_t);
+                    let z = g.add(mu, noise);
+                    // Decoder.
+                    let dh = dec_hidden.forward(g, &store, z);
+                    let dh = g.relu(dh);
+                    let recon = dec_out.forward(g, &store, dh);
+                    // Reconstruction: mean squared error over the shard.
+                    let diff = g.sub(recon, xt);
+                    let sq = g.square(diff);
+                    let recon_loss = g.mean_all(sq);
+                    let recon_loss = g.scale(recon_loss, config.ir_dim as f32);
+                    // KL(q ‖ N(0, I)) = -½ Σ (1 + logvar - μ² - exp(logvar)),
+                    // averaged over the shard (both loss terms are per-row
+                    // means, as sharded_step's merge requires).
+                    let mu_sq = g.square(mu);
+                    let exp_logvar = g.exp(logvar);
+                    let inner = g.add_scalar(logvar, 1.0);
+                    let inner = g.sub(inner, mu_sq);
+                    let inner = g.sub(inner, exp_logvar);
+                    let kl_sum = g.sum_all(inner);
+                    let kl = g.scale(kl_sum, -0.5 / n as f32);
+                    let kl = g.scale(kl, config.kl_weight);
+                    g.add(recon_loss, kl)
+                });
+                epoch_loss += step.loss;
                 batches += 1;
-                g.backward(loss);
-                adam.step(&mut store, &g.param_grads());
+                adam.step(&mut store, &step.grads);
             }
             stats.epoch_losses.push(epoch_loss / batches.max(1) as f32);
         }
-        Ok((Self { store, config: config.clone() }, stats))
+        Ok((
+            Self {
+                store,
+                config: config.clone(),
+            },
+            stats,
+        ))
     }
 
     /// The model configuration.
@@ -224,17 +236,12 @@ impl ReprModel {
     /// Returns `(μ, σ)` tensors of shape `batch x latent_dim`, binding the
     /// encoder parameters from `store` (pass the matcher's own store to
     /// fine-tune a copy).
-    pub fn encoder_forward(
-        g: &mut Graph,
-        store: &ParamStore,
-        x: Tensor,
-    ) -> (Tensor, Tensor) {
+    pub fn encoder_forward(g: &mut Graph, store: &ParamStore, x: Tensor) -> (Tensor, Tensor) {
         let enc_hidden = Dense::from_store(store, ENC_HIDDEN)
             .expect("store is missing the repr encoder hidden layer");
-        let enc_mu =
-            Dense::from_store(store, ENC_MU).expect("store is missing the repr mu head");
-        let enc_logvar = Dense::from_store(store, ENC_LOGVAR)
-            .expect("store is missing the repr logvar head");
+        let enc_mu = Dense::from_store(store, ENC_MU).expect("store is missing the repr mu head");
+        let enc_logvar =
+            Dense::from_store(store, ENC_LOGVAR).expect("store is missing the repr logvar head");
         let h = enc_hidden.forward(g, store, x);
         let h = g.relu(h);
         let mu = enc_mu.forward(g, store, h);
@@ -245,19 +252,27 @@ impl ReprModel {
     }
 
     /// Encodes a batch of IRs into diagonal Gaussians (one per row).
+    ///
+    /// Rows are encoded independently, so large batches are split into
+    /// contiguous row shards on the [`vaer_linalg::runtime`] worker pool;
+    /// each row's result is bit-identical at any thread count.
     pub fn encode(&self, irs: &Matrix) -> Vec<DiagGaussian> {
         assert_eq!(irs.cols(), self.config.ir_dim, "IR width mismatch");
         if irs.rows() == 0 {
             return Vec::new();
         }
-        let mut g = Graph::new();
-        let x = g.input(irs.clone());
-        let (mu, sigma) = Self::encoder_forward(&mut g, &self.store, x);
-        let mu_v = g.value(mu);
-        let sig_v = g.value(sigma);
-        (0..irs.rows())
-            .map(|i| DiagGaussian::new(mu_v.row(i).to_vec(), sig_v.row(i).to_vec()))
-            .collect()
+        const MIN_ROWS_PER_SHARD: usize = 64;
+        let shards = vaer_linalg::runtime::map_shards(irs.rows(), MIN_ROWS_PER_SHARD, |rows| {
+            let mut g = Graph::new();
+            let x = g.input(irs.slice_rows(rows.start, rows.end));
+            let (mu, sigma) = Self::encoder_forward(&mut g, &self.store, x);
+            let mu_v = g.value(mu);
+            let sig_v = g.value(sigma);
+            (0..rows.len())
+                .map(|i| DiagGaussian::new(mu_v.row(i).to_vec(), sig_v.row(i).to_vec()))
+                .collect::<Vec<_>>()
+        });
+        shards.into_iter().flatten().collect()
     }
 
     /// Decodes latent samples back to IR space (the generative direction).
@@ -314,8 +329,9 @@ impl ReprModel {
 }
 
 fn gaussian_matrix(rows: usize, cols: usize, rng: &mut NnRng) -> Matrix {
-    let data =
-        (0..rows * cols).map(|_| vaer_stats::gaussian::standard_normal(rng)).collect();
+    let data = (0..rows * cols)
+        .map(|_| vaer_stats::gaussian::standard_normal(rng))
+        .collect();
     Matrix::from_vec(rows, cols, data)
 }
 
@@ -332,8 +348,7 @@ mod tests {
         for c in 0..2 {
             for _ in 0..n_per {
                 let center = if c == 0 { 1.0 } else { -1.0 };
-                let row: Vec<f32> =
-                    (0..dim).map(|_| center + 0.1 * rng.gaussian()).collect();
+                let row: Vec<f32> = (0..dim).map(|_| center + 0.1 * rng.gaussian()).collect();
                 rows.push(row);
                 labels.push(c);
             }
@@ -345,7 +360,10 @@ mod tests {
     #[test]
     fn training_reduces_loss() {
         let (irs, _) = clustered_irs(40, 8, 1);
-        let config = ReprConfig { epochs: 10, ..ReprConfig::fast(8) };
+        let config = ReprConfig {
+            epochs: 10,
+            ..ReprConfig::fast(8)
+        };
         let (_, stats) = ReprModel::train(&irs, &config).unwrap();
         let first = stats.epoch_losses[0];
         let last = *stats.epoch_losses.last().unwrap();
@@ -376,7 +394,10 @@ mod tests {
         }
         let within = within / n_within.max(1) as f32;
         let between = between / n_between.max(1) as f32;
-        assert!(between > 1.5 * within, "within {within} vs between {between}");
+        assert!(
+            between > 1.5 * within,
+            "within {within} vs between {between}"
+        );
     }
 
     #[test]
@@ -395,7 +416,11 @@ mod tests {
     #[test]
     fn decode_round_trip_is_reasonable() {
         let (irs, _) = clustered_irs(50, 8, 4);
-        let config = ReprConfig { epochs: 30, kl_weight: 0.1, ..ReprConfig::fast(8) };
+        let config = ReprConfig {
+            epochs: 30,
+            kl_weight: 0.1,
+            ..ReprConfig::fast(8)
+        };
         let (model, _) = ReprModel::train(&irs, &config).unwrap();
         let reprs = model.encode(&irs);
         let mu_mat = Matrix::from_vec(

@@ -78,7 +78,10 @@ mod tests {
         assert_eq!(adapted.table_a.schema.arity(), 4);
         assert_eq!(adapted.table_b.schema.arity(), 4);
         assert_eq!(adapted.train_pairs, ds.train_pairs);
-        adapted.train_pairs.validate(&adapted.table_a, &adapted.table_b).unwrap();
+        adapted
+            .train_pairs
+            .validate(&adapted.table_a, &adapted.table_b)
+            .unwrap();
         // Padding up also works.
         let wide = adapt_dataset_arity(&ds, 9);
         assert_eq!(wide.table_a.schema.arity(), 9);

@@ -57,7 +57,11 @@ pub fn from_csv(name: &str, text: &str) -> Result<Table, DataError> {
     let mut table = Table::new(schema);
     for (i, row) in rows.into_iter().enumerate() {
         if row.len() != arity {
-            return Err(DataError::RaggedRow { line: i + 2, found: row.len(), expected: arity });
+            return Err(DataError::RaggedRow {
+                line: i + 2,
+                found: row.len(),
+                expected: arity,
+            });
         }
         table.push(row);
     }
@@ -136,7 +140,14 @@ mod tests {
     #[test]
     fn ragged_row_errors() {
         let err = from_csv("x", "a,b\n1,2\n3\n").unwrap_err();
-        assert!(matches!(err, DataError::RaggedRow { line: 3, found: 1, expected: 2 }));
+        assert!(matches!(
+            err,
+            DataError::RaggedRow {
+                line: 3,
+                found: 1,
+                expected: 2
+            }
+        ));
     }
 
     #[test]

@@ -82,8 +82,8 @@ mod tests {
     fn sentence_corpus_covers_both_tables() {
         let ds = demo();
         let sentences = ds.all_sentences();
-        let expected =
-            ds.table_a.len() * ds.table_a.schema.arity() + ds.table_b.len() * ds.table_b.schema.arity();
+        let expected = ds.table_a.len() * ds.table_a.schema.arity()
+            + ds.table_b.len() * ds.table_b.schema.arity();
         assert_eq!(sentences.len(), expected);
     }
 

@@ -153,7 +153,13 @@ impl Domain {
                 test: 1117,
                 clean: false,
                 attributes: &[
-                    "symbol", "company", "sector", "exchange", "price", "market_cap", "pe",
+                    "symbol",
+                    "company",
+                    "sector",
+                    "exchange",
+                    "price",
+                    "market_cap",
+                    "pe",
                     "dividend",
                 ],
             },
@@ -166,8 +172,18 @@ impl Domain {
                 test: 220,
                 clean: true,
                 attributes: &[
-                    "first_name", "last_name", "email", "phone", "company", "street", "city",
-                    "state", "zip", "country", "title", "department",
+                    "first_name",
+                    "last_name",
+                    "email",
+                    "phone",
+                    "company",
+                    "street",
+                    "city",
+                    "state",
+                    "zip",
+                    "country",
+                    "title",
+                    "department",
                 ],
             },
         }
@@ -241,7 +257,11 @@ impl Domain {
                     .map(|_| pick(DESCRIPTION_FILLER, rng))
                     .collect::<Vec<_>>()
                     .join(" ");
-                vec![name, format!("{:.2}", rng.random_range(5.0..500.0f64)), desc]
+                vec![
+                    name,
+                    format!("{:.2}", rng.random_range(5.0..500.0f64)),
+                    desc,
+                ]
             }
             Domain::Music => {
                 let song = (0..rng.random_range(2..4usize))
@@ -260,7 +280,11 @@ impl Domain {
                     album,
                     rng.random_range(1960..2021u32).to_string(),
                     pick(GENRES, rng).to_string(),
-                    format!("{}:{:02}", rng.random_range(2..6u32), rng.random_range(0..60u32)),
+                    format!(
+                        "{}:{:02}",
+                        rng.random_range(2..6u32),
+                        rng.random_range(0..60u32)
+                    ),
                     pick(RECORD_LABELS, rng).to_string(),
                     rng.random_range(1..16u32).to_string(),
                 ]
@@ -285,8 +309,11 @@ impl Domain {
             }
             Domain::Stocks => {
                 let word = proper_noun(rng);
-                let symbol: String =
-                    word.chars().take(rng.random_range(3..5usize)).collect::<String>().to_uppercase();
+                let symbol: String = word
+                    .chars()
+                    .take(rng.random_range(3..5usize))
+                    .collect::<String>()
+                    .to_uppercase();
                 let company = format!("{} {}", word, pick(COMPANY_SUFFIXES, rng));
                 vec![
                     symbol,
@@ -381,21 +408,28 @@ impl DomainSpec {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xDA7A_5E0D);
         let card_a = self.scale.shrink(meta.card_a);
         let card_b = self.scale.shrink(meta.card_b);
-        let noise =
-            if meta.clean { NoiseProfile::clean() } else { NoiseProfile::noisy() };
+        let noise = if meta.clean {
+            NoiseProfile::clean()
+        } else {
+            NoiseProfile::noisy()
+        };
         let perturber = Perturber::new(noise);
 
         // Canonical entities: enough for A plus B's non-duplicates.
         let dup_count = (card_a.min(card_b) as f32 * 0.45) as usize;
         let n_entities = card_a + (card_b - dup_count);
-        let entities: Vec<Vec<String>> =
-            (0..n_entities).map(|_| self.domain.entity(&mut rng)).collect();
+        let entities: Vec<Vec<String>> = (0..n_entities)
+            .map(|_| self.domain.entity(&mut rng))
+            .collect();
 
         let schema_a = Schema {
             name: format!("{}_a", meta.name),
             attributes: meta.attributes.iter().map(|&s| s.to_string()).collect(),
         };
-        let schema_b = Schema { name: format!("{}_b", meta.name), ..schema_a.clone() };
+        let schema_b = Schema {
+            name: format!("{}_b", meta.name),
+            ..schema_a.clone()
+        };
 
         let mut table_a = Table::new(schema_a);
         for e in entities.iter().take(card_a) {
@@ -484,8 +518,7 @@ fn build_pair_splits<R: Rng>(
             token_index.entry(tok.to_string()).or_default().push(i);
         }
     }
-    let dup_set: std::collections::HashSet<(usize, usize)> =
-        duplicates.iter().copied().collect();
+    let dup_set: std::collections::HashSet<(usize, usize)> = duplicates.iter().copied().collect();
     let mut negatives: Vec<(usize, usize)> = Vec::with_capacity(n_neg);
     let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
     let mut attempts = 0;
@@ -515,20 +548,42 @@ fn build_pair_splits<R: Rng>(
         negatives.push(pair);
     }
 
-    // Interleave and split by the domain's train:test proportion.
-    let mut labelled: Vec<LabeledPair> = pos_sample
-        .iter()
-        .map(|&(l, r)| LabeledPair { left: l, right: r, is_match: true })
-        .chain(negatives.iter().map(|&(l, r)| LabeledPair { left: l, right: r, is_match: false }))
-        .collect();
-    for i in (1..labelled.len()).rev() {
-        let j = rng.random_range(0..=i);
-        labelled.swap(i, j);
+    // Stratified split by the domain's train:test proportion: positives
+    // and negatives are split *separately* so both classes land in both
+    // splits whenever a class has at least two members. (A plain shuffled
+    // split regularly dropped every positive from the small test side at
+    // Tiny scale, which makes test-set F1 structurally zero.)
+    fn shuffle<R: Rng>(pairs: &mut [LabeledPair], rng: &mut R) {
+        for i in (1..pairs.len()).rev() {
+            let j = rng.random_range(0..=i);
+            pairs.swap(i, j);
+        }
     }
     let train_frac = meta.train as f32 / (meta.train + meta.test) as f32;
-    let n_train = ((labelled.len() as f32) * train_frac).round() as usize;
-    let test = labelled.split_off(n_train.min(labelled.len()));
-    (PairSet { pairs: labelled }, PairSet { pairs: test })
+    let mut train: Vec<LabeledPair> = Vec::new();
+    let mut test: Vec<LabeledPair> = Vec::new();
+    for (pairs, is_match) in [(&pos_sample, true), (&negatives, false)] {
+        let mut stratum: Vec<LabeledPair> = pairs
+            .iter()
+            .map(|&(l, r)| LabeledPair {
+                left: l,
+                right: r,
+                is_match,
+            })
+            .collect();
+        shuffle(&mut stratum, rng);
+        let n = stratum.len();
+        let mut n_train = ((n as f32) * train_frac).round() as usize;
+        if n >= 2 {
+            n_train = n_train.clamp(1, n - 1);
+        }
+        let stratum_test = stratum.split_off(n_train.min(n));
+        train.extend(stratum);
+        test.extend(stratum_test);
+    }
+    shuffle(&mut train, rng);
+    shuffle(&mut test, rng);
+    (PairSet { pairs: train }, PairSet { pairs: test })
 }
 
 #[cfg(test)]

@@ -20,9 +20,9 @@
 //! - [`Dataset`] — everything one experiment needs, bundled.
 
 pub mod csv;
+mod dataset;
 pub mod domains;
 pub mod loader;
-mod dataset;
 mod oracle;
 mod pairs;
 mod perturb;
@@ -63,12 +63,19 @@ pub enum DataError {
 impl std::fmt::Display for DataError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            DataError::RaggedRow { line, found, expected } => {
+            DataError::RaggedRow {
+                line,
+                found,
+                expected,
+            } => {
                 write!(f, "CSV line {line}: {found} fields, expected {expected}")
             }
             DataError::MissingHeader => write!(f, "CSV input has no header row"),
             DataError::PairOutOfBounds { side, index, len } => {
-                write!(f, "pair {side} index {index} out of bounds for table of {len} rows")
+                write!(
+                    f,
+                    "pair {side} index {index} out of bounds for table of {len} rows"
+                )
             }
         }
     }

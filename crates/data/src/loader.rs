@@ -141,15 +141,9 @@ mod tests {
 
     #[test]
     fn loads_deepmatcher_layout() {
-        let ds = dataset_from_csv_strings(
-            "demo",
-            Domain::Restaurants,
-            TABLE_A,
-            TABLE_B,
-            TRAIN,
-            TEST,
-        )
-        .unwrap();
+        let ds =
+            dataset_from_csv_strings("demo", Domain::Restaurants, TABLE_A, TABLE_B, TRAIN, TEST)
+                .unwrap();
         assert_eq!(ds.table_a.len(), 2);
         // `id` column stripped.
         assert_eq!(ds.table_a.schema.attributes, vec!["name", "city"]);
@@ -162,7 +156,14 @@ mod tests {
     #[test]
     fn pair_columns_found_in_any_order() {
         let pairs = pairs_from_csv("label,rtable_id,ltable_id\n1,3,2\n").unwrap();
-        assert_eq!(pairs.pairs[0], LabeledPair { left: 2, right: 3, is_match: true });
+        assert_eq!(
+            pairs.pairs[0],
+            LabeledPair {
+                left: 2,
+                right: 3,
+                is_match: true
+            }
+        );
     }
 
     #[test]

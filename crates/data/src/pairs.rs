@@ -80,7 +80,9 @@ impl PairSet {
 
 impl FromIterator<LabeledPair> for PairSet {
     fn from_iter<T: IntoIterator<Item = LabeledPair>>(iter: T) -> Self {
-        Self { pairs: iter.into_iter().collect() }
+        Self {
+            pairs: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -101,8 +103,16 @@ mod tests {
     #[test]
     fn counts() {
         let set: PairSet = [
-            LabeledPair { left: 0, right: 0, is_match: true },
-            LabeledPair { left: 1, right: 0, is_match: false },
+            LabeledPair {
+                left: 0,
+                right: 0,
+                is_match: true,
+            },
+            LabeledPair {
+                left: 1,
+                right: 0,
+                is_match: false,
+            },
         ]
         .into_iter()
         .collect();
@@ -115,17 +125,32 @@ mod tests {
     #[test]
     fn validate_catches_out_of_bounds() {
         let (a, b) = tables();
-        let good: PairSet =
-            [LabeledPair { left: 1, right: 0, is_match: true }].into_iter().collect();
+        let good: PairSet = [LabeledPair {
+            left: 1,
+            right: 0,
+            is_match: true,
+        }]
+        .into_iter()
+        .collect();
         assert!(good.validate(&a, &b).is_ok());
-        let bad_left: PairSet =
-            [LabeledPair { left: 2, right: 0, is_match: true }].into_iter().collect();
+        let bad_left: PairSet = [LabeledPair {
+            left: 2,
+            right: 0,
+            is_match: true,
+        }]
+        .into_iter()
+        .collect();
         assert!(matches!(
             bad_left.validate(&a, &b),
             Err(DataError::PairOutOfBounds { side: "left", .. })
         ));
-        let bad_right: PairSet =
-            [LabeledPair { left: 0, right: 5, is_match: true }].into_iter().collect();
+        let bad_right: PairSet = [LabeledPair {
+            left: 0,
+            right: 5,
+            is_match: true,
+        }]
+        .into_iter()
+        .collect();
         assert!(matches!(
             bad_right.validate(&a, &b),
             Err(DataError::PairOutOfBounds { side: "right", .. })

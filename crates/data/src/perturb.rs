@@ -135,7 +135,9 @@ impl Perturber {
             tokens.swap(i, i + 1);
         }
         if rng.random_range(0.0f32..1.0) < p.typo {
-            let i = rng.random_range(0..tokens.len().max(1)).min(tokens.len().saturating_sub(1));
+            let i = rng
+                .random_range(0..tokens.len().max(1))
+                .min(tokens.len().saturating_sub(1));
             if !tokens.is_empty() {
                 tokens[i] = typo(&tokens[i], rng);
             }
@@ -202,7 +204,9 @@ mod tests {
         let p = Perturber::new(NoiseProfile::noisy());
         let mut r = rng(1);
         let original = "the grand budapest hotel restaurant";
-        let changed = (0..100).filter(|_| p.value(original, &mut r) != original).count();
+        let changed = (0..100)
+            .filter(|_| p.value(original, &mut r) != original)
+            .count();
         assert!(changed > 20, "only {changed}/100 perturbed");
         // But most perturbed values still share tokens with the source.
         let mut shared_any = 0;
@@ -217,14 +221,20 @@ mod tests {
 
     #[test]
     fn missing_blanks_values() {
-        let profile = NoiseProfile { missing: 1.0, ..NoiseProfile::none() };
+        let profile = NoiseProfile {
+            missing: 1.0,
+            ..NoiseProfile::none()
+        };
         let p = Perturber::new(profile);
         assert_eq!(p.value("anything", &mut rng(2)), "");
     }
 
     #[test]
     fn numeric_jitter_stays_numeric_and_close() {
-        let profile = NoiseProfile { numeric_jitter: 0.05, ..NoiseProfile::none() };
+        let profile = NoiseProfile {
+            numeric_jitter: 0.05,
+            ..NoiseProfile::none()
+        };
         let p = Perturber::new(profile);
         let mut r = rng(3);
         for _ in 0..50 {
@@ -236,7 +246,10 @@ mod tests {
 
     #[test]
     fn abbreviation_shortens_first_token() {
-        let profile = NoiseProfile { abbreviate: 1.0, ..NoiseProfile::none() };
+        let profile = NoiseProfile {
+            abbreviate: 1.0,
+            ..NoiseProfile::none()
+        };
         let p = Perturber::new(profile);
         let v = p.value("jonathan smith", &mut rng(4));
         assert!(v.starts_with("j."), "got {v}");

@@ -10,132 +10,447 @@
 use rand::{Rng, RngExt};
 
 pub const FIRST_NAMES: &[&str] = &[
-    "james", "mary", "robert", "patricia", "john", "jennifer", "michael", "linda", "david",
-    "elizabeth", "william", "barbara", "richard", "susan", "joseph", "jessica", "thomas",
-    "sarah", "charles", "karen", "christopher", "lisa", "daniel", "nancy", "matthew", "betty",
-    "anthony", "margaret", "mark", "sandra", "donald", "ashley", "steven", "kimberly", "paul",
-    "emily", "andrew", "donna", "joshua", "michelle",
+    "james",
+    "mary",
+    "robert",
+    "patricia",
+    "john",
+    "jennifer",
+    "michael",
+    "linda",
+    "david",
+    "elizabeth",
+    "william",
+    "barbara",
+    "richard",
+    "susan",
+    "joseph",
+    "jessica",
+    "thomas",
+    "sarah",
+    "charles",
+    "karen",
+    "christopher",
+    "lisa",
+    "daniel",
+    "nancy",
+    "matthew",
+    "betty",
+    "anthony",
+    "margaret",
+    "mark",
+    "sandra",
+    "donald",
+    "ashley",
+    "steven",
+    "kimberly",
+    "paul",
+    "emily",
+    "andrew",
+    "donna",
+    "joshua",
+    "michelle",
 ];
 
 pub const LAST_NAMES: &[&str] = &[
-    "smith", "johnson", "williams", "brown", "jones", "garcia", "miller", "davis", "rodriguez",
-    "martinez", "hernandez", "lopez", "gonzalez", "wilson", "anderson", "thomas", "taylor",
-    "moore", "jackson", "martin", "lee", "perez", "thompson", "white", "harris", "sanchez",
-    "clark", "ramirez", "lewis", "robinson", "walker", "young", "allen", "king", "wright",
-    "scott", "torres", "nguyen", "hill", "flores",
+    "smith",
+    "johnson",
+    "williams",
+    "brown",
+    "jones",
+    "garcia",
+    "miller",
+    "davis",
+    "rodriguez",
+    "martinez",
+    "hernandez",
+    "lopez",
+    "gonzalez",
+    "wilson",
+    "anderson",
+    "thomas",
+    "taylor",
+    "moore",
+    "jackson",
+    "martin",
+    "lee",
+    "perez",
+    "thompson",
+    "white",
+    "harris",
+    "sanchez",
+    "clark",
+    "ramirez",
+    "lewis",
+    "robinson",
+    "walker",
+    "young",
+    "allen",
+    "king",
+    "wright",
+    "scott",
+    "torres",
+    "nguyen",
+    "hill",
+    "flores",
 ];
 
 pub const CITIES: &[&str] = &[
-    "new york", "los angeles", "chicago", "houston", "phoenix", "philadelphia", "san antonio",
-    "san diego", "dallas", "austin", "seattle", "denver", "boston", "portland", "atlanta",
-    "miami", "oakland", "minneapolis", "tulsa", "arlington", "tampa", "orlando", "pittsburgh",
-    "cincinnati", "anchorage", "toledo", "lincoln", "madison", "reno", "buffalo",
+    "new york",
+    "los angeles",
+    "chicago",
+    "houston",
+    "phoenix",
+    "philadelphia",
+    "san antonio",
+    "san diego",
+    "dallas",
+    "austin",
+    "seattle",
+    "denver",
+    "boston",
+    "portland",
+    "atlanta",
+    "miami",
+    "oakland",
+    "minneapolis",
+    "tulsa",
+    "arlington",
+    "tampa",
+    "orlando",
+    "pittsburgh",
+    "cincinnati",
+    "anchorage",
+    "toledo",
+    "lincoln",
+    "madison",
+    "reno",
+    "buffalo",
 ];
 
 pub const STREETS: &[&str] = &[
-    "main st", "oak ave", "maple dr", "cedar ln", "park blvd", "washington st", "lake view rd",
-    "sunset blvd", "river rd", "hill st", "church st", "broadway", "elm st", "highland ave",
-    "market st", "union sq", "5th ave", "canal st", "bay dr", "grove st",
+    "main st",
+    "oak ave",
+    "maple dr",
+    "cedar ln",
+    "park blvd",
+    "washington st",
+    "lake view rd",
+    "sunset blvd",
+    "river rd",
+    "hill st",
+    "church st",
+    "broadway",
+    "elm st",
+    "highland ave",
+    "market st",
+    "union sq",
+    "5th ave",
+    "canal st",
+    "bay dr",
+    "grove st",
 ];
 
 pub const CUISINES: &[&str] = &[
-    "italian", "french", "japanese", "chinese", "mexican", "thai", "indian", "greek",
-    "american", "spanish", "korean", "vietnamese", "lebanese", "turkish", "ethiopian",
+    "italian",
+    "french",
+    "japanese",
+    "chinese",
+    "mexican",
+    "thai",
+    "indian",
+    "greek",
+    "american",
+    "spanish",
+    "korean",
+    "vietnamese",
+    "lebanese",
+    "turkish",
+    "ethiopian",
 ];
 
 pub const RESTAURANT_WORDS: &[&str] = &[
-    "grill", "bistro", "kitchen", "cafe", "trattoria", "brasserie", "tavern", "diner",
-    "house", "garden", "corner", "table", "oven", "fork", "spoon", "plate",
+    "grill",
+    "bistro",
+    "kitchen",
+    "cafe",
+    "trattoria",
+    "brasserie",
+    "tavern",
+    "diner",
+    "house",
+    "garden",
+    "corner",
+    "table",
+    "oven",
+    "fork",
+    "spoon",
+    "plate",
 ];
 
 pub const PRICE_BANDS: &[&str] = &["$", "$$", "$$$", "$$$$"];
 
 pub const VENUES: &[&str] = &[
-    "sigmod", "vldb", "icde", "kdd", "www", "cikm", "edbt", "acl", "emnlp", "nips",
-    "icml", "aaai", "ijcai", "sigir", "wsdm", "tkde journal", "vldb journal", "jmlr",
+    "sigmod",
+    "vldb",
+    "icde",
+    "kdd",
+    "www",
+    "cikm",
+    "edbt",
+    "acl",
+    "emnlp",
+    "nips",
+    "icml",
+    "aaai",
+    "ijcai",
+    "sigir",
+    "wsdm",
+    "tkde journal",
+    "vldb journal",
+    "jmlr",
 ];
 
 pub const RESEARCH_WORDS: &[&str] = &[
-    "learning", "entity", "resolution", "database", "query", "optimization", "neural",
-    "network", "distributed", "streaming", "graph", "embedding", "index", "transaction",
-    "knowledge", "semantic", "deep", "probabilistic", "scalable", "adaptive", "efficient",
-    "robust", "incremental", "approximate", "parallel", "federated", "relational",
+    "learning",
+    "entity",
+    "resolution",
+    "database",
+    "query",
+    "optimization",
+    "neural",
+    "network",
+    "distributed",
+    "streaming",
+    "graph",
+    "embedding",
+    "index",
+    "transaction",
+    "knowledge",
+    "semantic",
+    "deep",
+    "probabilistic",
+    "scalable",
+    "adaptive",
+    "efficient",
+    "robust",
+    "incremental",
+    "approximate",
+    "parallel",
+    "federated",
+    "relational",
 ];
 
 pub const RESEARCH_NOUNS: &[&str] = &[
-    "systems", "models", "methods", "algorithms", "frameworks", "architectures", "approaches",
-    "techniques", "analysis", "evaluation", "benchmarks", "applications",
+    "systems",
+    "models",
+    "methods",
+    "algorithms",
+    "frameworks",
+    "architectures",
+    "approaches",
+    "techniques",
+    "analysis",
+    "evaluation",
+    "benchmarks",
+    "applications",
 ];
 
 pub const COSMETIC_BRANDS: &[&str] = &[
-    "lumessa", "veloura", "dermaglow", "purebloom", "satinelle", "aurorae", "claribel",
-    "rosette", "velvetine", "mirabelle", "opaline", "seraphic",
+    "lumessa",
+    "veloura",
+    "dermaglow",
+    "purebloom",
+    "satinelle",
+    "aurorae",
+    "claribel",
+    "rosette",
+    "velvetine",
+    "mirabelle",
+    "opaline",
+    "seraphic",
 ];
 
 pub const COSMETIC_PRODUCTS: &[&str] = &[
-    "matte lipstick", "hydrating serum", "night cream", "foundation", "eye shadow palette",
-    "mascara", "facial cleanser", "toner", "blush", "concealer", "lip gloss", "face mask",
+    "matte lipstick",
+    "hydrating serum",
+    "night cream",
+    "foundation",
+    "eye shadow palette",
+    "mascara",
+    "facial cleanser",
+    "toner",
+    "blush",
+    "concealer",
+    "lip gloss",
+    "face mask",
 ];
 
 pub const COLORS: &[&str] = &[
-    "ruby red", "coral", "nude beige", "rose gold", "ivory", "charcoal", "plum", "peach",
-    "sand", "copper", "mauve", "berry",
+    "ruby red",
+    "coral",
+    "nude beige",
+    "rose gold",
+    "ivory",
+    "charcoal",
+    "plum",
+    "peach",
+    "sand",
+    "copper",
+    "mauve",
+    "berry",
 ];
 
 pub const SOFTWARE_WORDS: &[&str] = &[
-    "studio", "suite", "pro", "manager", "editor", "toolkit", "server", "desktop", "cloud",
-    "analytics", "security", "backup", "office", "photo", "video", "audio", "antivirus",
+    "studio",
+    "suite",
+    "pro",
+    "manager",
+    "editor",
+    "toolkit",
+    "server",
+    "desktop",
+    "cloud",
+    "analytics",
+    "security",
+    "backup",
+    "office",
+    "photo",
+    "video",
+    "audio",
+    "antivirus",
 ];
 
 pub const SOFTWARE_BRANDS: &[&str] = &[
-    "nexora", "bytecraft", "softlume", "coreline", "datavant", "appforge", "logicware",
-    "stackline", "gridsoft", "cypherix",
+    "nexora",
+    "bytecraft",
+    "softlume",
+    "coreline",
+    "datavant",
+    "appforge",
+    "logicware",
+    "stackline",
+    "gridsoft",
+    "cypherix",
 ];
 
 pub const GENRES: &[&str] = &[
-    "rock", "pop", "jazz", "classical", "hip hop", "electronic", "country", "blues", "folk",
-    "metal", "reggae", "soul", "indie", "ambient",
+    "rock",
+    "pop",
+    "jazz",
+    "classical",
+    "hip hop",
+    "electronic",
+    "country",
+    "blues",
+    "folk",
+    "metal",
+    "reggae",
+    "soul",
+    "indie",
+    "ambient",
 ];
 
 pub const MUSIC_WORDS: &[&str] = &[
-    "love", "night", "heart", "dream", "fire", "rain", "summer", "moon", "road", "river",
-    "light", "shadow", "dance", "home", "blue", "golden", "silver", "broken", "wild", "lost",
+    "love", "night", "heart", "dream", "fire", "rain", "summer", "moon", "road", "river", "light",
+    "shadow", "dance", "home", "blue", "golden", "silver", "broken", "wild", "lost",
 ];
 
 pub const RECORD_LABELS: &[&str] = &[
-    "parlophone", "capitol", "columbia", "atlantic", "interscope", "island", "virgin",
-    "domino", "subpop", "merge", "matador", "rough trade",
+    "parlophone",
+    "capitol",
+    "columbia",
+    "atlantic",
+    "interscope",
+    "island",
+    "virgin",
+    "domino",
+    "subpop",
+    "merge",
+    "matador",
+    "rough trade",
 ];
 
 pub const BEER_STYLES: &[&str] = &[
-    "ipa", "double ipa", "pale ale", "stout", "imperial stout", "porter", "pilsner", "lager",
-    "wheat ale", "saison", "amber ale", "sour ale", "brown ale", "barleywine",
+    "ipa",
+    "double ipa",
+    "pale ale",
+    "stout",
+    "imperial stout",
+    "porter",
+    "pilsner",
+    "lager",
+    "wheat ale",
+    "saison",
+    "amber ale",
+    "sour ale",
+    "brown ale",
+    "barleywine",
 ];
 
 pub const BREWERY_WORDS: &[&str] = &[
-    "brewing", "brewery", "brewhouse", "beer co", "ales", "craftworks", "fermentory",
+    "brewing",
+    "brewery",
+    "brewhouse",
+    "beer co",
+    "ales",
+    "craftworks",
+    "fermentory",
 ];
 
 pub const SECTORS: &[&str] = &[
-    "technology", "healthcare", "financials", "energy", "utilities", "materials",
-    "industrials", "consumer staples", "consumer discretionary", "real estate",
+    "technology",
+    "healthcare",
+    "financials",
+    "energy",
+    "utilities",
+    "materials",
+    "industrials",
+    "consumer staples",
+    "consumer discretionary",
+    "real estate",
     "communication services",
 ];
 
 pub const EXCHANGES: &[&str] = &["nyse", "nasdaq", "amex", "lse", "tsx"];
 
-pub const COMPANY_SUFFIXES: &[&str] =
-    &["inc", "corp", "ltd", "llc", "group", "holdings", "technologies", "industries"];
+pub const COMPANY_SUFFIXES: &[&str] = &[
+    "inc",
+    "corp",
+    "ltd",
+    "llc",
+    "group",
+    "holdings",
+    "technologies",
+    "industries",
+];
 
 pub const JOB_TITLES: &[&str] = &[
-    "account manager", "sales director", "software engineer", "data analyst",
-    "marketing lead", "operations manager", "product manager", "hr specialist",
-    "finance controller", "support engineer", "consultant", "vp engineering",
+    "account manager",
+    "sales director",
+    "software engineer",
+    "data analyst",
+    "marketing lead",
+    "operations manager",
+    "product manager",
+    "hr specialist",
+    "finance controller",
+    "support engineer",
+    "consultant",
+    "vp engineering",
 ];
 
 pub const DEPARTMENTS: &[&str] = &[
-    "sales", "engineering", "marketing", "operations", "finance", "hr", "support", "legal",
-    "product", "it",
+    "sales",
+    "engineering",
+    "marketing",
+    "operations",
+    "finance",
+    "hr",
+    "support",
+    "legal",
+    "product",
+    "it",
 ];
 
 pub const STATES: &[&str] = &[
@@ -143,17 +458,44 @@ pub const STATES: &[&str] = &[
 ];
 
 pub const DESCRIPTION_FILLER: &[&str] = &[
-    "premium", "quality", "new", "original", "best", "professional", "advanced", "classic",
-    "limited", "edition", "official", "genuine", "improved", "lightweight", "portable",
-    "durable", "easy", "to", "use", "for", "with", "and", "the", "a", "includes", "free",
-    "shipping", "warranty", "pack", "set", "series",
+    "premium",
+    "quality",
+    "new",
+    "original",
+    "best",
+    "professional",
+    "advanced",
+    "classic",
+    "limited",
+    "edition",
+    "official",
+    "genuine",
+    "improved",
+    "lightweight",
+    "portable",
+    "durable",
+    "easy",
+    "to",
+    "use",
+    "for",
+    "with",
+    "and",
+    "the",
+    "a",
+    "includes",
+    "free",
+    "shipping",
+    "warranty",
+    "pack",
+    "set",
+    "series",
 ];
 
 const SYLLABLES: &[&str] = &[
-    "ba", "be", "bo", "ca", "ce", "co", "da", "de", "do", "fa", "fe", "ga", "go", "ha", "he",
-    "ka", "ke", "ko", "la", "le", "lo", "ma", "me", "mo", "na", "ne", "no", "pa", "pe", "po",
-    "ra", "re", "ro", "sa", "se", "so", "ta", "te", "to", "va", "ve", "vo", "za", "zo", "mi",
-    "ni", "ri", "si", "ti", "vi",
+    "ba", "be", "bo", "ca", "ce", "co", "da", "de", "do", "fa", "fe", "ga", "go", "ha", "he", "ka",
+    "ke", "ko", "la", "le", "lo", "ma", "me", "mo", "na", "ne", "no", "pa", "pe", "po", "ra", "re",
+    "ro", "sa", "se", "so", "ta", "te", "to", "va", "ve", "vo", "za", "zo", "mi", "ni", "ri", "si",
+    "ti", "vi",
 ];
 
 /// Picks one element of a non-empty pool.

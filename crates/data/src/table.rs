@@ -12,7 +12,10 @@ pub struct Schema {
 impl Schema {
     /// Builds a schema.
     pub fn new(name: impl Into<String>, attributes: &[&str]) -> Self {
-        Self { name: name.into(), attributes: attributes.iter().map(|&s| s.into()).collect() }
+        Self {
+            name: name.into(),
+            attributes: attributes.iter().map(|&s| s.into()).collect(),
+        }
     }
 
     /// Number of attributes (the paper's "arity").
@@ -35,7 +38,10 @@ pub struct Table {
 impl Table {
     /// An empty table with the given schema.
     pub fn new(schema: Schema) -> Self {
-        Self { schema, rows: Vec::new() }
+        Self {
+            schema,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -88,13 +94,8 @@ impl Table {
     /// Truncates or pads (with empty-string columns) every row to `arity`
     /// attributes — the transfer-learning arity adapter of §VI-D.
     pub fn with_arity(&self, arity: usize) -> Table {
-        let mut attributes: Vec<String> = self
-            .schema
-            .attributes
-            .iter()
-            .take(arity)
-            .cloned()
-            .collect();
+        let mut attributes: Vec<String> =
+            self.schema.attributes.iter().take(arity).cloned().collect();
         while attributes.len() < arity {
             attributes.push(format!("pad_{}", attributes.len()));
         }

@@ -1,91 +1,111 @@
-//! Property-based tests of the benchmark generators: for any domain and
+//! Property-style tests of the benchmark generators: for any domain and
 //! seed, the generated dataset must satisfy the structural invariants the
 //! rest of the system assumes.
+//!
+//! Drives seeded random cases directly (the workspace has no external
+//! property-testing dependency); every assertion names the failing
+//! domain and seed so cases replay trivially.
 
-use proptest::prelude::*;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 use vaer_data::domains::{Domain, DomainSpec, Scale};
 
-fn domain_strategy() -> impl Strategy<Value = Domain> {
-    prop_oneof![
-        Just(Domain::Restaurants),
-        Just(Domain::Citations1),
-        Just(Domain::Citations2),
-        Just(Domain::Cosmetics),
-        Just(Domain::Software),
-        Just(Domain::Music),
-        Just(Domain::Beer),
-        Just(Domain::Stocks),
-        Just(Domain::Crm),
-    ]
-}
+const DOMAINS: [Domain; 9] = [
+    Domain::Restaurants,
+    Domain::Citations1,
+    Domain::Citations2,
+    Domain::Cosmetics,
+    Domain::Software,
+    Domain::Music,
+    Domain::Beer,
+    Domain::Stocks,
+    Domain::Crm,
+];
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    #[test]
-    fn generated_datasets_are_structurally_valid(
-        domain in domain_strategy(),
-        seed in 0u64..10_000,
-    ) {
+#[test]
+fn generated_datasets_are_structurally_valid() {
+    let mut rng = StdRng::seed_from_u64(0xDA7A);
+    for _case in 0..40 {
+        let domain = DOMAINS[rng.random_range(0..DOMAINS.len())];
+        let seed = rng.random_range(0..10_000u64);
         let ds = DomainSpec::new(domain, Scale::Tiny).generate(seed);
         let meta = domain.meta();
+        let ctx = format!("domain {domain:?} seed {seed}");
         // Schema shape.
-        prop_assert_eq!(ds.table_a.schema.arity(), meta.arity);
-        prop_assert_eq!(ds.table_b.schema.arity(), meta.arity);
-        prop_assert!(!ds.table_a.is_empty());
-        prop_assert!(!ds.table_b.is_empty());
+        assert_eq!(ds.table_a.schema.arity(), meta.arity, "{ctx}");
+        assert_eq!(ds.table_b.schema.arity(), meta.arity, "{ctx}");
+        assert!(!ds.table_a.is_empty(), "{ctx}");
+        assert!(!ds.table_b.is_empty(), "{ctx}");
         // Splits reference valid rows and carry both classes.
         ds.train_pairs.validate(&ds.table_a, &ds.table_b).unwrap();
         ds.test_pairs.validate(&ds.table_a, &ds.table_b).unwrap();
-        prop_assert!(ds.train_pairs.num_positive() > 0);
-        prop_assert!(ds.train_pairs.num_negative() > 0);
+        assert!(ds.train_pairs.num_positive() > 0, "{ctx}");
+        assert!(ds.train_pairs.num_negative() > 0, "{ctx}");
         // Ground truth is deduplicated and in range.
         let mut dups = ds.duplicates.clone();
         dups.sort_unstable();
         dups.dedup();
-        prop_assert_eq!(dups.len(), ds.duplicates.len());
+        assert_eq!(dups.len(), ds.duplicates.len(), "{ctx}");
         for &(a, b) in &ds.duplicates {
-            prop_assert!(a < ds.table_a.len());
-            prop_assert!(b < ds.table_b.len());
+            assert!(a < ds.table_a.len(), "{ctx}");
+            assert!(b < ds.table_b.len(), "{ctx}");
         }
         // Every labelled positive is in the ground truth; no labelled
         // negative is.
         let truth: std::collections::HashSet<(usize, usize)> =
             ds.duplicates.iter().copied().collect();
-        for p in ds.train_pairs.pairs.iter().chain(ds.test_pairs.pairs.iter()) {
-            prop_assert_eq!(
+        for p in ds
+            .train_pairs
+            .pairs
+            .iter()
+            .chain(ds.test_pairs.pairs.iter())
+        {
+            assert_eq!(
                 truth.contains(&(p.left, p.right)),
                 p.is_match,
-                "label disagrees with ground truth for ({}, {})",
+                "{ctx}: label disagrees with ground truth for ({}, {})",
                 p.left,
                 p.right
             );
         }
     }
+}
 
-    #[test]
-    fn generation_is_deterministic(domain in domain_strategy(), seed in 0u64..1000) {
+#[test]
+fn generation_is_deterministic() {
+    let mut rng = StdRng::seed_from_u64(0xDE7E);
+    for _case in 0..12 {
+        let domain = DOMAINS[rng.random_range(0..DOMAINS.len())];
+        let seed = rng.random_range(0..1000u64);
         let a = DomainSpec::new(domain, Scale::Tiny).generate(seed);
         let b = DomainSpec::new(domain, Scale::Tiny).generate(seed);
-        prop_assert_eq!(a.table_a, b.table_a);
-        prop_assert_eq!(a.table_b, b.table_b);
-        prop_assert_eq!(a.duplicates, b.duplicates);
-        prop_assert_eq!(a.train_pairs, b.train_pairs);
-        prop_assert_eq!(a.test_pairs, b.test_pairs);
+        assert_eq!(a.table_a, b.table_a, "domain {domain:?} seed {seed}");
+        assert_eq!(a.table_b, b.table_b, "domain {domain:?} seed {seed}");
+        assert_eq!(a.duplicates, b.duplicates, "domain {domain:?} seed {seed}");
+        assert_eq!(
+            a.train_pairs, b.train_pairs,
+            "domain {domain:?} seed {seed}"
+        );
+        assert_eq!(a.test_pairs, b.test_pairs, "domain {domain:?} seed {seed}");
     }
+}
 
-    #[test]
-    fn train_and_test_do_not_share_pairs(
-        domain in domain_strategy(),
-        seed in 0u64..1000,
-    ) {
+#[test]
+fn train_and_test_do_not_share_pairs() {
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    for _case in 0..20 {
+        let domain = DOMAINS[rng.random_range(0..DOMAINS.len())];
+        let seed = rng.random_range(0..1000u64);
         let ds = DomainSpec::new(domain, Scale::Tiny).generate(seed);
-        let train: std::collections::HashSet<(usize, usize)> =
-            ds.train_pairs.pairs.iter().map(|p| (p.left, p.right)).collect();
+        let train: std::collections::HashSet<(usize, usize)> = ds
+            .train_pairs
+            .pairs
+            .iter()
+            .map(|p| (p.left, p.right))
+            .collect();
         for p in &ds.test_pairs.pairs {
-            prop_assert!(
+            assert!(
                 !train.contains(&(p.left, p.right)),
-                "pair ({}, {}) appears in both splits",
+                "domain {domain:?} seed {seed}: pair ({}, {}) appears in both splits",
                 p.left,
                 p.right
             );

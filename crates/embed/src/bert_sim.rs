@@ -40,7 +40,13 @@ pub struct BertSimConfig {
 
 impl Default for BertSimConfig {
     fn default() -> Self {
-        Self { dims: 64, ngram: 3, attention_scale: 1.0, context_blend: 0.35, seed: 0xBE27 }
+        Self {
+            dims: 64,
+            ngram: 3,
+            attention_scale: 1.0,
+            context_blend: 0.35,
+            seed: 0xBE27,
+        }
     }
 }
 
@@ -60,7 +66,11 @@ impl BertSimModel {
         let scale = 1.0 / (config.dims as f32).sqrt();
         let wq = Matrix::gaussian(config.dims, config.dims, &mut rng).scale(scale);
         let wk = Matrix::gaussian(config.dims, config.dims, &mut rng).scale(scale);
-        Self { config: config.clone(), wq, wk }
+        Self {
+            config: config.clone(),
+            wq,
+            wk,
+        }
     }
 
     /// Deterministic vector for one token: mean of hashed trigram vectors.
@@ -86,9 +96,7 @@ impl BertSimModel {
 
     fn project(&self, v: &[f32], w: &Matrix) -> Vec<f32> {
         (0..w.cols())
-            .map(|j| {
-                v.iter().enumerate().map(|(i, &x)| x * w.get(i, j)).sum()
-            })
+            .map(|j| v.iter().enumerate().map(|(i, &x)| x * w.get(i, j)).sum())
             .collect()
     }
 }
@@ -156,7 +164,10 @@ mod tests {
     use vaer_linalg::vector::{cosine, norm};
 
     fn model() -> BertSimModel {
-        BertSimModel::new(&BertSimConfig { dims: 32, ..Default::default() })
+        BertSimModel::new(&BertSimConfig {
+            dims: 32,
+            ..Default::default()
+        })
     }
 
     #[test]
@@ -197,7 +208,10 @@ mod tests {
         let a = model();
         let b = model();
         // A sentence never "seen" before encodes identically in both.
-        assert_eq!(a.encode("totally novel gibberish xyzzy"), b.encode("totally novel gibberish xyzzy"));
+        assert_eq!(
+            a.encode("totally novel gibberish xyzzy"),
+            b.encode("totally novel gibberish xyzzy")
+        );
         assert!(norm(&a.encode("xyzzy")) > 0.0);
     }
 
@@ -217,8 +231,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = BertSimModel::new(&BertSimConfig { seed: 1, ..Default::default() });
-        let b = BertSimModel::new(&BertSimConfig { seed: 2, ..Default::default() });
+        let a = BertSimModel::new(&BertSimConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = BertSimModel::new(&BertSimConfig {
+            seed: 2,
+            ..Default::default()
+        });
         assert_ne!(a.encode("hello world"), b.encode("hello world"));
     }
 }

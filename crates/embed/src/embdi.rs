@@ -39,7 +39,14 @@ pub struct EmbDiConfig {
 
 impl Default for EmbDiConfig {
     fn default() -> Self {
-        Self { dims: 64, walks_per_node: 6, walk_length: 12, window: 3, epochs: 2, seed: 0xE3BD }
+        Self {
+            dims: 64,
+            walks_per_node: 6,
+            walk_length: 12,
+            window: 3,
+            epochs: 2,
+            seed: 0xE3BD,
+        }
     }
 }
 
@@ -102,7 +109,11 @@ impl EmbDiModel {
                 seed: config.seed ^ 0x1111,
             },
         );
-        Self { token_ids, embeddings, dims: config.dims }
+        Self {
+            token_ids,
+            embeddings,
+            dims: config.dims,
+        }
     }
 
     /// Number of distinct value tokens in the graph.
@@ -154,7 +165,14 @@ fn build_graph(tables: &[Vec<Vec<String>>]) -> (Graph, HashMap<String, u32>) {
         }
         let _ = t_idx;
     }
-    (Graph { token_adj, struct_adj, num_tokens }, token_ids)
+    (
+        Graph {
+            token_adj,
+            struct_adj,
+            num_tokens,
+        },
+        token_ids,
+    )
 }
 
 fn generate_walks(graph: &Graph, config: &EmbDiConfig) -> Vec<Vec<u32>> {
@@ -239,7 +257,12 @@ mod tests {
     fn shared_context_tokens_are_close() {
         let m = EmbDiModel::fit(
             &demo_tables(),
-            &EmbDiConfig { dims: 16, epochs: 3, seed: 7, ..Default::default() },
+            &EmbDiConfig {
+                dims: 16,
+                epochs: 3,
+                seed: 7,
+                ..Default::default()
+            },
         );
         let canonical = m.encode("coldplay");
         let variant = m.encode("coldpaly");
@@ -263,7 +286,13 @@ mod tests {
 
     #[test]
     fn empty_tables_do_not_panic() {
-        let m = EmbDiModel::fit(&[], &EmbDiConfig { dims: 8, ..Default::default() });
+        let m = EmbDiModel::fit(
+            &[],
+            &EmbDiConfig {
+                dims: 8,
+                ..Default::default()
+            },
+        );
         assert_eq!(m.encode("whatever"), vec![0.0; 8]);
         assert_eq!(m.num_tokens(), 0);
     }
@@ -272,14 +301,24 @@ mod tests {
     fn oov_encodes_to_zero() {
         let m = EmbDiModel::fit(
             &demo_tables(),
-            &EmbDiConfig { dims: 8, epochs: 1, seed: 1, ..Default::default() },
+            &EmbDiConfig {
+                dims: 8,
+                epochs: 1,
+                seed: 1,
+                ..Default::default()
+            },
         );
         assert_eq!(norm(&m.encode("unseen gibberish")), 0.0);
     }
 
     #[test]
     fn deterministic() {
-        let cfg = EmbDiConfig { dims: 8, epochs: 1, seed: 21, ..Default::default() };
+        let cfg = EmbDiConfig {
+            dims: 8,
+            epochs: 1,
+            seed: 21,
+            ..Default::default()
+        };
         let a = EmbDiModel::fit(&demo_tables(), &cfg);
         let b = EmbDiModel::fit(&demo_tables(), &cfg);
         assert_eq!(a.encode("coldplay"), b.encode("coldplay"));

@@ -66,7 +66,11 @@ impl GloVeModel {
         let corpus = Corpus::build(&raw, config.min_count);
         let v = corpus.vocab().len();
         if v == 0 {
-            return Self { corpus, vectors: Vec::new(), dims: config.dims };
+            return Self {
+                corpus,
+                vectors: Vec::new(),
+                dims: config.dims,
+            };
         }
         // Windowed co-occurrence with 1/offset weighting (GloVe §4.2).
         let mut cooc: HashMap<(u32, u32), f32> = HashMap::new();
@@ -88,7 +92,11 @@ impl GloVeModel {
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         let mut init = |n: usize| -> Vec<Vec<f32>> {
             (0..n)
-                .map(|_| (0..dims).map(|_| rng.random_range(-0.5f32..0.5) / dims as f32).collect())
+                .map(|_| {
+                    (0..dims)
+                        .map(|_| rng.random_range(-0.5f32..0.5) / dims as f32)
+                        .collect()
+                })
                 .collect()
         };
         let mut w = init(v);
@@ -110,8 +118,7 @@ impl GloVeModel {
             for &((i, j), x) in &cells {
                 let (i, j) = (i as usize, j as usize);
                 let weight = (x / config.x_max).powf(0.75).min(1.0);
-                let dot: f32 =
-                    w[i].iter().zip(w_ctx[j].iter()).map(|(&a, &c)| a * c).sum();
+                let dot: f32 = w[i].iter().zip(w_ctx[j].iter()).map(|(&a, &c)| a * c).sum();
                 let diff = dot + b[i] + b_ctx[j] - x.ln();
                 let grad_coeff = (weight * diff).clamp(-10.0, 10.0);
                 for d in 0..dims {
@@ -134,7 +141,11 @@ impl GloVeModel {
             .zip(w_ctx)
             .map(|(a, c)| a.iter().zip(c.iter()).map(|(&x, &y)| x + y).collect())
             .collect();
-        Self { corpus, vectors, dims }
+        Self {
+            corpus,
+            vectors,
+            dims,
+        }
     }
 
     /// Number of embedded tokens.
@@ -190,7 +201,13 @@ mod tests {
 
     #[test]
     fn cooccurring_words_cluster() {
-        let m = GloVeModel::fit(&demo_corpus(), &GloVeConfig { dims: 16, ..Default::default() });
+        let m = GloVeModel::fit(
+            &demo_corpus(),
+            &GloVeConfig {
+                dims: 16,
+                ..Default::default()
+            },
+        );
         let coffee = m.encode("coffee");
         let tea = m.encode("tea");
         let car = m.encode("car");
@@ -204,7 +221,14 @@ mod tests {
 
     #[test]
     fn encodings_unit_norm_or_zero() {
-        let m = GloVeModel::fit(&demo_corpus(), &GloVeConfig { dims: 8, epochs: 2, ..Default::default() });
+        let m = GloVeModel::fit(
+            &demo_corpus(),
+            &GloVeConfig {
+                dims: 8,
+                epochs: 2,
+                ..Default::default()
+            },
+        );
         assert!((norm(&m.encode("hot drink")) - 1.0).abs() < 1e-4);
         assert_eq!(norm(&m.encode("zzz unseen")), 0.0);
     }
@@ -218,7 +242,12 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let cfg = GloVeConfig { dims: 8, epochs: 2, seed: 5, ..Default::default() };
+        let cfg = GloVeConfig {
+            dims: 8,
+            epochs: 2,
+            seed: 5,
+            ..Default::default()
+        };
         let a = GloVeModel::fit(&demo_corpus(), &cfg);
         let b = GloVeModel::fit(&demo_corpus(), &cfg);
         assert_eq!(a.encode("coffee"), b.encode("coffee"));

@@ -75,8 +75,13 @@ impl IrKind {
     pub const ALL: [IrKind; 4] = [IrKind::Lsa, IrKind::W2v, IrKind::Bert, IrKind::EmbDi];
 
     /// All implemented kinds, including the GloVe extra.
-    pub const ALL_EXTENDED: [IrKind; 5] =
-        [IrKind::Lsa, IrKind::W2v, IrKind::Bert, IrKind::EmbDi, IrKind::GloVe];
+    pub const ALL_EXTENDED: [IrKind; 5] = [
+        IrKind::Lsa,
+        IrKind::W2v,
+        IrKind::Bert,
+        IrKind::EmbDi,
+        IrKind::GloVe,
+    ];
 
     /// Paper-style display name.
     pub fn name(self) -> &'static str {
@@ -111,18 +116,35 @@ pub fn fit_ir_model(
 ) -> Box<dyn IrModel> {
     match kind {
         IrKind::Lsa => Box::new(LsaModel::fit(sentences, &LsaConfig { dims, seed })),
-        IrKind::W2v => {
-            Box::new(W2vModel::fit(sentences, &W2vConfig { dims, seed, ..Default::default() }))
-        }
-        IrKind::Bert => {
-            Box::new(BertSimModel::new(&BertSimConfig { dims, seed, ..Default::default() }))
-        }
-        IrKind::EmbDi => {
-            Box::new(EmbDiModel::fit(tables, &EmbDiConfig { dims, seed, ..Default::default() }))
-        }
-        IrKind::GloVe => {
-            Box::new(GloVeModel::fit(sentences, &GloVeConfig { dims, seed, ..Default::default() }))
-        }
+        IrKind::W2v => Box::new(W2vModel::fit(
+            sentences,
+            &W2vConfig {
+                dims,
+                seed,
+                ..Default::default()
+            },
+        )),
+        IrKind::Bert => Box::new(BertSimModel::new(&BertSimConfig {
+            dims,
+            seed,
+            ..Default::default()
+        })),
+        IrKind::EmbDi => Box::new(EmbDiModel::fit(
+            tables,
+            &EmbDiConfig {
+                dims,
+                seed,
+                ..Default::default()
+            },
+        )),
+        IrKind::GloVe => Box::new(GloVeModel::fit(
+            sentences,
+            &GloVeConfig {
+                dims,
+                seed,
+                ..Default::default()
+            },
+        )),
     }
 }
 
@@ -132,7 +154,10 @@ mod tests {
 
     #[test]
     fn kind_names_and_order() {
-        assert_eq!(IrKind::ALL.map(|k| k.name()), ["LSA", "W2V", "BERT", "EmbDI"]);
+        assert_eq!(
+            IrKind::ALL.map(|k| k.name()),
+            ["LSA", "W2V", "BERT", "EmbDI"]
+        );
         assert_eq!(IrKind::Lsa.to_string(), "LSA");
     }
 

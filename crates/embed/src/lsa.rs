@@ -21,7 +21,10 @@ pub struct LsaConfig {
 
 impl Default for LsaConfig {
     fn default() -> Self {
-        Self { dims: 64, seed: 0x15A }
+        Self {
+            dims: 64,
+            seed: 0x15A,
+        }
     }
 }
 
@@ -52,7 +55,12 @@ impl LsaModel {
         } else {
             sparse_right_singular_projection(&x, k, config.dims, config.seed)
         };
-        Self { corpus, tfidf: tfidf_model, projection, dims: config.dims }
+        Self {
+            corpus,
+            tfidf: tfidf_model,
+            projection,
+            dims: config.dims,
+        }
     }
 }
 
@@ -143,7 +151,12 @@ mod tests {
         let a = m.encode("italian pasta restaurant downtown");
         let b = m.encode("italian pizza restaurant downtown");
         let c = m.encode("car repair garage service");
-        assert!(cosine(&a, &b) > cosine(&a, &c) + 0.1, "{} vs {}", cosine(&a, &b), cosine(&a, &c));
+        assert!(
+            cosine(&a, &b) > cosine(&a, &c) + 0.1,
+            "{} vs {}",
+            cosine(&a, &b),
+            cosine(&a, &c)
+        );
     }
 
     #[test]

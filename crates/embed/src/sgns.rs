@@ -25,7 +25,14 @@ pub struct SgnsConfig {
 
 impl Default for SgnsConfig {
     fn default() -> Self {
-        Self { dims: 64, window: 3, negatives: 5, epochs: 3, learning_rate: 0.05, seed: 0x5916 }
+        Self {
+            dims: 64,
+            window: 3,
+            negatives: 5,
+            epochs: 3,
+            learning_rate: 0.05,
+            seed: 0x5916,
+        }
     }
 }
 
@@ -50,7 +57,11 @@ impl SgnsEmbeddings {
         counts: &[u64],
         config: &SgnsConfig,
     ) -> Self {
-        assert_eq!(counts.len(), vocab_size, "counts length must equal vocab size");
+        assert_eq!(
+            counts.len(),
+            vocab_size,
+            "counts length must equal vocab size"
+        );
         for seq in sequences {
             for &t in seq {
                 assert!((t as usize) < vocab_size, "token id {t} out of range");
@@ -61,13 +72,18 @@ impl SgnsEmbeddings {
         // Input vectors small-random, output vectors zero (word2vec default).
         let mut w_in: Vec<Vec<f32>> = (0..vocab_size)
             .map(|_| {
-                (0..dims).map(|_| (rng.random_range(0.0f32..1.0) - 0.5) / dims as f32).collect()
+                (0..dims)
+                    .map(|_| (rng.random_range(0.0f32..1.0) - 0.5) / dims as f32)
+                    .collect()
             })
             .collect();
         let mut w_out: Vec<Vec<f32>> = vec![vec![0.0; dims]; vocab_size];
         let neg_table = build_negative_table(counts);
         if neg_table.is_empty() {
-            return Self { vectors: w_in, dims };
+            return Self {
+                vectors: w_in,
+                dims,
+            };
         }
         let total_steps = (config.epochs * sequences.iter().map(Vec::len).sum::<usize>()).max(1);
         let mut step = 0usize;
@@ -118,7 +134,10 @@ impl SgnsEmbeddings {
                 }
             }
         }
-        Self { vectors: w_in, dims }
+        Self {
+            vectors: w_in,
+            dims,
+        }
     }
 
     /// Embedding dimensionality.
@@ -209,7 +228,13 @@ mod tests {
         // Topic A: ids 0..4, topic B: ids 4..8.
         for i in 0..60 {
             let base = if i % 2 == 0 { 0u32 } else { 4u32 };
-            seqs.push(vec![base, base + 1, base + 2, base + 3, base + (i as u32 % 4)]);
+            seqs.push(vec![
+                base,
+                base + 1,
+                base + 2,
+                base + 3,
+                base + (i as u32 % 4),
+            ]);
         }
         let mut counts = vec![0u64; 8];
         for s in &seqs {
@@ -227,7 +252,12 @@ mod tests {
             &seqs,
             8,
             &counts,
-            &SgnsConfig { dims: 16, epochs: 8, seed: 3, ..Default::default() },
+            &SgnsConfig {
+                dims: 16,
+                epochs: 8,
+                seed: 3,
+                ..Default::default()
+            },
         );
         let within = cosine(emb.vector(0), emb.vector(1));
         let across = cosine(emb.vector(0), emb.vector(5));
@@ -237,7 +267,12 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let (seqs, counts) = topic_sequences();
-        let cfg = SgnsConfig { dims: 8, epochs: 2, seed: 11, ..Default::default() };
+        let cfg = SgnsConfig {
+            dims: 8,
+            epochs: 2,
+            seed: 11,
+            ..Default::default()
+        };
         let a = SgnsEmbeddings::train(&seqs, 8, &counts, &cfg);
         let b = SgnsEmbeddings::train(&seqs, 8, &counts, &cfg);
         assert_eq!(a.vector(3), b.vector(3));
@@ -250,7 +285,12 @@ mod tests {
             &seqs,
             8,
             &counts,
-            &SgnsConfig { dims: 8, epochs: 1, seed: 1, ..Default::default() },
+            &SgnsConfig {
+                dims: 8,
+                epochs: 1,
+                seed: 1,
+                ..Default::default()
+            },
         );
         let m = emb.mean_vector(&[0, 1, 2]);
         assert!((vaer_linalg::vector::norm(&m) - 1.0).abs() < 1e-4);

@@ -96,10 +96,7 @@ mod tests {
     use vaer_linalg::XorShiftRng;
 
     fn sample() -> SparseMatrix {
-        SparseMatrix::from_rows(
-            vec![vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)], vec![]],
-            3,
-        )
+        SparseMatrix::from_rows(vec![vec![(0, 1.0), (2, 2.0)], vec![(1, 3.0)], vec![]], 3)
     }
 
     #[test]

@@ -28,7 +28,14 @@ pub struct W2vConfig {
 
 impl Default for W2vConfig {
     fn default() -> Self {
-        Self { dims: 64, window: 3, negatives: 5, epochs: 3, min_count: 1, seed: 0x32F }
+        Self {
+            dims: 64,
+            window: 3,
+            negatives: 5,
+            epochs: 3,
+            min_count: 1,
+            seed: 0x32F,
+        }
     }
 }
 
@@ -44,8 +51,9 @@ impl W2vModel {
     pub fn fit<S: AsRef<str>>(sentences: &[S], config: &W2vConfig) -> Self {
         let raw: Vec<&str> = sentences.iter().map(AsRef::as_ref).collect();
         let corpus = Corpus::build(&raw, config.min_count);
-        let counts: Vec<u64> =
-            (0..corpus.vocab().len()).map(|i| corpus.vocab().count(i as u32)).collect();
+        let counts: Vec<u64> = (0..corpus.vocab().len())
+            .map(|i| corpus.vocab().count(i as u32))
+            .collect();
         let embeddings = SgnsEmbeddings::train(
             corpus.sentences(),
             corpus.vocab().len(),
@@ -59,7 +67,11 @@ impl W2vModel {
                 seed: config.seed,
             },
         );
-        Self { corpus, embeddings, dims: config.dims }
+        Self {
+            corpus,
+            embeddings,
+            dims: config.dims,
+        }
     }
 
     /// The trained token embeddings.
@@ -102,7 +114,15 @@ mod tests {
             sentences.push("fast car engine repair".to_string());
             sentences.push("quick car brake repair".to_string());
         }
-        W2vModel::fit(&sentences, &W2vConfig { dims: 16, epochs: 4, seed: 5, ..Default::default() })
+        W2vModel::fit(
+            &sentences,
+            &W2vConfig {
+                dims: 16,
+                epochs: 4,
+                seed: 5,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -111,7 +131,12 @@ mod tests {
         let a = m.encode("italian pizza restaurant");
         let b = m.encode("italian pasta restaurant");
         let c = m.encode("car engine repair");
-        assert!(cosine(&a, &b) > cosine(&a, &c), "{} vs {}", cosine(&a, &b), cosine(&a, &c));
+        assert!(
+            cosine(&a, &b) > cosine(&a, &c),
+            "{} vs {}",
+            cosine(&a, &b),
+            cosine(&a, &c)
+        );
     }
 
     #[test]
@@ -130,8 +155,15 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let s: Vec<String> = (0..20).map(|i| format!("token{} shared common", i % 5)).collect();
-        let cfg = W2vConfig { dims: 8, epochs: 2, seed: 13, ..Default::default() };
+        let s: Vec<String> = (0..20)
+            .map(|i| format!("token{} shared common", i % 5))
+            .collect();
+        let cfg = W2vConfig {
+            dims: 8,
+            epochs: 2,
+            seed: 13,
+            ..Default::default()
+        };
         let a = W2vModel::fit(&s, &cfg);
         let b = W2vModel::fit(&s, &cfg);
         assert_eq!(a.encode("shared common"), b.encode("shared common"));

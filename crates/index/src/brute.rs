@@ -22,7 +22,12 @@ impl BruteForceKnn {
     pub fn build(points: Vec<Vec<f32>>) -> Self {
         let dims = points.first().map_or(0, Vec::len);
         for (i, p) in points.iter().enumerate() {
-            assert_eq!(p.len(), dims, "point {i} has {} dims, expected {dims}", p.len());
+            assert_eq!(
+                p.len(),
+                dims,
+                "point {i} has {} dims, expected {dims}",
+                p.len()
+            );
         }
         Self { points, dims }
     }
@@ -44,14 +49,27 @@ impl KnnIndex for BruteForceKnn {
     }
 
     fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
-        assert_eq!(query.len(), self.dims, "query dims {} != index dims {}", query.len(), self.dims);
+        assert_eq!(
+            query.len(),
+            self.dims,
+            "query dims {} != index dims {}",
+            query.len(),
+            self.dims
+        );
         let mut all: Vec<Neighbor> = self
             .points
             .iter()
             .enumerate()
-            .map(|(i, p)| Neighbor { index: i, distance: sq_dist(query, p).sqrt() })
+            .map(|(i, p)| Neighbor {
+                index: i,
+                distance: sq_dist(query, p).sqrt(),
+            })
             .collect();
-        all.sort_by(|a, b| a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal));
+        all.sort_by(|a, b| {
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         all.truncate(k);
         all
     }
@@ -59,7 +77,10 @@ impl KnnIndex for BruteForceKnn {
 
 #[inline]
 pub(crate) fn sq_dist(a: &[f32], b: &[f32]) -> f32 {
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
 }
 
 #[cfg(test)]

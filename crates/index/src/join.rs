@@ -27,15 +27,15 @@ pub struct CandidatePair {
 /// Joins every query vector against an index, keeping the top-`k`
 /// neighbours of each. This is the blocking step of §VI-B: pairs that
 /// never meet in a top-K list are never compared by the matcher.
-pub fn knn_join(
-    queries: &[Vec<f32>],
-    index: &dyn KnnIndex,
-    k: usize,
-) -> Vec<CandidatePair> {
+pub fn knn_join(queries: &[Vec<f32>], index: &dyn KnnIndex, k: usize) -> Vec<CandidatePair> {
     let mut out = Vec::with_capacity(queries.len() * k);
     for (qi, q) in queries.iter().enumerate() {
         for n in index.knn(q, k) {
-            out.push(CandidatePair { left: qi, right: n.index, distance: n.distance });
+            out.push(CandidatePair {
+                left: qi,
+                right: n.index,
+                distance: n.distance,
+            });
         }
     }
     out
@@ -52,8 +52,16 @@ pub fn self_knn_join(index: &dyn KnnIndex, points: &[Vec<f32>], k: usize) -> Vec
             if n.index == qi {
                 continue;
             }
-            let (a, b) = if qi < n.index { (qi, n.index) } else { (n.index, qi) };
-            out.push(CandidatePair { left: a, right: b, distance: n.distance });
+            let (a, b) = if qi < n.index {
+                (qi, n.index)
+            } else {
+                (n.index, qi)
+            };
+            out.push(CandidatePair {
+                left: a,
+                right: b,
+                distance: n.distance,
+            });
         }
     }
     out.sort_by_key(|p| (p.left, p.right));

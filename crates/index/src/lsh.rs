@@ -34,7 +34,13 @@ pub struct E2LshConfig {
 
 impl Default for E2LshConfig {
     fn default() -> Self {
-        Self { num_tables: 8, hashes_per_table: 4, bucket_width: 1.0, multiprobe: 1, seed: 0x5A5A }
+        Self {
+            num_tables: 8,
+            hashes_per_table: 4,
+            bucket_width: 1.0,
+            multiprobe: 1,
+            seed: 0x5A5A,
+        }
     }
 }
 
@@ -42,7 +48,10 @@ impl E2LshConfig {
     /// A configuration whose bucket width is calibrated from a data sample:
     /// the mean distance between a few hundred random point pairs.
     pub fn calibrated(points: &[Vec<f32>], seed: u64) -> Self {
-        let mut cfg = Self { seed, ..Self::default() };
+        let mut cfg = Self {
+            seed,
+            ..Self::default()
+        };
         let n = points.len();
         if n >= 2 {
             let mut rng = rand::rngs::StdRng::seed_from_u64(seed ^ 0xC0FFEE);
@@ -108,7 +117,12 @@ impl E2Lsh {
         assert!(config.num_tables > 0 && config.hashes_per_table > 0);
         let dims = points.first().map_or(0, Vec::len);
         for (i, p) in points.iter().enumerate() {
-            assert_eq!(p.len(), dims, "point {i} has {} dims, expected {dims}", p.len());
+            assert_eq!(
+                p.len(),
+                dims,
+                "point {i} has {} dims, expected {dims}",
+                p.len()
+            );
         }
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         let mut tables = Vec::with_capacity(config.num_tables);
@@ -119,14 +133,23 @@ impl E2Lsh {
             let offsets = (0..config.hashes_per_table)
                 .map(|_| rng.random_range(0.0..config.bucket_width))
                 .collect();
-            let mut table = HashTable { projections, offsets, buckets: HashMap::new() };
+            let mut table = HashTable {
+                projections,
+                offsets,
+                buckets: HashMap::new(),
+            };
             for (i, p) in points.iter().enumerate() {
                 let key = table.key(p, config.bucket_width);
                 table.buckets.entry(key).or_default().push(i as u32);
             }
             tables.push(table);
         }
-        Self { config, tables, points, dims }
+        Self {
+            config,
+            tables,
+            points,
+            dims,
+        }
     }
 
     /// Builds with a data-calibrated bucket width.
@@ -202,10 +225,15 @@ impl KnnIndex for E2Lsh {
         }
         let mut scored: Vec<Neighbor> = cand
             .into_iter()
-            .map(|i| Neighbor { index: i, distance: sq_dist(query, &self.points[i]).sqrt() })
+            .map(|i| Neighbor {
+                index: i,
+                distance: sq_dist(query, &self.points[i]).sqrt(),
+            })
             .collect();
         scored.sort_by(|a, b| {
-            a.distance.partial_cmp(&b.distance).unwrap_or(std::cmp::Ordering::Equal)
+            a.distance
+                .partial_cmp(&b.distance)
+                .unwrap_or(std::cmp::Ordering::Equal)
         });
         scored.truncate(k);
         scored
@@ -231,7 +259,10 @@ mod tests {
             let center: Vec<f32> = (0..8).map(|d| (c * 7 + d) as f32).collect();
             for _ in 0..per_cluster {
                 points.push(
-                    center.iter().map(|&x| x + rng.random_range(-0.05..0.05)).collect(),
+                    center
+                        .iter()
+                        .map(|&x| x + rng.random_range(-0.05f32..0.05))
+                        .collect(),
                 );
             }
         }
@@ -305,7 +336,13 @@ mod tests {
             seed: 77,
         };
         let without = E2Lsh::build(points.clone(), base.clone());
-        let with = E2Lsh::build(points.clone(), E2LshConfig { multiprobe: 1, ..base });
+        let with = E2Lsh::build(
+            points.clone(),
+            E2LshConfig {
+                multiprobe: 1,
+                ..base
+            },
+        );
         let mut total_without = 0;
         let mut total_with = 0;
         for q in points.iter().step_by(5) {
@@ -328,6 +365,12 @@ mod tests {
     #[test]
     #[should_panic]
     fn zero_bucket_width_panics() {
-        E2Lsh::build(vec![vec![1.0]], E2LshConfig { bucket_width: 0.0, ..Default::default() });
+        E2Lsh::build(
+            vec![vec![1.0]],
+            E2LshConfig {
+                bucket_width: 0.0,
+                ..Default::default()
+            },
+        );
     }
 }

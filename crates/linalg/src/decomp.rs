@@ -122,8 +122,7 @@ pub fn jacobi_eigh(a: &Matrix) -> Result<EighResult, LinalgError> {
             }
         }
         if off.sqrt() <= tol {
-            let mut pairs: Vec<(f32, usize)> =
-                (0..n).map(|i| (s.get(i, i), i)).collect();
+            let mut pairs: Vec<(f32, usize)> = (0..n).map(|i| (s.get(i, i), i)).collect();
             pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
             let eigenvalues: Vec<f32> = pairs.iter().map(|&(l, _)| l).collect();
             let mut eigenvectors = Matrix::zeros(n, n);
@@ -132,7 +131,10 @@ pub fn jacobi_eigh(a: &Matrix) -> Result<EighResult, LinalgError> {
                     eigenvectors.set(i, new_col, v.get(i, old_col));
                 }
             }
-            return Ok(EighResult { eigenvalues, eigenvectors });
+            return Ok(EighResult {
+                eigenvalues,
+                eigenvectors,
+            });
         }
         for p in 0..n {
             for q in (p + 1)..n {
@@ -173,7 +175,10 @@ pub fn jacobi_eigh(a: &Matrix) -> Result<EighResult, LinalgError> {
             }
         }
     }
-    Err(LinalgError::NoConvergence { routine: "jacobi_eigh", iterations: max_sweeps })
+    Err(LinalgError::NoConvergence {
+        routine: "jacobi_eigh",
+        iterations: max_sweeps,
+    })
 }
 
 /// Randomized truncated SVD: `A ≈ U diag(σ) Vᵀ` with `k` components.
@@ -222,7 +227,7 @@ pub fn randomized_svd(
         let sigma = lambda.sqrt();
         singular_values.push(sigma);
         let w_col = eig.eigenvectors.col(comp); // length `sketch`
-        // U[:, comp] = Q w
+                                                // U[:, comp] = Q w
         for i in 0..m {
             u.set(i, comp, crate::vector::dot(q.row(i), &w_col));
         }
@@ -238,7 +243,11 @@ pub fn randomized_svd(
             }
         }
     }
-    Ok(SvdResult { u, singular_values, vt })
+    Ok(SvdResult {
+        u,
+        singular_values,
+        vt,
+    })
 }
 
 #[cfg(test)]
@@ -271,7 +280,11 @@ mod tests {
         let QrResult { q, r } = qr_thin(&a);
         assert_orthonormal_cols(&q, 1e-4);
         let recon = q.matmul(&r);
-        assert!(recon.max_abs_diff(&a) < 1e-4, "diff {}", recon.max_abs_diff(&a));
+        assert!(
+            recon.max_abs_diff(&a) < 1e-4,
+            "diff {}",
+            recon.max_abs_diff(&a)
+        );
     }
 
     #[test]
@@ -326,7 +339,10 @@ mod tests {
     #[test]
     fn jacobi_rejects_non_square() {
         let a = Matrix::zeros(2, 3);
-        assert!(matches!(jacobi_eigh(&a), Err(LinalgError::ShapeMismatch { .. })));
+        assert!(matches!(
+            jacobi_eigh(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -342,7 +358,11 @@ mod tests {
             let s = svd.singular_values[c];
             for i in 0..20 {
                 for j in 0..15 {
-                    recon.set(i, j, recon.get(i, j) + s * svd.u.get(i, c) * svd.vt.get(c, j));
+                    recon.set(
+                        i,
+                        j,
+                        recon.get(i, j) + s * svd.u.get(i, c) * svd.vt.get(c, j),
+                    );
                 }
             }
         }
@@ -356,7 +376,11 @@ mod tests {
         let a = Matrix::gaussian(30, 12, &mut rng);
         let svd = randomized_svd(&a, 6, 4, 2, 3).unwrap();
         for w in svd.singular_values.windows(2) {
-            assert!(w[0] >= w[1] - 1e-4, "not descending: {:?}", svd.singular_values);
+            assert!(
+                w[0] >= w[1] - 1e-4,
+                "not descending: {:?}",
+                svd.singular_values
+            );
         }
         assert_eq!(svd.u.shape(), (30, 6));
         assert_eq!(svd.vt.shape(), (6, 12));

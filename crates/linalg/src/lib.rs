@@ -26,6 +26,7 @@ mod decomp;
 mod matrix;
 mod ops;
 mod rng;
+pub mod runtime;
 pub mod vector;
 
 pub use decomp::{jacobi_eigh, qr_thin, randomized_svd, EighResult, QrResult, SvdResult};
@@ -59,8 +60,14 @@ impl std::fmt::Display for LinalgError {
             LinalgError::ShapeMismatch { expected, found } => {
                 write!(f, "shape mismatch: expected {expected}, found {found}")
             }
-            LinalgError::NoConvergence { routine, iterations } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+            LinalgError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
             LinalgError::EmptyInput(what) => write!(f, "empty input: {what}"),
         }
@@ -75,9 +82,15 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = LinalgError::ShapeMismatch { expected: "2x2".into(), found: "3x1".into() };
+        let e = LinalgError::ShapeMismatch {
+            expected: "2x2".into(),
+            found: "3x1".into(),
+        };
         assert!(e.to_string().contains("2x2"));
-        let e = LinalgError::NoConvergence { routine: "jacobi", iterations: 5 };
+        let e = LinalgError::NoConvergence {
+            routine: "jacobi",
+            iterations: 5,
+        };
         assert!(e.to_string().contains("jacobi"));
         let e = LinalgError::EmptyInput("matrix");
         assert!(e.to_string().contains("matrix"));

@@ -17,12 +17,20 @@ pub struct Matrix {
 impl Matrix {
     /// A `rows x cols` matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// A `rows x cols` matrix filled with `value`.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// The `n x n` identity matrix.
@@ -45,10 +53,19 @@ impl Matrix {
         let cols = rows[0].len();
         let mut data = Vec::with_capacity(rows.len() * cols);
         for (i, r) in rows.iter().enumerate() {
-            assert_eq!(r.len(), cols, "row {i} has length {} but expected {cols}", r.len());
+            assert_eq!(
+                r.len(),
+                cols,
+                "row {i} has length {} but expected {cols}",
+                r.len()
+            );
             data.extend_from_slice(r);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -145,8 +162,14 @@ impl Matrix {
 
     /// Copies column `j` into a new vector.
     pub fn col(&self, j: usize) -> Vec<f32> {
-        assert!(j < self.cols, "column {j} out of bounds for {} columns", self.cols);
-        (0..self.rows).map(|i| self.data[i * self.cols + j]).collect()
+        assert!(
+            j < self.cols,
+            "column {j} out of bounds for {} columns",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|i| self.data[i * self.cols + j])
+            .collect()
     }
 
     /// Returns a new matrix that is the transpose of `self`.
@@ -163,7 +186,10 @@ impl Matrix {
 
     /// Extracts rows `[start, end)` into a new matrix.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
-        assert!(start <= end && end <= self.rows, "row slice {start}..{end} out of bounds");
+        assert!(
+            start <= end && end <= self.rows,
+            "row slice {start}..{end} out of bounds"
+        );
         Matrix {
             rows: end - start,
             cols: self.cols,
@@ -203,11 +229,18 @@ impl Matrix {
 
     /// Vertically concatenates `self` and `other` (same column count).
     pub fn vconcat(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "vconcat requires equal column counts");
+        assert_eq!(
+            self.cols, other.cols,
+            "vconcat requires equal column counts"
+        );
         let mut data = Vec::with_capacity((self.rows + other.rows) * self.cols);
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 }
 

@@ -1,6 +1,73 @@
 //! Arithmetic kernels on [`Matrix`].
+//!
+//! The three matrix products are data-parallel above
+//! [`PAR_FLOP_CUTOFF`]: output rows are split into contiguous shards
+//! (see [`crate::runtime`]) and each worker writes its disjoint row
+//! block. Every kernel accumulates each output element in the same
+//! order as the serial loop, so parallel results are **bit-identical**
+//! to serial at any thread count.
 
 use crate::matrix::Matrix;
+use crate::runtime;
+
+/// Multiply-add count below which a matrix product stays serial: shard
+/// setup costs more than it saves on tiny products.
+pub const PAR_FLOP_CUTOFF: usize = 1 << 17;
+
+/// Minimum output rows per shard for parallel products.
+const MIN_ROWS_PER_SHARD: usize = 8;
+
+/// `ikj` matmul kernel over output rows `rows`, writing into the
+/// disjoint row block `out` (length `rows.len() * other.cols()`).
+fn matmul_rows(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
+    let k = a.cols();
+    let n = b.cols();
+    for (local, i) in rows.enumerate() {
+        let a_row = a.row(i);
+        let out_row = &mut out[local * n..(local + 1) * n];
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            if a_ip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (o, &v) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_ip * v;
+            }
+        }
+    }
+}
+
+/// `selfᵀ * other` kernel over output rows `rows` (columns `i` of
+/// `a`); accumulation runs over `p` ascending, like the serial kernel.
+fn t_matmul_rows(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
+    let r = a.rows();
+    let n = b.cols();
+    for (local, i) in rows.enumerate() {
+        let out_row = &mut out[local * n..(local + 1) * n];
+        for p in 0..r {
+            let a_pi = a.row(p)[i];
+            if a_pi == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (o, &v) in out_row.iter_mut().zip(b_row.iter()) {
+                *o += a_pi * v;
+            }
+        }
+    }
+}
+
+/// `self * otherᵀ` kernel over output rows `rows`.
+fn matmul_t_rows(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
+    let n = b.rows();
+    for (local, i) in rows.enumerate() {
+        let a_row = a.row(i);
+        let out_row = &mut out[local * n..(local + 1) * n];
+        for (j, o) in out_row.iter_mut().enumerate().take(n) {
+            *o = crate::vector::dot(a_row, b.row(j));
+        }
+    }
+}
 
 impl Matrix {
     /// Matrix product `self * other`.
@@ -8,6 +75,8 @@ impl Matrix {
     /// Uses `ikj` loop order: the innermost loop walks contiguous rows of
     /// both the output and `other`, which is the cache-friendly layout for
     /// row-major storage and lets LLVM vectorise the fused multiply-add.
+    /// Large products shard output rows across the worker pool;
+    /// results are bit-identical to the serial path.
     ///
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
@@ -22,19 +91,14 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = other.cols();
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-                if a_ip == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(p);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a_ip * b;
-                }
-            }
-        }
+        let min_rows = if m * k * n >= PAR_FLOP_CUTOFF {
+            MIN_ROWS_PER_SHARD
+        } else {
+            m.max(1)
+        };
+        runtime::for_each_row_shard_mut(out.as_mut_slice(), m, n, min_rows, |rows, chunk| {
+            matmul_rows(self, other, rows, chunk);
+        });
         out
     }
 
@@ -50,6 +114,18 @@ impl Matrix {
         let (r, m) = self.shape();
         let n = other.cols();
         let mut out = Matrix::zeros(m, n);
+        if m * r * n >= PAR_FLOP_CUTOFF && runtime::shard_count(m, MIN_ROWS_PER_SHARD) > 1 {
+            runtime::for_each_row_shard_mut(
+                out.as_mut_slice(),
+                m,
+                n,
+                MIN_ROWS_PER_SHARD,
+                |rows, chunk| t_matmul_rows(self, other, rows, chunk),
+            );
+            return out;
+        }
+        // Serial path keeps `p` outer so both `self` and `other` rows are
+        // walked contiguously.
         for p in 0..r {
             let a_row = self.row(p);
             let b_row = other.row(p);
@@ -75,16 +151,17 @@ impl Matrix {
             self.shape(),
             other.shape()
         );
-        let m = self.rows();
+        let (m, k) = self.shape();
         let n = other.rows();
         let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            let out_row = out.row_mut(i);
-            for (j, o) in out_row.iter_mut().enumerate().take(n) {
-                *o = crate::vector::dot(a_row, other.row(j));
-            }
-        }
+        let min_rows = if m * k * n >= PAR_FLOP_CUTOFF {
+            MIN_ROWS_PER_SHARD
+        } else {
+            m.max(1)
+        };
+        runtime::for_each_row_shard_mut(out.as_mut_slice(), m, n, min_rows, |rows, chunk| {
+            matmul_t_rows(self, other, rows, chunk);
+        });
         out
     }
 
@@ -301,5 +378,46 @@ mod tests {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
         let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn parallel_products_are_bit_identical_to_serial() {
+        let _guard = crate::runtime::OVERRIDE_LOCK.lock().unwrap();
+        let mut rng = crate::XorShiftRng::new(0xBEEF);
+        // Shapes straddling the parallel cutoff, including odd sizes that
+        // don't divide evenly into shards.
+        let shapes = [
+            (3, 5, 4),
+            (17, 33, 9),
+            (64, 64, 64),
+            (130, 70, 110),
+            (256, 96, 256),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = Matrix::gaussian(m, k, &mut rng);
+            let b = Matrix::gaussian(k, n, &mut rng);
+            let bt = b.transpose();
+            let at = a.transpose();
+            crate::runtime::set_threads(1);
+            let serial = (a.matmul(&b), a.matmul_t(&bt), at.t_matmul(&b));
+            crate::runtime::set_threads(4);
+            let parallel = (a.matmul(&b), a.matmul_t(&bt), at.t_matmul(&b));
+            crate::runtime::set_threads(0);
+            assert_eq!(
+                serial.0.as_slice(),
+                parallel.0.as_slice(),
+                "matmul {m}x{k}x{n}"
+            );
+            assert_eq!(
+                serial.1.as_slice(),
+                parallel.1.as_slice(),
+                "matmul_t {m}x{k}x{n}"
+            );
+            assert_eq!(
+                serial.2.as_slice(),
+                parallel.2.as_slice(),
+                "t_matmul {m}x{k}x{n}"
+            );
+        }
     }
 }

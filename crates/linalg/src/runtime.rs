@@ -1,0 +1,220 @@
+//! Data-parallel compute runtime: a dependency-free worker pool built on
+//! `std::thread::scope`, shared by every hot path in the workspace
+//! (matmul tiles, minibatch gradient shards, batch encoding, candidate
+//! scoring).
+//!
+//! # Determinism contract
+//!
+//! Work is always split into **contiguous shards processed in a fixed
+//! order**: shard `i` covers a contiguous index range, and results are
+//! returned (or written) in shard order regardless of which worker thread
+//! ran which shard. Combined with kernels that keep each output element's
+//! accumulation order identical to the serial loop, every parallel path
+//! in this workspace produces **bit-identical** results at any thread
+//! count; reductions that merge per-shard floating-point sums (e.g.
+//! sharded gradients) are deterministic for a fixed thread count and
+//! match the serial result to rounding error.
+//!
+//! # Configuration
+//!
+//! The worker count resolves, in priority order:
+//! 1. [`set_threads`] (programmatic override, e.g. from a bench loop),
+//! 2. the `VAER_THREADS` environment variable,
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! `VAER_THREADS=1` (or `set_threads(1)`) forces every parallel path
+//! through its inline serial branch — no threads are spawned at all.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Programmatic override; 0 means "not set".
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Resolved `VAER_THREADS` / hardware default, read once.
+static DEFAULT: OnceLock<usize> = OnceLock::new();
+
+/// The number of worker threads parallel kernels may use (≥ 1).
+pub fn threads() -> usize {
+    let o = OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    *DEFAULT.get_or_init(|| {
+        std::env::var("VAER_THREADS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+    })
+}
+
+/// Overrides the worker count for the whole process; `0` restores the
+/// `VAER_THREADS`/hardware default.
+pub fn set_threads(n: usize) {
+    OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Splits `0..n` into at most `shards` contiguous, near-equal, in-order
+/// ranges (the first `n % shards` ranges get one extra element). Returns
+/// fewer ranges when `n < shards`; never returns an empty range.
+pub fn shard_ranges(n: usize, shards: usize) -> Vec<Range<usize>> {
+    let shards = shards.clamp(1, n.max(1));
+    if n == 0 {
+        // One empty range, so callers can treat the result as non-empty.
+        #[allow(clippy::single_range_in_vec_init)]
+        return vec![0..0];
+    }
+    let base = n / shards;
+    let extra = n % shards;
+    let mut out = Vec::with_capacity(shards);
+    let mut start = 0;
+    for i in 0..shards {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// The shard count for `n` items given a minimum useful shard size:
+/// `min(threads(), n / min_per_shard)`, at least 1.
+pub fn shard_count(n: usize, min_per_shard: usize) -> usize {
+    let max_useful = n / min_per_shard.max(1);
+    threads().min(max_useful).max(1)
+}
+
+/// Maps `f` over contiguous shards of `0..n`, returning results in shard
+/// order. `f` runs inline (no spawn) when a single shard suffices —
+/// either `threads() == 1` or `n < 2 * min_per_shard`.
+pub fn map_shards<T, F>(n: usize, min_per_shard: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let shards = shard_count(n, min_per_shard);
+    if shards == 1 {
+        return vec![f(0..n)];
+    }
+    let ranges = shard_ranges(n, shards);
+    std::thread::scope(|scope| {
+        // Shard 0 runs on the calling thread; the rest on scoped workers.
+        let handles: Vec<_> = ranges[1..]
+            .iter()
+            .map(|r| {
+                let f = &f;
+                let r = r.clone();
+                scope.spawn(move || f(r))
+            })
+            .collect();
+        let mut out = Vec::with_capacity(ranges.len());
+        out.push(f(ranges[0].clone()));
+        for h in handles {
+            out.push(h.join().expect("runtime worker panicked"));
+        }
+        out
+    })
+}
+
+/// Splits the row-major buffer `data` (`rows` rows of `cols` elements)
+/// into contiguous row shards and runs `f(row_range, shard_buffer)` on
+/// each, in parallel. Each shard's buffer is the disjoint sub-slice for
+/// exactly its rows, so kernels write without synchronisation. Runs
+/// inline when a single shard suffices.
+pub fn for_each_row_shard_mut<F>(data: &mut [f32], rows: usize, cols: usize, min_rows: usize, f: F)
+where
+    F: Fn(Range<usize>, &mut [f32]) + Sync,
+{
+    debug_assert_eq!(data.len(), rows * cols);
+    let shards = shard_count(rows, min_rows);
+    if shards == 1 {
+        f(0..rows, data);
+        return;
+    }
+    let ranges = shard_ranges(rows, shards);
+    std::thread::scope(|scope| {
+        let mut rest = data;
+        for r in ranges {
+            let (chunk, tail) = rest.split_at_mut((r.end - r.start) * cols);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(r, chunk));
+        }
+    });
+}
+
+/// Serialises tests (across this crate) that touch the process-global
+/// thread override.
+#[cfg(test)]
+pub(crate) static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_cover_contiguously() {
+        for n in [0usize, 1, 2, 7, 16, 100] {
+            for s in [1usize, 2, 3, 8, 200] {
+                let ranges = shard_ranges(n, s);
+                assert_eq!(ranges.first().unwrap().start, 0);
+                assert_eq!(ranges.last().unwrap().end, n);
+                for w in ranges.windows(2) {
+                    assert_eq!(w[0].end, w[1].start);
+                    assert!(!w[1].is_empty());
+                }
+                // Balanced: lengths differ by at most one.
+                let lens: Vec<usize> = ranges.iter().map(Range::len).collect();
+                let (lo, hi) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+                assert!(hi - lo <= 1, "unbalanced {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_shards_returns_in_shard_order() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(4);
+        let got = map_shards(100, 1, |r| r.clone());
+        set_threads(0);
+        assert_eq!(got.first().unwrap().start, 0);
+        assert_eq!(got.last().unwrap().end, 100);
+        for w in got.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+    }
+
+    #[test]
+    fn map_shards_single_thread_is_one_shard() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(1);
+        let got = map_shards(64, 1, |r| r.clone());
+        set_threads(0);
+        assert_eq!(got, vec![0..64]);
+    }
+
+    #[test]
+    fn row_shards_write_disjoint_rows() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_threads(3);
+        let rows = 10;
+        let cols = 4;
+        let mut data = vec![0.0f32; rows * cols];
+        for_each_row_shard_mut(&mut data, rows, cols, 1, |range, chunk| {
+            for (local, row) in range.clone().enumerate() {
+                for c in 0..cols {
+                    chunk[local * cols + c] = (row * cols + c) as f32;
+                }
+            }
+        });
+        set_threads(0);
+        let want: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+        assert_eq!(data, want);
+    }
+
+    #[test]
+    fn threads_is_at_least_one() {
+        assert!(threads() >= 1);
+    }
+}

@@ -6,7 +6,13 @@
 /// Panics if lengths differ.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    assert_eq!(a.len(), b.len(), "dot length mismatch: {} vs {}", a.len(), b.len());
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "dot length mismatch: {} vs {}",
+        a.len(),
+        b.len()
+    );
     a.iter().zip(b.iter()).map(|(&x, &y)| x * y).sum()
 }
 
@@ -20,7 +26,10 @@ pub fn norm(a: &[f32]) -> f32 {
 #[inline]
 pub fn sq_euclidean(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "distance length mismatch");
-    a.iter().zip(b.iter()).map(|(&x, &y)| (x - y) * (x - y)).sum()
+    a.iter()
+        .zip(b.iter())
+        .map(|(&x, &y)| (x - y) * (x - y))
+        .sum()
 }
 
 /// Euclidean distance.

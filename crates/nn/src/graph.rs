@@ -15,6 +15,8 @@ pub struct Tensor(usize);
 enum Op {
     /// Constant input (no gradient requested).
     Input,
+    /// Input leaf that opts into gradient recording (input sensitivities).
+    InputGrad,
     /// Leaf bound to a persistent parameter.
     Param(ParamId),
     /// `A * B`.
@@ -85,13 +87,16 @@ impl Default for Graph {
 impl Graph {
     /// New empty tape.
     pub fn new() -> Self {
-        Self { nodes: Vec::with_capacity(64), grads: Vec::new() }
+        Self {
+            nodes: Vec::with_capacity(64),
+            grads: Vec::new(),
+        }
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Tensor {
         let needs_grad = match &op {
             Op::Input => false,
-            Op::Param(_) => true,
+            Op::InputGrad | Op::Param(_) => true,
             Op::MatMul(a, b)
             | Op::Add(a, b)
             | Op::Sub(a, b)
@@ -112,7 +117,11 @@ impl Graph {
             Op::ConcatCols(parts) => parts.iter().any(|&p| self.nodes[p].needs_grad),
             Op::BceWithLogits { logits, .. } => self.nodes[*logits].needs_grad,
         };
-        self.nodes.push(Node { op, value, needs_grad });
+        self.nodes.push(Node {
+            op,
+            value,
+            needs_grad,
+        });
         Tensor(self.nodes.len() - 1)
     }
 
@@ -142,10 +151,23 @@ impl Graph {
 
     // ---- leaf constructors ------------------------------------------------
 
-    /// A constant input (no gradient flows into it; `grad` is still
-    /// recorded so losses can inspect input sensitivities).
+    /// A constant input. No gradient is recorded for it — backward
+    /// prunes subgraphs that contain no trainable leaf, so
+    /// [`grad`](Self::grad) returns `None` for plain inputs. Use
+    /// [`input_with_grad`](Self::input_with_grad) when the loss's
+    /// sensitivity to an input is itself of interest.
     pub fn input(&mut self, value: Matrix) -> Tensor {
         self.push(Op::Input, value)
+    }
+
+    /// An input leaf that opts into gradient recording: after
+    /// [`backward`](Self::backward), [`grad`](Self::grad) returns
+    /// `d(loss)/d(input)`. The leaf is not a parameter — it never appears
+    /// in [`param_grads`](Self::param_grads) — but it does mark its
+    /// subgraph as gradient-carrying, so prefer [`input`](Self::input)
+    /// for ordinary constants.
+    pub fn input_with_grad(&mut self, value: Matrix) -> Tensor {
+        self.push(Op::InputGrad, value)
     }
 
     /// Binds parameter `id` into the tape, snapshotting its current value.
@@ -184,7 +206,9 @@ impl Graph {
     /// `b` bounded away from zero (as the Mahalanobis distance layer does
     /// with its variance floor).
     pub fn div(&mut self, a: Tensor, b: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.zip_with(&self.nodes[b.0].value, |x, y| x / y);
+        let v = self.nodes[a.0]
+            .value
+            .zip_with(&self.nodes[b.0].value, |x, y| x / y);
         self.push(Op::Div(a.0, b.0), v)
     }
 
@@ -263,7 +287,10 @@ impl Graph {
     /// # Panics
     /// Panics on an empty list or mismatched row counts.
     pub fn concat_cols(&mut self, parts: &[Tensor]) -> Tensor {
-        assert!(!parts.is_empty(), "concat_cols requires at least one tensor");
+        assert!(
+            !parts.is_empty(),
+            "concat_cols requires at least one tensor"
+        );
         let mut v = self.nodes[parts[0].0].value.clone();
         for p in &parts[1..] {
             v = v.hconcat(&self.nodes[p.0].value);
@@ -274,7 +301,10 @@ impl Graph {
     /// Keeps columns `[start, end)`.
     pub fn slice_cols(&mut self, a: Tensor, start: usize, end: usize) -> Tensor {
         let m = &self.nodes[a.0].value;
-        assert!(start <= end && end <= m.cols(), "slice_cols {start}..{end} out of bounds");
+        assert!(
+            start <= end && end <= m.cols(),
+            "slice_cols {start}..{end} out of bounds"
+        );
         let mut v = Matrix::zeros(m.rows(), end - start);
         for i in 0..m.rows() {
             v.row_mut(i).copy_from_slice(&m.row(i)[start..end]);
@@ -299,7 +329,13 @@ impl Graph {
             .map(|(&z, &y)| softplus(z) - z * y)
             .sum::<f32>()
             / n;
-        self.push(Op::BceWithLogits { logits: logits.0, targets }, Matrix::from_vec(1, 1, vec![loss]))
+        self.push(
+            Op::BceWithLogits {
+                logits: logits.0,
+                targets,
+            },
+            Matrix::from_vec(1, 1, vec![loss]),
+        )
     }
 
     // ---- backward ----------------------------------------------------------
@@ -322,7 +358,9 @@ impl Graph {
         }
         self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
         for i in (0..self.nodes.len()).rev() {
-            let Some(g) = self.grads[i].take() else { continue };
+            let Some(g) = self.grads[i].take() else {
+                continue;
+            };
             // Re-insert so callers can still read the gradient afterwards.
             self.propagate(i, &g);
             self.grads[i] = Some(g);
@@ -343,7 +381,7 @@ impl Graph {
         // Clone the op descriptor (cheap: indices + small matrices only for BCE).
         let op = self.nodes[i].op.clone();
         match op {
-            Op::Input | Op::Param(_) => {}
+            Op::Input | Op::InputGrad | Op::Param(_) => {}
             Op::MatMul(a, b) => {
                 if self.nodes[a].needs_grad {
                     let da = g.matmul_t(&self.nodes[b].value);
@@ -389,7 +427,10 @@ impl Graph {
                 self.accumulate(bias, db);
             }
             Op::Relu(a) => {
-                let da = g.zip_with(&self.nodes[a].value, |gv, av| if av > 0.0 { gv } else { 0.0 });
+                let da = g.zip_with(
+                    &self.nodes[a].value,
+                    |gv, av| if av > 0.0 { gv } else { 0.0 },
+                );
                 self.accumulate(a, da);
             }
             Op::Sigmoid(a) => {
@@ -437,7 +478,8 @@ impl Graph {
                     let rows = self.nodes[p].value.rows();
                     let mut dp = Matrix::zeros(rows, cols);
                     for r in 0..rows {
-                        dp.row_mut(r).copy_from_slice(&g.row(r)[offset..offset + cols]);
+                        dp.row_mut(r)
+                            .copy_from_slice(&g.row(r)[offset..offset + cols]);
                     }
                     offset += cols;
                     self.accumulate(p, dp);
@@ -467,7 +509,9 @@ impl Graph {
         let mut acc: Vec<(ParamId, Matrix)> = Vec::new();
         for (i, node) in self.nodes.iter().enumerate() {
             let Op::Param(id) = node.op else { continue };
-            let Some(g) = self.grads.get(i).and_then(|g| g.as_ref()) else { continue };
+            let Some(g) = self.grads.get(i).and_then(|g| g.as_ref()) else {
+                continue;
+            };
             match acc.iter_mut().find(|(pid, _)| *pid == id) {
                 Some((_, total)) => total.axpy_inplace(1.0, g),
                 None => acc.push((id, g.clone())),
@@ -732,5 +776,37 @@ mod tests {
         g.backward(loss);
         assert!(g.grad(unused).is_none());
         assert!(g.grad(p).is_some());
+    }
+
+    #[test]
+    fn input_grads_are_opt_in() {
+        // Plain inputs never receive a gradient; `input_with_grad` leaves
+        // record d(loss)/d(input) — and never show up in param_grads().
+        let x_val = Matrix::from_rows(&[&[1.0, -2.0], &[3.0, 0.5]]);
+        let build = |with_grad: bool| {
+            let mut g = Graph::new();
+            let x = if with_grad {
+                g.input_with_grad(x_val.clone())
+            } else {
+                g.input(x_val.clone())
+            };
+            let sq = g.square(x);
+            let loss = g.sum_all(sq);
+            g.backward(loss);
+            (g.grad(x).cloned(), g.param_grads().len())
+        };
+        let (plain, n_params) = build(false);
+        assert!(plain.is_none(), "plain input must not record a gradient");
+        assert_eq!(n_params, 0);
+        let (opt_in, n_params) = build(true);
+        // d(Σ x²)/dx = 2x.
+        let got = opt_in.expect("input_with_grad must record a gradient");
+        for (g_val, x) in got.as_slice().iter().zip(x_val.as_slice()) {
+            assert!((g_val - 2.0 * x).abs() < 1e-6, "{g_val} vs {}", 2.0 * x);
+        }
+        assert_eq!(
+            n_params, 0,
+            "input gradients must not appear in param_grads"
+        );
     }
 }

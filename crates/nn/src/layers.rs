@@ -31,8 +31,16 @@ impl Dense {
         rng: &mut NnRng,
     ) -> Self {
         let w = store.add(format!("{name}.w"), init.sample(in_dim, out_dim, rng));
-        let b = store.add(format!("{name}.b"), Initializer::Zeros.sample(1, out_dim, rng));
-        Self { w, b, in_dim, out_dim }
+        let b = store.add(
+            format!("{name}.b"),
+            Initializer::Zeros.sample(1, out_dim, rng),
+        );
+        Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
     }
 
     /// Rebinds an existing layer from a store by name.
@@ -42,7 +50,12 @@ impl Dense {
         let w = store.find(&format!("{name}.w"))?;
         let b = store.find(&format!("{name}.b"))?;
         let (in_dim, out_dim) = store.get(w).shape();
-        Some(Self { w, b, in_dim, out_dim })
+        Some(Self {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        })
     }
 
     /// Input dimensionality.
@@ -153,9 +166,14 @@ impl Mlp {
         hidden_activation: Activation,
         output_activation: Activation,
     ) -> Option<Self> {
-        let layers: Option<Vec<Dense>> =
-            (0..n_layers).map(|i| Dense::from_store(store, &format!("{name}.{i}"))).collect();
-        Some(Self { layers: layers?, hidden_activation, output_activation })
+        let layers: Option<Vec<Dense>> = (0..n_layers)
+            .map(|i| Dense::from_store(store, &format!("{name}.{i}")))
+            .collect();
+        Some(Self {
+            layers: layers?,
+            hidden_activation,
+            output_activation,
+        })
     }
 
     /// Number of dense layers.

@@ -48,6 +48,7 @@ mod graph;
 mod init;
 mod layers;
 mod optim;
+pub mod parallel;
 mod params;
 pub mod schedule;
 
@@ -55,6 +56,7 @@ pub use graph::{Graph, Tensor};
 pub use init::Initializer;
 pub use layers::{Dense, Mlp, MlpConfig};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
+pub use parallel::{sharded_step, ShardedStep};
 pub use params::{ParamId, ParamStore};
 
 /// The RNG used for parameter initialisation and sampling throughout

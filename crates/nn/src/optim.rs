@@ -29,12 +29,20 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with the given rate and no momentum.
     pub fn new(lr: f32) -> Self {
-        Self { lr, momentum: 0.0, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum.
     pub fn with_momentum(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: Vec::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: Vec::new(),
+        }
     }
 
     fn slot(&mut self, id: ParamId, shape: (usize, usize)) -> &mut Matrix {
@@ -87,7 +95,16 @@ pub struct Adam {
 impl Adam {
     /// Adam with custom hyper-parameters.
     pub fn new(lr: f32, beta1: f32, beta2: f32, eps: f32) -> Self {
-        Self { lr, beta1, beta2, eps, weight_decay: 0.0, t: 0, m: Vec::new(), v: Vec::new() }
+        Self {
+            lr,
+            beta1,
+            beta2,
+            eps,
+            weight_decay: 0.0,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 
     /// Enables decoupled (AdamW-style) weight decay: every updated
@@ -136,8 +153,11 @@ impl Optimizer for Adam {
             let v = self.v[id.0].as_ref().expect("just initialised");
             let p = store.get_mut(*id);
             let decay = self.lr * self.weight_decay;
-            for ((pi, &mi), &vi) in
-                p.as_mut_slice().iter_mut().zip(m.as_slice()).zip(v.as_slice())
+            for ((pi, &mi), &vi) in p
+                .as_mut_slice()
+                .iter_mut()
+                .zip(m.as_slice())
+                .zip(v.as_slice())
             {
                 let m_hat = mi / b1t;
                 let v_hat = vi / b2t;

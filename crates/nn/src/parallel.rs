@@ -1,0 +1,178 @@
+//! Data-parallel minibatch gradients: one autodiff tape per batch shard.
+//!
+//! A minibatch whose loss is a *mean over rows* can be split into
+//! contiguous row shards, each shard run forward/backward on its own
+//! [`Graph`], and the per-shard parameter gradients merged as a weighted
+//! sum (`shard_len / batch_len`) — algebraically the full-batch gradient.
+//! Shards execute on the [`vaer_linalg::runtime`] worker pool; merging
+//! always happens in fixed shard order, so the result is deterministic
+//! for a given seed and thread count. With a single shard (one thread, or
+//! a batch smaller than two shards' worth of rows) the closure runs
+//! inline on the caller's tape layout and the result is **bit-identical**
+//! to the serial step.
+
+use crate::graph::{Graph, Tensor};
+use crate::params::ParamId;
+use std::ops::Range;
+use vaer_linalg::{runtime, Matrix};
+
+/// Minimum batch rows per gradient shard: below this the tape set-up cost
+/// dominates the matmul work and sharding would only add overhead.
+pub const MIN_SHARD_ROWS: usize = 32;
+
+/// The merged result of a sharded forward/backward pass.
+#[derive(Debug, Clone)]
+pub struct ShardedStep {
+    /// Batch-mean loss (per-shard losses weighted by shard size).
+    pub loss: f32,
+    /// Parameter gradients merged over shards in fixed shard order,
+    /// ready for [`crate::Optimizer::step`].
+    pub grads: Vec<(ParamId, Matrix)>,
+}
+
+/// Runs `build` once per contiguous shard of `0..batch_len` (in parallel
+/// when the runtime has threads to spare), backpropagates each shard's
+/// tape, and merges losses and parameter gradients weighted by
+/// `shard_len / batch_len`.
+///
+/// `build(graph, rows)` must assemble the forward pass for batch rows
+/// `rows` and return the scalar loss tensor. The loss **must be a mean
+/// over the shard's rows** (e.g. mean squared error, mean BCE) — that is
+/// what makes the weighted merge equal the full-batch gradient. Inputs
+/// the shards share (the batch matrix, noise draws) should be prepared
+/// once outside and sliced by `rows` inside, so the RNG stream does not
+/// depend on the shard count.
+pub fn sharded_step<F>(batch_len: usize, build: F) -> ShardedStep
+where
+    F: Fn(&mut Graph, Range<usize>) -> Tensor + Sync,
+{
+    let shards = runtime::map_shards(batch_len, MIN_SHARD_ROWS, |rows| {
+        let mut g = Graph::new();
+        let loss = build(&mut g, rows.clone());
+        let loss_value = g.value(loss).get(0, 0);
+        g.backward(loss);
+        (rows.len(), loss_value, g.param_grads())
+    });
+    if shards.len() == 1 {
+        // Serial fast path: no weighting, bit-identical to an unsharded step.
+        let (_, loss, grads) = shards.into_iter().next().expect("one shard");
+        return ShardedStep { loss, grads };
+    }
+    let mut loss = 0.0f32;
+    let mut merged: Vec<(ParamId, Matrix)> = Vec::new();
+    for (len, shard_loss, grads) in shards {
+        let w = len as f32 / batch_len.max(1) as f32;
+        loss += w * shard_loss;
+        for (id, g) in grads {
+            match merged.iter_mut().find(|(pid, _)| *pid == id) {
+                Some((_, total)) => total.axpy_inplace(w, &g),
+                None => {
+                    let mut scaled = Matrix::zeros(g.rows(), g.cols());
+                    scaled.axpy_inplace(w, &g);
+                    merged.push((id, scaled));
+                }
+            }
+        }
+    }
+    ShardedStep {
+        loss,
+        grads: merged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Adam, Optimizer, ParamStore};
+    use vaer_linalg::XorShiftRng;
+
+    /// Serialises tests that touch the process-global thread override.
+    static OVERRIDE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    /// A least-squares step: loss = mean((x·w - y)²) over the batch.
+    fn lsq_step(store: &ParamStore, w: ParamId, x: &Matrix, y: &Matrix) -> ShardedStep {
+        sharded_step(x.rows(), |g, rows| {
+            let xt = g.input(x.slice_rows(rows.start, rows.end));
+            let yt = g.input(y.slice_rows(rows.start, rows.end));
+            let wt = g.param(store, w);
+            let pred = g.matmul(xt, wt);
+            let diff = g.sub(pred, yt);
+            let sq = g.square(diff);
+            g.mean_all(sq)
+        })
+    }
+
+    fn toy_problem(n: usize) -> (ParamStore, ParamId, Matrix, Matrix) {
+        let mut rng = XorShiftRng::new(0xD0D0);
+        let x = Matrix::gaussian(n, 6, &mut rng);
+        let true_w = Matrix::gaussian(6, 2, &mut rng);
+        let y = x.matmul(&true_w);
+        let mut store = ParamStore::new();
+        let w = store.add("lsq.w", Matrix::gaussian(6, 2, &mut rng));
+        (store, w, x, y)
+    }
+
+    #[test]
+    fn one_shard_matches_serial_bit_for_bit() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let (store, w, x, y) = toy_problem(128);
+        runtime::set_threads(1);
+        let sharded = lsq_step(&store, w, &x, &y);
+        runtime::set_threads(0);
+        // Reference: the same graph built in one piece, no runtime involved.
+        let mut g = Graph::new();
+        let xt = g.input(x.clone());
+        let yt = g.input(y.clone());
+        let wt = g.param(&store, w);
+        let pred = g.matmul(xt, wt);
+        let diff = g.sub(pred, yt);
+        let sq = g.square(diff);
+        let loss = g.mean_all(sq);
+        let loss_value = g.value(loss).get(0, 0);
+        g.backward(loss);
+        let serial = g.param_grads();
+        assert_eq!(sharded.loss, loss_value);
+        assert_eq!(sharded.grads.len(), serial.len());
+        for ((ida, ga), (idb, gb)) in sharded.grads.iter().zip(&serial) {
+            assert_eq!(ida, idb);
+            assert_eq!(ga.as_slice(), gb.as_slice(), "gradients differ bitwise");
+        }
+    }
+
+    #[test]
+    fn four_shards_match_single_shard_within_tolerance() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let (store, w, x, y) = toy_problem(4 * MIN_SHARD_ROWS);
+        runtime::set_threads(1);
+        let serial = lsq_step(&store, w, &x, &y);
+        runtime::set_threads(4);
+        let sharded = lsq_step(&store, w, &x, &y);
+        runtime::set_threads(0);
+        assert!((sharded.loss - serial.loss).abs() < 1e-5, "loss mismatch");
+        assert_eq!(sharded.grads.len(), serial.grads.len());
+        for ((ida, ga), (idb, gb)) in sharded.grads.iter().zip(&serial.grads) {
+            assert_eq!(ida, idb);
+            for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
+                assert!((a - b).abs() < 1e-5, "grad {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_training_converges_at_any_thread_count() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for threads in [1usize, 3] {
+            runtime::set_threads(threads);
+            let (mut store, w, x, y) = toy_problem(96);
+            let mut adam = Adam::with_rate(5e-2);
+            let mut last = f32::INFINITY;
+            for _ in 0..200 {
+                let step = lsq_step(&store, w, &x, &y);
+                last = step.loss;
+                adam.step(&mut store, &step.grads);
+            }
+            assert!(last < 1e-2, "loss {last} with {threads} threads");
+        }
+        runtime::set_threads(0);
+    }
+}

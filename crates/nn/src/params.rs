@@ -102,8 +102,12 @@ impl ParamStore {
     /// store, [`NnError::BadFormat`] on shape mismatch.
     pub fn copy_from(&mut self, other: &ParamStore, names: &[&str]) -> Result<(), NnError> {
         for &name in names {
-            let src = other.find(name).ok_or_else(|| NnError::UnknownParam(name.into()))?;
-            let dst = self.find(name).ok_or_else(|| NnError::UnknownParam(name.into()))?;
+            let src = other
+                .find(name)
+                .ok_or_else(|| NnError::UnknownParam(name.into()))?;
+            let dst = self
+                .find(name)
+                .ok_or_else(|| NnError::UnknownParam(name.into()))?;
             let src_shape = other.get(src).shape();
             let dst_shape = self.get(dst).shape();
             if src_shape != dst_shape {
@@ -229,7 +233,10 @@ mod tests {
 
     #[test]
     fn deserialize_rejects_garbage() {
-        assert!(matches!(ParamStore::from_bytes(b"nope"), Err(NnError::Truncated)));
+        assert!(matches!(
+            ParamStore::from_bytes(b"nope"),
+            Err(NnError::Truncated)
+        ));
         assert!(matches!(
             ParamStore::from_bytes(b"XXXXXXXX\x01\x00\x00\x00"),
             Err(NnError::BadFormat(_))
@@ -239,7 +246,10 @@ mod tests {
         s.add("w", Matrix::filled(4, 4, 1.0));
         let mut bytes = s.to_bytes();
         bytes.truncate(bytes.len() - 3);
-        assert!(matches!(ParamStore::from_bytes(&bytes), Err(NnError::Truncated)));
+        assert!(matches!(
+            ParamStore::from_bytes(&bytes),
+            Err(NnError::Truncated)
+        ));
     }
 
     #[test]
@@ -256,6 +266,9 @@ mod tests {
         // Shape mismatch is rejected.
         let mut bad = ParamStore::new();
         bad.add("a", Matrix::zeros(3, 3));
-        assert!(matches!(bad.copy_from(&src, &["a"]), Err(NnError::BadFormat(_))));
+        assert!(matches!(
+            bad.copy_from(&src, &["a"]),
+            Err(NnError::BadFormat(_))
+        ));
     }
 }

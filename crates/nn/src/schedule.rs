@@ -31,7 +31,13 @@ impl LossTracker {
     /// Tracker with smoothing factor `alpha` and early-stop `patience`
     /// (number of consecutive non-improving updates tolerated).
     pub fn new(alpha: f32, patience: usize) -> Self {
-        Self { alpha, smoothed: None, best: f32::INFINITY, stall: 0, patience }
+        Self {
+            alpha,
+            smoothed: None,
+            best: f32::INFINITY,
+            stall: 0,
+            patience,
+        }
     }
 
     /// Records a loss value; returns `true` if training should stop.

@@ -35,7 +35,10 @@ impl DiagGaussian {
 
     /// The standard normal `N(0, I)` in `k` dimensions.
     pub fn standard(k: usize) -> Self {
-        Self { mu: vec![0.0; k], sigma: vec![1.0; k] }
+        Self {
+            mu: vec![0.0; k],
+            sigma: vec![1.0; k],
+        }
     }
 
     /// Dimensionality.
@@ -67,12 +70,11 @@ pub fn standard_normal<R: Rng>(rng: &mut R) -> f32 {
 /// Panics if dimensions differ.
 pub fn w2_squared(p: &DiagGaussian, q: &DiagGaussian) -> f32 {
     assert_eq!(p.dims(), q.dims(), "w2 dimension mismatch");
-    let mu_term: f32 = p
-        .mu
-        .iter()
-        .zip(q.mu.iter())
-        .map(|(&a, &b)| (a - b) * (a - b))
-        .sum();
+    let mu_term: f32 =
+        p.mu.iter()
+            .zip(q.mu.iter())
+            .map(|(&a, &b)| (a - b) * (a - b))
+            .sum();
     let sigma_term: f32 = p
         .sigma
         .iter()
@@ -172,9 +174,7 @@ mod tests {
         let wide = g(&[0.0], &[2.0]);
         let wide2 = g(&[1.0], &[2.0]);
         // Same mean gap is more significant under tighter variances.
-        assert!(
-            mahalanobis_squared(&tight, &tight2) > mahalanobis_squared(&wide, &wide2)
-        );
+        assert!(mahalanobis_squared(&tight, &tight2) > mahalanobis_squared(&wide, &wide2));
     }
 
     #[test]
@@ -206,7 +206,10 @@ mod tests {
             let var = sumsq[d] / n as f64 - mean * mean;
             assert!((mean - p.mu[d] as f64).abs() < 0.05, "mean[{d}] = {mean}");
             let expected_var = (p.sigma[d] * p.sigma[d]) as f64;
-            assert!((var - expected_var).abs() < 0.15 * expected_var.max(0.3), "var[{d}] = {var}");
+            assert!(
+                (var - expected_var).abs() < 0.15 * expected_var.max(0.3),
+                "var[{d}] = {var}"
+            );
         }
     }
 

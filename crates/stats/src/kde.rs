@@ -25,13 +25,21 @@ impl Kde {
         }
         let n = samples.len() as f32;
         let mean = samples.iter().sum::<f32>() / n;
-        let std = (samples.iter().map(|&x| (x - mean) * (x - mean)).sum::<f32>() / n).sqrt();
+        let std = (samples
+            .iter()
+            .map(|&x| (x - mean) * (x - mean))
+            .sum::<f32>()
+            / n)
+            .sqrt();
         let mut sorted = samples.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let iqr = percentile(&sorted, 0.75) - percentile(&sorted, 0.25);
         let spread = if iqr > 0.0 { std.min(iqr / 1.34) } else { std };
         let bandwidth = (0.9 * spread * n.powf(-0.2)).max(1e-3);
-        Some(Self { points: samples.to_vec(), bandwidth })
+        Some(Self {
+            points: samples.to_vec(),
+            bandwidth,
+        })
     }
 
     /// Fits with an explicit bandwidth (must be positive).
@@ -43,7 +51,10 @@ impl Kde {
         if samples.is_empty() {
             return None;
         }
-        Some(Self { points: samples.to_vec(), bandwidth })
+        Some(Self {
+            points: samples.to_vec(),
+            bandwidth,
+        })
     }
 
     /// The bandwidth in use.

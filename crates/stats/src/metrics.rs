@@ -22,14 +22,30 @@ pub struct PrF1 {
 impl PrF1 {
     /// Computes metrics from raw confusion counts.
     pub fn from_counts(tp: usize, fp: usize, fn_: usize, tn: usize) -> Self {
-        let precision = if tp + fp > 0 { tp as f32 / (tp + fp) as f32 } else { 0.0 };
-        let recall = if tp + fn_ > 0 { tp as f32 / (tp + fn_) as f32 } else { 0.0 };
+        let precision = if tp + fp > 0 {
+            tp as f32 / (tp + fp) as f32
+        } else {
+            0.0
+        };
+        let recall = if tp + fn_ > 0 {
+            tp as f32 / (tp + fn_) as f32
+        } else {
+            0.0
+        };
         let f1 = if precision + recall > 0.0 {
             2.0 * precision * recall / (precision + recall)
         } else {
             0.0
         };
-        Self { precision, recall, f1, tp, fp, fn_, tn }
+        Self {
+            precision,
+            recall,
+            f1,
+            tp,
+            fp,
+            fn_,
+            tn,
+        }
     }
 
     /// Computes metrics from parallel `(predicted, actual)` label slices.
@@ -102,8 +118,11 @@ impl TopKReport {
         retrieved_positive: usize,
         retrieved_labeled: usize,
     ) -> Self {
-        let recall =
-            if total_duplicates > 0 { hits as f32 / total_duplicates as f32 } else { 0.0 };
+        let recall = if total_duplicates > 0 {
+            hits as f32 / total_duplicates as f32
+        } else {
+            0.0
+        };
         let precision = if retrieved_labeled > 0 {
             retrieved_positive as f32 / retrieved_labeled as f32
         } else {
@@ -114,7 +133,11 @@ impl TopKReport {
         } else {
             0.0
         };
-        Self { recall, precision, f1 }
+        Self {
+            recall,
+            precision,
+            f1,
+        }
     }
 }
 

@@ -42,7 +42,11 @@ pub fn bootstrap_f1(
     let point = PrF1::from_labels(predicted, actual).f1;
     let n = predicted.len();
     if n == 0 || iters == 0 {
-        return ConfidenceInterval { lo: point, point, hi: point };
+        return ConfidenceInterval {
+            lo: point,
+            point,
+            hi: point,
+        };
     }
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut samples = Vec::with_capacity(iters);
@@ -58,10 +62,12 @@ pub fn bootstrap_f1(
     }
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
     let alpha = (1.0 - level) / 2.0;
-    let idx = |q: f32| -> usize {
-        ((samples.len() as f32 - 1.0) * q).round() as usize
-    };
-    ConfidenceInterval { lo: samples[idx(alpha)], point, hi: samples[idx(1.0 - alpha)] }
+    let idx = |q: f32| -> usize { ((samples.len() as f32 - 1.0) * q).round() as usize };
+    ConfidenceInterval {
+        lo: samples[idx(alpha)],
+        point,
+        hi: samples[idx(1.0 - alpha)],
+    }
 }
 
 #[cfg(test)]
@@ -84,13 +90,20 @@ mod tests {
         let ci = bootstrap_f1(&predicted, &actual, 500, 0.9, 2);
         assert!(ci.lo <= ci.point, "{ci:?}");
         assert!(ci.point <= ci.hi, "{ci:?}");
-        assert!(ci.lo < ci.hi, "non-trivial data should give a real interval");
+        assert!(
+            ci.lo < ci.hi,
+            "non-trivial data should give a real interval"
+        );
     }
 
     #[test]
     fn wider_level_gives_wider_interval() {
-        let predicted = vec![true, true, false, false, true, false, true, true, false, true];
-        let actual = vec![true, false, false, true, true, false, true, true, true, false];
+        let predicted = vec![
+            true, true, false, false, true, false, true, true, false, true,
+        ];
+        let actual = vec![
+            true, false, false, true, true, false, true, true, true, false,
+        ];
         let narrow = bootstrap_f1(&predicted, &actual, 800, 0.5, 3);
         let wide = bootstrap_f1(&predicted, &actual, 800, 0.99, 3);
         assert!(wide.hi - wide.lo >= narrow.hi - narrow.lo);
@@ -113,9 +126,21 @@ mod tests {
 
     #[test]
     fn overlap_logic() {
-        let a = ConfidenceInterval { lo: 0.1, point: 0.2, hi: 0.3 };
-        let b = ConfidenceInterval { lo: 0.25, point: 0.3, hi: 0.5 };
-        let c = ConfidenceInterval { lo: 0.4, point: 0.5, hi: 0.6 };
+        let a = ConfidenceInterval {
+            lo: 0.1,
+            point: 0.2,
+            hi: 0.3,
+        };
+        let b = ConfidenceInterval {
+            lo: 0.25,
+            point: 0.3,
+            hi: 0.5,
+        };
+        let c = ConfidenceInterval {
+            lo: 0.4,
+            point: 0.5,
+            hi: 0.6,
+        };
         assert!(a.overlaps(&b));
         assert!(!a.overlaps(&c));
         assert!(b.overlaps(&c));

@@ -59,7 +59,10 @@ impl Corpus {
     /// Encodes a new sentence against the existing vocabulary
     /// (out-of-vocabulary tokens are dropped).
     pub fn encode(&self, raw: &str) -> Vec<u32> {
-        tokenize(raw).iter().filter_map(|t| self.vocab.get(t)).collect()
+        tokenize(raw)
+            .iter()
+            .filter_map(|t| self.vocab.get(t))
+            .collect()
     }
 }
 

@@ -21,8 +21,10 @@ pub fn char_ngrams(token: &str, n: usize) -> Vec<String> {
     if token.is_empty() {
         return Vec::new();
     }
-    let padded: Vec<char> =
-        std::iter::once('^').chain(token.chars()).chain(std::iter::once('$')).collect();
+    let padded: Vec<char> = std::iter::once('^')
+        .chain(token.chars())
+        .chain(std::iter::once('$'))
+        .collect();
     if padded.len() <= n {
         return vec![padded.iter().collect()];
     }

@@ -48,7 +48,10 @@ pub fn normalize(raw: &str) -> String {
 ///            vec!["the", "beatles", "abbey", "road", "1969"]);
 /// ```
 pub fn tokenize(raw: &str) -> Vec<String> {
-    normalize(raw).split_whitespace().map(str::to_owned).collect()
+    normalize(raw)
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect()
 }
 
 #[cfg(test)]

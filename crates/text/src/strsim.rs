@@ -79,10 +79,18 @@ pub fn jaro(a: &str, b: &str) -> f32 {
     if m == 0 {
         return 0.0;
     }
-    let matches_b: Vec<char> =
-        b.iter().enumerate().filter(|&(j, _)| b_used[j]).map(|(_, &c)| c).collect();
-    let transpositions =
-        matches_a.iter().zip(matches_b.iter()).filter(|(x, y)| x != y).count() / 2;
+    let matches_b: Vec<char> = b
+        .iter()
+        .enumerate()
+        .filter(|&(j, _)| b_used[j])
+        .map(|(_, &c)| c)
+        .collect();
+    let transpositions = matches_a
+        .iter()
+        .zip(matches_b.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
     let m = m as f32;
     (m / a.len() as f32 + m / b.len() as f32 + (m - transpositions as f32) / m) / 3.0
 }
@@ -178,7 +186,11 @@ mod tests {
     fn similarities_bounded() {
         let pairs = [("hello", "world"), ("a", ""), ("abc def", "abc xyz")];
         for (a, b) in pairs {
-            for s in [levenshtein_similarity(a, b), jaccard_tokens(a, b), jaro_winkler(a, b)] {
+            for s in [
+                levenshtein_similarity(a, b),
+                jaccard_tokens(a, b),
+                jaro_winkler(a, b),
+            ] {
                 assert!((0.0..=1.0).contains(&s), "{a} vs {b}: {s}");
             }
         }

@@ -73,7 +73,11 @@ impl TfIdfModel {
 /// Fits a [`TfIdfModel`] and transforms every corpus sentence.
 pub fn tfidf(corpus: &Corpus) -> (TfIdfModel, Vec<SparseVector>) {
     let model = TfIdfModel::fit(corpus);
-    let vectors = corpus.sentences().iter().map(|s| model.transform(s)).collect();
+    let vectors = corpus
+        .sentences()
+        .iter()
+        .map(|s| model.transform(s))
+        .collect();
     (model, vectors)
 }
 

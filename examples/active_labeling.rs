@@ -28,15 +28,25 @@ fn main() {
     let irs_a = IrTable::new(arity, ir_model.encode_batch(&a));
     let irs_b = IrTable::new(arity, ir_model.encode_batch(&b));
     let all = irs_a.irs.vconcat(&irs_b.irs);
-    let (repr, _) = ReprModel::train(&all, &ReprConfig { ir_dim: 64, ..Default::default() })
-        .expect("VAE trains");
+    let (repr, _) = ReprModel::train(
+        &all,
+        &ReprConfig {
+            ir_dim: 64,
+            ..Default::default()
+        },
+    )
+    .expect("VAE trains");
 
     // The labelling oracle simulates the human; it bills every query.
     let oracle = dataset.oracle();
     let test = PairExamples::build(&irs_a, &irs_b, &dataset.test_pairs);
 
     // Active learning with a budget of 60 labels.
-    let config = ActiveConfig { iterations: 100, seed: 11, ..ActiveConfig::default() };
+    let config = ActiveConfig {
+        iterations: 100,
+        seed: 11,
+        ..ActiveConfig::default()
+    };
     let mut learner = ActiveLearner::new(&repr, &irs_a, &irs_b, config);
     println!(
         "bootstrap: {} auto-labelled seeds, {} pool candidates",
@@ -47,7 +57,12 @@ fn main() {
     println!("\nlearning curve (labels used -> test F1):");
     for c in learner.history() {
         if let Some(f1) = c.test_f1 {
-            println!("  {:>4} labels  F1 {:.2}  {}", c.labels_used, f1, "#".repeat((f1 * 30.0) as usize));
+            println!(
+                "  {:>4} labels  F1 {:.2}  {}",
+                c.labels_used,
+                f1,
+                "#".repeat((f1 * 30.0) as usize)
+            );
         }
     }
     let al_f1 = evaluate_matcher(&matcher, &irs_a, &irs_b, &dataset.test_pairs).f1;
@@ -64,7 +79,11 @@ fn main() {
         oracle.queries_used(),
         learner.bootstrap_corrections()
     );
-    println!("full:    F1 {:.2} with {} labels", full_f1, dataset.train_pairs.len());
+    println!(
+        "full:    F1 {:.2} with {} labels",
+        full_f1,
+        dataset.train_pairs.len()
+    );
     println!(
         "label saving: {:.0}% of the training set",
         100.0 * oracle.queries_used() as f32 / dataset.train_pairs.len() as f32

@@ -42,7 +42,11 @@ fn main() {
     let covered = {
         let cand: std::collections::HashSet<(usize, usize)> =
             candidates.iter().map(|c| (c.left, c.right)).collect();
-        dataset.duplicates.iter().filter(|&&(a, b)| cand.contains(&(a, b))).count()
+        dataset
+            .duplicates
+            .iter()
+            .filter(|&&(a, b)| cand.contains(&(a, b)))
+            .count()
     };
     println!(
         "blocking recall: {}/{} true duplicates survive",
@@ -53,7 +57,11 @@ fn main() {
     // Match the candidates.
     let candidate_pairs: PairSet = candidates
         .iter()
-        .map(|c| LabeledPair { left: c.left, right: c.right, is_match: false })
+        .map(|c| LabeledPair {
+            left: c.left,
+            right: c.right,
+            is_match: false,
+        })
         .collect();
     let probs = pipeline.predict(&candidate_pairs);
     let mut links: Vec<(usize, usize, f32)> = candidate_pairs
@@ -69,7 +77,10 @@ fn main() {
     // wrong links at the default threshold. Measure against ground truth.
     let truth: std::collections::HashSet<(usize, usize)> =
         dataset.duplicates.iter().copied().collect();
-    let correct = links.iter().filter(|&&(a, b, _)| truth.contains(&(a, b))).count();
+    let correct = links
+        .iter()
+        .filter(|&&(a, b, _)| truth.contains(&(a, b)))
+        .count();
     println!(
         "\ndiscovered {} links at p>0.5 ({} correct, precision {:.2}); strongest five:",
         links.len(),
@@ -77,8 +88,10 @@ fn main() {
         correct as f32 / links.len().max(1) as f32
     );
     let strict: Vec<_> = links.iter().filter(|&&(_, _, p)| p > 0.95).collect();
-    let strict_correct =
-        strict.iter().filter(|&&&(a, b, _)| truth.contains(&(a, b))).count();
+    let strict_correct = strict
+        .iter()
+        .filter(|&&&(a, b, _)| truth.contains(&(a, b)))
+        .count();
     println!(
         "at p>0.95: {} links, precision {:.2} — thresholding trades recall for precision",
         strict.len(),
@@ -94,7 +107,10 @@ fn main() {
     }
 
     // Export the link table as CSV.
-    let mut out = Table::new(Schema::new("links", &["product_a", "product_b", "confidence"]));
+    let mut out = Table::new(Schema::new(
+        "links",
+        &["product_a", "product_b", "confidence"],
+    ));
     for &(a, b, p) in &links {
         out.push(vec![
             dataset.table_a.row(a)[0].clone(),

@@ -47,5 +47,8 @@ fn main() {
         "unsupervised top-10 retrieval: recall {:.2}, precision {:.2}",
         repr_report.recall, repr_report.precision
     );
-    assert!(report.f1 > 0.5, "quickstart should end with a usable matcher");
+    assert!(
+        report.f1 > 0.5,
+        "quickstart should end with a usable matcher"
+    );
 }

@@ -27,13 +27,21 @@ fn fixture(domain: Domain, seed: u64) -> Fixture {
     let irs_b = IrTable::new(arity, ir_model.encode_batch(&b));
     let all = irs_a.irs.vconcat(&irs_b.irs);
     let (repr, _) = ReprModel::train(&all, &ReprConfig::fast(24)).unwrap();
-    Fixture { dataset, irs_a, irs_b, repr }
+    Fixture {
+        dataset,
+        irs_a,
+        irs_b,
+        repr,
+    }
 }
 
 fn al_config(seed: u64) -> ActiveConfig {
     ActiveConfig {
         iterations: 5,
-        matcher: MatcherConfig { epochs: 10, ..MatcherConfig::fast() },
+        matcher: MatcherConfig {
+            epochs: 10,
+            ..MatcherConfig::fast()
+        },
         seed,
         ..ActiveConfig::default()
     }
@@ -61,8 +69,14 @@ fn labelled_set_contains_both_classes_after_bootstrap() {
     let mut learner = ActiveLearner::new(&f.repr, &f.irs_a, &f.irs_b, al_config(2));
     learner.run(&oracle, 20, None).unwrap();
     let labeled = learner.labeled();
-    assert!(labeled.num_positive() > 0, "no positives after bootstrap+AL");
-    assert!(labeled.num_negative() > 0, "no negatives after bootstrap+AL");
+    assert!(
+        labeled.num_positive() > 0,
+        "no positives after bootstrap+AL"
+    );
+    assert!(
+        labeled.num_negative() > 0,
+        "no negatives after bootstrap+AL"
+    );
 }
 
 #[test]
@@ -75,7 +89,10 @@ fn history_labels_are_monotone() {
     let history = learner.history();
     assert!(!history.is_empty());
     for w in history.windows(2) {
-        assert!(w[1].labels_used >= w[0].labels_used, "labels went backwards");
+        assert!(
+            w[1].labels_used >= w[0].labels_used,
+            "labels went backwards"
+        );
     }
     assert!(history.iter().all(|c| c.test_f1.is_some()));
 }

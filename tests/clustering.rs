@@ -10,8 +10,11 @@ fn resolve_then_cluster_produces_sound_entities() {
     let mut config = PipelineConfig::fast();
     config.seed = 19;
     let pipeline = Pipeline::fit(&ds, &config).unwrap();
-    let links: Vec<(usize, usize)> =
-        pipeline.resolve(5, 0.5).into_iter().map(|(a, b, _)| (a, b)).collect();
+    let links: Vec<(usize, usize)> = pipeline
+        .resolve(5, 0.5)
+        .into_iter()
+        .map(|(a, b, _)| (a, b))
+        .collect();
     assert!(!links.is_empty(), "no links resolved");
     let clusters = cluster_links(&links, ds.table_a.len(), ds.table_b.len(), false);
     assert!(!clusters.is_empty());
@@ -27,8 +30,12 @@ fn resolve_then_cluster_produces_sound_entities() {
         }
     }
     // Cluster-level quality should be reasonable on this clean domain.
-    let metrics =
-        pairwise_cluster_metrics(&clusters, &ds.duplicates, ds.table_a.len(), ds.table_b.len());
+    let metrics = pairwise_cluster_metrics(
+        &clusters,
+        &ds.duplicates,
+        ds.table_a.len(),
+        ds.table_b.len(),
+    );
     assert!(metrics.f1 > 0.5, "cluster F1 {metrics}");
 }
 
@@ -40,15 +47,16 @@ fn calibrated_threshold_is_usable_end_to_end() {
     let pipeline = Pipeline::fit(&ds, &config).unwrap();
     // Calibrate on the training pairs, apply to resolve().
     let (irs_a, irs_b) = pipeline.ir_tables();
-    let train_examples =
-        vaer::core::matcher::PairExamples::build(irs_a, irs_b, &ds.train_pairs);
+    let train_examples = vaer::core::matcher::PairExamples::build(irs_a, irs_b, &ds.train_pairs);
     let (threshold, f1_at_t) = pipeline.matcher().calibrate_threshold(&train_examples);
     assert!(f1_at_t > 0.0);
     let links = pipeline.resolve(5, threshold.clamp(0.05, 0.95));
     // Links at the calibrated threshold should skew correct.
-    let truth: std::collections::HashSet<(usize, usize)> =
-        ds.duplicates.iter().copied().collect();
-    let correct = links.iter().filter(|&&(a, b, _)| truth.contains(&(a, b))).count();
+    let truth: std::collections::HashSet<(usize, usize)> = ds.duplicates.iter().copied().collect();
+    let correct = links
+        .iter()
+        .filter(|&&(a, b, _)| truth.contains(&(a, b)))
+        .count();
     assert!(
         correct * 2 >= links.len(),
         "fewer than half of {} calibrated links are correct",

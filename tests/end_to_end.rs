@@ -32,7 +32,11 @@ fn representations_beat_chance_on_retrieval() {
     let ds = DomainSpec::new(Domain::Citations1, Scale::Tiny).generate(5);
     let pipeline = Pipeline::fit(&ds, &fast(5)).unwrap();
     let report = pipeline.representation_report(&ds.test_pairs, 10);
-    assert!(report.recall > 0.5, "representation recall {}", report.recall);
+    assert!(
+        report.recall > 0.5,
+        "representation recall {}",
+        report.recall
+    );
 }
 
 #[test]
@@ -63,7 +67,11 @@ fn transfer_between_unrelated_domains_works() {
     let adapted = adapt_dataset_arity(&target, source.table_a.schema.arity());
     let transferred =
         Pipeline::fit_transferred(&adapted, &config, source_pipeline.repr().clone()).unwrap();
-    assert_eq!(transferred.timings().repr_secs, 0.0, "transfer must skip repr training");
+    assert_eq!(
+        transferred.timings().repr_secs,
+        0.0,
+        "transfer must skip repr training"
+    );
     let f1 = transferred.evaluate(&adapted.test_pairs).f1;
     assert!(f1 > 0.4, "transferred F1 {f1}");
 }

@@ -1,8 +1,12 @@
-//! Property-based tests (proptest) of the core invariants: metric
-//! properties of the distances, probability bounds, text-processing
-//! idempotence, serialisation round-trips, and index correctness.
+//! Property-style tests of the core invariants: metric properties of the
+//! distances, probability bounds, text-processing idempotence,
+//! serialisation round-trips, and index correctness.
+//!
+//! Random cases are driven by a seeded RNG loop (no external
+//! property-testing dependency); failures print the case index so they
+//! replay deterministically.
 
-use proptest::prelude::*;
+use rand::{rngs::StdRng, RngExt, SeedableRng};
 use vaer::data::{LabeledPair, PairSet};
 use vaer::index::{BruteForceKnn, E2Lsh, KnnIndex};
 use vaer::linalg::Matrix;
@@ -13,80 +17,150 @@ use vaer::stats::kde::Kde;
 use vaer::stats::metrics::PrF1;
 use vaer::text::{normalize, tfidf, Corpus};
 
-fn gaussian_strategy(dims: usize) -> impl Strategy<Value = DiagGaussian> {
-    (
-        proptest::collection::vec(-10.0f32..10.0, dims),
-        proptest::collection::vec(0.01f32..5.0, dims),
-    )
-        .prop_map(|(mu, sigma)| DiagGaussian::new(mu, sigma))
+fn random_gaussian(rng: &mut StdRng, dims: usize) -> DiagGaussian {
+    let mu = (0..dims)
+        .map(|_| rng.random_range(-10.0f32..10.0))
+        .collect();
+    let sigma = (0..dims).map(|_| rng.random_range(0.01f32..5.0)).collect();
+    DiagGaussian::new(mu, sigma)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+/// A printable-ASCII string of random length in `[lo, hi)`.
+fn random_string(rng: &mut StdRng, lo: usize, hi: usize) -> String {
+    let len = rng.random_range(lo..hi.max(lo + 1));
+    (0..len)
+        .map(|_| {
+            // Mix letters, digits, punctuation, and whitespace.
+            match rng.random_range(0..10u32) {
+                0..=5 => rng.random_range(b'a'..=b'z') as char,
+                6 => rng.random_range(b'A'..=b'Z') as char,
+                7 => rng.random_range(b'0'..=b'9') as char,
+                8 => ' ',
+                _ => ['.', ',', '-', '_', '/', '!'][rng.random_range(0..6usize)],
+            }
+        })
+        .collect()
+}
 
-    #[test]
-    fn w2_is_a_metric_like_form(p in gaussian_strategy(6), q in gaussian_strategy(6)) {
+/// A lowercase word of 1..=8 characters.
+fn random_word(rng: &mut StdRng) -> String {
+    (0..rng.random_range(1..=8usize))
+        .map(|_| rng.random_range(b'a'..=b'z') as char)
+        .collect()
+}
+
+#[test]
+fn w2_is_a_metric_like_form() {
+    let mut rng = StdRng::seed_from_u64(0x57A7);
+    for case in 0..64 {
+        let p = random_gaussian(&mut rng, 6);
+        let q = random_gaussian(&mut rng, 6);
         // Non-negative, symmetric, zero iff identical parameters.
         let d_pq = w2_squared(&p, &q);
         let d_qp = w2_squared(&q, &p);
-        prop_assert!(d_pq >= 0.0);
-        prop_assert!((d_pq - d_qp).abs() <= 1e-3 * (1.0 + d_pq.abs()));
-        prop_assert!(w2_squared(&p, &p) == 0.0);
+        assert!(d_pq >= 0.0, "case {case}");
+        assert!(
+            (d_pq - d_qp).abs() <= 1e-3 * (1.0 + d_pq.abs()),
+            "case {case}"
+        );
+        assert!(w2_squared(&p, &p) == 0.0, "case {case}");
     }
+}
 
-    #[test]
-    fn w2_triangle_inequality_on_sqrt(
-        p in gaussian_strategy(4),
-        q in gaussian_strategy(4),
-        r in gaussian_strategy(4),
-    ) {
+#[test]
+fn w2_triangle_inequality_on_sqrt() {
+    let mut rng = StdRng::seed_from_u64(0x7214);
+    for case in 0..64 {
+        let p = random_gaussian(&mut rng, 4);
+        let q = random_gaussian(&mut rng, 4);
+        let r = random_gaussian(&mut rng, 4);
         // W2 (not squared) is a true metric on diagonal Gaussians.
         let pq = w2_squared(&p, &q).sqrt();
         let qr = w2_squared(&q, &r).sqrt();
         let pr = w2_squared(&p, &r).sqrt();
-        prop_assert!(pr <= pq + qr + 1e-3 * (1.0 + pr));
+        assert!(pr <= pq + qr + 1e-3 * (1.0 + pr), "case {case}");
     }
+}
 
-    #[test]
-    fn mahalanobis_non_negative_and_symmetric(p in gaussian_strategy(5), q in gaussian_strategy(5)) {
+#[test]
+fn mahalanobis_non_negative_and_symmetric() {
+    let mut rng = StdRng::seed_from_u64(0x3A3A);
+    for case in 0..64 {
+        let p = random_gaussian(&mut rng, 5);
+        let q = random_gaussian(&mut rng, 5);
         let d = mahalanobis_squared(&p, &q);
-        prop_assert!(d >= 0.0);
-        prop_assert!((d - mahalanobis_squared(&q, &p)).abs() <= 1e-3 * (1.0 + d));
+        assert!(d >= 0.0, "case {case}");
+        assert!(
+            (d - mahalanobis_squared(&q, &p)).abs() <= 1e-3 * (1.0 + d),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn kl_to_standard_is_non_negative(p in gaussian_strategy(5)) {
-        prop_assert!(kl_to_standard(&p) >= -1e-4);
+#[test]
+fn kl_to_standard_is_non_negative() {
+    let mut rng = StdRng::seed_from_u64(0x1B1B);
+    for case in 0..64 {
+        let p = random_gaussian(&mut rng, 5);
+        assert!(kl_to_standard(&p) >= -1e-4, "case {case}");
     }
+}
 
-    #[test]
-    fn entropy_bounded_by_ln2(p in 0.0f32..=1.0) {
+#[test]
+fn entropy_bounded_by_ln2() {
+    let mut rng = StdRng::seed_from_u64(0xE272);
+    for case in 0..256 {
+        let p = if case == 0 {
+            0.0
+        } else if case == 1 {
+            1.0
+        } else {
+            rng.random_range(0.0f32..1.0)
+        };
         let h = binary_entropy(p);
-        prop_assert!(h >= 0.0);
-        prop_assert!(h <= std::f32::consts::LN_2 + 1e-6);
+        assert!(h >= 0.0, "case {case}");
+        assert!(h <= std::f32::consts::LN_2 + 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn kde_density_non_negative(samples in proptest::collection::vec(-100.0f32..100.0, 1..50),
-                                x in -200.0f32..200.0) {
+#[test]
+fn kde_density_non_negative() {
+    let mut rng = StdRng::seed_from_u64(0xDE11);
+    for case in 0..64 {
+        let n = rng.random_range(1..50usize);
+        let samples: Vec<f32> = (0..n).map(|_| rng.random_range(-100.0f32..100.0)).collect();
+        let x = rng.random_range(-200.0f32..200.0);
         let kde = Kde::fit(&samples).unwrap();
-        prop_assert!(kde.density(x) >= 0.0);
-        prop_assert!(kde.density(x).is_finite());
+        assert!(kde.density(x) >= 0.0, "case {case}");
+        assert!(kde.density(x).is_finite(), "case {case}");
         let r = kde.relative_density(x);
-        prop_assert!((0.0..=1.0).contains(&r));
+        assert!((0.0..=1.0).contains(&r), "case {case}");
     }
+}
 
-    #[test]
-    fn normalize_is_idempotent(raw in ".{0,60}") {
+#[test]
+fn normalize_is_idempotent() {
+    let mut rng = StdRng::seed_from_u64(0x1DE4);
+    for case in 0..128 {
+        let raw = random_string(&mut rng, 0, 60);
         let once = normalize(&raw);
         let twice = normalize(&once);
-        prop_assert_eq!(once, twice);
+        assert_eq!(once, twice, "case {case}: raw {raw:?}");
     }
+}
 
-    #[test]
-    fn tfidf_vectors_unit_norm_or_empty(
-        sentences in proptest::collection::vec("[a-z]{1,8}( [a-z]{1,8}){0,5}", 1..12)
-    ) {
+#[test]
+fn tfidf_vectors_unit_norm_or_empty() {
+    let mut rng = StdRng::seed_from_u64(0x7F1D);
+    for case in 0..32 {
+        let sentences: Vec<String> = (0..rng.random_range(1..12usize))
+            .map(|_| {
+                (0..rng.random_range(1..=6usize))
+                    .map(|_| random_word(&mut rng))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            })
+            .collect();
         let corpus = Corpus::build(&sentences, 1);
         let (_, vectors) = tfidf(&corpus);
         for v in vectors {
@@ -94,73 +168,89 @@ proptest! {
                 continue;
             }
             let norm: f32 = v.iter().map(|&(_, w)| w * w).sum::<f32>().sqrt();
-            prop_assert!((norm - 1.0).abs() < 1e-4, "norm {}", norm);
+            assert!((norm - 1.0).abs() < 1e-4, "case {case}: norm {norm}");
         }
     }
+}
 
-    #[test]
-    fn prf1_counts_are_consistent(labels in proptest::collection::vec(any::<(bool, bool)>(), 0..64)) {
-        let predicted: Vec<bool> = labels.iter().map(|&(p, _)| p).collect();
-        let actual: Vec<bool> = labels.iter().map(|&(_, a)| a).collect();
+#[test]
+fn prf1_counts_are_consistent() {
+    let mut rng = StdRng::seed_from_u64(0xF1F1);
+    for case in 0..64 {
+        let n = rng.random_range(0..64usize);
+        let predicted: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
+        let actual: Vec<bool> = (0..n).map(|_| rng.random_bool(0.5)).collect();
         let m = PrF1::from_labels(&predicted, &actual);
-        prop_assert_eq!(m.tp + m.fp + m.fn_ + m.tn, labels.len());
-        prop_assert!((0.0..=1.0).contains(&m.precision));
-        prop_assert!((0.0..=1.0).contains(&m.recall));
-        prop_assert!((0.0..=1.0).contains(&m.f1));
-        prop_assert!(m.f1 <= m.precision.max(m.recall) + 1e-6);
-        prop_assert!(m.f1 + 1e-6 >= m.precision.min(m.recall) * 0.0); // trivially holds; F1 ≥ 0
+        assert_eq!(m.tp + m.fp + m.fn_ + m.tn, n, "case {case}");
+        assert!((0.0..=1.0).contains(&m.precision), "case {case}");
+        assert!((0.0..=1.0).contains(&m.recall), "case {case}");
+        assert!((0.0..=1.0).contains(&m.f1), "case {case}");
+        assert!(m.f1 <= m.precision.max(m.recall) + 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn param_store_bytes_round_trip(
-        dims in proptest::collection::vec((1usize..5, 1usize..5), 1..4),
-        values in proptest::collection::vec(-100.0f32..100.0, 16),
-    ) {
+#[test]
+fn param_store_bytes_round_trip() {
+    let mut rng = StdRng::seed_from_u64(0x5704);
+    for case in 0..32 {
         let mut store = ParamStore::new();
-        let mut vi = 0;
-        for (i, &(r, c)) in dims.iter().enumerate() {
-            let data: Vec<f32> =
-                (0..r * c).map(|k| values[(vi + k) % values.len()]).collect();
-            vi += r * c;
+        for i in 0..rng.random_range(1..4usize) {
+            let r = rng.random_range(1..5usize);
+            let c = rng.random_range(1..5usize);
+            let data: Vec<f32> = (0..r * c)
+                .map(|_| rng.random_range(-100.0f32..100.0))
+                .collect();
             store.add(format!("p{i}"), Matrix::from_vec(r, c, data));
         }
         let back = ParamStore::from_bytes(&store.to_bytes()).unwrap();
-        prop_assert_eq!(back.len(), store.len());
-        for (id, name, value) in store.iter() {
+        assert_eq!(back.len(), store.len(), "case {case}");
+        for (_, name, value) in store.iter() {
             let bid = back.find(name).unwrap();
-            prop_assert_eq!(back.get(bid), value);
-            let _ = id;
+            assert_eq!(back.get(bid), value, "case {case}: param {name}");
         }
     }
+}
 
-    #[test]
-    fn lsh_knn_is_subset_quality_of_brute_force(
-        seed in 0u64..1000,
-        n in 20usize..60,
-    ) {
+#[test]
+fn lsh_knn_is_subset_quality_of_brute_force() {
+    let mut rng = StdRng::seed_from_u64(0x15A1);
+    for case in 0..24 {
+        let seed = rng.random_range(0..1000u64);
+        let n = rng.random_range(20..60usize);
         // LSH's top-1 neighbour distance can never beat brute force, and
         // with the fallback it must return k results.
-        let mut rng = vaer::linalg::XorShiftRng::new(seed);
-        let points: Vec<Vec<f32>> =
-            (0..n).map(|_| (0..8).map(|_| rng.gaussian()).collect()).collect();
+        let mut xrng = vaer::linalg::XorShiftRng::new(seed);
+        let points: Vec<Vec<f32>> = (0..n)
+            .map(|_| (0..8).map(|_| xrng.gaussian()).collect())
+            .collect();
         let brute = BruteForceKnn::build(points.clone());
         let lsh = E2Lsh::build_calibrated(points.clone(), seed);
         let q = &points[0];
         let bf = brute.knn(q, 3);
         let ls = lsh.knn(q, 3);
-        prop_assert_eq!(ls.len(), 3.min(n));
-        prop_assert!(ls[0].distance + 1e-6 >= bf[0].distance);
+        assert_eq!(ls.len(), 3.min(n), "case {case}");
+        assert!(ls[0].distance + 1e-6 >= bf[0].distance, "case {case}");
         // Self-query must find itself at distance 0.
-        prop_assert!(ls[0].distance <= 1e-6);
+        assert!(ls[0].distance <= 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn pair_set_validation_matches_bounds(
-        pairs in proptest::collection::vec((0usize..30, 0usize..30, any::<bool>()), 0..20),
-        len_a in 1usize..30,
-        len_b in 1usize..30,
-    ) {
-        use vaer::data::{Schema, Table};
+#[test]
+fn pair_set_validation_matches_bounds() {
+    use vaer::data::{Schema, Table};
+    let mut rng = StdRng::seed_from_u64(0xB02D);
+    for case in 0..48 {
+        let len_a = rng.random_range(1..30usize);
+        let len_b = rng.random_range(1..30usize);
+        let pairs: Vec<(usize, usize, bool)> = (0..rng.random_range(0..20usize))
+            .map(|_| {
+                (
+                    rng.random_range(0..30usize),
+                    rng.random_range(0..30usize),
+                    rng.random_bool(0.5),
+                )
+            })
+            .collect();
         let mut a = Table::new(Schema::new("a", &["x"]));
         for i in 0..len_a {
             a.push(vec![format!("{i}")]);
@@ -171,9 +261,13 @@ proptest! {
         }
         let set: PairSet = pairs
             .iter()
-            .map(|&(l, r, m)| LabeledPair { left: l, right: r, is_match: m })
+            .map(|&(l, r, m)| LabeledPair {
+                left: l,
+                right: r,
+                is_match: m,
+            })
             .collect();
         let valid = set.pairs.iter().all(|p| p.left < len_a && p.right < len_b);
-        prop_assert_eq!(set.validate(&a, &b).is_ok(), valid);
+        assert_eq!(set.validate(&a, &b).is_ok(), valid, "case {case}");
     }
 }
