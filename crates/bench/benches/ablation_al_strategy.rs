@@ -41,8 +41,14 @@ fn main() {
 
         // Full VAER strategy.
         let oracle = ds.oracle();
-        let mut learner =
-            ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, base_config());
+        let mut learner = ActiveLearner::with_latents(
+            &bundle.repr,
+            &bundle.irs_a,
+            &bundle.irs_b,
+            bundle.lat_a.clone(),
+            bundle.lat_b.clone(),
+            base_config(),
+        );
         let vaer_f1 = learner
             .run(&oracle, budget, None)
             .map(|m| evaluate_matcher(&m, &bundle.irs_a, &bundle.irs_b, &ds.test_pairs).f1)
@@ -50,16 +56,28 @@ fn main() {
 
         // Entropy-only: bootstrap seeds, then pure uncertainty sampling.
         let oracle = ds.oracle();
-        let mut learner =
-            ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, base_config());
+        let mut learner = ActiveLearner::with_latents(
+            &bundle.repr,
+            &bundle.irs_a,
+            &bundle.irs_b,
+            bundle.lat_a.clone(),
+            bundle.lat_b.clone(),
+            base_config(),
+        );
         let entropy_f1 = run_with_sampler(&mut learner, &oracle, budget, Sampler::Entropy)
             .map(|m| m.evaluate(&test).f1)
             .unwrap_or(0.0);
 
         // Random sampling at the same budget.
         let oracle = ds.oracle();
-        let mut learner =
-            ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, base_config());
+        let mut learner = ActiveLearner::with_latents(
+            &bundle.repr,
+            &bundle.irs_a,
+            &bundle.irs_b,
+            bundle.lat_a.clone(),
+            bundle.lat_b.clone(),
+            base_config(),
+        );
         let random_f1 = run_with_sampler(&mut learner, &oracle, budget, Sampler::Random)
             .map(|m| m.evaluate(&test).f1)
             .unwrap_or(0.0);

@@ -2,8 +2,9 @@
 //! scale; our default is 32 — see DESIGN.md scaling notes).
 
 use vaer_bench::{banner, dataset, fmt_metric, scale_from_env, seed_from_env};
-use vaer_core::entity::{group_entities, IrTable};
+use vaer_core::entity::IrTable;
 use vaer_core::evaluation::recall_at_k_vae;
+use vaer_core::latent::LatentTable;
 use vaer_core::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
 use vaer_core::repr::{ReprConfig, ReprModel};
 use vaer_data::domains::Domain;
@@ -38,8 +39,8 @@ fn main() {
                 ..ReprConfig::default()
             };
             let (repr, _) = ReprModel::train(&all, &config).expect("VAE");
-            let reprs_a = group_entities(repr.encode(&irs_a.irs), arity);
-            let reprs_b = group_entities(repr.encode(&irs_b.irs), arity);
+            let reprs_a = LatentTable::encode(&repr, &irs_a).entities();
+            let reprs_b = LatentTable::encode(&repr, &irs_b).entities();
             recalls.push(fmt_metric(recall_at_k_vae(
                 &reprs_a,
                 &reprs_b,

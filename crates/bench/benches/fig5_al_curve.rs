@@ -54,8 +54,14 @@ fn main() {
                     seed,
                     ..ActiveConfig::default()
                 };
-                let mut learner =
-                    ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, config);
+                let mut learner = ActiveLearner::with_latents(
+                    &bundle.repr,
+                    &bundle.irs_a,
+                    &bundle.irs_b,
+                    bundle.lat_a.clone(),
+                    bundle.lat_b.clone(),
+                    config,
+                );
                 learner.run(&oracle, budget, Some(&test)).expect("AL run");
                 let points = learner
                     .history()

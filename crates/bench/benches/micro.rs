@@ -1,9 +1,16 @@
 //! Micro-benchmarks of the hot kernels underneath every experiment:
 //! matmul, one VAE training step, the W₂² distance, KDE evaluation,
-//! LSH vs brute-force kNN, and one skip-gram epoch.
+//! LSH vs brute-force kNN, and one skip-gram epoch — plus a kernel
+//! report (single-thread 256³ GFLOP/s, blocked vs reference, and tape
+//! allocations per step) written to `BENCH_kernels.json` at the repo
+//! root.
 //!
 //! Uses a self-contained `Instant` harness (median of timed batches)
 //! since the workspace carries no external bench framework.
+//!
+//! `VAER_BENCH_QUICK=1` runs only the kernel report with reduced
+//! sampling and *asserts* that the blocked kernels are at least as fast
+//! as the references — the CI smoke mode.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -11,25 +18,27 @@ use vaer_bench::banner;
 use vaer_core::repr::{ReprConfig, ReprModel};
 use vaer_embed::{SgnsConfig, SgnsEmbeddings};
 use vaer_index::{BruteForceKnn, E2Lsh, KnnIndex};
-use vaer_linalg::{Matrix, XorShiftRng};
+use vaer_linalg::{matmul_reference, matmul_t_reference, t_matmul_reference, Matrix, XorShiftRng};
+use vaer_nn::{Graph, ParamStore};
 use vaer_stats::gaussian::{w2_squared, DiagGaussian};
 use vaer_stats::kde::Kde;
 
-/// Runs `f` in timed batches and prints the median per-call time.
-fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
-    // Calibrate: pick a batch size that takes roughly >= 10ms.
+/// Median seconds per call of `f`, over `samples` timed batches each
+/// lasting at least `min_millis`.
+fn median_secs<T>(samples: usize, min_millis: u128, mut f: impl FnMut() -> T) -> f64 {
+    // Calibrate: pick a batch size that takes roughly >= min_millis.
     let mut batch = 1usize;
     loop {
         let start = Instant::now();
         for _ in 0..batch {
             black_box(f());
         }
-        if start.elapsed().as_millis() >= 10 || batch >= 1 << 20 {
+        if start.elapsed().as_millis() >= min_millis || batch >= 1 << 20 {
             break;
         }
         batch *= 4;
     }
-    let mut samples: Vec<f64> = (0..9)
+    let mut timed: Vec<f64> = (0..samples)
         .map(|_| {
             let start = Instant::now();
             for _ in 0..batch {
@@ -38,8 +47,13 @@ fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
             start.elapsed().as_secs_f64() / batch as f64
         })
         .collect();
-    samples.sort_by(f64::total_cmp);
-    let median = samples[samples.len() / 2];
+    timed.sort_by(f64::total_cmp);
+    timed[timed.len() / 2]
+}
+
+/// Runs `f` in timed batches and prints the median per-call time.
+fn bench<T>(name: &str, f: impl FnMut() -> T) {
+    let median = median_secs(9, 10, f);
     let (value, unit) = if median >= 1.0 {
         (median, "s ")
     } else if median >= 1e-3 {
@@ -49,7 +63,7 @@ fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     } else {
         (median * 1e9, "ns")
     };
-    println!("{name:<28} {value:>9.3} {unit}/iter  (batch {batch})");
+    println!("{name:<28} {value:>9.3} {unit}/iter");
 }
 
 fn bench_matmul() {
@@ -130,12 +144,166 @@ fn bench_sgns() {
     });
 }
 
+/// One blocked-vs-reference comparison of the kernel report.
+struct KernelLine {
+    name: &'static str,
+    blocked_gflops: f64,
+    reference_gflops: f64,
+}
+
+impl KernelLine {
+    fn speedup(&self) -> f64 {
+        self.blocked_gflops / self.reference_gflops
+    }
+}
+
+/// Single-thread 256³ GFLOP/s of the three blocked matmul kernels
+/// against their textbook references.
+fn kernel_report(quick: bool) -> Vec<KernelLine> {
+    const N: usize = 256;
+    let (samples, min_ms) = if quick { (3, 5) } else { (9, 30) };
+    let mut rng = XorShiftRng::new(7);
+    let a = Matrix::gaussian(N, N, &mut rng);
+    let b = Matrix::gaussian(N, N, &mut rng);
+    let gflops = |secs: f64| 2.0 * (N as f64).powi(3) / secs / 1e9;
+    vaer_linalg::runtime::set_threads(1);
+    let lines = vec![
+        KernelLine {
+            name: "matmul",
+            blocked_gflops: gflops(median_secs(samples, min_ms, || a.matmul(black_box(&b)))),
+            reference_gflops: gflops(median_secs(samples, min_ms, || {
+                matmul_reference(black_box(&a), black_box(&b))
+            })),
+        },
+        KernelLine {
+            name: "matmul_t",
+            blocked_gflops: gflops(median_secs(samples, min_ms, || a.matmul_t(black_box(&b)))),
+            reference_gflops: gflops(median_secs(samples, min_ms, || {
+                matmul_t_reference(black_box(&a), black_box(&b))
+            })),
+        },
+        KernelLine {
+            name: "t_matmul",
+            blocked_gflops: gflops(median_secs(samples, min_ms, || a.t_matmul(black_box(&b)))),
+            reference_gflops: gflops(median_secs(samples, min_ms, || {
+                t_matmul_reference(black_box(&a), black_box(&b))
+            })),
+        },
+    ];
+    vaer_linalg::runtime::set_threads(0);
+    lines
+}
+
+/// Times one dense forward/backward step on a reused tape and counts
+/// fresh heap allocations once the pool is warm (the zero-realloc
+/// contract says: zero).
+fn tape_report(quick: bool) -> (f64, usize) {
+    let mut rng = XorShiftRng::new(8);
+    let x = Matrix::gaussian(256, 64, &mut rng);
+    let y = Matrix::gaussian(256, 16, &mut rng);
+    let mut store = ParamStore::new();
+    let w1 = store.add("bench.w1", Matrix::gaussian(64, 32, &mut rng));
+    let w2 = store.add("bench.w2", Matrix::gaussian(32, 16, &mut rng));
+    let mut g = Graph::new();
+    let step = |g: &mut Graph| {
+        g.reset();
+        let xt = g.input_ref(&x);
+        let yt = g.input_ref(&y);
+        let w1t = g.param(&store, w1);
+        let h1 = g.matmul(xt, w1t);
+        let h = g.relu(h1);
+        let w2t = g.param(&store, w2);
+        let pred = g.matmul(h, w2t);
+        let diff = g.sub(pred, yt);
+        let sq = g.square(diff);
+        let loss = g.mean_all(sq);
+        g.backward(loss);
+        black_box(g.param_grads());
+    };
+    // Warm the pool (backward's grad buffers join it one step after the
+    // value buffers), then check the counter stays flat.
+    step(&mut g);
+    step(&mut g);
+    let warm = g.fresh_allocs();
+    for _ in 0..10 {
+        step(&mut g);
+    }
+    let warm_allocs = g.fresh_allocs() - warm;
+    let (samples, min_ms) = if quick { (3, 5) } else { (9, 20) };
+    let secs = median_secs(samples, min_ms, || step(&mut g));
+    (secs, warm_allocs)
+}
+
+/// Hand-rolled JSON for the kernel report (the workspace carries no
+/// serialisation dependency).
+fn write_kernel_json(lines: &[KernelLine], tape_secs: f64, tape_allocs: usize) {
+    let mut json = String::from("{\n  \"matmul_n\": 256,\n  \"threads\": 1,\n  \"kernels\": {\n");
+    for (i, l) in lines.iter().enumerate() {
+        let sep = if i + 1 == lines.len() { "" } else { "," };
+        json.push_str(&format!(
+            "    \"{}\": {{\"blocked_gflops\": {:.2}, \"reference_gflops\": {:.2}, \"speedup\": {:.2}}}{}\n",
+            l.name, l.blocked_gflops, l.reference_gflops, l.speedup(), sep
+        ));
+    }
+    json.push_str(&format!(
+        "  }},\n  \"tape\": {{\"secs_per_step\": {:.6}, \"fresh_allocs_per_step_warm\": {}}}\n}}\n",
+        tape_secs, tape_allocs
+    ));
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_kernels.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("(report written to {})", path.display()),
+        Err(e) => println!("(could not write {}: {e})", path.display()),
+    }
+}
+
+fn bench_kernels(quick: bool) {
+    println!("\n-- kernel report (single thread, 256^3) --");
+    let lines = kernel_report(quick);
+    for l in &lines {
+        println!(
+            "{:<28} {:>7.2} GFLOP/s blocked | {:>7.2} GFLOP/s reference | {:>5.2}x",
+            l.name,
+            l.blocked_gflops,
+            l.reference_gflops,
+            l.speedup()
+        );
+    }
+    let (tape_secs, tape_allocs) = tape_report(quick);
+    println!(
+        "{:<28} {:>9.3} µs/step, {} fresh allocs/step warm",
+        "tape_step_256x64",
+        tape_secs * 1e6,
+        tape_allocs
+    );
+    write_kernel_json(&lines, tape_secs, tape_allocs);
+    if quick {
+        // CI smoke: the blocked kernels must never lose to the textbook
+        // loops, and a warm tape must not touch the heap.
+        for l in &lines {
+            assert!(
+                l.speedup() >= 1.0,
+                "{} blocked kernel slower than reference ({:.2}x)",
+                l.name,
+                l.speedup()
+            );
+        }
+        assert_eq!(tape_allocs, 0, "warm tape step allocated");
+    }
+}
+
 fn main() {
+    let quick = std::env::var("VAER_BENCH_QUICK").is_ok_and(|v| v == "1");
     banner("Micro-benchmarks — hot kernels");
-    bench_matmul();
-    bench_vae_epoch();
-    bench_w2();
-    bench_kde();
-    bench_knn();
-    bench_sgns();
+    if !quick {
+        bench_matmul();
+        bench_vae_epoch();
+        bench_w2();
+        bench_kde();
+        bench_knn();
+        bench_sgns();
+    }
+    bench_kernels(quick);
 }

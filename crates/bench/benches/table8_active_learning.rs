@@ -45,6 +45,7 @@ fn main() {
         // a label budget above 100% of the training data would make the
         // paper's "Training %" column meaningless.
         let budget = budget.min(ds.train_pairs.len() / 2).max(20);
+        vaer_core::repr::reset_encode_calls();
         let bundle = fit_repr_bundle(&ds, IrKind::Lsa, 64, seed);
         let oracle = ds.oracle();
         let test_examples = PairExamples::build(&bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
@@ -63,8 +64,14 @@ fn main() {
             seed,
             ..ActiveConfig::default()
         };
-        let mut boot_learner =
-            ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, config);
+        let mut boot_learner = ActiveLearner::with_latents(
+            &bundle.repr,
+            &bundle.irs_a,
+            &bundle.irs_b,
+            bundle.lat_a.clone(),
+            bundle.lat_b.clone(),
+            config,
+        );
         let boot_matcher = boot_learner
             .run(&oracle, budget, None)
             .expect("bootstrap matcher");
@@ -78,11 +85,27 @@ fn main() {
             seed,
             ..ActiveConfig::default()
         };
-        let mut learner = ActiveLearner::new(&bundle.repr, &bundle.irs_a, &bundle.irs_b, config);
+        let mut learner = ActiveLearner::with_latents(
+            &bundle.repr,
+            &bundle.irs_a,
+            &bundle.irs_b,
+            bundle.lat_a.clone(),
+            bundle.lat_b.clone(),
+            config,
+        );
         let al_matcher = learner
             .run(&al_oracle, budget, Some(&test_examples))
             .expect("AL matcher");
         let al = evaluate_matcher(&al_matcher, &bundle.irs_a, &bundle.irs_b, &ds.test_pairs);
+
+        // The frozen-encoder cache contract: the whole domain run — VAE
+        // bundle, bootstrap learner, and the full AL loop — encodes each
+        // table's pool through the representation model exactly once.
+        assert_eq!(
+            vaer_core::repr::encode_calls(),
+            2,
+            "expected exactly one pool encoding per table"
+        );
 
         let f1_pct = if full.f1 > 0.0 {
             100.0 * al.f1 / full.f1

@@ -15,7 +15,8 @@
 
 pub mod paper;
 
-use vaer_core::entity::{group_entities, EntityRepr, IrTable};
+use vaer_core::entity::{EntityRepr, IrTable};
+use vaer_core::latent::LatentTable;
 use vaer_core::repr::{ReprConfig, ReprModel};
 use vaer_data::domains::{Domain, DomainSpec, Scale};
 use vaer_data::Dataset;
@@ -72,6 +73,10 @@ pub struct ReprBundle {
     pub irs_b: IrTable,
     /// The trained representation model.
     pub repr: ReprModel,
+    /// Cached latent encodings of table A (one encoder pass).
+    pub lat_a: LatentTable,
+    /// Cached latent encodings of table B (one encoder pass).
+    pub lat_b: LatentTable,
     /// Entity representations of table A.
     pub reprs_a: Vec<EntityRepr>,
     /// Entity representations of table B.
@@ -102,12 +107,19 @@ pub fn fit_repr_bundle(ds: &Dataset, kind: IrKind, ir_dim: usize, seed: u64) -> 
     let all = irs_a.irs.vconcat(&irs_b.irs);
     let (repr, _) = ReprModel::train(&all, &config).expect("VAE training failed");
     let repr_secs = t1.elapsed().as_secs_f64();
-    let reprs_a = group_entities(repr.encode(&irs_a.irs), arity);
-    let reprs_b = group_entities(repr.encode(&irs_b.irs), arity);
+    // One encoder pass per table; entity representations are derived from
+    // the caches, and downstream experiments reuse them instead of
+    // re-encoding.
+    let lat_a = LatentTable::encode(&repr, &irs_a);
+    let lat_b = LatentTable::encode(&repr, &irs_b);
+    let reprs_a = lat_a.entities();
+    let reprs_b = lat_b.entities();
     ReprBundle {
         irs_a,
         irs_b,
         repr,
+        lat_a,
+        lat_b,
         reprs_a,
         reprs_b,
         ir_secs,

@@ -15,6 +15,7 @@
 //! neighbours), which is the pairing the matcher ultimately has to judge.
 
 use crate::entity::{EntityRepr, IrTable};
+use crate::latent::{self, LatentTable};
 use crate::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
 use crate::repr::ReprModel;
 use crate::CoreError;
@@ -155,10 +156,17 @@ pub struct AlCheckpoint {
 }
 
 /// The Algorithm 2 driver.
+///
+/// The representation model is frozen for the duration of the loop, so
+/// the learner encodes each table **once** into a [`LatentTable`] at
+/// construction; every later matcher-training and pool-scoring step
+/// indexes into the cache instead of re-running the encoder.
 pub struct ActiveLearner<'a> {
     repr: &'a ReprModel,
     irs_a: &'a IrTable,
     irs_b: &'a IrTable,
+    lat_a: LatentTable,
+    lat_b: LatentTable,
     reprs_a: Vec<EntityRepr>,
     reprs_b: Vec<EntityRepr>,
     pool: Vec<(usize, usize)>,
@@ -172,21 +180,46 @@ pub struct ActiveLearner<'a> {
 
 impl<'a> ActiveLearner<'a> {
     /// Bootstraps the learner (Algorithm 1) from a representation model
-    /// and the IR tables of the two input tables.
+    /// and the IR tables of the two input tables. Each table is encoded
+    /// exactly once; the resulting latent caches serve the whole loop.
     pub fn new(
         repr: &'a ReprModel,
         irs_a: &'a IrTable,
         irs_b: &'a IrTable,
         config: ActiveConfig,
     ) -> Self {
-        let reprs_a = crate::entity::group_entities(repr.encode(&irs_a.irs), irs_a.arity);
-        let reprs_b = crate::entity::group_entities(repr.encode(&irs_b.irs), irs_b.arity);
+        let lat_a = LatentTable::encode(repr, irs_a);
+        let lat_b = LatentTable::encode(repr, irs_b);
+        Self::with_latents(repr, irs_a, irs_b, lat_a, lat_b, config)
+    }
+
+    /// Like [`new`](Self::new) but reuses latent caches built elsewhere
+    /// (e.g. by the pipeline), avoiding even the initial encoder pass.
+    ///
+    /// # Panics
+    /// If either cache was built from different weights than `repr`.
+    pub fn with_latents(
+        repr: &'a ReprModel,
+        irs_a: &'a IrTable,
+        irs_b: &'a IrTable,
+        lat_a: LatentTable,
+        lat_b: LatentTable,
+        config: ActiveConfig,
+    ) -> Self {
+        assert!(
+            !lat_a.is_stale(repr) && !lat_b.is_stale(repr),
+            "latent caches must match the representation model"
+        );
+        let reprs_a = lat_a.entities();
+        let reprs_b = lat_b.entities();
         let boot = bootstrap(&reprs_a, &reprs_b, &config.bootstrap);
         let rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         Self {
             repr,
             irs_a,
             irs_b,
+            lat_a,
+            lat_b,
             reprs_a,
             reprs_b,
             pool: boot.pool,
@@ -197,6 +230,11 @@ impl<'a> ActiveLearner<'a> {
             history: Vec::new(),
             bootstrap_corrections: 0,
         }
+    }
+
+    /// The latent caches backing this learner (left, right).
+    pub fn latents(&self) -> (&LatentTable, &LatentTable) {
+        (&self.lat_a, &self.lat_b)
     }
 
     /// Number of bootstrap seeds whose automatic label was wrong and had
@@ -234,11 +272,54 @@ impl<'a> ActiveLearner<'a> {
 
     /// Trains a matcher on the current labelled set.
     ///
+    /// While the encoder stays frozen the Distance-layer features come
+    /// straight from the latent caches (no encoder pass); once the
+    /// labelled set is large enough to fine-tune, training falls back to
+    /// the full Siamese path over the IR tables.
+    ///
     /// # Errors
     /// Propagates [`CoreError::InsufficientData`] when a class is empty.
     pub fn train_matcher(&self) -> Result<SiameseMatcher, CoreError> {
-        let examples = PairExamples::build(self.irs_a, self.irs_b, &self.labeled());
-        SiameseMatcher::train(self.repr, &examples, &self.config.matcher)
+        let n_labeled = self.labeled_pos.len() + self.labeled_neg.len();
+        if SiameseMatcher::frozen_for(&self.config.matcher, n_labeled) {
+            let pairs: Vec<(usize, usize)> = self
+                .labeled_pos
+                .iter()
+                .chain(self.labeled_neg.iter())
+                .copied()
+                .collect();
+            let labels: Vec<f32> = std::iter::repeat_n(1.0, self.labeled_pos.len())
+                .chain(std::iter::repeat_n(0.0, self.labeled_neg.len()))
+                .collect();
+            let features = latent::distance_features(
+                self.config.matcher.distance,
+                &self.lat_a,
+                &self.lat_b,
+                &pairs,
+            );
+            SiameseMatcher::train_cached(self.repr, &features, &labels, &self.config.matcher)
+        } else {
+            let examples = PairExamples::build(self.irs_a, self.irs_b, &self.labeled());
+            SiameseMatcher::train(self.repr, &examples, &self.config.matcher)
+        }
+    }
+
+    /// Scores the unlabeled pool with `matcher`, reading cached latents
+    /// when the matcher's encoder is frozen (the common case) and only
+    /// re-encoding through the Siamese tape after fine-tuning.
+    fn score_pool(&self, matcher: &SiameseMatcher) -> Vec<f32> {
+        if matcher.encoder_frozen() {
+            let features = latent::distance_features(
+                self.config.matcher.distance,
+                &self.lat_a,
+                &self.lat_b,
+                &self.pool,
+            );
+            matcher.predict_features(&features)
+        } else {
+            let examples = PairExamples::build_unlabeled(self.irs_a, self.irs_b, &self.pool);
+            matcher.predict(&examples)
+        }
     }
 
     /// Verifies bootstrap seeds against the oracle and moves misfiled
@@ -365,8 +446,7 @@ impl<'a> ActiveLearner<'a> {
     /// lines 6–9): per quadrant, the best `samples_per_iteration / 4`
     /// pool pairs.
     fn select_batch(&mut self, matcher: &SiameseMatcher) -> Vec<(usize, usize)> {
-        let examples = PairExamples::build_unlabeled(self.irs_a, self.irs_b, &self.pool);
-        let probs = matcher.predict(&examples);
+        let probs = self.score_pool(matcher);
         let kde = self.positive_distance_kde();
         const EPS: f32 = 1e-4;
         // Pre-compute per-candidate entropy and KDE likelihood.
@@ -420,8 +500,7 @@ impl<'a> ActiveLearner<'a> {
         matcher: &SiameseMatcher,
         n: usize,
     ) -> Vec<(usize, usize)> {
-        let examples = PairExamples::build_unlabeled(self.irs_a, self.irs_b, &self.pool);
-        let probs = matcher.predict(&examples);
+        let probs = self.score_pool(matcher);
         let mut ranked: Vec<(usize, f32)> = probs
             .iter()
             .enumerate()
@@ -600,6 +679,59 @@ mod tests {
             "labelled pool did not grow: {before} -> {after}"
         );
         assert!(learner.pool_size() > 0);
+    }
+
+    #[test]
+    fn cached_pool_scoring_matches_direct_prediction() {
+        let w = world(25, 5);
+        let learner = ActiveLearner::new(&w.repr, &w.a, &w.b, ActiveConfig::default());
+        let matcher = learner.train_matcher().unwrap();
+        assert!(matcher.encoder_frozen(), "small pool must stay frozen");
+        let cached = learner.score_pool(&matcher);
+        let direct = matcher.predict(&PairExamples::build_unlabeled(&w.a, &w.b, &learner.pool));
+        assert_eq!(cached, direct, "cached probabilities diverged");
+
+        // The cached trainer must be indistinguishable from the full one.
+        let full = SiameseMatcher::train(
+            &w.repr,
+            &PairExamples::build(&w.a, &w.b, &learner.labeled()),
+            &learner.config.matcher,
+        )
+        .unwrap();
+        let via_full = full.predict(&PairExamples::build_unlabeled(&w.a, &w.b, &learner.pool));
+        assert_eq!(cached, via_full, "cached training diverged");
+    }
+
+    #[test]
+    fn with_latents_matches_new_and_rejects_stale_caches() {
+        let w = world(20, 6);
+        let lat_a = LatentTable::encode(&w.repr, &w.a);
+        let lat_b = LatentTable::encode(&w.repr, &w.b);
+        let from_caches = ActiveLearner::with_latents(
+            &w.repr,
+            &w.a,
+            &w.b,
+            lat_a.clone(),
+            lat_b.clone(),
+            ActiveConfig::default(),
+        );
+        let fresh = ActiveLearner::new(&w.repr, &w.a, &w.b, ActiveConfig::default());
+        assert_eq!(from_caches.pool, fresh.pool);
+        assert_eq!(from_caches.labeled_pos, fresh.labeled_pos);
+        assert_eq!(from_caches.labeled_neg, fresh.labeled_neg);
+
+        let other = world(20, 7);
+        let stale = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ActiveLearner::with_latents(
+                &other.repr,
+                &w.a,
+                &w.b,
+                lat_a,
+                lat_b,
+                ActiveConfig::default(),
+            )
+        }));
+        assert!(stale.is_err(), "stale caches must be rejected");
     }
 
     #[test]

@@ -18,11 +18,17 @@
 //! 5. [`pipeline`] — glues everything into an end-to-end ER run,
 //!    [`evaluation`] implements the paper's top-K representation metrics,
 //!    and [`cluster`] consolidates pairwise links into resolved entities.
+//!
+//! Because the representation model is frozen after stage 1, its
+//! encodings of a table never change during stages 2–3; [`latent`]
+//! caches them once per table and the AL loop, matcher, and pipeline
+//! all index into the cache instead of re-running the encoder.
 
 pub mod active;
 pub mod cluster;
 pub mod entity;
 pub mod evaluation;
+pub mod latent;
 pub mod matcher;
 pub mod pipeline;
 pub mod repr;

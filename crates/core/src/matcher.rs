@@ -17,7 +17,8 @@ use vaer_data::PairSet;
 use vaer_linalg::Matrix;
 use vaer_nn::schedule::minibatches;
 use vaer_nn::{
-    sharded_step, Adam, Graph, Mlp, MlpConfig, NnRng, Optimizer, ParamStore, SeedableRng,
+    sharded_step_pooled, Adam, Graph, GraphPool, Mlp, MlpConfig, NnRng, Optimizer, ParamStore,
+    SeedableRng,
 };
 use vaer_stats::metrics::PrF1;
 
@@ -179,19 +180,6 @@ impl PairExamples {
             labels: rows.iter().map(|&i| self.labels[i]).collect(),
         }
     }
-
-    /// A contiguous row slice (used by the sharded training/scoring paths).
-    fn slice(&self, start: usize, end: usize) -> PairExamples {
-        PairExamples {
-            left: self.left.iter().map(|m| m.slice_rows(start, end)).collect(),
-            right: self
-                .right
-                .iter()
-                .map(|m| m.slice_rows(start, end))
-                .collect(),
-            labels: self.labels[start..end].to_vec(),
-        }
-    }
 }
 
 /// The trained Siamese matching model (the `γ` of the paper).
@@ -202,6 +190,9 @@ pub struct SiameseMatcher {
     arity: usize,
     latent_dim: usize,
     config: MatcherConfig,
+    /// Whether training left the encoder at its transferred values (in
+    /// which case latent-cache-derived features stay valid for scoring).
+    frozen_encoder: bool,
 }
 
 const MLP_NAME: &str = "matcher.mlp";
@@ -221,17 +212,68 @@ impl SiameseMatcher {
         examples: &PairExamples,
         config: &MatcherConfig,
     ) -> Result<Self, CoreError> {
-        if examples.is_empty() {
-            return Err(CoreError::InsufficientData("no training pairs".into()));
-        }
-        let has_pos = examples.labels.iter().any(|&l| l > 0.5);
-        let has_neg = examples.labels.iter().any(|&l| l < 0.5);
-        if !has_pos || !has_neg {
-            return Err(CoreError::InsufficientData(
-                "training pairs must contain both classes".into(),
+        check_labels(&examples.labels)?;
+        let arity = examples.arity();
+        let (mut matcher, mut rng) = Self::init(repr, arity, examples.len(), config);
+        matcher.fit(examples, &mut rng)?;
+        Ok(matcher)
+    }
+
+    /// Trains the matcher from a latent cache instead of raw IRs — valid
+    /// exactly when [`frozen_for`](Self::frozen_for) holds, because then
+    /// the encoder never moves and the cached Distance-layer `features`
+    /// (from [`crate::latent::distance_features`]) are the constants the
+    /// frozen training path would compute anyway. Produces a matcher
+    /// bit-identical to [`train`](Self::train) on the same pairs.
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] when the configuration would fine-tune the
+    /// encoder (use [`train`](Self::train) with IR examples instead);
+    /// [`CoreError::InsufficientData`] on empty/single-class labels.
+    pub fn train_cached(
+        repr: &ReprModel,
+        features: &Matrix,
+        labels: &[f32],
+        config: &MatcherConfig,
+    ) -> Result<Self, CoreError> {
+        if !Self::frozen_for(config, labels.len()) {
+            return Err(CoreError::BadInput(
+                "cached training requires a frozen encoder".into(),
             ));
         }
-        let arity = examples.arity();
+        check_labels(labels)?;
+        let latent_dim = repr.config().latent_dim;
+        assert_eq!(
+            features.cols() % latent_dim,
+            0,
+            "feature width {} not a multiple of latent dim {latent_dim}",
+            features.cols()
+        );
+        let arity = features.cols() / latent_dim;
+        let (mut matcher, mut rng) = Self::init(repr, arity, labels.len(), config);
+        matcher.fit_mlp_on_features(features, labels, &mut rng);
+        Ok(matcher)
+    }
+
+    /// Whether a matcher trained with `config` on `n_pairs` labelled
+    /// pairs keeps the encoder frozen — the predicate that gates every
+    /// latent-cache fast path.
+    pub fn frozen_for(config: &MatcherConfig, n_pairs: usize) -> bool {
+        !config.fine_tune_encoder || n_pairs < config.fine_tune_min_pairs
+    }
+
+    /// Whether this matcher's encoder is still the representation
+    /// model's (so latent-cache features remain valid for it).
+    pub fn encoder_frozen(&self) -> bool {
+        self.frozen_encoder
+    }
+
+    fn init(
+        repr: &ReprModel,
+        arity: usize,
+        n_pairs: usize,
+        config: &MatcherConfig,
+    ) -> (Self, NnRng) {
         let latent_dim = repr.config().latent_dim;
         let mut store = repr.store().clone();
         let mut rng = NnRng::seed_from_u64(config.seed);
@@ -241,82 +283,79 @@ impl SiameseMatcher {
             &MlpConfig::relu(vec![arity * latent_dim, config.mlp_hidden, 1]),
             &mut rng,
         );
-        let mut matcher = Self {
+        let matcher = Self {
             store,
             mlp,
             arity,
             latent_dim,
             config: config.clone(),
+            frozen_encoder: Self::frozen_for(config, n_pairs),
         };
-        matcher.fit(examples, &mut rng)?;
-        Ok(matcher)
+        (matcher, rng)
+    }
+
+    /// Minimum optimisation budget: small labelled sets (tiny scaled
+    /// domains, early AL iterations) would otherwise see only a handful
+    /// of gradient steps.
+    fn training_epochs(&self, n_examples: usize) -> usize {
+        let batches_per_epoch = n_examples.div_ceil(self.config.batch_size).max(1);
+        let min_steps = 600usize;
+        self.config
+            .epochs
+            .max(min_steps.div_ceil(batches_per_epoch))
     }
 
     fn fit(&mut self, examples: &PairExamples, rng: &mut NnRng) -> Result<(), CoreError> {
-        let mut adam =
-            Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
-        let frozen_encoder =
-            !self.config.fine_tune_encoder || examples.len() < self.config.fine_tune_min_pairs;
-        let mut encoder_params: Vec<vaer_nn::ParamId> = Vec::new();
-        if frozen_encoder {
-            for name in [
-                crate::repr::ENC_HIDDEN,
-                crate::repr::ENC_MU,
-                crate::repr::ENC_LOGVAR,
-            ] {
-                for suffix in ["w", "b"] {
-                    if let Some(id) = self.store.find(&format!("{name}.{suffix}")) {
-                        encoder_params.push(id);
-                    }
-                }
-            }
-        }
-        // Small labelled sets (tiny scaled domains, early AL iterations)
-        // would otherwise see only a handful of gradient steps; guarantee
-        // a minimum optimisation budget regardless of dataset size.
-        let batches_per_epoch = examples.len().div_ceil(self.config.batch_size).max(1);
-        let min_steps = 600usize;
-        let epochs = self
-            .config
-            .epochs
-            .max(min_steps.div_ceil(batches_per_epoch));
-        if frozen_encoder {
+        if self.frozen_encoder {
             // The encoder is fixed, so the Distance-layer features are
             // constants: compute them once and train only the MLP. This is
             // exactly the cost profile Fig. 1's decoupling promises — the
             // supervised stage optimises a small classifier over a frozen
             // representation space.
             let features = self.distance_features(examples);
-            let labels = Matrix::from_vec(examples.len(), 1, examples.labels.clone());
-            for _epoch in 0..epochs {
-                for batch in minibatches(examples.len(), self.config.batch_size, rng) {
-                    let x = features.select_rows(&batch);
-                    let y = labels.select_rows(&batch);
-                    let step = sharded_step(batch.len(), |g, rows| {
-                        let xt = g.input(x.slice_rows(rows.start, rows.end));
-                        let yt = y.slice_rows(rows.start, rows.end);
-                        let logits = self.mlp.forward(g, &self.store, xt);
-                        g.bce_with_logits(logits, yt)
-                    });
-                    adam.step(&mut self.store, &step.grads);
-                }
-            }
+            self.fit_mlp_on_features(&features, &examples.labels, rng);
             return Ok(());
         }
+        let mut adam =
+            Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
+        let epochs = self.training_epochs(examples.len());
+        let mut tapes = GraphPool::new();
         for _epoch in 0..epochs {
             for batch in minibatches(examples.len(), self.config.batch_size, rng) {
                 let sub = examples.select(&batch);
-                let step = sharded_step(sub.len(), |g, rows| {
-                    let shard = sub.slice(rows.start, rows.end);
-                    let (loss, _logits) = self.loss_graph(g, &shard);
+                let step = sharded_step_pooled(&mut tapes, sub.len(), |g, rows| {
+                    let (loss, _logits) = self.loss_graph(g, &sub, rows.start, rows.end);
                     loss
                 });
-                let mut grads = step.grads;
-                grads.retain(|(id, _)| !encoder_params.contains(id));
-                adam.step(&mut self.store, &grads);
+                adam.step(&mut self.store, &step.grads);
             }
         }
         Ok(())
+    }
+
+    /// The frozen-encoder training loop: minibatch BCE on the small MLP
+    /// over precomputed Distance-layer features. Shared by [`fit`] (which
+    /// computes the features from IRs) and [`Self::train_cached`] (which
+    /// receives them from the latent cache) so both produce bit-identical
+    /// matchers.
+    fn fit_mlp_on_features(&mut self, features: &Matrix, labels: &[f32], rng: &mut NnRng) {
+        let mut adam =
+            Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
+        let epochs = self.training_epochs(labels.len());
+        let labels = Matrix::from_vec(labels.len(), 1, labels.to_vec());
+        let mut tapes = GraphPool::new();
+        for _epoch in 0..epochs {
+            for batch in minibatches(labels.rows(), self.config.batch_size, rng) {
+                let x = features.select_rows(&batch);
+                let y = labels.select_rows(&batch);
+                let step = sharded_step_pooled(&mut tapes, batch.len(), |g, rows| {
+                    let xt = g.input_rows(&x, rows.start, rows.end);
+                    let logits = self.mlp.forward(g, &self.store, xt);
+                    g.bce_with_logits_rows(logits, &y, rows.start, rows.end)
+                });
+                adam.step(&mut self.store, &step.grads);
+            }
+        }
     }
 
     /// Concatenated Distance-layer features for a batch, computed outside
@@ -325,8 +364,8 @@ impl SiameseMatcher {
         let mut g = Graph::new();
         let mut parts = Vec::with_capacity(self.arity);
         for attr in 0..self.arity {
-            let xs = g.input(examples.left[attr].clone());
-            let xt = g.input(examples.right[attr].clone());
+            let xs = g.input_ref(&examples.left[attr]);
+            let xt = g.input_ref(&examples.right[attr]);
             let d = self.distance_vector(&mut g, xs, xt);
             parts.push(d);
         }
@@ -363,23 +402,25 @@ impl SiameseMatcher {
         }
     }
 
-    /// Builds the Eq. 4 loss for a batch on a fresh tape; returns the loss
-    /// and the raw logits tensor.
+    /// Builds the Eq. 4 loss for rows `start..end` of `batch` on a tape;
+    /// returns the loss and the raw logits tensor.
     fn loss_graph(
         &self,
         g: &mut Graph,
         batch: &PairExamples,
+        start: usize,
+        end: usize,
     ) -> (vaer_nn::Tensor, vaer_nn::Tensor) {
-        let n = batch.len();
-        let labels = Matrix::from_vec(n, 1, batch.labels.clone());
-        let x = g.input(labels.clone());
-        let ones = g.input(Matrix::filled(n, 1, 1.0));
+        let n = end - start;
+        let labels = Matrix::from_vec(n, 1, batch.labels[start..end].to_vec());
+        let x = g.input_ref(&labels);
+        let ones = g.input_filled(n, 1, 1.0);
         let one_minus_x = g.sub(ones, x);
         let mut dist_parts = Vec::with_capacity(self.arity);
         let mut contrastive_terms = Vec::with_capacity(self.arity);
         for attr in 0..self.arity {
-            let xs = g.input(batch.left[attr].clone());
-            let xt = g.input(batch.right[attr].clone());
+            let xs = g.input_rows(&batch.left[attr], start, end);
+            let xt = g.input_rows(&batch.right[attr], start, end);
             let d_vec = self.distance_vector(g, xs, xt);
             dist_parts.push(d_vec);
             // Contrastive term on the scalar W₂² of this attribute.
@@ -394,7 +435,7 @@ impl SiameseMatcher {
         }
         let dist = g.concat_cols(&dist_parts); // n x (m·k)
         let logits = self.mlp.forward(g, &self.store, dist);
-        let bce = g.bce_with_logits(logits, labels);
+        let bce = g.bce_with_logits_rows(logits, &labels, 0, n);
         let mut contrastive = contrastive_terms[0];
         for &t in &contrastive_terms[1..] {
             contrastive = g.add(contrastive, t);
@@ -420,12 +461,11 @@ impl SiameseMatcher {
         const MIN_PAIRS_PER_SHARD: usize = 64;
         let shards =
             vaer_linalg::runtime::map_shards(examples.len(), MIN_PAIRS_PER_SHARD, |rows| {
-                let shard = examples.slice(rows.start, rows.end);
                 let mut g = Graph::new();
                 let mut dist_parts = Vec::with_capacity(self.arity);
                 for attr in 0..self.arity {
-                    let xs = g.input(shard.left[attr].clone());
-                    let xt = g.input(shard.right[attr].clone());
+                    let xs = g.input_rows(&examples.left[attr], rows.start, rows.end);
+                    let xt = g.input_rows(&examples.right[attr], rows.start, rows.end);
                     let d_vec = self.distance_vector(&mut g, xs, xt);
                     dist_parts.push(d_vec);
                 }
@@ -435,6 +475,36 @@ impl SiameseMatcher {
                 g.value(probs).as_slice().to_vec()
             });
         shards.into_iter().flatten().collect()
+    }
+
+    /// Predicted duplicate probabilities from precomputed Distance-layer
+    /// features (`n x (arity·latent)`, e.g. from
+    /// [`crate::latent::distance_features`]) — the latent-cache scoring
+    /// path, bit-identical to [`predict`](Self::predict) on the same
+    /// pairs.
+    ///
+    /// # Panics
+    /// Panics if the matcher fine-tuned its encoder (cached features are
+    /// stale for it — use [`predict`](Self::predict)) or on a feature
+    /// width mismatch.
+    pub fn predict_features(&self, features: &Matrix) -> Vec<f32> {
+        assert!(
+            self.frozen_encoder,
+            "cached features are invalid for a fine-tuned encoder"
+        );
+        assert_eq!(
+            features.cols(),
+            self.arity * self.latent_dim,
+            "feature width mismatch"
+        );
+        if features.rows() == 0 {
+            return Vec::new();
+        }
+        let mut g = Graph::new();
+        let xt = g.input_ref(features);
+        let logits = self.mlp.forward(&mut g, &self.store, xt);
+        let probs = g.sigmoid(logits);
+        g.value(probs).as_slice().to_vec()
     }
 
     /// Evaluates P/R/F1 at threshold 0.5 against the examples' labels.
@@ -544,6 +614,21 @@ impl SiameseMatcher {
     pub fn config(&self) -> &MatcherConfig {
         &self.config
     }
+}
+
+/// Validates that a label vector is non-empty and two-class.
+fn check_labels(labels: &[f32]) -> Result<(), CoreError> {
+    if labels.is_empty() {
+        return Err(CoreError::InsufficientData("no training pairs".into()));
+    }
+    let has_pos = labels.iter().any(|&l| l > 0.5);
+    let has_neg = labels.iter().any(|&l| l < 0.5);
+    if !has_pos || !has_neg {
+        return Err(CoreError::InsufficientData(
+            "training pairs must contain both classes".into(),
+        ));
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -2,8 +2,9 @@
 //! supervised Siamese matching, with per-stage timing (Table VI) and the
 //! blocking/representation reports of §VI-B.
 
-use crate::entity::{group_entities, EntityRepr, IrTable};
+use crate::entity::{EntityRepr, IrTable};
 use crate::evaluation::{topk_eval_irs, topk_eval_vae};
+use crate::latent::{self, LatentTable};
 use crate::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
 use crate::repr::{ReprConfig, ReprModel, ReprTrainStats};
 use crate::CoreError;
@@ -111,6 +112,8 @@ pub struct Pipeline {
     matcher: SiameseMatcher,
     irs_a: IrTable,
     irs_b: IrTable,
+    lat_a: LatentTable,
+    lat_b: LatentTable,
     reprs_a: Vec<EntityRepr>,
     reprs_b: Vec<EntityRepr>,
     timings: Timings,
@@ -186,8 +189,13 @@ impl Pipeline {
                 (model, stats, t1.elapsed().as_secs_f64())
             }
         };
-        let reprs_a = group_entities(repr.encode(&irs_a.irs), arity);
-        let reprs_b = group_entities(repr.encode(&irs_b.irs), arity);
+        // The representation model is frozen from here on: encode each
+        // table once into a latent cache; entity representations, matcher
+        // features, and resolution all read from it.
+        let lat_a = LatentTable::encode(&repr, &irs_a);
+        let lat_b = LatentTable::encode(&repr, &irs_b);
+        let reprs_a = lat_a.entities();
+        let reprs_b = lat_b.entities();
 
         // Stage 3: supervised matching, with Algorithm-1-style auto-labelled
         // random negatives mixed into the labelled pairs (see
@@ -208,8 +216,24 @@ impl Pipeline {
                 });
             }
         }
-        let examples = PairExamples::build(&irs_a, &irs_b, &train_pairs);
-        let matcher = SiameseMatcher::train(&repr, &examples, &matcher_config)?;
+        let matcher = if SiameseMatcher::frozen_for(&matcher_config, train_pairs.pairs.len()) {
+            let pairs: Vec<(usize, usize)> = train_pairs
+                .pairs
+                .iter()
+                .map(|p| (p.left, p.right))
+                .collect();
+            let labels: Vec<f32> = train_pairs
+                .pairs
+                .iter()
+                .map(|p| if p.is_match { 1.0 } else { 0.0 })
+                .collect();
+            let features =
+                latent::distance_features(matcher_config.distance, &lat_a, &lat_b, &pairs);
+            SiameseMatcher::train_cached(&repr, &features, &labels, &matcher_config)?
+        } else {
+            let examples = PairExamples::build(&irs_a, &irs_b, &train_pairs);
+            SiameseMatcher::train(&repr, &examples, &matcher_config)?
+        };
         let match_secs = t2.elapsed().as_secs_f64();
 
         Ok(Self {
@@ -218,6 +242,8 @@ impl Pipeline {
             matcher,
             irs_a,
             irs_b,
+            lat_a,
+            lat_b,
             reprs_a,
             reprs_b,
             timings: Timings {
@@ -230,10 +256,23 @@ impl Pipeline {
         })
     }
 
-    /// Duplicate probabilities for labelled pairs.
+    /// Duplicate probabilities for labelled pairs. While the matcher's
+    /// encoder is frozen (the common case) the features come from the
+    /// latent caches rather than re-running the encoder per call.
     pub fn predict(&self, pairs: &PairSet) -> Vec<f32> {
-        self.matcher
-            .predict(&PairExamples::build(&self.irs_a, &self.irs_b, pairs))
+        if self.matcher.encoder_frozen() {
+            let idx: Vec<(usize, usize)> = pairs.pairs.iter().map(|p| (p.left, p.right)).collect();
+            let features = latent::distance_features(
+                self.config.matcher.distance,
+                &self.lat_a,
+                &self.lat_b,
+                &idx,
+            );
+            self.matcher.predict_features(&features)
+        } else {
+            self.matcher
+                .predict(&PairExamples::build(&self.irs_a, &self.irs_b, pairs))
+        }
     }
 
     /// P/R/F1 of the matcher on a labelled pair set.
@@ -345,6 +384,12 @@ impl Pipeline {
         (&self.reprs_a, &self.reprs_b)
     }
 
+    /// The cached latent encodings (`(table_a, table_b)`) — valid for
+    /// [`repr`](Self::repr) until a transferred model replaces it.
+    pub fn latents(&self) -> (&LatentTable, &LatentTable) {
+        (&self.lat_a, &self.lat_b)
+    }
+
     /// The configuration the pipeline was fitted with.
     pub fn config(&self) -> &PipelineConfig {
         &self.config
@@ -420,6 +465,20 @@ mod tests {
             .filter(|&&(a, b, _)| truth.contains(&(a, b)))
             .count();
         assert!(top_correct >= 3, "only {top_correct}/5 top links correct");
+    }
+
+    #[test]
+    fn cached_prediction_matches_direct_matcher() {
+        let ds = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(8);
+        let p = Pipeline::fit(&ds, &fast_config(8)).unwrap();
+        assert!(p.matcher().encoder_frozen(), "tiny pairs must stay frozen");
+        let cached = p.predict(&ds.test_pairs);
+        let direct = p
+            .matcher()
+            .predict(&PairExamples::build(&p.irs_a, &p.irs_b, &ds.test_pairs));
+        assert_eq!(cached, direct, "cached pipeline predictions diverged");
+        let (lat_a, lat_b) = p.latents();
+        assert!(!lat_a.is_stale(p.repr()) && !lat_b.is_stale(p.repr()));
     }
 
     #[test]

@@ -18,8 +18,8 @@ use crate::CoreError;
 use vaer_linalg::Matrix;
 use vaer_nn::schedule::minibatches;
 use vaer_nn::{
-    sharded_step, Adam, Dense, Graph, Initializer, NnRng, Optimizer, ParamStore, SeedableRng,
-    Tensor,
+    sharded_step_pooled, Adam, Dense, Graph, GraphPool, Initializer, NnRng, Optimizer, ParamStore,
+    SeedableRng, Tensor,
 };
 use vaer_stats::gaussian::DiagGaussian;
 
@@ -86,6 +86,22 @@ pub struct ReprTrainStats {
 pub struct ReprModel {
     store: ParamStore,
     config: ReprConfig,
+}
+
+/// Process-wide count of full encoder passes ([`ReprModel::encode`] /
+/// [`ReprModel::encode_matrices`] calls). The frozen-encoder cache exists
+/// to keep this at one per table per model; benches assert on it.
+static ENCODE_CALLS: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Number of encoder passes performed since the last
+/// [`reset_encode_calls`] (process-wide).
+pub fn encode_calls() -> usize {
+    ENCODE_CALLS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Resets the encoder-pass counter (test/bench instrumentation).
+pub fn reset_encode_calls() {
+    ENCODE_CALLS.store(0, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// Layer-name constants shared with the Siamese matcher (which rebinds the
@@ -160,6 +176,8 @@ impl ReprModel {
         let mut adam = Adam::with_rate(config.learning_rate);
         let mut stats = ReprTrainStats::default();
         let mut noise_rng = NnRng::seed_from_u64(config.seed ^ 0xE95);
+        // One tape per shard slot, reused for the whole training run.
+        let mut tapes = GraphPool::new();
         for _epoch in 0..config.epochs {
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
@@ -169,9 +187,9 @@ impl ReprModel {
                 // runtime decides to use.
                 let x = irs.select_rows(&batch);
                 let eps = gaussian_matrix(batch.len(), config.latent_dim, &mut noise_rng);
-                let step = sharded_step(batch.len(), |g, rows| {
+                let step = sharded_step_pooled(&mut tapes, batch.len(), |g, rows| {
                     let n = rows.len();
-                    let xt = g.input(x.slice_rows(rows.start, rows.end));
+                    let xt = g.input_rows(&x, rows.start, rows.end);
                     // Encoder.
                     let h = enc_hidden.forward(g, &store, xt);
                     let h = g.relu(h);
@@ -180,7 +198,7 @@ impl ReprModel {
                     // Reparameterisation: z = μ + exp(½ logvar) ⊙ ε.
                     let half_logvar = g.scale(logvar, 0.5);
                     let sigma = g.exp(half_logvar);
-                    let eps_t = g.input(eps.slice_rows(rows.start, rows.end));
+                    let eps_t = g.input_rows(&eps, rows.start, rows.end);
                     let noise = g.mul(sigma, eps_t);
                     let z = g.add(mu, noise);
                     // Decoder.
@@ -257,22 +275,56 @@ impl ReprModel {
     /// contiguous row shards on the [`vaer_linalg::runtime`] worker pool;
     /// each row's result is bit-identical at any thread count.
     pub fn encode(&self, irs: &Matrix) -> Vec<DiagGaussian> {
+        let (mu, sigma) = self.encode_matrices(irs);
+        (0..mu.rows())
+            .map(|i| DiagGaussian::new(mu.row(i).to_vec(), sigma.row(i).to_vec()))
+            .collect()
+    }
+
+    /// Encodes a batch of IRs into `(μ, σ)` matrices of shape
+    /// `rows x latent_dim` — the matrix form backing [`Self::encode`] and
+    /// the frozen-encoder cache ([`crate::latent::LatentTable`]).
+    ///
+    /// Each call is one full encoder pass and increments the
+    /// process-wide [`encode_calls`] counter; row results are
+    /// bit-identical at any thread count and for any row batching.
+    pub fn encode_matrices(&self, irs: &Matrix) -> (Matrix, Matrix) {
         assert_eq!(irs.cols(), self.config.ir_dim, "IR width mismatch");
+        ENCODE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let latent = self.config.latent_dim;
         if irs.rows() == 0 {
-            return Vec::new();
+            return (Matrix::zeros(0, latent), Matrix::zeros(0, latent));
         }
         const MIN_ROWS_PER_SHARD: usize = 64;
         let shards = vaer_linalg::runtime::map_shards(irs.rows(), MIN_ROWS_PER_SHARD, |rows| {
             let mut g = Graph::new();
-            let x = g.input(irs.slice_rows(rows.start, rows.end));
+            let x = g.input_rows(irs, rows.start, rows.end);
             let (mu, sigma) = Self::encoder_forward(&mut g, &self.store, x);
-            let mu_v = g.value(mu);
-            let sig_v = g.value(sigma);
-            (0..rows.len())
-                .map(|i| DiagGaussian::new(mu_v.row(i).to_vec(), sig_v.row(i).to_vec()))
-                .collect::<Vec<_>>()
+            (g.value(mu).clone(), g.value(sigma).clone())
         });
-        shards.into_iter().flatten().collect()
+        let mut mu = Matrix::zeros(irs.rows(), latent);
+        let mut sigma = Matrix::zeros(irs.rows(), latent);
+        let mut offset = 0;
+        for (mu_s, sig_s) in shards {
+            let n = mu_s.rows() * latent;
+            mu.as_mut_slice()[offset..offset + n].copy_from_slice(mu_s.as_slice());
+            sigma.as_mut_slice()[offset..offset + n].copy_from_slice(sig_s.as_slice());
+            offset += n;
+        }
+        (mu, sigma)
+    }
+
+    /// A cheap content hash of the parameter store, used by the
+    /// frozen-encoder cache to detect that a model's weights changed
+    /// (e.g. after transfer loads different parameters).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over the serialised parameters.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in self.store.to_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
     }
 
     /// Decodes latent samples back to IR space (the generative direction).

@@ -8,6 +8,8 @@
 //! the target tables to the source arity (truncate or pad, §VI-D), and
 //! skip representation training entirely.
 
+use crate::entity::IrTable;
+use crate::latent::LatentTable;
 use crate::repr::ReprModel;
 use crate::CoreError;
 use std::path::Path;
@@ -43,6 +45,18 @@ pub fn adapt_dataset_arity(dataset: &Dataset, arity: usize) -> Dataset {
     out
 }
 
+/// Revalidates latent caches after a model swap: any cache built from
+/// different weights than `repr` is re-encoded from its IR table, fresh
+/// ones pass through untouched. This is the invalidation hook callers
+/// run after [`load_repr`] replaces the representation model a
+/// [`LatentTable`] was built from.
+pub fn refresh_latents(repr: &ReprModel, caches: Vec<(LatentTable, &IrTable)>) -> Vec<LatentTable> {
+    caches
+        .into_iter()
+        .map(|(lat, irs)| lat.refresh(repr, irs))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -64,6 +78,36 @@ mod tests {
         let b = back.encode(&irs);
         assert_eq!(a[0].mu, b[0].mu);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn refresh_latents_reencodes_only_stale_caches() {
+        let mut rng = XorShiftRng::new(2);
+        let table = IrTable::new(2, Matrix::gaussian(20, 8, &mut rng));
+        let (model, _) = ReprModel::train(&table.irs, &ReprConfig::fast(8)).unwrap();
+        let lat = LatentTable::encode(&model, &table);
+
+        // Same weights round-tripped through disk: fingerprints match, so
+        // the cache survives the swap without an encoder pass.
+        let dir = std::env::temp_dir().join("vaer_transfer_latents_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("repr.bin");
+        save_repr(&model, &path).unwrap();
+        let reloaded = load_repr(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        crate::repr::reset_encode_calls();
+        let kept = refresh_latents(&reloaded, vec![(lat.clone(), &table)]);
+        assert_eq!(crate::repr::encode_calls(), 0, "fresh cache re-encoded");
+        assert!(!kept[0].is_stale(&reloaded));
+
+        // Different weights: the cache must be rebuilt.
+        let other_irs = Matrix::gaussian(20, 8, &mut rng);
+        let (other, _) = ReprModel::train(&other_irs, &ReprConfig::fast(8)).unwrap();
+        let rebuilt = refresh_latents(&other, vec![(lat, &table)]);
+        assert!(!rebuilt[0].is_stale(&other));
+        let direct = other.encode(&table.irs);
+        let ents = rebuilt[0].entities();
+        assert_eq!(ents[0].attrs[0].mu, direct[0].mu);
     }
 
     #[test]

@@ -8,8 +8,11 @@
 //!
 //! The implementation is deliberately simple and allocation-conscious:
 //! contiguous `Vec<f32>` storage, iterator-driven inner loops (so the
-//! compiler elides bounds checks), and an `ikj`-ordered matmul that is
-//! cache-friendly without any `unsafe`.
+//! compiler elides bounds checks), and cache-blocked, register-tiled
+//! matrix products (packed RHS panels + an `MR x NR` micro-kernel) that
+//! are bit-identical to the naive reference loops. The only `unsafe` in
+//! the crate is the feature-detection-guarded AVX2 dispatch of the
+//! matmul micro-kernel.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@ pub mod vector;
 
 pub use decomp::{jacobi_eigh, qr_thin, randomized_svd, EighResult, QrResult, SvdResult};
 pub use matrix::Matrix;
+pub use ops::{matmul_reference, matmul_t_reference, t_matmul_reference, MR, NR};
 pub use rng::XorShiftRng;
 
 /// Errors produced by fallible linear-algebra routines.

@@ -1,14 +1,23 @@
 //! Arithmetic kernels on [`Matrix`].
 //!
-//! The three matrix products are data-parallel above
-//! [`PAR_FLOP_CUTOFF`]: output rows are split into contiguous shards
-//! (see [`crate::runtime`]) and each worker writes its disjoint row
-//! block. Every kernel accumulates each output element in the same
-//! order as the serial loop, so parallel results are **bit-identical**
-//! to serial at any thread count.
+//! The three matrix products share one cache-blocked, register-tiled
+//! kernel in the BLIS style: the right-hand operand is packed into
+//! contiguous [`NR`]-wide column panels, and an [`MR`]`x`[`NR`] register
+//! micro-kernel accumulates each output tile over the **full** shared
+//! dimension. Blocking happens only over output rows and columns, so
+//! every output element is still accumulated over `p` ascending — the
+//! exact floating-point operation sequence of the naive triple loop —
+//! which keeps blocked results **bit-identical** to the retained
+//! reference kernels ([`matmul_reference`] and friends).
+//!
+//! Large products additionally shard output rows across the
+//! [`crate::runtime`] worker pool (above [`PAR_FLOP_CUTOFF`]); the RHS
+//! is packed once and shared read-only by all shards, so parallel
+//! results are bit-identical to serial at any thread count.
 
 use crate::matrix::Matrix;
 use crate::runtime;
+use std::ops::Range;
 
 /// Multiply-add count below which a matrix product stays serial: shard
 /// setup costs more than it saves on tiny products.
@@ -17,70 +26,281 @@ pub const PAR_FLOP_CUTOFF: usize = 1 << 17;
 /// Minimum output rows per shard for parallel products.
 const MIN_ROWS_PER_SHARD: usize = 8;
 
-/// `ikj` matmul kernel over output rows `rows`, writing into the
-/// disjoint row block `out` (length `rows.len() * other.cols()`).
-fn matmul_rows(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
-    let k = a.cols();
-    let n = b.cols();
-    for (local, i) in rows.enumerate() {
-        let a_row = a.row(i);
-        let out_row = &mut out[local * n..(local + 1) * n];
-        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
-            if a_ip == 0.0 {
-                continue;
+/// Output rows per register tile of the blocked micro-kernel.
+pub const MR: usize = 4;
+
+/// Output columns per register tile of the blocked micro-kernel. One
+/// packed RHS panel is `NR` columns wide.
+pub const NR: usize = 8;
+
+/// Packs `b` (`k x n`) into `NR`-wide column panels: panel `t` holds
+/// columns `t*NR .. t*NR+NR`, laid out row-major over `p` with
+/// zero-padded tail columns, i.e. `packed[t*k*NR + p*NR + l] =
+/// b[p][t*NR + l]`. Padding lanes are multiplied but never stored, so
+/// they cannot affect results.
+fn pack_rhs(b: &Matrix) -> Vec<f32> {
+    let (k, n) = b.shape();
+    let panels = n.div_ceil(NR.max(1)).max(1);
+    let mut packed = vec![0.0f32; panels * k * NR];
+    for t in 0..panels {
+        let j0 = t * NR;
+        let nv = NR.min(n.saturating_sub(j0));
+        let base = t * k * NR;
+        for p in 0..k {
+            let dst = base + p * NR;
+            packed[dst..dst + nv].copy_from_slice(&b.row(p)[j0..j0 + nv]);
+        }
+    }
+    packed
+}
+
+/// Packs `bᵀ` into the same panel layout as [`pack_rhs`]: the logical
+/// RHS has shared dimension `k = b.cols()` and output columns
+/// `n = b.rows()`, so `packed[t*k*NR + p*NR + l] = b[t*NR + l][p]`.
+fn pack_rhs_transposed(b: &Matrix) -> Vec<f32> {
+    let (n, k) = b.shape();
+    let panels = n.div_ceil(NR.max(1)).max(1);
+    let mut packed = vec![0.0f32; panels * k * NR];
+    for t in 0..panels {
+        let j0 = t * NR;
+        let nv = NR.min(n.saturating_sub(j0));
+        let base = t * k * NR;
+        for l in 0..nv {
+            let src = b.row(j0 + l);
+            for (p, &v) in src.iter().enumerate() {
+                packed[base + p * NR + l] = v;
             }
-            let b_row = b.row(p);
-            for (o, &v) in out_row.iter_mut().zip(b_row.iter()) {
+        }
+    }
+    packed
+}
+
+/// The `MR x NR` register micro-kernel: for each LHS row slice `m`,
+/// `acc[m][l] += Σ_p lhs[m][p] * panel[p*NR + l]` with `p` ascending —
+/// the same per-element accumulation order as the naive loops, which is
+/// what keeps the blocked kernels bit-identical to the references.
+///
+/// Dispatches to an AVX2-compiled copy of the same body when the CPU
+/// supports it. The body is identical scalar code — AVX2 only widens
+/// the auto-vectorised lanes, and rustc never contracts `mul` + `add`
+/// into FMA, so every path produces bit-identical results.
+fn microkernel(lhs: &[&[f32]], panel: &[f32], k: usize, acc: &mut [[f32; NR]; MR]) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by runtime CPU feature detection; the function
+        // body contains no intrinsics, only code compiled for AVX2.
+        unsafe { microkernel_avx2(lhs, panel, k, acc) };
+        return;
+    }
+    microkernel_body(lhs, panel, k, acc);
+}
+
+/// AVX2-compiled instantiation of [`microkernel_body`].
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn microkernel_avx2(lhs: &[&[f32]], panel: &[f32], k: usize, acc: &mut [[f32; NR]; MR]) {
+    microkernel_body(lhs, panel, k, acc);
+}
+
+#[inline(always)]
+fn microkernel_body(lhs: &[&[f32]], panel: &[f32], k: usize, acc: &mut [[f32; NR]; MR]) {
+    if lhs.len() == MR {
+        // Hot full-tile case: a fixed-size row array lets LLVM keep the
+        // whole accumulator tile in registers and vectorise the NR lanes.
+        // The shared dimension is unrolled 4x to amortise loop overhead;
+        // each output element still receives its adds in ascending `p`.
+        let mut rows: [&[f32]; MR] = [&[]; MR];
+        for (slot, row) in rows.iter_mut().zip(lhs) {
+            *slot = &row[..k];
+        }
+        let mut p = 0;
+        while p + 4 <= k {
+            let bp = &panel[p * NR..(p + 4) * NR];
+            for (accm, row) in acc.iter_mut().zip(rows.iter()) {
+                let a = [row[p], row[p + 1], row[p + 2], row[p + 3]];
+                for (l, o) in accm.iter_mut().enumerate() {
+                    let mut v = *o;
+                    v += a[0] * bp[l];
+                    v += a[1] * bp[NR + l];
+                    v += a[2] * bp[2 * NR + l];
+                    v += a[3] * bp[3 * NR + l];
+                    *o = v;
+                }
+            }
+            p += 4;
+        }
+        while p < k {
+            let bp = &panel[p * NR..(p + 1) * NR];
+            for (accm, row) in acc.iter_mut().zip(rows.iter()) {
+                let a = row[p];
+                for (o, &b) in accm.iter_mut().zip(bp) {
+                    *o += a * b;
+                }
+            }
+            p += 1;
+        }
+    } else {
+        for p in 0..k {
+            let bp = &panel[p * NR..(p + 1) * NR];
+            for (accm, row) in acc.iter_mut().zip(lhs) {
+                let a = row[p];
+                for (o, &b) in accm.iter_mut().zip(bp) {
+                    *o += a * b;
+                }
+            }
+        }
+    }
+}
+
+/// Runs the micro-kernel over every column panel for one block of
+/// `lhs.len()` output rows, writing the `lhs.len() x n` block `out`.
+fn blocked_panel_rows(lhs: &[&[f32]], packed: &[f32], k: usize, n: usize, out: &mut [f32]) {
+    let mr = lhs.len();
+    let panels = n.div_ceil(NR.max(1));
+    for t in 0..panels {
+        let j0 = t * NR;
+        let nv = NR.min(n - j0);
+        let panel = &packed[t * k * NR..(t + 1) * k * NR];
+        let mut acc = [[0.0f32; NR]; MR];
+        microkernel(lhs, panel, k, &mut acc);
+        for (m, accm) in acc.iter().enumerate().take(mr) {
+            out[m * n + j0..m * n + j0 + nv].copy_from_slice(&accm[..nv]);
+        }
+    }
+}
+
+/// Blocked kernel over output rows `rows` for products whose LHS rows
+/// are rows of `a` (`matmul`, `matmul_t`); writes the disjoint row
+/// block `out`.
+fn blocked_rows(a: &Matrix, packed: &[f32], n: usize, rows: Range<usize>, out: &mut [f32]) {
+    let k = a.cols();
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let mr = MR.min(rows.end - i0);
+        let mut lhs: [&[f32]; MR] = [&[]; MR];
+        for (m, slot) in lhs.iter_mut().enumerate().take(mr) {
+            *slot = a.row(i0 + m);
+        }
+        let local0 = i0 - rows.start;
+        blocked_panel_rows(
+            &lhs[..mr],
+            packed,
+            k,
+            n,
+            &mut out[local0 * n..(local0 + mr) * n],
+        );
+        i0 += mr;
+    }
+}
+
+/// Blocked kernel over output rows `rows` for `t_matmul`, whose LHS
+/// rows are **columns** of `a`: each row block gathers its `MR` columns
+/// into a contiguous scratch buffer, then reuses the shared micro-kernel.
+fn blocked_rows_transposed(
+    a: &Matrix,
+    packed: &[f32],
+    n: usize,
+    rows: Range<usize>,
+    out: &mut [f32],
+) {
+    let k = a.rows();
+    let mut colbuf = vec![0.0f32; MR * k];
+    let mut i0 = rows.start;
+    while i0 < rows.end {
+        let mr = MR.min(rows.end - i0);
+        for p in 0..k {
+            let a_row = a.row(p);
+            for m in 0..mr {
+                colbuf[m * k + p] = a_row[i0 + m];
+            }
+        }
+        let mut lhs: [&[f32]; MR] = [&[]; MR];
+        for (m, slot) in lhs.iter_mut().enumerate().take(mr) {
+            *slot = &colbuf[m * k..(m + 1) * k];
+        }
+        let local0 = i0 - rows.start;
+        blocked_panel_rows(
+            &lhs[..mr],
+            packed,
+            k,
+            n,
+            &mut out[local0 * n..(local0 + mr) * n],
+        );
+        i0 += mr;
+    }
+}
+
+/// Naive triple-loop `a * b`, accumulating over `p` ascending. Retained
+/// as the ground-truth reference the blocked kernel is tested against.
+pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let out_row = out.row_mut(i);
+        for (p, &a_ip) in a_row.iter().enumerate().take(k) {
+            for (o, &v) in out_row.iter_mut().zip(b.row(p)) {
                 *o += a_ip * v;
             }
         }
     }
+    out
 }
 
-/// `selfᵀ * other` kernel over output rows `rows` (columns `i` of
-/// `a`); accumulation runs over `p` ascending, like the serial kernel.
-fn t_matmul_rows(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
-    let r = a.rows();
-    let n = b.cols();
-    for (local, i) in rows.enumerate() {
-        let out_row = &mut out[local * n..(local + 1) * n];
-        for p in 0..r {
-            let a_pi = a.row(p)[i];
-            if a_pi == 0.0 {
-                continue;
-            }
-            let b_row = b.row(p);
-            for (o, &v) in out_row.iter_mut().zip(b_row.iter()) {
-                *o += a_pi * v;
-            }
-        }
-    }
-}
-
-/// `self * otherᵀ` kernel over output rows `rows`.
-fn matmul_t_rows(a: &Matrix, b: &Matrix, rows: std::ops::Range<usize>, out: &mut [f32]) {
+/// Naive `a * bᵀ` reference (dot products over `p` ascending).
+pub fn matmul_t_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "matmul_t shape mismatch");
+    let (m, _) = a.shape();
     let n = b.rows();
-    for (local, i) in rows.enumerate() {
+    let mut out = Matrix::zeros(m, n);
+    for i in 0..m {
         let a_row = a.row(i);
-        let out_row = &mut out[local * n..(local + 1) * n];
-        for (j, o) in out_row.iter_mut().enumerate().take(n) {
-            *o = crate::vector::dot(a_row, b.row(j));
+        for j in 0..n {
+            out.set(i, j, crate::vector::dot(a_row, b.row(j)));
         }
     }
+    out
+}
+
+/// Naive `aᵀ * b` reference (accumulation over `p` ascending).
+pub fn t_matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.rows(), b.rows(), "t_matmul shape mismatch");
+    let (r, m) = a.shape();
+    let n = b.cols();
+    let mut out = Matrix::zeros(m, n);
+    for p in 0..r {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &av) in a_row.iter().enumerate() {
+            let out_row = out.row_mut(i);
+            for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                *o += av * bv;
+            }
+        }
+    }
+    out
 }
 
 impl Matrix {
-    /// Matrix product `self * other`.
-    ///
-    /// Uses `ikj` loop order: the innermost loop walks contiguous rows of
-    /// both the output and `other`, which is the cache-friendly layout for
-    /// row-major storage and lets LLVM vectorise the fused multiply-add.
-    /// Large products shard output rows across the worker pool;
-    /// results are bit-identical to the serial path.
+    /// Matrix product `self * other` via the blocked kernel.
     ///
     /// # Panics
     /// Panics if `self.cols() != other.rows()`.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.cols());
+        self.matmul_into(other, &mut out);
+        out
+    }
+
+    /// Computes `self * other` into `out`, overwriting every element.
+    /// `out` does not need to be zeroed. Taking the destination lets
+    /// callers (the autodiff tape) reuse pooled buffers.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.rows(),
@@ -90,20 +310,27 @@ impl Matrix {
         );
         let (m, k) = self.shape();
         let n = other.cols();
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
+        let packed = pack_rhs(other);
         let min_rows = if m * k * n >= PAR_FLOP_CUTOFF {
             MIN_ROWS_PER_SHARD
         } else {
             m.max(1)
         };
         runtime::for_each_row_shard_mut(out.as_mut_slice(), m, n, min_rows, |rows, chunk| {
-            matmul_rows(self, other, rows, chunk);
+            blocked_rows(self, &packed, n, rows, chunk);
         });
-        out
     }
 
     /// `selfᵀ * other` without materialising the transpose.
     pub fn t_matmul(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols(), other.cols());
+        self.t_matmul_into(other, &mut out);
+        out
+    }
+
+    /// Computes `selfᵀ * other` into `out` (see [`Matrix::matmul_into`]).
+    pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows(),
             other.rows(),
@@ -113,37 +340,27 @@ impl Matrix {
         );
         let (r, m) = self.shape();
         let n = other.cols();
-        let mut out = Matrix::zeros(m, n);
-        if m * r * n >= PAR_FLOP_CUTOFF && runtime::shard_count(m, MIN_ROWS_PER_SHARD) > 1 {
-            runtime::for_each_row_shard_mut(
-                out.as_mut_slice(),
-                m,
-                n,
-                MIN_ROWS_PER_SHARD,
-                |rows, chunk| t_matmul_rows(self, other, rows, chunk),
-            );
-            return out;
-        }
-        // Serial path keeps `p` outer so both `self` and `other` rows are
-        // walked contiguously.
-        for p in 0..r {
-            let a_row = self.row(p);
-            let b_row = other.row(p);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        assert_eq!(out.shape(), (m, n), "t_matmul output shape mismatch");
+        let packed = pack_rhs(other);
+        let min_rows = if m * r * n >= PAR_FLOP_CUTOFF {
+            MIN_ROWS_PER_SHARD
+        } else {
+            m.max(1)
+        };
+        runtime::for_each_row_shard_mut(out.as_mut_slice(), m, n, min_rows, |rows, chunk| {
+            blocked_rows_transposed(self, &packed, n, rows, chunk);
+        });
     }
 
     /// `self * otherᵀ` without materialising the transpose.
     pub fn matmul_t(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows(), other.rows());
+        self.matmul_t_into(other, &mut out);
+        out
+    }
+
+    /// Computes `self * otherᵀ` into `out` (see [`Matrix::matmul_into`]).
+    pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
             other.cols(),
@@ -153,16 +370,16 @@ impl Matrix {
         );
         let (m, k) = self.shape();
         let n = other.rows();
-        let mut out = Matrix::zeros(m, n);
+        assert_eq!(out.shape(), (m, n), "matmul_t output shape mismatch");
+        let packed = pack_rhs_transposed(other);
         let min_rows = if m * k * n >= PAR_FLOP_CUTOFF {
             MIN_ROWS_PER_SHARD
         } else {
             m.max(1)
         };
         runtime::for_each_row_shard_mut(out.as_mut_slice(), m, n, min_rows, |rows, chunk| {
-            matmul_t_rows(self, other, rows, chunk);
+            blocked_rows(self, &packed, n, rows, chunk);
         });
-        out
     }
 
     /// Element-wise sum; shapes must match.

@@ -93,23 +93,36 @@ where
     T: Send,
     F: Fn(Range<usize>) -> T + Sync,
 {
+    map_shards_indexed(n, min_per_shard, |_, r| f(r))
+}
+
+/// Like [`map_shards`], but `f` also receives the shard index. The
+/// index is stable for a fixed `(n, min_per_shard, threads())`, which
+/// lets callers pin per-shard scratch state (e.g. a reusable autodiff
+/// tape per shard slot) across repeated calls.
+pub fn map_shards_indexed<T, F>(n: usize, min_per_shard: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize, Range<usize>) -> T + Sync,
+{
     let shards = shard_count(n, min_per_shard);
     if shards == 1 {
-        return vec![f(0..n)];
+        return vec![f(0, 0..n)];
     }
     let ranges = shard_ranges(n, shards);
     std::thread::scope(|scope| {
         // Shard 0 runs on the calling thread; the rest on scoped workers.
         let handles: Vec<_> = ranges[1..]
             .iter()
-            .map(|r| {
+            .enumerate()
+            .map(|(i, r)| {
                 let f = &f;
                 let r = r.clone();
-                scope.spawn(move || f(r))
+                scope.spawn(move || f(i + 1, r))
             })
             .collect();
         let mut out = Vec::with_capacity(ranges.len());
-        out.push(f(ranges[0].clone()));
+        out.push(f(0, ranges[0].clone()));
         for h in handles {
             out.push(h.join().expect("runtime worker panicked"));
         }

@@ -3,6 +3,18 @@
 //! A [`Graph`] is an append-only arena of nodes; every op pushes a node
 //! holding its forward value, so node indices are already a topological
 //! order and [`Graph::backward`] is a single reverse sweep.
+//!
+//! # Zero-realloc reuse
+//!
+//! The tape owns a pool of recycled `Vec<f32>` buffers. Every forward
+//! value and every gradient buffer is drawn from the pool and returned
+//! to it by [`Graph::reset`] (and by `backward`, for the previous
+//! step's gradients). A trainer that calls `reset()` between
+//! minibatches of the same shape therefore reaches a steady state after
+//! the first step in which **no** heap allocation happens at all —
+//! observable via [`Graph::fresh_allocs`]. Backward accumulates
+//! gradient deltas **in place** into the destination grad buffer
+//! instead of materialising a `Matrix` per delta.
 
 use crate::params::{ParamId, ParamStore};
 use vaer_linalg::Matrix;
@@ -70,17 +82,44 @@ struct Node {
 
 /// A single forward/backward tape.
 ///
-/// Created per training step from a [`ParamStore`]; parameter values are
-/// snapshotted into the graph at bind time (they are small relative to the
-/// activations, so the copy is in the noise).
+/// Parameter values are snapshotted into the graph at bind time (they
+/// are small relative to the activations, so the copy is in the noise).
+/// Reuse one `Graph` across training steps via [`Graph::reset`] — the
+/// node arena, gradient table, and every value/grad buffer keep their
+/// capacity between steps.
 pub struct Graph {
     nodes: Vec<Node>,
     grads: Vec<Option<Matrix>>,
+    /// Recycled backing buffers, LIFO. `reset` pushes buffers in reverse
+    /// node order so a same-shaped next step pops each buffer back into
+    /// the node position (and hence size) it previously served.
+    pool: Vec<Vec<f32>>,
+    /// Buffer requests the pool could not serve without allocating.
+    fresh_allocs: usize,
 }
 
 impl Default for Graph {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Pops a pooled buffer resized (zero-filled) to `len`, counting a fresh
+/// allocation on pool miss or capacity growth.
+fn take_buf(pool: &mut Vec<Vec<f32>>, fresh_allocs: &mut usize, len: usize) -> Vec<f32> {
+    match pool.pop() {
+        Some(mut v) => {
+            if v.capacity() < len {
+                *fresh_allocs += 1;
+            }
+            v.clear();
+            v.resize(len, 0.0);
+            v
+        }
+        None => {
+            *fresh_allocs += 1;
+            vec![0.0; len]
+        }
     }
 }
 
@@ -90,7 +129,48 @@ impl Graph {
         Self {
             nodes: Vec::with_capacity(64),
             grads: Vec::new(),
+            pool: Vec::new(),
+            fresh_allocs: 0,
         }
+    }
+
+    /// Clears the tape for reuse, returning every node value, gradient,
+    /// and op-owned buffer to the internal pool. Arena and pool
+    /// capacity are retained, so rebuilding a same-shaped step performs
+    /// no heap allocation.
+    pub fn reset(&mut self) {
+        // Push gradients first and node values last (in reverse node
+        // order): the pool is a LIFO, so the next forward pass pops each
+        // value buffer back into the node slot whose size it already
+        // matches, and the subsequent backward sweep (which runs in
+        // reverse node order) finds the grad buffers underneath in the
+        // matching order too.
+        for g in self.grads.drain(..).flatten() {
+            self.pool.push(g.into_vec());
+        }
+        for node in self.nodes.drain(..).rev() {
+            if let Op::BceWithLogits { targets, .. } = node.op {
+                self.pool.push(targets.into_vec());
+            }
+            self.pool.push(node.value.into_vec());
+        }
+    }
+
+    /// Buffer requests that could not be served from the pool without
+    /// allocating (monotonic over the graph's lifetime). A steady-state
+    /// `reset()` + rebuild cycle keeps this constant.
+    pub fn fresh_allocs(&self) -> usize {
+        self.fresh_allocs
+    }
+
+    fn take_buf(&mut self, len: usize) -> Vec<f32> {
+        take_buf(&mut self.pool, &mut self.fresh_allocs, len)
+    }
+
+    /// A zeroed `rows x cols` matrix backed by a pooled buffer.
+    fn alloc(&mut self, rows: usize, cols: usize) -> Matrix {
+        let buf = self.take_buf(rows * cols);
+        Matrix::from_vec(rows, cols, buf)
     }
 
     fn push(&mut self, op: Op, value: Matrix) -> Tensor {
@@ -160,6 +240,38 @@ impl Graph {
         self.push(Op::Input, value)
     }
 
+    /// A constant input copied from `value` into a pooled buffer —
+    /// prefer this over `input(value.clone())` on hot paths.
+    pub fn input_ref(&mut self, value: &Matrix) -> Tensor {
+        let (r, c) = value.shape();
+        let mut v = self.alloc(r, c);
+        v.as_mut_slice().copy_from_slice(value.as_slice());
+        self.push(Op::Input, v)
+    }
+
+    /// A constant input holding rows `start..end` of `value`, copied
+    /// into a pooled buffer — the zero-realloc equivalent of
+    /// `input(value.slice_rows(start, end))`.
+    pub fn input_rows(&mut self, value: &Matrix, start: usize, end: usize) -> Tensor {
+        assert!(
+            start <= end && end <= value.rows(),
+            "input_rows {start}..{end} out of bounds"
+        );
+        let c = value.cols();
+        let mut v = self.alloc(end - start, c);
+        v.as_mut_slice()
+            .copy_from_slice(&value.as_slice()[start * c..end * c]);
+        self.push(Op::Input, v)
+    }
+
+    /// A constant `rows x cols` input with every element set to `value`,
+    /// backed by a pooled buffer.
+    pub fn input_filled(&mut self, rows: usize, cols: usize, value: f32) -> Tensor {
+        let mut v = self.alloc(rows, cols);
+        v.as_mut_slice().fill(value);
+        self.push(Op::Input, v)
+    }
+
     /// An input leaf that opts into gradient recording: after
     /// [`backward`](Self::backward), [`grad`](Self::grad) returns
     /// `d(loss)/d(input)`. The leaf is not a parameter — it never appears
@@ -170,116 +282,168 @@ impl Graph {
         self.push(Op::InputGrad, value)
     }
 
-    /// Binds parameter `id` into the tape, snapshotting its current value.
+    /// Binds parameter `id` into the tape, snapshotting its current
+    /// value into a pooled buffer.
     pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Tensor {
-        let value = store.get(id).clone();
-        self.push(Op::Param(id), value)
+        let (r, c) = store.get(id).shape();
+        let mut v = self.alloc(r, c);
+        v.as_mut_slice().copy_from_slice(store.get(id).as_slice());
+        self.push(Op::Param(id), v)
     }
 
     // ---- ops ---------------------------------------------------------------
 
+    /// Element-wise unary op into a pooled output buffer.
+    fn unary(&mut self, a: Tensor, op: Op, f: impl Fn(f32) -> f32) -> Tensor {
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut out = self.alloc(r, c);
+        for (o, &x) in out
+            .as_mut_slice()
+            .iter_mut()
+            .zip(self.nodes[a.0].value.as_slice())
+        {
+            *o = f(x);
+        }
+        self.push(op, out)
+    }
+
+    /// Element-wise binary op into a pooled output buffer.
+    fn binary(&mut self, a: Tensor, b: Tensor, op: Op, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        let (r, c) = self.nodes[a.0].value.shape();
+        assert_eq!(
+            (r, c),
+            self.nodes[b.0].value.shape(),
+            "element-wise op shape mismatch: {:?} vs {:?}",
+            (r, c),
+            self.nodes[b.0].value.shape()
+        );
+        let mut out = self.alloc(r, c);
+        let av = self.nodes[a.0].value.as_slice();
+        let bv = self.nodes[b.0].value.as_slice();
+        for ((o, &x), &y) in out.as_mut_slice().iter_mut().zip(av).zip(bv) {
+            *o = f(x, y);
+        }
+        self.push(op, out)
+    }
+
     /// Matrix product.
     pub fn matmul(&mut self, a: Tensor, b: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.matmul(&self.nodes[b.0].value);
-        self.push(Op::MatMul(a.0, b.0), v)
+        let m = self.nodes[a.0].value.rows();
+        let n = self.nodes[b.0].value.cols();
+        let mut out = self.alloc(m, n);
+        self.nodes[a.0]
+            .value
+            .matmul_into(&self.nodes[b.0].value, &mut out);
+        self.push(Op::MatMul(a.0, b.0), out)
     }
 
     /// Element-wise sum (same shapes).
     pub fn add(&mut self, a: Tensor, b: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.add(&self.nodes[b.0].value);
-        self.push(Op::Add(a.0, b.0), v)
+        self.binary(a, b, Op::Add(a.0, b.0), |x, y| x + y)
     }
 
     /// Element-wise difference (same shapes).
     pub fn sub(&mut self, a: Tensor, b: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.sub(&self.nodes[b.0].value);
-        self.push(Op::Sub(a.0, b.0), v)
+        self.binary(a, b, Op::Sub(a.0, b.0), |x, y| x - y)
     }
 
     /// Hadamard product (same shapes).
     pub fn mul(&mut self, a: Tensor, b: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.hadamard(&self.nodes[b.0].value);
-        self.push(Op::Mul(a.0, b.0), v)
+        self.binary(a, b, Op::Mul(a.0, b.0), |x, y| x * y)
     }
 
     /// Element-wise division `a / b` (same shapes). The caller must keep
     /// `b` bounded away from zero (as the Mahalanobis distance layer does
     /// with its variance floor).
     pub fn div(&mut self, a: Tensor, b: Tensor) -> Tensor {
-        let v = self.nodes[a.0]
-            .value
-            .zip_with(&self.nodes[b.0].value, |x, y| x / y);
-        self.push(Op::Div(a.0, b.0), v)
+        self.binary(a, b, Op::Div(a.0, b.0), |x, y| x / y)
     }
 
     /// Adds a `1 x n` bias row to every row of `a`.
     pub fn add_bias(&mut self, a: Tensor, bias: Tensor) -> Tensor {
         let b = &self.nodes[bias.0].value;
         assert_eq!(b.rows(), 1, "bias must be a 1 x n row vector");
-        let v = self.nodes[a.0].value.add_row_broadcast(b.row(0));
-        self.push(Op::AddBias(a.0, bias.0), v)
+        let (r, c) = self.nodes[a.0].value.shape();
+        assert_eq!(c, b.cols(), "broadcast row length mismatch");
+        let mut out = self.alloc(r, c);
+        let av = self.nodes[a.0].value.as_slice();
+        let brow = self.nodes[bias.0].value.row(0);
+        if c > 0 {
+            for (orow, arow) in out
+                .as_mut_slice()
+                .chunks_exact_mut(c)
+                .zip(av.chunks_exact(c))
+            {
+                for ((o, &x), &b) in orow.iter_mut().zip(arow).zip(brow) {
+                    *o = x + b;
+                }
+            }
+        }
+        self.push(Op::AddBias(a.0, bias.0), out)
     }
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.map(|x| x.max(0.0));
-        self.push(Op::Relu(a.0), v)
+        self.unary(a, Op::Relu(a.0), |x| x.max(0.0))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.map(stable_sigmoid);
-        self.push(Op::Sigmoid(a.0), v)
+        self.unary(a, Op::Sigmoid(a.0), stable_sigmoid)
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.map(f32::tanh);
-        self.push(Op::Tanh(a.0), v)
+        self.unary(a, Op::Tanh(a.0), f32::tanh)
     }
 
     /// Element-wise exponential (inputs clamped to ±30 for stability).
     pub fn exp(&mut self, a: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.map(|x| x.clamp(-30.0, 30.0).exp());
-        self.push(Op::Exp(a.0), v)
+        self.unary(a, Op::Exp(a.0), |x| x.clamp(-30.0, 30.0).exp())
     }
 
     /// Element-wise square.
     pub fn square(&mut self, a: Tensor) -> Tensor {
-        let v = self.nodes[a.0].value.map(|x| x * x);
-        self.push(Op::Square(a.0), v)
+        self.unary(a, Op::Square(a.0), |x| x * x)
     }
 
     /// Multiplies every element by the constant `c`.
     pub fn scale(&mut self, a: Tensor, c: f32) -> Tensor {
-        let v = self.nodes[a.0].value.scale(c);
-        self.push(Op::Scale(a.0, c), v)
+        self.unary(a, Op::Scale(a.0, c), |x| x * c)
     }
 
     /// Adds the constant `c` to every element.
     pub fn add_scalar(&mut self, a: Tensor, c: f32) -> Tensor {
-        let v = self.nodes[a.0].value.map(|x| x + c);
-        self.push(Op::AddScalar(a.0), v)
+        self.unary(a, Op::AddScalar(a.0), |x| x + c)
     }
 
     /// Sum of all elements as a `1 x 1` tensor.
     pub fn sum_all(&mut self, a: Tensor) -> Tensor {
-        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.sum()]);
+        let s = self.nodes[a.0].value.sum();
+        let mut v = self.alloc(1, 1);
+        v.as_mut_slice()[0] = s;
         self.push(Op::SumAll(a.0), v)
     }
 
     /// Mean of all elements as a `1 x 1` tensor.
     pub fn mean_all(&mut self, a: Tensor) -> Tensor {
-        let v = Matrix::from_vec(1, 1, vec![self.nodes[a.0].value.mean()]);
+        let m = self.nodes[a.0].value.mean();
+        let mut v = self.alloc(1, 1);
+        v.as_mut_slice()[0] = m;
         self.push(Op::MeanAll(a.0), v)
     }
 
-    /// Per-row sum: `N x D` → `N x 1`.
+    /// Per-row sum: `N x D` → `N x 1`, written into a pooled buffer.
     pub fn row_sum(&mut self, a: Tensor) -> Tensor {
-        let m = &self.nodes[a.0].value;
-        let data: Vec<f32> = (0..m.rows()).map(|i| m.row(i).iter().sum()).collect();
-        let v = Matrix::from_vec(m.rows(), 1, data);
-        self.push(Op::RowSum(a.0), v)
+        let (r, c) = self.nodes[a.0].value.shape();
+        let mut out = self.alloc(r, 1);
+        if c > 0 {
+            let src = self.nodes[a.0].value.as_slice();
+            for (o, row) in out.as_mut_slice().iter_mut().zip(src.chunks_exact(c)) {
+                *o = row.iter().sum();
+            }
+        }
+        self.push(Op::RowSum(a.0), out)
     }
 
     /// Horizontally concatenates tensors with equal row counts.
@@ -291,25 +455,42 @@ impl Graph {
             !parts.is_empty(),
             "concat_cols requires at least one tensor"
         );
-        let mut v = self.nodes[parts[0].0].value.clone();
-        for p in &parts[1..] {
-            v = v.hconcat(&self.nodes[p.0].value);
+        let r = self.nodes[parts[0].0].value.rows();
+        let mut total = 0;
+        for p in parts {
+            assert_eq!(
+                self.nodes[p.0].value.rows(),
+                r,
+                "concat_cols requires equal row counts"
+            );
+            total += self.nodes[p.0].value.cols();
         }
-        self.push(Op::ConcatCols(parts.iter().map(|t| t.0).collect()), v)
+        let mut out = self.alloc(r, total);
+        let mut offset = 0;
+        for p in parts {
+            let part = &self.nodes[p.0].value;
+            let c = part.cols();
+            for i in 0..r {
+                out.row_mut(i)[offset..offset + c].copy_from_slice(part.row(i));
+            }
+            offset += c;
+        }
+        self.push(Op::ConcatCols(parts.iter().map(|t| t.0).collect()), out)
     }
 
     /// Keeps columns `[start, end)`.
     pub fn slice_cols(&mut self, a: Tensor, start: usize, end: usize) -> Tensor {
-        let m = &self.nodes[a.0].value;
+        let (r, c) = self.nodes[a.0].value.shape();
         assert!(
-            start <= end && end <= m.cols(),
+            start <= end && end <= c,
             "slice_cols {start}..{end} out of bounds"
         );
-        let mut v = Matrix::zeros(m.rows(), end - start);
-        for i in 0..m.rows() {
-            v.row_mut(i).copy_from_slice(&m.row(i)[start..end]);
+        let mut out = self.alloc(r, end - start);
+        for i in 0..r {
+            out.row_mut(i)
+                .copy_from_slice(&self.nodes[a.0].value.row(i)[start..end]);
         }
-        self.push(Op::SliceCols(a.0, start, end), v)
+        self.push(Op::SliceCols(a.0, start, end), out)
     }
 
     /// Fused, numerically stable mean binary cross-entropy with logits.
@@ -329,13 +510,36 @@ impl Graph {
             .map(|(&z, &y)| softplus(z) - z * y)
             .sum::<f32>()
             / n;
+        let mut v = self.alloc(1, 1);
+        v.as_mut_slice()[0] = loss;
         self.push(
             Op::BceWithLogits {
                 logits: logits.0,
                 targets,
             },
-            Matrix::from_vec(1, 1, vec![loss]),
+            v,
         )
+    }
+
+    /// [`bce_with_logits`](Self::bce_with_logits) against rows
+    /// `start..end` of `targets`, copied into a pooled buffer — the
+    /// zero-realloc variant for sharded training loops.
+    pub fn bce_with_logits_rows(
+        &mut self,
+        logits: Tensor,
+        targets: &Matrix,
+        start: usize,
+        end: usize,
+    ) -> Tensor {
+        assert!(
+            start <= end && end <= targets.rows(),
+            "bce target rows {start}..{end} out of bounds"
+        );
+        let c = targets.cols();
+        let mut y = self.alloc(end - start, c);
+        y.as_mut_slice()
+            .copy_from_slice(&targets.as_slice()[start * c..end * c]);
+        self.bce_with_logits(logits, y)
     }
 
     // ---- backward ----------------------------------------------------------
@@ -350,156 +554,32 @@ impl Graph {
             (1, 1),
             "backward requires a scalar loss"
         );
-        self.grads = (0..self.nodes.len()).map(|_| None).collect();
+        // Recycle the previous sweep's gradient buffers, then re-init.
+        for g in self.grads.drain(..).flatten() {
+            self.pool.push(g.into_vec());
+        }
+        self.grads.resize_with(self.nodes.len(), || None);
         if !self.nodes[loss.0].needs_grad {
             // A loss with no trainable parameters below it has nothing to
             // differentiate; leave all gradients empty.
             return;
         }
-        self.grads[loss.0] = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        let mut seed = self.alloc(1, 1);
+        seed.as_mut_slice()[0] = 1.0;
+        self.grads[loss.0] = Some(seed);
         for i in (0..self.nodes.len()).rev() {
             let Some(g) = self.grads[i].take() else {
                 continue;
             };
+            let mut ctx = BackwardCtx {
+                nodes: &self.nodes,
+                grads: &mut self.grads,
+                pool: &mut self.pool,
+                fresh_allocs: &mut self.fresh_allocs,
+            };
+            ctx.propagate(i, &g);
             // Re-insert so callers can still read the gradient afterwards.
-            self.propagate(i, &g);
             self.grads[i] = Some(g);
-        }
-    }
-
-    fn accumulate(&mut self, node: usize, delta: Matrix) {
-        if !self.nodes[node].needs_grad {
-            return;
-        }
-        match &mut self.grads[node] {
-            Some(g) => g.axpy_inplace(1.0, &delta),
-            slot @ None => *slot = Some(delta),
-        }
-    }
-
-    fn propagate(&mut self, i: usize, g: &Matrix) {
-        // Clone the op descriptor (cheap: indices + small matrices only for BCE).
-        let op = self.nodes[i].op.clone();
-        match op {
-            Op::Input | Op::InputGrad | Op::Param(_) => {}
-            Op::MatMul(a, b) => {
-                if self.nodes[a].needs_grad {
-                    let da = g.matmul_t(&self.nodes[b].value);
-                    self.accumulate(a, da);
-                }
-                if self.nodes[b].needs_grad {
-                    let db = self.nodes[a].value.t_matmul(g);
-                    self.accumulate(b, db);
-                }
-            }
-            Op::Add(a, b) => {
-                self.accumulate(a, g.clone());
-                self.accumulate(b, g.clone());
-            }
-            Op::Sub(a, b) => {
-                self.accumulate(a, g.clone());
-                self.accumulate(b, g.scale(-1.0));
-            }
-            Op::Mul(a, b) => {
-                let da = g.hadamard(&self.nodes[b].value);
-                let db = g.hadamard(&self.nodes[a].value);
-                self.accumulate(a, da);
-                self.accumulate(b, db);
-            }
-            Op::Div(a, b) => {
-                // d(a/b)/da = 1/b ; d(a/b)/db = -a/b².
-                let da = g.zip_with(&self.nodes[b].value, |gv, bv| gv / bv);
-                let db = g
-                    .zip_with(&self.nodes[a].value, |gv, av| gv * av)
-                    .zip_with(&self.nodes[b].value, |n, bv| -n / (bv * bv));
-                self.accumulate(a, da);
-                self.accumulate(b, db);
-            }
-            Op::AddBias(a, bias) => {
-                self.accumulate(a, g.clone());
-                // Bias gradient: column sums of g, as a 1 x n row.
-                let mut db = Matrix::zeros(1, g.cols());
-                for r in 0..g.rows() {
-                    for (o, &v) in db.row_mut(0).iter_mut().zip(g.row(r)) {
-                        *o += v;
-                    }
-                }
-                self.accumulate(bias, db);
-            }
-            Op::Relu(a) => {
-                let da = g.zip_with(
-                    &self.nodes[a].value,
-                    |gv, av| if av > 0.0 { gv } else { 0.0 },
-                );
-                self.accumulate(a, da);
-            }
-            Op::Sigmoid(a) => {
-                let da = g.zip_with(&self.nodes[i].value, |gv, s| gv * s * (1.0 - s));
-                self.accumulate(a, da);
-            }
-            Op::Tanh(a) => {
-                let da = g.zip_with(&self.nodes[i].value, |gv, y| gv * (1.0 - y * y));
-                self.accumulate(a, da);
-            }
-            Op::Exp(a) => {
-                let da = g.hadamard(&self.nodes[i].value);
-                self.accumulate(a, da);
-            }
-            Op::Square(a) => {
-                let da = g.zip_with(&self.nodes[a].value, |gv, av| 2.0 * gv * av);
-                self.accumulate(a, da);
-            }
-            Op::Scale(a, c) => self.accumulate(a, g.scale(c)),
-            Op::AddScalar(a) => self.accumulate(a, g.clone()),
-            Op::SumAll(a) => {
-                let (r, c) = self.nodes[a].value.shape();
-                self.accumulate(a, Matrix::filled(r, c, g.get(0, 0)));
-            }
-            Op::MeanAll(a) => {
-                let (r, c) = self.nodes[a].value.shape();
-                let n = (r * c).max(1) as f32;
-                self.accumulate(a, Matrix::filled(r, c, g.get(0, 0) / n));
-            }
-            Op::RowSum(a) => {
-                let (r, c) = self.nodes[a].value.shape();
-                let mut da = Matrix::zeros(r, c);
-                for row in 0..r {
-                    let gv = g.get(row, 0);
-                    for v in da.row_mut(row) {
-                        *v = gv;
-                    }
-                }
-                self.accumulate(a, da);
-            }
-            Op::ConcatCols(parts) => {
-                let mut offset = 0;
-                for p in parts {
-                    let cols = self.nodes[p].value.cols();
-                    let rows = self.nodes[p].value.rows();
-                    let mut dp = Matrix::zeros(rows, cols);
-                    for r in 0..rows {
-                        dp.row_mut(r)
-                            .copy_from_slice(&g.row(r)[offset..offset + cols]);
-                    }
-                    offset += cols;
-                    self.accumulate(p, dp);
-                }
-            }
-            Op::SliceCols(a, start, end) => {
-                let (r, c) = self.nodes[a].value.shape();
-                let mut da = Matrix::zeros(r, c);
-                for row in 0..r {
-                    da.row_mut(row)[start..end].copy_from_slice(g.row(row));
-                }
-                self.accumulate(a, da);
-            }
-            Op::BceWithLogits { logits, targets } => {
-                let z = &self.nodes[logits].value;
-                let n = z.as_slice().len().max(1) as f32;
-                let scale = g.get(0, 0) / n;
-                let dz = z.zip_with(&targets, |zv, yv| (stable_sigmoid(zv) - yv) * scale);
-                self.accumulate(logits, dz);
-            }
         }
     }
 
@@ -518,6 +598,211 @@ impl Graph {
             }
         }
         acc
+    }
+}
+
+/// Split borrow of a [`Graph`] during the backward sweep: node values
+/// and ops are read-only, while gradients and the buffer pool mutate.
+/// Holding the op by reference (instead of cloning it per node, as the
+/// tape used to) is what lets `BceWithLogits` keep its targets matrix
+/// un-copied.
+struct BackwardCtx<'a> {
+    nodes: &'a [Node],
+    grads: &'a mut Vec<Option<Matrix>>,
+    pool: &'a mut Vec<Vec<f32>>,
+    fresh_allocs: &'a mut usize,
+}
+
+impl BackwardCtx<'_> {
+    fn alloc(&mut self, rows: usize, cols: usize) -> Matrix {
+        Matrix::from_vec(
+            rows,
+            cols,
+            take_buf(self.pool, self.fresh_allocs, rows * cols),
+        )
+    }
+
+    /// Adds the delta `f(element_index)` into `node`'s gradient — in
+    /// place when a buffer already exists, else into a pooled buffer.
+    fn accumulate_with(&mut self, node: usize, rows: usize, cols: usize, f: impl Fn(usize) -> f32) {
+        if !self.nodes[node].needs_grad {
+            return;
+        }
+        match &mut self.grads[node] {
+            Some(g) => {
+                debug_assert_eq!(g.shape(), (rows, cols));
+                for (i, o) in g.as_mut_slice().iter_mut().enumerate() {
+                    *o += f(i);
+                }
+            }
+            slot @ None => {
+                let mut buf = take_buf(self.pool, self.fresh_allocs, rows * cols);
+                for (i, o) in buf.iter_mut().enumerate() {
+                    *o = f(i);
+                }
+                *slot = Some(Matrix::from_vec(rows, cols, buf));
+            }
+        }
+    }
+
+    /// Adds an already-materialised delta into `node`'s gradient,
+    /// recycling the delta's buffer when it is not kept.
+    fn accumulate_owned(&mut self, node: usize, delta: Matrix) {
+        if !self.nodes[node].needs_grad {
+            self.pool.push(delta.into_vec());
+            return;
+        }
+        match &mut self.grads[node] {
+            Some(g) => {
+                g.axpy_inplace(1.0, &delta);
+                self.pool.push(delta.into_vec());
+            }
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    fn propagate(&mut self, i: usize, g: &Matrix) {
+        let nodes = self.nodes;
+        let gv = g.as_slice();
+        match &nodes[i].op {
+            Op::Input | Op::InputGrad | Op::Param(_) => {}
+            &Op::MatMul(a, b) => {
+                if nodes[a].needs_grad {
+                    let (r, c) = nodes[a].value.shape();
+                    let mut da = self.alloc(r, c);
+                    g.matmul_t_into(&nodes[b].value, &mut da);
+                    self.accumulate_owned(a, da);
+                }
+                if nodes[b].needs_grad {
+                    let (r, c) = nodes[b].value.shape();
+                    let mut db = self.alloc(r, c);
+                    nodes[a].value.t_matmul_into(g, &mut db);
+                    self.accumulate_owned(b, db);
+                }
+            }
+            &Op::Add(a, b) => {
+                let (r, c) = g.shape();
+                self.accumulate_with(a, r, c, |i| gv[i]);
+                self.accumulate_with(b, r, c, |i| gv[i]);
+            }
+            &Op::Sub(a, b) => {
+                let (r, c) = g.shape();
+                self.accumulate_with(a, r, c, |i| gv[i]);
+                self.accumulate_with(b, r, c, |i| -gv[i]);
+            }
+            &Op::Mul(a, b) => {
+                let (r, c) = g.shape();
+                let av = nodes[a].value.as_slice();
+                let bv = nodes[b].value.as_slice();
+                self.accumulate_with(a, r, c, |i| gv[i] * bv[i]);
+                self.accumulate_with(b, r, c, |i| gv[i] * av[i]);
+            }
+            &Op::Div(a, b) => {
+                // d(a/b)/da = 1/b ; d(a/b)/db = -a/b².
+                let (r, c) = g.shape();
+                let av = nodes[a].value.as_slice();
+                let bv = nodes[b].value.as_slice();
+                self.accumulate_with(a, r, c, |i| gv[i] / bv[i]);
+                self.accumulate_with(b, r, c, |i| -(gv[i] * av[i]) / (bv[i] * bv[i]));
+            }
+            &Op::AddBias(a, bias) => {
+                let (r, c) = g.shape();
+                self.accumulate_with(a, r, c, |i| gv[i]);
+                // Bias gradient: column sums of g, as a 1 x n row.
+                self.accumulate_with(bias, 1, c, |j| {
+                    let mut s = 0.0;
+                    for row in 0..r {
+                        s += gv[row * c + j];
+                    }
+                    s
+                });
+            }
+            &Op::Relu(a) => {
+                let (r, c) = g.shape();
+                let av = nodes[a].value.as_slice();
+                self.accumulate_with(a, r, c, |i| if av[i] > 0.0 { gv[i] } else { 0.0 });
+            }
+            &Op::Sigmoid(a) => {
+                let (r, c) = g.shape();
+                let sv = nodes[i].value.as_slice();
+                self.accumulate_with(a, r, c, |i| gv[i] * sv[i] * (1.0 - sv[i]));
+            }
+            &Op::Tanh(a) => {
+                let (r, c) = g.shape();
+                let yv = nodes[i].value.as_slice();
+                self.accumulate_with(a, r, c, |i| gv[i] * (1.0 - yv[i] * yv[i]));
+            }
+            &Op::Exp(a) => {
+                let (r, c) = g.shape();
+                let yv = nodes[i].value.as_slice();
+                self.accumulate_with(a, r, c, |i| gv[i] * yv[i]);
+            }
+            &Op::Square(a) => {
+                let (r, c) = g.shape();
+                let av = nodes[a].value.as_slice();
+                self.accumulate_with(a, r, c, |i| 2.0 * gv[i] * av[i]);
+            }
+            &Op::Scale(a, s) => {
+                let (r, c) = g.shape();
+                self.accumulate_with(a, r, c, |i| gv[i] * s);
+            }
+            &Op::AddScalar(a) => {
+                let (r, c) = g.shape();
+                self.accumulate_with(a, r, c, |i| gv[i]);
+            }
+            &Op::SumAll(a) => {
+                let (r, c) = nodes[a].value.shape();
+                let val = gv[0];
+                self.accumulate_with(a, r, c, |_| val);
+            }
+            &Op::MeanAll(a) => {
+                let (r, c) = nodes[a].value.shape();
+                let val = gv[0] / (r * c).max(1) as f32;
+                self.accumulate_with(a, r, c, |_| val);
+            }
+            &Op::RowSum(a) => {
+                let (r, c) = nodes[a].value.shape();
+                if c > 0 {
+                    self.accumulate_with(a, r, c, |i| gv[i / c]);
+                }
+            }
+            Op::ConcatCols(parts) => {
+                let gcols = g.cols();
+                let mut offset = 0;
+                for &p in parts {
+                    let (r, c) = nodes[p].value.shape();
+                    if c > 0 {
+                        let off = offset;
+                        self.accumulate_with(p, r, c, |i| gv[(i / c) * gcols + off + i % c]);
+                    }
+                    offset += c;
+                }
+            }
+            &Op::SliceCols(a, start, end) => {
+                let (r, c) = nodes[a].value.shape();
+                let width = end - start;
+                if c > 0 {
+                    self.accumulate_with(a, r, c, |i| {
+                        let col = i % c;
+                        if col >= start && col < end {
+                            gv[(i / c) * width + (col - start)]
+                        } else {
+                            0.0
+                        }
+                    });
+                }
+            }
+            Op::BceWithLogits { logits, targets } => {
+                let logits = *logits;
+                let z = &nodes[logits].value;
+                let (r, c) = z.shape();
+                let n = z.as_slice().len().max(1) as f32;
+                let scale = gv[0] / n;
+                let zv = z.as_slice();
+                let yv = targets.as_slice();
+                self.accumulate_with(logits, r, c, |i| (stable_sigmoid(zv[i]) - yv[i]) * scale);
+            }
+        }
     }
 }
 
@@ -808,5 +1093,104 @@ mod tests {
             n_params, 0,
             "input gradients must not appear in param_grads"
         );
+    }
+
+    #[test]
+    fn input_rows_matches_slice_rows() {
+        let mut rng = XorShiftRng::new(21);
+        let x = Matrix::gaussian(6, 3, &mut rng);
+        let mut g = Graph::new();
+        let a = g.input(x.slice_rows(2, 5));
+        let b = g.input_rows(&x, 2, 5);
+        assert_eq!(g.value(a), g.value(b));
+        let c = g.input_ref(&x);
+        assert_eq!(g.value(c), &x);
+    }
+
+    #[test]
+    fn reset_reuses_buffers_and_grads_are_identical() {
+        // Two consecutive reset() + forward + backward cycles must produce
+        // bit-identical gradients, and the tape must stop allocating once
+        // warm (zero growth in pool capacity or fresh allocations).
+        let mut rng = XorShiftRng::new(13);
+        let x = Matrix::gaussian(12, 5, &mut rng);
+        let y = Matrix::gaussian(12, 2, &mut rng);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::gaussian(5, 2, &mut rng));
+        let b = store.add("b", Matrix::zeros(1, 2));
+
+        let step = |g: &mut Graph| {
+            g.reset();
+            let xt = g.input_ref(&x);
+            let wt = g.param(&store, w);
+            let bt = g.param(&store, b);
+            let h = g.matmul(xt, wt);
+            let hb = g.add_bias(h, bt);
+            let act = g.tanh(hb);
+            let yt = g.input_ref(&y);
+            let d = g.sub(act, yt);
+            let sq = g.square(d);
+            let loss = g.mean_all(sq);
+            g.backward(loss);
+            g.param_grads()
+        };
+
+        let mut g = Graph::new();
+        let first = step(&mut g);
+        let warm_allocs = g.fresh_allocs();
+        let second = step(&mut g);
+        let third = step(&mut g);
+        assert_eq!(
+            g.fresh_allocs(),
+            warm_allocs,
+            "tape allocated after warm-up"
+        );
+        for ((ida, ga), (idb, gb)) in first.iter().zip(&second) {
+            assert_eq!(ida, idb);
+            assert_eq!(ga.as_slice(), gb.as_slice(), "grads differ bitwise");
+        }
+        for ((ida, ga), (idb, gb)) in second.iter().zip(&third) {
+            assert_eq!(ida, idb);
+            assert_eq!(ga.as_slice(), gb.as_slice(), "grads differ bitwise");
+        }
+    }
+
+    #[test]
+    fn reset_graph_matches_fresh_graph() {
+        // A reused tape must produce the same values and gradients as a
+        // brand-new one.
+        let mut rng = XorShiftRng::new(17);
+        let x = Matrix::gaussian(4, 3, &mut rng);
+        let mut store = ParamStore::new();
+        let w = store.add("w", Matrix::gaussian(3, 3, &mut rng));
+
+        let build = |g: &mut Graph| {
+            let xt = g.input_ref(&x);
+            let wt = g.param(&store, w);
+            let h = g.matmul(xt, wt);
+            let s = g.sigmoid(h);
+            let loss = g.mean_all(s);
+            g.backward(loss);
+            (g.value(loss).get(0, 0), g.param_grads())
+        };
+
+        let mut reused = Graph::new();
+        // Pollute the pool with a differently-shaped step first.
+        let junk = reused.input(Matrix::gaussian(7, 2, &mut rng));
+        let js = reused.square(junk);
+        let jl = reused.mean_all(js);
+        reused.backward(jl);
+        reused.reset();
+        let (loss_reused, grads_reused) = build(&mut reused);
+
+        let mut fresh = Graph::new();
+        let (loss_fresh, grads_fresh) = build(&mut fresh);
+
+        assert_eq!(loss_reused, loss_fresh);
+        assert_eq!(grads_reused.len(), grads_fresh.len());
+        for ((ida, ga), (idb, gb)) in grads_reused.iter().zip(&grads_fresh) {
+            assert_eq!(ida, idb);
+            assert_eq!(ga.as_slice(), gb.as_slice());
+        }
     }
 }

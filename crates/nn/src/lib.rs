@@ -9,8 +9,10 @@
 //!
 //! 1. Persistent parameters live in a [`ParamStore`] (with [`Adam`]/[`Sgd`]
 //!    state and binary save/load for transfer learning).
-//! 2. Each training step builds a fresh [`Graph`], binds parameters into it,
-//!    runs forward ops, and calls [`Graph::backward`] on a scalar loss.
+//! 2. Each training step binds parameters into a [`Graph`], runs forward
+//!    ops, and calls [`Graph::backward`] on a scalar loss. Hot loops reuse
+//!    one tape per shard slot via [`Graph::reset`] / [`GraphPool`], so the
+//!    per-step heap traffic drops to zero after warm-up.
 //! 3. Accumulated parameter gradients are applied by an [`Optimizer`].
 //!
 //! Binding the *same* [`ParamId`] into a graph twice — as the Siamese
@@ -56,7 +58,7 @@ pub use graph::{Graph, Tensor};
 pub use init::Initializer;
 pub use layers::{Dense, Mlp, MlpConfig};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
-pub use parallel::{sharded_step, ShardedStep};
+pub use parallel::{sharded_step, sharded_step_pooled, GraphPool, ShardedStep};
 pub use params::{ParamId, ParamStore};
 
 /// The RNG used for parameter initialisation and sampling throughout

@@ -14,6 +14,7 @@
 use crate::graph::{Graph, Tensor};
 use crate::params::ParamId;
 use std::ops::Range;
+use std::sync::Mutex;
 use vaer_linalg::{runtime, Matrix};
 
 /// Minimum batch rows per gradient shard: below this the tape set-up cost
@@ -46,8 +47,59 @@ pub fn sharded_step<F>(batch_len: usize, build: F) -> ShardedStep
 where
     F: Fn(&mut Graph, Range<usize>) -> Tensor + Sync,
 {
-    let shards = runtime::map_shards(batch_len, MIN_SHARD_ROWS, |rows| {
-        let mut g = Graph::new();
+    sharded_step_pooled(&mut GraphPool::new(), batch_len, build)
+}
+
+/// A pool of reusable autodiff tapes, one per shard slot.
+///
+/// [`sharded_step_pooled`] pins shard *i* of every step to slot *i*, so
+/// across a training run each tape settles into the buffer sizes of its
+/// shard and stops allocating (see [`Graph::reset`]). The mutexes are
+/// uncontended by construction — shard indices are distinct within a
+/// step — and exist only to satisfy `Sync`.
+#[derive(Default)]
+pub struct GraphPool {
+    slots: Vec<Mutex<Graph>>,
+}
+
+impl GraphPool {
+    /// An empty pool; slots are created on first use.
+    pub fn new() -> Self {
+        Self { slots: Vec::new() }
+    }
+
+    /// Ensures at least `n` slots exist.
+    fn ensure(&mut self, n: usize) {
+        while self.slots.len() < n {
+            self.slots.push(Mutex::new(Graph::new()));
+        }
+    }
+
+    /// Total buffer requests across all slots that could not be served
+    /// from a tape's pool without allocating (see [`Graph::fresh_allocs`]).
+    pub fn fresh_allocs(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.lock().expect("graph slot poisoned").fresh_allocs())
+            .sum()
+    }
+}
+
+/// [`sharded_step`] with caller-owned tapes: shard *i* runs on
+/// `pool` slot *i*, which is [`reset`](Graph::reset) (not reallocated)
+/// before building. Use one `GraphPool` per training loop to make the
+/// per-step tape allocation cost vanish after the first epoch. Results
+/// are identical to [`sharded_step`] — buffer reuse never changes
+/// values, as the tape tests assert bitwise.
+pub fn sharded_step_pooled<F>(pool: &mut GraphPool, batch_len: usize, build: F) -> ShardedStep
+where
+    F: Fn(&mut Graph, Range<usize>) -> Tensor + Sync,
+{
+    pool.ensure(runtime::shard_count(batch_len, MIN_SHARD_ROWS));
+    let slots = &pool.slots;
+    let shards = runtime::map_shards_indexed(batch_len, MIN_SHARD_ROWS, |slot, rows| {
+        let mut g = slots[slot].lock().expect("graph slot poisoned");
+        g.reset();
         let loss = build(&mut g, rows.clone());
         let loss_value = g.value(loss).get(0, 0);
         g.backward(loss);
@@ -154,6 +206,46 @@ mod tests {
             assert_eq!(ida, idb);
             for (a, b) in ga.as_slice().iter().zip(gb.as_slice()) {
                 assert!((a - b).abs() < 1e-5, "grad {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_step_matches_unpooled_and_stops_allocating() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let (store, w, x, y) = toy_problem(4 * MIN_SHARD_ROWS);
+        let step = |pool: &mut GraphPool| {
+            sharded_step_pooled(pool, x.rows(), |g, rows| {
+                let xt = g.input_rows(&x, rows.start, rows.end);
+                let yt = g.input_rows(&y, rows.start, rows.end);
+                let wt = g.param(&store, w);
+                let pred = g.matmul(xt, wt);
+                let diff = g.sub(pred, yt);
+                let sq = g.square(diff);
+                g.mean_all(sq)
+            })
+        };
+        for threads in [1usize, 4] {
+            runtime::set_threads(threads);
+            let reference = lsq_step(&store, w, &x, &y);
+            let mut pool = GraphPool::new();
+            let first = step(&mut pool);
+            let warm = pool.fresh_allocs();
+            let second = step(&mut pool);
+            let third = step(&mut pool);
+            runtime::set_threads(0);
+            assert_eq!(
+                pool.fresh_allocs(),
+                warm,
+                "pooled tapes allocated after warm-up at {threads} threads"
+            );
+            for s in [&first, &second, &third] {
+                assert_eq!(s.loss, reference.loss, "loss at {threads} threads");
+                assert_eq!(s.grads.len(), reference.grads.len());
+                for ((ida, ga), (idb, gb)) in s.grads.iter().zip(&reference.grads) {
+                    assert_eq!(ida, idb);
+                    assert_eq!(ga.as_slice(), gb.as_slice(), "grads differ bitwise");
+                }
             }
         }
     }
