@@ -15,6 +15,7 @@
 use std::hint::black_box;
 use std::time::Instant;
 use vaer_bench::banner;
+use vaer_bench::run_record::RunRecord;
 use vaer_core::repr::{ReprConfig, ReprModel};
 use vaer_embed::{SgnsConfig, SgnsEmbeddings};
 use vaer_index::{BruteForceKnn, E2Lsh, KnnIndex};
@@ -234,6 +235,25 @@ fn tape_report(quick: bool) -> (f64, usize) {
     (secs, warm_allocs)
 }
 
+/// The `BENCH_kernels.json` path at the repo root.
+fn kernel_json_path() -> std::path::PathBuf {
+    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.pop();
+    path.pop();
+    path.push("BENCH_kernels.json");
+    path
+}
+
+/// Extracts `"<kernel>": {"blocked_gflops": <num>` from a previous
+/// `BENCH_kernels.json` (hand-rolled, tolerant: `None` on any mismatch).
+fn baseline_blocked_gflops(json: &str, kernel: &str) -> Option<f64> {
+    let key = format!("\"{kernel}\": {{\"blocked_gflops\": ");
+    let start = json.find(&key)? + key.len();
+    let rest = &json[start..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
 /// Hand-rolled JSON for the kernel report (the workspace carries no
 /// serialisation dependency).
 fn write_kernel_json(lines: &[KernelLine], tape_secs: f64, tape_allocs: usize) {
@@ -249,18 +269,55 @@ fn write_kernel_json(lines: &[KernelLine], tape_secs: f64, tape_allocs: usize) {
         "  }},\n  \"tape\": {{\"secs_per_step\": {:.6}, \"fresh_allocs_per_step_warm\": {}}}\n}}\n",
         tape_secs, tape_allocs
     ));
-    let mut path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-    path.pop();
-    path.pop();
-    path.push("BENCH_kernels.json");
+    let path = kernel_json_path();
     match std::fs::write(&path, &json) {
         Ok(()) => println!("(report written to {})", path.display()),
         Err(e) => println!("(could not write {}: {e})", path.display()),
     }
 }
 
+/// Measures the observability tax on the hottest kernel: the 256³
+/// matmul at `VAER_OBS=off` (one relaxed atomic load per call) versus
+/// `VAER_OBS=summary` (counter adds + one histogram record per call).
+fn obs_overhead_report(quick: bool) {
+    const N: usize = 256;
+    let (samples, min_ms) = if quick { (3, 5) } else { (9, 30) };
+    let mut rng = XorShiftRng::new(9);
+    let a = Matrix::gaussian(N, N, &mut rng);
+    let b = Matrix::gaussian(N, N, &mut rng);
+    vaer_linalg::runtime::set_threads(1);
+    let prev = vaer_obs::level();
+    vaer_obs::set_level(vaer_obs::Level::Off);
+    let off = median_secs(samples, min_ms, || a.matmul(black_box(&b)));
+    vaer_obs::set_level(vaer_obs::Level::Summary);
+    let summary = median_secs(samples, min_ms, || a.matmul(black_box(&b)));
+    vaer_obs::set_level(prev);
+    vaer_linalg::runtime::set_threads(0);
+    println!(
+        "obs_overhead_256^3           off {:>8.3} ms | summary {:>8.3} ms | off-path delta {:+.2}%",
+        off * 1e3,
+        summary * 1e3,
+        100.0 * (off / summary - 1.0)
+    );
+    if quick {
+        // The off path must not measurably exceed the instrumented path.
+        // Container timing noise alone reaches tens of percent here, so
+        // the bound is generous: it only trips on a structural regression
+        // (a lock or allocation sneaking onto the off path), not jitter.
+        assert!(
+            off <= summary * 1.25,
+            "VAER_OBS=off matmul slower than instrumented path: {:.3} ms vs {:.3} ms",
+            off * 1e3,
+            summary * 1e3
+        );
+    }
+}
+
 fn bench_kernels(quick: bool) {
     println!("\n-- kernel report (single thread, 256^3) --");
+    // Snapshot the previous report before write_kernel_json overwrites it:
+    // it is the baseline for the quick-mode GFLOP/s regression gate.
+    let baseline = std::fs::read_to_string(kernel_json_path()).ok();
     let lines = kernel_report(quick);
     for l in &lines {
         println!(
@@ -291,11 +348,44 @@ fn bench_kernels(quick: bool) {
             );
         }
         assert_eq!(tape_allocs, 0, "warm tape step allocated");
+        // Regression gate against the previous BENCH_kernels.json. The
+        // 0.4x tolerance absorbs container timing variance (measured runs
+        // on this substrate swing up to ~2.6x between invocations, and the
+        // committed baseline may come from a different machine); the gate
+        // exists to catch structural kernel regressions — a lost SIMD
+        // path, broken blocking — not to police jitter.
+        if let Some(prev) = &baseline {
+            for l in &lines {
+                let Some(prev_gflops) = baseline_blocked_gflops(prev, l.name) else {
+                    println!("(no {} baseline in previous BENCH_kernels.json)", l.name);
+                    continue;
+                };
+                assert!(
+                    l.blocked_gflops >= 0.4 * prev_gflops,
+                    "{} regressed: {:.2} GFLOP/s vs {:.2} GFLOP/s baseline (0.4x gate)",
+                    l.name,
+                    l.blocked_gflops,
+                    prev_gflops
+                );
+            }
+        } else {
+            println!("(no previous BENCH_kernels.json; regression gate skipped)");
+        }
     }
+    // Trimmed structured record of the kernel report.
+    let mut rec = RunRecord::new("micro");
+    for l in &lines {
+        rec.num(&format!("{}_blocked_gflops", l.name), l.blocked_gflops)
+            .num(&format!("{}_speedup", l.name), l.speedup());
+    }
+    rec.num("tape_secs_per_step", tape_secs)
+        .int("tape_warm_allocs", tape_allocs as u64)
+        .bool_field("baseline_gate_checked", quick && baseline.is_some());
+    rec.append();
 }
 
 fn main() {
-    let quick = std::env::var("VAER_BENCH_QUICK").is_ok_and(|v| v == "1");
+    let quick = vaer_bench::quick_from_env();
     banner("Micro-benchmarks — hot kernels");
     if !quick {
         bench_matmul();
@@ -306,4 +396,5 @@ fn main() {
         bench_sgns();
     }
     bench_kernels(quick);
+    obs_overhead_report(quick);
 }

@@ -2,13 +2,15 @@
 //! paths: one sharded VAE training step and one large matmul, at 1 thread
 //! and at the machine's full thread count.
 //!
-//! On a single-core host both configurations collapse to the same inline
-//! serial path, so the printed ratio is ~1.0 there by construction; the
-//! speedup claim is only measurable with >= 2 hardware threads.
+//! On a single-core host the multi-thread configuration is skipped
+//! entirely (both paths would collapse to the same inline serial code,
+//! so any printed "speedup" would be measurement noise) and the run
+//! record carries `multithread_skipped: true` instead.
 
 use std::hint::black_box;
 use std::time::Instant;
 use vaer_bench::banner;
+use vaer_bench::run_record::RunRecord;
 use vaer_core::repr::{ReprConfig, ReprModel};
 use vaer_linalg::{runtime, Matrix, XorShiftRng};
 
@@ -47,7 +49,9 @@ fn report(name: &str, serial: f64, parallel: f64, threads: usize) {
     );
 }
 
-fn bench_training_step(threads: usize) {
+/// Serial vs `threads`-way wall-clock of one workload; returns
+/// `(serial_secs, parallel_secs)` for the run record.
+fn bench_training_step(threads: usize) -> (f64, f64) {
     // One epoch over a 256-row batch of 64-dim IRs — the paper's hot
     // training loop, exercising the sharded-gradient path end to end.
     let mut rng = XorShiftRng::new(7);
@@ -64,9 +68,10 @@ fn bench_training_step(threads: usize) {
     let parallel = time_median(step);
     runtime::set_threads(0);
     report("vae_train_step_256x64", serial, parallel, threads);
+    (serial, parallel)
 }
 
-fn bench_matmul(threads: usize) {
+fn bench_matmul(threads: usize) -> (f64, f64) {
     let mut rng = XorShiftRng::new(8);
     let a = Matrix::gaussian(512, 256, &mut rng);
     let b = Matrix::gaussian(256, 512, &mut rng);
@@ -77,15 +82,31 @@ fn bench_matmul(threads: usize) {
     let parallel = time_median(f);
     runtime::set_threads(0);
     report("matmul_512x256x512", serial, parallel, threads);
+    (serial, parallel)
 }
 
 fn main() {
     banner("parallel runtime: serial vs sharded");
     let threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("hardware threads: {threads}");
+    let mut rec = RunRecord::new("parallel_runtime");
+    rec.int("hardware_threads", threads as u64);
     if threads == 1 {
-        println!("(single-core host: both paths run the same inline serial code)");
+        // A 1-thread "parallel" configuration runs the same inline serial
+        // code, so a speedup number would be pure noise — skip and say so
+        // in the record rather than reporting a meaningless ratio.
+        println!("(single-core host: multi-thread configs skipped)");
+        rec.bool_field("multithread_skipped", true);
+    } else {
+        let (mm_serial, mm_parallel) = bench_matmul(threads);
+        let (tr_serial, tr_parallel) = bench_training_step(threads);
+        rec.bool_field("multithread_skipped", false)
+            .num("matmul_serial_secs", mm_serial)
+            .num("matmul_parallel_secs", mm_parallel)
+            .num("matmul_speedup", mm_serial / mm_parallel)
+            .num("train_step_serial_secs", tr_serial)
+            .num("train_step_parallel_secs", tr_parallel)
+            .num("train_step_speedup", tr_serial / tr_parallel);
     }
-    bench_matmul(threads.max(2));
-    bench_training_step(threads.max(2));
+    rec.append();
 }

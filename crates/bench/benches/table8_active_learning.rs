@@ -7,6 +7,7 @@
 //! used. Also caches each domain's learning curve for the Fig. 5 target.
 
 use vaer_bench::paper::{DOMAIN_ORDER, TABLE_VIII};
+use vaer_bench::run_record::RunRecord;
 use vaer_bench::{
     banner, cache, dataset, domains_from_env, fit_repr_bundle, fmt_metric, scale_from_env,
     seed_from_env,
@@ -15,6 +16,7 @@ use vaer_core::active::{evaluate_matcher, ActiveConfig, ActiveLearner};
 use vaer_core::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
 use vaer_data::domains::{Domain, Scale};
 use vaer_embed::IrKind;
+use vaer_obs::json;
 
 fn main() {
     banner("Table VIII — active learning (Bootstrap / A<budget> / Full)");
@@ -34,7 +36,10 @@ fn main() {
         "F1%",
         "Train%"
     );
+    let run_start = std::time::Instant::now();
     let mut curves = Vec::new();
+    let mut domain_names = Vec::new();
+    let mut domain_records = Vec::new();
     for domain in domains_from_env() {
         let ds = dataset(domain, scale, seed);
         let di = Domain::ALL
@@ -150,9 +155,33 @@ fn main() {
             .filter_map(|c| c.test_f1.map(|f1| format!("{}:{:.4}", c.labels_used, f1)))
             .collect();
         curves.push(format!("{}|{}", DOMAIN_ORDER[di], curve.join(";")));
+        domain_names.push(DOMAIN_ORDER[di].to_string());
+        domain_records.push(format!(
+            "{{\"domain\":\"{}\",\"budget\":{},\"labels_used\":{},\"rounds\":{},\"boot_f1\":{},\"al_f1\":{},\"full_f1\":{}}}",
+            json::escape(DOMAIN_ORDER[di]),
+            budget,
+            al_oracle.queries_used(),
+            learner.history().len(),
+            json::number(f64::from(boot.f1)),
+            json::number(f64::from(al.f1)),
+            json::number(f64::from(full.f1)),
+        ));
     }
     let key = format!("fig5_{scale:?}_{seed}");
     cache::put(&key, &curves.join("\n"));
+    let mut rec = RunRecord::new("table8_active_learning");
+    rec.str_list("domains", &domain_names)
+        .raw("results", format!("[{}]", domain_records.join(",")))
+        .num("wall_secs", run_start.elapsed().as_secs_f64())
+        .counters(&[
+            "repr.encode.calls",
+            "repr.encode.rows",
+            "latent.cache.builds",
+            "latent.cache.hits",
+            "latent.cache.invalidations",
+            "latent.cache.reads",
+        ]);
+    rec.append();
     println!("\nShape check: A{budget} should recover most of Full's F1 with a");
     println!("fraction of the labels, and Bootstrap alone should trail both —");
     println!("the paper's Table VIII pattern. (Curves cached for Fig. 5.)");

@@ -14,6 +14,7 @@
 //!   (e.g. `VAER_DOMAINS=Rest.,Beer`).
 
 pub mod paper;
+pub mod run_record;
 
 use vaer_core::entity::{EntityRepr, IrTable};
 use vaer_core::latent::LatentTable;
@@ -41,6 +42,12 @@ pub fn seed_from_env() -> u64 {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(42)
+}
+
+/// Whether `VAER_BENCH_QUICK=1` (the CI smoke mode: reduced sampling,
+/// assertions on, trimmed run records).
+pub fn quick_from_env() -> bool {
+    std::env::var("VAER_BENCH_QUICK").is_ok_and(|v| v == "1")
 }
 
 /// The domains selected by `VAER_DOMAINS` (all nine by default).

@@ -153,6 +153,12 @@ pub struct AlCheckpoint {
     pub pool_sizes: (usize, usize),
     /// Test F1 at this point (if a test set was supplied).
     pub test_f1: Option<f32>,
+    /// How many samples the round's batch drew from each Algorithm 2
+    /// quadrant: `[certain⁺, certain⁻, uncertain⁺, uncertain⁻]`
+    /// (all zero for the bootstrap checkpoint, which selects nothing).
+    pub sample_mix: [usize; 4],
+    /// Wall-clock seconds spent retraining the matcher for this round.
+    pub retrain_secs: f64,
 }
 
 /// The Algorithm 2 driver.
@@ -377,19 +383,30 @@ impl<'a> ActiveLearner<'a> {
         max_labels: usize,
         test: Option<&PairExamples>,
     ) -> Result<SiameseMatcher, CoreError> {
+        let _span = vaer_obs::span("al.run");
         if self.config.verify_bootstrap {
             self.verify_bootstrap(oracle);
         }
         // Guard: bootstrap can theoretically produce a single class (e.g.
         // all seeds verified negative); backfill from the pool if so.
         self.ensure_both_classes(oracle);
+        vaer_obs::event(
+            "al.bootstrap",
+            &[
+                ("positives", self.labeled_pos.len().into()),
+                ("negatives", self.labeled_neg.len().into()),
+                ("pool", self.pool.len().into()),
+                ("corrections", self.bootstrap_corrections.into()),
+            ],
+        );
+        let t0 = std::time::Instant::now();
         let mut matcher = self.train_matcher()?;
-        self.checkpoint(oracle, &matcher, test);
+        self.checkpoint(oracle, &matcher, test, [0; 4], t0.elapsed().as_secs_f64());
         for _iter in 0..self.config.iterations {
             if self.pool.is_empty() || oracle.queries_used() >= max_labels {
                 break;
             }
-            let batch = self.select_batch(&matcher);
+            let (batch, sample_mix) = self.select_batch(&matcher);
             if batch.is_empty() {
                 break;
             }
@@ -401,8 +418,15 @@ impl<'a> ActiveLearner<'a> {
                 }
             }
             self.pool.retain(|p| !batch.contains(p));
+            let t0 = std::time::Instant::now();
             matcher = self.train_matcher()?;
-            self.checkpoint(oracle, &matcher, test);
+            self.checkpoint(
+                oracle,
+                &matcher,
+                test,
+                sample_mix,
+                t0.elapsed().as_secs_f64(),
+            );
         }
         Ok(matcher)
     }
@@ -412,13 +436,35 @@ impl<'a> ActiveLearner<'a> {
         oracle: &Oracle,
         matcher: &SiameseMatcher,
         test: Option<&PairExamples>,
+        sample_mix: [usize; 4],
+        retrain_secs: f64,
     ) {
         let test_f1 = test.map(|t| matcher.evaluate(t).f1);
-        self.history.push(AlCheckpoint {
+        let cp = AlCheckpoint {
             labels_used: oracle.queries_used(),
             pool_sizes: (self.labeled_pos.len(), self.labeled_neg.len()),
             test_f1,
-        });
+            sample_mix,
+            retrain_secs,
+        };
+        vaer_obs::event(
+            "al.round",
+            &[
+                ("round", self.history.len().into()),
+                ("labels_used", cp.labels_used.into()),
+                ("labeled_pos", cp.pool_sizes.0.into()),
+                ("labeled_neg", cp.pool_sizes.1.into()),
+                ("pool_remaining", self.pool.len().into()),
+                ("certain_pos", sample_mix[0].into()),
+                ("certain_neg", sample_mix[1].into()),
+                ("uncertain_pos", sample_mix[2].into()),
+                ("uncertain_neg", sample_mix[3].into()),
+                ("retrain_secs", retrain_secs.into()),
+                // Serialised as JSON null when no test set was supplied.
+                ("test_f1", f64::from(test_f1.unwrap_or(f32::NAN)).into()),
+            ],
+        );
+        self.history.push(cp);
     }
 
     fn ensure_both_classes(&mut self, oracle: &Oracle) {
@@ -444,8 +490,10 @@ impl<'a> ActiveLearner<'a> {
 
     /// Selects one balanced, informative, diverse batch (Algorithm 2,
     /// lines 6–9): per quadrant, the best `samples_per_iteration / 4`
-    /// pool pairs.
-    fn select_batch(&mut self, matcher: &SiameseMatcher) -> Vec<(usize, usize)> {
+    /// pool pairs. Also returns how many pairs each quadrant contributed
+    /// (`[certain⁺, certain⁻, uncertain⁺, uncertain⁻]`) — the round's
+    /// sample mix reported in [`AlCheckpoint`].
+    fn select_batch(&mut self, matcher: &SiameseMatcher) -> (Vec<(usize, usize)>, [usize; 4]) {
         let probs = self.score_pool(matcher);
         let kde = self.positive_distance_kde();
         const EPS: f32 = 1e-4;
@@ -476,21 +524,26 @@ impl<'a> ActiveLearner<'a> {
                     chosen.push(i);
                 }
             };
+        let mut mix = [0usize; 4];
         // Certain positives: min H · 1/f̂⁺ (low entropy, high likelihood).
         take(Box::new(|h, f| h * (1.0 / (f + EPS))), true, &mut chosen);
+        mix[0] = chosen.len();
         // Certain negatives: min H · f̂⁺ (low entropy, low likelihood).
         take(Box::new(|h, f| h * f), false, &mut chosen);
+        mix[1] = chosen.len() - mix[0];
         // Uncertain positives: min (1/H) · f̂⁺ (high entropy, low likelihood).
         take(Box::new(|h, f| (1.0 / (h + EPS)) * f), true, &mut chosen);
+        mix[2] = chosen.len() - mix[0] - mix[1];
         // Uncertain negatives: min (1/H) · 1/f̂⁺ (high entropy, high likelihood).
         take(
             Box::new(|h, f| (1.0 / (h + EPS)) * (1.0 / (f + EPS))),
             false,
             &mut chosen,
         );
+        mix[3] = chosen.len() - mix[0] - mix[1] - mix[2];
         chosen.sort_unstable();
         chosen.dedup();
-        chosen.into_iter().map(|i| self.pool[i]).collect()
+        (chosen.into_iter().map(|i| self.pool[i]).collect(), mix)
     }
 
     /// Baseline sampler for the ablation study: the `n` highest-entropy

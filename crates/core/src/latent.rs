@@ -49,6 +49,7 @@ impl LatentTable {
     /// Encodes a whole table in **one** encoder pass and caches the
     /// result, stamped with the model's current fingerprint.
     pub fn encode(repr: &ReprModel, table: &IrTable) -> Self {
+        crate::obs::handles().cache_builds.incr();
         let (mu, sigma) = repr.encode_matrices(&table.irs);
         Self {
             arity: table.arity,
@@ -94,8 +95,10 @@ impl LatentTable {
     /// swapping representation models.
     pub fn refresh(self, repr: &ReprModel, table: &IrTable) -> Self {
         if self.is_stale(repr) {
+            crate::obs::handles().cache_invalidations.incr();
             Self::encode(repr, table)
         } else {
+            crate::obs::handles().cache_hits.incr();
             self
         }
     }
@@ -105,6 +108,7 @@ impl LatentTable {
     /// encoding [`IrTable::attr_rows`].
     pub fn attr_rows(&self, tuples: &[usize], attr: usize) -> (Matrix, Matrix) {
         assert!(attr < self.arity, "attribute {attr} out of range");
+        crate::obs::handles().cache_reads.add(tuples.len() as u64);
         let rows: Vec<usize> = tuples.iter().map(|&t| t * self.arity + attr).collect();
         (self.mu.select_rows(&rows), self.sigma.select_rows(&rows))
     }

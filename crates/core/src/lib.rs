@@ -30,6 +30,7 @@ pub mod entity;
 pub mod evaluation;
 pub mod latent;
 pub mod matcher;
+mod obs;
 pub mod pipeline;
 pub mod repr;
 pub mod transfer;

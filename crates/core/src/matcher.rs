@@ -242,6 +242,7 @@ impl SiameseMatcher {
             ));
         }
         check_labels(labels)?;
+        let _span = vaer_obs::span("matcher.fit");
         let latent_dim = repr.config().latent_dim;
         assert_eq!(
             features.cols() % latent_dim,
@@ -306,6 +307,7 @@ impl SiameseMatcher {
     }
 
     fn fit(&mut self, examples: &PairExamples, rng: &mut NnRng) -> Result<(), CoreError> {
+        let _span = vaer_obs::span("matcher.fit");
         if self.frozen_encoder {
             // The encoder is fixed, so the Distance-layer features are
             // constants: compute them once and train only the MLP. This is
@@ -319,15 +321,49 @@ impl SiameseMatcher {
         let mut adam =
             Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
         let epochs = self.training_epochs(examples.len());
+        let stride = epoch_event_stride(epochs);
         let mut tapes = GraphPool::new();
-        for _epoch in 0..epochs {
+        for epoch in 0..epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut epoch_bce = 0.0f32;
+            let mut epoch_con = 0.0f32;
+            let mut batches = 0usize;
             for batch in minibatches(examples.len(), self.config.batch_size, rng) {
                 let sub = examples.select(&batch);
-                let step = sharded_step_pooled(&mut tapes, sub.len(), |g, rows| {
-                    let (loss, _logits) = self.loss_graph(g, &sub, rows.start, rows.end);
+                let batch_len = sub.len();
+                // Eq. 4 decomposition, merged with the same shard-size
+                // weights sharded_step applies to the loss. Only read off
+                // the tape when telemetry is on.
+                let parts = std::sync::Mutex::new((0.0f64, 0.0f64));
+                let step = sharded_step_pooled(&mut tapes, batch_len, |g, rows| {
+                    let (loss, bce, contrastive) = self.loss_graph(g, &sub, rows.start, rows.end);
+                    if vaer_obs::enabled() {
+                        let w = f64::from(rows.len() as f32 / batch_len.max(1) as f32);
+                        let mut p = parts.lock().expect("loss parts poisoned");
+                        p.0 += w * f64::from(g.value(bce).get(0, 0));
+                        p.1 += w * f64::from(g.value(contrastive).get(0, 0));
+                    }
                     loss
                 });
+                let (bce_part, con_part) = parts.into_inner().expect("loss parts poisoned");
+                epoch_loss += step.loss;
+                epoch_bce += bce_part as f32;
+                epoch_con += con_part as f32;
+                batches += 1;
                 adam.step(&mut self.store, &step.grads);
+            }
+            if vaer_obs::enabled() && (epoch % stride == 0 || epoch + 1 == epochs) {
+                let denom = batches.max(1) as f32;
+                vaer_obs::event(
+                    "matcher.epoch",
+                    &[
+                        ("epoch", epoch.into()),
+                        ("loss", (epoch_loss / denom).into()),
+                        ("bce", (epoch_bce / denom).into()),
+                        ("contrastive", (epoch_con / denom).into()),
+                        ("fine_tune", true.into()),
+                    ],
+                );
             }
         }
         Ok(())
@@ -342,9 +378,12 @@ impl SiameseMatcher {
         let mut adam =
             Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
         let epochs = self.training_epochs(labels.len());
+        let stride = epoch_event_stride(epochs);
         let labels = Matrix::from_vec(labels.len(), 1, labels.to_vec());
         let mut tapes = GraphPool::new();
-        for _epoch in 0..epochs {
+        for epoch in 0..epochs {
+            let mut epoch_loss = 0.0f32;
+            let mut batches = 0usize;
             for batch in minibatches(labels.rows(), self.config.batch_size, rng) {
                 let x = features.select_rows(&batch);
                 let y = labels.select_rows(&batch);
@@ -353,7 +392,24 @@ impl SiameseMatcher {
                     let logits = self.mlp.forward(g, &self.store, xt);
                     g.bce_with_logits_rows(logits, &y, rows.start, rows.end)
                 });
+                epoch_loss += step.loss;
+                batches += 1;
                 adam.step(&mut self.store, &step.grads);
+            }
+            if vaer_obs::enabled() && (epoch % stride == 0 || epoch + 1 == epochs) {
+                // Frozen path: the whole loss is cross-entropy (the
+                // contrastive term has no trainable inputs here).
+                let mean = epoch_loss / batches.max(1) as f32;
+                vaer_obs::event(
+                    "matcher.epoch",
+                    &[
+                        ("epoch", epoch.into()),
+                        ("loss", mean.into()),
+                        ("bce", mean.into()),
+                        ("contrastive", 0.0f32.into()),
+                        ("fine_tune", false.into()),
+                    ],
+                );
             }
         }
     }
@@ -403,14 +459,16 @@ impl SiameseMatcher {
     }
 
     /// Builds the Eq. 4 loss for rows `start..end` of `batch` on a tape;
-    /// returns the loss and the raw logits tensor.
+    /// returns `(loss, bce, contrastive)` so trainers can report the
+    /// decomposition (forward values are eager, so the components are
+    /// free to read once built).
     fn loss_graph(
         &self,
         g: &mut Graph,
         batch: &PairExamples,
         start: usize,
         end: usize,
-    ) -> (vaer_nn::Tensor, vaer_nn::Tensor) {
+    ) -> (vaer_nn::Tensor, vaer_nn::Tensor, vaer_nn::Tensor) {
         let n = end - start;
         let labels = Matrix::from_vec(n, 1, batch.labels[start..end].to_vec());
         let x = g.input_ref(&labels);
@@ -445,7 +503,7 @@ impl SiameseMatcher {
             self.config.contrastive_weight / self.arity as f32,
         );
         let loss = g.add(bce, contrastive);
-        (loss, logits)
+        (loss, bce, contrastive)
     }
 
     /// Predicted duplicate probabilities for a batch of pairs.
@@ -614,6 +672,14 @@ impl SiameseMatcher {
     pub fn config(&self) -> &MatcherConfig {
         &self.config
     }
+}
+
+/// How often the matcher trainers emit a `matcher.epoch` event: at most
+/// ~50 per fit (the implicit 600-step minimum budget can push tiny
+/// labelled sets to hundreds of epochs, and the AL loop refits every
+/// round).
+fn epoch_event_stride(epochs: usize) -> usize {
+    epochs.div_ceil(50).max(1)
 }
 
 /// Validates that a label vector is non-empty and two-class.

@@ -1,0 +1,37 @@
+//! Cached [`vaer_obs`] metric handles for the core crate's hot paths.
+//!
+//! Handles are registered once behind a `OnceLock`, so the per-call cost
+//! with telemetry enabled is a couple of relaxed atomic adds — and a
+//! single relaxed level load when `VAER_OBS=off`.
+
+use std::sync::OnceLock;
+use vaer_obs::Counter;
+
+pub(crate) struct CoreObs {
+    /// Full encoder passes ([`crate::repr::ReprModel::encode_matrices`]).
+    pub encode_calls: Counter,
+    /// IR rows pushed through the encoder across all passes.
+    pub encode_rows: Counter,
+    /// Latent caches built ([`crate::latent::LatentTable::encode`]).
+    pub cache_builds: Counter,
+    /// `refresh` calls that found the cache fresh (no encoder pass).
+    pub cache_hits: Counter,
+    /// `refresh` calls whose fingerprint check forced a re-encode.
+    pub cache_invalidations: Counter,
+    /// Cached-row gathers served without an encoder pass
+    /// ([`crate::latent::LatentTable::attr_rows`]).
+    pub cache_reads: Counter,
+}
+
+static CORE_OBS: OnceLock<CoreObs> = OnceLock::new();
+
+pub(crate) fn handles() -> &'static CoreObs {
+    CORE_OBS.get_or_init(|| CoreObs {
+        encode_calls: vaer_obs::counter("repr.encode.calls"),
+        encode_rows: vaer_obs::counter("repr.encode.rows"),
+        cache_builds: vaer_obs::counter("latent.cache.builds"),
+        cache_hits: vaer_obs::counter("latent.cache.hits"),
+        cache_invalidations: vaer_obs::counter("latent.cache.invalidations"),
+        cache_reads: vaer_obs::counter("latent.cache.reads"),
+    })
+}

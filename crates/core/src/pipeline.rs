@@ -160,7 +160,9 @@ impl Pipeline {
         if arity != dataset.table_b.schema.arity() {
             return Err(CoreError::BadInput("tables must share arity".into()));
         }
+        let _span = vaer_obs::span("pipeline.fit");
         // Stage 1: IRs.
+        let stage = vaer_obs::span("pipeline.stage.ir");
         let t0 = Instant::now();
         let sentences = dataset.all_sentences();
         let ir_model = fit_ir_model(
@@ -175,8 +177,10 @@ impl Pipeline {
         let irs_a = IrTable::new(arity, ir_model.encode_batch(&a_sentences));
         let irs_b = IrTable::new(arity, ir_model.encode_batch(&b_sentences));
         let ir_secs = t0.elapsed().as_secs_f64();
+        drop(stage);
 
         // Stage 2: representation learning (or transfer).
+        let stage = vaer_obs::span("pipeline.stage.repr");
         let t1 = Instant::now();
         let mut repr_config = config.repr.clone();
         repr_config.ir_dim = config.ir_dim;
@@ -196,10 +200,12 @@ impl Pipeline {
         let lat_b = LatentTable::encode(&repr, &irs_b);
         let reprs_a = lat_a.entities();
         let reprs_b = lat_b.entities();
+        drop(stage);
 
         // Stage 3: supervised matching, with Algorithm-1-style auto-labelled
         // random negatives mixed into the labelled pairs (see
         // [`PipelineConfig::auto_negative_ratio`]).
+        let stage = vaer_obs::span("pipeline.stage.match");
         let t2 = Instant::now();
         let mut matcher_config = config.matcher.clone();
         matcher_config.seed = config.seed ^ 0x3A7C;
@@ -235,6 +241,18 @@ impl Pipeline {
             SiameseMatcher::train(&repr, &examples, &matcher_config)?
         };
         let match_secs = t2.elapsed().as_secs_f64();
+        drop(stage);
+        vaer_obs::event(
+            "pipeline.fit",
+            &[
+                ("ir_secs", ir_secs.into()),
+                ("repr_secs", repr_secs.into()),
+                ("match_secs", match_secs.into()),
+                ("rows_a", dataset.table_a.len().into()),
+                ("rows_b", dataset.table_b.len().into()),
+                ("train_pairs", train_pairs.pairs.len().into()),
+            ],
+        );
 
         Ok(Self {
             ir_model,

@@ -75,10 +75,20 @@ impl ReprConfig {
 }
 
 /// Per-epoch training statistics.
+///
+/// All series are computed unconditionally (they are cheap reads of
+/// values the tape already holds); when [`vaer_obs`] is enabled the same
+/// numbers are also emitted as one `vae.epoch` event per epoch.
 #[derive(Debug, Clone, Default)]
 pub struct ReprTrainStats {
-    /// Mean total loss per epoch.
+    /// Mean total loss (ELBO objective) per epoch.
     pub epoch_losses: Vec<f32>,
+    /// Mean reconstruction term per epoch.
+    pub epoch_recon: Vec<f32>,
+    /// Mean (β-weighted) KL term per epoch.
+    pub epoch_kl: Vec<f32>,
+    /// Mean L2 norm of the merged parameter gradient per epoch.
+    pub epoch_grad_norm: Vec<f32>,
 }
 
 /// The trained representation model (the `φ` of the paper).
@@ -178,8 +188,12 @@ impl ReprModel {
         let mut noise_rng = NnRng::seed_from_u64(config.seed ^ 0xE95);
         // One tape per shard slot, reused for the whole training run.
         let mut tapes = GraphPool::new();
-        for _epoch in 0..config.epochs {
+        let _span = vaer_obs::span("repr.train");
+        for epoch in 0..config.epochs {
             let mut epoch_loss = 0.0f32;
+            let mut epoch_recon = 0.0f32;
+            let mut epoch_kl = 0.0f32;
+            let mut epoch_grad = 0.0f32;
             let mut batches = 0usize;
             for batch in minibatches(irs.rows(), config.batch_size, &mut rng) {
                 // Batch inputs and noise are drawn up front so the RNG
@@ -187,7 +201,11 @@ impl ReprModel {
                 // runtime decides to use.
                 let x = irs.select_rows(&batch);
                 let eps = gaussian_matrix(batch.len(), config.latent_dim, &mut noise_rng);
-                let step = sharded_step_pooled(&mut tapes, batch.len(), |g, rows| {
+                let batch_len = batch.len();
+                // Per-shard loss decomposition, merged with the same
+                // shard-size weights sharded_step applies to the loss.
+                let parts = std::sync::Mutex::new((0.0f64, 0.0f64));
+                let step = sharded_step_pooled(&mut tapes, batch_len, |g, rows| {
                     let n = rows.len();
                     let xt = g.input_rows(&x, rows.start, rows.end);
                     // Encoder.
@@ -221,13 +239,55 @@ impl ReprModel {
                     let kl_sum = g.sum_all(inner);
                     let kl = g.scale(kl_sum, -0.5 / n as f32);
                     let kl = g.scale(kl, config.kl_weight);
+                    // Forward values are eager, so the decomposition is a
+                    // free read off the tape. Uncontended by construction:
+                    // shards finish building at different times.
+                    let w = f64::from(n as f32 / batch_len.max(1) as f32);
+                    let mut p = parts.lock().expect("loss parts poisoned");
+                    p.0 += w * f64::from(g.value(recon_loss).get(0, 0));
+                    p.1 += w * f64::from(g.value(kl).get(0, 0));
+                    drop(p);
                     g.add(recon_loss, kl)
                 });
+                let (recon_part, kl_part) = parts.into_inner().expect("loss parts poisoned");
                 epoch_loss += step.loss;
+                epoch_recon += recon_part as f32;
+                epoch_kl += kl_part as f32;
+                let mut grad_sq = 0.0f64;
+                for (_, grad) in &step.grads {
+                    for &v in grad.as_slice() {
+                        grad_sq += f64::from(v) * f64::from(v);
+                    }
+                }
+                epoch_grad += grad_sq.sqrt() as f32;
                 batches += 1;
                 adam.step(&mut store, &step.grads);
             }
-            stats.epoch_losses.push(epoch_loss / batches.max(1) as f32);
+            let denom = batches.max(1) as f32;
+            stats.epoch_losses.push(epoch_loss / denom);
+            stats.epoch_recon.push(epoch_recon / denom);
+            stats.epoch_kl.push(epoch_kl / denom);
+            stats.epoch_grad_norm.push(epoch_grad / denom);
+            if vaer_obs::enabled() {
+                let requests = tapes.buf_requests();
+                let hit_rate = if requests == 0 {
+                    0.0
+                } else {
+                    1.0 - tapes.fresh_allocs() as f64 / requests as f64
+                };
+                vaer_obs::event(
+                    "vae.epoch",
+                    &[
+                        ("epoch", epoch.into()),
+                        ("loss", (epoch_loss / denom).into()),
+                        ("recon", (epoch_recon / denom).into()),
+                        ("kl", (epoch_kl / denom).into()),
+                        ("grad_norm", (epoch_grad / denom).into()),
+                        ("tape_fresh_allocs", tapes.fresh_allocs().into()),
+                        ("tape_hit_rate", hit_rate.into()),
+                    ],
+                );
+            }
         }
         Ok((
             Self {
@@ -291,6 +351,10 @@ impl ReprModel {
     pub fn encode_matrices(&self, irs: &Matrix) -> (Matrix, Matrix) {
         assert_eq!(irs.cols(), self.config.ir_dim, "IR width mismatch");
         ENCODE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let o = crate::obs::handles();
+        o.encode_calls.incr();
+        o.encode_rows.add(irs.rows() as u64);
+        let _span = vaer_obs::span("repr.encode");
         let latent = self.config.latent_dim;
         if irs.rows() == 0 {
             return (Matrix::zeros(0, latent), Matrix::zeros(0, latent));

@@ -27,6 +27,7 @@
 
 mod decomp;
 mod matrix;
+mod obs;
 mod ops;
 mod rng;
 pub mod runtime;

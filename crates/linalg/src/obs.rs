@@ -1,0 +1,183 @@
+//! Telemetry hooks for the matmul kernels and the worker pool.
+//!
+//! All handles are registered once through a `OnceLock`, so the hot-path
+//! cost is: one relaxed load when telemetry is off (`matmul_start`
+//! returns `None` without reading the clock), and a few relaxed counter
+//! RMWs per *matrix product* (never per element) when it is on.
+//!
+//! Counter naming follows the `<prefix>.flops` / `<prefix>.nanos`
+//! convention that `vaer_obs::ObsSink::derived_gflops` turns into
+//! per-kernel, per-shape-class GFLOP/s at export time.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+use vaer_obs::{counter, gauge, Counter};
+
+/// Kernel ids for [`matmul_finish`].
+pub(crate) const MATMUL: usize = 0;
+pub(crate) const MATMUL_T: usize = 1;
+pub(crate) const T_MATMUL: usize = 2;
+
+const KERNEL_NAMES: [&str; 3] = ["matmul", "matmul_t", "t_matmul"];
+
+/// Shape classes by multiply-add count. `small`'s upper edge is the
+/// parallel FLOP cutoff, so `tiny`/`small` products are always serial
+/// and `medium`/`large` are parallel-eligible.
+const CLASS_NAMES: [&str; 4] = ["tiny", "small", "medium", "large"];
+
+/// Buckets a product's multiply-add count (`m * k * n`) into a class.
+pub(crate) fn shape_class(madds: usize) -> usize {
+    if madds < 1 << 13 {
+        0
+    } else if madds < crate::ops::PAR_FLOP_CUTOFF {
+        1
+    } else if madds < 1 << 22 {
+        2
+    } else {
+        3
+    }
+}
+
+struct KernelCell {
+    calls: [Counter; CLASS_NAMES.len()],
+    flops: [Counter; CLASS_NAMES.len()],
+    nanos: [Counter; CLASS_NAMES.len()],
+}
+
+struct MatmulObs {
+    kernels: [KernelCell; KERNEL_NAMES.len()],
+    dispatch_parallel: Counter,
+    dispatch_serial: Counter,
+}
+
+static MATMUL_OBS: OnceLock<MatmulObs> = OnceLock::new();
+
+fn matmul_obs() -> &'static MatmulObs {
+    MATMUL_OBS.get_or_init(|| {
+        // Recorded once alongside registration: whether the AVX2
+        // micro-kernel path is available on this machine.
+        #[cfg(target_arch = "x86_64")]
+        gauge("linalg.avx2").set(f64::from(u8::from(std::arch::is_x86_feature_detected!(
+            "avx2"
+        ))));
+        #[cfg(not(target_arch = "x86_64"))]
+        gauge("linalg.avx2").set(0.0);
+        let kernels = KERNEL_NAMES.map(|kernel| KernelCell {
+            calls: CLASS_NAMES.map(|c| counter(&format!("linalg.{kernel}.{c}.calls"))),
+            flops: CLASS_NAMES.map(|c| counter(&format!("linalg.{kernel}.{c}.flops"))),
+            nanos: CLASS_NAMES.map(|c| counter(&format!("linalg.{kernel}.{c}.nanos"))),
+        });
+        MatmulObs {
+            kernels,
+            dispatch_parallel: counter("linalg.matmul.dispatch.parallel"),
+            dispatch_serial: counter("linalg.matmul.dispatch.serial"),
+        }
+    })
+}
+
+/// Reads the clock iff telemetry is enabled (one relaxed load when off).
+#[inline]
+pub(crate) fn matmul_start() -> Option<Instant> {
+    if vaer_obs::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+/// Records one finished matrix product: FLOPs (2 per multiply-add) and
+/// wall nanoseconds under the kernel's shape class, plus which dispatch
+/// (parallel row-sharding vs serial) the product actually took.
+#[inline]
+pub(crate) fn matmul_finish(kernel: usize, madds: usize, parallel: bool, start: Option<Instant>) {
+    let Some(t0) = start else { return };
+    let nanos = t0.elapsed().as_nanos() as u64;
+    let obs = matmul_obs();
+    let class = shape_class(madds);
+    let cell = &obs.kernels[kernel];
+    cell.calls[class].incr();
+    cell.flops[class].add(2 * madds as u64);
+    cell.nanos[class].add(nanos);
+    if parallel {
+        obs.dispatch_parallel.incr();
+    } else {
+        obs.dispatch_serial.incr();
+    }
+}
+
+struct PoolObs {
+    tasks: Counter,
+    spawned: Counter,
+    inline_runs: Counter,
+    join_wait_nanos: Counter,
+}
+
+static POOL_OBS: OnceLock<PoolObs> = OnceLock::new();
+
+fn pool_obs() -> &'static PoolObs {
+    POOL_OBS.get_or_init(|| PoolObs {
+        tasks: counter("runtime.tasks"),
+        spawned: counter("runtime.shards_spawned"),
+        inline_runs: counter("runtime.inline_runs"),
+        join_wait_nanos: counter("runtime.join_wait_nanos"),
+    })
+}
+
+/// Records a shard map that ran inline on the calling thread.
+#[inline]
+pub(crate) fn pool_inline() {
+    if vaer_obs::enabled() {
+        let obs = pool_obs();
+        obs.tasks.incr();
+        obs.inline_runs.incr();
+    }
+}
+
+/// Records a shard map that spawned workers: `shards` total tasks, of
+/// which `spawned` ran on spawned scoped threads.
+#[inline]
+pub(crate) fn pool_spawned(shards: usize, spawned: usize) {
+    if vaer_obs::enabled() {
+        let obs = pool_obs();
+        obs.tasks.add(shards as u64);
+        obs.spawned.add(spawned as u64);
+    }
+}
+
+/// Time the calling thread spent blocked joining workers after its own
+/// shard finished — the pool's idle-time proxy.
+#[inline]
+pub(crate) fn pool_join_wait(start: Option<Instant>) {
+    if let Some(t0) = start {
+        pool_obs()
+            .join_wait_nanos
+            .add(t0.elapsed().as_nanos() as u64);
+    }
+}
+
+/// Clock read for [`pool_join_wait`], gated like [`matmul_start`].
+#[inline]
+pub(crate) fn pool_clock() -> Option<Instant> {
+    if vaer_obs::enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_class_boundaries() {
+        assert_eq!(shape_class(0), 0);
+        assert_eq!(shape_class((1 << 13) - 1), 0);
+        assert_eq!(shape_class(1 << 13), 1);
+        assert_eq!(shape_class(crate::ops::PAR_FLOP_CUTOFF - 1), 1);
+        assert_eq!(shape_class(crate::ops::PAR_FLOP_CUTOFF), 2);
+        assert_eq!(shape_class((1 << 22) - 1), 2);
+        assert_eq!(shape_class(1 << 22), 3);
+        assert_eq!(shape_class(usize::MAX), 3);
+    }
+}

@@ -311,6 +311,7 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = other.cols();
         assert_eq!(out.shape(), (m, n), "matmul output shape mismatch");
+        let t0 = crate::obs::matmul_start();
         let packed = pack_rhs(other);
         let min_rows = if m * k * n >= PAR_FLOP_CUTOFF {
             MIN_ROWS_PER_SHARD
@@ -320,6 +321,8 @@ impl Matrix {
         runtime::for_each_row_shard_mut(out.as_mut_slice(), m, n, min_rows, |rows, chunk| {
             blocked_rows(self, &packed, n, rows, chunk);
         });
+        let parallel = t0.is_some() && runtime::shard_count(m, min_rows) > 1;
+        crate::obs::matmul_finish(crate::obs::MATMUL, m * k * n, parallel, t0);
     }
 
     /// `selfᵀ * other` without materialising the transpose.
@@ -341,6 +344,7 @@ impl Matrix {
         let (r, m) = self.shape();
         let n = other.cols();
         assert_eq!(out.shape(), (m, n), "t_matmul output shape mismatch");
+        let t0 = crate::obs::matmul_start();
         let packed = pack_rhs(other);
         let min_rows = if m * r * n >= PAR_FLOP_CUTOFF {
             MIN_ROWS_PER_SHARD
@@ -350,6 +354,8 @@ impl Matrix {
         runtime::for_each_row_shard_mut(out.as_mut_slice(), m, n, min_rows, |rows, chunk| {
             blocked_rows_transposed(self, &packed, n, rows, chunk);
         });
+        let parallel = t0.is_some() && runtime::shard_count(m, min_rows) > 1;
+        crate::obs::matmul_finish(crate::obs::T_MATMUL, m * r * n, parallel, t0);
     }
 
     /// `self * otherᵀ` without materialising the transpose.
@@ -371,6 +377,7 @@ impl Matrix {
         let (m, k) = self.shape();
         let n = other.rows();
         assert_eq!(out.shape(), (m, n), "matmul_t output shape mismatch");
+        let t0 = crate::obs::matmul_start();
         let packed = pack_rhs_transposed(other);
         let min_rows = if m * k * n >= PAR_FLOP_CUTOFF {
             MIN_ROWS_PER_SHARD
@@ -380,6 +387,8 @@ impl Matrix {
         runtime::for_each_row_shard_mut(out.as_mut_slice(), m, n, min_rows, |rows, chunk| {
             blocked_rows(self, &packed, n, rows, chunk);
         });
+        let parallel = t0.is_some() && runtime::shard_count(m, min_rows) > 1;
+        crate::obs::matmul_finish(crate::obs::MATMUL_T, m * k * n, parallel, t0);
     }
 
     /// Element-wise sum; shapes must match.

@@ -107,8 +107,10 @@ where
 {
     let shards = shard_count(n, min_per_shard);
     if shards == 1 {
+        crate::obs::pool_inline();
         return vec![f(0, 0..n)];
     }
+    crate::obs::pool_spawned(shards, shards - 1);
     let ranges = shard_ranges(n, shards);
     std::thread::scope(|scope| {
         // Shard 0 runs on the calling thread; the rest on scoped workers.
@@ -123,9 +125,13 @@ where
             .collect();
         let mut out = Vec::with_capacity(ranges.len());
         out.push(f(0, ranges[0].clone()));
+        // Everything past this point is the calling thread idling on its
+        // workers — the pool's idle-time telemetry.
+        let join0 = crate::obs::pool_clock();
         for h in handles {
             out.push(h.join().expect("runtime worker panicked"));
         }
+        crate::obs::pool_join_wait(join0);
         out
     })
 }
@@ -142,9 +148,12 @@ where
     debug_assert_eq!(data.len(), rows * cols);
     let shards = shard_count(rows, min_rows);
     if shards == 1 {
+        crate::obs::pool_inline();
         f(0..rows, data);
         return;
     }
+    // All shards (including the first) run on spawned scoped workers.
+    crate::obs::pool_spawned(shards, shards);
     let ranges = shard_ranges(rows, shards);
     std::thread::scope(|scope| {
         let mut rest = data;

@@ -1,0 +1,76 @@
+//! Metrics-registry concurrency: counters incremented from the data-
+//! parallel runtime's worker threads must sum exactly, and histogram
+//! buckets must not tear (total count == sum over buckets).
+//!
+//! This binary mutates the global observability level, so it holds all
+//! level-dependent assertions in ONE #[test] — integration tests in the
+//! same binary run on a shared process where a second test could observe
+//! a level mid-change.
+
+use vaer_linalg::runtime;
+use vaer_obs::{Level, ObsSink};
+
+#[test]
+fn worker_thread_counters_sum_exactly() {
+    vaer_obs::set_level(Level::Summary);
+    vaer_obs::reset();
+    runtime::set_threads(8);
+
+    let counter = vaer_obs::counter("test.obs.worker_incr");
+    let histogram = vaer_obs::histogram("test.obs.worker_hist");
+
+    // 10_000 increments split across worker shards; each shard also
+    // records one histogram sample per element at a spread of
+    // magnitudes so multiple log2 buckets are hit concurrently.
+    const TOTAL: usize = 10_000;
+    let per_shard: Vec<usize> = runtime::map_shards_indexed(TOTAL, 1, |_, range| {
+        for i in range.clone() {
+            counter.incr();
+            histogram.record_nanos(1u64 << (i % 20));
+        }
+        range.len()
+    });
+    assert_eq!(per_shard.iter().sum::<usize>(), TOTAL);
+    assert_eq!(counter.get(), TOTAL as u64, "lost counter increments");
+
+    let sink = ObsSink::snapshot();
+    let hist = sink
+        .histograms
+        .iter()
+        .find(|h| h.name == "test.obs.worker_hist")
+        .expect("histogram registered");
+    assert_eq!(hist.count, TOTAL as u64, "lost histogram samples");
+    assert_eq!(
+        hist.buckets.iter().sum::<u64>(),
+        hist.count,
+        "torn histogram buckets"
+    );
+    assert!(hist.min_nanos <= hist.max_nanos);
+    assert!(
+        hist.sum_nanos >= hist.count,
+        "sum below one nano per sample"
+    );
+
+    // Matmul telemetry recorded from the instrumented kernels feeds the
+    // derived-GFLOP/s pairs; one call is enough to register the shape
+    // class under Summary.
+    let mut rng = vaer_linalg::XorShiftRng::new(1);
+    let a = vaer_linalg::Matrix::gaussian(48, 48, &mut rng);
+    let b = vaer_linalg::Matrix::gaussian(48, 48, &mut rng);
+    let _ = a.matmul(&b);
+    let sink = ObsSink::snapshot();
+    assert!(
+        !sink.derived_gflops().is_empty(),
+        "matmul under Summary should yield a derived GFLOP/s pair"
+    );
+
+    // Off means off: no records accumulate and counter handles no-op.
+    vaer_obs::set_level(Level::Off);
+    vaer_obs::reset();
+    let _ = a.matmul(&b);
+    counter.incr();
+    assert_eq!(vaer_obs::records_len(), 0, "records collected while off");
+    assert_eq!(counter.get(), 0, "counter advanced while off");
+
+    runtime::set_threads(0);
+}

@@ -94,8 +94,17 @@ pub struct Graph {
     /// node order so a same-shaped next step pops each buffer back into
     /// the node position (and hence size) it previously served.
     pool: Vec<Vec<f32>>,
+    stats: PoolStats,
+}
+
+/// Buffer-pool accounting, shared by forward allocation and the backward
+/// sweep's split borrow. `hit rate = 1 - fresh_allocs / buf_requests`.
+#[derive(Default)]
+struct PoolStats {
     /// Buffer requests the pool could not serve without allocating.
     fresh_allocs: usize,
+    /// Total buffer requests.
+    buf_requests: usize,
 }
 
 impl Default for Graph {
@@ -106,18 +115,19 @@ impl Default for Graph {
 
 /// Pops a pooled buffer resized (zero-filled) to `len`, counting a fresh
 /// allocation on pool miss or capacity growth.
-fn take_buf(pool: &mut Vec<Vec<f32>>, fresh_allocs: &mut usize, len: usize) -> Vec<f32> {
+fn take_buf(pool: &mut Vec<Vec<f32>>, stats: &mut PoolStats, len: usize) -> Vec<f32> {
+    stats.buf_requests += 1;
     match pool.pop() {
         Some(mut v) => {
             if v.capacity() < len {
-                *fresh_allocs += 1;
+                stats.fresh_allocs += 1;
             }
             v.clear();
             v.resize(len, 0.0);
             v
         }
         None => {
-            *fresh_allocs += 1;
+            stats.fresh_allocs += 1;
             vec![0.0; len]
         }
     }
@@ -130,7 +140,7 @@ impl Graph {
             nodes: Vec::with_capacity(64),
             grads: Vec::new(),
             pool: Vec::new(),
-            fresh_allocs: 0,
+            stats: PoolStats::default(),
         }
     }
 
@@ -160,11 +170,18 @@ impl Graph {
     /// allocating (monotonic over the graph's lifetime). A steady-state
     /// `reset()` + rebuild cycle keeps this constant.
     pub fn fresh_allocs(&self) -> usize {
-        self.fresh_allocs
+        self.stats.fresh_allocs
+    }
+
+    /// Total pooled-buffer requests over the graph's lifetime. With
+    /// [`Graph::fresh_allocs`] this yields the tape-pool hit rate:
+    /// `1 - fresh_allocs / buf_requests`.
+    pub fn buf_requests(&self) -> usize {
+        self.stats.buf_requests
     }
 
     fn take_buf(&mut self, len: usize) -> Vec<f32> {
-        take_buf(&mut self.pool, &mut self.fresh_allocs, len)
+        take_buf(&mut self.pool, &mut self.stats, len)
     }
 
     /// A zeroed `rows x cols` matrix backed by a pooled buffer.
@@ -575,7 +592,7 @@ impl Graph {
                 nodes: &self.nodes,
                 grads: &mut self.grads,
                 pool: &mut self.pool,
-                fresh_allocs: &mut self.fresh_allocs,
+                stats: &mut self.stats,
             };
             ctx.propagate(i, &g);
             // Re-insert so callers can still read the gradient afterwards.
@@ -610,16 +627,12 @@ struct BackwardCtx<'a> {
     nodes: &'a [Node],
     grads: &'a mut Vec<Option<Matrix>>,
     pool: &'a mut Vec<Vec<f32>>,
-    fresh_allocs: &'a mut usize,
+    stats: &'a mut PoolStats,
 }
 
 impl BackwardCtx<'_> {
     fn alloc(&mut self, rows: usize, cols: usize) -> Matrix {
-        Matrix::from_vec(
-            rows,
-            cols,
-            take_buf(self.pool, self.fresh_allocs, rows * cols),
-        )
+        Matrix::from_vec(rows, cols, take_buf(self.pool, self.stats, rows * cols))
     }
 
     /// Adds the delta `f(element_index)` into `node`'s gradient — in
@@ -636,7 +649,7 @@ impl BackwardCtx<'_> {
                 }
             }
             slot @ None => {
-                let mut buf = take_buf(self.pool, self.fresh_allocs, rows * cols);
+                let mut buf = take_buf(self.pool, self.stats, rows * cols);
                 for (i, o) in buf.iter_mut().enumerate() {
                     *o = f(i);
                 }

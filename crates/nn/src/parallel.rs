@@ -83,6 +83,16 @@ impl GraphPool {
             .map(|s| s.lock().expect("graph slot poisoned").fresh_allocs())
             .sum()
     }
+
+    /// Total buffer requests across all slots (see [`Graph::buf_requests`]).
+    /// With [`GraphPool::fresh_allocs`] this yields the tape-pool hit
+    /// rate the trainers report: `1 - fresh_allocs / buf_requests`.
+    pub fn buf_requests(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.lock().expect("graph slot poisoned").buf_requests())
+            .sum()
+    }
 }
 
 /// [`sharded_step`] with caller-owned tapes: shard *i* runs on
@@ -213,6 +223,10 @@ mod tests {
     #[test]
     fn pooled_step_matches_unpooled_and_stops_allocating() {
         let _guard = OVERRIDE_LOCK.lock().unwrap();
+        // Part of the VAER_OBS=off contract: a warm training step must do
+        // zero heap allocations AND leave zero telemetry records behind.
+        vaer_obs::set_level(vaer_obs::Level::Off);
+        vaer_obs::reset();
         let (store, w, x, y) = toy_problem(4 * MIN_SHARD_ROWS);
         let step = |pool: &mut GraphPool| {
             sharded_step_pooled(pool, x.rows(), |g, rows| {
@@ -248,6 +262,11 @@ mod tests {
                 }
             }
         }
+        assert_eq!(
+            vaer_obs::records_len(),
+            0,
+            "VAER_OBS=off must record no spans or events"
+        );
     }
 
     #[test]

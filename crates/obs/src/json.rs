@@ -1,0 +1,259 @@
+//! Minimal JSON helpers: string escaping for the JSONL writer and a
+//! strict single-value validator used by tests to check exported lines
+//! without pulling in a JSON crate.
+
+/// Escapes a string for embedding between JSON double quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number token (`null` for NaN/inf, which
+/// JSON cannot represent).
+pub fn number(v: f64) -> String {
+    if v.is_finite() {
+        // Rust renders integral floats without a dot ("3"); that is
+        // already valid JSON, so pass it through.
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Returns true iff `s` is exactly one valid JSON value (recursive
+/// descent, no extensions). Meant for validating exported JSONL lines.
+pub fn is_valid(s: &str) -> bool {
+    let bytes = s.as_bytes();
+    let mut pos = 0;
+    if !parse_value(bytes, &mut pos) {
+        return false;
+    }
+    skip_ws(bytes, &mut pos);
+    pos == bytes.len()
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_object(b, pos),
+        Some(b'[') => parse_array(b, pos),
+        Some(b'"') => parse_string(b, pos),
+        Some(b't') => parse_lit(b, pos, b"true"),
+        Some(b'f') => parse_lit(b, pos, b"false"),
+        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
+        _ => false,
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+    if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
+        *pos += lit.len();
+        true
+    } else {
+        false
+    }
+}
+
+fn parse_object(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '{'
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        skip_ws(b, pos);
+        if !parse_string(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        if b.get(*pos) != Some(&b':') {
+            return false;
+        }
+        *pos += 1;
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_array(b: &[u8], pos: &mut usize) -> bool {
+    *pos += 1; // '['
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return true;
+    }
+    loop {
+        if !parse_value(b, pos) {
+            return false;
+        }
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return true;
+            }
+            _ => return false,
+        }
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+    if b.get(*pos) != Some(&b'"') {
+        return false;
+    }
+    *pos += 1;
+    while let Some(&c) = b.get(*pos) {
+        match c {
+            b'"' => {
+                *pos += 1;
+                return true;
+            }
+            b'\\' => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            match b.get(*pos) {
+                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
+                                _ => return false,
+                            }
+                        }
+                    }
+                    _ => return false,
+                }
+            }
+            0x00..=0x1f => return false,
+            _ => *pos += 1,
+        }
+    }
+    false
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let mut digits = 0;
+    while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+        *pos += 1;
+        digits += 1;
+    }
+    if digits == 0 {
+        return false;
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        let mut frac = 0;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+            frac += 1;
+        }
+        if frac == 0 {
+            return false;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        let mut exp = 0;
+        while matches!(b.get(*pos), Some(c) if c.is_ascii_digit()) {
+            *pos += 1;
+            exp += 1;
+        }
+        if exp == 0 {
+            return false;
+        }
+    }
+    *pos > start
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn number_tokens() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+        assert!(is_valid(&number(0.1 + 0.2)));
+        assert!(is_valid(&number(1e300)));
+        assert!(is_valid(&number(-4.25e-3)));
+    }
+
+    #[test]
+    fn validator_accepts_valid() {
+        for ok in [
+            "{}",
+            "[]",
+            "null",
+            "true",
+            "-3.25e+2",
+            "\"a\\u00e9\"",
+            r#"{"a":[1,2,{"b":null}],"c":"x\n"}"#,
+            "  { \"k\" : 1 }  ",
+        ] {
+            assert!(is_valid(ok), "should accept: {ok}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_invalid() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "01a",
+            "1.",
+            "\"unterminated",
+            "{} trailing",
+            "nul",
+            "{'a':1}",
+        ] {
+            assert!(!is_valid(bad), "should reject: {bad}");
+        }
+    }
+}

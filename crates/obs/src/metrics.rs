@@ -1,0 +1,298 @@
+//! Fixed-capacity metrics registry.
+//!
+//! Values live in static arrays of atomics, so recording through a handle
+//! is a handful of relaxed atomic RMWs — no lock, no allocation, no
+//! resize. Registration (`counter`/`gauge`/`histogram`) takes a `Mutex`
+//! over the name lists and does a linear scan; hot paths are expected to
+//! register once (e.g. through a `OnceLock`-cached handle struct) and
+//! reuse the `Copy` handle.
+//!
+//! If a capacity is exhausted, registration returns an inert handle that
+//! records nothing rather than panicking: telemetry must never take the
+//! process down.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Maximum number of distinct counters.
+pub const MAX_COUNTERS: usize = 512;
+/// Maximum number of distinct gauges.
+pub const MAX_GAUGES: usize = 128;
+/// Maximum number of distinct histograms.
+pub const MAX_HISTOGRAMS: usize = 128;
+/// Buckets per histogram (log2-spaced nanoseconds, see [`bucket_index`]).
+pub const HIST_BUCKETS: usize = 16;
+
+// Repeating a const with interior mutability in an array initialiser
+// creates one fresh atomic per slot — exactly what we want here.
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+static COUNTERS: [AtomicU64; MAX_COUNTERS] = [ZERO; MAX_COUNTERS];
+// Gauges store `f64::to_bits`.
+static GAUGES: [AtomicU64; MAX_GAUGES] = [ZERO; MAX_GAUGES];
+
+struct HistCell {
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    min_nanos: AtomicU64, // u64::MAX when empty
+    max_nanos: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const HIST_EMPTY: HistCell = HistCell {
+    count: AtomicU64::new(0),
+    sum_nanos: AtomicU64::new(0),
+    min_nanos: AtomicU64::new(u64::MAX),
+    max_nanos: AtomicU64::new(0),
+    buckets: [ZERO; HIST_BUCKETS],
+};
+
+static HISTOGRAMS: [HistCell; MAX_HISTOGRAMS] = [HIST_EMPTY; MAX_HISTOGRAMS];
+
+struct Names {
+    counters: Vec<String>,
+    gauges: Vec<String>,
+    histograms: Vec<String>,
+}
+
+static NAMES: Mutex<Names> = Mutex::new(Names {
+    counters: Vec::new(),
+    gauges: Vec::new(),
+    histograms: Vec::new(),
+});
+
+/// Index of an inert handle (capacity exhausted).
+const DEAD: usize = usize::MAX;
+
+fn register(list: &mut Vec<String>, name: &str, max: usize) -> usize {
+    if let Some(i) = list.iter().position(|n| n == name) {
+        return i;
+    }
+    if list.len() >= max {
+        return DEAD;
+    }
+    list.push(name.to_string());
+    list.len() - 1
+}
+
+/// Finds or registers a counter by name.
+pub fn counter(name: &str) -> Counter {
+    let mut names = NAMES.lock().unwrap();
+    Counter(register(&mut names.counters, name, MAX_COUNTERS))
+}
+
+/// Finds or registers a gauge by name.
+pub fn gauge(name: &str) -> Gauge {
+    let mut names = NAMES.lock().unwrap();
+    Gauge(register(&mut names.gauges, name, MAX_GAUGES))
+}
+
+/// Finds or registers a histogram by name.
+pub fn histogram(name: &str) -> Histogram {
+    let mut names = NAMES.lock().unwrap();
+    Histogram(register(&mut names.histograms, name, MAX_HISTOGRAMS))
+}
+
+/// Monotonic counter handle (`Copy`, lock-free recording).
+#[derive(Clone, Copy, Debug)]
+pub struct Counter(usize);
+
+impl Counter {
+    /// Adds `n`. No-op when telemetry is off or the handle is inert.
+    #[inline]
+    pub fn add(self, n: u64) {
+        if crate::enabled() && self.0 < MAX_COUNTERS {
+            COUNTERS[self.0].fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Convenience for `add(1)`.
+    #[inline]
+    pub fn incr(self) {
+        self.add(1);
+    }
+
+    /// Current value (reads regardless of level; inert handles read 0).
+    pub fn get(self) -> u64 {
+        if self.0 < MAX_COUNTERS {
+            COUNTERS[self.0].load(Ordering::Relaxed)
+        } else {
+            0
+        }
+    }
+
+    /// Registry slot, for handle-identity tests.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Last-write-wins gauge handle storing an `f64`.
+#[derive(Clone, Copy, Debug)]
+pub struct Gauge(usize);
+
+impl Gauge {
+    /// Sets the gauge. No-op when telemetry is off or the handle is inert.
+    #[inline]
+    pub fn set(self, value: f64) {
+        if crate::enabled() && self.0 < MAX_GAUGES {
+            GAUGES[self.0].store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0.0 when never set or inert).
+    pub fn get(self) -> f64 {
+        if self.0 < MAX_GAUGES {
+            f64::from_bits(GAUGES[self.0].load(Ordering::Relaxed))
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Maps a nanosecond duration to its log2 bucket: bucket 0 holds
+/// everything under 1.024 µs, bucket `b` (1..15) holds
+/// `[2^(9+b), 2^(10+b))` ns, bucket 15 holds everything ≥ ~16.8 ms.
+#[inline]
+pub fn bucket_index(nanos: u64) -> usize {
+    let bits = 64 - (nanos | 1).leading_zeros() as usize;
+    bits.saturating_sub(10).min(HIST_BUCKETS - 1)
+}
+
+/// Fixed-bucket duration histogram handle (nanosecond values).
+///
+/// Every update is an independent relaxed RMW on its own atomic, so
+/// concurrent recording never tears: `sum(buckets) == count` always holds
+/// once recording threads are joined.
+#[derive(Clone, Copy, Debug)]
+pub struct Histogram(usize);
+
+impl Histogram {
+    /// Records one duration. No-op when telemetry is off or inert.
+    #[inline]
+    pub fn record_nanos(self, nanos: u64) {
+        if !crate::enabled() || self.0 >= MAX_HISTOGRAMS {
+            return;
+        }
+        let cell = &HISTOGRAMS[self.0];
+        cell.count.fetch_add(1, Ordering::Relaxed);
+        cell.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        cell.min_nanos.fetch_min(nanos, Ordering::Relaxed);
+        cell.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        cell.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an [`std::time::Duration`].
+    #[inline]
+    pub fn record(self, duration: std::time::Duration) {
+        self.record_nanos(duration.as_nanos() as u64);
+    }
+
+    /// Registry slot, for handle-identity tests.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Snapshot of every registered counter, in registration order.
+pub(crate) fn snapshot_counters() -> Vec<(String, u64)> {
+    let names = NAMES.lock().unwrap();
+    names
+        .counters
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), COUNTERS[i].load(Ordering::Relaxed)))
+        .collect()
+}
+
+/// Snapshot of every registered gauge, in registration order.
+pub(crate) fn snapshot_gauges() -> Vec<(String, f64)> {
+    let names = NAMES.lock().unwrap();
+    names
+        .gauges
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.clone(), f64::from_bits(GAUGES[i].load(Ordering::Relaxed))))
+        .collect()
+}
+
+/// Raw histogram snapshot: (name, count, sum, min, max, buckets).
+#[allow(clippy::type_complexity)]
+pub(crate) fn snapshot_histograms() -> Vec<(String, u64, u64, u64, u64, [u64; HIST_BUCKETS])> {
+    let names = NAMES.lock().unwrap();
+    names
+        .histograms
+        .iter()
+        .enumerate()
+        .map(|(i, n)| {
+            let cell = &HISTOGRAMS[i];
+            let count = cell.count.load(Ordering::Relaxed);
+            let min = cell.min_nanos.load(Ordering::Relaxed);
+            let mut buckets = [0u64; HIST_BUCKETS];
+            for (b, slot) in buckets.iter_mut().zip(cell.buckets.iter()) {
+                *b = slot.load(Ordering::Relaxed);
+            }
+            (
+                n.clone(),
+                count,
+                cell.sum_nanos.load(Ordering::Relaxed),
+                if count == 0 { 0 } else { min },
+                cell.max_nanos.load(Ordering::Relaxed),
+                buckets,
+            )
+        })
+        .collect()
+}
+
+/// Zeroes every metric value; names and handles stay valid.
+pub(crate) fn reset_values() {
+    // Hold the names lock so a concurrent snapshot sees a consistent
+    // (fully zeroed or fully live) view of the arrays it reads.
+    let names = NAMES.lock().unwrap();
+    for slot in COUNTERS.iter().take(names.counters.len()) {
+        slot.store(0, Ordering::Relaxed);
+    }
+    for slot in GAUGES.iter().take(names.gauges.len()) {
+        slot.store(0, Ordering::Relaxed);
+    }
+    for cell in HISTOGRAMS.iter().take(names.histograms.len()) {
+        cell.count.store(0, Ordering::Relaxed);
+        cell.sum_nanos.store(0, Ordering::Relaxed);
+        cell.min_nanos.store(u64::MAX, Ordering::Relaxed);
+        cell.max_nanos.store(0, Ordering::Relaxed);
+        for b in cell.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_edges() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(1023), 0);
+        assert_eq!(bucket_index(1024), 1);
+        assert_eq!(bucket_index(2047), 1);
+        assert_eq!(bucket_index(2048), 2);
+        assert_eq!(bucket_index(1 << 24), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn dead_handles_are_inert() {
+        let c = Counter(DEAD);
+        c.add(5);
+        assert_eq!(c.get(), 0);
+        let g = Gauge(DEAD);
+        g.set(3.0);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram(DEAD);
+        h.record_nanos(10);
+    }
+}

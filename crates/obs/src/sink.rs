@@ -1,0 +1,319 @@
+//! Snapshot + export: [`ObsSink`] freezes the current telemetry state and
+//! renders it as JSONL (machine) or a summary table (human).
+
+use crate::collect::{self, EventRecord, SpanRecord, Value};
+use crate::json;
+use crate::metrics::{self, HIST_BUCKETS};
+use std::io::{self, Write};
+use std::path::Path;
+
+/// Frozen view of one histogram.
+#[derive(Clone, Debug)]
+pub struct HistSnapshot {
+    /// Histogram name (usually a span name).
+    pub name: String,
+    /// Number of recorded durations.
+    pub count: u64,
+    /// Sum of all recorded durations, nanoseconds.
+    pub sum_nanos: u64,
+    /// Smallest recorded duration (0 when empty).
+    pub min_nanos: u64,
+    /// Largest recorded duration.
+    pub max_nanos: u64,
+    /// Log2 buckets, see [`metrics::bucket_index`].
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Mean duration in nanoseconds (0 when empty).
+    pub fn mean_nanos(&self) -> u64 {
+        self.sum_nanos.checked_div(self.count).unwrap_or(0)
+    }
+}
+
+/// A frozen snapshot of every registered metric plus all collected span
+/// and event records, ready for export.
+#[derive(Clone, Debug)]
+pub struct ObsSink {
+    /// Level at snapshot time.
+    pub level: crate::Level,
+    /// Counters in registration order.
+    pub counters: Vec<(String, u64)>,
+    /// Gauges in registration order.
+    pub gauges: Vec<(String, f64)>,
+    /// Histograms in registration order.
+    pub histograms: Vec<HistSnapshot>,
+    /// Individual spans (populated only at `trace` level), by start time.
+    pub spans: Vec<SpanRecord>,
+    /// Events, by timestamp.
+    pub events: Vec<EventRecord>,
+}
+
+impl ObsSink {
+    /// Freezes the current telemetry state. Cheap relative to anything
+    /// worth instrumenting, but not free — call between phases, not in
+    /// inner loops.
+    pub fn snapshot() -> Self {
+        let (spans, events) = collect::snapshot_records();
+        let histograms = metrics::snapshot_histograms()
+            .into_iter()
+            .map(
+                |(name, count, sum_nanos, min_nanos, max_nanos, buckets)| HistSnapshot {
+                    name,
+                    count,
+                    sum_nanos,
+                    min_nanos,
+                    max_nanos,
+                    buckets,
+                },
+            )
+            .collect();
+        ObsSink {
+            level: crate::level(),
+            counters: metrics::snapshot_counters(),
+            gauges: metrics::snapshot_gauges(),
+            histograms,
+            spans,
+            events,
+        }
+    }
+
+    /// Value of a counter by name (0 when unregistered).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    }
+
+    /// Events with the given name, in time order.
+    pub fn events_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a EventRecord> {
+        self.events.iter().filter(move |e| e.name == name)
+    }
+
+    /// Derived throughputs: every counter pair `<p>.flops` / `<p>.nanos`
+    /// with nonzero nanos yields `(<p>, flops/nanos)` — and flops per
+    /// nanosecond is exactly GFLOP/s.
+    pub fn derived_gflops(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        for (name, flops) in &self.counters {
+            let Some(prefix) = name.strip_suffix(".flops") else {
+                continue;
+            };
+            let nanos = self.counter(&format!("{prefix}.nanos"));
+            if *flops > 0 && nanos > 0 {
+                out.push((prefix.to_string(), *flops as f64 / nanos as f64));
+            }
+        }
+        out
+    }
+
+    /// Writes the snapshot as JSONL: one self-describing JSON object per
+    /// line (`"type"` is one of `meta`, `counter`, `gauge`, `histogram`,
+    /// `throughput`, `span`, `event`). Schema documented in DESIGN.md §9.
+    pub fn write_jsonl<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        writeln!(
+            w,
+            "{{\"type\":\"meta\",\"level\":\"{}\",\"counters\":{},\"spans\":{},\"events\":{}}}",
+            self.level.name(),
+            self.counters.len(),
+            self.spans.len(),
+            self.events.len(),
+        )?;
+        for (name, value) in &self.counters {
+            writeln!(
+                w,
+                "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+                json::escape(name)
+            )?;
+        }
+        for (name, value) in &self.gauges {
+            writeln!(
+                w,
+                "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{}}}",
+                json::escape(name),
+                json::number(*value)
+            )?;
+        }
+        for h in &self.histograms {
+            if h.count == 0 {
+                continue;
+            }
+            let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+            writeln!(
+                w,
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_nanos\":{},\"min_nanos\":{},\"max_nanos\":{},\"buckets\":[{}]}}",
+                json::escape(&h.name),
+                h.count,
+                h.sum_nanos,
+                h.min_nanos,
+                h.max_nanos,
+                buckets.join(",")
+            )?;
+        }
+        for (name, gflops) in self.derived_gflops() {
+            writeln!(
+                w,
+                "{{\"type\":\"throughput\",\"name\":\"{}\",\"gflops\":{}}}",
+                json::escape(&name),
+                json::number(gflops)
+            )?;
+        }
+        for s in &self.spans {
+            writeln!(
+                w,
+                "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{}}}",
+                json::escape(s.name),
+                s.id,
+                s.parent,
+                s.thread,
+                s.start_us,
+                s.dur_us
+            )?;
+        }
+        for e in &self.events {
+            let mut fields = String::new();
+            for (i, (key, value)) in e.fields.iter().enumerate() {
+                if i > 0 {
+                    fields.push(',');
+                }
+                fields.push('"');
+                fields.push_str(&json::escape(key));
+                fields.push_str("\":");
+                match value {
+                    Value::U64(v) => fields.push_str(&v.to_string()),
+                    Value::F64(v) => fields.push_str(&json::number(*v)),
+                    Value::Str(v) => {
+                        fields.push('"');
+                        fields.push_str(&json::escape(v));
+                        fields.push('"');
+                    }
+                }
+            }
+            writeln!(
+                w,
+                "{{\"type\":\"event\",\"name\":\"{}\",\"thread\":{},\"at_us\":{},\"fields\":{{{fields}}}}}",
+                json::escape(e.name),
+                e.thread,
+                e.at_us
+            )?;
+        }
+        Ok(())
+    }
+
+    /// [`Self::write_jsonl`] into a file (truncating).
+    pub fn write_jsonl_path(&self, path: &Path) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        let mut buf = io::BufWriter::new(&mut file);
+        self.write_jsonl(&mut buf)
+    }
+
+    /// Human-readable summary table: counters, gauges, span/histogram
+    /// timings, derived GFLOP/s, and event counts by name.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("vaer-obs summary (level={})\n", self.level.name()));
+        if !self.counters.is_empty() {
+            out.push_str("-- counters ----------------------------------------------------\n");
+            for (name, value) in &self.counters {
+                if *value > 0 {
+                    out.push_str(&format!("  {name:<48} {value:>12}\n"));
+                }
+            }
+        }
+        let live_gauges: Vec<_> = self.gauges.iter().filter(|(_, v)| *v != 0.0).collect();
+        if !live_gauges.is_empty() {
+            out.push_str("-- gauges ------------------------------------------------------\n");
+            for (name, value) in live_gauges {
+                out.push_str(&format!("  {name:<48} {value:>12.3}\n"));
+            }
+        }
+        let live_hists: Vec<_> = self.histograms.iter().filter(|h| h.count > 0).collect();
+        if !live_hists.is_empty() {
+            out.push_str("-- timings (count / mean / max) --------------------------------\n");
+            for h in live_hists {
+                out.push_str(&format!(
+                    "  {:<40} {:>6} {:>9} {:>9}\n",
+                    h.name,
+                    h.count,
+                    human_duration(h.mean_nanos()),
+                    human_duration(h.max_nanos)
+                ));
+            }
+        }
+        let gflops = self.derived_gflops();
+        if !gflops.is_empty() {
+            out.push_str("-- throughput --------------------------------------------------\n");
+            for (name, value) in gflops {
+                out.push_str(&format!("  {name:<48} {value:>7.2} GFLOP/s\n"));
+            }
+        }
+        if !self.events.is_empty() {
+            out.push_str("-- events (count by name) --------------------------------------\n");
+            let mut names: Vec<&'static str> = Vec::new();
+            for e in &self.events {
+                if !names.contains(&e.name) {
+                    names.push(e.name);
+                }
+            }
+            for name in names {
+                let count = self.events.iter().filter(|e| e.name == name).count();
+                out.push_str(&format!("  {name:<48} {count:>12}\n"));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str(&format!(
+                "-- spans: {} individual records (trace level) ------------------\n",
+                self.spans.len()
+            ));
+        }
+        out
+    }
+}
+
+/// Renders nanoseconds with a unit picked for readability.
+fn human_duration(nanos: u64) -> String {
+    if nanos >= 1_000_000_000 {
+        format!("{:.2}s", nanos as f64 / 1e9)
+    } else if nanos >= 1_000_000 {
+        format!("{:.1}ms", nanos as f64 / 1e6)
+    } else if nanos >= 1_000 {
+        format!("{:.1}us", nanos as f64 / 1e3)
+    } else {
+        format!("{nanos}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn human_duration_units() {
+        assert_eq!(human_duration(42), "42ns");
+        assert_eq!(human_duration(2_500), "2.5us");
+        assert_eq!(human_duration(3_100_000), "3.1ms");
+        assert_eq!(human_duration(1_500_000_000), "1.50s");
+    }
+
+    #[test]
+    fn derived_gflops_pairs_flops_with_nanos() {
+        let sink = ObsSink {
+            level: crate::Level::Summary,
+            counters: vec![
+                ("k.large.flops".into(), 2_000_000_000),
+                ("k.large.nanos".into(), 1_000_000_000),
+                ("k.small.flops".into(), 100),
+                // no k.small.nanos → no derived entry
+            ],
+            gauges: vec![],
+            histograms: vec![],
+            spans: vec![],
+            events: vec![],
+        };
+        let g = sink.derived_gflops();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].0, "k.large");
+        assert!((g[0].1 - 2.0).abs() < 1e-12);
+    }
+}

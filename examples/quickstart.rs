@@ -51,4 +51,11 @@ fn main() {
         report.f1 > 0.5,
         "quickstart should end with a usable matcher"
     );
+
+    // 6. Telemetry: run with VAER_OBS=summary (or trace) to collect
+    //    counters, timings, and throughput from the hot paths above and
+    //    print the summary table (see DESIGN.md §9).
+    if vaer::obs::enabled() {
+        println!("\n{}", vaer::obs::ObsSink::snapshot().summary());
+    }
 }

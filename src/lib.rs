@@ -18,6 +18,8 @@
 //! - [`core`] — the paper's contribution: VAE representation learning,
 //!   Siamese matching, transfer, and active learning.
 //! - [`baselines`] — DeepER-, DeepMatcher-, and DITTO-style comparators.
+//! - [`obs`] — zero-dependency tracing spans, metrics, and JSONL export
+//!   (`VAER_OBS=off|summary|trace`).
 //!
 //! ## Quickstart
 //!
@@ -41,5 +43,6 @@ pub use vaer_embed as embed;
 pub use vaer_index as index;
 pub use vaer_linalg as linalg;
 pub use vaer_nn as nn;
+pub use vaer_obs as obs;
 pub use vaer_stats as stats;
 pub use vaer_text as text;

@@ -1,0 +1,156 @@
+//! AL telemetry golden test: a Tiny end-to-end pipeline fit plus a small
+//! active-learning run at `VAER_OBS=trace` must export one `al.round`
+//! record per checkpoint with monotone label spend and a populated
+//! sample mix, VAE epoch losses, latent-cache counters, derived matmul
+//! GFLOP/s, and valid JSONL.
+//!
+//! This binary mutates the global observability level, so everything
+//! lives in ONE #[test]: sibling tests in the same process could observe
+//! the level mid-change.
+
+use vaer::core::active::{ActiveConfig, ActiveLearner};
+use vaer::core::entity::IrTable;
+use vaer::core::matcher::{MatcherConfig, PairExamples};
+use vaer::core::pipeline::{Pipeline, PipelineConfig};
+use vaer::core::repr::{ReprConfig, ReprModel};
+use vaer::data::domains::{Domain, DomainSpec, Scale};
+use vaer::embed::{fit_ir_model, IrKind};
+use vaer::obs::{json, Level, ObsSink};
+
+#[test]
+fn trace_run_exports_full_telemetry() {
+    vaer::obs::set_level(Level::Trace);
+    vaer::obs::reset();
+
+    // End-to-end pipeline fit: exercises the IR/repr/match stage spans
+    // and the `pipeline.fit` timing event.
+    let dataset = DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(7);
+    let mut config = PipelineConfig::fast();
+    config.seed = 7;
+    Pipeline::fit(&dataset, &config).expect("pipeline fit");
+
+    // Small AL run on a fresh fixture: exercises bootstrap + per-round
+    // telemetry (the VAE fit below also re-emits `vae.epoch` events).
+    let arity = dataset.table_a.schema.arity();
+    let sentences = dataset.all_sentences();
+    let ir_model = fit_ir_model(IrKind::Lsa, &sentences, &dataset.tables_raw(), 24, 7);
+    let a: Vec<String> = dataset.table_a.sentences().map(str::to_owned).collect();
+    let b: Vec<String> = dataset.table_b.sentences().map(str::to_owned).collect();
+    let irs_a = IrTable::new(arity, ir_model.encode_batch(&a));
+    let irs_b = IrTable::new(arity, ir_model.encode_batch(&b));
+    let all = irs_a.irs.vconcat(&irs_b.irs);
+    let (repr, stats) = ReprModel::train(&all, &ReprConfig::fast(24)).unwrap();
+    assert!(
+        !stats.epoch_losses.is_empty() && stats.epoch_losses.len() == stats.epoch_kl.len(),
+        "per-epoch loss series missing"
+    );
+    let al_config = ActiveConfig {
+        iterations: 5,
+        matcher: MatcherConfig {
+            epochs: 10,
+            ..MatcherConfig::fast()
+        },
+        seed: 7,
+        ..ActiveConfig::default()
+    };
+    let oracle = dataset.oracle();
+    let test = PairExamples::build(&irs_a, &irs_b, &dataset.test_pairs);
+    let mut learner = ActiveLearner::new(&repr, &irs_a, &irs_b, al_config);
+    learner.run(&oracle, 30, Some(&test)).expect("AL run");
+
+    let sink = ObsSink::snapshot();
+
+    // One al.round record per checkpoint, labels monotonically spent.
+    let rounds: Vec<_> = sink.events_named("al.round").collect();
+    assert_eq!(
+        rounds.len(),
+        learner.history().len(),
+        "al.round events vs history checkpoints"
+    );
+    assert!(!rounds.is_empty(), "no AL rounds recorded");
+    let spent: Vec<u64> = rounds
+        .iter()
+        .map(|e| e.u64("labels_used").expect("labels_used field"))
+        .collect();
+    assert!(
+        spent.windows(2).all(|w| w[1] >= w[0]),
+        "labels_used not monotone: {spent:?}"
+    );
+    // Sample-mix fields present on every round, populated on at least one
+    // post-bootstrap round.
+    for e in &rounds {
+        for key in [
+            "certain_pos",
+            "certain_neg",
+            "uncertain_pos",
+            "uncertain_neg",
+        ] {
+            assert!(e.field(key).is_some(), "round missing {key}");
+        }
+        assert!(
+            e.field("retrain_secs").is_some(),
+            "round missing retrain_secs"
+        );
+    }
+    let mix_total: u64 = rounds
+        .iter()
+        .map(|e| {
+            e.u64("certain_pos").unwrap_or(0)
+                + e.u64("certain_neg").unwrap_or(0)
+                + e.u64("uncertain_pos").unwrap_or(0)
+                + e.u64("uncertain_neg").unwrap_or(0)
+        })
+        .sum();
+    assert!(mix_total > 0, "sample mix empty across all rounds");
+
+    // VAE epoch losses and matcher epochs made it out as events.
+    assert!(
+        sink.events_named("vae.epoch")
+            .all(|e| e.f64("loss").is_some() && e.f64("kl").is_some()),
+        "vae.epoch events missing loss fields"
+    );
+    assert!(
+        sink.events_named("vae.epoch").count() > 0,
+        "no vae.epoch events"
+    );
+    assert!(
+        sink.events_named("matcher.epoch").count() > 0,
+        "no matcher.epoch events"
+    );
+
+    // Latent-cache and encoder counters moved.
+    assert!(sink.counter("latent.cache.builds") > 0, "no cache builds");
+    assert!(sink.counter("latent.cache.reads") > 0, "no cache reads");
+    assert!(sink.counter("repr.encode.calls") > 0, "no encode calls");
+
+    // Per-shape matmul throughput derivable from the counter pairs.
+    let gflops = sink.derived_gflops();
+    assert!(
+        gflops
+            .iter()
+            .any(|(name, rate)| name.contains("matmul") && *rate > 0.0),
+        "no derived matmul GFLOP/s: {gflops:?}"
+    );
+
+    // Trace level keeps individual spans, including the stage nesting.
+    for name in ["pipeline.fit", "repr.train", "matcher.fit", "al.run"] {
+        assert!(
+            sink.spans.iter().any(|s| s.name == name),
+            "missing span {name}"
+        );
+    }
+
+    // JSONL export: every line is valid JSON; human summary is non-empty.
+    let mut out = Vec::new();
+    sink.write_jsonl(&mut out).unwrap();
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.lines().count() > 10, "suspiciously short JSONL export");
+    for line in text.lines() {
+        assert!(json::is_valid(line), "invalid JSONL line: {line}");
+    }
+    assert!(text.contains("\"type\":\"event\""));
+    assert!(text.contains("\"type\":\"throughput\""));
+    assert!(!sink.summary().is_empty());
+
+    vaer::obs::set_level(Level::Off);
+}
