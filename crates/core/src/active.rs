@@ -14,6 +14,7 @@
 //! cross-table candidates (each left tuple is joined to its top-k right
 //! neighbours), which is the pairing the matcher ultimately has to judge.
 
+use crate::checkpoint::{put_rng_state, AlSession, Cur};
 use crate::entity::{EntityRepr, IrTable};
 use crate::latent::{self, LatentTable};
 use crate::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
@@ -182,6 +183,9 @@ pub struct ActiveLearner<'a> {
     rng: rand::rngs::StdRng,
     history: Vec<AlCheckpoint>,
     bootstrap_corrections: usize,
+    /// Position in the durable label journal: the next oracle query's
+    /// sequence number when running under an [`AlSession`].
+    journal_seq: u64,
 }
 
 impl<'a> ActiveLearner<'a> {
@@ -235,7 +239,94 @@ impl<'a> ActiveLearner<'a> {
             rng,
             history: Vec::new(),
             bootstrap_corrections: 0,
+            journal_seq: 0,
         }
+    }
+
+    /// Rebuilds a learner from a snapshot produced by
+    /// [`state_bytes`](Self::state_bytes), encoding fresh latent caches.
+    ///
+    /// # Errors
+    /// [`CoreError::Checkpoint`] when `state` is corrupt, refers to
+    /// out-of-range tuples, or was taken under different representation
+    /// weights.
+    pub fn resume(
+        repr: &'a ReprModel,
+        irs_a: &'a IrTable,
+        irs_b: &'a IrTable,
+        config: ActiveConfig,
+        state: &[u8],
+    ) -> Result<Self, CoreError> {
+        let lat_a = LatentTable::encode(repr, irs_a);
+        let lat_b = LatentTable::encode(repr, irs_b);
+        Self::resume_with_latents(repr, irs_a, irs_b, lat_a, lat_b, config, state)
+    }
+
+    /// Like [`resume`](Self::resume) but reuses latent caches built
+    /// elsewhere. Unlike [`with_latents`](Self::with_latents) a stale
+    /// cache is not an error here: resuming is exactly the situation where
+    /// caches from a previous process may no longer match the weights, so
+    /// stale ones are auto-invalidated and re-encoded.
+    ///
+    /// # Errors
+    /// [`CoreError::Checkpoint`] when `state` is corrupt, refers to
+    /// out-of-range tuples, or was taken under different representation
+    /// weights (a snapshot is only resumable onto the weights that
+    /// produced it).
+    pub fn resume_with_latents(
+        repr: &'a ReprModel,
+        irs_a: &'a IrTable,
+        irs_b: &'a IrTable,
+        lat_a: LatentTable,
+        lat_b: LatentTable,
+        config: ActiveConfig,
+        state: &[u8],
+    ) -> Result<Self, CoreError> {
+        let lat_a = lat_a.refresh(repr, irs_a);
+        let lat_b = lat_b.refresh(repr, irs_b);
+        let st = AlState::from_bytes(state)?;
+        if st.fingerprint != repr.fingerprint() {
+            return Err(CoreError::Checkpoint(
+                "snapshot was taken under different representation weights".into(),
+            ));
+        }
+        let reprs_a = lat_a.entities();
+        let reprs_b = lat_b.entities();
+        for &(l, r) in st.pool.iter().chain(&st.labeled_pos).chain(&st.labeled_neg) {
+            if l >= reprs_a.len() || r >= reprs_b.len() {
+                return Err(CoreError::Checkpoint(format!(
+                    "snapshot pair ({l}, {r}) is out of range for tables of {} x {} entities",
+                    reprs_a.len(),
+                    reprs_b.len()
+                )));
+            }
+        }
+        let rng = rand::rngs::StdRng::from_state(st.rng_state);
+        Ok(Self {
+            repr,
+            irs_a,
+            irs_b,
+            lat_a,
+            lat_b,
+            reprs_a,
+            reprs_b,
+            pool: st.pool,
+            labeled_pos: st.labeled_pos,
+            labeled_neg: st.labeled_neg,
+            config,
+            rng,
+            history: st.history,
+            bootstrap_corrections: st.bootstrap_corrections,
+            journal_seq: st.journal_seq,
+        })
+    }
+
+    /// Serialises the learner's full mutable state — labelled sets, pool,
+    /// RNG stream, learning-curve history, journal position, and the
+    /// representation fingerprint it is valid for — as a snapshot payload
+    /// for [`resume`](Self::resume).
+    pub fn state_bytes(&self) -> Vec<u8> {
+        AlState::to_bytes(self)
     }
 
     /// The latent caches backing this learner (left, right).
@@ -383,27 +474,93 @@ impl<'a> ActiveLearner<'a> {
         max_labels: usize,
         test: Option<&PairExamples>,
     ) -> Result<SiameseMatcher, CoreError> {
+        self.run_inner(oracle, max_labels, test, None)
+    }
+
+    /// Like [`run`](Self::run), but durable: every oracle answer is
+    /// journaled before use and the learner state is snapshotted after
+    /// each round. A run killed at any point and resumed (via
+    /// [`resume`](Self::resume) from `session`'s newest snapshot, then
+    /// `run_checkpointed` again) completes with bit-identical labelled
+    /// sets, history, and matcher — journaled labels from a crashed round
+    /// are replayed instead of re-queried.
+    ///
+    /// # Errors
+    /// Everything [`run`](Self::run) raises, plus [`CoreError::Io`] /
+    /// [`CoreError::Checkpoint`] on journal/snapshot problems or when the
+    /// session's journal disagrees with `oracle`.
+    pub fn run_checkpointed(
+        &mut self,
+        oracle: &Oracle,
+        max_labels: usize,
+        test: Option<&PairExamples>,
+        session: &mut AlSession,
+    ) -> Result<SiameseMatcher, CoreError> {
+        self.run_inner(oracle, max_labels, test, Some(session))
+    }
+
+    fn run_inner(
+        &mut self,
+        oracle: &Oracle,
+        max_labels: usize,
+        test: Option<&PairExamples>,
+        mut session: Option<&mut AlSession>,
+    ) -> Result<SiameseMatcher, CoreError> {
         let _span = vaer_obs::span("al.run");
-        if self.config.verify_bootstrap {
-            self.verify_bootstrap(oracle);
+        if let Some(s) = session.as_deref_mut() {
+            // Warm the oracle with every journaled query so a resumed run
+            // bills exactly the pairs the original asked (the oracle
+            // charges once per unique pair) — and catch a journal that
+            // belongs to different ground truth before it corrupts the
+            // labelled sets.
+            for e in s.labels() {
+                if oracle.label(e.left, e.right) != e.is_match {
+                    return Err(CoreError::Checkpoint(format!(
+                        "journaled label for ({}, {}) disagrees with the oracle",
+                        e.left, e.right
+                    )));
+                }
+            }
         }
-        // Guard: bootstrap can theoretically produce a single class (e.g.
-        // all seeds verified negative); backfill from the pool if so.
-        self.ensure_both_classes(oracle);
-        vaer_obs::event(
-            "al.bootstrap",
-            &[
-                ("positives", self.labeled_pos.len().into()),
-                ("negatives", self.labeled_neg.len().into()),
-                ("pool", self.pool.len().into()),
-                ("corrections", self.bootstrap_corrections.into()),
-            ],
-        );
-        let t0 = std::time::Instant::now();
-        let mut matcher = self.train_matcher()?;
-        self.checkpoint(oracle, &matcher, test, [0; 4], t0.elapsed().as_secs_f64());
-        for _iter in 0..self.config.iterations {
-            if self.pool.is_empty() || oracle.queries_used() >= max_labels {
+        let mut matcher = if self.history.is_empty() {
+            if self.config.verify_bootstrap {
+                self.verify_bootstrap(oracle);
+            }
+            // Guard: bootstrap can theoretically produce a single class
+            // (e.g. all seeds verified negative); backfill from the pool
+            // if so.
+            self.ensure_both_classes(oracle, session.as_deref_mut())?;
+            vaer_obs::event(
+                "al.bootstrap",
+                &[
+                    ("positives", self.labeled_pos.len().into()),
+                    ("negatives", self.labeled_neg.len().into()),
+                    ("pool", self.pool.len().into()),
+                    ("corrections", self.bootstrap_corrections.into()),
+                ],
+            );
+            let t0 = std::time::Instant::now();
+            let matcher = self.train_matcher()?;
+            self.checkpoint(oracle, &matcher, test, [0; 4], t0.elapsed().as_secs_f64());
+            self.snapshot(session.as_deref_mut())?;
+            matcher
+        } else {
+            // Resumed mid-run: the labelled sets are restored, so
+            // retraining reproduces the matcher the crashed process held
+            // (matcher training is deterministic given the labelled sets).
+            self.train_matcher()?
+        };
+        while self.history.len().saturating_sub(1) < self.config.iterations {
+            // Crash-test kill switch: `al.round=panic@N` aborts at the top
+            // of the Nth executed round.
+            vaer_fault::trigger("al.round");
+            // The budget at the top of a round equals the last
+            // checkpoint's `labels_used` (no queries happen in between);
+            // reading it from history keeps resumed runs — whose oracle
+            // was warmed with the crashed round's journaled queries —
+            // deciding identically to uninterrupted ones.
+            let labels_used = self.history.last().map_or(0, |c| c.labels_used);
+            if self.pool.is_empty() || labels_used >= max_labels {
                 break;
             }
             let (batch, sample_mix) = self.select_batch(&matcher);
@@ -411,12 +568,15 @@ impl<'a> ActiveLearner<'a> {
                 break;
             }
             for &(l, r) in &batch {
-                if oracle.label(l, r) {
+                if self.ask(oracle, session.as_deref_mut(), l, r)? {
                     self.labeled_pos.push((l, r));
                 } else {
                     self.labeled_neg.push((l, r));
                 }
             }
+            // Crash-test kill switch between the durable journal append
+            // and the snapshot: labels must survive via replay.
+            vaer_fault::trigger("al.labels");
             self.pool.retain(|p| !batch.contains(p));
             let t0 = std::time::Instant::now();
             matcher = self.train_matcher()?;
@@ -427,8 +587,37 @@ impl<'a> ActiveLearner<'a> {
                 sample_mix,
                 t0.elapsed().as_secs_f64(),
             );
+            self.snapshot(session.as_deref_mut())?;
         }
         Ok(matcher)
+    }
+
+    /// One oracle query, journaled when running under a session (replayed
+    /// for free on resume).
+    fn ask(
+        &mut self,
+        oracle: &Oracle,
+        session: Option<&mut AlSession>,
+        l: usize,
+        r: usize,
+    ) -> Result<bool, CoreError> {
+        match session {
+            Some(s) => {
+                let ans = s.label(oracle, self.journal_seq, l, r)?;
+                self.journal_seq += 1;
+                Ok(ans)
+            }
+            None => Ok(oracle.label(l, r)),
+        }
+    }
+
+    /// Writes a durable snapshot of the learner state (sequence = number
+    /// of completed checkpoints).
+    fn snapshot(&self, session: Option<&mut AlSession>) -> Result<(), CoreError> {
+        if let Some(s) = session {
+            s.snapshot(self.history.len() as u64, &self.state_bytes())?;
+        }
+        Ok(())
     }
 
     fn checkpoint(
@@ -467,25 +656,30 @@ impl<'a> ActiveLearner<'a> {
         self.history.push(cp);
     }
 
-    fn ensure_both_classes(&mut self, oracle: &Oracle) {
+    fn ensure_both_classes(
+        &mut self,
+        oracle: &Oracle,
+        mut session: Option<&mut AlSession>,
+    ) -> Result<(), CoreError> {
         // Pool is sorted by W₂ (bootstrap kept the middle); take from the
         // near end for positives, far end for negatives.
         while self.labeled_pos.is_empty() && !self.pool.is_empty() {
             let (l, r) = self.pool.remove(0);
-            if oracle.label(l, r) {
+            if self.ask(oracle, session.as_deref_mut(), l, r)? {
                 self.labeled_pos.push((l, r));
             } else {
                 self.labeled_neg.push((l, r));
             }
         }
-        while self.labeled_neg.is_empty() && !self.pool.is_empty() {
-            let (l, r) = self.pool.pop().expect("non-empty checked");
-            if oracle.label(l, r) {
+        while self.labeled_neg.is_empty() {
+            let Some((l, r)) = self.pool.pop() else { break };
+            if self.ask(oracle, session.as_deref_mut(), l, r)? {
                 self.labeled_pos.push((l, r));
             } else {
                 self.labeled_neg.push((l, r));
             }
         }
+        Ok(())
     }
 
     /// Selects one balanced, informative, diverse batch (Algorithm 2,
@@ -588,6 +782,136 @@ impl<'a> ActiveLearner<'a> {
             }
         }
         self.pool.retain(|p| !batch.contains(p));
+    }
+}
+
+/// Snapshot form of an [`ActiveLearner`]'s mutable state (payload magic
+/// `VAERALS1`; wrapped in a `VAERCKP1` envelope on disk by [`AlSession`]).
+struct AlState {
+    fingerprint: u64,
+    journal_seq: u64,
+    bootstrap_corrections: usize,
+    rng_state: [u64; 4],
+    pool: Vec<(usize, usize)>,
+    labeled_pos: Vec<(usize, usize)>,
+    labeled_neg: Vec<(usize, usize)>,
+    history: Vec<AlCheckpoint>,
+}
+
+const AL_STATE_MAGIC: &[u8; 8] = b"VAERALS1";
+
+impl AlState {
+    fn to_bytes(learner: &ActiveLearner<'_>) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(AL_STATE_MAGIC);
+        out.extend_from_slice(&learner.repr.fingerprint().to_le_bytes());
+        out.extend_from_slice(&learner.journal_seq.to_le_bytes());
+        out.extend_from_slice(&(learner.bootstrap_corrections as u64).to_le_bytes());
+        put_rng_state(&mut out, learner.rng.state());
+        for pairs in [&learner.pool, &learner.labeled_pos, &learner.labeled_neg] {
+            out.extend_from_slice(&(pairs.len() as u64).to_le_bytes());
+            for &(l, r) in pairs.iter() {
+                out.extend_from_slice(&(l as u64).to_le_bytes());
+                out.extend_from_slice(&(r as u64).to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(learner.history.len() as u64).to_le_bytes());
+        for cp in &learner.history {
+            out.extend_from_slice(&(cp.labels_used as u64).to_le_bytes());
+            out.extend_from_slice(&(cp.pool_sizes.0 as u64).to_le_bytes());
+            out.extend_from_slice(&(cp.pool_sizes.1 as u64).to_le_bytes());
+            match cp.test_f1 {
+                Some(f1) => {
+                    out.push(1);
+                    out.extend_from_slice(&f1.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+            for n in cp.sample_mix {
+                out.extend_from_slice(&(n as u64).to_le_bytes());
+            }
+            out.extend_from_slice(&cp.retrain_secs.to_bits().to_le_bytes());
+        }
+        out
+    }
+
+    /// Never panics, whatever the bytes are.
+    fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let mut cur = Cur::new(bytes);
+        if cur.take(8)? != AL_STATE_MAGIC {
+            return Err(CoreError::Checkpoint("missing VAERALS1 magic".into()));
+        }
+        let fingerprint = cur.u64()?;
+        let journal_seq = cur.u64()?;
+        let bootstrap_corrections = cur.u64()? as usize;
+        let rng_state = cur.rng_state()?;
+        let read_pairs = |cur: &mut Cur| -> Result<Vec<(usize, usize)>, CoreError> {
+            let n = cur.u64()? as usize;
+            // Bounds-check before allocating: 16 bytes per pair remaining.
+            if n.checked_mul(16)
+                .filter(|&b| b <= cur.bytes.len())
+                .is_none()
+            {
+                return Err(CoreError::Checkpoint("pair list length overflow".into()));
+            }
+            let mut pairs = Vec::with_capacity(n);
+            for _ in 0..n {
+                pairs.push((cur.u64()? as usize, cur.u64()? as usize));
+            }
+            Ok(pairs)
+        };
+        let pool = read_pairs(&mut cur)?;
+        let labeled_pos = read_pairs(&mut cur)?;
+        let labeled_neg = read_pairs(&mut cur)?;
+        let n_history = cur.u64()? as usize;
+        if n_history
+            .checked_mul(65)
+            .filter(|&b| b <= cur.bytes.len())
+            .is_none()
+        {
+            return Err(CoreError::Checkpoint("history length overflow".into()));
+        }
+        let mut history = Vec::with_capacity(n_history);
+        for _ in 0..n_history {
+            let labels_used = cur.u64()? as usize;
+            let pool_sizes = (cur.u64()? as usize, cur.u64()? as usize);
+            let test_f1 = match cur.take(1)?[0] {
+                0 => None,
+                1 => Some(f32::from_le_bytes(cur.take(4)?.try_into().unwrap())),
+                other => {
+                    return Err(CoreError::Checkpoint(format!(
+                        "bad test-F1 presence flag {other}"
+                    )))
+                }
+            };
+            let mut sample_mix = [0usize; 4];
+            for slot in &mut sample_mix {
+                *slot = cur.u64()? as usize;
+            }
+            let retrain_secs = f64::from_bits(cur.u64()?);
+            history.push(AlCheckpoint {
+                labels_used,
+                pool_sizes,
+                test_f1,
+                sample_mix,
+                retrain_secs,
+            });
+        }
+        if cur.pos != cur.bytes.len() {
+            return Err(CoreError::Checkpoint(
+                "trailing bytes after AL state".into(),
+            ));
+        }
+        Ok(Self {
+            fingerprint,
+            journal_seq,
+            bootstrap_corrections,
+            rng_state,
+            pool,
+            labeled_pos,
+            labeled_neg,
+            history,
+        })
     }
 }
 
@@ -785,6 +1109,76 @@ mod tests {
             )
         }));
         assert!(stale.is_err(), "stale caches must be rejected");
+    }
+
+    #[test]
+    fn state_round_trips_and_resume_rejects_bad_snapshots() {
+        let w = world(25, 8);
+        let oracle = Oracle::new(w.duplicates.iter().copied());
+        let config = ActiveConfig {
+            iterations: 1,
+            matcher: MatcherConfig {
+                epochs: 5,
+                ..MatcherConfig::fast()
+            },
+            ..ActiveConfig::default()
+        };
+        let mut learner = ActiveLearner::new(&w.repr, &w.a, &w.b, config.clone());
+        learner.run(&oracle, 30, None).unwrap();
+        let state = learner.state_bytes();
+
+        let resumed = ActiveLearner::resume(&w.repr, &w.a, &w.b, config.clone(), &state).unwrap();
+        assert_eq!(resumed.pool, learner.pool);
+        assert_eq!(resumed.labeled_pos, learner.labeled_pos);
+        assert_eq!(resumed.labeled_neg, learner.labeled_neg);
+        assert_eq!(resumed.journal_seq, learner.journal_seq);
+        assert_eq!(resumed.history.len(), learner.history.len());
+        assert_eq!(resumed.rng.state(), learner.rng.state());
+
+        // A different representation model must be refused (fingerprint).
+        let other = world(25, 9);
+        assert!(matches!(
+            ActiveLearner::resume(&other.repr, &w.a, &w.b, config.clone(), &state),
+            Err(CoreError::Checkpoint(_))
+        ));
+        // Truncations and garbage never panic.
+        for cut in [0, 7, 20, state.len() / 2, state.len() - 1] {
+            assert!(
+                ActiveLearner::resume(&w.repr, &w.a, &w.b, config.clone(), &state[..cut]).is_err()
+            );
+        }
+    }
+
+    #[test]
+    fn resume_refreshes_stale_latent_caches() {
+        let w = world(20, 10);
+        let config = ActiveConfig {
+            iterations: 1,
+            matcher: MatcherConfig {
+                epochs: 5,
+                ..MatcherConfig::fast()
+            },
+            ..ActiveConfig::default()
+        };
+        let oracle = Oracle::new(w.duplicates.iter().copied());
+        let mut learner = ActiveLearner::new(&w.repr, &w.a, &w.b, config.clone());
+        learner.run(&oracle, 20, None).unwrap();
+        let state = learner.state_bytes();
+
+        // Caches built from *different* weights: resume must detect the
+        // fingerprint mismatch and re-encode rather than panic (unlike
+        // `with_latents`) or silently serve stale latents.
+        let other = world(20, 11);
+        let stale_a = LatentTable::encode(&other.repr, &w.a);
+        let stale_b = LatentTable::encode(&other.repr, &w.b);
+        assert!(stale_a.is_stale(&w.repr));
+        let resumed = ActiveLearner::resume_with_latents(
+            &w.repr, &w.a, &w.b, stale_a, stale_b, config, &state,
+        )
+        .unwrap();
+        assert!(!resumed.lat_a.is_stale(&w.repr), "cache must be refreshed");
+        assert!(!resumed.lat_b.is_stale(&w.repr), "cache must be refreshed");
+        assert_eq!(resumed.labeled_pos, learner.labeled_pos);
     }
 
     #[test]

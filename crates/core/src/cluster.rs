@@ -103,17 +103,25 @@ impl EntityCluster {
 /// `len_a` / `len_b` rows. Rows with no links become singleton clusters
 /// only if `include_singletons` is set. Clusters are returned largest
 /// first, ties broken by smallest member.
+///
+/// # Errors
+/// [`crate::CoreError::BadInput`] when a link references a row outside
+/// either table — links often come from external sources (files, other
+/// matchers), so out-of-range rows are data, not a programming invariant.
 pub fn cluster_links(
     links: &[(usize, usize)],
     len_a: usize,
     len_b: usize,
     include_singletons: bool,
-) -> Vec<EntityCluster> {
+) -> Result<Vec<EntityCluster>, crate::CoreError> {
     let total = len_a + len_b;
     let mut uf = UnionFind::new(total);
     for &(a, b) in links {
-        assert!(a < len_a, "link references A row {a} >= {len_a}");
-        assert!(b < len_b, "link references B row {b} >= {len_b}");
+        if a >= len_a || b >= len_b {
+            return Err(crate::CoreError::BadInput(format!(
+                "link ({a}, {b}) is out of range for tables of {len_a} x {len_b} rows"
+            )));
+        }
         uf.union(a, len_a + b);
     }
     let mut groups: HashMap<usize, Vec<RowId>> = HashMap::new();
@@ -146,7 +154,7 @@ pub fn cluster_links(
             .cmp(&x.len())
             .then_with(|| x.members.first().cmp(&y.members.first()))
     });
-    clusters
+    Ok(clusters)
 }
 
 /// Pairwise cluster quality against ground-truth duplicate pairs: a pair
@@ -208,7 +216,7 @@ mod tests {
     #[test]
     fn links_form_transitive_clusters() {
         // A0-B0, A1-B0 → {A0, A1, B0}; A2-B2 separate.
-        let clusters = cluster_links(&[(0, 0), (1, 0), (2, 2)], 3, 3, false);
+        let clusters = cluster_links(&[(0, 0), (1, 0), (2, 2)], 3, 3, false).unwrap();
         assert_eq!(clusters.len(), 2);
         assert_eq!(
             clusters[0].members,
@@ -219,21 +227,21 @@ mod tests {
 
     #[test]
     fn singletons_optional() {
-        let with = cluster_links(&[(0, 0)], 2, 2, true);
+        let with = cluster_links(&[(0, 0)], 2, 2, true).unwrap();
         assert_eq!(with.len(), 3); // {A0,B0}, {A1}, {B1}
-        let without = cluster_links(&[(0, 0)], 2, 2, false);
+        let without = cluster_links(&[(0, 0)], 2, 2, false).unwrap();
         assert_eq!(without.len(), 1);
     }
 
     #[test]
     fn ordering_largest_first() {
-        let clusters = cluster_links(&[(0, 0), (0, 1), (2, 2)], 3, 3, false);
+        let clusters = cluster_links(&[(0, 0), (0, 1), (2, 2)], 3, 3, false).unwrap();
         assert!(clusters[0].len() >= clusters[1].len());
     }
 
     #[test]
     fn cluster_row_accessors() {
-        let clusters = cluster_links(&[(1, 2)], 3, 4, false);
+        let clusters = cluster_links(&[(1, 2)], 3, 4, false).unwrap();
         let c = &clusters[0];
         assert_eq!(c.a_rows().collect::<Vec<_>>(), vec![1]);
         assert_eq!(c.b_rows().collect::<Vec<_>>(), vec![2]);
@@ -243,19 +251,20 @@ mod tests {
     #[test]
     fn pairwise_metrics_perfect_and_imperfect() {
         let truth = vec![(0, 0), (1, 1)];
-        let perfect = cluster_links(&[(0, 0), (1, 1)], 2, 2, false);
+        let perfect = cluster_links(&[(0, 0), (1, 1)], 2, 2, false).unwrap();
         let m = pairwise_cluster_metrics(&perfect, &truth, 2, 2);
         assert_eq!(m.f1, 1.0);
         // Over-merging costs precision: A0-B0 and A1-B0 in one cluster.
-        let merged = cluster_links(&[(0, 0), (1, 0), (1, 1)], 2, 2, false);
+        let merged = cluster_links(&[(0, 0), (1, 0), (1, 1)], 2, 2, false).unwrap();
         let m2 = pairwise_cluster_metrics(&merged, &truth, 2, 2);
         assert!(m2.precision < 1.0);
         assert_eq!(m2.recall, 1.0);
     }
 
     #[test]
-    #[should_panic]
-    fn out_of_range_link_panics() {
-        cluster_links(&[(5, 0)], 2, 2, false);
+    fn out_of_range_link_is_an_error() {
+        let err = cluster_links(&[(5, 0)], 2, 2, false).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        assert!(cluster_links(&[(0, 9)], 2, 2, false).is_err());
     }
 }

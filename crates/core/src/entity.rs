@@ -135,6 +135,10 @@ impl IrTable {
 
     /// Gathers attribute `attr` of the given tuples into a `len x ir_dim`
     /// matrix (one matcher-encoder input).
+    ///
+    /// # Panics
+    /// Panics when `attr` or a tuple index is out of range (indices are
+    /// produced by the caller, so this is a programming error).
     pub fn attr_rows(&self, tuples: &[usize], attr: usize) -> Matrix {
         assert!(attr < self.arity, "attribute {attr} out of range");
         let rows: Vec<usize> = tuples.iter().map(|&t| t * self.arity + attr).collect();
@@ -150,6 +154,10 @@ impl IrTable {
 
 /// Stacks each tuple's per-attribute IR sentences into one matrix of
 /// `tuples · arity` rows (the VAE's 2-D input of §III-A, footnote 1).
+///
+/// # Panics
+/// Panics on an empty slice — there is no sensible empty-matrix shape to
+/// return, and every caller builds the slice from a non-empty table.
 pub fn stack_irs(per_tuple: &[Matrix]) -> Matrix {
     assert!(!per_tuple.is_empty(), "no tuples to stack");
     let mut out = per_tuple[0].clone();

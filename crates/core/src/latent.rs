@@ -106,6 +106,10 @@ impl LatentTable {
     /// Gathers attribute `attr` of the given tuples as `(μ, σ)` matrices
     /// of shape `tuples.len() x latent_dim` — the cached equivalent of
     /// encoding [`IrTable::attr_rows`].
+    ///
+    /// # Panics
+    /// Panics when `attr` or a tuple index is out of range (indices are
+    /// produced by the caller, so this is a programming error).
     pub fn attr_rows(&self, tuples: &[usize], attr: usize) -> (Matrix, Matrix) {
         assert!(attr < self.arity, "attribute {attr} out of range");
         crate::obs::handles().cache_reads.add(tuples.len() as u64);
@@ -138,6 +142,10 @@ impl LatentTable {
 /// The arithmetic mirrors the matcher's tape ops term for term, so the
 /// result is bit-identical to running the frozen encoder inside
 /// `SiameseMatcher` on the pairs' IR rows.
+///
+/// # Panics
+/// Panics when the caches disagree on arity or a pair indexes past
+/// either cache.
 pub fn distance_features(
     kind: DistanceKind,
     a: &LatentTable,

@@ -25,6 +25,7 @@
 //! all index into the cache instead of re-running the encoder.
 
 pub mod active;
+pub mod checkpoint;
 pub mod cluster;
 pub mod entity;
 pub mod evaluation;
@@ -44,6 +45,14 @@ pub enum CoreError {
     Model(vaer_nn::NnError),
     /// Labelled data was insufficient to train (e.g. one class missing).
     InsufficientData(String),
+    /// A checkpoint/journal file operation failed at the filesystem level.
+    Io(std::io::Error),
+    /// A checkpoint or journal was corrupt, inconsistent with the run
+    /// being resumed, or otherwise unusable.
+    Checkpoint(String),
+    /// Training diverged (non-finite loss or exploding gradients) and
+    /// exhausted its rollback retries.
+    Diverged(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -52,6 +61,9 @@ impl std::fmt::Display for CoreError {
             CoreError::BadInput(why) => write!(f, "bad input: {why}"),
             CoreError::Model(e) => write!(f, "model error: {e}"),
             CoreError::InsufficientData(why) => write!(f, "insufficient data: {why}"),
+            CoreError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CoreError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
+            CoreError::Diverged(why) => write!(f, "training diverged: {why}"),
         }
     }
 }
@@ -61,5 +73,11 @@ impl std::error::Error for CoreError {}
 impl From<vaer_nn::NnError> for CoreError {
     fn from(e: vaer_nn::NnError) -> Self {
         CoreError::Model(e)
+    }
+}
+
+impl From<std::io::Error> for CoreError {
+    fn from(e: std::io::Error) -> Self {
+        CoreError::Io(e)
     }
 }

@@ -121,6 +121,11 @@ pub struct PairExamples {
 
 impl PairExamples {
     /// Assembles examples from two IR tables and labelled pairs.
+    ///
+    /// # Panics
+    /// Panics when the tables disagree on arity or a pair indexes past
+    /// either table — callers own the pair set, so both are programming
+    /// errors, not recoverable input conditions.
     pub fn build(a: &IrTable, b: &IrTable, pairs: &PairSet) -> Self {
         assert_eq!(a.arity, b.arity, "tables must share arity");
         let lefts: Vec<usize> = pairs.pairs.iter().map(|p| p.left).collect();
@@ -142,6 +147,10 @@ impl PairExamples {
     }
 
     /// From explicit index pairs (used by the AL loop on unlabeled pools).
+    ///
+    /// # Panics
+    /// Same contract as [`build`](Self::build): arity mismatch or
+    /// out-of-range pairs panic.
     pub fn build_unlabeled(a: &IrTable, b: &IrTable, pairs: &[(usize, usize)]) -> Self {
         assert_eq!(a.arity, b.arity, "tables must share arity");
         let lefts: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
@@ -197,6 +206,82 @@ pub struct SiameseMatcher {
 
 const MLP_NAME: &str = "matcher.mlp";
 
+/// Divergence rollbacks a matcher fit absorbs (each with halved learning
+/// rate) before giving up with [`CoreError::Diverged`].
+const MAX_MATCHER_ROLLBACKS: u32 = 5;
+
+/// Epoch-start snapshot for the matcher's divergence guard: restoring it
+/// rewinds parameters, optimizer moments, and the shuffling RNG, so the
+/// retried epoch replays the same batches at the halved learning rate.
+struct MatcherGuard {
+    store: ParamStore,
+    adam: Adam,
+    rng: NnRng,
+}
+
+/// Checks one batch's loss/gradients for the matcher trainers; applies
+/// the `matcher.grads` NaN failpoint. Returns the reason when the epoch
+/// must be rolled back.
+fn batch_divergence(
+    epoch: usize,
+    loss: f32,
+    grads: &[(vaer_nn::ParamId, Matrix)],
+) -> Option<String> {
+    let mut loss = loss;
+    if matches!(
+        vaer_fault::check("matcher.grads"),
+        Some(vaer_fault::Action::Nan)
+    ) {
+        loss = f32::NAN;
+    }
+    let mut grad_sq = 0.0f64;
+    for (_, grad) in grads {
+        for &v in grad.as_slice() {
+            grad_sq += f64::from(v) * f64::from(v);
+        }
+    }
+    if !loss.is_finite() || !grad_sq.is_finite() {
+        Some(format!("non-finite loss/gradient in matcher epoch {epoch}"))
+    } else {
+        None
+    }
+}
+
+/// Applies one rollback: restores the guard snapshot, halves the restored
+/// optimizer's learning rate, and reports. Errors out past the retry
+/// budget.
+fn roll_back(
+    store: &mut ParamStore,
+    adam: &mut Adam,
+    rng: &mut NnRng,
+    guard: MatcherGuard,
+    epoch: usize,
+    rollbacks: u32,
+    why: &str,
+) -> Result<(), CoreError> {
+    *store = guard.store;
+    *adam = guard.adam;
+    *rng = guard.rng;
+    let lr = adam.learning_rate() * 0.5;
+    adam.set_learning_rate(lr);
+    crate::obs::handles().matcher_rollbacks.add(1);
+    vaer_obs::event(
+        "matcher.rollback",
+        &[
+            ("epoch", epoch.into()),
+            ("reason", why.into()),
+            ("lr", f64::from(lr).into()),
+            ("rollbacks", rollbacks.into()),
+        ],
+    );
+    if rollbacks > MAX_MATCHER_ROLLBACKS {
+        return Err(CoreError::Diverged(format!(
+            "{why}; gave up after {MAX_MATCHER_ROLLBACKS} rollbacks"
+        )));
+    }
+    Ok(())
+}
+
 impl SiameseMatcher {
     /// Trains the matcher from a representation model and labelled pairs.
     ///
@@ -228,7 +313,8 @@ impl SiameseMatcher {
     ///
     /// # Errors
     /// [`CoreError::BadInput`] when the configuration would fine-tune the
-    /// encoder (use [`train`](Self::train) with IR examples instead);
+    /// encoder (use [`train`](Self::train) with IR examples instead) or
+    /// the feature width is not a multiple of the latent dimensionality;
     /// [`CoreError::InsufficientData`] on empty/single-class labels.
     pub fn train_cached(
         repr: &ReprModel,
@@ -244,15 +330,15 @@ impl SiameseMatcher {
         check_labels(labels)?;
         let _span = vaer_obs::span("matcher.fit");
         let latent_dim = repr.config().latent_dim;
-        assert_eq!(
-            features.cols() % latent_dim,
-            0,
-            "feature width {} not a multiple of latent dim {latent_dim}",
-            features.cols()
-        );
+        if !features.cols().is_multiple_of(latent_dim) {
+            return Err(CoreError::BadInput(format!(
+                "feature width {} is not a multiple of latent dim {latent_dim}",
+                features.cols()
+            )));
+        }
         let arity = features.cols() / latent_dim;
         let (mut matcher, mut rng) = Self::init(repr, arity, labels.len(), config);
-        matcher.fit_mlp_on_features(features, labels, &mut rng);
+        matcher.fit_mlp_on_features(features, labels, &mut rng)?;
         Ok(matcher)
     }
 
@@ -315,19 +401,26 @@ impl SiameseMatcher {
             // supervised stage optimises a small classifier over a frozen
             // representation space.
             let features = self.distance_features(examples);
-            self.fit_mlp_on_features(&features, &examples.labels, rng);
-            return Ok(());
+            return self.fit_mlp_on_features(&features, &examples.labels, rng);
         }
         let mut adam =
             Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
         let epochs = self.training_epochs(examples.len());
         let stride = epoch_event_stride(epochs);
         let mut tapes = GraphPool::new();
-        for epoch in 0..epochs {
+        let mut epoch = 0usize;
+        let mut rollbacks = 0u32;
+        while epoch < epochs {
+            let guard = MatcherGuard {
+                store: self.store.clone(),
+                adam: adam.clone(),
+                rng: rng.clone(),
+            };
             let mut epoch_loss = 0.0f32;
             let mut epoch_bce = 0.0f32;
             let mut epoch_con = 0.0f32;
             let mut batches = 0usize;
+            let mut diverged: Option<String> = None;
             for batch in minibatches(examples.len(), self.config.batch_size, rng) {
                 let sub = examples.select(&batch);
                 let batch_len = sub.len();
@@ -346,13 +439,30 @@ impl SiameseMatcher {
                     loss
                 });
                 let (bce_part, con_part) = parts.into_inner().expect("loss parts poisoned");
+                if let Some(why) = batch_divergence(epoch, step.loss, &step.grads) {
+                    diverged = Some(why);
+                    break;
+                }
                 epoch_loss += step.loss;
                 epoch_bce += bce_part as f32;
                 epoch_con += con_part as f32;
                 batches += 1;
                 adam.step(&mut self.store, &step.grads);
             }
-            if vaer_obs::enabled() && (epoch % stride == 0 || epoch + 1 == epochs) {
+            if let Some(why) = diverged {
+                rollbacks += 1;
+                roll_back(
+                    &mut self.store,
+                    &mut adam,
+                    rng,
+                    guard,
+                    epoch,
+                    rollbacks,
+                    &why,
+                )?;
+                continue;
+            }
+            if vaer_obs::enabled() && (epoch.is_multiple_of(stride) || epoch + 1 == epochs) {
                 let denom = batches.max(1) as f32;
                 vaer_obs::event(
                     "matcher.epoch",
@@ -365,6 +475,7 @@ impl SiameseMatcher {
                     ],
                 );
             }
+            epoch += 1;
         }
         Ok(())
     }
@@ -374,16 +485,29 @@ impl SiameseMatcher {
     /// computes the features from IRs) and [`Self::train_cached`] (which
     /// receives them from the latent cache) so both produce bit-identical
     /// matchers.
-    fn fit_mlp_on_features(&mut self, features: &Matrix, labels: &[f32], rng: &mut NnRng) {
+    fn fit_mlp_on_features(
+        &mut self,
+        features: &Matrix,
+        labels: &[f32],
+        rng: &mut NnRng,
+    ) -> Result<(), CoreError> {
         let mut adam =
             Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
         let epochs = self.training_epochs(labels.len());
         let stride = epoch_event_stride(epochs);
         let labels = Matrix::from_vec(labels.len(), 1, labels.to_vec());
         let mut tapes = GraphPool::new();
-        for epoch in 0..epochs {
+        let mut epoch = 0usize;
+        let mut rollbacks = 0u32;
+        while epoch < epochs {
+            let guard = MatcherGuard {
+                store: self.store.clone(),
+                adam: adam.clone(),
+                rng: rng.clone(),
+            };
             let mut epoch_loss = 0.0f32;
             let mut batches = 0usize;
+            let mut diverged: Option<String> = None;
             for batch in minibatches(labels.rows(), self.config.batch_size, rng) {
                 let x = features.select_rows(&batch);
                 let y = labels.select_rows(&batch);
@@ -392,11 +516,28 @@ impl SiameseMatcher {
                     let logits = self.mlp.forward(g, &self.store, xt);
                     g.bce_with_logits_rows(logits, &y, rows.start, rows.end)
                 });
+                if let Some(why) = batch_divergence(epoch, step.loss, &step.grads) {
+                    diverged = Some(why);
+                    break;
+                }
                 epoch_loss += step.loss;
                 batches += 1;
                 adam.step(&mut self.store, &step.grads);
             }
-            if vaer_obs::enabled() && (epoch % stride == 0 || epoch + 1 == epochs) {
+            if let Some(why) = diverged {
+                rollbacks += 1;
+                roll_back(
+                    &mut self.store,
+                    &mut adam,
+                    rng,
+                    guard,
+                    epoch,
+                    rollbacks,
+                    &why,
+                )?;
+                continue;
+            }
+            if vaer_obs::enabled() && (epoch.is_multiple_of(stride) || epoch + 1 == epochs) {
                 // Frozen path: the whole loss is cross-entropy (the
                 // contrastive term has no trainable inputs here).
                 let mean = epoch_loss / batches.max(1) as f32;
@@ -411,7 +552,9 @@ impl SiameseMatcher {
                     ],
                 );
             }
+            epoch += 1;
         }
+        Ok(())
     }
 
     /// Concatenated Distance-layer features for a batch, computed outside
@@ -905,5 +1048,26 @@ mod tests {
             tuned.f1,
             frozen.f1
         );
+    }
+
+    #[test]
+    fn divergence_guard_rolls_back_and_eventually_errors() {
+        let (repr, a, b, train, _) = toy_world(9);
+        let examples = PairExamples::build(&a, &b, &train);
+        let _guard = vaer_fault::test_lock();
+        // Persistent NaN: every epoch rolls back until the budget runs out.
+        vaer_fault::configure("matcher.grads=nan").unwrap();
+        let err = SiameseMatcher::train(&repr, &examples, &MatcherConfig::fast());
+        vaer_fault::clear();
+        assert!(
+            matches!(err, Err(CoreError::Diverged(_))),
+            "expected Diverged, got {:?}",
+            err.map(|_| "ok")
+        );
+        // One poisoned batch is absorbed by a single rollback.
+        vaer_fault::configure("matcher.grads=nan@1").unwrap();
+        let recovered = SiameseMatcher::train(&repr, &examples, &MatcherConfig::fast());
+        vaer_fault::clear();
+        assert!(recovered.is_ok(), "one transient NaN must be survivable");
     }
 }

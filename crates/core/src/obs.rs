@@ -21,6 +21,23 @@ pub(crate) struct CoreObs {
     /// Cached-row gathers served without an encoder pass
     /// ([`crate::latent::LatentTable::attr_rows`]).
     pub cache_reads: Counter,
+    /// Checkpoint snapshots durably written.
+    pub checkpoint_writes: Counter,
+    /// Checkpoint write attempts that failed and were retried.
+    pub checkpoint_write_retries: Counter,
+    /// Corrupt/torn snapshot files skipped while loading (CRC or parse
+    /// failure; the loader fell back to an older snapshot).
+    pub checkpoint_corrupt_skipped: Counter,
+    /// Label-journal entries appended (fsynced before use).
+    pub journal_appends: Counter,
+    /// Labels served from the journal on resume instead of re-querying
+    /// the oracle.
+    pub journal_replays: Counter,
+    /// VAE epochs rolled back after divergence (non-finite loss/grads or
+    /// a gradient-norm spike).
+    pub vae_rollbacks: Counter,
+    /// Matcher epochs rolled back after divergence.
+    pub matcher_rollbacks: Counter,
 }
 
 static CORE_OBS: OnceLock<CoreObs> = OnceLock::new();
@@ -33,5 +50,12 @@ pub(crate) fn handles() -> &'static CoreObs {
         cache_hits: vaer_obs::counter("latent.cache.hits"),
         cache_invalidations: vaer_obs::counter("latent.cache.invalidations"),
         cache_reads: vaer_obs::counter("latent.cache.reads"),
+        checkpoint_writes: vaer_obs::counter("checkpoint.writes"),
+        checkpoint_write_retries: vaer_obs::counter("checkpoint.write.retries"),
+        checkpoint_corrupt_skipped: vaer_obs::counter("checkpoint.corrupt.skipped"),
+        journal_appends: vaer_obs::counter("journal.appends"),
+        journal_replays: vaer_obs::counter("journal.replays"),
+        vae_rollbacks: vaer_obs::counter("vae.rollbacks"),
+        matcher_rollbacks: vaer_obs::counter("matcher.rollbacks"),
     })
 }

@@ -8,6 +8,7 @@ use crate::latent::{self, LatentTable};
 use crate::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
 use crate::repr::{ReprConfig, ReprModel, ReprTrainStats};
 use crate::CoreError;
+use std::path::PathBuf;
 use std::time::Instant;
 use vaer_data::{Dataset, PairSet};
 use vaer_embed::{fit_ir_model, IrKind, IrModel};
@@ -37,6 +38,12 @@ pub struct PipelineConfig {
     pub auto_negative_ratio: f32,
     /// Master seed.
     pub seed: u64,
+    /// When set, VAE training snapshots its state into this directory and
+    /// resumes from the newest valid snapshot after a crash (see
+    /// [`ReprModel::train_checkpointed`]). `None` disables durability.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Snapshot cadence in epochs when `checkpoint_dir` is set.
+    pub checkpoint_every: usize,
 }
 
 impl Default for PipelineConfig {
@@ -49,6 +56,8 @@ impl Default for PipelineConfig {
             knn_k: 10,
             auto_negative_ratio: 4.0,
             seed: 0x7A3E,
+            checkpoint_dir: None,
+            checkpoint_every: 5,
         }
     }
 }
@@ -189,7 +198,18 @@ impl Pipeline {
             Some(model) => (model, ReprTrainStats::default(), 0.0),
             None => {
                 let all_irs = irs_a.irs.vconcat(&irs_b.irs);
-                let (model, stats) = ReprModel::train(&all_irs, &repr_config)?;
+                let (model, stats) = match &config.checkpoint_dir {
+                    Some(dir) => {
+                        let snapshots = crate::checkpoint::CheckpointStore::open(dir, "vae")?;
+                        ReprModel::train_checkpointed(
+                            &all_irs,
+                            &repr_config,
+                            &snapshots,
+                            config.checkpoint_every,
+                        )?
+                    }
+                    None => ReprModel::train(&all_irs, &repr_config)?,
+                };
                 (model, stats, t1.elapsed().as_secs_f64())
             }
         };
@@ -511,6 +531,29 @@ mod tests {
         assert_eq!(transferred.timings().repr_secs, 0.0);
         let f1 = transferred.evaluate(&adapted.test_pairs).f1;
         assert!(f1 > 0.4, "transferred F1 {f1}");
+    }
+
+    #[test]
+    fn checkpointed_fit_matches_plain_fit() {
+        let ds = DomainSpec::new(Domain::Beer, Scale::Tiny).generate(11);
+        let plain = Pipeline::fit(&ds, &fast_config(11)).unwrap();
+        let dir = std::env::temp_dir().join(format!("vaer-pipeline-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = fast_config(11);
+        config.checkpoint_dir = Some(dir.clone());
+        config.checkpoint_every = 3;
+        let durable = Pipeline::fit(&ds, &config).unwrap();
+        assert_eq!(
+            plain.repr().to_bytes(),
+            durable.repr().to_bytes(),
+            "checkpointing changed the trained representation"
+        );
+        let snapshots = crate::checkpoint::CheckpointStore::open(&dir, "vae").unwrap();
+        assert!(
+            !snapshots.list().unwrap().is_empty(),
+            "no VAE snapshots written"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! trained to maximise Eq. 1 / minimise Eq. 2: reconstruction error plus
 //! `KL(q(z|IR) ‖ N(0, I))`.
 
+use crate::checkpoint::{put_blob, put_f32_vec, put_rng_state, CheckpointStore, Cur};
 use crate::CoreError;
 use vaer_linalg::Matrix;
 use vaer_nn::schedule::minibatches;
@@ -43,6 +44,13 @@ pub struct ReprConfig {
     pub kl_weight: f32,
     /// RNG seed.
     pub seed: u64,
+    /// Divergence guard: an epoch whose mean gradient norm exceeds
+    /// `grad_spike_factor × max(prev_epoch_norm, 1)` is rolled back and
+    /// retried with halved learning rate.
+    pub grad_spike_factor: f32,
+    /// Divergence rollbacks allowed before training fails with
+    /// [`CoreError::Diverged`].
+    pub max_rollbacks: u32,
 }
 
 impl Default for ReprConfig {
@@ -56,6 +64,8 @@ impl Default for ReprConfig {
             learning_rate: 1e-3,
             kl_weight: 1.0,
             seed: 0xAE01,
+            grad_spike_factor: 100.0,
+            max_rollbacks: 5,
         }
     }
 }
@@ -130,6 +140,39 @@ impl ReprModel {
     /// [`CoreError::BadInput`] when `irs` is empty or its width disagrees
     /// with `config.ir_dim`.
     pub fn train(irs: &Matrix, config: &ReprConfig) -> Result<(Self, ReprTrainStats), CoreError> {
+        Self::train_impl(irs, config, None)
+    }
+
+    /// Like [`train`](Self::train), but durable: training state (weights,
+    /// optimizer moments, RNG streams, per-epoch stats) is snapshotted to
+    /// `snapshots` every `every` epochs plus once after the final epoch,
+    /// and — when a valid snapshot for this configuration already exists —
+    /// training **resumes** from it instead of starting over. A resumed
+    /// run is bit-identical to an uninterrupted one.
+    ///
+    /// Torn or corrupt snapshots are skipped in favour of the newest valid
+    /// one; a valid snapshot whose dimensions disagree with `config` is an
+    /// error (it belongs to a different run).
+    ///
+    /// # Errors
+    /// [`CoreError::BadInput`] on malformed `irs`, [`CoreError::Io`] /
+    /// [`CoreError::Checkpoint`] on snapshot problems,
+    /// [`CoreError::Diverged`] if the divergence guard exhausts its
+    /// retries.
+    pub fn train_checkpointed(
+        irs: &Matrix,
+        config: &ReprConfig,
+        snapshots: &CheckpointStore,
+        every: usize,
+    ) -> Result<(Self, ReprTrainStats), CoreError> {
+        Self::train_impl(irs, config, Some((snapshots, every.max(1))))
+    }
+
+    fn train_impl(
+        irs: &Matrix,
+        config: &ReprConfig,
+        snapshots: Option<(&CheckpointStore, usize)>,
+    ) -> Result<(Self, ReprTrainStats), CoreError> {
         if irs.rows() == 0 {
             return Err(CoreError::BadInput("no IRs to train on".into()));
         }
@@ -140,134 +183,221 @@ impl ReprModel {
                 config.ir_dim
             )));
         }
-        let mut rng = NnRng::seed_from_u64(config.seed);
-        let mut store = ParamStore::new();
-        let enc_hidden = Dense::new(
-            &mut store,
-            ENC_HIDDEN,
-            config.ir_dim,
-            config.hidden_dim,
-            Initializer::He,
-            &mut rng,
-        );
-        let enc_mu = Dense::new(
-            &mut store,
-            ENC_MU,
-            config.hidden_dim,
-            config.latent_dim,
-            Initializer::Xavier,
-            &mut rng,
-        );
-        let enc_logvar = Dense::new(
-            &mut store,
-            ENC_LOGVAR,
-            config.hidden_dim,
-            config.latent_dim,
-            Initializer::Xavier,
-            &mut rng,
-        );
-        let dec_hidden = Dense::new(
-            &mut store,
-            DEC_HIDDEN,
-            config.latent_dim,
-            config.hidden_dim,
-            Initializer::He,
-            &mut rng,
-        );
-        let dec_out = Dense::new(
-            &mut store,
-            DEC_OUT,
-            config.hidden_dim,
-            config.ir_dim,
-            Initializer::Xavier,
-            &mut rng,
-        );
+        let resumed = match snapshots {
+            Some((ckpt, _)) => Self::resume_state(ckpt, config)?,
+            None => None,
+        };
+        let mut state = match resumed {
+            Some(s) => s,
+            None => VaeTrainState::fresh(config),
+        };
+        Self::train_loop(irs, config, &mut state, snapshots)?;
+        Ok((
+            Self {
+                store: state.store,
+                config: config.clone(),
+            },
+            state.stats,
+        ))
+    }
 
-        let mut adam = Adam::with_rate(config.learning_rate);
-        let mut stats = ReprTrainStats::default();
-        let mut noise_rng = NnRng::seed_from_u64(config.seed ^ 0xE95);
+    /// Scans the snapshot directory newest-first for a state this run can
+    /// resume from. Torn/corrupt snapshots are skipped (graceful
+    /// degradation); a valid snapshot for a *different* configuration is
+    /// refused loudly rather than silently retraining over it.
+    fn resume_state(
+        ckpt: &CheckpointStore,
+        config: &ReprConfig,
+    ) -> Result<Option<VaeTrainState>, CoreError> {
+        for &seq in ckpt.list()?.iter().rev() {
+            let Ok(payload) = ckpt.read(seq) else {
+                crate::obs::handles().checkpoint_corrupt_skipped.add(1);
+                continue;
+            };
+            let Ok((state, dims)) = VaeTrainState::from_bytes(&payload) else {
+                crate::obs::handles().checkpoint_corrupt_skipped.add(1);
+                continue;
+            };
+            state.validate(dims, config)?;
+            vaer_obs::event(
+                "vae.resume",
+                &[("seq", seq.into()), ("epoch", state.epoch.into())],
+            );
+            return Ok(Some(state));
+        }
+        Ok(None)
+    }
+
+    fn train_loop(
+        irs: &Matrix,
+        config: &ReprConfig,
+        state: &mut VaeTrainState,
+        snapshots: Option<(&CheckpointStore, usize)>,
+    ) -> Result<(), CoreError> {
         // One tape per shard slot, reused for the whole training run.
         let mut tapes = GraphPool::new();
         let _span = vaer_obs::span("repr.train");
-        for epoch in 0..config.epochs {
+        let mut rollbacks = 0u32;
+        while state.epoch < config.epochs {
+            // Crash-test kill switch: a `vae.epoch=panic@N` failpoint
+            // aborts the run at the top of the Nth epoch.
+            vaer_fault::trigger("vae.epoch");
+            // In-memory guard for the divergence rollback. Restoring it
+            // also rewinds the RNG streams, so a retried epoch sees the
+            // same batches (only the halved learning rate differs).
+            let guard = state.clone();
             let mut epoch_loss = 0.0f32;
             let mut epoch_recon = 0.0f32;
             let mut epoch_kl = 0.0f32;
             let mut epoch_grad = 0.0f32;
             let mut batches = 0usize;
-            for batch in minibatches(irs.rows(), config.batch_size, &mut rng) {
-                // Batch inputs and noise are drawn up front so the RNG
-                // stream is independent of how many gradient shards the
-                // runtime decides to use.
-                let x = irs.select_rows(&batch);
-                let eps = gaussian_matrix(batch.len(), config.latent_dim, &mut noise_rng);
-                let batch_len = batch.len();
-                // Per-shard loss decomposition, merged with the same
-                // shard-size weights sharded_step applies to the loss.
-                let parts = std::sync::Mutex::new((0.0f64, 0.0f64));
-                let step = sharded_step_pooled(&mut tapes, batch_len, |g, rows| {
-                    let n = rows.len();
-                    let xt = g.input_rows(&x, rows.start, rows.end);
-                    // Encoder.
-                    let h = enc_hidden.forward(g, &store, xt);
-                    let h = g.relu(h);
-                    let mu = enc_mu.forward(g, &store, h);
-                    let logvar = enc_logvar.forward(g, &store, h);
-                    // Reparameterisation: z = μ + exp(½ logvar) ⊙ ε.
-                    let half_logvar = g.scale(logvar, 0.5);
-                    let sigma = g.exp(half_logvar);
-                    let eps_t = g.input_rows(&eps, rows.start, rows.end);
-                    let noise = g.mul(sigma, eps_t);
-                    let z = g.add(mu, noise);
-                    // Decoder.
-                    let dh = dec_hidden.forward(g, &store, z);
-                    let dh = g.relu(dh);
-                    let recon = dec_out.forward(g, &store, dh);
-                    // Reconstruction: mean squared error over the shard.
-                    let diff = g.sub(recon, xt);
-                    let sq = g.square(diff);
-                    let recon_loss = g.mean_all(sq);
-                    let recon_loss = g.scale(recon_loss, config.ir_dim as f32);
-                    // KL(q ‖ N(0, I)) = -½ Σ (1 + logvar - μ² - exp(logvar)),
-                    // averaged over the shard (both loss terms are per-row
-                    // means, as sharded_step's merge requires).
-                    let mu_sq = g.square(mu);
-                    let exp_logvar = g.exp(logvar);
-                    let inner = g.add_scalar(logvar, 1.0);
-                    let inner = g.sub(inner, mu_sq);
-                    let inner = g.sub(inner, exp_logvar);
-                    let kl_sum = g.sum_all(inner);
-                    let kl = g.scale(kl_sum, -0.5 / n as f32);
-                    let kl = g.scale(kl, config.kl_weight);
-                    // Forward values are eager, so the decomposition is a
-                    // free read off the tape. Uncontended by construction:
-                    // shards finish building at different times.
-                    let w = f64::from(n as f32 / batch_len.max(1) as f32);
-                    let mut p = parts.lock().expect("loss parts poisoned");
-                    p.0 += w * f64::from(g.value(recon_loss).get(0, 0));
-                    p.1 += w * f64::from(g.value(kl).get(0, 0));
-                    drop(p);
-                    g.add(recon_loss, kl)
-                });
-                let (recon_part, kl_part) = parts.into_inner().expect("loss parts poisoned");
-                epoch_loss += step.loss;
-                epoch_recon += recon_part as f32;
-                epoch_kl += kl_part as f32;
-                let mut grad_sq = 0.0f64;
-                for (_, grad) in &step.grads {
-                    for &v in grad.as_slice() {
-                        grad_sq += f64::from(v) * f64::from(v);
+            let mut diverged: Option<String> = None;
+            {
+                let VaeTrainState {
+                    epoch,
+                    store,
+                    adam,
+                    rng,
+                    noise_rng,
+                    ..
+                } = &mut *state;
+                let missing = |name: &str| {
+                    CoreError::Checkpoint(format!("training state is missing layer '{name}'"))
+                };
+                let enc_hidden =
+                    Dense::from_store(store, ENC_HIDDEN).ok_or_else(|| missing(ENC_HIDDEN))?;
+                let enc_mu = Dense::from_store(store, ENC_MU).ok_or_else(|| missing(ENC_MU))?;
+                let enc_logvar =
+                    Dense::from_store(store, ENC_LOGVAR).ok_or_else(|| missing(ENC_LOGVAR))?;
+                let dec_hidden =
+                    Dense::from_store(store, DEC_HIDDEN).ok_or_else(|| missing(DEC_HIDDEN))?;
+                let dec_out = Dense::from_store(store, DEC_OUT).ok_or_else(|| missing(DEC_OUT))?;
+                for batch in minibatches(irs.rows(), config.batch_size, rng) {
+                    // Batch inputs and noise are drawn up front so the RNG
+                    // stream is independent of how many gradient shards the
+                    // runtime decides to use.
+                    let x = irs.select_rows(&batch);
+                    let eps = gaussian_matrix(batch.len(), config.latent_dim, noise_rng);
+                    let batch_len = batch.len();
+                    // Per-shard loss decomposition, merged with the same
+                    // shard-size weights sharded_step applies to the loss.
+                    let parts = std::sync::Mutex::new((0.0f64, 0.0f64));
+                    let store_ro: &ParamStore = store;
+                    let step = sharded_step_pooled(&mut tapes, batch_len, |g, rows| {
+                        let n = rows.len();
+                        let xt = g.input_rows(&x, rows.start, rows.end);
+                        // Encoder.
+                        let h = enc_hidden.forward(g, store_ro, xt);
+                        let h = g.relu(h);
+                        let mu = enc_mu.forward(g, store_ro, h);
+                        let logvar = enc_logvar.forward(g, store_ro, h);
+                        // Reparameterisation: z = μ + exp(½ logvar) ⊙ ε.
+                        let half_logvar = g.scale(logvar, 0.5);
+                        let sigma = g.exp(half_logvar);
+                        let eps_t = g.input_rows(&eps, rows.start, rows.end);
+                        let noise = g.mul(sigma, eps_t);
+                        let z = g.add(mu, noise);
+                        // Decoder.
+                        let dh = dec_hidden.forward(g, store_ro, z);
+                        let dh = g.relu(dh);
+                        let recon = dec_out.forward(g, store_ro, dh);
+                        // Reconstruction: mean squared error over the shard.
+                        let diff = g.sub(recon, xt);
+                        let sq = g.square(diff);
+                        let recon_loss = g.mean_all(sq);
+                        let recon_loss = g.scale(recon_loss, config.ir_dim as f32);
+                        // KL(q ‖ N(0, I)) = -½ Σ (1 + logvar - μ² - exp(logvar)),
+                        // averaged over the shard (both loss terms are per-row
+                        // means, as sharded_step's merge requires).
+                        let mu_sq = g.square(mu);
+                        let exp_logvar = g.exp(logvar);
+                        let inner = g.add_scalar(logvar, 1.0);
+                        let inner = g.sub(inner, mu_sq);
+                        let inner = g.sub(inner, exp_logvar);
+                        let kl_sum = g.sum_all(inner);
+                        let kl = g.scale(kl_sum, -0.5 / n as f32);
+                        let kl = g.scale(kl, config.kl_weight);
+                        // Forward values are eager, so the decomposition is a
+                        // free read off the tape. Uncontended by construction:
+                        // shards finish building at different times.
+                        let w = f64::from(n as f32 / batch_len.max(1) as f32);
+                        let mut p = parts.lock().unwrap_or_else(|e| e.into_inner());
+                        p.0 += w * f64::from(g.value(recon_loss).get(0, 0));
+                        p.1 += w * f64::from(g.value(kl).get(0, 0));
+                        drop(p);
+                        g.add(recon_loss, kl)
+                    });
+                    let (recon_part, kl_part) =
+                        parts.into_inner().unwrap_or_else(|e| e.into_inner());
+                    let mut loss = step.loss;
+                    // Numeric-fault injection: poison the loss as a NaN
+                    // gradient would.
+                    if matches!(
+                        vaer_fault::check("vae.grads"),
+                        Some(vaer_fault::Action::Nan)
+                    ) {
+                        loss = f32::NAN;
                     }
+                    let mut grad_sq = 0.0f64;
+                    for (_, grad) in &step.grads {
+                        for &v in grad.as_slice() {
+                            grad_sq += f64::from(v) * f64::from(v);
+                        }
+                    }
+                    // Divergence guard: catch the poison *before* it
+                    // reaches the parameters, so the epoch-start guard
+                    // snapshot is still clean.
+                    if !loss.is_finite() || !grad_sq.is_finite() {
+                        diverged = Some(format!("non-finite loss/gradient in epoch {epoch}"));
+                        break;
+                    }
+                    epoch_loss += loss;
+                    epoch_recon += recon_part as f32;
+                    epoch_kl += kl_part as f32;
+                    epoch_grad += grad_sq.sqrt() as f32;
+                    batches += 1;
+                    adam.step(store, &step.grads);
                 }
-                epoch_grad += grad_sq.sqrt() as f32;
-                batches += 1;
-                adam.step(&mut store, &step.grads);
             }
             let denom = batches.max(1) as f32;
-            stats.epoch_losses.push(epoch_loss / denom);
-            stats.epoch_recon.push(epoch_recon / denom);
-            stats.epoch_kl.push(epoch_kl / denom);
-            stats.epoch_grad_norm.push(epoch_grad / denom);
+            let mean_grad = epoch_grad / denom;
+            if diverged.is_none() {
+                if let Some(&prev) = state.stats.epoch_grad_norm.last() {
+                    if mean_grad > config.grad_spike_factor * prev.max(1.0) {
+                        diverged = Some(format!(
+                            "gradient-norm spike in epoch {}: {mean_grad} vs {prev}",
+                            state.epoch
+                        ));
+                    }
+                }
+            }
+            if let Some(why) = diverged {
+                rollbacks += 1;
+                *state = guard;
+                let lr = state.adam.learning_rate() * 0.5;
+                state.adam.set_learning_rate(lr);
+                crate::obs::handles().vae_rollbacks.add(1);
+                vaer_obs::event(
+                    "vae.rollback",
+                    &[
+                        ("epoch", state.epoch.into()),
+                        ("reason", why.clone().into()),
+                        ("lr", f64::from(lr).into()),
+                        ("rollbacks", rollbacks.into()),
+                    ],
+                );
+                if rollbacks > config.max_rollbacks {
+                    return Err(CoreError::Diverged(format!(
+                        "{why}; gave up after {} rollbacks",
+                        config.max_rollbacks
+                    )));
+                }
+                continue;
+            }
+            state.stats.epoch_losses.push(epoch_loss / denom);
+            state.stats.epoch_recon.push(epoch_recon / denom);
+            state.stats.epoch_kl.push(epoch_kl / denom);
+            state.stats.epoch_grad_norm.push(mean_grad);
             if vaer_obs::enabled() {
                 let requests = tapes.buf_requests();
                 let hit_rate = if requests == 0 {
@@ -278,24 +408,64 @@ impl ReprModel {
                 vaer_obs::event(
                     "vae.epoch",
                     &[
-                        ("epoch", epoch.into()),
+                        ("epoch", state.epoch.into()),
                         ("loss", (epoch_loss / denom).into()),
                         ("recon", (epoch_recon / denom).into()),
                         ("kl", (epoch_kl / denom).into()),
-                        ("grad_norm", (epoch_grad / denom).into()),
+                        ("grad_norm", mean_grad.into()),
                         ("tape_fresh_allocs", tapes.fresh_allocs().into()),
                         ("tape_hit_rate", hit_rate.into()),
                     ],
                 );
             }
+            state.epoch += 1;
+            if let Some((ckpt, every)) = snapshots {
+                if state.epoch.is_multiple_of(every) && state.epoch < config.epochs {
+                    ckpt.write(state.epoch as u64, &state.to_bytes(config))?;
+                }
+            }
         }
-        Ok((
-            Self {
-                store,
-                config: config.clone(),
-            },
-            stats,
-        ))
+        // Final snapshot, unconditional: re-running a finished job resumes
+        // here instantly instead of retraining.
+        if let Some((ckpt, _)) = snapshots {
+            ckpt.write(config.epochs as u64, &state.to_bytes(config))?;
+        }
+        Ok(())
+    }
+
+    /// Checks that `store` holds exactly the layers and shapes `config`
+    /// prescribes — the guard that turns a config-vs-weights mismatch
+    /// into a descriptive error instead of a downstream indexing panic.
+    fn validate_store(store: &ParamStore, config: &ReprConfig) -> Result<(), CoreError> {
+        let expect = [
+            (ENC_HIDDEN, config.ir_dim, config.hidden_dim),
+            (ENC_MU, config.hidden_dim, config.latent_dim),
+            (ENC_LOGVAR, config.hidden_dim, config.latent_dim),
+            (DEC_HIDDEN, config.latent_dim, config.hidden_dim),
+            (DEC_OUT, config.hidden_dim, config.ir_dim),
+        ];
+        let bad = |why: String| CoreError::Model(vaer_nn::NnError::BadFormat(why));
+        for (name, in_dim, out_dim) in expect {
+            let w = store
+                .find(&format!("{name}.w"))
+                .ok_or_else(|| bad(format!("model is missing layer '{name}.w'")))?;
+            let b = store
+                .find(&format!("{name}.b"))
+                .ok_or_else(|| bad(format!("model is missing layer '{name}.b'")))?;
+            let w_shape = store.get(w).shape();
+            if w_shape != (in_dim, out_dim) {
+                return Err(bad(format!(
+                    "layer '{name}.w' has shape {w_shape:?} but the config requires ({in_dim}, {out_dim})"
+                )));
+            }
+            let b_shape = store.get(b).shape();
+            if b_shape != (1, out_dim) {
+                return Err(bad(format!(
+                    "layer '{name}.b' has shape {b_shape:?} but the config requires (1, {out_dim})"
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// The model configuration.
@@ -314,6 +484,11 @@ impl ReprModel {
     /// Returns `(μ, σ)` tensors of shape `batch x latent_dim`, binding the
     /// encoder parameters from `store` (pass the matcher's own store to
     /// fine-tune a copy).
+    ///
+    /// # Panics
+    /// If `store` lacks the three encoder layers. This is an invariant,
+    /// not an input check: every store reaching here came from a
+    /// constructor that validated or created those layers.
     pub fn encoder_forward(g: &mut Graph, store: &ParamStore, x: Tensor) -> (Tensor, Tensor) {
         let enc_hidden = Dense::from_store(store, ENC_HIDDEN)
             .expect("store is missing the repr encoder hidden layer");
@@ -348,6 +523,11 @@ impl ReprModel {
     /// Each call is one full encoder pass and increments the
     /// process-wide [`encode_calls`] counter; row results are
     /// bit-identical at any thread count and for any row batching.
+    ///
+    /// # Panics
+    /// If `irs` is not `ir_dim` wide — a caller bug, not a data
+    /// condition; fallible entry points validate widths before reaching
+    /// the encoder.
     pub fn encode_matrices(&self, irs: &Matrix) -> (Matrix, Matrix) {
         assert_eq!(irs.cols(), self.config.ir_dim, "IR width mismatch");
         ENCODE_CALLS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -392,6 +572,11 @@ impl ReprModel {
     }
 
     /// Decodes latent samples back to IR space (the generative direction).
+    ///
+    /// # Panics
+    /// If `z` is not `latent_dim` wide — a programming error in the
+    /// caller, not a data condition (decoder layers themselves are
+    /// guaranteed by construction/[deserialisation](Self::from_bytes)).
     pub fn decode(&self, z: &Matrix) -> Matrix {
         assert_eq!(z.cols(), self.config.latent_dim, "latent width mismatch");
         let dec_hidden =
@@ -422,8 +607,15 @@ impl ReprModel {
 
     /// Deserialises a model produced by [`ReprModel::to_bytes`].
     ///
+    /// The deserialised parameters are re-validated against the header's
+    /// dimensions: a blob whose config and weights disagree (hand-edited,
+    /// spliced from another model, bit-rotted past the CRC) is rejected
+    /// here with a descriptive error instead of panicking later inside
+    /// encode/decode.
+    ///
     /// # Errors
-    /// [`CoreError::Model`] on malformed bytes.
+    /// [`CoreError::Model`] on malformed bytes or a config-vs-weight
+    /// shape mismatch.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
         if bytes.len() < 20 || &bytes[..8] != b"VAERREPR" {
             return Err(CoreError::Model(vaer_nn::NnError::BadFormat(
@@ -440,7 +632,177 @@ impl ReprModel {
             latent_dim: dim(2),
             ..ReprConfig::default()
         };
+        Self::validate_store(&store, &config)?;
         Ok(Self { store, config })
+    }
+}
+
+/// Full mid-training VAE state — everything [`ReprModel::train_checkpointed`]
+/// needs to resume bit-identically: epoch counter, weights, Adam moments,
+/// both RNG streams (batch shuffling and reparameterisation noise), and the
+/// stats accumulated so far.
+#[derive(Clone)]
+struct VaeTrainState {
+    epoch: usize,
+    store: ParamStore,
+    adam: Adam,
+    rng: NnRng,
+    noise_rng: NnRng,
+    stats: ReprTrainStats,
+}
+
+/// Snapshot payload magic (wrapped in a `VAERCKP1` envelope on disk).
+const STATE_MAGIC: &[u8; 8] = b"VAERVST1";
+
+impl VaeTrainState {
+    /// Epoch-zero state. Layer construction order fixes the RNG stream, so
+    /// this must build the five layers exactly as the original trainer did
+    /// — old seeds keep reproducing old models.
+    fn fresh(config: &ReprConfig) -> Self {
+        let mut rng = NnRng::seed_from_u64(config.seed);
+        let mut store = ParamStore::new();
+        let layers = [
+            (
+                ENC_HIDDEN,
+                config.ir_dim,
+                config.hidden_dim,
+                Initializer::He,
+            ),
+            (
+                ENC_MU,
+                config.hidden_dim,
+                config.latent_dim,
+                Initializer::Xavier,
+            ),
+            (
+                ENC_LOGVAR,
+                config.hidden_dim,
+                config.latent_dim,
+                Initializer::Xavier,
+            ),
+            (
+                DEC_HIDDEN,
+                config.latent_dim,
+                config.hidden_dim,
+                Initializer::He,
+            ),
+            (
+                DEC_OUT,
+                config.hidden_dim,
+                config.ir_dim,
+                Initializer::Xavier,
+            ),
+        ];
+        for (name, in_dim, out_dim, init) in layers {
+            Dense::new(&mut store, name, in_dim, out_dim, init, &mut rng);
+        }
+        Self {
+            epoch: 0,
+            store,
+            adam: Adam::with_rate(config.learning_rate),
+            rng,
+            noise_rng: NnRng::seed_from_u64(config.seed ^ 0xE95),
+            stats: ReprTrainStats::default(),
+        }
+    }
+
+    fn to_bytes(&self, config: &ReprConfig) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(STATE_MAGIC);
+        for v in [
+            config.ir_dim as u32,
+            config.hidden_dim as u32,
+            config.latent_dim as u32,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.epoch as u64).to_le_bytes());
+        put_rng_state(&mut out, self.rng.state());
+        put_rng_state(&mut out, self.noise_rng.state());
+        put_f32_vec(&mut out, &self.stats.epoch_losses);
+        put_f32_vec(&mut out, &self.stats.epoch_recon);
+        put_f32_vec(&mut out, &self.stats.epoch_kl);
+        put_f32_vec(&mut out, &self.stats.epoch_grad_norm);
+        put_blob(&mut out, &self.store.to_bytes());
+        put_blob(&mut out, &self.adam.to_bytes());
+        out
+    }
+
+    /// Parses a snapshot payload; returns the state plus the
+    /// `(ir_dim, hidden_dim, latent_dim)` it was trained under, which the
+    /// caller must [`validate`](Self::validate) against its own config.
+    /// Never panics, whatever the bytes are.
+    fn from_bytes(bytes: &[u8]) -> Result<(Self, [usize; 3]), CoreError> {
+        let mut cur = Cur::new(bytes);
+        if cur.take(8)? != STATE_MAGIC {
+            return Err(CoreError::Checkpoint("missing VAERVST1 magic".into()));
+        }
+        let dims = [
+            cur.u32()? as usize,
+            cur.u32()? as usize,
+            cur.u32()? as usize,
+        ];
+        let epoch = cur.u64()? as usize;
+        let rng = NnRng::from_state(cur.rng_state()?);
+        let noise_rng = NnRng::from_state(cur.rng_state()?);
+        let stats = ReprTrainStats {
+            epoch_losses: cur.f32_vec()?,
+            epoch_recon: cur.f32_vec()?,
+            epoch_kl: cur.f32_vec()?,
+            epoch_grad_norm: cur.f32_vec()?,
+        };
+        let store = ParamStore::from_bytes(cur.blob()?)?;
+        let adam = Adam::from_bytes(cur.blob()?)?;
+        if cur.pos != cur.bytes.len() {
+            return Err(CoreError::Checkpoint(
+                "trailing bytes after VAE training state".into(),
+            ));
+        }
+        Ok((
+            Self {
+                epoch,
+                store,
+                adam,
+                rng,
+                noise_rng,
+                stats,
+            },
+            dims,
+        ))
+    }
+
+    /// Checks a deserialised state belongs to the resuming run: matching
+    /// dimensions, well-shaped layers, and stats consistent with the epoch
+    /// counter. Dimension mismatch is an error (not a skip) — the snapshot
+    /// directory holds a *different* run's state, and silently retraining
+    /// over it would clobber it.
+    fn validate(&self, dims: [usize; 3], config: &ReprConfig) -> Result<(), CoreError> {
+        let want = [config.ir_dim, config.hidden_dim, config.latent_dim];
+        if dims != want {
+            return Err(CoreError::Checkpoint(format!(
+                "snapshot dims {dims:?} do not match config {want:?}"
+            )));
+        }
+        ReprModel::validate_store(&self.store, config)?;
+        if self.epoch > config.epochs {
+            return Err(CoreError::Checkpoint(format!(
+                "snapshot is at epoch {} but the config trains only {}",
+                self.epoch, config.epochs
+            )));
+        }
+        let s = &self.stats;
+        if [
+            s.epoch_losses.len(),
+            s.epoch_recon.len(),
+            s.epoch_kl.len(),
+            s.epoch_grad_norm.len(),
+        ] != [self.epoch; 4]
+        {
+            return Err(CoreError::Checkpoint(
+                "snapshot stats are inconsistent with its epoch counter".into(),
+            ));
+        }
+        Ok(())
     }
 }
 
@@ -577,5 +939,124 @@ mod tests {
     fn input_validation() {
         assert!(ReprModel::train(&Matrix::zeros(0, 8), &ReprConfig::fast(8)).is_err());
         assert!(ReprModel::train(&Matrix::zeros(4, 5), &ReprConfig::fast(8)).is_err());
+    }
+
+    #[test]
+    fn from_bytes_rejects_config_weight_shape_mismatch() {
+        let (irs, _) = clustered_irs(10, 8, 6);
+        let (model, _) = ReprModel::train(&irs, &ReprConfig::fast(8)).unwrap();
+        // Splice the store of an 8-dim model under a header claiming 16.
+        let mut bytes = model.to_bytes();
+        bytes[8..12].copy_from_slice(&16u32.to_le_bytes());
+        let err = ReprModel::from_bytes(&bytes).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("shape"), "undescriptive error: {msg}");
+    }
+
+    fn temp_ckpt(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("vaer-repr-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpointed_training_matches_plain_and_resumes_bit_identically() {
+        let (irs, _) = clustered_irs(30, 8, 7);
+        let config = ReprConfig {
+            epochs: 6,
+            ..ReprConfig::fast(8)
+        };
+        let (plain, plain_stats) = ReprModel::train(&irs, &config).unwrap();
+
+        // A checkpointed run from scratch must produce the same bits.
+        let dir = temp_ckpt("full");
+        let ckpt = CheckpointStore::open(&dir, "vae").unwrap();
+        let (full, full_stats) = ReprModel::train_checkpointed(&irs, &config, &ckpt, 2).unwrap();
+        assert_eq!(full.store().to_bytes(), plain.store().to_bytes());
+        assert_eq!(full_stats.epoch_losses, plain_stats.epoch_losses);
+
+        // A run resumed from a mid-training snapshot must as well: seed a
+        // fresh directory with only the epoch-2 snapshot and train again.
+        let (seq, payload) = {
+            let (s, p) = ckpt.read_latest().unwrap().unwrap();
+            assert_eq!(s, 6, "final snapshot must exist");
+            (2u64, if s == 2 { p } else { ckpt.read(2).unwrap() })
+        };
+        let dir2 = temp_ckpt("resume");
+        let ckpt2 = CheckpointStore::open(&dir2, "vae").unwrap();
+        ckpt2.write(seq, &payload).unwrap();
+        let (resumed, resumed_stats) =
+            ReprModel::train_checkpointed(&irs, &config, &ckpt2, 2).unwrap();
+        assert_eq!(
+            resumed.store().to_bytes(),
+            plain.store().to_bytes(),
+            "resumed weights must be bit-identical to the uninterrupted run"
+        );
+        assert_eq!(resumed_stats.epoch_losses, plain_stats.epoch_losses);
+
+        // A snapshot from a different configuration is refused loudly.
+        let other = ReprConfig {
+            epochs: 6,
+            ..ReprConfig::fast(16)
+        };
+        let wide = Matrix::zeros(16, 16);
+        assert!(matches!(
+            ReprModel::train_checkpointed(&wide, &other, &ckpt2, 2),
+            Err(CoreError::BadInput(_)) | Err(CoreError::Checkpoint(_))
+        ));
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn vae_state_round_trips_and_rejects_corruption() {
+        let config = ReprConfig::fast(8);
+        let mut state = VaeTrainState::fresh(&config);
+        state.epoch = 3;
+        state.stats.epoch_losses = vec![3.0, 2.0, 1.0];
+        state.stats.epoch_recon = vec![2.5, 1.5, 0.5];
+        state.stats.epoch_kl = vec![0.5, 0.5, 0.5];
+        state.stats.epoch_grad_norm = vec![1.0, 1.0, 1.0];
+        let bytes = state.to_bytes(&config);
+        let (back, dims) = VaeTrainState::from_bytes(&bytes).unwrap();
+        assert_eq!(dims, [8, 32, 8]);
+        assert_eq!(back.epoch, 3);
+        assert_eq!(back.stats.epoch_losses, state.stats.epoch_losses);
+        assert_eq!(back.store.to_bytes(), state.store.to_bytes());
+        back.validate(dims, &config).unwrap();
+        // Wrong dims refuse to resume.
+        assert!(back.validate([9, 32, 8], &config).is_err());
+        // Truncations never panic.
+        for cut in [0, 7, 12, bytes.len() / 2, bytes.len() - 1] {
+            assert!(VaeTrainState::from_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn divergence_rolls_back_and_eventually_errors() {
+        let (irs, _) = clustered_irs(20, 8, 8);
+        // Non-finite loss on every batch: the guard retries with halved LR
+        // max_rollbacks times, then gives up with Diverged.
+        let config = ReprConfig {
+            epochs: 3,
+            max_rollbacks: 2,
+            ..ReprConfig::fast(8)
+        };
+        let _guard = vaer_fault::test_lock();
+        vaer_fault::configure("vae.grads=nan").unwrap();
+        let err = ReprModel::train(&irs, &config);
+        vaer_fault::clear();
+        assert!(
+            matches!(err, Err(CoreError::Diverged(_))),
+            "expected Diverged, got {err:?}"
+        );
+
+        // A single poisoned batch is absorbed: rollback, retry, converge.
+        vaer_fault::configure("vae.grads=nan@1").unwrap();
+        let recovered = ReprModel::train(&irs, &config);
+        vaer_fault::clear();
+        let (_, stats) = recovered.expect("one transient NaN must be survivable");
+        assert_eq!(stats.epoch_losses.len(), config.epochs);
     }
 }

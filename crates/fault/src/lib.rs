@@ -1,0 +1,278 @@
+//! Deterministic, env-driven failpoints.
+//!
+//! Production code sprinkles named failpoints at the places where the
+//! real world fails — checkpoint writes, label journals, epoch and round
+//! boundaries — and tests (or an operator, via the `VAER_FAILPOINTS`
+//! environment variable) arm them to inject IO errors, torn writes,
+//! panics, or NaN gradients at an exact, reproducible hit count. When no
+//! failpoint is armed, [`check`] is a single relaxed atomic load, so the
+//! hooks are free on hot paths.
+//!
+//! # Spec syntax
+//!
+//! A spec is a comma-separated list of `name=action[@N[+]]` clauses:
+//!
+//! ```text
+//! VAER_FAILPOINTS=checkpoint.write=err@2,al.round=panic@3
+//! ```
+//!
+//! - `action` is one of `err`, `panic`, `torn`, `nan`.
+//! - `@N` fires on the Nth hit only (1-based).
+//! - `@N+` fires on the Nth and every later hit.
+//! - No `@` clause fires on every hit.
+//!
+//! The environment variable is read once, on the first [`check`] call;
+//! tests arm failpoints programmatically with [`configure`] and disarm
+//! them with [`clear`]. Failpoint state is process-global — tests that
+//! arm failpoints must serialise against each other (e.g. behind a
+//! `Mutex`).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, Once};
+
+/// What an armed failpoint injects at its trigger site.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Return an injected IO error.
+    Err,
+    /// Panic (simulates a crash / kill at the failpoint).
+    Panic,
+    /// Write a torn (truncated) file instead of the full payload.
+    Torn,
+    /// Poison a value with NaN (simulates numeric divergence).
+    Nan,
+}
+
+impl Action {
+    fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "err" => Ok(Action::Err),
+            "panic" => Ok(Action::Panic),
+            "torn" => Ok(Action::Torn),
+            "nan" => Ok(Action::Nan),
+            other => Err(format!(
+                "unknown failpoint action '{other}' (expected err|panic|torn|nan)"
+            )),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Failpoint {
+    name: String,
+    action: Action,
+    /// First hit (1-based) the failpoint fires on.
+    from: u64,
+    /// Last hit it fires on (`u64::MAX` = open-ended).
+    to: u64,
+    hits: u64,
+}
+
+static ARMED: AtomicBool = AtomicBool::new(false);
+static REGISTRY: Mutex<Vec<Failpoint>> = Mutex::new(Vec::new());
+static ENV_INIT: Once = Once::new();
+
+fn registry() -> MutexGuard<'static, Vec<Failpoint>> {
+    // Survive poisoning: a failpoint-induced panic in one test must not
+    // wedge every later check in the process.
+    REGISTRY
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Arms the failpoints described by `spec` (see the module docs for the
+/// syntax), replacing any previously armed set and resetting hit counts.
+///
+/// # Errors
+/// Returns a description of the first malformed clause; the previously
+/// armed set is left untouched in that case.
+pub fn configure(spec: &str) -> Result<(), String> {
+    let mut parsed = Vec::new();
+    for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        let (name, rhs) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("failpoint clause '{clause}' is missing '='"))?;
+        let name = name.trim();
+        if name.is_empty() {
+            return Err(format!("failpoint clause '{clause}' has an empty name"));
+        }
+        let (action, from, to) = match rhs.split_once('@') {
+            None => (Action::parse(rhs.trim())?, 1, u64::MAX),
+            Some((action, count)) => {
+                let action = Action::parse(action.trim())?;
+                let (count, open) = match count.strip_suffix('+') {
+                    Some(c) => (c, true),
+                    None => (count, false),
+                };
+                let n: u64 = count
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("failpoint clause '{clause}' has a bad hit count"))?;
+                if n == 0 {
+                    return Err(format!("failpoint clause '{clause}': hits are 1-based"));
+                }
+                (action, n, if open { u64::MAX } else { n })
+            }
+        };
+        parsed.push(Failpoint {
+            name: name.to_string(),
+            action,
+            from,
+            to,
+            hits: 0,
+        });
+    }
+    let armed = !parsed.is_empty();
+    *registry() = parsed;
+    ARMED.store(armed, Ordering::Release);
+    Ok(())
+}
+
+/// Disarms every failpoint and resets hit counts.
+pub fn clear() {
+    registry().clear();
+    ARMED.store(false, Ordering::Release);
+}
+
+/// Number of times the named failpoint site has been reached since it was
+/// armed (0 if it is not armed).
+pub fn hits(name: &str) -> u64 {
+    registry()
+        .iter()
+        .find(|fp| fp.name == name)
+        .map_or(0, |fp| fp.hits)
+}
+
+/// Checks the named failpoint site. Returns the action to inject if the
+/// site is armed and this hit falls inside the configured window.
+///
+/// When nothing is armed this is a single relaxed atomic load — cheap
+/// enough for per-batch hot loops.
+pub fn check(name: &str) -> Option<Action> {
+    ENV_INIT.call_once(|| {
+        if let Ok(spec) = std::env::var("VAER_FAILPOINTS") {
+            if let Err(e) = configure(&spec) {
+                eprintln!("vaer-fault: ignoring VAER_FAILPOINTS: {e}");
+            }
+        }
+    });
+    if !ARMED.load(Ordering::Relaxed) {
+        return None;
+    }
+    check_slow(name)
+}
+
+#[cold]
+fn check_slow(name: &str) -> Option<Action> {
+    let mut fps = registry();
+    let fp = fps.iter_mut().find(|fp| fp.name == name)?;
+    fp.hits += 1;
+    if fp.hits >= fp.from && fp.hits <= fp.to {
+        Some(fp.action)
+    } else {
+        None
+    }
+}
+
+static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+/// Serialises tests that arm failpoints. Failpoint state is
+/// process-global, so any test calling [`configure`] should hold this
+/// guard for its whole body (poisoning from an injected panic is
+/// absorbed).
+pub fn test_lock() -> MutexGuard<'static, ()> {
+    TEST_LOCK
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Like [`check`], but executes [`Action::Panic`] on the spot (the
+/// standard kill-switch shape). The other actions are returned for the
+/// call site to inject, since only it knows what "an IO error" or "a torn
+/// write" means there.
+///
+/// # Panics
+/// Panics when the site is armed with [`Action::Panic`] and the hit falls
+/// inside the configured window — that is the feature.
+pub fn trigger(name: &str) -> Option<Action> {
+    match check(name) {
+        Some(Action::Panic) => panic!("vaer-fault: injected panic at failpoint '{name}'"),
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> MutexGuard<'static, ()> {
+        test_lock()
+    }
+
+    #[test]
+    fn unarmed_sites_are_silent() {
+        let _g = guard();
+        clear();
+        assert_eq!(check("nothing.here"), None);
+        assert_eq!(hits("nothing.here"), 0);
+    }
+
+    #[test]
+    fn nth_hit_fires_exactly_once() {
+        let _g = guard();
+        configure("x=err@3").unwrap();
+        assert_eq!(check("x"), None);
+        assert_eq!(check("x"), None);
+        assert_eq!(check("x"), Some(Action::Err));
+        assert_eq!(check("x"), None);
+        assert_eq!(hits("x"), 4);
+        clear();
+    }
+
+    #[test]
+    fn open_window_fires_from_n_onward() {
+        let _g = guard();
+        configure("y=torn@2+").unwrap();
+        assert_eq!(check("y"), None);
+        assert_eq!(check("y"), Some(Action::Torn));
+        assert_eq!(check("y"), Some(Action::Torn));
+        clear();
+    }
+
+    #[test]
+    fn bare_action_fires_every_hit_and_names_are_scoped() {
+        let _g = guard();
+        configure("a=nan, b=err@1").unwrap();
+        assert_eq!(check("a"), Some(Action::Nan));
+        assert_eq!(check("a"), Some(Action::Nan));
+        assert_eq!(check("b"), Some(Action::Err));
+        assert_eq!(check("b"), None);
+        assert_eq!(check("c"), None);
+        clear();
+    }
+
+    #[test]
+    fn trigger_panics_on_panic_action() {
+        let _g = guard();
+        configure("kill=panic@1").unwrap();
+        let r = std::panic::catch_unwind(|| trigger("kill"));
+        assert!(r.is_err(), "panic action must panic");
+        clear();
+    }
+
+    #[test]
+    fn malformed_specs_are_rejected() {
+        let _g = guard();
+        clear();
+        assert!(configure("noequals").is_err());
+        assert!(configure("x=explode").is_err());
+        assert!(configure("x=err@0").is_err());
+        assert!(configure("x=err@abc").is_err());
+        assert!(configure("=err").is_err());
+        // A rejected spec leaves the armed set untouched.
+        configure("ok=err").unwrap();
+        assert!(configure("bad=").is_err());
+        assert_eq!(check("ok"), Some(Action::Err));
+        clear();
+    }
+}

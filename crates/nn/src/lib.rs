@@ -59,7 +59,7 @@ pub use init::Initializer;
 pub use layers::{Dense, Mlp, MlpConfig};
 pub use optim::{clip_grad_norm, Adam, Optimizer, Sgd};
 pub use parallel::{sharded_step, sharded_step_pooled, GraphPool, ShardedStep};
-pub use params::{ParamId, ParamStore};
+pub use params::{crc32, ParamId, ParamStore};
 
 /// The RNG used for parameter initialisation and sampling throughout
 /// `vaer-nn` (re-exported so callers seed consistently).

@@ -7,6 +7,40 @@
 use crate::NnError;
 use vaer_linalg::Matrix;
 
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) lookup table,
+/// built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) checksum of `bytes`, as appended to every VAER binary
+/// format (`ParamStore`, optimizer state, checkpoint envelopes) so that
+/// torn writes and bit-flips are detected at load time instead of
+/// surfacing as a silently-wrong model.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
 /// Handle to a parameter inside a [`ParamStore`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ParamId(pub(crate) usize);
@@ -122,12 +156,14 @@ impl ParamStore {
 
     /// Serialises the store to a versioned binary blob.
     ///
-    /// Layout: magic `VAERNN1\0`, then `u32` param count, then per param:
+    /// Layout: magic `VAERNN2\0`, then `u32` param count, then per param:
     /// `u32` name length + UTF-8 name, `u32` rows, `u32` cols, and
-    /// little-endian `f32` data.
+    /// little-endian `f32` data; the blob ends with a `u32` [`crc32`] of
+    /// everything before it, so corruption (bit-flips, torn writes) is
+    /// detected at load time.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(16 + self.num_weights() * 4);
-        out.extend_from_slice(b"VAERNN1\0");
+        out.extend_from_slice(b"VAERNN2\0");
         out.extend_from_slice(&(self.params.len() as u32).to_le_bytes());
         for p in &self.params {
             out.extend_from_slice(&(p.name.len() as u32).to_le_bytes());
@@ -138,19 +174,45 @@ impl ParamStore {
                 out.extend_from_slice(&v.to_le_bytes());
             }
         }
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
         out
     }
 
     /// Deserialises a store previously produced by [`ParamStore::to_bytes`].
     ///
+    /// Accepts both the current `VAERNN2\0` format (checksummed) and the
+    /// legacy `VAERNN1\0` format (no checksum) for old saved models.
+    ///
     /// # Errors
-    /// [`NnError::BadFormat`] / [`NnError::Truncated`] on malformed input.
+    /// [`NnError::BadFormat`] / [`NnError::Truncated`] on malformed,
+    /// truncated, or checksum-failing input. Never panics, whatever the
+    /// bytes are.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, NnError> {
-        let mut cur = Cursor { bytes, pos: 0 };
-        let magic = cur.take(8)?;
-        if magic != b"VAERNN1\0" {
-            return Err(NnError::BadFormat("missing VAERNN1 magic".into()));
+        if bytes.len() < 8 {
+            return Err(NnError::Truncated);
         }
+        let body = match &bytes[..8] {
+            b"VAERNN2\0" => {
+                if bytes.len() < 12 {
+                    return Err(NnError::Truncated);
+                }
+                let (body, tail) = bytes.split_at(bytes.len() - 4);
+                let stored = u32::from_le_bytes(tail.try_into().unwrap());
+                if crc32(body) != stored {
+                    return Err(NnError::BadFormat(
+                        "ParamStore checksum mismatch (corrupt or torn data)".into(),
+                    ));
+                }
+                body
+            }
+            b"VAERNN1\0" => bytes,
+            _ => return Err(NnError::BadFormat("missing VAERNN magic".into())),
+        };
+        let mut cur = Cursor {
+            bytes: body,
+            pos: 8,
+        };
         let count = cur.u32()? as usize;
         let mut store = ParamStore::new();
         for _ in 0..count {
@@ -159,38 +221,64 @@ impl ParamStore {
             let name = std::str::from_utf8(name_bytes)
                 .map_err(|_| NnError::BadFormat("non-UTF8 parameter name".into()))?
                 .to_string();
+            if store.find(&name).is_some() {
+                return Err(NnError::BadFormat(format!(
+                    "duplicate parameter name '{name}'"
+                )));
+            }
             let rows = cur.u32()? as usize;
             let cols = cur.u32()? as usize;
-            let n = rows
-                .checked_mul(cols)
-                .ok_or_else(|| NnError::BadFormat("shape overflow".into()))?;
-            let mut data = Vec::with_capacity(n);
-            for _ in 0..n {
-                data.push(f32::from_le_bytes(cur.take(4)?.try_into().unwrap()));
-            }
+            let data = cur.f32s(rows, cols)?;
             store.add(name, Matrix::from_vec(rows, cols, data));
+        }
+        if cur.pos != body.len() {
+            return Err(NnError::BadFormat("trailing bytes after parameters".into()));
         }
         Ok(store)
     }
 }
 
-struct Cursor<'a> {
-    bytes: &'a [u8],
-    pos: usize,
+pub(crate) struct Cursor<'a> {
+    pub(crate) bytes: &'a [u8],
+    pub(crate) pos: usize,
 }
 
 impl<'a> Cursor<'a> {
-    fn take(&mut self, n: usize) -> Result<&'a [u8], NnError> {
-        if self.pos + n > self.bytes.len() {
+    pub(crate) fn take(&mut self, n: usize) -> Result<&'a [u8], NnError> {
+        let end = self.pos.checked_add(n).ok_or(NnError::Truncated)?;
+        if end > self.bytes.len() {
             return Err(NnError::Truncated);
         }
-        let s = &self.bytes[self.pos..self.pos + n];
-        self.pos += n;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
         Ok(s)
     }
 
-    fn u32(&mut self) -> Result<u32, NnError> {
+    pub(crate) fn u32(&mut self) -> Result<u32, NnError> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, NnError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn f32(&mut self) -> Result<f32, NnError> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads `rows × cols` little-endian `f32`s. The byte count is checked
+    /// (and the multiplication overflow-guarded) *before* allocating, so a
+    /// corrupt shape field cannot trigger a huge allocation.
+    pub(crate) fn f32s(&mut self, rows: usize, cols: usize) -> Result<Vec<f32>, NnError> {
+        let n = rows
+            .checked_mul(cols)
+            .ok_or_else(|| NnError::BadFormat("shape overflow".into()))?;
+        let nbytes = n.checked_mul(4).ok_or(NnError::Truncated)?;
+        let raw = self.take(nbytes)?;
+        Ok(raw
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .collect())
     }
 }
 
@@ -241,15 +329,60 @@ mod tests {
             ParamStore::from_bytes(b"XXXXXXXX\x01\x00\x00\x00"),
             Err(NnError::BadFormat(_))
         ));
-        // Valid magic but truncated payload.
+        // Valid magic but truncated payload (detected by the checksum).
         let mut s = ParamStore::new();
         s.add("w", Matrix::filled(4, 4, 1.0));
         let mut bytes = s.to_bytes();
         bytes.truncate(bytes.len() - 3);
+        assert!(ParamStore::from_bytes(&bytes).is_err());
+        // Every single-bit flip anywhere in the blob is caught by the CRC.
+        let good = s.to_bytes();
+        for pos in [0, 8, 12, good.len() / 2, good.len() - 1] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x10;
+            assert!(
+                ParamStore::from_bytes(&bad).is_err(),
+                "bit flip at byte {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn crc32_matches_reference_vector() {
+        // The canonical IEEE CRC-32 check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn deserialize_rejects_duplicate_names_without_panicking() {
+        // Hand-build a legacy (un-checksummed) blob declaring "w" twice.
+        let mut bytes: Vec<u8> = b"VAERNN1\0".to_vec();
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        for _ in 0..2 {
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.push(b'w');
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.extend_from_slice(&1u32.to_le_bytes());
+            bytes.extend_from_slice(&1.0f32.to_le_bytes());
+        }
         assert!(matches!(
             ParamStore::from_bytes(&bytes),
-            Err(NnError::Truncated)
+            Err(NnError::BadFormat(_))
         ));
+    }
+
+    #[test]
+    fn deserialize_rejects_huge_shape_without_allocating() {
+        // A corrupt shape field claiming ~10^18 weights must fail fast on
+        // the remaining-bytes check, not attempt the allocation.
+        let mut bytes: Vec<u8> = b"VAERNN1\0".to_vec();
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'w');
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(ParamStore::from_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -19,6 +19,13 @@ fn main() {
     //    training pairs).
     let mut config = PipelineConfig::paper();
     config.seed = 7;
+    // Set VAER_CKPT_DIR=<dir> to snapshot VAE training state there; a
+    // rerun after a crash (or an injected VAER_FAILPOINTS kill) resumes
+    // from the newest valid snapshot instead of starting over.
+    if let Ok(dir) = std::env::var("VAER_CKPT_DIR") {
+        println!("checkpointing to {dir}");
+        config.checkpoint_dir = Some(dir.into());
+    }
     let pipeline = Pipeline::fit(&dataset, &config).expect("pipeline fits");
     let t = pipeline.timings();
     println!(

@@ -20,6 +20,8 @@
 //! - [`baselines`] — DeepER-, DeepMatcher-, and DITTO-style comparators.
 //! - [`obs`] — zero-dependency tracing spans, metrics, and JSONL export
 //!   (`VAER_OBS=off|summary|trace`).
+//! - [`fault`] — deterministic, env-driven failpoints
+//!   (`VAER_FAILPOINTS=name=action@N`) for crash/corruption testing.
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use vaer_baselines as baselines;
 pub use vaer_core as core;
 pub use vaer_data as data;
 pub use vaer_embed as embed;
+pub use vaer_fault as fault;
 pub use vaer_index as index;
 pub use vaer_linalg as linalg;
 pub use vaer_nn as nn;

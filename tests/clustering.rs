@@ -16,7 +16,7 @@ fn resolve_then_cluster_produces_sound_entities() {
         .map(|(a, b, _)| (a, b))
         .collect();
     assert!(!links.is_empty(), "no links resolved");
-    let clusters = cluster_links(&links, ds.table_a.len(), ds.table_b.len(), false);
+    let clusters = cluster_links(&links, ds.table_a.len(), ds.table_b.len(), false).unwrap();
     assert!(!clusters.is_empty());
     // Every cluster that was produced references valid rows and contains
     // at least two members (singletons were excluded).
