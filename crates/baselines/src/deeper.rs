@@ -90,6 +90,7 @@ impl DeepEr {
     /// [`BaselineError::InsufficientData`] on empty/single-class input.
     pub fn train(dataset: &Dataset, config: &DeepErConfig) -> Result<Self, BaselineError> {
         check_two_classes(&dataset.train_pairs)?;
+        // vaer-lint: allow(det-wallclock) -- train_secs is the reported quantity, not an input to the model
         let t0 = Instant::now();
         let featurizer =
             BowFeaturizer::fit(&[&dataset.table_a, &dataset.table_b], config.max_vocab);

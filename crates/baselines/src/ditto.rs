@@ -88,6 +88,7 @@ impl Ditto {
     /// [`BaselineError::InsufficientData`] on empty/single-class input.
     pub fn train(dataset: &Dataset, config: &DittoConfig) -> Result<Self, BaselineError> {
         check_two_classes(&dataset.train_pairs)?;
+        // vaer-lint: allow(det-wallclock) -- train_secs is the reported quantity, not an input to the model
         let t0 = Instant::now();
         let encoder = BertSimModel::new(&BertSimConfig {
             dims: config.encoder_dim,

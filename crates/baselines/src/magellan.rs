@@ -77,6 +77,7 @@ impl Magellan {
     /// [`BaselineError::InsufficientData`] on empty/single-class input.
     pub fn train(dataset: &Dataset, config: &MagellanConfig) -> Result<Self, BaselineError> {
         check_two_classes(&dataset.train_pairs)?;
+        // vaer-lint: allow(det-wallclock) -- train_secs is the reported quantity, not an input to the model
         let t0 = Instant::now();
         let arity = dataset.table_a.schema.arity();
         let mut rng = NnRng::seed_from_u64(config.seed);

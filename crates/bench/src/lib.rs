@@ -112,7 +112,7 @@ pub fn fit_repr_bundle(ds: &Dataset, kind: IrKind, ir_dim: usize, seed: u64) -> 
         ..ReprConfig::default()
     };
     let all = irs_a.irs.vconcat(&irs_b.irs);
-    let (repr, _) = ReprModel::train(&all, &config).expect("VAE training failed");
+    let (repr, _) = ReprModel::train(&all, &config).expect("VAE training failed"); // vaer-lint: allow(panic) -- bench setup; abort loudly if the model cannot train
     let repr_secs = t1.elapsed().as_secs_f64();
     // One encoder pass per table; entity representations are derived from
     // the caches, and downstream experiments reuse them instead of

@@ -539,6 +539,7 @@ impl<'a> ActiveLearner<'a> {
                     ("corrections", self.bootstrap_corrections.into()),
                 ],
             );
+            // vaer-lint: allow(det-wallclock) -- retrain_secs is a reported checkpoint field, not a model input
             let t0 = std::time::Instant::now();
             let matcher = self.train_matcher()?;
             self.checkpoint(oracle, &matcher, test, [0; 4], t0.elapsed().as_secs_f64());
@@ -578,6 +579,7 @@ impl<'a> ActiveLearner<'a> {
             // and the snapshot: labels must survive via replay.
             vaer_fault::trigger("al.labels");
             self.pool.retain(|p| !batch.contains(p));
+            // vaer-lint: allow(det-wallclock) -- retrain_secs is a reported checkpoint field, not a model input
             let t0 = std::time::Instant::now();
             matcher = self.train_matcher()?;
             self.checkpoint(
@@ -877,7 +879,7 @@ impl AlState {
             let pool_sizes = (cur.u64()? as usize, cur.u64()? as usize);
             let test_f1 = match cur.take(1)?[0] {
                 0 => None,
-                1 => Some(f32::from_le_bytes(cur.take(4)?.try_into().unwrap())),
+                1 => Some(f32::from_le_bytes(cur.take(4)?.try_into().unwrap())), // vaer-lint: allow(panic) -- take(4) yields exactly 4 bytes; infallible
                 other => {
                     return Err(CoreError::Checkpoint(format!(
                         "bad test-F1 presence flag {other}"

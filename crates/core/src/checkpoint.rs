@@ -73,20 +73,20 @@ pub fn unseal(bytes: &[u8]) -> Result<(u64, Vec<u8>), CoreError> {
         return Err(CoreError::Checkpoint("missing VAERCKP1 magic".into()));
     }
     let (body, tail) = bytes.split_at(bytes.len() - 4);
-    let stored_crc = u32::from_le_bytes(tail.try_into().unwrap());
+    let stored_crc = u32::from_le_bytes(tail.try_into().unwrap()); // vaer-lint: allow(panic) -- split_at leaves exactly 4 bytes; infallible
     if crc32(body) != stored_crc {
         return Err(CoreError::Checkpoint(
             "snapshot checksum mismatch (corrupt or torn data)".into(),
         ));
     }
-    let version = u32::from_le_bytes(body[8..12].try_into().unwrap());
+    let version = u32::from_le_bytes(body[8..12].try_into().unwrap()); // vaer-lint: allow(panic) -- fixed 4-byte slice; infallible
     if version != VERSION {
         return Err(CoreError::Checkpoint(format!(
             "unsupported snapshot version {version}"
         )));
     }
-    let seq = u64::from_le_bytes(body[12..20].try_into().unwrap());
-    let len = u64::from_le_bytes(body[20..28].try_into().unwrap()) as usize;
+    let seq = u64::from_le_bytes(body[12..20].try_into().unwrap()); // vaer-lint: allow(panic) -- fixed 8-byte slice; infallible
+    let len = u64::from_le_bytes(body[20..28].try_into().unwrap()) as usize; // vaer-lint: allow(panic) -- fixed 8-byte slice; infallible
     let payload = &body[HEADER_LEN..];
     if payload.len() != len {
         return Err(CoreError::Checkpoint(format!(
@@ -123,11 +123,11 @@ impl<'a> Cur<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, CoreError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap())) // vaer-lint: allow(panic) -- take(4) yields exactly 4 bytes; infallible
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, CoreError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap())) // vaer-lint: allow(panic) -- take(8) yields exactly 8 bytes; infallible
     }
 
     /// A `u32`-length-prefixed list of `f32`s, bounds-checked before
@@ -140,7 +140,7 @@ impl<'a> Cur<'a> {
         )?;
         Ok(raw
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap())) // vaer-lint: allow(panic) -- chunks_exact(4) yields 4-byte slices; infallible
             .collect())
     }
 
@@ -229,7 +229,7 @@ impl CheckpointStore {
             }
         }
         let _ = fs::remove_file(&tmp_path);
-        Err(CoreError::Io(last_err.expect("at least one attempt ran")))
+        Err(CoreError::Io(last_err.expect("at least one attempt ran"))) // vaer-lint: allow(panic) -- the retry loop always records an error before falling through
     }
 
     fn try_write(

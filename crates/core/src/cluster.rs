@@ -6,7 +6,7 @@
 //! entity. This module provides the standard union-find consolidation
 //! over the matcher's links, with cluster-level reporting.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// A row identifier across the two input tables.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -124,7 +124,7 @@ pub fn cluster_links(
         }
         uf.union(a, len_a + b);
     }
-    let mut groups: HashMap<usize, Vec<RowId>> = HashMap::new();
+    let mut groups: BTreeMap<usize, Vec<RowId>> = BTreeMap::new();
     let mut linked = vec![false; total];
     for &(a, b) in links {
         linked[a] = true;
@@ -175,7 +175,7 @@ pub fn pairwise_cluster_metrics(
             cluster_of_b[b] = ci;
         }
     }
-    let truth_set: std::collections::HashSet<(usize, usize)> = truth.iter().copied().collect();
+    let truth_set: std::collections::BTreeSet<(usize, usize)> = truth.iter().copied().collect();
     let mut tp = 0;
     let mut fp = 0;
     // Predicted positives: every cross-table pair inside a cluster.

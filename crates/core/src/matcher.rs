@@ -432,13 +432,13 @@ impl SiameseMatcher {
                     let (loss, bce, contrastive) = self.loss_graph(g, &sub, rows.start, rows.end);
                     if vaer_obs::enabled() {
                         let w = f64::from(rows.len() as f32 / batch_len.max(1) as f32);
-                        let mut p = parts.lock().expect("loss parts poisoned");
+                        let mut p = parts.lock().expect("loss parts poisoned"); // vaer-lint: allow(panic) -- poisoning implies a worker already panicked; that panic propagates at join
                         p.0 += w * f64::from(g.value(bce).get(0, 0));
                         p.1 += w * f64::from(g.value(contrastive).get(0, 0));
                     }
                     loss
                 });
-                let (bce_part, con_part) = parts.into_inner().expect("loss parts poisoned");
+                let (bce_part, con_part) = parts.into_inner().expect("loss parts poisoned"); // vaer-lint: allow(panic) -- poisoning implies a worker already panicked; that panic propagates at join
                 if let Some(why) = batch_divergence(epoch, step.loss, &step.grads) {
                     diverged = Some(why);
                     break;
@@ -775,7 +775,7 @@ impl SiameseMatcher {
             .param_ids()
             .first()
             .copied()
-            .expect("MLP has at least one layer");
+            .expect("MLP has at least one layer"); // vaer-lint: allow(panic) -- the MLP constructor always registers at least one layer
         let w = self.store.get(first); // (arity·latent) x hidden
         let mut scores = vec![0.0f32; self.arity];
         for (i, score) in scores.iter_mut().enumerate() {

@@ -172,6 +172,7 @@ impl Pipeline {
         let _span = vaer_obs::span("pipeline.fit");
         // Stage 1: IRs.
         let stage = vaer_obs::span("pipeline.stage.ir");
+        // vaer-lint: allow(det-wallclock) -- feeds the reported per-stage Timings, not the model
         let t0 = Instant::now();
         let sentences = dataset.all_sentences();
         let ir_model = fit_ir_model(
@@ -190,6 +191,7 @@ impl Pipeline {
 
         // Stage 2: representation learning (or transfer).
         let stage = vaer_obs::span("pipeline.stage.repr");
+        // vaer-lint: allow(det-wallclock) -- feeds the reported per-stage Timings, not the model
         let t1 = Instant::now();
         let mut repr_config = config.repr.clone();
         repr_config.ir_dim = config.ir_dim;
@@ -226,6 +228,7 @@ impl Pipeline {
         // random negatives mixed into the labelled pairs (see
         // [`PipelineConfig::auto_negative_ratio`]).
         let stage = vaer_obs::span("pipeline.stage.match");
+        // vaer-lint: allow(det-wallclock) -- feeds the reported per-stage Timings, not the model
         let t2 = Instant::now();
         let mut matcher_config = config.matcher.clone();
         matcher_config.seed = config.seed ^ 0x3A7C;
@@ -374,8 +377,8 @@ impl Pipeline {
             .map(|(pair, &p)| (pair.left, pair.right, p))
             .collect();
         links.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
-        let mut used_a = std::collections::HashSet::new();
-        let mut used_b = std::collections::HashSet::new();
+        let mut used_a = std::collections::BTreeSet::new();
+        let mut used_b = std::collections::BTreeSet::new();
         links.retain(|&(a, b, _)| {
             if used_a.contains(&a) || used_b.contains(&b) {
                 return false;

@@ -623,6 +623,7 @@ impl ReprModel {
             )));
         }
         let dim = |i: usize| {
+            // vaer-lint: allow(panic) -- length >= 20 checked above; fixed 4-byte slices are infallible
             u32::from_le_bytes(bytes[8 + 4 * i..12 + 4 * i].try_into().unwrap()) as usize
         };
         let store = ParamStore::from_bytes(&bytes[20..])?;

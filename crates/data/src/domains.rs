@@ -8,7 +8,7 @@ use crate::perturb::{NoiseProfile, Perturber};
 use crate::pools;
 use crate::table::{Schema, Table};
 use rand::{Rng, RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One of the paper's nine evaluation domains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -512,15 +512,15 @@ fn build_pair_splits<R: Rng>(
     let n_neg = n_pos * 3;
 
     // Inverted index over table B's first attribute for hard negatives.
-    let mut token_index: HashMap<String, Vec<usize>> = HashMap::new();
+    let mut token_index: BTreeMap<String, Vec<usize>> = BTreeMap::new();
     for (i, row) in table_b.rows().iter().enumerate() {
         for tok in row[0].split_whitespace() {
             token_index.entry(tok.to_string()).or_default().push(i);
         }
     }
-    let dup_set: std::collections::HashSet<(usize, usize)> = duplicates.iter().copied().collect();
+    let dup_set: std::collections::BTreeSet<(usize, usize)> = duplicates.iter().copied().collect();
     let mut negatives: Vec<(usize, usize)> = Vec::with_capacity(n_neg);
-    let mut seen: std::collections::HashSet<(usize, usize)> = std::collections::HashSet::new();
+    let mut seen: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
     let mut attempts = 0;
     while negatives.len() < n_neg && attempts < n_neg * 50 {
         attempts += 1;

@@ -1,7 +1,7 @@
 //! The labelling oracle: simulates the human in the active-learning loop.
 
 use std::cell::Cell;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Ground-truth labeller with a query counter.
 ///
@@ -11,8 +11,8 @@ use std::collections::HashSet;
 /// for the same pair are answered from memory and not re-billed.
 #[derive(Debug)]
 pub struct Oracle {
-    truth: HashSet<(usize, usize)>,
-    asked: std::cell::RefCell<HashSet<(usize, usize)>>,
+    truth: BTreeSet<(usize, usize)>,
+    asked: std::cell::RefCell<BTreeSet<(usize, usize)>>,
     queries: Cell<usize>,
 }
 
@@ -22,7 +22,7 @@ impl Oracle {
     pub fn new(duplicates: impl IntoIterator<Item = (usize, usize)>) -> Self {
         Self {
             truth: duplicates.into_iter().collect(),
-            asked: std::cell::RefCell::new(HashSet::new()),
+            asked: std::cell::RefCell::new(BTreeSet::new()),
             queries: Cell::new(0),
         }
     }

@@ -17,7 +17,7 @@
 use crate::sgns::{SgnsConfig, SgnsEmbeddings};
 use crate::IrModel;
 use rand::{Rng, RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vaer_text::tokenize;
 
 /// EmbDI configuration.
@@ -68,7 +68,7 @@ impl Graph {
 
 /// A fitted EmbDI model.
 pub struct EmbDiModel {
-    token_ids: HashMap<String, u32>,
+    token_ids: BTreeMap<String, u32>,
     embeddings: SgnsEmbeddings,
     dims: usize,
 }
@@ -122,8 +122,8 @@ impl EmbDiModel {
     }
 }
 
-fn build_graph(tables: &[Vec<Vec<String>>]) -> (Graph, HashMap<String, u32>) {
-    let mut token_ids: HashMap<String, u32> = HashMap::new();
+fn build_graph(tables: &[Vec<Vec<String>>]) -> (Graph, BTreeMap<String, u32>) {
+    let mut token_ids: BTreeMap<String, u32> = BTreeMap::new();
     // First pass: token vocabulary in deterministic order.
     let mut ordered_tokens: Vec<String> = Vec::new();
     for table in tables {

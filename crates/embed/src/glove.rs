@@ -15,7 +15,7 @@
 
 use crate::IrModel;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use vaer_text::Corpus;
 
 /// GloVe hyper-parameters.
@@ -73,7 +73,7 @@ impl GloVeModel {
             };
         }
         // Windowed co-occurrence with 1/offset weighting (GloVe §4.2).
-        let mut cooc: HashMap<(u32, u32), f32> = HashMap::new();
+        let mut cooc: BTreeMap<(u32, u32), f32> = BTreeMap::new();
         for sent in corpus.sentences() {
             for (i, &wi) in sent.iter().enumerate() {
                 let hi = (i + config.window + 1).min(sent.len());
@@ -84,9 +84,9 @@ impl GloVeModel {
                 }
             }
         }
+        // `BTreeMap` iteration is key-ordered, so the cells start out
+        // deterministic before shuffling with the seeded RNG.
         let mut cells: Vec<((u32, u32), f32)> = cooc.into_iter().collect();
-        // Deterministic order before shuffling with the seeded RNG.
-        cells.sort_by_key(|&(k, _)| k);
 
         let dims = config.dims;
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);

@@ -47,6 +47,9 @@ impl SparseMatrix {
     }
 
     /// Dense product `self · d` (`nrows x d.cols()`).
+    ///
+    /// # Panics
+    /// Panics on incompatible shapes.
     pub fn matmul_dense(&self, d: &Matrix) -> Matrix {
         assert_eq!(self.cols, d.rows(), "sparse matmul shape mismatch");
         let mut out = Matrix::zeros(self.nrows(), d.cols());
@@ -63,6 +66,9 @@ impl SparseMatrix {
     }
 
     /// Dense product `selfᵀ · d` (`ncols x d.cols()`).
+    ///
+    /// # Panics
+    /// Panics on incompatible shapes.
     pub fn t_matmul_dense(&self, d: &Matrix) -> Matrix {
         assert_eq!(self.nrows(), d.rows(), "sparse t_matmul shape mismatch");
         let mut out = Matrix::zeros(self.cols, d.cols());

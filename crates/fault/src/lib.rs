@@ -30,6 +30,29 @@
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, Once};
 
+/// Central registry of every failpoint site in the workspace (sorted,
+/// unique). The `failpoint-registry` rule of `vaer-lint` rejects any
+/// [`check`]/[`trigger`] call whose name is missing here, and flags
+/// entries no code references — so this list is always exactly the
+/// injectable surface, and fault-matrix tests can iterate it instead of
+/// relying on tribal knowledge of where the hooks live.
+pub const FAILPOINTS: &[&str] = &[
+    // Label-arrival boundary in the active-learning loop.
+    "al.labels",
+    // Per-round boundary in the active-learning loop.
+    "al.round",
+    // Durable snapshot write (supports err/torn/panic).
+    "checkpoint.write",
+    // Label journal append (supports err).
+    "journal.append",
+    // Matcher gradient step (supports nan).
+    "matcher.grads",
+    // VAE epoch boundary (the kill-switch used by crash tests).
+    "vae.epoch",
+    // VAE gradient step (supports nan).
+    "vae.grads",
+];
+
 /// What an armed failpoint injects at its trigger site.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Action {
@@ -258,6 +281,21 @@ mod tests {
         let r = std::panic::catch_unwind(|| trigger("kill"));
         assert!(r.is_err(), "panic action must panic");
         clear();
+    }
+
+    #[test]
+    fn registry_is_sorted_unique_and_armable() {
+        let _g = guard();
+        for pair in FAILPOINTS.windows(2) {
+            assert!(pair[0] < pair[1], "{pair:?} out of order or duplicated");
+        }
+        // Every registered site can actually be armed and tripped — the
+        // registry is a live surface, not documentation.
+        for name in FAILPOINTS {
+            configure(&format!("{name}=err@1")).unwrap();
+            assert_eq!(check(name), Some(Action::Err), "site `{name}` did not fire");
+            clear();
+        }
     }
 
     #[test]

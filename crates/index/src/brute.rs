@@ -48,6 +48,9 @@ impl KnnIndex for BruteForceKnn {
         self.points.len()
     }
 
+    ///
+    /// # Panics
+    /// Panics when `query`'s dimensionality differs from the indexed points.
     fn knn(&self, query: &[f32], k: usize) -> Vec<Neighbor> {
         assert_eq!(
             query.len(),

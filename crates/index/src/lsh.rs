@@ -10,7 +10,7 @@ use crate::brute::sq_dist;
 use crate::join::Neighbor;
 use crate::KnnIndex;
 use rand::{Rng, RngExt, SeedableRng};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Tuning knobs for [`E2Lsh`].
 #[derive(Debug, Clone)]
@@ -81,7 +81,7 @@ struct HashTable {
     /// `hashes_per_table` projection vectors, each of dimension `dims`.
     projections: Vec<Vec<f32>>,
     offsets: Vec<f32>,
-    buckets: HashMap<Vec<i32>, Vec<u32>>,
+    buckets: BTreeMap<Vec<i32>, Vec<u32>>,
 }
 
 impl HashTable {
@@ -136,7 +136,7 @@ impl E2Lsh {
             let mut table = HashTable {
                 projections,
                 offsets,
-                buckets: HashMap::new(),
+                buckets: BTreeMap::new(),
             };
             for (i, p) in points.iter().enumerate() {
                 let key = table.key(p, config.bucket_width);
@@ -176,6 +176,9 @@ impl E2Lsh {
     /// All candidate point indices colliding with `query` in any table
     /// (deduplicated, unordered), including multi-probe buckets when
     /// configured.
+    ///
+    /// # Panics
+    /// Panics when `query`'s dimensionality differs from the index.
     pub fn candidates(&self, query: &[f32]) -> Vec<usize> {
         assert_eq!(query.len(), self.dims, "query dims mismatch");
         let mut seen = vec![false; self.points.len()];

@@ -161,6 +161,9 @@ impl Matrix {
     }
 
     /// Copies column `j` into a new vector.
+    ///
+    /// # Panics
+    /// Panics when `j` is out of range.
     pub fn col(&self, j: usize) -> Vec<f32> {
         assert!(
             j < self.cols,
@@ -185,6 +188,9 @@ impl Matrix {
     }
 
     /// Extracts rows `[start, end)` into a new matrix.
+    ///
+    /// # Panics
+    /// Panics when `start > end` or `end` exceeds the row count.
     pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
         assert!(
             start <= end && end <= self.rows,
@@ -207,6 +213,9 @@ impl Matrix {
     }
 
     /// Keeps only the first `k` columns.
+    ///
+    /// # Panics
+    /// Panics when `k` exceeds the column count.
     pub fn truncate_cols(&self, k: usize) -> Matrix {
         assert!(k <= self.cols, "cannot keep {k} of {} columns", self.cols);
         let mut out = Matrix::zeros(self.rows, k);
@@ -217,6 +226,9 @@ impl Matrix {
     }
 
     /// Horizontally concatenates `self` and `other` (same row count).
+    ///
+    /// # Panics
+    /// Panics when the row counts differ.
     pub fn hconcat(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "hconcat requires equal row counts");
         let mut out = Matrix::zeros(self.rows, self.cols + other.cols);
@@ -228,6 +240,9 @@ impl Matrix {
     }
 
     /// Vertically concatenates `self` and `other` (same column count).
+    ///
+    /// # Panics
+    /// Panics when the column counts differ.
     pub fn vconcat(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.cols,

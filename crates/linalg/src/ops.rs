@@ -96,6 +96,9 @@ fn microkernel(lhs: &[&[f32]], panel: &[f32], k: usize, acc: &mut [[f32; NR]; MR
 }
 
 /// AVX2-compiled instantiation of [`microkernel_body`].
+// SAFETY: callable only when the CPU supports AVX2 — `microkernel` is
+// the sole caller and gates on `is_x86_feature_detected!("avx2")`. The
+// body is plain safe Rust; the attribute only changes codegen.
 #[cfg(target_arch = "x86_64")]
 #[target_feature(enable = "avx2")]
 fn microkernel_avx2(lhs: &[&[f32]], panel: &[f32], k: usize, acc: &mut [[f32; NR]; MR]) {
@@ -232,6 +235,9 @@ fn blocked_rows_transposed(
 
 /// Naive triple-loop `a * b`, accumulating over `p` ascending. Retained
 /// as the ground-truth reference the blocked kernel is tested against.
+///
+/// # Panics
+/// Panics on incompatible shapes (`a.cols() != b.rows()`).
 pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.rows(), "matmul shape mismatch");
     let (m, k) = a.shape();
@@ -250,6 +256,9 @@ pub fn matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// Naive `a * bᵀ` reference (dot products over `p` ascending).
+///
+/// # Panics
+/// Panics on incompatible shapes (`a.cols() != b.cols()`).
 pub fn matmul_t_reference(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.cols(), b.cols(), "matmul_t shape mismatch");
     let (m, _) = a.shape();
@@ -265,6 +274,9 @@ pub fn matmul_t_reference(a: &Matrix, b: &Matrix) -> Matrix {
 }
 
 /// Naive `aᵀ * b` reference (accumulation over `p` ascending).
+///
+/// # Panics
+/// Panics on incompatible shapes (`a.rows() != b.rows()`).
 pub fn t_matmul_reference(a: &Matrix, b: &Matrix) -> Matrix {
     assert_eq!(a.rows(), b.rows(), "t_matmul shape mismatch");
     let (r, m) = a.shape();
@@ -333,6 +345,9 @@ impl Matrix {
     }
 
     /// Computes `selfᵀ * other` into `out` (see [`Matrix::matmul_into`]).
+    ///
+    /// # Panics
+    /// Panics on incompatible input or output shapes.
     pub fn t_matmul_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.rows(),
@@ -366,6 +381,9 @@ impl Matrix {
     }
 
     /// Computes `self * otherᵀ` into `out` (see [`Matrix::matmul_into`]).
+    ///
+    /// # Panics
+    /// Panics on incompatible input or output shapes.
     pub fn matmul_t_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols(),
@@ -407,6 +425,9 @@ impl Matrix {
     }
 
     /// Element-wise binary map over two same-shaped matrices.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ.
     pub fn zip_with(&self, other: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
         assert_eq!(
             self.shape(),
@@ -436,6 +457,9 @@ impl Matrix {
     }
 
     /// In-place `self += alpha * other`.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ.
     pub fn axpy_inplace(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy shape mismatch");
         for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
@@ -444,6 +468,9 @@ impl Matrix {
     }
 
     /// Adds a row vector to every row (broadcast).
+    ///
+    /// # Panics
+    /// Panics when `row.len()` differs from the column count.
     pub fn add_row_broadcast(&self, row: &[f32]) -> Matrix {
         assert_eq!(self.cols(), row.len(), "broadcast row length mismatch");
         let mut out = self.clone();
@@ -507,6 +534,9 @@ impl Matrix {
     }
 
     /// Maximum absolute element difference vs `other`.
+    ///
+    /// # Panics
+    /// Panics when the shapes differ.
     pub fn max_abs_diff(&self, other: &Matrix) -> f32 {
         assert_eq!(self.shape(), other.shape());
         self.as_slice()

@@ -57,6 +57,9 @@ impl XorShiftRng {
     }
 
     /// Uniform integer in `[0, n)`. Panics if `n == 0`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "XorShiftRng::below requires n > 0");
         (self.next_u64() % n as u64) as usize

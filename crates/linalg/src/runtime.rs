@@ -129,7 +129,7 @@ where
         // workers — the pool's idle-time telemetry.
         let join0 = crate::obs::pool_clock();
         for h in handles {
-            out.push(h.join().expect("runtime worker panicked"));
+            out.push(h.join().expect("runtime worker panicked")); // vaer-lint: allow(panic) -- join only fails when a worker panicked; re-raise it
         }
         crate::obs::pool_join_wait(join0);
         out

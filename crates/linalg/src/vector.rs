@@ -24,6 +24,9 @@ pub fn norm(a: &[f32]) -> f32 {
 
 /// Squared Euclidean distance.
 #[inline]
+///
+/// # Panics
+/// Panics when the slice lengths differ.
 pub fn sq_euclidean(a: &[f32], b: &[f32]) -> f32 {
     assert_eq!(a.len(), b.len(), "distance length mismatch");
     a.iter()
@@ -50,6 +53,9 @@ pub fn cosine(a: &[f32], b: &[f32]) -> f32 {
 
 /// In-place `y += alpha * x`.
 #[inline]
+///
+/// # Panics
+/// Panics when the slice lengths differ.
 pub fn axpy(alpha: f32, x: &[f32], y: &mut [f32]) {
     assert_eq!(x.len(), y.len(), "axpy length mismatch");
     for (yi, &xi) in y.iter_mut().zip(x.iter()) {

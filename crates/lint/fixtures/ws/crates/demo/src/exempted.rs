@@ -1,0 +1,8 @@
+//! Exempted via lints.toml: the violation below must not be reported.
+
+use std::collections::HashMap;
+
+pub fn silenced_by_config() -> Vec<(u32, u32)> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.into_iter().collect()
+}

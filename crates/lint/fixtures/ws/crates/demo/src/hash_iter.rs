@@ -1,0 +1,25 @@
+//! det-hash-iter: one violation, one allowed site, one test-only site.
+
+use std::collections::HashMap;
+
+pub fn violating() -> Vec<(u32, u32)> {
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.into_iter().collect()
+}
+
+pub fn allowed() -> usize {
+    // vaer-lint: allow(det-hash-iter) -- lookup-only table, never iterated
+    let m: HashMap<u32, u32> = HashMap::new();
+    m.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use std::collections::HashSet;
+
+    #[test]
+    fn test_side_sets_are_fine() {
+        let s: HashSet<u32> = HashSet::new();
+        assert!(s.is_empty());
+    }
+}

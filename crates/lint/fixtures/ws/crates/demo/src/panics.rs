@@ -1,0 +1,28 @@
+//! panic: one violation, a `# Panics`-documented fn, an allowed site,
+//! a reasonless marker (bare-allow), and a marker naming a bogus rule.
+
+pub fn violating(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+/// Divides.
+///
+/// # Panics
+/// Panics when `b == 0`.
+pub fn documented(a: u32, b: u32) -> u32 {
+    assert!(b != 0, "division by zero");
+    a / b
+}
+
+pub fn allowed(x: Option<u32>) -> u32 {
+    x.unwrap() // vaer-lint: allow(panic) -- fixture invariant: caller always passes Some
+}
+
+pub fn reasonless(x: Option<u32>) -> u32 {
+    x.unwrap() // vaer-lint: allow(panic)
+}
+
+pub fn bogus_rule() -> u32 {
+    // vaer-lint: allow(made-up-rule) -- this rule does not exist
+    7
+}

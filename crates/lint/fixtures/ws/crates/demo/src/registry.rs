@@ -1,0 +1,6 @@
+//! Registries for the fixture workspace. `never.used` and `ghost` are
+//! stale on purpose.
+
+pub const FAILPOINTS: &[&str] = &["known.site", "never.used"];
+
+pub const NAME_PREFIXES: &[&str] = &["demo", "ghost"];

@@ -1,0 +1,6 @@
+//! det-thread-spawn: raw spawn outside the shared runtime.
+
+pub fn rogue() {
+    let h = std::thread::spawn(|| 1 + 1);
+    let _ = h.join();
+}

@@ -1,0 +1,7 @@
+//! safety-comment + no-static-mut: uncommented unsafe, mutable static.
+
+static mut GLOBAL: u32 = 0;
+
+pub fn naked_unsafe(xs: &[u32]) -> u32 {
+    unsafe { *xs.as_ptr() }
+}

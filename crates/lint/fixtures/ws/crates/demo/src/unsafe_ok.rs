@@ -1,0 +1,8 @@
+//! safety-comment: SAFETY comment present and file listed in the ledger.
+
+pub fn read_first(xs: &[u32]) -> u32 {
+    assert!(!xs.is_empty()); // vaer-lint: allow(panic) -- caller contract, checked here
+    // SAFETY: bounds checked on the line above; the pointer is derived
+    // from a live slice.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,17 @@
+//! failpoint-registry + obs-registry: one registered use of each, one
+//! unregistered use of each.
+
+pub fn failpoints() {
+    vaer_fault::check("known.site");
+    vaer_fault::check("unregistered.site");
+}
+
+pub fn metrics() {
+    let c = counter("demo.widgets");
+    let d = counter("undeclared.widgets");
+    let _ = (c, d);
+}
+
+fn counter(name: &str) -> &str {
+    name
+}

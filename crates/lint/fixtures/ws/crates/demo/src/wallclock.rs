@@ -1,0 +1,6 @@
+//! det-wallclock: downgraded to warn by the fixture lints.toml.
+
+pub fn timed() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

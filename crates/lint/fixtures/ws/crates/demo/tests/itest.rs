@@ -1,0 +1,11 @@
+//! Test files are exempt from the panic and determinism rules.
+
+use std::collections::HashMap;
+
+#[test]
+fn unwrap_is_fine_in_tests() {
+    let m: HashMap<u32, u32> = HashMap::new();
+    assert_eq!(m.get(&0).copied().unwrap_or(0), 0);
+    let v: Option<u32> = Some(3);
+    assert_eq!(v.unwrap(), 3);
+}

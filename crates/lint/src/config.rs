@@ -1,0 +1,221 @@
+//! `lints.toml` parsing — a minimal, dependency-free TOML subset.
+//!
+//! Supported grammar (everything the lint config needs, nothing more):
+//!
+//! ```toml
+//! # comment
+//! [rule.det-wallclock]
+//! level = "deny"            # "deny" | "warn" | "off"
+//! exempt = [
+//!     "crates/obs/",        # path prefixes, workspace-relative
+//!     "crates/bench/",
+//! ]
+//! ```
+//!
+//! Unknown sections and keys are reported as errors rather than ignored:
+//! a typo in a lint config silently disabling a rule is exactly the kind
+//! of invariant decay this crate exists to prevent.
+
+use std::collections::BTreeMap;
+
+/// Severity of a rule's findings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Rule disabled.
+    Off,
+    /// Reported, but never fails `--deny`.
+    Warn,
+    /// Reported and fails `--deny`.
+    Deny,
+}
+
+impl Level {
+    /// Parses a config value.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "off" => Ok(Level::Off),
+            "warn" => Ok(Level::Warn),
+            "deny" => Ok(Level::Deny),
+            other => Err(format!("unknown level '{other}' (expected deny|warn|off)")),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::Warn => "warn",
+            Level::Deny => "deny",
+        }
+    }
+}
+
+/// Per-rule configuration.
+#[derive(Clone, Debug)]
+pub struct RuleConfig {
+    /// Severity (rules default to `deny`).
+    pub level: Level,
+    /// Workspace-relative path prefixes the rule skips entirely.
+    pub exempt: Vec<String>,
+}
+
+impl Default for RuleConfig {
+    fn default() -> Self {
+        Self {
+            level: Level::Deny,
+            exempt: Vec::new(),
+        }
+    }
+}
+
+/// Parsed `lints.toml`.
+#[derive(Clone, Debug, Default)]
+pub struct Config {
+    rules: BTreeMap<String, RuleConfig>,
+}
+
+impl Config {
+    /// Parses config text. `known_rules` guards against configuring a
+    /// rule that does not exist.
+    pub fn parse(text: &str, known_rules: &[&str]) -> Result<Self, String> {
+        let mut rules: BTreeMap<String, RuleConfig> = BTreeMap::new();
+        let mut current: Option<String> = None;
+        let mut lines = text.lines().enumerate().peekable();
+        while let Some((ln, raw)) = lines.next() {
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            let err = |msg: String| format!("lints.toml:{}: {msg}", ln + 1);
+            if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+                let Some(rule) = section.strip_prefix("rule.") else {
+                    return Err(err(format!(
+                        "unknown section '[{section}]' (only [rule.<name>] is supported)"
+                    )));
+                };
+                if !known_rules.contains(&rule) {
+                    return Err(err(format!("unknown rule '{rule}'")));
+                }
+                rules.entry(rule.to_string()).or_default();
+                current = Some(rule.to_string());
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(err(format!("expected 'key = value', got '{line}'")));
+            };
+            let Some(rule) = current.clone() else {
+                return Err(err("key outside a [rule.<name>] section".into()));
+            };
+            let key = key.trim();
+            let mut value = value.trim().to_string();
+            // Multi-line arrays: keep consuming lines until the `]`.
+            if value.starts_with('[') && !value.ends_with(']') {
+                for (_, cont) in lines.by_ref() {
+                    let cont = strip_comment(cont).trim().to_string();
+                    value.push_str(&cont);
+                    if cont.ends_with(']') {
+                        break;
+                    }
+                }
+            }
+            let entry = rules.entry(rule).or_default();
+            match key {
+                "level" => {
+                    entry.level =
+                        Level::parse(&parse_string(&value).map_err(&err)?).map_err(&err)?
+                }
+                "exempt" => entry.exempt = parse_string_array(&value).map_err(&err)?,
+                other => return Err(err(format!("unknown key '{other}'"))),
+            }
+        }
+        Ok(Self { rules })
+    }
+
+    /// Configuration for a rule (defaults when not mentioned).
+    pub fn rule(&self, id: &str) -> RuleConfig {
+        self.rules.get(id).cloned().unwrap_or_default()
+    }
+
+    /// Whether `rel` is exempt from the rule.
+    pub fn is_exempt(&self, id: &str, rel: &str) -> bool {
+        self.rules
+            .get(id)
+            .map(|r| r.exempt.iter().any(|p| rel.starts_with(p.as_str())))
+            .unwrap_or(false)
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // `#` starts a comment unless inside a quoted string.
+    let mut in_str = false;
+    for (i, c) in line.char_indices() {
+        match c {
+            '"' => in_str = !in_str,
+            '#' if !in_str => return &line[..i],
+            _ => {}
+        }
+    }
+    line
+}
+
+fn parse_string(value: &str) -> Result<String, String> {
+    let v = value.trim();
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .map(str::to_string)
+        .ok_or_else(|| format!("expected a quoted string, got '{v}'"))
+}
+
+fn parse_string_array(value: &str) -> Result<Vec<String>, String> {
+    let v = value.trim();
+    let inner = v
+        .strip_prefix('[')
+        .and_then(|v| v.strip_suffix(']'))
+        .ok_or_else(|| format!("expected an array, got '{v}'"))?;
+    inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(parse_string)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RULES: &[&str] = &["det-wallclock", "panic"];
+
+    #[test]
+    fn parses_levels_and_exemptions() {
+        let cfg = Config::parse(
+            "# top comment\n[rule.det-wallclock]\nlevel = \"warn\"\nexempt = [\n  \"crates/obs/\", # timing is its business\n  \"crates/bench/\",\n]\n",
+            RULES,
+        )
+        .unwrap();
+        assert_eq!(cfg.rule("det-wallclock").level, Level::Warn);
+        assert!(cfg.is_exempt("det-wallclock", "crates/obs/src/lib.rs"));
+        assert!(!cfg.is_exempt("det-wallclock", "crates/core/src/lib.rs"));
+        // Unmentioned rules default to deny.
+        assert_eq!(cfg.rule("panic").level, Level::Deny);
+    }
+
+    #[test]
+    fn rejects_unknown_rules_keys_and_sections() {
+        assert!(Config::parse("[rule.nope]\n", RULES).is_err());
+        assert!(Config::parse("[rule.panic]\nwhatever = 3\n", RULES).is_err());
+        assert!(Config::parse("[paths]\n", RULES).is_err());
+        assert!(Config::parse("level = \"deny\"\n", RULES).is_err());
+    }
+
+    #[test]
+    fn inline_array_and_off() {
+        let cfg = Config::parse(
+            "[rule.panic]\nlevel = \"off\"\nexempt = [\"a/\", \"b/\"]\n",
+            RULES,
+        )
+        .unwrap();
+        assert_eq!(cfg.rule("panic").level, Level::Off);
+        assert_eq!(cfg.rule("panic").exempt, vec!["a/", "b/"]);
+    }
+}

@@ -1,0 +1,294 @@
+//! Workspace walk + rule driving + suppression/level application.
+
+use crate::config::{Config, Level};
+use crate::report::{Finding, Report};
+use crate::rules::{all_rules, known_rule_ids, Context};
+use crate::scanner::TokKind;
+use crate::source::{FileKind, SourceFile};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "target",
+    "target-test",
+    "vendor",
+    "fixtures",
+    ".git",
+    "node_modules",
+];
+
+/// Top-level directories scanned under the workspace root.
+const WALK_ROOTS: &[&str] = &["crates", "src", "tests", "examples"];
+
+/// A configured lint run over one workspace root.
+pub struct Engine {
+    root: PathBuf,
+    config: Config,
+}
+
+impl Engine {
+    /// Opens a workspace, loading `<root>/lints.toml` when present.
+    pub fn new(root: impl Into<PathBuf>) -> Result<Self, String> {
+        let root = root.into();
+        let config_path = root.join("lints.toml");
+        let config = if config_path.is_file() {
+            let text = std::fs::read_to_string(&config_path)
+                .map_err(|e| format!("reading {}: {e}", config_path.display()))?;
+            Config::parse(&text, &known_rule_ids())?
+        } else {
+            Config::default()
+        };
+        Ok(Self { root, config })
+    }
+
+    /// Replaces the config (used by fixture tests to exercise overrides).
+    pub fn with_config(mut self, config: Config) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Runs every rule over every workspace source file.
+    pub fn run(&self) -> io::Result<Report> {
+        let files = self.load_files()?;
+        let ctx = build_context(&self.root, &files);
+        let rules = all_rules();
+        let mut findings = Vec::new();
+        for file in &files {
+            for rule in &rules {
+                let cfg = self.config.rule(rule.id());
+                if cfg.level == Level::Off || self.config.is_exempt(rule.id(), &file.rel) {
+                    continue;
+                }
+                let mut raw = Vec::new();
+                rule.check(file, &ctx, &mut raw);
+                for mut f in raw {
+                    match file.allow_for(rule.id(), f.line) {
+                        Some(marker) if !marker.reason.is_empty() => continue,
+                        _ => {}
+                    }
+                    f.level = cfg.level;
+                    findings.push(f);
+                }
+            }
+            self.check_markers(file, &mut findings);
+        }
+        self.check_stale_registries(&files, &ctx, &mut findings);
+        findings.sort_by(|a, b| {
+            (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+        });
+        findings.dedup();
+        Ok(Report {
+            findings,
+            files_scanned: files.len(),
+        })
+    }
+
+    /// Engine pseudo-rule `bare-allow`: markers must carry a reason
+    /// (`-- <why>`) to suppress anything, and must name a real rule.
+    fn check_markers(&self, file: &SourceFile, findings: &mut Vec<Finding>) {
+        let cfg = self.config.rule("bare-allow");
+        if cfg.level == Level::Off || self.config.is_exempt("bare-allow", &file.rel) {
+            return;
+        }
+        let known = known_rule_ids();
+        for m in &file.allows {
+            let message = if !known.contains(&m.rule.as_str()) {
+                format!("allow marker names unknown rule `{}`", m.rule)
+            } else if m.reason.is_empty() {
+                format!(
+                    "allow({}) marker without a reason; write `// vaer-lint: allow({}) -- <reason>`",
+                    m.rule, m.rule
+                )
+            } else {
+                continue;
+            };
+            findings.push(Finding {
+                rule: "bare-allow",
+                level: cfg.level,
+                file: file.rel.clone(),
+                line: m.line,
+                message,
+            });
+        }
+    }
+
+    /// Engine pseudo-rule `stale-registry`: a registry entry no code
+    /// references is a lie tests will happily keep asserting about.
+    fn check_stale_registries(
+        &self,
+        files: &[SourceFile],
+        ctx: &Context,
+        findings: &mut Vec<Finding>,
+    ) {
+        let cfg = self.config.rule("stale-registry");
+        if cfg.level == Level::Off {
+            return;
+        }
+        let mut used_failpoints: Vec<&str> = Vec::new();
+        let mut used_prefixes: Vec<&str> = Vec::new();
+        for file in files {
+            let toks: Vec<_> = file.toks.iter().filter(|t| !t.is_comment()).collect();
+            for (i, t) in toks.iter().enumerate() {
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let next_str = || {
+                    toks.get(i + 1)
+                        .filter(|n| n.is_punct("("))
+                        .and_then(|_| toks.get(i + 2))
+                        .filter(|s| s.kind == TokKind::Str)
+                };
+                if (t.text == "check" || t.text == "trigger" || t.text == "configure")
+                    && i >= 3
+                    && toks[i - 3].is_ident("vaer_fault")
+                {
+                    if let Some(s) = next_str() {
+                        let name = s.text.split('=').next().unwrap_or(&s.text);
+                        used_failpoints.push(name);
+                        // `configure` specs may arm several clauses.
+                        for clause in s.text.split(';') {
+                            if let Some(n) = clause.split('=').next() {
+                                used_failpoints.push(n);
+                            }
+                        }
+                    }
+                }
+                if crate::rules::OBS_FNS.contains(&t.text.as_str())
+                    && i >= 1
+                    && !toks[i - 1].is_punct(".")
+                {
+                    if let Some(s) = next_str() {
+                        used_prefixes.push(s.text.split('.').next().unwrap_or(&s.text));
+                    }
+                }
+            }
+        }
+        let mut report_stale = |name: &str, registry: &str| {
+            findings.push(Finding {
+                rule: "stale-registry",
+                level: cfg.level,
+                file: registry.to_string(),
+                line: 0,
+                message: format!(
+                    "registry entry `{name}` is referenced by no code; remove it or wire it up"
+                ),
+            });
+        };
+        for fp in &ctx.failpoints {
+            if !used_failpoints.iter().any(|u| u == fp) {
+                report_stale(fp, "FAILPOINTS");
+            }
+        }
+        for p in &ctx.obs_prefixes {
+            if !used_prefixes.iter().any(|u| u == p) {
+                report_stale(p, "NAME_PREFIXES");
+            }
+        }
+    }
+
+    fn load_files(&self) -> io::Result<Vec<SourceFile>> {
+        let mut paths = Vec::new();
+        for top in WALK_ROOTS {
+            let dir = self.root.join(top);
+            if dir.is_dir() {
+                collect_rs_files(&dir, &mut paths)?;
+            }
+        }
+        paths.sort();
+        let mut files = Vec::with_capacity(paths.len());
+        for path in paths {
+            let rel = path
+                .strip_prefix(&self.root)
+                .unwrap_or(&path)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let kind = classify(&rel);
+            let src = std::fs::read_to_string(&path)?;
+            files.push(SourceFile::parse(path, rel, kind, &src));
+        }
+        Ok(files)
+    }
+}
+
+fn classify(rel: &str) -> FileKind {
+    if rel.starts_with("tests/") || rel.contains("/tests/") {
+        FileKind::Test
+    } else if rel.starts_with("examples/") || rel.contains("/examples/") {
+        FileKind::Example
+    } else if rel.contains("/benches/") {
+        FileKind::Bench
+    } else {
+        FileKind::Lib
+    }
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs_files(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Builds registry context: the `FAILPOINTS` / `NAME_PREFIXES` consts are
+/// read straight from the scanned token streams (so fixtures can ship
+/// their own), and the unsafe ledger from `<root>/UNSAFE_LEDGER.md`.
+fn build_context(root: &Path, files: &[SourceFile]) -> Context {
+    let mut ctx = Context::default();
+    for file in files {
+        extract_const_strings(file, "FAILPOINTS", &mut ctx.failpoints);
+        extract_const_strings(file, "NAME_PREFIXES", &mut ctx.obs_prefixes);
+    }
+    let ledger = root.join("UNSAFE_LEDGER.md");
+    if let Ok(text) = std::fs::read_to_string(&ledger) {
+        ctx.has_ledger = true;
+        for line in text.lines() {
+            // Markdown table rows whose first cell is a source path.
+            let mut cells = line.split('|').map(str::trim).filter(|c| !c.is_empty());
+            if let Some(first) = cells.next() {
+                let path = first.trim_matches('`');
+                if path.ends_with(".rs") {
+                    ctx.ledger_files.push(path.to_string());
+                }
+            }
+        }
+    }
+    ctx
+}
+
+/// Collects the string literals of `pub const <NAME>: &[&str] = [ … ]`.
+fn extract_const_strings(file: &SourceFile, name: &str, out: &mut Vec<String>) {
+    let toks: Vec<_> = file.toks.iter().filter(|t| !t.is_comment()).collect();
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident(name) || i == 0 || !toks[i - 1].is_ident("const") {
+            continue;
+        }
+        // Skip to the `[` after `=`, then collect strings until `]`.
+        let mut j = i + 1;
+        while j < toks.len() && !toks[j].is_punct("=") {
+            j += 1;
+        }
+        while j < toks.len() && !toks[j].is_punct("[") {
+            j += 1;
+        }
+        j += 1;
+        while j < toks.len() && !toks[j].is_punct("]") {
+            if toks[j].kind == TokKind::Str {
+                out.push(toks[j].text.clone());
+            }
+            j += 1;
+        }
+    }
+}

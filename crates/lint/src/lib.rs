@@ -1,0 +1,35 @@
+//! `vaer-lint` — dependency-free static analysis for the VAER workspace.
+//!
+//! VAER's guarantees (bit-identical parallel gradients, bit-identical
+//! kill-and-resume, byte-stable exports) hold only while every crate
+//! obeys a handful of source-level invariants: no hash-order iteration
+//! into serialized paths, no stray wall-clock reads, no unaudited
+//! `unsafe`, no undocumented panics, and registries that actually cover
+//! the failpoint / telemetry surface. This crate encodes those
+//! invariants as rules over a line-aware token scan of the workspace,
+//! with:
+//!
+//! - per-rule config + path exemptions in `lints.toml`,
+//! - inline suppressions: `// vaer-lint: allow(<rule>) -- <reason>`
+//!   (the reason is mandatory; a bare marker suppresses nothing and is
+//!   itself reported),
+//! - human-table and JSONL reports (`--format json`),
+//! - a `--deny` CI gate that exits nonzero on any deny-level finding.
+//!
+//! Run it as `cargo run -p vaer-lint -- --deny` from the workspace root.
+//! The rule catalogue and suppression policy are documented in
+//! DESIGN.md §11.
+
+mod config;
+mod engine;
+mod report;
+mod rules;
+mod scanner;
+mod source;
+
+pub use config::{Config, Level, RuleConfig};
+pub use engine::Engine;
+pub use report::{Finding, Report};
+pub use rules::{all_rules, known_rule_ids, Context, Rule};
+pub use scanner::{scan, Tok, TokKind};
+pub use source::{AllowMarker, FileKind, SourceFile};

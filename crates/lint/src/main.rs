@@ -1,0 +1,81 @@
+//! CLI entry point: `cargo run -p vaer-lint -- [--deny] [--format json]`.
+
+use std::process::ExitCode;
+use vaer_lint::{all_rules, Engine};
+
+const USAGE: &str = "vaer-lint — static analysis for the VAER workspace
+
+USAGE:
+    cargo run -p vaer-lint -- [OPTIONS]
+
+OPTIONS:
+    --root <path>      Workspace root to scan (default: .)
+    --format <fmt>     Output format: human (default) or json (JSONL)
+    --deny             Exit nonzero when any deny-level finding remains
+    --list-rules       Print the rule catalogue and exit
+    --help             Show this help
+";
+
+fn main() -> ExitCode {
+    let mut root = String::from(".");
+    let mut format = String::from("human");
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = v,
+                None => return fail("--root needs a value"),
+            },
+            "--format" => match args.next() {
+                Some(v) if v == "human" || v == "json" => format = v,
+                Some(v) => return fail(&format!("unknown format '{v}' (human|json)")),
+                None => return fail("--format needs a value"),
+            },
+            "--deny" => deny = true,
+            "--list-rules" => {
+                for rule in all_rules() {
+                    println!("{:<20} {}", rule.id(), rule.description());
+                }
+                println!(
+                    "{:<20} allow markers must name a real rule and carry a -- reason",
+                    "bare-allow"
+                );
+                println!(
+                    "{:<20} registry entries must be referenced by code",
+                    "stale-registry"
+                );
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+    let engine = match Engine::new(&root) {
+        Ok(e) => e,
+        Err(e) => return fail(&e),
+    };
+    let report = match engine.run() {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("scan failed: {e}")),
+    };
+    match format.as_str() {
+        "json" => print!("{}", report.jsonl()),
+        _ => print!("{}", report.human()),
+    }
+    let denials = report.denials().count();
+    if deny && denials > 0 {
+        eprintln!("vaer-lint: {denials} deny-level finding(s)");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("vaer-lint: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::FAILURE
+}

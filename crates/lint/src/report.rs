@@ -1,0 +1,154 @@
+//! Findings and report rendering: a human-readable table in the style of
+//! `vaer_obs::ObsSink::summary()`, and machine-readable JSONL matching
+//! the obs export convention (one self-describing object per line).
+
+use crate::config::Level;
+
+/// One rule violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id, e.g. `det-hash-iter`.
+    pub rule: &'static str,
+    /// Severity after config is applied.
+    pub level: Level,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// What is wrong and what to do about it.
+    pub message: String,
+}
+
+/// The outcome of a lint run.
+#[derive(Clone, Debug, Default)]
+pub struct Report {
+    /// Findings sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Number of files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Findings at deny level.
+    pub fn denials(&self) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(|f| f.level == Level::Deny)
+    }
+
+    /// Human-readable table.
+    pub fn human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "vaer-lint: {} file(s) scanned, {} finding(s)\n",
+            self.files_scanned,
+            self.findings.len()
+        ));
+        if self.findings.is_empty() {
+            out.push_str("  clean — every invariant holds\n");
+            return out;
+        }
+        out.push_str("-- findings ----------------------------------------------------\n");
+        for f in &self.findings {
+            out.push_str(&format!(
+                "  {:<4} {:<18} {}:{}\n       {}\n",
+                f.level.name(),
+                f.rule,
+                f.file,
+                f.line,
+                f.message
+            ));
+        }
+        out.push_str("-- by rule -----------------------------------------------------\n");
+        let mut rules: Vec<&'static str> = Vec::new();
+        for f in &self.findings {
+            if !rules.contains(&f.rule) {
+                rules.push(f.rule);
+            }
+        }
+        rules.sort_unstable();
+        for rule in rules {
+            let count = self.findings.iter().filter(|f| f.rule == rule).count();
+            out.push_str(&format!("  {rule:<48} {count:>12}\n"));
+        }
+        out
+    }
+
+    /// JSONL: a `meta` line, then one `finding` object per line.
+    pub fn jsonl(&self) -> String {
+        let mut out = String::new();
+        let denials = self.denials().count();
+        out.push_str(&format!(
+            "{{\"type\":\"meta\",\"files_scanned\":{},\"findings\":{},\"denials\":{}}}\n",
+            self.files_scanned,
+            self.findings.len(),
+            denials
+        ));
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{{\"type\":\"finding\",\"rule\":\"{}\",\"level\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}\n",
+                escape(f.rule),
+                f.level.name(),
+                escape(&f.file),
+                f.line,
+                escape(&f.message)
+            ));
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escaping (mirrors `vaer_obs::json::escape`).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> Report {
+        Report {
+            findings: vec![Finding {
+                rule: "panic",
+                level: Level::Deny,
+                file: "crates/x/src/lib.rs".into(),
+                line: 7,
+                message: "bare `unwrap()` in library code".into(),
+            }],
+            files_scanned: 3,
+        }
+    }
+
+    #[test]
+    fn human_table_lists_findings_and_rule_counts() {
+        let h = report().human();
+        assert!(h.contains("crates/x/src/lib.rs:7"));
+        assert!(h.contains("deny"));
+        assert!(h.contains("-- by rule"));
+    }
+
+    #[test]
+    fn jsonl_is_line_per_finding_with_meta() {
+        let j = report().jsonl();
+        let lines: Vec<&str> = j.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"type\":\"meta\""));
+        assert!(lines[1].contains("\"rule\":\"panic\""));
+    }
+
+    #[test]
+    fn escape_handles_quotes_and_control() {
+        assert_eq!(escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+    }
+}

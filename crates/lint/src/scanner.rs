@@ -1,0 +1,405 @@
+//! Line-aware Rust token scanner.
+//!
+//! Rule patterns must never fire on words inside comments, strings, or
+//! doc text, so the engine works on a token stream rather than raw lines.
+//! This is not a full lexer — it only distinguishes the shapes the rules
+//! care about: identifiers, punctuation, string/char/number literals,
+//! lifetimes, and (crucially, since rules both *skip* and *read* them)
+//! comments. Raw strings (`r#"…"#`), byte strings, nested block
+//! comments, and escapes are handled so that a `HashMap` inside a
+//! docstring never becomes a finding.
+
+/// Token shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// Single punctuation character (`:`, `(`, `{`, `!`, …).
+    Punct,
+    /// String literal (text is the *unquoted* contents).
+    Str,
+    /// Char or byte literal.
+    Char,
+    /// Numeric literal.
+    Num,
+    /// Lifetime (`'a`), text without the quote.
+    Lifetime,
+    /// `//` comment, including `///` and `//!` doc comments. Text is the
+    /// comment body after the slashes.
+    LineComment,
+    /// `/* … */` comment (possibly nested); text is the body.
+    BlockComment,
+}
+
+/// One scanned token with its 1-based source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Shape of the token.
+    pub kind: TokKind,
+    /// Token text (see [`TokKind`] for what is stripped).
+    pub text: String,
+    /// 1-based line the token *starts* on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// Whether this is a punctuation token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+
+    /// Whether this token is any kind of comment.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Scans Rust source into tokens. Never fails: unterminated constructs
+/// simply consume the rest of the input (the compiler will complain about
+/// the file anyway; the linter must not).
+pub fn scan(src: &str) -> Vec<Tok> {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i];
+        match c {
+            b'\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_ascii_whitespace() => i += 1,
+            b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                let mut end = start;
+                while end < bytes.len() && bytes[end] != b'\n' {
+                    end += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::LineComment,
+                    text: src[start..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                let tok_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < bytes.len() && depth > 0 {
+                    if bytes[j] == b'\n' {
+                        line += 1;
+                        j += 1;
+                    } else if bytes[j] == b'/' && bytes.get(j + 1) == Some(&b'*') {
+                        depth += 1;
+                        j += 2;
+                    } else if bytes[j] == b'*' && bytes.get(j + 1) == Some(&b'/') {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                toks.push(Tok {
+                    kind: TokKind::BlockComment,
+                    text: src[start..end].to_string(),
+                    line: tok_line,
+                });
+                i = j;
+            }
+            b'"' => {
+                let (text, next, newlines) = scan_string(src, i + 1);
+                toks.push(Tok {
+                    kind: TokKind::Str,
+                    text,
+                    line,
+                });
+                line += newlines;
+                i = next;
+            }
+            b'r' | b'b' if starts_raw_or_byte_string(bytes, i) => {
+                let (kind, text, next, newlines) = scan_prefixed_string(src, i);
+                toks.push(Tok { kind, text, line });
+                line += newlines;
+                i = next;
+            }
+            b'\'' => {
+                // Lifetime or char literal. `'ident` not followed by a
+                // closing quote is a lifetime; anything else is a char.
+                let rest = &bytes[i + 1..];
+                if is_lifetime(rest) {
+                    let mut end = i + 1;
+                    while end < bytes.len()
+                        && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                    {
+                        end += 1;
+                    }
+                    toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: src[i + 1..end].to_string(),
+                        line,
+                    });
+                    i = end;
+                } else {
+                    let (text, next, newlines) = scan_char(src, i + 1);
+                    toks.push(Tok {
+                        kind: TokKind::Char,
+                        text,
+                        line,
+                    });
+                    line += newlines;
+                    i = next;
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric() || bytes[end] == b'_')
+                {
+                    end += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Ident,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            c if c.is_ascii_digit() => {
+                let mut end = i + 1;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric()
+                        || bytes[end] == b'_'
+                        || bytes[end] == b'.')
+                {
+                    // `0..n` range: stop the number before `..`.
+                    if bytes[end] == b'.' && bytes.get(end + 1) == Some(&b'.') {
+                        break;
+                    }
+                    end += 1;
+                }
+                toks.push(Tok {
+                    kind: TokKind::Num,
+                    text: src[i..end].to_string(),
+                    line,
+                });
+                i = end;
+            }
+            _ => {
+                toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: (c as char).to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// True when position `i` starts `r"`, `r#`, `b"`, `br"`, `br#`, `b'`.
+fn starts_raw_or_byte_string(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(&b'"') | Some(&b'\'') => true,
+            Some(&b'r') => matches!(bytes.get(i + 2), Some(&b'"') | Some(&b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Scans a normal (escaped) string body starting just after the opening
+/// quote. Returns `(contents, index after closing quote, newlines seen)`.
+fn scan_string(src: &str, start: usize) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'"' => return (src[start..j].to_string(), j + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (src[start..].to_string(), bytes.len(), newlines)
+}
+
+/// Scans `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#`, or `b'…'` starting at the
+/// prefix. Returns `(kind, contents, index after close, newlines)`.
+fn scan_prefixed_string(src: &str, start: usize) -> (TokKind, String, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    if bytes[j] == b'b' {
+        j += 1;
+        if bytes.get(j) == Some(&b'\'') {
+            let (text, next, newlines) = scan_char(src, j + 1);
+            return (TokKind::Char, text, next, newlines);
+        }
+    }
+    let raw = bytes.get(j) == Some(&b'r');
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while bytes.get(j) == Some(&b'#') {
+        hashes += 1;
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'"') {
+        // `r` / `b` was actually an identifier start (`r#ident` raw
+        // identifiers land here too); emit the leading letter as an ident
+        // and let the main loop rescan from there.
+        return (
+            TokKind::Ident,
+            src[start..start + 1].to_string(),
+            start + 1,
+            0,
+        );
+    }
+    j += 1;
+    let body = j;
+    let closer: Vec<u8> = std::iter::once(b'"')
+        .chain(std::iter::repeat_n(b'#', hashes))
+        .collect();
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        if bytes[j] == b'\n' {
+            newlines += 1;
+        }
+        if bytes[j] == b'"' && bytes[j..].starts_with(&closer) {
+            return (
+                TokKind::Str,
+                src[body..j].to_string(),
+                j + closer.len(),
+                newlines,
+            );
+        }
+        if !raw && bytes[j] == b'\\' {
+            j += 1;
+        }
+        j += 1;
+    }
+    (TokKind::Str, src[body..].to_string(), bytes.len(), newlines)
+}
+
+/// Scans a char literal body starting after the opening `'`.
+fn scan_char(src: &str, start: usize) -> (String, usize, u32) {
+    let bytes = src.as_bytes();
+    let mut j = start;
+    let mut newlines = 0u32;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'\\' => j += 2,
+            b'\'' => return (src[start..j].to_string(), j + 1, newlines),
+            b'\n' => {
+                newlines += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (src[start..].to_string(), bytes.len(), newlines)
+}
+
+/// `'a` vs `'a'`: lifetime iff the quote is followed by an ident char and
+/// the ident run is *not* closed by another quote.
+fn is_lifetime(rest: &[u8]) -> bool {
+    let Some(&first) = rest.first() else {
+        return false;
+    };
+    if !(first.is_ascii_alphabetic() || first == b'_') {
+        return false;
+    }
+    let mut k = 1;
+    while k < rest.len() && (rest[k].is_ascii_alphanumeric() || rest[k] == b'_') {
+        k += 1;
+    }
+    rest.get(k) != Some(&b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        scan(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn words_in_comments_and_strings_are_not_idents() {
+        let toks = kinds("let x = \"HashMap\"; // HashMap\n/* HashMap */ HashMap");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Ident)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(idents, vec!["let", "x", "HashMap"]);
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_in_all_constructs() {
+        let src = "a\n\"two\nlines\"\nb\n/* c\nd */\ne";
+        let toks = scan(src);
+        let by_text: Vec<(String, u32)> = toks.iter().map(|t| (t.text.clone(), t.line)).collect();
+        assert_eq!(by_text[0], ("a".into(), 1));
+        assert_eq!(by_text[1], ("two\nlines".into(), 2));
+        assert_eq!(by_text[2], ("b".into(), 4));
+        assert_eq!(by_text[4], ("e".into(), 7));
+    }
+
+    #[test]
+    fn raw_strings_hide_quotes_and_hashes() {
+        let toks = kinds("r#\"a \" b\"# x");
+        assert_eq!(toks[0], (TokKind::Str, "a \" b".into()));
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("&'a str 'x' '\\n' b'z'");
+        assert_eq!(toks[1], (TokKind::Lifetime, "a".into()));
+        assert_eq!(toks[3], (TokKind::Char, "x".into()));
+        assert_eq!(toks[4], (TokKind::Char, "\\n".into()));
+        assert_eq!(toks[5], (TokKind::Char, "z".into()));
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let toks = kinds("/* outer /* inner */ still */ x");
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "x".into()));
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = kinds("0..n 1.5 0x1F");
+        assert_eq!(toks[0], (TokKind::Num, "0".into()));
+        assert_eq!(toks[1], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[2], (TokKind::Punct, ".".into()));
+        assert_eq!(toks[3], (TokKind::Ident, "n".into()));
+        assert_eq!(toks[4], (TokKind::Num, "1.5".into()));
+        assert_eq!(toks[5], (TokKind::Num, "0x1F".into()));
+    }
+
+    #[test]
+    fn doc_comments_keep_their_text() {
+        let toks = scan("/// # Panics\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert!(toks[0].text.contains("# Panics"));
+    }
+}

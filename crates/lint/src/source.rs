@@ -1,0 +1,352 @@
+//! Per-file facts derived from the token stream: which lines are test
+//! code, where `// vaer-lint: allow(...)` markers sit, and which lines
+//! fall inside functions documented with a `# Panics` section.
+
+use crate::scanner::{scan, Tok, TokKind};
+use std::path::PathBuf;
+
+/// How a file entered the workspace walk. Rules use this to decide
+/// whether their invariant applies (most only guard library code).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FileKind {
+    /// A crate's `src/` (or the workspace root `src/`).
+    Lib,
+    /// Integration tests (`tests/` at any level).
+    Test,
+    /// Benchmarks (`benches/`).
+    Bench,
+    /// Examples (`examples/`).
+    Example,
+}
+
+/// An inline suppression marker: `// vaer-lint: allow(rule) -- reason`.
+#[derive(Clone, Debug)]
+pub struct AllowMarker {
+    /// Rule the marker suppresses.
+    pub rule: String,
+    /// Justification after `--` (empty when the author omitted one —
+    /// which the engine reports as its own finding).
+    pub reason: String,
+    /// Line the marker sits on. It suppresses findings on this line and
+    /// the next, so it works both trailing and as a line above.
+    pub line: u32,
+}
+
+/// A scanned source file plus the line-level facts rules consume.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Absolute (or walk-root-relative) path on disk.
+    pub path: PathBuf,
+    /// Path relative to the workspace root, with `/` separators —
+    /// the form used in reports, configs, and the unsafe ledger.
+    pub rel: String,
+    /// Kind by directory.
+    pub kind: FileKind,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// Total number of lines.
+    pub num_lines: u32,
+    /// `true` for each 1-based line inside a `#[cfg(test)]` item.
+    test_lines: Vec<bool>,
+    /// `true` for each 1-based line inside a fn whose doc comment has a
+    /// `# Panics` section.
+    panics_doc_lines: Vec<bool>,
+    /// Inline suppression markers.
+    pub allows: Vec<AllowMarker>,
+}
+
+impl SourceFile {
+    /// Scans `src` into a file model.
+    pub fn parse(path: PathBuf, rel: String, kind: FileKind, src: &str) -> Self {
+        let toks = scan(src);
+        let num_lines = src.lines().count() as u32;
+        let test_lines = mark_cfg_test_regions(&toks, num_lines);
+        let panics_doc_lines = mark_panics_doc_fns(&toks, num_lines);
+        let allows = collect_allow_markers(&toks);
+        Self {
+            path,
+            rel,
+            kind,
+            toks,
+            num_lines,
+            test_lines,
+            panics_doc_lines,
+            allows,
+        }
+    }
+
+    /// Whether the 1-based line is test code: the whole file for
+    /// `tests/` files, or a `#[cfg(test)]` region in library code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.kind == FileKind::Test || *self.test_lines.get(line as usize).unwrap_or(&false)
+    }
+
+    /// Whether the line is inside a fn documented with `# Panics`.
+    pub fn in_panics_documented_fn(&self, line: u32) -> bool {
+        *self.panics_doc_lines.get(line as usize).unwrap_or(&false)
+    }
+
+    /// The allow marker (if any) covering `line` for `rule`.
+    pub fn allow_for(&self, rule: &str, line: u32) -> Option<&AllowMarker> {
+        self.allows
+            .iter()
+            .find(|m| m.rule == rule && (m.line == line || m.line + 1 == line))
+    }
+}
+
+/// Marks every line covered by an item annotated `#[cfg(test)]`: the
+/// attribute's line through the matching close of the item's brace block.
+fn mark_cfg_test_regions(toks: &[Tok], num_lines: u32) -> Vec<bool> {
+    let mut marked = vec![false; num_lines as usize + 2];
+    let code: Vec<(usize, &Tok)> = toks
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !t.is_comment())
+        .collect();
+    let mut k = 0usize;
+    while k + 4 < code.len() {
+        let (_, a) = code[k];
+        // `#[cfg(test)]` or `#[cfg(all(test, ...))]` — require `#`, `[`,
+        // `cfg`, then a `test` ident before the closing `]`.
+        if a.is_punct("#") && code[k + 1].1.is_punct("[") && code[k + 2].1.is_ident("cfg") {
+            let mut j = k + 3;
+            let mut depth = 0i32;
+            let mut saw_test = false;
+            while j < code.len() {
+                let t = code[j].1;
+                if t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct("]") {
+                    if depth == 0 {
+                        break;
+                    }
+                    depth -= 1;
+                } else if t.is_ident("test") {
+                    saw_test = true;
+                }
+                j += 1;
+            }
+            if saw_test && j < code.len() {
+                // Find the item's block: the first `{` at brace depth 0
+                // after the attribute (skipping further attributes), then
+                // its matching `}`. Items ending in `;` before any `{`
+                // (e.g. `#[cfg(test)] use …;`) cover only their own lines.
+                let start_line = a.line;
+                let mut m = j + 1;
+                let mut open = None;
+                while m < code.len() {
+                    let t = code[m].1;
+                    if t.is_punct("{") {
+                        open = Some(m);
+                        break;
+                    }
+                    if t.is_punct(";") {
+                        break;
+                    }
+                    m += 1;
+                }
+                let end_line = match open {
+                    Some(o) => matching_close_line(&code, o),
+                    None => code.get(m).map_or(start_line, |(_, t)| t.line),
+                };
+                for l in start_line..=end_line.min(num_lines) {
+                    marked[l as usize] = true;
+                }
+                k = j;
+                continue;
+            }
+        }
+        k += 1;
+    }
+    marked
+}
+
+/// Line of the `}` matching the `{` at `code[open]` (falls back to the
+/// last token's line on unbalanced input).
+fn matching_close_line(code: &[(usize, &Tok)], open: usize) -> u32 {
+    let mut depth = 0i32;
+    for (_, t) in code.iter().skip(open) {
+        if t.is_punct("{") {
+            depth += 1;
+        } else if t.is_punct("}") {
+            depth -= 1;
+            if depth == 0 {
+                return t.line;
+            }
+        }
+    }
+    code.last().map_or(0, |(_, t)| t.line)
+}
+
+/// Marks every line inside a `fn` whose preceding doc comment contains a
+/// `# Panics` section (the documented-invariant escape hatch of the
+/// panic rule).
+fn mark_panics_doc_fns(toks: &[Tok], num_lines: u32) -> Vec<bool> {
+    let mut marked = vec![false; num_lines as usize + 2];
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("fn") {
+            continue;
+        }
+        // Walk back over attributes and doc comments contiguous with the
+        // fn (visibility/qualifier idents like `pub`, `unsafe`, `const`,
+        // `extern`, string ABIs, and attribute brackets may intervene).
+        let mut has_panics_doc = false;
+        let mut j = i;
+        let mut bracket_depth = 0i32;
+        while j > 0 {
+            j -= 1;
+            let p = &toks[j];
+            match p.kind {
+                TokKind::LineComment | TokKind::BlockComment => {
+                    // Inner docs (`//!`, `/*! … */`) document the enclosing
+                    // module, not the fn that happens to follow them. The
+                    // scanner strips the comment opener, so they start `!`.
+                    if !p.text.starts_with('!') && p.text.contains("# Panics") {
+                        has_panics_doc = true;
+                    }
+                }
+                TokKind::Ident | TokKind::Str | TokKind::Lifetime | TokKind::Num => {
+                    // Part of an attribute or a qualifier; only keep
+                    // walking while plausibly still in the fn's header
+                    // prelude (qualifiers or attribute contents).
+                    if bracket_depth == 0
+                        && !matches!(
+                            p.text.as_str(),
+                            "pub" | "crate" | "unsafe" | "const" | "async" | "extern" | "in"
+                        )
+                        && p.kind == TokKind::Ident
+                    {
+                        break;
+                    }
+                }
+                TokKind::Punct => match p.text.as_str() {
+                    "]" => bracket_depth += 1,
+                    "[" => bracket_depth -= 1,
+                    "#" | "(" | ")" | "=" | "," | ":" => {}
+                    _ if bracket_depth > 0 => {}
+                    _ => break,
+                },
+                TokKind::Char => break,
+            }
+        }
+        if !has_panics_doc {
+            continue;
+        }
+        // Find the body block and mark its span.
+        let code: Vec<(usize, &Tok)> = toks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .collect();
+        let Some(fn_pos) = code.iter().position(|(idx, _)| *idx == i) else {
+            continue;
+        };
+        let mut m = fn_pos + 1;
+        let mut open = None;
+        while m < code.len() {
+            let t = code[m].1;
+            if t.is_punct("{") {
+                open = Some(m);
+                break;
+            }
+            if t.is_punct(";") {
+                break; // trait method declaration, no body
+            }
+            m += 1;
+        }
+        if let Some(o) = open {
+            let end_line = matching_close_line(&code, o);
+            for l in t.line..=end_line.min(num_lines) {
+                marked[l as usize] = true;
+            }
+        }
+    }
+    marked
+}
+
+/// Extracts `vaer-lint: allow(rule)` / `vaer-lint: allow(rule) -- reason`
+/// markers from comment tokens.
+fn collect_allow_markers(toks: &[Tok]) -> Vec<AllowMarker> {
+    let mut out = Vec::new();
+    for t in toks {
+        if !t.is_comment() {
+            continue;
+        }
+        let mut rest = t.text.as_str();
+        while let Some(pos) = rest.find("vaer-lint:") {
+            rest = &rest[pos + "vaer-lint:".len()..];
+            let trimmed = rest.trim_start();
+            let Some(args) = trimmed.strip_prefix("allow(") else {
+                continue;
+            };
+            let Some(close) = args.find(')') else {
+                continue;
+            };
+            let rule = args[..close].trim().to_string();
+            let after = &args[close + 1..];
+            let reason = after
+                .trim_start()
+                .strip_prefix("--")
+                .map(|r| r.trim().to_string())
+                .unwrap_or_default();
+            out.push(AllowMarker {
+                rule,
+                reason,
+                line: t.line,
+            });
+            rest = after;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from("x.rs"), "x.rs".into(), FileKind::Lib, src)
+    }
+
+    #[test]
+    fn cfg_test_region_covers_module_body() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n  fn b() {}\n}\nfn c() {}\n";
+        let f = file(src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(2));
+        assert!(f.is_test_line(4));
+        assert!(f.is_test_line(5));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn panics_doc_covers_fn_body() {
+        let src = "/// Does things.\n///\n/// # Panics\n/// When x.\npub fn f() {\n  panic!();\n}\nfn g() {\n  panic!();\n}\n";
+        let f = file(src);
+        assert!(f.in_panics_documented_fn(6));
+        assert!(!f.in_panics_documented_fn(9));
+    }
+
+    #[test]
+    fn allow_markers_parse_rule_and_reason() {
+        let src = "let x = m.get(k).unwrap(); // vaer-lint: allow(panic) -- key inserted above\n";
+        let f = file(src);
+        assert_eq!(f.allows.len(), 1);
+        assert_eq!(f.allows[0].rule, "panic");
+        assert_eq!(f.allows[0].reason, "key inserted above");
+        assert!(f.allow_for("panic", 1).is_some());
+        assert!(f.allow_for("panic", 2).is_some(), "marker covers next line");
+        assert!(f.allow_for("panic", 3).is_none());
+    }
+
+    #[test]
+    fn test_files_are_test_everywhere() {
+        let f = SourceFile::parse(
+            PathBuf::from("t.rs"),
+            "t.rs".into(),
+            FileKind::Test,
+            "fn a() {}\n",
+        );
+        assert!(f.is_test_line(1));
+    }
+}

@@ -1,0 +1,169 @@
+//! Fixture-based golden tests: one violating file per rule lives under
+//! `fixtures/ws/`, and the engine's findings are compared against the
+//! checked-in `expected.txt` snapshot. A final self-check runs the
+//! engine over this repository itself and requires it to be clean.
+
+use std::path::{Path, PathBuf};
+use vaer_lint::{Engine, Level};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures/ws")
+}
+
+fn run_fixture() -> vaer_lint::Report {
+    Engine::new(fixture_root())
+        .expect("fixture lints.toml parses")
+        .run()
+        .expect("fixture workspace scans")
+}
+
+/// Every rule must fire exactly where `expected.txt` says, and nowhere
+/// else — additions, removals, and moved lines all fail this test.
+#[test]
+fn golden_findings_snapshot() {
+    let report = run_fixture();
+    let got: Vec<String> = report
+        .findings
+        .iter()
+        .map(|f| {
+            let level = match f.level {
+                Level::Deny => "deny",
+                Level::Warn => "warn",
+                Level::Off => "off",
+            };
+            format!("{level} {} {}:{}", f.rule, f.file, f.line)
+        })
+        .collect();
+    let expected_path = fixture_root().join("expected.txt");
+    let expected: Vec<String> = std::fs::read_to_string(&expected_path)
+        .expect("expected.txt exists")
+        .lines()
+        .map(str::to_string)
+        .collect();
+    assert_eq!(
+        got, expected,
+        "fixture findings diverged from expected.txt; if the change is \
+         intentional, regenerate the snapshot"
+    );
+}
+
+/// Each of the eight rules (plus both engine pseudo-rules) is exercised
+/// by at least one fixture finding.
+#[test]
+fn every_rule_has_a_fixture() {
+    let report = run_fixture();
+    for rule in vaer_lint::known_rule_ids() {
+        assert!(
+            report.findings.iter().any(|f| f.rule == rule),
+            "rule `{rule}` has no fixture finding"
+        );
+    }
+}
+
+/// A marker with a reason suppresses its line; a reasonless one does not
+/// (and is itself reported as `bare-allow`).
+#[test]
+fn allow_markers() {
+    let report = run_fixture();
+    // hash_iter.rs:12 carries `allow(det-hash-iter) -- …` → suppressed.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.file.ends_with("hash_iter.rs") && f.line == 12),
+        "reasoned marker failed to suppress"
+    );
+    // panics.rs:22 carries a reasonless marker → both the original
+    // finding and a bare-allow complaint.
+    let at_22: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.file.ends_with("panics.rs") && f.line == 22)
+        .map(|f| f.rule)
+        .collect();
+    assert!(
+        at_22.contains(&"panic"),
+        "reasonless marker must not suppress"
+    );
+    assert!(
+        at_22.contains(&"bare-allow"),
+        "reasonless marker must be flagged"
+    );
+}
+
+/// lints.toml overrides: `det-wallclock` is downgraded to warn, and the
+/// exempted path produces nothing at all.
+#[test]
+fn config_overrides() {
+    let report = run_fixture();
+    let wallclock: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "det-wallclock")
+        .collect();
+    assert_eq!(wallclock.len(), 1);
+    assert_eq!(wallclock[0].level, Level::Warn);
+    assert!(
+        !report.denials().any(|f| f.rule == "det-wallclock"),
+        "warn-level findings must not gate --deny"
+    );
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.file.ends_with("exempted.rs")),
+        "exempt path prefix must silence the whole file"
+    );
+}
+
+/// `# Panics` documentation and test files both silence the panic rule.
+#[test]
+fn panic_rule_escapes() {
+    let report = run_fixture();
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.file.ends_with("panics.rs") && (13..=15).contains(&f.line)),
+        "`# Panics`-documented fn must not be flagged"
+    );
+    assert!(
+        !report.findings.iter().any(|f| f.file.contains("/tests/")),
+        "test files are exempt from lib-only rules"
+    );
+}
+
+/// The JSON export is valid line-delimited output with one meta line and
+/// one line per finding, and is byte-stable across runs.
+#[test]
+fn jsonl_export_is_stable() {
+    let a = run_fixture().jsonl();
+    let b = run_fixture().jsonl();
+    assert_eq!(a, b, "jsonl export must be deterministic");
+    let lines: Vec<&str> = a.lines().collect();
+    assert_eq!(lines.len(), 1 + run_fixture().findings.len());
+    for line in &lines {
+        assert!(line.starts_with('{') && line.ends_with('}'));
+    }
+}
+
+/// The repository must hold itself to its own rules: zero deny-level
+/// findings over the real workspace. This is the same gate CI runs via
+/// `cargo run -p vaer-lint -- --deny`.
+#[test]
+fn workspace_self_check_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = Engine::new(root)
+        .expect("workspace lints.toml parses")
+        .run()
+        .expect("workspace scans");
+    let denials: Vec<String> = report
+        .denials()
+        .map(|f| format!("{} {}:{} {}", f.rule, f.file, f.line, f.message))
+        .collect();
+    assert!(
+        denials.is_empty(),
+        "workspace has deny-level lint findings:\n{}",
+        denials.join("\n")
+    );
+}

@@ -269,6 +269,9 @@ impl Graph {
     /// A constant input holding rows `start..end` of `value`, copied
     /// into a pooled buffer — the zero-realloc equivalent of
     /// `input(value.slice_rows(start, end))`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range row window.
     pub fn input_rows(&mut self, value: &Matrix, start: usize, end: usize) -> Tensor {
         assert!(
             start <= end && end <= value.rows(),
@@ -325,6 +328,9 @@ impl Graph {
     }
 
     /// Element-wise binary op into a pooled output buffer.
+    ///
+    /// # Panics
+    /// Panics when the operand shapes differ.
     fn binary(&mut self, a: Tensor, b: Tensor, op: Op, f: impl Fn(f32, f32) -> f32) -> Tensor {
         let (r, c) = self.nodes[a.0].value.shape();
         assert_eq!(
@@ -377,6 +383,9 @@ impl Graph {
     }
 
     /// Adds a `1 x n` bias row to every row of `a`.
+    ///
+    /// # Panics
+    /// Panics unless `bias` is a `1 x n` row vector matching `a`'s columns.
     pub fn add_bias(&mut self, a: Tensor, bias: Tensor) -> Tensor {
         let b = &self.nodes[bias.0].value;
         assert_eq!(b.rows(), 1, "bias must be a 1 x n row vector");
@@ -496,6 +505,9 @@ impl Graph {
     }
 
     /// Keeps columns `[start, end)`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range column window.
     pub fn slice_cols(&mut self, a: Tensor, start: usize, end: usize) -> Tensor {
         let (r, c) = self.nodes[a.0].value.shape();
         assert!(
@@ -515,6 +527,9 @@ impl Graph {
     /// `targets` is a constant matrix of the same shape as `logits` with
     /// entries in `[0, 1]`. Returns a scalar `1 x 1` tensor whose backward
     /// rule is `(sigmoid(z) - y) / count`.
+    ///
+    /// # Panics
+    /// Panics when the target and logit shapes differ.
     pub fn bce_with_logits(&mut self, logits: Tensor, targets: Matrix) -> Tensor {
         let z = &self.nodes[logits.0].value;
         assert_eq!(z.shape(), targets.shape(), "bce target shape mismatch");
@@ -541,6 +556,9 @@ impl Graph {
     /// [`bce_with_logits`](Self::bce_with_logits) against rows
     /// `start..end` of `targets`, copied into a pooled buffer — the
     /// zero-realloc variant for sharded training loops.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range target row window.
     pub fn bce_with_logits_rows(
         &mut self,
         logits: Tensor,

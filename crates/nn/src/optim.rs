@@ -181,7 +181,7 @@ impl Adam {
             return Err(NnError::BadFormat("missing VAERADM1 magic".into()));
         }
         let (body, tail) = bytes.split_at(bytes.len() - 4);
-        let stored = u32::from_le_bytes(tail.try_into().unwrap());
+        let stored = u32::from_le_bytes(tail.try_into().unwrap()); // vaer-lint: allow(panic) -- split_at leaves exactly 4 bytes; infallible
         if crate::crc32(body) != stored {
             return Err(NnError::BadFormat(
                 "Adam state checksum mismatch (corrupt or torn data)".into(),
@@ -259,8 +259,8 @@ impl Optimizer for Adam {
             for (vi, &gi) in v.as_mut_slice().iter_mut().zip(grad.as_slice()) {
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
             }
-            let m = self.m[id.0].as_ref().expect("just initialised");
-            let v = self.v[id.0].as_ref().expect("just initialised");
+            let m = self.m[id.0].as_ref().expect("just initialised"); // vaer-lint: allow(panic) -- initialised unconditionally a few lines above
+            let v = self.v[id.0].as_ref().expect("just initialised"); // vaer-lint: allow(panic) -- initialised unconditionally a few lines above
             let p = store.get_mut(*id);
             let decay = self.lr * self.weight_decay;
             for ((pi, &mi), &vi) in p
@@ -287,6 +287,9 @@ impl Optimizer for Adam {
 
 /// Scales `grads` in place so their global L2 norm is at most `max_norm`
 /// (standard gradient clipping; a no-op when already within bounds).
+///
+/// # Panics
+/// Panics when `max_norm` is not positive.
 pub fn clip_grad_norm(grads: &mut [(ParamId, Matrix)], max_norm: f32) -> f32 {
     assert!(max_norm > 0.0, "max_norm must be positive");
     let total_sq: f32 = grads

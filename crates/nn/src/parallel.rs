@@ -80,7 +80,7 @@ impl GraphPool {
     pub fn fresh_allocs(&self) -> usize {
         self.slots
             .iter()
-            .map(|s| s.lock().expect("graph slot poisoned").fresh_allocs())
+            .map(|s| s.lock().expect("graph slot poisoned").fresh_allocs()) // vaer-lint: allow(panic) -- poisoning implies a shard worker already panicked; that panic propagates
             .sum()
     }
 
@@ -90,7 +90,7 @@ impl GraphPool {
     pub fn buf_requests(&self) -> usize {
         self.slots
             .iter()
-            .map(|s| s.lock().expect("graph slot poisoned").buf_requests())
+            .map(|s| s.lock().expect("graph slot poisoned").buf_requests()) // vaer-lint: allow(panic) -- poisoning implies a shard worker already panicked; that panic propagates
             .sum()
     }
 }
@@ -108,7 +108,7 @@ where
     pool.ensure(runtime::shard_count(batch_len, MIN_SHARD_ROWS));
     let slots = &pool.slots;
     let shards = runtime::map_shards_indexed(batch_len, MIN_SHARD_ROWS, |slot, rows| {
-        let mut g = slots[slot].lock().expect("graph slot poisoned");
+        let mut g = slots[slot].lock().expect("graph slot poisoned"); // vaer-lint: allow(panic) -- poisoning implies a shard worker already panicked; that panic propagates
         g.reset();
         let loss = build(&mut g, rows.clone());
         let loss_value = g.value(loss).get(0, 0);
@@ -117,7 +117,7 @@ where
     });
     if shards.len() == 1 {
         // Serial fast path: no weighting, bit-identical to an unsharded step.
-        let (_, loss, grads) = shards.into_iter().next().expect("one shard");
+        let (_, loss, grads) = shards.into_iter().next().expect("one shard"); // vaer-lint: allow(panic) -- shards.len() == 1 checked on the previous line
         return ShardedStep { loss, grads };
     }
     let mut loss = 0.0f32;

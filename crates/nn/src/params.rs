@@ -198,7 +198,7 @@ impl ParamStore {
                     return Err(NnError::Truncated);
                 }
                 let (body, tail) = bytes.split_at(bytes.len() - 4);
-                let stored = u32::from_le_bytes(tail.try_into().unwrap());
+                let stored = u32::from_le_bytes(tail.try_into().unwrap()); // vaer-lint: allow(panic) -- split_at leaves exactly 4 bytes; infallible
                 if crc32(body) != stored {
                     return Err(NnError::BadFormat(
                         "ParamStore checksum mismatch (corrupt or torn data)".into(),
@@ -255,15 +255,15 @@ impl<'a> Cursor<'a> {
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, NnError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap())) // vaer-lint: allow(panic) -- take(4) yields exactly 4 bytes; infallible
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, NnError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap())) // vaer-lint: allow(panic) -- take(8) yields exactly 8 bytes; infallible
     }
 
     pub(crate) fn f32(&mut self) -> Result<f32, NnError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap())) // vaer-lint: allow(panic) -- take(4) yields exactly 4 bytes; infallible
     }
 
     /// Reads `rows × cols` little-endian `f32`s. The byte count is checked
@@ -277,7 +277,7 @@ impl<'a> Cursor<'a> {
         let raw = self.take(nbytes)?;
         Ok(raw
             .chunks_exact(4)
-            .map(|c| f32::from_le_bytes(c.try_into().unwrap()))
+            .map(|c| f32::from_le_bytes(c.try_into().unwrap())) // vaer-lint: allow(panic) -- chunks_exact(4) yields 4-byte slices; infallible
             .collect())
     }
 }

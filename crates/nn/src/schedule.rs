@@ -6,6 +6,9 @@ use rand::RngExt;
 ///
 /// The final batch may be smaller than `batch_size`. Shuffling uses the
 /// supplied RNG so epochs are reproducible.
+///
+/// # Panics
+/// Panics when `batch_size == 0`.
 pub fn minibatches(n: usize, batch_size: usize, rng: &mut crate::NnRng) -> Vec<Vec<usize>> {
     assert!(batch_size > 0, "batch_size must be > 0");
     let mut order: Vec<usize> = (0..n).collect();

@@ -169,17 +169,30 @@ pub(crate) fn thread_slot() -> u32 {
 
 fn push(record: Record) {
     let shard = thread_slot() as usize % SHARDS;
-    COLLECTOR[shard].lock().unwrap().push(record);
+    COLLECTOR[shard]
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .push(record);
 }
 
 /// Number of records currently held by the collector (spans + events).
 pub fn records_len() -> usize {
-    COLLECTOR.iter().map(|s| s.lock().unwrap().len()).sum()
+    COLLECTOR
+        .iter()
+        .map(|s| {
+            s.lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .len()
+        })
+        .sum()
 }
 
 pub(crate) fn reset_records() {
     for shard in COLLECTOR.iter() {
-        shard.lock().unwrap().clear();
+        shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 
@@ -188,7 +201,11 @@ pub(crate) fn snapshot_records() -> (Vec<SpanRecord>, Vec<EventRecord>) {
     let mut spans = Vec::new();
     let mut events = Vec::new();
     for shard in COLLECTOR.iter() {
-        for record in shard.lock().unwrap().iter() {
+        for record in shard
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+        {
             match record {
                 Record::Span(s) => spans.push(*s),
                 Record::Event(e) => events.push(e.clone()),

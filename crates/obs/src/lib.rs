@@ -26,10 +26,12 @@
 mod collect;
 pub mod json;
 pub mod metrics;
+pub mod registry;
 mod sink;
 
 pub use collect::{records_len, EventRecord, SpanRecord, Value};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
+pub use registry::NAME_PREFIXES;
 pub use sink::{HistSnapshot, ObsSink};
 
 use std::sync::atomic::{AtomicU8, Ordering};

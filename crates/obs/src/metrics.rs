@@ -79,19 +79,25 @@ fn register(list: &mut Vec<String>, name: &str, max: usize) -> usize {
 
 /// Finds or registers a counter by name.
 pub fn counter(name: &str) -> Counter {
-    let mut names = NAMES.lock().unwrap();
+    let mut names = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     Counter(register(&mut names.counters, name, MAX_COUNTERS))
 }
 
 /// Finds or registers a gauge by name.
 pub fn gauge(name: &str) -> Gauge {
-    let mut names = NAMES.lock().unwrap();
+    let mut names = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     Gauge(register(&mut names.gauges, name, MAX_GAUGES))
 }
 
 /// Finds or registers a histogram by name.
 pub fn histogram(name: &str) -> Histogram {
-    let mut names = NAMES.lock().unwrap();
+    let mut names = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     Histogram(register(&mut names.histograms, name, MAX_HISTOGRAMS))
 }
 
@@ -196,9 +202,11 @@ impl Histogram {
     }
 }
 
-/// Snapshot of every registered counter, in registration order.
+/// Snapshot of every registered counter, in registration (first-touch) order; callers sort.
 pub(crate) fn snapshot_counters() -> Vec<(String, u64)> {
-    let names = NAMES.lock().unwrap();
+    let names = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     names
         .counters
         .iter()
@@ -207,9 +215,11 @@ pub(crate) fn snapshot_counters() -> Vec<(String, u64)> {
         .collect()
 }
 
-/// Snapshot of every registered gauge, in registration order.
+/// Snapshot of every registered gauge, in registration (first-touch) order; callers sort.
 pub(crate) fn snapshot_gauges() -> Vec<(String, f64)> {
-    let names = NAMES.lock().unwrap();
+    let names = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     names
         .gauges
         .iter()
@@ -221,7 +231,9 @@ pub(crate) fn snapshot_gauges() -> Vec<(String, f64)> {
 /// Raw histogram snapshot: (name, count, sum, min, max, buckets).
 #[allow(clippy::type_complexity)]
 pub(crate) fn snapshot_histograms() -> Vec<(String, u64, u64, u64, u64, [u64; HIST_BUCKETS])> {
-    let names = NAMES.lock().unwrap();
+    let names = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     names
         .histograms
         .iter()
@@ -250,7 +262,9 @@ pub(crate) fn snapshot_histograms() -> Vec<(String, u64, u64, u64, u64, [u64; HI
 pub(crate) fn reset_values() {
     // Hold the names lock so a concurrent snapshot sees a consistent
     // (fully zeroed or fully live) view of the arrays it reads.
-    let names = NAMES.lock().unwrap();
+    let names = NAMES
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     for slot in COUNTERS.iter().take(names.counters.len()) {
         slot.store(0, Ordering::Relaxed);
     }

@@ -1,0 +1,67 @@
+//! Central registry of telemetry name prefixes.
+//!
+//! Every counter/gauge/histogram/span/event name registered by library
+//! code must start with one of these dot-separated prefixes. The
+//! `obs-registry` rule of `vaer-lint` enforces this at the source level,
+//! which keeps the metric namespace a closed, enumerable surface: tests
+//! and dashboards can iterate [`NAME_PREFIXES`] and know nothing is
+//! hiding outside it.
+//!
+//! Adding a namespace is deliberate friction: extend this list in the
+//! same PR that introduces the new instrumentation, and say in the PR
+//! what the namespace covers.
+
+/// Registered telemetry namespaces (sorted, unique).
+pub const NAME_PREFIXES: &[&str] = &[
+    // Active-learning loop: bootstrap, rounds, sample mix.
+    "al",
+    // Durable snapshot writes/retries/corruption skips.
+    "checkpoint",
+    // Label journal appends and replays.
+    "journal",
+    // Frozen-encoder latent cache builds/hits/invalidations.
+    "latent",
+    // Kernel dispatch counts and per-shape FLOP/time pairs.
+    "linalg",
+    // Siamese matcher training and rollback guard.
+    "matcher",
+    // End-to-end pipeline stage spans.
+    "pipeline",
+    // VAE representation model encode/train surface.
+    "repr",
+    // Worker-pool task accounting.
+    "runtime",
+    // VAE trainer epochs, resume, divergence rollbacks.
+    "vae",
+];
+
+/// Whether `name` (e.g. `"latent.cache.hits"`) is inside a registered
+/// namespace.
+pub fn is_registered(name: &str) -> bool {
+    let prefix = name.split('.').next().unwrap_or(name);
+    NAME_PREFIXES.binary_search(&prefix).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefixes_are_sorted_unique_and_nonempty() {
+        assert!(!NAME_PREFIXES.is_empty());
+        for pair in NAME_PREFIXES.windows(2) {
+            assert!(pair[0] < pair[1], "{pair:?} out of order or duplicated");
+        }
+        for p in NAME_PREFIXES {
+            assert!(!p.is_empty() && !p.contains('.'), "prefix `{p}` malformed");
+        }
+    }
+
+    #[test]
+    fn lookup_uses_first_segment() {
+        assert!(is_registered("vae.epoch"));
+        assert!(is_registered("latent.cache.hits"));
+        assert!(!is_registered("mystery.count"));
+        assert!(!is_registered(""));
+    }
+}

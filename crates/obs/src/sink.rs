@@ -37,11 +37,11 @@ impl HistSnapshot {
 pub struct ObsSink {
     /// Level at snapshot time.
     pub level: crate::Level,
-    /// Counters in registration order.
+    /// Counters sorted by name.
     pub counters: Vec<(String, u64)>,
-    /// Gauges in registration order.
+    /// Gauges sorted by name.
     pub gauges: Vec<(String, f64)>,
-    /// Histograms in registration order.
+    /// Histograms sorted by name.
     pub histograms: Vec<HistSnapshot>,
     /// Individual spans (populated only at `trace` level), by start time.
     pub spans: Vec<SpanRecord>,
@@ -55,7 +55,10 @@ impl ObsSink {
     /// inner loops.
     pub fn snapshot() -> Self {
         let (spans, events) = collect::snapshot_records();
-        let histograms = metrics::snapshot_histograms()
+        // Metrics register in first-touch order, which can differ between
+        // runs when worker threads race; sort by name so every export of
+        // the same telemetry is byte-identical.
+        let mut histograms: Vec<HistSnapshot> = metrics::snapshot_histograms()
             .into_iter()
             .map(
                 |(name, count, sum_nanos, min_nanos, max_nanos, buckets)| HistSnapshot {
@@ -68,10 +71,15 @@ impl ObsSink {
                 },
             )
             .collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        let mut counters = metrics::snapshot_counters();
+        counters.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut gauges = metrics::snapshot_gauges();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
         ObsSink {
             level: crate::level(),
-            counters: metrics::snapshot_counters(),
-            gauges: metrics::snapshot_gauges(),
+            counters,
+            gauges,
             histograms,
             spans,
             events,

@@ -86,6 +86,9 @@ pub fn w2_squared(p: &DiagGaussian, q: &DiagGaussian) -> f32 {
 
 /// Per-dimension squared 2-Wasserstein contributions — the paper's
 /// *Distance layer* vector `d⃗ = (μˢ-μᵗ)² + (σˢ-σᵗ)²` (§IV-A).
+///
+/// # Panics
+/// Panics when the dimensionalities differ.
 pub fn w2_vector(p: &DiagGaussian, q: &DiagGaussian) -> Vec<f32> {
     assert_eq!(p.dims(), q.dims(), "w2 dimension mismatch");
     p.mu.iter()
@@ -98,6 +101,9 @@ pub fn w2_vector(p: &DiagGaussian, q: &DiagGaussian) -> Vec<f32> {
 /// Symmetrised Mahalanobis-style distance between two diagonal Gaussians —
 /// the alternative distance mentioned in §IV-A. Each squared mean
 /// difference is scaled by the average of the two variances.
+///
+/// # Panics
+/// Panics when the dimensionalities differ.
 pub fn mahalanobis_squared(p: &DiagGaussian, q: &DiagGaussian) -> f32 {
     assert_eq!(p.dims(), q.dims(), "mahalanobis dimension mismatch");
     p.mu.iter()

@@ -16,6 +16,9 @@
 /// assert_eq!(vaer_text::char_ngrams("ab", 3), vec!["^ab", "ab$"]);
 /// assert_eq!(vaer_text::char_ngrams("a", 3), vec!["^a$"]);
 /// ```
+///
+/// # Panics
+/// Panics when `n < 2`.
 pub fn char_ngrams(token: &str, n: usize) -> Vec<String> {
     assert!(n >= 2, "char_ngrams requires n >= 2");
     if token.is_empty() {

@@ -4,7 +4,7 @@
 //! hand-crafted features anywhere. All similarities are in `[0, 1]` with
 //! 1 meaning identical.
 
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Levenshtein edit distance (insertions, deletions, substitutions).
 pub fn levenshtein(a: &str, b: &str) -> usize {
@@ -41,8 +41,8 @@ pub fn levenshtein_similarity(a: &str, b: &str) -> f32 {
 
 /// Jaccard similarity over whitespace tokens; 1 for two empty strings.
 pub fn jaccard_tokens(a: &str, b: &str) -> f32 {
-    let sa: HashSet<&str> = a.split_whitespace().collect();
-    let sb: HashSet<&str> = b.split_whitespace().collect();
+    let sa: BTreeSet<&str> = a.split_whitespace().collect();
+    let sb: BTreeSet<&str> = b.split_whitespace().collect();
     if sa.is_empty() && sb.is_empty() {
         return 1.0;
     }

@@ -9,6 +9,7 @@ use std::collections::HashMap;
 /// embedding models trained on top.
 #[derive(Debug, Clone, Default)]
 pub struct Vocab {
+    // vaer-lint: allow(det-hash-iter) -- lookup-only interning table; all iteration goes through the id-ordered `tokens` vec
     index: HashMap<String, u32>,
     tokens: Vec<String>,
     counts: Vec<u64>,
@@ -28,6 +29,7 @@ impl Vocab {
         S: IntoIterator<Item = &'a str>,
     {
         let mut raw: Vec<(String, u64)> = Vec::new();
+        // vaer-lint: allow(det-hash-iter) -- lookup-only; `raw` preserves first-seen order and is the only thing iterated
         let mut pos: HashMap<String, usize> = HashMap::new();
         for sentence in sentences {
             for tok in sentence {
