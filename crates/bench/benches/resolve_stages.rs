@@ -1,0 +1,97 @@
+//! Per-stage wall-clock of the staged resolution executor (the §VI-B
+//! deployment path): fit once, then resolve through a `ResolvePlan`,
+//! recording Block → Encode → Score → Link → Cluster span totals plus
+//! the artifact-reuse counters into `BENCH_run.json`.
+//!
+//! `VAER_BENCH_QUICK=1` additionally *asserts* the structural
+//! invariants the refactor exists for: exactly one LSH index build
+//! across repeated resolves, and a threshold re-run that is a pure
+//! cache hit (no extra Block/Encode/Score stage runs).
+
+use vaer_bench::run_record::RunRecord;
+use vaer_bench::{banner, dataset, scale_from_env, seed_from_env};
+use vaer_core::exec::STAGES;
+use vaer_core::pipeline::{Pipeline, PipelineConfig};
+use vaer_data::domains::Domain;
+use vaer_obs::{Level, ObsSink};
+
+fn main() {
+    let quick = vaer_bench::quick_from_env();
+    banner("Resolve stages — staged executor wall-clock");
+    vaer_obs::set_level(Level::Summary);
+    let scale = scale_from_env();
+    let seed = seed_from_env();
+    let ds = dataset(Domain::Restaurants, scale, seed);
+    let mut config = if quick {
+        PipelineConfig::fast()
+    } else {
+        PipelineConfig::paper()
+    };
+    config.seed = seed;
+    let pipeline = Pipeline::fit(&ds, &config).expect("pipeline fit");
+    // Count only resolution-phase telemetry: fit's Encode stages and
+    // training spans are not what this harness reports.
+    vaer_obs::reset();
+
+    let k = config.knn_k;
+    let mut plan = pipeline.resolve_plan();
+    let full = plan.run(k, 0.5).expect("resolve");
+    let rerun = plan.run(k, 0.9).expect("threshold re-run");
+    let wider = plan.run(2 * k, 0.5).expect("wider-k resolve");
+    let entities = plan.entities(k, 0.5, false).expect("clustering");
+
+    let sink = ObsSink::snapshot();
+    let stage_secs: Vec<(&str, f64, u64)> = STAGES
+        .iter()
+        .map(|name| {
+            let h = sink.histograms.iter().find(|h| h.name == *name);
+            (
+                *name,
+                h.map_or(0.0, |h| h.sum_nanos as f64 / 1e9),
+                h.map_or(0, |h| h.count),
+            )
+        })
+        .collect();
+
+    println!(
+        "{} candidates -> {} links at p>=0.5 ({} links at p>=0.9), {} entities\n",
+        full.candidates,
+        full.links.len(),
+        rerun.links.len(),
+        entities.len()
+    );
+    println!("{:<14} {:>6} {:>12}", "stage", "runs", "total");
+    for (name, secs, count) in &stage_secs {
+        println!("{name:<14} {count:>6} {:>9.3} ms", secs * 1e3);
+    }
+    let index_builds = sink.counter("exec.index.builds");
+    let cache_hits = sink.counter("exec.plan.cache.hits");
+    println!("\nindex builds: {index_builds}, plan cache hits: {cache_hits}");
+
+    if quick {
+        assert_eq!(
+            index_builds, 1,
+            "LSH index must be built exactly once per fitted pipeline"
+        );
+        assert!(rerun.reused, "threshold re-run recomputed the scores");
+        assert!(cache_hits >= 1, "no plan cache hit recorded");
+        assert!(!wider.reused, "a new k cannot be a cache hit");
+        for (name, _, count) in &stage_secs {
+            assert!(*count >= 1, "stage {name} never ran");
+        }
+    }
+
+    let mut rec = RunRecord::new("resolve_stages");
+    for (name, secs, count) in &stage_secs {
+        let key = name.replace('.', "_");
+        rec.num(&format!("{key}_secs"), *secs)
+            .int(&format!("{key}_runs"), *count);
+    }
+    rec.int("candidates", full.candidates as u64)
+        .int("links", full.links.len() as u64)
+        .int("entities", entities.len() as u64)
+        .int("index_builds", index_builds)
+        .int("plan_cache_hits", cache_hits)
+        .int("k", k as u64);
+    rec.append();
+}

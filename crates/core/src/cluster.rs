@@ -159,12 +159,24 @@ pub fn cluster_links(
 
 /// Pairwise cluster quality against ground-truth duplicate pairs: a pair
 /// counts as predicted-positive when both rows land in one cluster.
+///
+/// # Errors
+/// [`crate::CoreError::BadInput`] when a truth pair references a row
+/// outside either table — same contract as [`cluster_links`]: ground
+/// truth is data (files, generators), not a programming invariant.
 pub fn pairwise_cluster_metrics(
     clusters: &[EntityCluster],
     truth: &[(usize, usize)],
     len_a: usize,
     len_b: usize,
-) -> vaer_stats::metrics::PrF1 {
+) -> Result<vaer_stats::metrics::PrF1, crate::CoreError> {
+    for &(a, b) in truth {
+        if a >= len_a || b >= len_b {
+            return Err(crate::CoreError::BadInput(format!(
+                "truth pair ({a}, {b}) is out of range for tables of {len_a} x {len_b} rows"
+            )));
+        }
+    }
     let mut cluster_of_a = vec![usize::MAX; len_a];
     let mut cluster_of_b = vec![usize::MAX; len_b];
     for (ci, c) in clusters.iter().enumerate() {
@@ -196,7 +208,7 @@ pub fn pairwise_cluster_metrics(
         .iter()
         .filter(|&&(a, b)| cluster_of_a[a] == usize::MAX || cluster_of_a[a] != cluster_of_b[b])
         .count();
-    vaer_stats::metrics::PrF1::from_counts(tp, fp, fn_, 0)
+    Ok(vaer_stats::metrics::PrF1::from_counts(tp, fp, fn_, 0))
 }
 
 #[cfg(test)]
@@ -252,13 +264,29 @@ mod tests {
     fn pairwise_metrics_perfect_and_imperfect() {
         let truth = vec![(0, 0), (1, 1)];
         let perfect = cluster_links(&[(0, 0), (1, 1)], 2, 2, false).unwrap();
-        let m = pairwise_cluster_metrics(&perfect, &truth, 2, 2);
+        let m = pairwise_cluster_metrics(&perfect, &truth, 2, 2).unwrap();
         assert_eq!(m.f1, 1.0);
         // Over-merging costs precision: A0-B0 and A1-B0 in one cluster.
         let merged = cluster_links(&[(0, 0), (1, 0), (1, 1)], 2, 2, false).unwrap();
-        let m2 = pairwise_cluster_metrics(&merged, &truth, 2, 2);
+        let m2 = pairwise_cluster_metrics(&merged, &truth, 2, 2).unwrap();
         assert!(m2.precision < 1.0);
         assert_eq!(m2.recall, 1.0);
+    }
+
+    #[test]
+    fn pairwise_metrics_reject_out_of_range_truth() {
+        // Regression: this used to panic on `cluster_of_a[5]` instead of
+        // reporting the bad truth pair like `cluster_links` does.
+        let clusters = cluster_links(&[(0, 0)], 2, 2, false).unwrap();
+        let err = pairwise_cluster_metrics(&clusters, &[(5, 0)], 2, 2).unwrap_err();
+        assert!(
+            matches!(err, crate::CoreError::BadInput(_)),
+            "expected BadInput, got {err}"
+        );
+        assert!(err.to_string().contains("out of range"), "{err}");
+        assert!(pairwise_cluster_metrics(&clusters, &[(0, 9)], 2, 2).is_err());
+        // In-range truth on the same clusters still succeeds.
+        assert!(pairwise_cluster_metrics(&clusters, &[(0, 0), (1, 1)], 2, 2).is_ok());
     }
 
     #[test]

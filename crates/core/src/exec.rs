@@ -1,0 +1,755 @@
+//! Staged resolution executor: the deployment dataflow of §VI-B as
+//! composable stages.
+//!
+//! Resolution is a fixed five-stage dataflow:
+//!
+//! ```text
+//! Block ──► Encode ──► Score ──► Link ──► Cluster
+//! ```
+//!
+//! * **Block** — LSH top-`k` join over the frozen latent means, producing
+//!   candidate pairs ([`vaer_index::JoinCache`] memoises per `k`).
+//! * **Encode** — pair features: Distance-layer features from the latent
+//!   caches while the matcher's encoder is frozen, raw IR pair examples
+//!   otherwise.
+//! * **Score** — matcher probabilities for the candidate features.
+//! * **Link** — threshold cut + greedy one-to-one matching, dropping
+//!   NaN-probability candidates deterministically.
+//! * **Cluster** — union-find consolidation into resolved entities.
+//!
+//! Each stage is an object with typed inputs/outputs ([`Stage`]); the
+//! [`Executor`] wraps every invocation with a `vaer-obs` span named after
+//! the stage, run counters, a registered `vaer-fault` failpoint, and —
+//! when a [`crate::checkpoint::CheckpointStore`] is mounted — load/save of
+//! the stage's artifact, so a killed resolution resumes from the last
+//! durable stage instead of re-blocking and re-scoring.
+//!
+//! [`ResolvePlan`] owns the cross-run artifacts (the blocking join memo
+//! and per-`k` probabilities; the E2Lsh index itself lives on the fitted
+//! [`Pipeline`]) and re-runs the tail of the dataflow when only the
+//! threshold changes. `Pipeline::{fit, predict, resolve}` are all
+//! implemented on top of these stages; `Pipeline::resolve_reference`
+//! keeps the pre-refactor monolith alive as the equivalence oracle.
+
+use crate::checkpoint::CheckpointStore;
+use crate::cluster::{cluster_links, EntityCluster};
+use crate::latent::{self, LatentTable};
+use crate::matcher::PairExamples;
+use crate::pipeline::Pipeline;
+use crate::repr::ReprModel;
+use crate::CoreError;
+use std::collections::BTreeMap;
+use vaer_index::{CandidatePair, JoinCache};
+use vaer_linalg::Matrix;
+
+/// Every executor stage, in dataflow order. Each name is simultaneously
+/// the stage's obs span name and its registered failpoint; the
+/// `stage-registry` lint rule holds this list against both registries.
+pub const STAGES: &[&str] = &[
+    "exec.block",
+    "exec.encode",
+    "exec.score",
+    "exec.link",
+    "exec.cluster",
+];
+
+/// Identity of a stage: names its span/failpoint and its checkpoint slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// LSH blocking join.
+    Block,
+    /// Pair-feature construction.
+    Encode,
+    /// Matcher scoring.
+    Score,
+    /// Threshold + one-to-one link selection.
+    Link,
+    /// Entity consolidation.
+    Cluster,
+}
+
+impl StageKind {
+    /// The registered span/failpoint name (an entry of [`STAGES`]).
+    pub fn name(self) -> &'static str {
+        match self {
+            StageKind::Block => "exec.block",
+            StageKind::Encode => "exec.encode",
+            StageKind::Score => "exec.score",
+            StageKind::Link => "exec.link",
+            StageKind::Cluster => "exec.cluster",
+        }
+    }
+
+    /// Checkpoint sequence slot (dataflow position, 1-based).
+    pub fn seq(self) -> u64 {
+        match self {
+            StageKind::Block => 1,
+            StageKind::Encode => 2,
+            StageKind::Score => 3,
+            StageKind::Link => 4,
+            StageKind::Cluster => 5,
+        }
+    }
+
+    /// Fires this stage's failpoint. Names are spelled out literally so
+    /// the failpoint registry lint sees one call site per entry.
+    ///
+    /// # Panics
+    /// Panics when the stage's failpoint is armed with
+    /// [`vaer_fault::Action::Panic`] — the injected-crash feature.
+    fn trigger(self) -> Option<vaer_fault::Action> {
+        match self {
+            StageKind::Block => vaer_fault::trigger("exec.block"),
+            StageKind::Encode => vaer_fault::trigger("exec.encode"),
+            StageKind::Score => vaer_fault::trigger("exec.score"),
+            StageKind::Link => vaer_fault::trigger("exec.link"),
+            StageKind::Cluster => vaer_fault::trigger("exec.cluster"),
+        }
+    }
+
+    /// Opens this stage's obs span. Literal names for the same reason as
+    /// [`trigger`](Self::trigger).
+    fn span(self) -> vaer_obs::SpanGuard {
+        match self {
+            StageKind::Block => vaer_obs::span("exec.block"),
+            StageKind::Encode => vaer_obs::span("exec.encode"),
+            StageKind::Score => vaer_obs::span("exec.score"),
+            StageKind::Link => vaer_obs::span("exec.link"),
+            StageKind::Cluster => vaer_obs::span("exec.cluster"),
+        }
+    }
+}
+
+/// One resolution stage: a typed `Input → Output` transform plus
+/// optional checkpoint (de)serialisation of its artifact.
+///
+/// Implementations are cheap transient objects borrowing the fitted
+/// pipeline's artifacts; all policy (spans, counters, failpoints,
+/// durability) lives in [`Executor::run`], so a stage body is exactly the
+/// computation.
+pub trait Stage {
+    /// What the stage consumes.
+    type Input;
+    /// What the stage produces.
+    type Output;
+
+    /// Which stage this is (names the span, failpoint, checkpoint slot).
+    fn kind(&self) -> StageKind;
+
+    /// The stage computation.
+    ///
+    /// # Errors
+    /// Stage-specific input validation ([`CoreError::BadInput`]).
+    fn run(&mut self, input: Self::Input) -> Result<Self::Output, CoreError>;
+
+    /// Serialises the artifact for checkpointing; `None` (the default)
+    /// means the stage's output is cheap to recompute and is never
+    /// persisted.
+    fn save(&self, _out: &Self::Output) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Deserialises a checkpointed artifact; `None` on any mismatch, in
+    /// which case the executor recomputes.
+    fn load(&self, _bytes: &[u8]) -> Option<Self::Output> {
+        None
+    }
+}
+
+/// Runs stages with uniform telemetry, fault injection, and durability.
+///
+/// Checkpointed artifacts are stamped with the caller's `fingerprint`
+/// (seed ⊕ model ⊕ plan parameters); a stored artifact whose stamp does
+/// not match is ignored, not trusted.
+#[derive(Default)]
+pub struct Executor {
+    store: Option<CheckpointStore>,
+}
+
+impl Executor {
+    /// An executor without durability: stages always recompute.
+    pub fn new() -> Self {
+        Self { store: None }
+    }
+
+    /// An executor that loads/saves checkpointable stage artifacts in
+    /// `store`.
+    pub fn with_checkpoints(store: CheckpointStore) -> Self {
+        Self { store: Some(store) }
+    }
+
+    /// Whether a checkpoint store is mounted.
+    pub fn durable(&self) -> bool {
+        self.store.is_some()
+    }
+
+    /// Runs one stage: span + counters + failpoint, resuming from a
+    /// fingerprint-matching checkpoint when possible and persisting the
+    /// artifact afterwards when the stage opts in via [`Stage::save`].
+    ///
+    /// # Errors
+    /// The stage's own validation errors, [`CoreError::Io`] when the
+    /// stage's failpoint injects one or a checkpoint write fails.
+    ///
+    /// # Panics
+    /// Panics when the stage's failpoint is armed with
+    /// [`vaer_fault::Action::Panic`] (injected crash).
+    pub fn run<S: Stage>(
+        &self,
+        stage: &mut S,
+        input: S::Input,
+        fingerprint: u64,
+    ) -> Result<S::Output, CoreError> {
+        let kind = stage.kind();
+        let _span = kind.span();
+        crate::obs::handles().exec_stage_runs.incr();
+        if let Some(vaer_fault::Action::Err) = kind.trigger() {
+            return Err(CoreError::Io(std::io::Error::other(format!(
+                "injected failure at stage {}",
+                kind.name()
+            ))));
+        }
+        if let Some(store) = &self.store {
+            if let Some(out) = try_resume(store, stage, fingerprint) {
+                crate::obs::handles().exec_stage_resumed.incr();
+                return Ok(out);
+            }
+        }
+        let out = stage.run(input)?;
+        if let Some(store) = &self.store {
+            if let Some(body) = stage.save(&out) {
+                let mut payload = fingerprint.to_le_bytes().to_vec();
+                payload.extend_from_slice(&body);
+                store.write(kind.seq(), &payload)?;
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Loads a stage's checkpointed artifact when present, uncorrupted, and
+/// stamped with the expected fingerprint.
+fn try_resume<S: Stage>(store: &CheckpointStore, stage: &S, fingerprint: u64) -> Option<S::Output> {
+    let payload = store.read(stage.kind().seq()).ok()?;
+    let stamp = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?);
+    if stamp != fingerprint {
+        return None;
+    }
+    stage.load(&payload[8..])
+}
+
+// ---------------------------------------------------------------------
+// Concrete stages
+// ---------------------------------------------------------------------
+
+/// Block: top-`k` LSH join of table A's latent means against the
+/// plan-owned index over table B's.
+pub struct BlockStage<'c, 'p> {
+    /// Per-`k` join memo owned by the plan.
+    pub cache: &'c mut JoinCache<'p>,
+}
+
+impl Stage for BlockStage<'_, '_> {
+    type Input = usize;
+    type Output = Vec<CandidatePair>;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Block
+    }
+
+    fn run(&mut self, k: usize) -> Result<Self::Output, CoreError> {
+        Ok(self.cache.candidates(k).to_vec())
+    }
+
+    fn save(&self, out: &Self::Output) -> Option<Vec<u8>> {
+        Some(save_candidates(out))
+    }
+
+    fn load(&self, bytes: &[u8]) -> Option<Self::Output> {
+        load_candidates(bytes)
+    }
+}
+
+/// Bit-exact candidate-list serialisation (u64 count, then
+/// `(left, right, distance-bits)` records).
+fn save_candidates(out: &[CandidatePair]) -> Vec<u8> {
+    let mut bytes = (out.len() as u64).to_le_bytes().to_vec();
+    for c in out {
+        bytes.extend_from_slice(&(c.left as u64).to_le_bytes());
+        bytes.extend_from_slice(&(c.right as u64).to_le_bytes());
+        bytes.extend_from_slice(&c.distance.to_bits().to_le_bytes());
+    }
+    bytes
+}
+
+fn load_candidates(bytes: &[u8]) -> Option<Vec<CandidatePair>> {
+    let n = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+    let body = bytes.get(8..)?;
+    if body.len() != n * 20 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for rec in body.chunks_exact(20) {
+        out.push(CandidatePair {
+            left: u64::from_le_bytes(rec[..8].try_into().ok()?) as usize,
+            right: u64::from_le_bytes(rec[8..16].try_into().ok()?) as usize,
+            distance: f32::from_bits(u32::from_le_bytes(rec[16..].try_into().ok()?)),
+        });
+    }
+    Some(out)
+}
+
+/// Pair features handed from Encode to Score.
+pub enum PairFeatures {
+    /// Distance-layer features from the frozen-encoder latent caches.
+    Cached(Matrix),
+    /// Raw IR pair examples for a fine-tuned encoder.
+    Raw(PairExamples),
+}
+
+impl PairFeatures {
+    /// Number of pairs the features cover.
+    pub fn len(&self) -> usize {
+        match self {
+            PairFeatures::Cached(m) => m.rows(),
+            PairFeatures::Raw(ex) => ex.len(),
+        }
+    }
+
+    /// Whether the feature set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Encode: pair features for candidate `(a_row, b_row)` pairs — from the
+/// latent caches while the matcher's encoder is frozen (the common case),
+/// from raw IRs otherwise.
+pub struct EncodeStage<'p> {
+    /// The fitted pipeline whose caches/IRs feed the features.
+    pub pipeline: &'p Pipeline,
+}
+
+impl Stage for EncodeStage<'_> {
+    type Input = Vec<(usize, usize)>;
+    type Output = PairFeatures;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Encode
+    }
+
+    fn run(&mut self, pairs: Self::Input) -> Result<Self::Output, CoreError> {
+        let p = self.pipeline;
+        if p.matcher.encoder_frozen() {
+            Ok(PairFeatures::Cached(latent::distance_features(
+                p.config.matcher.distance,
+                &p.lat_a,
+                &p.lat_b,
+                &pairs,
+            )))
+        } else {
+            Ok(PairFeatures::Raw(PairExamples::build_unlabeled(
+                &p.irs_a, &p.irs_b, &pairs,
+            )))
+        }
+    }
+}
+
+/// Encode (fit-time variant): one table's IRs into a frozen latent cache.
+/// Same stage identity as [`EncodeStage`] — it is the same dataflow node,
+/// reached from `fit` instead of `resolve`.
+pub struct EncodeTableStage<'a> {
+    /// The frozen representation model.
+    pub repr: &'a ReprModel,
+    /// The IR table to encode.
+    pub table: &'a crate::entity::IrTable,
+}
+
+impl Stage for EncodeTableStage<'_> {
+    type Input = ();
+    type Output = LatentTable;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Encode
+    }
+
+    fn run(&mut self, (): ()) -> Result<Self::Output, CoreError> {
+        Ok(LatentTable::encode(self.repr, self.table))
+    }
+}
+
+/// Score: matcher probabilities for encoded candidate pairs.
+pub struct ScoreStage<'p> {
+    /// The fitted pipeline whose matcher scores the features.
+    pub pipeline: &'p Pipeline,
+}
+
+impl Stage for ScoreStage<'_> {
+    type Input = PairFeatures;
+    type Output = Vec<f32>;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Score
+    }
+
+    fn run(&mut self, features: PairFeatures) -> Result<Self::Output, CoreError> {
+        Ok(match features {
+            PairFeatures::Cached(m) => self.pipeline.matcher.predict_features(&m),
+            PairFeatures::Raw(ex) => self.pipeline.matcher.predict(&ex),
+        })
+    }
+
+    fn save(&self, out: &Self::Output) -> Option<Vec<u8>> {
+        Some(save_probs(out))
+    }
+
+    fn load(&self, bytes: &[u8]) -> Option<Self::Output> {
+        load_probs(bytes)
+    }
+}
+
+/// Bit-exact probability serialisation (u64 count, then f32 bit
+/// patterns) — NaNs survive the round trip unchanged.
+fn save_probs(out: &[f32]) -> Vec<u8> {
+    let mut bytes = (out.len() as u64).to_le_bytes().to_vec();
+    for p in out {
+        bytes.extend_from_slice(&p.to_bits().to_le_bytes());
+    }
+    bytes
+}
+
+fn load_probs(bytes: &[u8]) -> Option<Vec<f32>> {
+    let n = u64::from_le_bytes(bytes.get(..8)?.try_into().ok()?) as usize;
+    let body = bytes.get(8..)?;
+    if body.len() != n * 4 {
+        return None;
+    }
+    let mut out = Vec::with_capacity(n);
+    for rec in body.chunks_exact(4) {
+        out.push(f32::from_bits(u32::from_le_bytes(rec.try_into().ok()?)));
+    }
+    Some(out)
+}
+
+/// Link: threshold cut plus greedy one-to-one matching by descending
+/// probability. Candidates whose probability is NaN (an upstream model
+/// pathology) are dropped before the cut, deterministically — they can
+/// neither link nor perturb the sort.
+pub struct LinkStage {
+    /// Minimum probability for a candidate to become a link.
+    pub threshold: f32,
+}
+
+impl Stage for LinkStage {
+    type Input = (Vec<CandidatePair>, Vec<f32>);
+    type Output = Vec<(usize, usize, f32)>;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Link
+    }
+
+    fn run(&mut self, (candidates, probs): Self::Input) -> Result<Self::Output, CoreError> {
+        if candidates.len() != probs.len() {
+            return Err(CoreError::BadInput(format!(
+                "{} candidates scored with {} probabilities",
+                candidates.len(),
+                probs.len()
+            )));
+        }
+        let mut links: Vec<(usize, usize, f32)> = candidates
+            .iter()
+            .zip(&probs)
+            .filter(|(_, &p)| !p.is_nan() && p >= self.threshold)
+            .map(|(c, &p)| (c.left, c.right, p))
+            .collect();
+        // NaN-free by construction, so partial_cmp is total here; the
+        // stable sort keeps candidate order among equal probabilities.
+        links.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+        let mut used_a = std::collections::BTreeSet::new();
+        let mut used_b = std::collections::BTreeSet::new();
+        links.retain(|&(a, b, _)| {
+            if used_a.contains(&a) || used_b.contains(&b) {
+                return false;
+            }
+            used_a.insert(a);
+            used_b.insert(b);
+            true
+        });
+        Ok(links)
+    }
+}
+
+/// Cluster: union-find consolidation of links into resolved entities.
+pub struct ClusterStage {
+    /// Rows in table A.
+    pub len_a: usize,
+    /// Rows in table B.
+    pub len_b: usize,
+    /// Whether unlinked rows become singleton clusters.
+    pub include_singletons: bool,
+}
+
+impl Stage for ClusterStage {
+    type Input = Vec<(usize, usize)>;
+    type Output = Vec<EntityCluster>;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Cluster
+    }
+
+    fn run(&mut self, links: Self::Input) -> Result<Self::Output, CoreError> {
+        cluster_links(&links, self.len_a, self.len_b, self.include_singletons)
+    }
+}
+
+// ---------------------------------------------------------------------
+// ResolvePlan
+// ---------------------------------------------------------------------
+
+/// The outcome of one [`ResolvePlan::run`].
+#[derive(Debug, Clone)]
+pub struct Resolution {
+    /// `(a_row, b_row, probability)` links, descending probability,
+    /// one-to-one.
+    pub links: Vec<(usize, usize, f32)>,
+    /// Candidate pairs the blocking stage produced for this `k`.
+    pub candidates: usize,
+    /// Whether Block/Encode/Score were skipped because this `k` was
+    /// already scored by an earlier run (threshold-only re-run).
+    pub reused: bool,
+}
+
+/// A re-runnable resolution over one fitted pipeline.
+///
+/// The plan owns the cross-run artifacts: the per-`k` blocking join memo
+/// and the per-`k` candidate probabilities (the E2Lsh index itself is
+/// owned by the [`Pipeline`] and shared by every plan). Re-running with a
+/// new `threshold` at a known `k` executes only the Link stage;
+/// re-running with a new `k` re-blocks and re-scores but never rebuilds
+/// the index. Artifacts never invalidate mid-plan because the pipeline is
+/// immutable once fitted; a newly fitted (or transferred) pipeline means
+/// a new plan.
+pub struct ResolvePlan<'p> {
+    pipeline: &'p Pipeline,
+    executor: Executor,
+    blocks: JoinCache<'p>,
+    scored: BTreeMap<usize, Vec<f32>>,
+}
+
+impl<'p> ResolvePlan<'p> {
+    /// A plan over `pipeline`, building the blocking index now if no
+    /// earlier plan/resolve call already has.
+    pub fn new(pipeline: &'p Pipeline) -> Self {
+        Self {
+            pipeline,
+            executor: Executor::new(),
+            blocks: JoinCache::new(pipeline.query_keys(), pipeline.blocking_index()),
+            scored: BTreeMap::new(),
+        }
+    }
+
+    /// Mounts a checkpoint store: Block and Score artifacts become
+    /// durable, and a plan opened on the same store after a crash resumes
+    /// from them instead of recomputing.
+    pub fn with_checkpoints(mut self, store: CheckpointStore) -> Self {
+        self.executor = Executor::with_checkpoints(store);
+        self
+    }
+
+    /// Stamp for checkpointed artifacts: run parameters that change the
+    /// artifact's content (model + seed + `k`).
+    fn fingerprint(&self, k: usize) -> u64 {
+        self.pipeline.config.seed
+            ^ self.pipeline.repr.fingerprint().rotate_left(17)
+            ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+    }
+
+    /// Runs Block → Encode → Score → Link for this `(k, threshold)`,
+    /// reusing every artifact an earlier run of this plan produced.
+    ///
+    /// # Errors
+    /// Stage validation errors, or [`CoreError::Io`] from injected
+    /// failpoints / checkpoint writes.
+    pub fn run(&mut self, k: usize, threshold: f32) -> Result<Resolution, CoreError> {
+        crate::obs::handles().exec_plan_runs.incr();
+        let fingerprint = self.fingerprint(k);
+        let reused = self.blocks.contains(k) && self.scored.contains_key(&k);
+        let (candidates, probs) = if reused {
+            crate::obs::handles().exec_plan_cache_hits.incr();
+            (
+                self.blocks.candidates(k).to_vec(),
+                self.scored[&k].clone(),
+            )
+        } else {
+            let candidates = self.executor.run(
+                &mut BlockStage {
+                    cache: &mut self.blocks,
+                },
+                k,
+                fingerprint,
+            )?;
+            // A checkpoint-resumed Block bypasses the join memo; seed it
+            // so threshold re-runs stay pure cache hits.
+            if !self.blocks.contains(k) {
+                self.blocks.insert(k, candidates.clone());
+            }
+            let pairs: Vec<(usize, usize)> = candidates.iter().map(|c| (c.left, c.right)).collect();
+            let features = self.executor.run(
+                &mut EncodeStage {
+                    pipeline: self.pipeline,
+                },
+                pairs,
+                fingerprint,
+            )?;
+            let probs = self.executor.run(
+                &mut ScoreStage {
+                    pipeline: self.pipeline,
+                },
+                features,
+                fingerprint,
+            )?;
+            self.scored.insert(k, probs.clone());
+            (candidates, probs)
+        };
+        let n_candidates = candidates.len();
+        let links = self
+            .executor
+            .run(&mut LinkStage { threshold }, (candidates, probs), fingerprint)?;
+        Ok(Resolution {
+            links,
+            candidates: n_candidates,
+            reused,
+        })
+    }
+
+    /// Runs the full dataflow through Cluster: resolved entity clusters
+    /// at this `(k, threshold)`.
+    ///
+    /// # Errors
+    /// Same as [`run`](Self::run).
+    pub fn entities(
+        &mut self,
+        k: usize,
+        threshold: f32,
+        include_singletons: bool,
+    ) -> Result<Vec<EntityCluster>, CoreError> {
+        let resolution = self.run(k, threshold)?;
+        let fingerprint = self.fingerprint(k);
+        let links: Vec<(usize, usize)> =
+            resolution.links.iter().map(|&(a, b, _)| (a, b)).collect();
+        self.executor.run(
+            &mut ClusterStage {
+                len_a: self.pipeline.reprs_a.len(),
+                len_b: self.pipeline.reprs_b.len(),
+                include_singletons,
+            },
+            links,
+            fingerprint,
+        )
+    }
+
+    /// The pipeline this plan resolves over.
+    pub fn pipeline(&self) -> &'p Pipeline {
+        self.pipeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_match_registries() {
+        // Defense in depth alongside the `stage-registry` lint rule: the
+        // executor's stage list is a subset of both closed registries.
+        for name in STAGES {
+            assert!(
+                vaer_fault::FAILPOINTS.contains(name),
+                "stage {name} missing from FAILPOINTS"
+            );
+            assert!(
+                vaer_obs::registry::is_registered(name),
+                "stage {name} outside registered obs namespaces"
+            );
+        }
+        let kinds = [
+            StageKind::Block,
+            StageKind::Encode,
+            StageKind::Score,
+            StageKind::Link,
+            StageKind::Cluster,
+        ];
+        let names: Vec<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names, STAGES, "StageKind::name drifted from STAGES");
+        let mut seqs: Vec<u64> = kinds.iter().map(|k| k.seq()).collect();
+        seqs.dedup();
+        assert_eq!(seqs.len(), kinds.len(), "checkpoint slots collide");
+    }
+
+    #[test]
+    fn link_stage_is_one_to_one_sorted_and_validates() {
+        let cand = |l: usize, r: usize| CandidatePair {
+            left: l,
+            right: r,
+            distance: 0.0,
+        };
+        let candidates = vec![cand(0, 0), cand(0, 1), cand(1, 1), cand(2, 2)];
+        let probs = vec![0.7, 0.9, 0.8, 0.2];
+        let mut stage = LinkStage { threshold: 0.5 };
+        let links = stage.run((candidates.clone(), probs)).unwrap();
+        // (0,1) wins row 0 at 0.9; (1,1) then loses column 1; (0,0) loses
+        // row 0; (2,2) is under threshold.
+        assert_eq!(links, vec![(0, 1, 0.9)]);
+        let err = stage.run((candidates, vec![0.5])).unwrap_err();
+        assert!(matches!(err, CoreError::BadInput(_)), "{err}");
+    }
+
+    #[test]
+    fn link_stage_drops_nan_probabilities_deterministically() {
+        let cand = |l: usize, r: usize| CandidatePair {
+            left: l,
+            right: r,
+            distance: 0.0,
+        };
+        let candidates = vec![cand(0, 0), cand(1, 1), cand(2, 2)];
+        let probs = vec![0.9, f32::NAN, 0.8];
+        let mut stage = LinkStage { threshold: 0.5 };
+        let first = stage.run((candidates.clone(), probs.clone())).unwrap();
+        assert_eq!(first, vec![(0, 0, 0.9), (2, 2, 0.8)]);
+        for _ in 0..10 {
+            assert_eq!(
+                stage.run((candidates.clone(), probs.clone())).unwrap(),
+                first,
+                "NaN handling was not deterministic"
+            );
+        }
+    }
+
+    #[test]
+    fn block_and_score_artifacts_roundtrip() {
+        let out = vec![
+            CandidatePair {
+                left: 3,
+                right: 9,
+                distance: 1.25,
+            },
+            CandidatePair {
+                left: 0,
+                right: 2,
+                distance: f32::MIN_POSITIVE,
+            },
+        ];
+        let bytes = save_candidates(&out);
+        assert_eq!(load_candidates(&bytes).unwrap(), out);
+        assert!(load_candidates(&bytes[..bytes.len() - 1]).is_none(), "torn");
+        // Score probs round-trip bit-exactly, including weird floats.
+        let probs = vec![0.25_f32, f32::NAN, -0.0, 1.0];
+        let bytes = save_probs(&probs);
+        let back = load_probs(&bytes).unwrap();
+        assert_eq!(probs.len(), back.len());
+        for (a, b) in probs.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits(), "prob bits changed");
+        }
+        assert!(load_probs(&bytes[..bytes.len() - 2]).is_none(), "torn");
+    }
+}

@@ -15,7 +15,8 @@
 //!    diverse pairs for the user to label (paper §V).
 //! 4. [`transfer`] — a representation model trained on one domain is
 //!    serialised and reused on another without retraining (paper §III-D).
-//! 5. [`pipeline`] — glues everything into an end-to-end ER run,
+//! 5. [`pipeline`] — glues everything into an end-to-end ER run on the
+//!    staged [`exec`] dataflow (Block → Encode → Score → Link → Cluster),
 //!    [`evaluation`] implements the paper's top-K representation metrics,
 //!    and [`cluster`] consolidates pairwise links into resolved entities.
 //!
@@ -29,6 +30,7 @@ pub mod checkpoint;
 pub mod cluster;
 pub mod entity;
 pub mod evaluation;
+pub mod exec;
 pub mod latent;
 pub mod matcher;
 mod obs;

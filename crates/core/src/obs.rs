@@ -38,6 +38,19 @@ pub(crate) struct CoreObs {
     pub vae_rollbacks: Counter,
     /// Matcher epochs rolled back after divergence.
     pub matcher_rollbacks: Counter,
+    /// Executor stage invocations ([`crate::exec::Executor::run`]).
+    pub exec_stage_runs: Counter,
+    /// Stage invocations served from a checkpointed artifact instead of
+    /// recomputing.
+    pub exec_stage_resumed: Counter,
+    /// E2Lsh blocking indexes built — exactly one per fitted pipeline,
+    /// however many times `resolve` runs.
+    pub exec_index_builds: Counter,
+    /// `ResolvePlan::run` invocations.
+    pub exec_plan_runs: Counter,
+    /// Plan runs that reused memoised candidates/probabilities (threshold
+    /// re-runs skip Block/Encode/Score entirely).
+    pub exec_plan_cache_hits: Counter,
 }
 
 static CORE_OBS: OnceLock<CoreObs> = OnceLock::new();
@@ -57,5 +70,10 @@ pub(crate) fn handles() -> &'static CoreObs {
         journal_replays: vaer_obs::counter("journal.replays"),
         vae_rollbacks: vaer_obs::counter("vae.rollbacks"),
         matcher_rollbacks: vaer_obs::counter("matcher.rollbacks"),
+        exec_stage_runs: vaer_obs::counter("exec.stage.runs"),
+        exec_stage_resumed: vaer_obs::counter("exec.stage.resumed"),
+        exec_index_builds: vaer_obs::counter("exec.index.builds"),
+        exec_plan_runs: vaer_obs::counter("exec.plan.runs"),
+        exec_plan_cache_hits: vaer_obs::counter("exec.plan.cache.hits"),
     })
 }

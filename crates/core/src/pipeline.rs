@@ -4,13 +4,16 @@
 
 use crate::entity::{EntityRepr, IrTable};
 use crate::evaluation::{topk_eval_irs, topk_eval_vae};
+use crate::exec::{self, ResolvePlan};
 use crate::latent::{self, LatentTable};
 use crate::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
 use crate::repr::{ReprConfig, ReprModel, ReprTrainStats};
 use crate::CoreError;
+use std::collections::BTreeSet;
 use std::path::PathBuf;
+use std::sync::OnceLock;
 use std::time::Instant;
-use vaer_data::{Dataset, PairSet};
+use vaer_data::{Dataset, LabeledPair, PairSet};
 use vaer_embed::{fit_ir_model, IrKind, IrModel};
 use vaer_index::{knn_join, CandidatePair, E2Lsh};
 use vaer_stats::metrics::{PrF1, TopKReport};
@@ -114,20 +117,33 @@ impl Timings {
     }
 }
 
+/// Lazily built resolution artifacts shared by every [`ResolvePlan`] (and
+/// `resolve` call) over one fitted pipeline: the flattened blocking keys
+/// of table A and the E2Lsh index over table B's. The latents are frozen
+/// once fitting ends, so both are built at most once per pipeline —
+/// `exec.index.builds` counts exactly one build however many times
+/// resolution runs.
+#[derive(Default)]
+struct PlanArtifacts {
+    keys_a: OnceLock<Vec<Vec<f32>>>,
+    index: OnceLock<E2Lsh>,
+}
+
 /// A fitted end-to-end VAER pipeline.
 pub struct Pipeline {
     ir_model: Box<dyn IrModel>,
-    repr: ReprModel,
-    matcher: SiameseMatcher,
-    irs_a: IrTable,
-    irs_b: IrTable,
-    lat_a: LatentTable,
-    lat_b: LatentTable,
-    reprs_a: Vec<EntityRepr>,
-    reprs_b: Vec<EntityRepr>,
+    pub(crate) repr: ReprModel,
+    pub(crate) matcher: SiameseMatcher,
+    pub(crate) irs_a: IrTable,
+    pub(crate) irs_b: IrTable,
+    pub(crate) lat_a: LatentTable,
+    pub(crate) lat_b: LatentTable,
+    pub(crate) reprs_a: Vec<EntityRepr>,
+    pub(crate) reprs_b: Vec<EntityRepr>,
     timings: Timings,
     repr_stats: ReprTrainStats,
-    config: PipelineConfig,
+    pub(crate) config: PipelineConfig,
+    artifacts: PlanArtifacts,
 }
 
 impl Pipeline {
@@ -216,10 +232,26 @@ impl Pipeline {
             }
         };
         // The representation model is frozen from here on: encode each
-        // table once into a latent cache; entity representations, matcher
-        // features, and resolution all read from it.
-        let lat_a = LatentTable::encode(&repr, &irs_a);
-        let lat_b = LatentTable::encode(&repr, &irs_b);
+        // table once into a latent cache via the executor's Encode stage;
+        // entity representations, matcher features, and resolution all
+        // read from it.
+        let executor = exec::Executor::new();
+        let lat_a = executor.run(
+            &mut exec::EncodeTableStage {
+                repr: &repr,
+                table: &irs_a,
+            },
+            (),
+            config.seed,
+        )?;
+        let lat_b = executor.run(
+            &mut exec::EncodeTableStage {
+                repr: &repr,
+                table: &irs_b,
+            },
+            (),
+            config.seed ^ 1,
+        )?;
         let reprs_a = lat_a.entities();
         let reprs_b = lat_b.entities();
         drop(stage);
@@ -235,15 +267,19 @@ impl Pipeline {
         let mut train_pairs = dataset.train_pairs.clone();
         let n_auto = (config.auto_negative_ratio * train_pairs.pairs.len() as f32).round() as usize;
         if n_auto > 0 && !dataset.table_a.is_empty() && !dataset.table_b.is_empty() {
-            use rand::{rngs::StdRng, RngExt, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(config.seed ^ 0xA06E);
-            for _ in 0..n_auto {
-                train_pairs.pairs.push(vaer_data::LabeledPair {
-                    left: rng.random_range(0..dataset.table_a.len()),
-                    right: rng.random_range(0..dataset.table_b.len()),
-                    is_match: false,
-                });
-            }
+            let positives: BTreeSet<(usize, usize)> = train_pairs
+                .pairs
+                .iter()
+                .filter(|p| p.is_match)
+                .map(|p| (p.left, p.right))
+                .collect();
+            train_pairs.pairs.extend(sample_auto_negatives(
+                n_auto,
+                dataset.table_a.len(),
+                dataset.table_b.len(),
+                &positives,
+                config.seed ^ 0xA06E,
+            ));
         }
         let matcher = if SiameseMatcher::frozen_for(&matcher_config, train_pairs.pairs.len()) {
             let pairs: Vec<(usize, usize)> = train_pairs
@@ -294,25 +330,34 @@ impl Pipeline {
             },
             repr_stats,
             config: config.clone(),
+            artifacts: PlanArtifacts::default(),
         })
     }
 
-    /// Duplicate probabilities for labelled pairs. While the matcher's
-    /// encoder is frozen (the common case) the features come from the
-    /// latent caches rather than re-running the encoder per call.
+    /// Duplicate probabilities for labelled pairs, via the executor's
+    /// Encode → Score stages. While the matcher's encoder is frozen (the
+    /// common case) the features come from the latent caches rather than
+    /// re-running the encoder per call.
+    ///
+    /// # Panics
+    /// Panics when a `vaer-fault` failpoint injects an error into the
+    /// Encode/Score stages — outside fault-injection tests the stage
+    /// computations are infallible.
     pub fn predict(&self, pairs: &PairSet) -> Vec<f32> {
-        if self.matcher.encoder_frozen() {
-            let idx: Vec<(usize, usize)> = pairs.pairs.iter().map(|p| (p.left, p.right)).collect();
-            let features = latent::distance_features(
-                self.config.matcher.distance,
-                &self.lat_a,
-                &self.lat_b,
-                &idx,
-            );
-            self.matcher.predict_features(&features)
-        } else {
-            self.matcher
-                .predict(&PairExamples::build(&self.irs_a, &self.irs_b, pairs))
+        let idx: Vec<(usize, usize)> = pairs.pairs.iter().map(|p| (p.left, p.right)).collect();
+        let executor = exec::Executor::new();
+        let scored = executor
+            .run(&mut exec::EncodeStage { pipeline: self }, idx, self.config.seed)
+            .and_then(|features| {
+                executor.run(
+                    &mut exec::ScoreStage { pipeline: self },
+                    features,
+                    self.config.seed,
+                )
+            });
+        match scored {
+            Ok(probs) => probs,
+            Err(e) => panic!("prediction stages failed: {e}"),
         }
     }
 
@@ -339,36 +384,98 @@ impl Pipeline {
         crate::evaluation::recall_at_k_vae(&self.reprs_a, &self.reprs_b, duplicates, k)
     }
 
+    /// The plan-owned E2Lsh blocking index over table B's latent means,
+    /// built on first use and shared by every later blocking or
+    /// resolution call (the latents are frozen, so it never goes stale).
+    pub fn blocking_index(&self) -> &E2Lsh {
+        self.artifacts.index.get_or_init(|| {
+            crate::obs::handles().exec_index_builds.incr();
+            let b_keys: Vec<Vec<f32>> = self.reprs_b.iter().map(EntityRepr::flat_mu).collect();
+            E2Lsh::build_calibrated(b_keys, self.config.seed ^ 0xB10C)
+        })
+    }
+
+    /// Table A's flattened latent means — the blocking query keys, built
+    /// once alongside the index.
+    pub(crate) fn query_keys(&self) -> &[Vec<f32>] {
+        self.artifacts
+            .keys_a
+            .get_or_init(|| self.reprs_a.iter().map(EntityRepr::flat_mu).collect())
+    }
+
     /// LSH blocking: candidate pairs from the latent means (§VI-B) — the
     /// filter an end-to-end deployment would run before matching.
     pub fn blocking_candidates(&self, k: usize) -> Vec<CandidatePair> {
-        let b_keys: Vec<Vec<f32>> = self.reprs_b.iter().map(EntityRepr::flat_mu).collect();
-        let a_keys: Vec<Vec<f32>> = self.reprs_a.iter().map(EntityRepr::flat_mu).collect();
-        let index = E2Lsh::build_calibrated(b_keys, self.config.seed ^ 0xB10C);
-        knn_join(&a_keys, &index, k)
+        knn_join(self.query_keys(), self.blocking_index(), k)
+    }
+
+    /// A re-runnable resolution plan over this pipeline: the staged
+    /// Block → Encode → Score → Link → Cluster dataflow with per-`k`
+    /// artifact reuse, optional checkpointing, and typed errors. Use this
+    /// instead of [`resolve`](Self::resolve) to sweep thresholds without
+    /// re-blocking or to survive mid-resolution crashes.
+    pub fn resolve_plan(&self) -> ResolvePlan<'_> {
+        ResolvePlan::new(self)
     }
 
     /// Full ER resolution: LSH blocking with top-`k` candidates, then
     /// matcher scoring, keeping links with probability above `threshold`.
     /// Returns `(a_row, b_row, probability)` triples sorted by descending
-    /// confidence — the deployment entry point sketched in §VI-B.
+    /// confidence — the deployment entry point sketched in §VI-B, run on
+    /// the staged executor (see [`resolve_plan`](Self::resolve_plan) for
+    /// the re-runnable form).
     ///
     /// Links are constrained to a (partial) one-to-one matching: each row
     /// participates in at most one link, resolved greedily by descending
     /// probability. Two deduplicated tables can share at most one record
     /// per entity, so many-to-many link sets are structurally wrong and
     /// were the main precision leak of an unconstrained threshold cut.
+    /// Candidates scored NaN by a pathological matcher are dropped before
+    /// the threshold cut, deterministically.
+    ///
+    /// # Panics
+    /// Panics when a `vaer-fault` failpoint injects an error into a
+    /// resolution stage — outside fault-injection tests the stage
+    /// computations are infallible.
     pub fn resolve(&self, k: usize, threshold: f32) -> Vec<(usize, usize, f32)> {
-        let candidates = self.blocking_candidates(k);
+        match self.resolve_plan().run(k, threshold) {
+            Ok(resolution) => resolution.links,
+            Err(e) => panic!("resolution stages failed: {e}"),
+        }
+    }
+
+    /// The pre-refactor monolithic resolution path, kept verbatim as the
+    /// oracle for the executor equivalence suite: it rebuilds the LSH
+    /// index and re-scores from scratch on every call, exactly as
+    /// `resolve` did before the staged executor existed. Its output must
+    /// stay bit-identical to [`resolve`](Self::resolve) at the same
+    /// `(k, threshold)`.
+    pub fn resolve_reference(&self, k: usize, threshold: f32) -> Vec<(usize, usize, f32)> {
+        let b_keys: Vec<Vec<f32>> = self.reprs_b.iter().map(EntityRepr::flat_mu).collect();
+        let a_keys: Vec<Vec<f32>> = self.reprs_a.iter().map(EntityRepr::flat_mu).collect();
+        let index = E2Lsh::build_calibrated(b_keys, self.config.seed ^ 0xB10C);
+        let candidates = knn_join(&a_keys, &index, k);
         let pairs: PairSet = candidates
             .iter()
-            .map(|c| vaer_data::LabeledPair {
+            .map(|c| LabeledPair {
                 left: c.left,
                 right: c.right,
                 is_match: false,
             })
             .collect();
-        let probs = self.predict(&pairs);
+        let probs = if self.matcher.encoder_frozen() {
+            let idx: Vec<(usize, usize)> = pairs.pairs.iter().map(|p| (p.left, p.right)).collect();
+            let features = latent::distance_features(
+                self.config.matcher.distance,
+                &self.lat_a,
+                &self.lat_b,
+                &idx,
+            );
+            self.matcher.predict_features(&features)
+        } else {
+            self.matcher
+                .predict(&PairExamples::build(&self.irs_a, &self.irs_b, &pairs))
+        };
         let mut links: Vec<(usize, usize, f32)> = pairs
             .pairs
             .iter()
@@ -435,6 +542,43 @@ impl Pipeline {
     pub fn config(&self) -> &PipelineConfig {
         &self.config
     }
+}
+
+/// Uniform random `(a, b)` auto-negatives avoiding every labelled
+/// positive. The paper's Algorithm-1 rationale — a random pair is a
+/// negative with overwhelming probability — breaks exactly when the draw
+/// *is* a labelled positive, which would feed the matcher contradictory
+/// labels for the same pair; such draws are rejected and resampled.
+/// Retries are bounded so dense-positive data (labelled matches covering
+/// most of the cross product) degrades to fewer auto-negatives instead of
+/// looping forever.
+pub(crate) fn sample_auto_negatives(
+    n: usize,
+    len_a: usize,
+    len_b: usize,
+    positives: &BTreeSet<(usize, usize)>,
+    seed: u64,
+) -> Vec<LabeledPair> {
+    use rand::{rngs::StdRng, RngExt, SeedableRng};
+    const MAX_RETRIES: usize = 32;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        for _ in 0..MAX_RETRIES {
+            let left = rng.random_range(0..len_a);
+            let right = rng.random_range(0..len_b);
+            if positives.contains(&(left, right)) {
+                continue;
+            }
+            out.push(LabeledPair {
+                left,
+                right,
+                is_match: false,
+            });
+            break;
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -557,6 +701,83 @@ mod tests {
             "no VAE snapshots written"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn auto_negatives_never_collide_with_positives() {
+        // Dense positives: 8 of the 9 cells of a 3x3 cross product are
+        // labelled matches, so naive uniform draws collide constantly.
+        let mut positives = BTreeSet::new();
+        for a in 0..3 {
+            for b in 0..3 {
+                if (a, b) != (2, 2) {
+                    positives.insert((a, b));
+                }
+            }
+        }
+        let negatives = sample_auto_negatives(50, 3, 3, &positives, 0xA06E);
+        assert!(!negatives.is_empty(), "one free cell, none found");
+        for p in &negatives {
+            assert!(
+                !positives.contains(&(p.left, p.right)),
+                "auto-negative ({}, {}) is a labelled positive",
+                p.left,
+                p.right
+            );
+            assert!(!p.is_match);
+        }
+    }
+
+    #[test]
+    fn auto_negatives_bound_retries_on_saturated_truth() {
+        // Every cell is a labelled positive: rejection sampling cannot
+        // succeed and must give up instead of spinning.
+        let positives: BTreeSet<(usize, usize)> =
+            (0..2).flat_map(|a| (0..2).map(move |b| (a, b))).collect();
+        assert!(sample_auto_negatives(10, 2, 2, &positives, 7).is_empty());
+    }
+
+    #[test]
+    fn auto_negatives_match_legacy_draws_when_collision_free() {
+        // With no positives the rejection sampler consumes the rng in the
+        // same order as the pre-fix loop — fitted models stay identical
+        // on realistic (sparse-positive) data.
+        use rand::{rngs::StdRng, RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        let legacy: Vec<(usize, usize)> = (0..20)
+            .map(|_| (rng.random_range(0..10), rng.random_range(0..7)))
+            .collect();
+        let sampled = sample_auto_negatives(20, 10, 7, &BTreeSet::new(), 99);
+        let got: Vec<(usize, usize)> = sampled.iter().map(|p| (p.left, p.right)).collect();
+        assert_eq!(got, legacy);
+    }
+
+    #[test]
+    fn resolve_plan_reuses_artifacts_across_runs() {
+        let ds = DomainSpec::new(Domain::Restaurants, Scale::Tiny).generate(6);
+        let p = Pipeline::fit(&ds, &fast_config(6)).unwrap();
+        let mut plan = p.resolve_plan();
+        let first = plan.run(5, 0.5).unwrap();
+        assert!(!first.reused);
+        // Same k, new threshold: Block/Encode/Score are skipped, and the
+        // link set matches a fresh resolve at that threshold exactly.
+        let rerun = plan.run(5, 0.8).unwrap();
+        assert!(rerun.reused, "threshold re-run recomputed the scores");
+        assert_eq!(rerun.candidates, first.candidates);
+        assert_eq!(rerun.links, p.resolve(5, 0.8));
+        // New k: re-blocks (not reused) but still never rebuilds the
+        // index (asserted via obs counters in tests/exec_resume.rs).
+        let wider = plan.run(7, 0.5).unwrap();
+        assert!(!wider.reused);
+        assert_eq!(wider.links, p.resolve(7, 0.5));
+        // Clustering through the plan matches clustering the links.
+        let entities = plan.entities(5, 0.5, false).unwrap();
+        let direct: Vec<(usize, usize)> =
+            first.links.iter().map(|&(a, b, _)| (a, b)).collect();
+        let expect =
+            crate::cluster::cluster_links(&direct, ds.table_a.len(), ds.table_b.len(), false)
+                .unwrap();
+        assert_eq!(entities, expect);
     }
 
     #[test]

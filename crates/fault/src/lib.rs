@@ -43,6 +43,14 @@ pub const FAILPOINTS: &[&str] = &[
     "al.round",
     // Durable snapshot write (supports err/torn/panic).
     "checkpoint.write",
+    // Resolution executor stage boundaries (support err/panic): LSH
+    // blocking, feature encoding, matcher scoring, link selection, and
+    // entity clustering.
+    "exec.block",
+    "exec.cluster",
+    "exec.encode",
+    "exec.link",
+    "exec.score",
     // Label journal append (supports err).
     "journal.append",
     // Matcher gradient step (supports nan).

@@ -2,6 +2,7 @@
 //! active-learning bootstrapping.
 
 use crate::KnnIndex;
+use std::collections::BTreeMap;
 
 /// One retrieved neighbour: the indexed point's position and its exact
 /// Euclidean distance to the query.
@@ -39,6 +40,59 @@ pub fn knn_join(queries: &[Vec<f32>], index: &dyn KnnIndex, k: usize) -> Vec<Can
         }
     }
     out
+}
+
+/// Memoises [`knn_join`] results per `k` over one immutable index.
+///
+/// Blocking is re-run whenever a resolution plan is asked for a new
+/// candidate budget; the index and query set never change between those
+/// calls, so the join output is a pure function of `k`. The cache borrows
+/// both sides and stores each distinct `k`'s candidate list the first
+/// time it is requested.
+pub struct JoinCache<'a> {
+    queries: &'a [Vec<f32>],
+    index: &'a dyn KnnIndex,
+    per_k: BTreeMap<usize, Vec<CandidatePair>>,
+}
+
+impl<'a> JoinCache<'a> {
+    /// An empty cache over `queries` joined against `index`.
+    pub fn new(queries: &'a [Vec<f32>], index: &'a dyn KnnIndex) -> Self {
+        Self {
+            queries,
+            index,
+            per_k: BTreeMap::new(),
+        }
+    }
+
+    /// Top-`k` candidates for every query — computed on first request,
+    /// served from the memo afterwards.
+    pub fn candidates(&mut self, k: usize) -> &[CandidatePair] {
+        self.per_k
+            .entry(k)
+            .or_insert_with(|| knn_join(self.queries, self.index, k))
+    }
+
+    /// Seeds the memo for `k` with an externally recovered candidate list
+    /// (e.g. a checkpointed blocking artifact), avoiding a recompute.
+    pub fn insert(&mut self, k: usize, pairs: Vec<CandidatePair>) {
+        self.per_k.insert(k, pairs);
+    }
+
+    /// Whether `k`'s join is already memoised.
+    pub fn contains(&self, k: usize) -> bool {
+        self.per_k.contains_key(&k)
+    }
+
+    /// Number of distinct `k` values memoised so far.
+    pub fn len(&self) -> usize {
+        self.per_k.len()
+    }
+
+    /// Whether nothing has been memoised yet.
+    pub fn is_empty(&self) -> bool {
+        self.per_k.is_empty()
+    }
 }
 
 /// Self-join over one collection (Algorithm 1, lines 3–10): each point is
@@ -101,6 +155,29 @@ mod tests {
     fn self_join_empty() {
         let idx = BruteForceKnn::build(Vec::new());
         assert!(self_knn_join(&idx, &[], 3).is_empty());
+    }
+
+    #[test]
+    fn join_cache_memoises_per_k_and_accepts_seeds() {
+        let points = vec![vec![0.0], vec![10.0], vec![20.0]];
+        let idx = BruteForceKnn::build(points);
+        let queries = vec![vec![1.0], vec![19.0]];
+        let mut cache = JoinCache::new(&queries, &idx);
+        assert!(cache.is_empty());
+        let direct = knn_join(&queries, &idx, 2);
+        assert_eq!(cache.candidates(2), &direct[..]);
+        assert_eq!(cache.candidates(2), &direct[..], "memo changed on reread");
+        assert!(cache.contains(2) && !cache.contains(1));
+        assert_eq!(cache.len(), 1);
+        // A seeded entry short-circuits the join entirely.
+        let fake = vec![CandidatePair {
+            left: 7,
+            right: 7,
+            distance: 0.0,
+        }];
+        cache.insert(1, fake.clone());
+        assert_eq!(cache.candidates(1), &fake[..]);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

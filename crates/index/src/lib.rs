@@ -14,7 +14,7 @@ mod join;
 mod lsh;
 
 pub use brute::BruteForceKnn;
-pub use join::{knn_join, self_knn_join, CandidatePair, Neighbor};
+pub use join::{knn_join, self_knn_join, CandidatePair, JoinCache, Neighbor};
 pub use lsh::{E2Lsh, E2LshConfig};
 
 /// Common interface for top-K Euclidean search over a fixed point set.

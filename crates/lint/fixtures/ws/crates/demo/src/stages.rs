@@ -1,0 +1,5 @@
+//! `stage-registry` fixtures: `demo.stage` lives in a registered obs
+//! namespace but has no failpoint; `rogue.stage` is in neither registry.
+//! A fully registered stage list would be silent.
+
+pub const STAGES: &[&str] = &["demo.stage", "rogue.stage"];

@@ -42,6 +42,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(PanicMarkers),
         Box::new(FailpointRegistry),
         Box::new(ObsRegistry),
+        Box::new(StageRegistry),
     ]
 }
 
@@ -458,6 +459,74 @@ impl Rule for ObsRegistry {
     }
 }
 
+/// staged executor: every stage name declared in a `STAGES` const (the
+/// executor's dataflow list) must be a registered failpoint AND live
+/// inside a registered obs namespace — a stage always carries both, so a
+/// missing registry entry means un-injectable faults or un-enumerable
+/// telemetry.
+struct StageRegistry;
+
+impl Rule for StageRegistry {
+    fn id(&self) -> &'static str {
+        "stage-registry"
+    }
+    fn description(&self) -> &'static str {
+        "exec stage names in STAGES consts must be registered failpoints inside a registered obs namespace"
+    }
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        let code = code(file);
+        for i in 1..code.len() {
+            if !code[i].is_ident("STAGES")
+                || !code[i - 1].is_ident("const")
+                || file.is_test_line(code[i].line)
+            {
+                continue;
+            }
+            // Skip the type annotation: strings live after the `=`.
+            let mut j = i + 1;
+            while j < code.len() && !code[j].is_punct("=") {
+                j += 1;
+            }
+            while j < code.len() && !code[j].is_punct("[") {
+                j += 1;
+            }
+            j += 1;
+            while j < code.len() && !code[j].is_punct("]") {
+                let t = code[j];
+                j += 1;
+                if t.kind != TokKind::Str {
+                    continue;
+                }
+                let name = &t.text;
+                if !ctx.failpoints.iter().any(|n| n == name) {
+                    out.push(finding(
+                        file,
+                        self.id(),
+                        t.line,
+                        format!(
+                            "stage `{name}` has no registered failpoint; add it to vaer_fault::FAILPOINTS"
+                        ),
+                    ));
+                }
+                let prefix = name.split('.').next().unwrap_or(name);
+                if !ctx.obs_prefixes.iter().any(|p| p == prefix) {
+                    out.push(finding(
+                        file,
+                        self.id(),
+                        t.line,
+                        format!(
+                            "stage `{name}` is outside every registered obs namespace; add `{prefix}` to NAME_PREFIXES"
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -476,6 +545,29 @@ mod tests {
         let mut out = Vec::new();
         rule.check(&lib_file(src), ctx, &mut out);
         out
+    }
+
+    #[test]
+    fn stage_registry_requires_failpoint_and_obs_namespace() {
+        let ctx = Context {
+            failpoints: vec!["exec.block".into()],
+            obs_prefixes: vec!["exec".into()],
+            ..Context::default()
+        };
+        let ok = "pub const STAGES: &[&str] = &[\"exec.block\"];";
+        assert!(run(&StageRegistry, ok, &ctx).is_empty());
+        // Unregistered failpoint + unregistered namespace = two findings;
+        // registered-prefix-but-unregistered-failpoint = one.
+        let bad = "pub const STAGES: &[&str] = &[\"rogue.stage\", \"exec.ghost\"];";
+        let f = run(&StageRegistry, bad, &ctx);
+        assert_eq!(f.len(), 3, "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("rogue.stage")
+            && x.message.contains("failpoint")));
+        assert!(f.iter().any(|x| x.message.contains("`rogue`")));
+        assert!(f.iter().any(|x| x.message.contains("exec.ghost")));
+        // Other consts and test code are ignored.
+        let other = "pub const NAMES: &[&str] = &[\"rogue.stage\"];\n#[cfg(test)]\nmod tests { pub const STAGES: &[&str] = &[\"rogue.stage\"]; }";
+        assert!(run(&StageRegistry, other, &ctx).is_empty());
     }
 
     #[test]

@@ -47,7 +47,7 @@ fn golden_findings_snapshot() {
     );
 }
 
-/// Each of the eight rules (plus both engine pseudo-rules) is exercised
+/// Each of the nine rules (plus both engine pseudo-rules) is exercised
 /// by at least one fixture finding.
 #[test]
 fn every_rule_has_a_fixture() {

@@ -17,6 +17,8 @@ pub const NAME_PREFIXES: &[&str] = &[
     "al",
     // Durable snapshot writes/retries/corruption skips.
     "checkpoint",
+    // Staged resolution executor: per-stage spans, resume/cache counters.
+    "exec",
     // Label journal appends and replays.
     "journal",
     // Frozen-encoder latent cache builds/hits/invalidations.

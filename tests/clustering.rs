@@ -35,7 +35,8 @@ fn resolve_then_cluster_produces_sound_entities() {
         &ds.duplicates,
         ds.table_a.len(),
         ds.table_b.len(),
-    );
+    )
+    .unwrap();
     assert!(metrics.f1 > 0.5, "cluster F1 {metrics}");
 }
 
