@@ -1,9 +1,10 @@
 //! Micro-benchmarks of the hot kernels underneath every experiment:
 //! matmul, one VAE training step, the W₂² distance, KDE evaluation,
 //! LSH vs brute-force kNN, and one skip-gram epoch — plus a kernel
-//! report (single-thread 256³ GFLOP/s, blocked vs reference, and tape
-//! allocations per step) written to `BENCH_kernels.json` at the repo
-//! root.
+//! report (single-thread 256³ GFLOP/s of the blocked f32 kernels,
+//! integer GOP/s of the int8 GEMM, the SIMD Wasserstein-feature kernel
+//! vs its scalar reference, and tape allocations per step) written to
+//! `BENCH_kernels.json` at the repo root.
 //!
 //! Uses a self-contained `Instant` harness (median of timed batches)
 //! since the workspace carries no external bench framework.
@@ -19,7 +20,10 @@ use vaer_bench::run_record::RunRecord;
 use vaer_core::repr::{ReprConfig, ReprModel};
 use vaer_embed::{SgnsConfig, SgnsEmbeddings};
 use vaer_index::{BruteForceKnn, E2Lsh, KnnIndex};
-use vaer_linalg::{matmul_reference, matmul_t_reference, t_matmul_reference, Matrix, XorShiftRng};
+use vaer_linalg::{
+    distance_row, distance_row_scalar, i8_matmul_t, i8_matmul_t_reference, matmul_reference,
+    matmul_t_reference, t_matmul_reference, DistanceOp, Matrix, QuantizedMatrix, XorShiftRng,
+};
 use vaer_nn::{Graph, ParamStore};
 use vaer_stats::gaussian::{w2_squared, DiagGaussian};
 use vaer_stats::kde::Kde;
@@ -145,9 +149,12 @@ fn bench_sgns() {
     });
 }
 
-/// One blocked-vs-reference comparison of the kernel report.
+/// One optimised-vs-reference comparison of the kernel report. Rates are
+/// GFLOP/s for the f32 kernels and integer GOP/s for the int8 GEMM —
+/// same 2N³ multiply-accumulate count either way.
 struct KernelLine {
     name: &'static str,
+    unit: &'static str,
     blocked_gflops: f64,
     reference_gflops: f64,
 }
@@ -158,8 +165,10 @@ impl KernelLine {
     }
 }
 
-/// Single-thread 256³ GFLOP/s of the three blocked matmul kernels
-/// against their textbook references.
+/// Single-thread 256³ throughput of the blocked matmul kernels and the
+/// int8 GEMM against their naive references, plus the fused SIMD
+/// Wasserstein-feature kernel against its scalar reference (5 ops per
+/// element over a 256×256 row sweep).
 fn kernel_report(quick: bool) -> Vec<KernelLine> {
     const N: usize = 256;
     let (samples, min_ms) = if quick { (3, 5) } else { (9, 30) };
@@ -168,9 +177,10 @@ fn kernel_report(quick: bool) -> Vec<KernelLine> {
     let b = Matrix::gaussian(N, N, &mut rng);
     let gflops = |secs: f64| 2.0 * (N as f64).powi(3) / secs / 1e9;
     vaer_linalg::runtime::set_threads(1);
-    let lines = vec![
+    let mut lines = vec![
         KernelLine {
             name: "matmul",
+            unit: "GFLOP/s",
             blocked_gflops: gflops(median_secs(samples, min_ms, || a.matmul(black_box(&b)))),
             reference_gflops: gflops(median_secs(samples, min_ms, || {
                 matmul_reference(black_box(&a), black_box(&b))
@@ -178,6 +188,7 @@ fn kernel_report(quick: bool) -> Vec<KernelLine> {
         },
         KernelLine {
             name: "matmul_t",
+            unit: "GFLOP/s",
             blocked_gflops: gflops(median_secs(samples, min_ms, || a.matmul_t(black_box(&b)))),
             reference_gflops: gflops(median_secs(samples, min_ms, || {
                 matmul_t_reference(black_box(&a), black_box(&b))
@@ -185,12 +196,70 @@ fn kernel_report(quick: bool) -> Vec<KernelLine> {
         },
         KernelLine {
             name: "t_matmul",
+            unit: "GFLOP/s",
             blocked_gflops: gflops(median_secs(samples, min_ms, || a.t_matmul(black_box(&b)))),
             reference_gflops: gflops(median_secs(samples, min_ms, || {
                 t_matmul_reference(black_box(&a), black_box(&b))
             })),
         },
     ];
+    // Int8 GEMM (quantized scoring fast lane): packed/blocked kernel vs
+    // the naive triple loop, in integer GOP/s.
+    let xq = QuantizedMatrix::quantize_per_row(&a);
+    let wq = QuantizedMatrix::quantize_per_row(&b);
+    lines.push(KernelLine {
+        name: "i8_matmul_t",
+        unit: "GOP/s  ",
+        blocked_gflops: gflops(median_secs(samples, min_ms, || {
+            i8_matmul_t(black_box(&xq), black_box(&wq))
+        })),
+        reference_gflops: gflops(median_secs(samples, min_ms, || {
+            i8_matmul_t_reference(black_box(&xq), black_box(&wq))
+        })),
+    });
+    // Fused Wasserstein distance features: AVX2-dispatched row kernel vs
+    // the scalar reference, 5 ops per element (2 subs, 2 muls, 1 add).
+    // The sweep cycles over 8 rows so the working set stays L1-resident
+    // and the comparison measures compute, not memory bandwidth.
+    const W2_ROWS: usize = 8;
+    let sig_a = Matrix::gaussian(W2_ROWS, N, &mut rng).map(f32::abs);
+    let sig_b = Matrix::gaussian(W2_ROWS, N, &mut rng).map(f32::abs);
+    let w2_rate = |secs: f64| 5.0 * (N as f64).powi(2) / secs / 1e9;
+    let mut out = vec![0.0f32; N];
+    let fused_secs = median_secs(samples, min_ms, || {
+        for i in 0..N {
+            let r = i % W2_ROWS;
+            distance_row(
+                DistanceOp::W2,
+                a.row(r),
+                b.row(r),
+                sig_a.row(r),
+                sig_b.row(r),
+                &mut out,
+            );
+        }
+        black_box(out[0])
+    });
+    let scalar_secs = median_secs(samples, min_ms, || {
+        for i in 0..N {
+            let r = i % W2_ROWS;
+            distance_row_scalar(
+                DistanceOp::W2,
+                a.row(r),
+                b.row(r),
+                sig_a.row(r),
+                sig_b.row(r),
+                &mut out,
+            );
+        }
+        black_box(out[0])
+    });
+    lines.push(KernelLine {
+        name: "w2_features",
+        unit: "GOP/s  ",
+        blocked_gflops: w2_rate(fused_secs),
+        reference_gflops: w2_rate(scalar_secs),
+    });
     vaer_linalg::runtime::set_threads(0);
     lines
 }
@@ -321,10 +390,12 @@ fn bench_kernels(quick: bool) {
     let lines = kernel_report(quick);
     for l in &lines {
         println!(
-            "{:<28} {:>7.2} GFLOP/s blocked | {:>7.2} GFLOP/s reference | {:>5.2}x",
+            "{:<28} {:>7.2} {} optimised | {:>7.2} {} reference | {:>5.2}x",
             l.name,
             l.blocked_gflops,
+            l.unit,
             l.reference_gflops,
+            l.unit,
             l.speedup()
         );
     }

@@ -1,19 +1,49 @@
 //! Per-stage wall-clock of the staged resolution executor (the §VI-B
-//! deployment path): fit once, then resolve through a `ResolvePlan`,
-//! recording Block → Encode → Score → Link → Cluster span totals plus
-//! the artifact-reuse counters into `BENCH_run.json`.
+//! deployment path): fit once (frozen encoder, so the fused Score fast
+//! lane is live), resolve through a `ResolvePlan`, record the stage span
+//! totals and artifact-reuse counters, then time the Score stage f32 vs
+//! int8 side by side over fresh plans — all into `BENCH_run.json`,
+//! together with the hardware-thread count (and thread-scaling numbers
+//! when more than one core is available).
 //!
 //! `VAER_BENCH_QUICK=1` additionally *asserts* the structural
 //! invariants the refactor exists for: exactly one LSH index build
-//! across repeated resolves, and a threshold re-run that is a pure
-//! cache hit (no extra Block/Encode/Score stage runs).
+//! across repeated resolves, a threshold re-run that is a pure cache
+//! hit, no separate Encode stage during a fused resolution, and an int8
+//! run that really scored on the int8 lane.
 
 use vaer_bench::run_record::RunRecord;
 use vaer_bench::{banner, dataset, scale_from_env, seed_from_env};
 use vaer_core::exec::STAGES;
-use vaer_core::pipeline::{Pipeline, PipelineConfig};
+use vaer_core::pipeline::{Pipeline, PipelineConfig, ScorePrecision};
 use vaer_data::domains::Domain;
 use vaer_obs::{Level, ObsSink};
+
+/// Cumulative `exec.score` span nanoseconds so far.
+fn score_nanos() -> u64 {
+    ObsSink::snapshot()
+        .histograms
+        .iter()
+        .find(|h| h.name == "exec.score")
+        .map_or(0, |h| h.sum_nanos)
+}
+
+/// Best-of-`repeats` Score-stage seconds for a fresh plan at this
+/// precision (fresh plans so scoring really runs instead of hitting the
+/// per-`(k, precision)` memo).
+fn score_secs(pipeline: &Pipeline, k: usize, precision: ScorePrecision, repeats: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let before = score_nanos();
+        let mut plan = pipeline.resolve_plan();
+        let res = plan
+            .run_with_precision(k, 0.5, precision)
+            .expect("timed resolve");
+        assert_eq!(res.precision, precision, "wrong lane scored the timed run");
+        best = best.min((score_nanos() - before) as f64 / 1e9);
+    }
+    best
+}
 
 fn main() {
     let quick = vaer_bench::quick_from_env();
@@ -28,6 +58,9 @@ fn main() {
         PipelineConfig::paper()
     };
     config.seed = seed;
+    // Keep the encoder frozen at every scale: the fused Score stage and
+    // the int8 lane this harness times both require the latent caches.
+    config.matcher.fine_tune_encoder = false;
     let pipeline = Pipeline::fit(&ds, &config).expect("pipeline fit");
     // Count only resolution-phase telemetry: fit's Encode stages and
     // training spans are not what this harness reports.
@@ -68,6 +101,38 @@ fn main() {
     let cache_hits = sink.counter("exec.plan.cache.hits");
     println!("\nindex builds: {index_builds}, plan cache hits: {cache_hits}");
 
+    // Score-stage fast lane: f32 vs int8 over fresh plans, best of
+    // `repeats` to shrug off scheduler noise.
+    let repeats = if quick { 1 } else { 5 };
+    let f32_secs = score_secs(&pipeline, k, ScorePrecision::F32, repeats);
+    let int8_secs = score_secs(&pipeline, k, ScorePrecision::Int8, repeats);
+    let speedup = f32_secs / int8_secs;
+    println!(
+        "score stage    f32 {:>9.3} ms | int8 {:>9.3} ms | {speedup:.2}x",
+        f32_secs * 1e3,
+        int8_secs * 1e3
+    );
+
+    // Thread scaling of the Score stage, when the hardware has threads
+    // to scale onto.
+    let hardware_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let multithread_skipped = hardware_threads < 2;
+    let mut scaled: Option<(f64, f64)> = None;
+    if !multithread_skipped {
+        vaer_linalg::runtime::set_threads(1);
+        let one = score_secs(&pipeline, k, ScorePrecision::F32, repeats);
+        vaer_linalg::runtime::set_threads(0);
+        let all = score_secs(&pipeline, k, ScorePrecision::F32, repeats);
+        println!(
+            "score scaling  1 thread {:>9.3} ms | {hardware_threads} threads {:>9.3} ms",
+            one * 1e3,
+            all * 1e3
+        );
+        scaled = Some((one, all));
+    } else {
+        println!("score scaling  skipped ({hardware_threads} hardware thread)");
+    }
+
     if quick {
         assert_eq!(
             index_builds, 1,
@@ -77,8 +142,19 @@ fn main() {
         assert!(cache_hits >= 1, "no plan cache hit recorded");
         assert!(!wider.reused, "a new k cannot be a cache hit");
         for (name, _, count) in &stage_secs {
-            assert!(*count >= 1, "stage {name} never ran");
+            if *name == "exec.encode" {
+                assert_eq!(
+                    *count, 0,
+                    "fused Score must not run a separate Encode stage"
+                );
+            } else {
+                assert!(*count >= 1, "stage {name} never ran");
+            }
         }
+        assert!(
+            pipeline.quantized_matcher().is_some(),
+            "frozen fit must calibrate the int8 twin"
+        );
     }
 
     let mut rec = RunRecord::new("resolve_stages");
@@ -92,6 +168,15 @@ fn main() {
         .int("entities", entities.len() as u64)
         .int("index_builds", index_builds)
         .int("plan_cache_hits", cache_hits)
-        .int("k", k as u64);
+        .int("k", k as u64)
+        .num("score_f32_secs", f32_secs)
+        .num("score_int8_secs", int8_secs)
+        .num("score_int8_speedup", speedup)
+        .int("hardware_threads", hardware_threads as u64)
+        .bool_field("multithread_skipped", multithread_skipped);
+    if let Some((one, all)) = scaled {
+        rec.num("score_f32_secs_1_thread", one)
+            .num("score_f32_secs_all_threads", all);
+    }
     rec.append();
 }

@@ -12,7 +12,12 @@
 //! * **Encode** — pair features: Distance-layer features from the latent
 //!   caches while the matcher's encoder is frozen, raw IR pair examples
 //!   otherwise.
-//! * **Score** — matcher probabilities for the candidate features.
+//! * **Score** — matcher probabilities for the candidate features. While
+//!   the encoder is frozen, resolution runs the *fused* form
+//!   ([`FusedScoreStage`]): encode-lookup → distance features → scoring in
+//!   one blocked pass per [`SCORE_BLOCK`] candidates, never materialising
+//!   the full feature matrix, optionally through the int8 lane
+//!   ([`ScorePrecision::Int8`]).
 //! * **Link** — threshold cut + greedy one-to-one matching, dropping
 //!   NaN-probability candidates deterministically.
 //! * **Cluster** — union-find consolidation into resolved entities.
@@ -35,7 +40,7 @@ use crate::checkpoint::CheckpointStore;
 use crate::cluster::{cluster_links, EntityCluster};
 use crate::latent::{self, LatentTable};
 use crate::matcher::PairExamples;
-use crate::pipeline::Pipeline;
+use crate::pipeline::{Pipeline, ScorePrecision};
 use crate::repr::ReprModel;
 use crate::CoreError;
 use std::collections::BTreeMap;
@@ -431,6 +436,83 @@ fn load_probs(bytes: &[u8]) -> Option<Vec<f32>> {
     Some(out)
 }
 
+/// Candidate pairs scored per fused block: bounds the transient feature
+/// matrix at `SCORE_BLOCK x (arity·latent)` however many candidates
+/// blocking produced. Scoring is row-independent, so the chunked result
+/// is bit-identical to a single full-matrix pass.
+pub const SCORE_BLOCK: usize = 512;
+
+/// Score (fused fast lane): for a frozen-encoder matcher, encode-lookup →
+/// distance features → scoring run as one blocked pass over the candidate
+/// pairs, without materialising the full feature matrix the separate
+/// Encode stage would build. Same stage identity (span, failpoint,
+/// checkpoint slot) as [`ScoreStage`] — it is the same dataflow node with
+/// a fused body; `exec.encode` simply never fires during a fused
+/// resolution.
+pub struct FusedScoreStage<'p> {
+    /// The fitted pipeline whose latent caches and matcher score pairs.
+    pub pipeline: &'p Pipeline,
+    /// Which scoring lane to run. `Int8` requires the pipeline to carry a
+    /// calibrated [`crate::quant::QuantizedMatcher`].
+    pub precision: ScorePrecision,
+}
+
+impl Stage for FusedScoreStage<'_> {
+    type Input = Vec<(usize, usize)>;
+    type Output = Vec<f32>;
+
+    fn kind(&self) -> StageKind {
+        StageKind::Score
+    }
+
+    fn run(&mut self, pairs: Self::Input) -> Result<Self::Output, CoreError> {
+        let p = self.pipeline;
+        if !p.matcher.encoder_frozen() {
+            return Err(CoreError::BadInput(
+                "fused scoring requires a frozen encoder (latent caches are stale after \
+                 fine-tuning)"
+                    .into(),
+            ));
+        }
+        let quantized = match self.precision {
+            ScorePrecision::F32 => None,
+            ScorePrecision::Int8 => Some(p.quantized_matcher().ok_or_else(|| {
+                CoreError::BadInput(
+                    "int8 scoring requested but the pipeline has no quantized matcher".into(),
+                )
+            })?),
+        };
+        let width = p.matcher.arity() * p.matcher.latent_dim();
+        let mut probs = Vec::with_capacity(pairs.len());
+        let mut buf = Matrix::zeros(SCORE_BLOCK.min(pairs.len().max(1)), width);
+        for chunk in pairs.chunks(SCORE_BLOCK) {
+            if buf.rows() != chunk.len() {
+                buf = Matrix::zeros(chunk.len(), width);
+            }
+            latent::distance_features_into(
+                p.config.matcher.distance,
+                &p.lat_a,
+                &p.lat_b,
+                chunk,
+                &mut buf,
+            );
+            probs.extend(match quantized {
+                Some(q) => q.predict_features(&buf),
+                None => p.matcher.predict_features(&buf),
+            });
+        }
+        Ok(probs)
+    }
+
+    fn save(&self, out: &Self::Output) -> Option<Vec<u8>> {
+        Some(save_probs(out))
+    }
+
+    fn load(&self, bytes: &[u8]) -> Option<Self::Output> {
+        load_probs(bytes)
+    }
+}
+
 /// Link: threshold cut plus greedy one-to-one matching by descending
 /// probability. Candidates whose probability is NaN (an upstream model
 /// pathology) are dropped before the cut, deterministically — they can
@@ -515,25 +597,32 @@ pub struct Resolution {
     /// Candidate pairs the blocking stage produced for this `k`.
     pub candidates: usize,
     /// Whether Block/Encode/Score were skipped because this `k` was
-    /// already scored by an earlier run (threshold-only re-run).
+    /// already scored at this precision by an earlier run (threshold-only
+    /// re-run).
     pub reused: bool,
+    /// The precision that actually scored this run. An `Int8` request
+    /// falls back to `F32` when the pipeline carries no quantized matcher
+    /// (fine-tuned encoder).
+    pub precision: ScorePrecision,
 }
 
 /// A re-runnable resolution over one fitted pipeline.
 ///
 /// The plan owns the cross-run artifacts: the per-`k` blocking join memo
-/// and the per-`k` candidate probabilities (the E2Lsh index itself is
-/// owned by the [`Pipeline`] and shared by every plan). Re-running with a
-/// new `threshold` at a known `k` executes only the Link stage;
-/// re-running with a new `k` re-blocks and re-scores but never rebuilds
-/// the index. Artifacts never invalidate mid-plan because the pipeline is
+/// and the per-`(k, precision)` candidate probabilities (the E2Lsh index
+/// itself is owned by the [`Pipeline`] and shared by every plan).
+/// Re-running with a new `threshold` at a known `(k, precision)` executes
+/// only the Link stage; re-running with a new `k` re-blocks and re-scores
+/// but never rebuilds the index; f32 and int8 score memos coexist and
+/// never mix. Artifacts never invalidate mid-plan because the pipeline is
 /// immutable once fitted; a newly fitted (or transferred) pipeline means
 /// a new plan.
 pub struct ResolvePlan<'p> {
     pipeline: &'p Pipeline,
     executor: Executor,
     blocks: JoinCache<'p>,
-    scored: BTreeMap<usize, Vec<f32>>,
+    scored: BTreeMap<(usize, ScorePrecision), Vec<f32>>,
+    top_candidates: Option<usize>,
 }
 
 impl<'p> ResolvePlan<'p> {
@@ -545,6 +634,7 @@ impl<'p> ResolvePlan<'p> {
             executor: Executor::new(),
             blocks: JoinCache::new(pipeline.query_keys(), pipeline.blocking_index()),
             scored: BTreeMap::new(),
+            top_candidates: None,
         }
     }
 
@@ -556,29 +646,79 @@ impl<'p> ResolvePlan<'p> {
         self
     }
 
+    /// Caps each left row at its `m` highest-probability candidates
+    /// before Link (batched top-candidate selection). With `m >= k` this
+    /// is a no-op (blocking already yields at most `k` candidates per
+    /// row); a smaller `m` trades link recall for Link-stage work on
+    /// dense candidate sets. Selection is deterministic: ties keep the
+    /// earlier candidate, NaN probabilities rank below everything.
+    pub fn with_top_candidates(mut self, m: usize) -> Self {
+        self.top_candidates = Some(m);
+        self
+    }
+
+    /// The precision that will actually score, given a request: `Int8`
+    /// downgrades to `F32` when no quantized matcher was calibrated at
+    /// fit time (fine-tuned encoder).
+    fn effective_precision(&self, requested: ScorePrecision) -> ScorePrecision {
+        match requested {
+            ScorePrecision::Int8 if self.pipeline.quantized_matcher().is_none() => {
+                ScorePrecision::F32
+            }
+            p => p,
+        }
+    }
+
     /// Stamp for checkpointed artifacts: run parameters that change the
-    /// artifact's content (model + seed + `k`).
-    fn fingerprint(&self, k: usize) -> u64 {
+    /// artifact's content (model + seed + `k` + scoring precision — an
+    /// int8 probability checkpoint must never resume an f32 run, and vice
+    /// versa; `F32` keeps the historical stamp so old checkpoints stay
+    /// valid).
+    fn fingerprint(&self, k: usize, precision: ScorePrecision) -> u64 {
+        let salt = match precision {
+            ScorePrecision::F32 => 0,
+            ScorePrecision::Int8 => 0x18A7_C0DE_0000_0001,
+        };
         self.pipeline.config.seed
             ^ self.pipeline.repr.fingerprint().rotate_left(17)
             ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ salt
     }
 
-    /// Runs Block → Encode → Score → Link for this `(k, threshold)`,
-    /// reusing every artifact an earlier run of this plan produced.
+    /// Runs Block → Score (fused) → Link for this `(k, threshold)` at the
+    /// pipeline's configured
+    /// [`score_precision`](crate::pipeline::PipelineConfig::score_precision),
+    /// reusing every artifact an earlier run of this plan produced. A
+    /// fine-tuned (unfrozen) encoder takes the staged
+    /// Block → Encode → Score → Link path instead.
     ///
     /// # Errors
     /// Stage validation errors, or [`CoreError::Io`] from injected
     /// failpoints / checkpoint writes.
     pub fn run(&mut self, k: usize, threshold: f32) -> Result<Resolution, CoreError> {
+        self.run_with_precision(k, threshold, self.pipeline.config.score_precision)
+    }
+
+    /// [`run`](Self::run) with an explicit scoring precision, overriding
+    /// the pipeline configuration for this invocation only.
+    ///
+    /// # Errors
+    /// Same as [`run`](Self::run).
+    pub fn run_with_precision(
+        &mut self,
+        k: usize,
+        threshold: f32,
+        precision: ScorePrecision,
+    ) -> Result<Resolution, CoreError> {
         crate::obs::handles().exec_plan_runs.incr();
-        let fingerprint = self.fingerprint(k);
-        let reused = self.blocks.contains(k) && self.scored.contains_key(&k);
+        let precision = self.effective_precision(precision);
+        let fingerprint = self.fingerprint(k, precision);
+        let reused = self.blocks.contains(k) && self.scored.contains_key(&(k, precision));
         let (candidates, probs) = if reused {
             crate::obs::handles().exec_plan_cache_hits.incr();
             (
                 self.blocks.candidates(k).to_vec(),
-                self.scored[&k].clone(),
+                self.scored[&(k, precision)].clone(),
             )
         } else {
             let candidates = self.executor.run(
@@ -594,31 +734,49 @@ impl<'p> ResolvePlan<'p> {
                 self.blocks.insert(k, candidates.clone());
             }
             let pairs: Vec<(usize, usize)> = candidates.iter().map(|c| (c.left, c.right)).collect();
-            let features = self.executor.run(
-                &mut EncodeStage {
-                    pipeline: self.pipeline,
-                },
-                pairs,
-                fingerprint,
-            )?;
-            let probs = self.executor.run(
-                &mut ScoreStage {
-                    pipeline: self.pipeline,
-                },
-                features,
-                fingerprint,
-            )?;
-            self.scored.insert(k, probs.clone());
+            let probs = if self.pipeline.matcher.encoder_frozen() {
+                self.executor.run(
+                    &mut FusedScoreStage {
+                        pipeline: self.pipeline,
+                        precision,
+                    },
+                    pairs,
+                    fingerprint,
+                )?
+            } else {
+                let features = self.executor.run(
+                    &mut EncodeStage {
+                        pipeline: self.pipeline,
+                    },
+                    pairs,
+                    fingerprint,
+                )?;
+                self.executor.run(
+                    &mut ScoreStage {
+                        pipeline: self.pipeline,
+                    },
+                    features,
+                    fingerprint,
+                )?
+            };
+            self.scored.insert((k, precision), probs.clone());
             (candidates, probs)
         };
         let n_candidates = candidates.len();
-        let links = self
-            .executor
-            .run(&mut LinkStage { threshold }, (candidates, probs), fingerprint)?;
+        let (candidates, probs) = match self.top_candidates {
+            Some(m) => select_top_per_row(candidates, probs, m),
+            None => (candidates, probs),
+        };
+        let links = self.executor.run(
+            &mut LinkStage { threshold },
+            (candidates, probs),
+            fingerprint,
+        )?;
         Ok(Resolution {
             links,
             candidates: n_candidates,
             reused,
+            precision,
         })
     }
 
@@ -634,9 +792,8 @@ impl<'p> ResolvePlan<'p> {
         include_singletons: bool,
     ) -> Result<Vec<EntityCluster>, CoreError> {
         let resolution = self.run(k, threshold)?;
-        let fingerprint = self.fingerprint(k);
-        let links: Vec<(usize, usize)> =
-            resolution.links.iter().map(|&(a, b, _)| (a, b)).collect();
+        let fingerprint = self.fingerprint(k, resolution.precision);
+        let links: Vec<(usize, usize)> = resolution.links.iter().map(|&(a, b, _)| (a, b)).collect();
         self.executor.run(
             &mut ClusterStage {
                 len_a: self.pipeline.reprs_a.len(),
@@ -652,6 +809,62 @@ impl<'p> ResolvePlan<'p> {
     pub fn pipeline(&self) -> &'p Pipeline {
         self.pipeline
     }
+}
+
+/// Batched per-row top-`m` selection: keeps, for every left row, its `m`
+/// highest-probability candidates, preserving the original candidate
+/// order among survivors. Ties keep the earlier candidate; NaN
+/// probabilities rank below every real number (they would be dropped by
+/// Link anyway). Candidate lists and probabilities must be parallel.
+fn select_top_per_row(
+    candidates: Vec<CandidatePair>,
+    probs: Vec<f32>,
+    m: usize,
+) -> (Vec<CandidatePair>, Vec<f32>) {
+    debug_assert_eq!(candidates.len(), probs.len());
+    if m == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    // Group candidate indices by left row (blocking emits them grouped,
+    // but the selection does not rely on that).
+    let mut by_row: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
+    for (i, c) in candidates.iter().enumerate() {
+        by_row.entry(c.left).or_default().push(i);
+    }
+    let sort_key = |i: usize| {
+        let p = probs[i];
+        if p.is_nan() {
+            f32::NEG_INFINITY
+        } else {
+            p
+        }
+    };
+    let mut keep = vec![true; candidates.len()];
+    for indices in by_row.values_mut() {
+        if indices.len() <= m {
+            continue;
+        }
+        // Descending probability, earlier candidate wins ties; everything
+        // past rank m is cut.
+        indices.sort_by(|&a, &b| {
+            sort_key(b)
+                .partial_cmp(&sort_key(a))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        for &i in &indices[m..] {
+            keep[i] = false;
+        }
+    }
+    let mut kept_candidates = Vec::with_capacity(candidates.len());
+    let mut kept_probs = Vec::with_capacity(probs.len());
+    for (i, (c, p)) in candidates.into_iter().zip(probs).enumerate() {
+        if keep[i] {
+            kept_candidates.push(c);
+            kept_probs.push(p);
+        }
+    }
+    (kept_candidates, kept_probs)
 }
 
 #[cfg(test)]
@@ -751,5 +964,46 @@ mod tests {
             assert_eq!(a.to_bits(), b.to_bits(), "prob bits changed");
         }
         assert!(load_probs(&bytes[..bytes.len() - 2]).is_none(), "torn");
+    }
+
+    #[test]
+    fn top_per_row_selection_keeps_best_candidates_in_order() {
+        let cand = |l: usize, r: usize| CandidatePair {
+            left: l,
+            right: r,
+            distance: 0.0,
+        };
+        let candidates = vec![cand(0, 0), cand(0, 1), cand(0, 2), cand(1, 0), cand(1, 1)];
+        let probs = vec![0.2, 0.9, 0.5, 0.3, 0.1];
+        let (kept, kept_probs) = select_top_per_row(candidates.clone(), probs.clone(), 2);
+        // Row 0 keeps its two best (0,1)@0.9 and (0,2)@0.5 in original
+        // order; row 1 has only two candidates, both survive.
+        let pairs: Vec<(usize, usize)> = kept.iter().map(|c| (c.left, c.right)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 0), (1, 1)]);
+        assert_eq!(kept_probs, vec![0.9, 0.5, 0.3, 0.1]);
+        // m >= per-row candidate count is a no-op.
+        let (all, all_probs) = select_top_per_row(candidates.clone(), probs.clone(), 3);
+        assert_eq!(all.len(), candidates.len());
+        assert_eq!(all_probs, probs);
+        // m = 0 drops everything.
+        let (none, none_probs) = select_top_per_row(candidates, probs, 0);
+        assert!(none.is_empty() && none_probs.is_empty());
+    }
+
+    #[test]
+    fn top_per_row_selection_ranks_nan_last_and_breaks_ties_by_position() {
+        let cand = |l: usize, r: usize| CandidatePair {
+            left: l,
+            right: r,
+            distance: 0.0,
+        };
+        let candidates = vec![cand(0, 0), cand(0, 1), cand(0, 2), cand(0, 3)];
+        let probs = vec![f32::NAN, 0.4, 0.4, 0.4];
+        let (kept, kept_probs) = select_top_per_row(candidates, probs, 2);
+        // NaN ranks below every real probability; the 0.4 tie keeps the
+        // two earliest candidates.
+        let pairs: Vec<(usize, usize)> = kept.iter().map(|c| (c.left, c.right)).collect();
+        assert_eq!(pairs, vec![(0, 1), (0, 2)]);
+        assert_eq!(kept_probs, vec![0.4, 0.4]);
     }
 }

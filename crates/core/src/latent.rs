@@ -32,7 +32,7 @@
 use crate::entity::{EntityRepr, IrTable};
 use crate::matcher::DistanceKind;
 use crate::repr::ReprModel;
-use vaer_linalg::Matrix;
+use vaer_linalg::{distance_row, DistanceOp, Matrix};
 use vaer_stats::gaussian::DiagGaussian;
 
 /// Cached `(μ, σ)` encodings of one table's IR rows, in IR-row order
@@ -135,6 +135,14 @@ impl LatentTable {
     }
 }
 
+/// Element count above which [`distance_features_into`] shards output
+/// rows across the worker pool (rows are independent, so parallel
+/// results are bit-identical to serial).
+const PAR_ELEM_CUTOFF: usize = 1 << 17;
+
+/// Minimum output rows per shard for parallel feature construction.
+const MIN_ROWS_PER_SHARD: usize = 8;
+
 /// Builds the matcher's concatenated Distance-layer features for `pairs`
 /// from two latent caches: `n x (arity · latent_dim)`, one attribute
 /// block per [`DistanceKind`] distance vector.
@@ -152,35 +160,82 @@ pub fn distance_features(
     b: &LatentTable,
     pairs: &[(usize, usize)],
 ) -> Matrix {
-    assert_eq!(a.arity, b.arity, "tables must share arity");
-    let lefts: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
-    let rights: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
-    let latent = a.latent_dim();
-    let mut out = Matrix::zeros(pairs.len(), a.arity * latent);
-    for attr in 0..a.arity {
-        let (mu_s, sig_s) = a.attr_rows(&lefts, attr);
-        let (mu_t, sig_t) = b.attr_rows(&rights, attr);
-        let mu_diff = mu_s.sub(&mu_t);
-        let mu_sq = mu_diff.hadamard(&mu_diff);
-        let sig_diff = sig_s.sub(&sig_t);
-        let sig_sq = sig_diff.hadamard(&sig_diff);
-        let d = match kind {
-            DistanceKind::W2 => mu_sq.add(&sig_sq),
-            DistanceKind::MuOnly => mu_sq,
-            DistanceKind::SigmaOnly => sig_sq,
-            DistanceKind::Mahalanobis => {
-                let var_s = sig_s.hadamard(&sig_s);
-                let var_t = sig_t.hadamard(&sig_t);
-                let var = var_s.add(&var_t).scale(0.5).map(|x| x + 1e-4);
-                mu_sq.zip_with(&var, |m, v| m / v)
-            }
-        };
-        let offset = attr * latent;
-        for i in 0..pairs.len() {
-            out.row_mut(i)[offset..offset + latent].copy_from_slice(d.row(i));
-        }
-    }
+    let mut out = Matrix::zeros(pairs.len(), a.arity * a.latent_dim());
+    distance_features_into(kind, a, b, pairs, &mut out);
     out
+}
+
+/// [`distance_features`] into a caller-provided buffer — the allocation-
+/// free form the fused Score stage runs over candidate chunks.
+///
+/// Each output row is one fused pass over the cached `(μ, σ)` rows via
+/// the [`vaer_linalg::distance_row`] SIMD kernels, which preserve the
+/// exact per-element operation sequence of the historical matrix-op
+/// construction (difference, square, halved-sum-plus-epsilon, divide) —
+/// so this path is bit-identical to the tape arithmetic, per element,
+/// at any thread count and on every dispatch path.
+///
+/// # Panics
+/// Panics when the caches disagree on arity, `out` is not
+/// `pairs.len() x (arity · latent_dim)`, or a pair indexes past either
+/// cache.
+pub fn distance_features_into(
+    kind: DistanceKind,
+    a: &LatentTable,
+    b: &LatentTable,
+    pairs: &[(usize, usize)],
+    out: &mut Matrix,
+) {
+    assert_eq!(a.arity, b.arity, "tables must share arity");
+    let arity = a.arity;
+    let latent = a.latent_dim();
+    let width = arity * latent;
+    assert_eq!(
+        out.shape(),
+        (pairs.len(), width),
+        "distance feature output shape mismatch"
+    );
+    // Same cache-read accounting as the attr_rows gather it replaces:
+    // two tables x arity attributes x pairs.len() tuples.
+    crate::obs::handles()
+        .cache_reads
+        .add(2 * (arity * pairs.len()) as u64);
+    let op = match kind {
+        DistanceKind::W2 => DistanceOp::W2,
+        DistanceKind::MuOnly => DistanceOp::MuOnly,
+        DistanceKind::SigmaOnly => DistanceOp::SigmaOnly,
+        DistanceKind::Mahalanobis => DistanceOp::Mahalanobis,
+    };
+    let n = pairs.len();
+    let min_rows = if n * width >= PAR_ELEM_CUTOFF {
+        MIN_ROWS_PER_SHARD
+    } else {
+        n.max(1)
+    };
+    vaer_linalg::runtime::for_each_row_shard_mut(
+        out.as_mut_slice(),
+        n,
+        width,
+        min_rows,
+        |rows, chunk| {
+            for i in rows.clone() {
+                let (l, r) = pairs[i];
+                let orow = &mut chunk[(i - rows.start) * width..(i - rows.start) * width + width];
+                for attr in 0..arity {
+                    let s = l * arity + attr;
+                    let t = r * arity + attr;
+                    distance_row(
+                        op,
+                        a.mu.row(s),
+                        b.mu.row(t),
+                        a.sigma.row(s),
+                        b.sigma.row(t),
+                        &mut orow[attr * latent..(attr + 1) * latent],
+                    );
+                }
+            }
+        },
+    );
 }
 
 #[cfg(test)]
@@ -240,6 +295,58 @@ mod tests {
         let rebuilt = lat.refresh(&other, &table);
         assert_eq!(crate::repr::encode_calls(), 1, "stale cache not re-encoded");
         assert!(!rebuilt.is_stale(&other));
+    }
+
+    #[test]
+    fn fused_distance_features_match_matrix_op_construction_bitwise() {
+        // The SIMD kernels replaced a pipeline of whole-matrix
+        // temporaries; this pins the fused path to that historical
+        // construction bit for bit, for every DistanceKind.
+        let ta = toy_table(10, 2, 8, 5);
+        let tb = toy_table(9, 2, 8, 6);
+        let model = toy_model(&ta);
+        let la = LatentTable::encode(&model, &ta);
+        let lb = LatentTable::encode(&model, &tb);
+        let pairs: Vec<(usize, usize)> =
+            (0..10).flat_map(|l| (0..9).map(move |r| (l, r))).collect();
+        for kind in [
+            DistanceKind::W2,
+            DistanceKind::MuOnly,
+            DistanceKind::SigmaOnly,
+            DistanceKind::Mahalanobis,
+        ] {
+            let fused = distance_features(kind, &la, &lb, &pairs);
+            let lefts: Vec<usize> = pairs.iter().map(|&(l, _)| l).collect();
+            let rights: Vec<usize> = pairs.iter().map(|&(_, r)| r).collect();
+            let latent = la.latent_dim();
+            let mut want = Matrix::zeros(pairs.len(), la.arity() * latent);
+            for attr in 0..la.arity() {
+                let (mu_s, sig_s) = la.attr_rows(&lefts, attr);
+                let (mu_t, sig_t) = lb.attr_rows(&rights, attr);
+                let mu_diff = mu_s.sub(&mu_t);
+                let mu_sq = mu_diff.hadamard(&mu_diff);
+                let sig_diff = sig_s.sub(&sig_t);
+                let sig_sq = sig_diff.hadamard(&sig_diff);
+                let d = match kind {
+                    DistanceKind::W2 => mu_sq.add(&sig_sq),
+                    DistanceKind::MuOnly => mu_sq,
+                    DistanceKind::SigmaOnly => sig_sq,
+                    DistanceKind::Mahalanobis => {
+                        let var_s = sig_s.hadamard(&sig_s);
+                        let var_t = sig_t.hadamard(&sig_t);
+                        let var = var_s.add(&var_t).scale(0.5).map(|x| x + 1e-4);
+                        mu_sq.zip_with(&var, |m, v| m / v)
+                    }
+                };
+                let offset = attr * latent;
+                for i in 0..pairs.len() {
+                    want.row_mut(i)[offset..offset + latent].copy_from_slice(d.row(i));
+                }
+            }
+            let fused_bits: Vec<u32> = fused.as_slice().iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.as_slice().iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fused_bits, want_bits, "{kind:?}");
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod latent;
 pub mod matcher;
 mod obs;
 pub mod pipeline;
+pub mod quant;
 pub mod repr;
 pub mod transfer;
 

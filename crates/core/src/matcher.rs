@@ -206,6 +206,19 @@ pub struct SiameseMatcher {
 
 const MLP_NAME: &str = "matcher.mlp";
 
+/// Replaces non-finite feature values with 0.0 at the scoring boundary,
+/// borrowing (allocation-free) on the all-finite fast path. Shared by
+/// the f32 and int8 `predict_features` twins so both sanitize
+/// identically — Link drops NaN candidates, but predict-only callers
+/// must never see NaN probabilities either.
+pub(crate) fn sanitize_features(features: &Matrix) -> std::borrow::Cow<'_, Matrix> {
+    if features.as_slice().iter().all(|v| v.is_finite()) {
+        std::borrow::Cow::Borrowed(features)
+    } else {
+        std::borrow::Cow::Owned(features.map(|v| if v.is_finite() { v } else { 0.0 }))
+    }
+}
+
 /// Divergence rollbacks a matcher fit absorbs (each with halved learning
 /// rate) before giving up with [`CoreError::Diverged`].
 const MAX_MATCHER_ROLLBACKS: u32 = 5;
@@ -701,11 +714,49 @@ impl SiameseMatcher {
         if features.rows() == 0 {
             return Vec::new();
         }
+        // Degenerate upstream rows (e.g. corrupted IRs) must not leak
+        // NaN probabilities to predict-only callers; the scan is a
+        // no-op on the finite fast path.
+        let features = sanitize_features(features);
         let mut g = Graph::new();
-        let xt = g.input_ref(features);
+        let xt = g.input_ref(features.as_ref());
         let logits = self.mlp.forward(&mut g, &self.store, xt);
         let probs = g.sigmoid(logits);
         g.value(probs).as_slice().to_vec()
+    }
+
+    /// Builds the int8 inference twin of this matcher
+    /// ([`QuantizedMatcher`](crate::quant::QuantizedMatcher)) by
+    /// quantizing the MLP weights per output channel and calibrating
+    /// per-layer activation scales from an f32 forward pass over
+    /// `calibration` (typically the matcher's own training features).
+    ///
+    /// Errors when the encoder was fine-tuned (the quantized twin scores
+    /// cached distance features, which are stale for a fine-tuned
+    /// encoder), on a feature width mismatch, or on an empty
+    /// calibration set.
+    pub fn quantized(
+        &self,
+        calibration: &Matrix,
+    ) -> Result<crate::quant::QuantizedMatcher, CoreError> {
+        if !self.frozen_encoder {
+            return Err(CoreError::BadInput(
+                "quantized scoring requires a frozen encoder: cached distance features are stale after fine-tuning".into(),
+            ));
+        }
+        if calibration.cols() != self.arity * self.latent_dim {
+            return Err(CoreError::BadInput(format!(
+                "calibration width {} != arity*latent {}",
+                calibration.cols(),
+                self.arity * self.latent_dim
+            )));
+        }
+        let ids = self.mlp.param_ids();
+        let layers: Vec<(&Matrix, &Matrix)> = ids
+            .chunks_exact(2)
+            .map(|pair| (self.store.get(pair[0]), self.store.get(pair[1])))
+            .collect();
+        crate::quant::QuantizedMatcher::calibrate(&layers, calibration, self.arity, self.latent_dim)
     }
 
     /// Evaluates P/R/F1 at threshold 0.5 against the examples' labels.

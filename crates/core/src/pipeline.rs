@@ -18,6 +18,24 @@ use vaer_embed::{fit_ir_model, IrKind, IrModel};
 use vaer_index::{knn_join, CandidatePair, E2Lsh};
 use vaer_stats::metrics::{PrF1, TopKReport};
 
+/// Numeric precision of the resolution Score stage (DESIGN.md §13).
+///
+/// `F32` is the exact path: the trained matcher's own forward pass.
+/// `Int8` scores through the calibrated [`crate::quant::QuantizedMatcher`]
+/// twin — int8 GEMM with per-channel weight scales — which is only
+/// available when the encoder stayed frozen at fit time; a fine-tuned
+/// pipeline silently falls back to `F32` (the effective precision is
+/// reported on [`crate::exec::Resolution::precision`]). Parity between
+/// the two lanes is test-enforced in `tests/quantization.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum ScorePrecision {
+    /// Exact f32 scoring (default).
+    #[default]
+    F32,
+    /// Quantized int8 scoring via the calibrated matcher twin.
+    Int8,
+}
+
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
 pub struct PipelineConfig {
@@ -47,6 +65,8 @@ pub struct PipelineConfig {
     pub checkpoint_dir: Option<PathBuf>,
     /// Snapshot cadence in epochs when `checkpoint_dir` is set.
     pub checkpoint_every: usize,
+    /// Numeric precision of the resolution Score stage.
+    pub score_precision: ScorePrecision,
 }
 
 impl Default for PipelineConfig {
@@ -61,6 +81,7 @@ impl Default for PipelineConfig {
             seed: 0x7A3E,
             checkpoint_dir: None,
             checkpoint_every: 5,
+            score_precision: ScorePrecision::F32,
         }
     }
 }
@@ -134,6 +155,7 @@ pub struct Pipeline {
     ir_model: Box<dyn IrModel>,
     pub(crate) repr: ReprModel,
     pub(crate) matcher: SiameseMatcher,
+    pub(crate) quantized: Option<crate::quant::QuantizedMatcher>,
     pub(crate) irs_a: IrTable,
     pub(crate) irs_b: IrTable,
     pub(crate) lat_a: LatentTable,
@@ -281,24 +303,37 @@ impl Pipeline {
                 config.seed ^ 0xA06E,
             ));
         }
-        let matcher = if SiameseMatcher::frozen_for(&matcher_config, train_pairs.pairs.len()) {
-            let pairs: Vec<(usize, usize)> = train_pairs
-                .pairs
-                .iter()
-                .map(|p| (p.left, p.right))
-                .collect();
-            let labels: Vec<f32> = train_pairs
-                .pairs
-                .iter()
-                .map(|p| if p.is_match { 1.0 } else { 0.0 })
-                .collect();
-            let features =
-                latent::distance_features(matcher_config.distance, &lat_a, &lat_b, &pairs);
-            SiameseMatcher::train_cached(&repr, &features, &labels, &matcher_config)?
-        } else {
-            let examples = PairExamples::build(&irs_a, &irs_b, &train_pairs);
-            SiameseMatcher::train(&repr, &examples, &matcher_config)?
-        };
+        let (matcher, quantized) =
+            if SiameseMatcher::frozen_for(&matcher_config, train_pairs.pairs.len()) {
+                let pairs: Vec<(usize, usize)> = train_pairs
+                    .pairs
+                    .iter()
+                    .map(|p| (p.left, p.right))
+                    .collect();
+                let labels: Vec<f32> = train_pairs
+                    .pairs
+                    .iter()
+                    .map(|p| if p.is_match { 1.0 } else { 0.0 })
+                    .collect();
+                let features =
+                    latent::distance_features(matcher_config.distance, &lat_a, &lat_b, &pairs);
+                let matcher =
+                    SiameseMatcher::train_cached(&repr, &features, &labels, &matcher_config)?;
+                // The training features double as the int8 calibration set:
+                // deterministic, already materialised, and drawn from the
+                // same distance-feature distribution resolution will score.
+                let quantized = Some(matcher.quantized(&features)?);
+                (matcher, quantized)
+            } else {
+                let examples = PairExamples::build(&irs_a, &irs_b, &train_pairs);
+                // Fine-tuning invalidates the latent caches the quantized
+                // lane reads from, so no int8 twin is built (Int8 requests
+                // fall back to f32 at resolution time).
+                (
+                    SiameseMatcher::train(&repr, &examples, &matcher_config)?,
+                    None,
+                )
+            };
         let match_secs = t2.elapsed().as_secs_f64();
         drop(stage);
         vaer_obs::event(
@@ -317,6 +352,7 @@ impl Pipeline {
             ir_model,
             repr,
             matcher,
+            quantized,
             irs_a,
             irs_b,
             lat_a,
@@ -347,7 +383,11 @@ impl Pipeline {
         let idx: Vec<(usize, usize)> = pairs.pairs.iter().map(|p| (p.left, p.right)).collect();
         let executor = exec::Executor::new();
         let scored = executor
-            .run(&mut exec::EncodeStage { pipeline: self }, idx, self.config.seed)
+            .run(
+                &mut exec::EncodeStage { pipeline: self },
+                idx,
+                self.config.seed,
+            )
             .and_then(|features| {
                 executor.run(
                     &mut exec::ScoreStage { pipeline: self },
@@ -520,6 +560,12 @@ impl Pipeline {
     /// The trained matcher.
     pub fn matcher(&self) -> &SiameseMatcher {
         &self.matcher
+    }
+
+    /// The calibrated int8 scoring twin, present iff the encoder stayed
+    /// frozen at fit time (see [`ScorePrecision`]).
+    pub fn quantized_matcher(&self) -> Option<&crate::quant::QuantizedMatcher> {
+        self.quantized.as_ref()
     }
 
     /// The IR tables (`(table_a, table_b)`).
@@ -772,8 +818,7 @@ mod tests {
         assert_eq!(wider.links, p.resolve(7, 0.5));
         // Clustering through the plan matches clustering the links.
         let entities = plan.entities(5, 0.5, false).unwrap();
-        let direct: Vec<(usize, usize)> =
-            first.links.iter().map(|&(a, b, _)| (a, b)).collect();
+        let direct: Vec<(usize, usize)> = first.links.iter().map(|&(a, b, _)| (a, b)).collect();
         let expect =
             crate::cluster::cluster_links(&direct, ds.table_a.len(), ds.table_b.len(), false)
                 .unwrap();

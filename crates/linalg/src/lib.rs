@@ -12,7 +12,13 @@
 //! matrix products (packed RHS panels + an `MR x NR` micro-kernel) that
 //! are bit-identical to the naive reference loops. The only `unsafe` in
 //! the crate is the feature-detection-guarded AVX2 dispatch of the
-//! matmul micro-kernel.
+//! matmul/int8-GEMM/distance-feature kernels ([`ops`](crate), [`quant`](crate),
+//! [`simd`](crate)).
+//!
+//! The quantized inference fast lane adds [`QuantizedMatrix`] (int8
+//! symmetric per-row quantization), an exact-integer [`i8_matmul_t`]
+//! GEMM, and fused [`distance_row`] kernels for the attribute-wise
+//! Wasserstein features.
 //!
 //! # Example
 //!
@@ -29,14 +35,21 @@ mod decomp;
 mod matrix;
 mod obs;
 mod ops;
+mod quant;
 mod rng;
 pub mod runtime;
+mod simd;
 pub mod vector;
 
 pub use decomp::{jacobi_eigh, qr_thin, randomized_svd, EighResult, QrResult, SvdResult};
 pub use matrix::Matrix;
 pub use ops::{matmul_reference, matmul_t_reference, t_matmul_reference, MR, NR};
+pub use quant::{
+    i8_matmul_t, i8_matmul_t_packed, i8_matmul_t_reference, max_abs, scale_for_max_abs,
+    PackedI8Rhs, QuantizedMatrix,
+};
 pub use rng::XorShiftRng;
+pub use simd::{distance_row, distance_row_scalar, DistanceOp};
 
 /// Errors produced by fallible linear-algebra routines.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -1,0 +1,201 @@
+//! Fused row kernels for attribute-wise latent distance features.
+//!
+//! `vaer-core`'s `latent::distance_features` historically built each
+//! feature block out of whole-matrix temporaries (`sub`, `hadamard`,
+//! `add` — five allocations per attribute). These kernels compute one
+//! output row in a single fused pass with zero allocations, and — like
+//! the matmul micro-kernel in [`crate::ops`] — dispatch to an
+//! AVX2-compiled copy of the identical scalar body under runtime feature
+//! detection. The body performs the exact per-element operation sequence
+//! of the old matrix-op pipeline (rustc never contracts `mul` + `add`
+//! into FMA), so dispatch and vector width cannot change results: every
+//! path is bit-identical to [`distance_row_scalar`].
+
+/// Per-element distance feature between two diagonal Gaussians
+/// `(μ_s, σ_s)` and `(μ_t, σ_t)`. Mirrors `vaer-core`'s `DistanceKind`
+/// without depending on it (linalg sits below core in the crate DAG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DistanceOp {
+    /// Squared 2-Wasserstein: `(μ_s-μ_t)² + (σ_s-σ_t)²`.
+    W2,
+    /// Mean term only: `(μ_s-μ_t)²`.
+    MuOnly,
+    /// Scale term only: `(σ_s-σ_t)²`.
+    SigmaOnly,
+    /// Variance-normalised mean term:
+    /// `(μ_s-μ_t)² / ((σ_s²+σ_t²)·0.5 + 1e-4)`.
+    Mahalanobis,
+}
+
+/// Computes one distance-feature row into `out`, dispatching to the
+/// AVX2-compiled body when the CPU supports it. Bit-identical to
+/// [`distance_row_scalar`] on every dispatch path.
+///
+/// # Panics
+/// Panics when the four input slices and `out` differ in length.
+pub fn distance_row(
+    op: DistanceOp,
+    mu_s: &[f32],
+    mu_t: &[f32],
+    sig_s: &[f32],
+    sig_t: &[f32],
+    out: &mut [f32],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if std::arch::is_x86_feature_detected!("avx2") {
+        // SAFETY: guarded by runtime CPU feature detection; the function
+        // body contains no intrinsics, only code compiled for AVX2.
+        unsafe { distance_row_avx2(op, mu_s, mu_t, sig_s, sig_t, out) };
+        return;
+    }
+    distance_row_body(op, mu_s, mu_t, sig_s, sig_t, out);
+}
+
+/// Scalar reference instantiation of the kernel body, kept public so
+/// equivalence tests (and the `micro` bench baseline) can pin the
+/// dispatched kernel against it.
+///
+/// # Panics
+/// Panics when the four input slices and `out` differ in length.
+pub fn distance_row_scalar(
+    op: DistanceOp,
+    mu_s: &[f32],
+    mu_t: &[f32],
+    sig_s: &[f32],
+    sig_t: &[f32],
+    out: &mut [f32],
+) {
+    distance_row_body(op, mu_s, mu_t, sig_s, sig_t, out);
+}
+
+/// AVX2-compiled instantiation of [`distance_row_body`].
+// SAFETY: callable only when the CPU supports AVX2 — `distance_row` is
+// the sole caller and gates on `is_x86_feature_detected!("avx2")`. The
+// body is plain safe Rust; the attribute only changes codegen.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+fn distance_row_avx2(
+    op: DistanceOp,
+    mu_s: &[f32],
+    mu_t: &[f32],
+    sig_s: &[f32],
+    sig_t: &[f32],
+    out: &mut [f32],
+) {
+    distance_row_body(op, mu_s, mu_t, sig_s, sig_t, out);
+}
+
+/// Shared kernel body. Each arm preserves the exact floating-point
+/// operation sequence of the matrix-op pipeline it replaced
+/// (difference, square, halved-sum-plus-epsilon, divide), so the fused
+/// kernel is bit-identical to the historical `sub`/`hadamard`/`add`
+/// temporaries at every element.
+///
+/// # Panics
+/// Panics when the four input slices and `out` differ in length.
+#[inline(always)]
+fn distance_row_body(
+    op: DistanceOp,
+    mu_s: &[f32],
+    mu_t: &[f32],
+    sig_s: &[f32],
+    sig_t: &[f32],
+    out: &mut [f32],
+) {
+    let n = out.len();
+    assert!(
+        mu_s.len() == n && mu_t.len() == n && sig_s.len() == n && sig_t.len() == n,
+        "distance_row length mismatch: out {n}, mu {}x{}, sigma {}x{}",
+        mu_s.len(),
+        mu_t.len(),
+        sig_s.len(),
+        sig_t.len()
+    );
+    let mu = mu_s.iter().zip(mu_t);
+    let sig = sig_s.iter().zip(sig_t);
+    match op {
+        DistanceOp::W2 => {
+            for (o, ((&ms, &mt), (&ss, &st))) in out.iter_mut().zip(mu.zip(sig)) {
+                let dm = ms - mt;
+                let ds = ss - st;
+                *o = dm * dm + ds * ds;
+            }
+        }
+        DistanceOp::MuOnly => {
+            for (o, (&ms, &mt)) in out.iter_mut().zip(mu) {
+                let dm = ms - mt;
+                *o = dm * dm;
+            }
+        }
+        DistanceOp::SigmaOnly => {
+            for (o, (&ss, &st)) in out.iter_mut().zip(sig) {
+                let ds = ss - st;
+                *o = ds * ds;
+            }
+        }
+        DistanceOp::Mahalanobis => {
+            for (o, ((&ms, &mt), (&ss, &st))) in out.iter_mut().zip(mu.zip(sig)) {
+                let dm = ms - mt;
+                let var = (ss * ss + st * st) * 0.5 + 1e-4;
+                *o = (dm * dm) / var;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Matrix, XorShiftRng};
+
+    const OPS: [DistanceOp; 4] = [
+        DistanceOp::W2,
+        DistanceOp::MuOnly,
+        DistanceOp::SigmaOnly,
+        DistanceOp::Mahalanobis,
+    ];
+
+    #[test]
+    fn dispatch_is_bit_identical_to_scalar() {
+        let mut rng = XorShiftRng::new(0xD15);
+        for &n in &[0usize, 1, 7, 8, 9, 32, 129] {
+            let m = Matrix::gaussian(4, n.max(1), &mut rng);
+            let (ms, mt, ss, st) = (
+                &m.row(0)[..n],
+                &m.row(1 % m.rows())[..n],
+                &m.row(2 % m.rows())[..n],
+                &m.row(3 % m.rows())[..n],
+            );
+            for op in OPS {
+                let mut fast = vec![0.0f32; n];
+                let mut scalar = vec![0.0f32; n];
+                distance_row(op, ms, mt, ss, st, &mut fast);
+                distance_row_scalar(op, ms, mt, ss, st, &mut scalar);
+                let fast_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+                let scalar_bits: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(fast_bits, scalar_bits, "{op:?} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_match_matrix_op_formulas() {
+        let ms = [1.0f32, -2.0, 0.5];
+        let mt = [0.0f32, 1.0, 0.5];
+        let ss = [0.3f32, 0.9, 2.0];
+        let st = [0.1f32, 0.4, 2.0];
+        let mut out = [0.0f32; 3];
+        distance_row(DistanceOp::W2, &ms, &mt, &ss, &st, &mut out);
+        for i in 0..3 {
+            let dm = ms[i] - mt[i];
+            let ds = ss[i] - st[i];
+            assert_eq!(out[i], dm * dm + ds * ds);
+        }
+        distance_row(DistanceOp::Mahalanobis, &ms, &mt, &ss, &st, &mut out);
+        for i in 0..3 {
+            let dm = ms[i] - mt[i];
+            let var = (ss[i] * ss[i] + st[i] * st[i]) * 0.5 + 1e-4;
+            assert_eq!(out[i], dm * dm / var);
+        }
+    }
+}

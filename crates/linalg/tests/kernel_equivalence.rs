@@ -2,10 +2,14 @@
 //! products must be **bit-identical** to the retained naive reference
 //! kernels on every shape — including tile-edge shapes (MR±1, NR±1),
 //! degenerate shapes (1x1, k=1), and primes that divide into nothing —
-//! at 1, 2, and 4 worker threads.
+//! at 1, 2, and 4 worker threads. The int8 GEMM and the fused distance
+//! kernels are held to the same standard against their scalar
+//! references.
 
 use vaer_linalg::{
-    matmul_reference, matmul_t_reference, runtime, t_matmul_reference, Matrix, XorShiftRng, MR, NR,
+    distance_row, distance_row_scalar, i8_matmul_t, i8_matmul_t_reference, matmul_reference,
+    matmul_t_reference, runtime, t_matmul_reference, DistanceOp, Matrix, QuantizedMatrix,
+    XorShiftRng, MR, NR,
 };
 
 /// Serialises tests that touch the process-global thread override.
@@ -112,6 +116,69 @@ fn into_variants_overwrite_stale_destinations() {
     let mut out_tm = Matrix::filled(9, 11, 42.0);
     at.t_matmul_into(&b, &mut out_tm);
     assert_eq!(out_tm.as_slice(), t_matmul_reference(&at, &b).as_slice());
+}
+
+#[test]
+fn int8_gemm_matches_reference_bitwise_at_every_thread_count() {
+    // Integer accumulation is exact, so the blocked/packed kernel must
+    // equal the naive reference *bitwise* on every shape and thread
+    // count — there is no tolerance to hide behind.
+    let _guard = OVERRIDE_LOCK.lock().unwrap();
+    let mut rng = XorShiftRng::new(0x1808);
+    for &(m, k, n) in &edge_shapes() {
+        let x = QuantizedMatrix::quantize_per_row(&Matrix::gaussian(m, k, &mut rng));
+        let w = QuantizedMatrix::quantize_per_row(&Matrix::gaussian(n, k, &mut rng));
+        let want = i8_matmul_t_reference(&x, &w);
+        for threads in [1usize, 2, 4] {
+            runtime::set_threads(threads);
+            let got = i8_matmul_t(&x, &w);
+            runtime::set_threads(0);
+            assert_eq!(
+                want.as_slice(),
+                got.as_slice(),
+                "i8_matmul_t {m}x{k}x{n} at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn distance_kernels_match_scalar_bitwise_on_edge_lengths() {
+    let mut rng = XorShiftRng::new(0x0D15);
+    for &n in &[1usize, 7, 8, 9, 15, 16, 17, 64, 129, 257] {
+        let mu_s = Matrix::gaussian(1, n, &mut rng);
+        let mu_t = Matrix::gaussian(1, n, &mut rng);
+        let sig_s = Matrix::gaussian(1, n, &mut rng).map(f32::abs);
+        let sig_t = Matrix::gaussian(1, n, &mut rng).map(f32::abs);
+        for op in [
+            DistanceOp::W2,
+            DistanceOp::MuOnly,
+            DistanceOp::SigmaOnly,
+            DistanceOp::Mahalanobis,
+        ] {
+            let mut fast = vec![0.0f32; n];
+            let mut scalar = vec![0.0f32; n];
+            distance_row(
+                op,
+                mu_s.row(0),
+                mu_t.row(0),
+                sig_s.row(0),
+                sig_t.row(0),
+                &mut fast,
+            );
+            distance_row_scalar(
+                op,
+                mu_s.row(0),
+                mu_t.row(0),
+                sig_s.row(0),
+                sig_t.row(0),
+                &mut scalar,
+            );
+            let fast_bits: Vec<u32> = fast.iter().map(|v| v.to_bits()).collect();
+            let scalar_bits: Vec<u32> = scalar.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(fast_bits, scalar_bits, "{op:?} n={n}");
+        }
+    }
 }
 
 #[test]

@@ -561,8 +561,9 @@ mod tests {
         let bad = "pub const STAGES: &[&str] = &[\"rogue.stage\", \"exec.ghost\"];";
         let f = run(&StageRegistry, bad, &ctx);
         assert_eq!(f.len(), 3, "{f:?}");
-        assert!(f.iter().any(|x| x.message.contains("rogue.stage")
-            && x.message.contains("failpoint")));
+        assert!(f
+            .iter()
+            .any(|x| x.message.contains("rogue.stage") && x.message.contains("failpoint")));
         assert!(f.iter().any(|x| x.message.contains("`rogue`")));
         assert!(f.iter().any(|x| x.message.contains("exec.ghost")));
         // Other consts and test code are ignored.

@@ -78,7 +78,10 @@ fn main() {
         correct as f32 / links.len().max(1) as f32
     );
     let strict_pass = plan.run(k, 0.95).expect("strict re-link");
-    assert!(strict_pass.reused, "re-link must reuse the scored artifacts");
+    assert!(
+        strict_pass.reused,
+        "re-link must reuse the scored artifacts"
+    );
     let strict = strict_pass.links;
     let strict_correct = strict
         .iter()

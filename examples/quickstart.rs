@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use vaer::core::pipeline::{Pipeline, PipelineConfig};
+use vaer::core::pipeline::{Pipeline, PipelineConfig, ScorePrecision};
 use vaer::data::domains::{Domain, DomainSpec, Scale};
 
 fn main() {
@@ -19,6 +19,14 @@ fn main() {
     //    training pairs).
     let mut config = PipelineConfig::paper();
     config.seed = 7;
+    // Set VAER_SCORE_PRECISION=int8 to resolve on the quantized fast
+    // lane (DESIGN.md §13). The int8 twin calibrates at fit time from a
+    // frozen encoder, so fine-tuning is switched off with it.
+    if std::env::var("VAER_SCORE_PRECISION").as_deref() == Ok("int8") {
+        config.score_precision = ScorePrecision::Int8;
+        config.matcher.fine_tune_encoder = false;
+        println!("scoring precision: int8");
+    }
     // Set VAER_CKPT_DIR=<dir> to snapshot VAE training state there; a
     // rerun after a crash (or an injected VAER_FAILPOINTS kill) resumes
     // from the newest valid snapshot instead of starting over.
@@ -48,7 +56,20 @@ fn main() {
         );
     }
 
-    // 5. The unsupervised representations alone already block well.
+    // 5. Full resolution: block with LSH, score every candidate pair on
+    //    the configured precision lane, link above the threshold.
+    let resolution = pipeline
+        .resolve_plan()
+        .run(config.knn_k, 0.5)
+        .expect("resolution");
+    println!(
+        "resolved {} links from {} candidates ({:?} scoring)",
+        resolution.links.len(),
+        resolution.candidates,
+        resolution.precision
+    );
+
+    // 6. The unsupervised representations alone already block well.
     let repr_report = pipeline.representation_report(&dataset.test_pairs, 10);
     println!(
         "unsupervised top-10 retrieval: recall {:.2}, precision {:.2}",
@@ -59,7 +80,7 @@ fn main() {
         "quickstart should end with a usable matcher"
     );
 
-    // 6. Telemetry: run with VAER_OBS=summary (or trace) to collect
+    // 7. Telemetry: run with VAER_OBS=summary (or trace) to collect
     //    counters, timings, and throughput from the hot paths above and
     //    print the summary table (see DESIGN.md §9).
     if vaer::obs::enabled() {

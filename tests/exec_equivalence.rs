@@ -85,7 +85,10 @@ fn plan_rerun_with_new_threshold_matches_fresh_resolve() {
     let first = plan.run(5, 0.5).unwrap();
     assert!(!first.reused);
     let rerun = plan.run(5, 0.9).unwrap();
-    assert!(rerun.reused, "same-k re-run must reuse blocked+scored artifacts");
+    assert!(
+        rerun.reused,
+        "same-k re-run must reuse blocked+scored artifacts"
+    );
     assert_eq!(rerun.links, pipeline.resolve(5, 0.9));
     // A different k invalidates the cached candidates but not the plan.
     let wider = plan.run(9, 0.5).unwrap();
