@@ -13,6 +13,7 @@
 //! - `VAER_DOMAINS` = comma-separated Table II names to restrict a run
 //!   (e.g. `VAER_DOMAINS=Rest.,Beer`).
 
+pub mod measure;
 pub mod paper;
 pub mod run_record;
 

@@ -1,0 +1,141 @@
+//! Steady measurement harness: warmup, calibrated batching, and
+//! min/median reporting — the antidote to the single-shot timings that
+//! made `score_int8_speedup` swing 0.63×–1.99× across identical runs.
+//!
+//! Two entry points:
+//!
+//! * [`steady_secs`] times a closure itself, calibrating a batch size so
+//!   each sample lasts long enough to dominate timer overhead (this is
+//!   the harness the `micro` bench always used, now shared).
+//! * [`sampled`] aggregates externally-measured per-run values (e.g. a
+//!   span-nanos delta), running warmup iterations first and discarding
+//!   them — for lanes where one run is already long enough to time.
+//!
+//! Report **medians** for central tendency (robust to the multi-x
+//! scheduler outliers this container shows) and **mins** for the
+//! speed-of-light comparison between two implementations of the same
+//! work.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Aggregated measurement over several samples.
+#[derive(Clone, Copy, Debug)]
+pub struct Measured {
+    /// Median seconds per call.
+    pub median_secs: f64,
+    /// Fastest sample, seconds per call.
+    pub min_secs: f64,
+    /// Slowest sample, seconds per call.
+    pub max_secs: f64,
+    /// Number of retained (post-warmup) samples.
+    pub samples: usize,
+    /// Calls per timed batch (1 when values came from [`sampled`]).
+    pub batch: usize,
+}
+
+impl Measured {
+    fn from_values(mut values: Vec<f64>, batch: usize) -> Measured {
+        if values.is_empty() {
+            return Measured {
+                median_secs: 0.0,
+                min_secs: 0.0,
+                max_secs: 0.0,
+                samples: 0,
+                batch,
+            };
+        }
+        values.sort_by(f64::total_cmp);
+        Measured {
+            median_secs: values[values.len() / 2],
+            min_secs: values[0],
+            max_secs: values[values.len() - 1],
+            samples: values.len(),
+            batch,
+        }
+    }
+}
+
+/// Median of a value slice (0 when empty). Sorts a copy.
+pub fn median(values: &[f64]) -> f64 {
+    Measured::from_values(values.to_vec(), 1).median_secs
+}
+
+/// Times `f` over `samples` batches, each calibrated to last at least
+/// `min_millis`, and reports per-call statistics. The calibration pass
+/// doubles as warmup.
+pub fn steady_secs<T>(samples: usize, min_millis: u128, mut f: impl FnMut() -> T) -> Measured {
+    // Calibrate: grow the batch until one batch takes >= min_millis.
+    let mut batch = 1usize;
+    loop {
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(f());
+        }
+        if start.elapsed().as_millis() >= min_millis || batch >= 1 << 20 {
+            break;
+        }
+        batch *= 4;
+    }
+    let values: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            start.elapsed().as_secs_f64() / batch as f64
+        })
+        .collect();
+    Measured::from_values(values, batch)
+}
+
+/// Runs `f` — which performs one measured run and returns its seconds —
+/// `warmup + samples` times, discarding the warmup values.
+pub fn sampled(warmup: usize, samples: usize, mut f: impl FnMut() -> f64) -> Measured {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let values: Vec<f64> = (0..samples.max(1)).map(|_| f()).collect();
+    Measured::from_values(values, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_is_robust_to_outliers() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        // One wild outlier must not move the median off the cluster.
+        let m = median(&[1.0, 1.1, 0.9, 1.05, 100.0]);
+        assert!((0.9..=1.1).contains(&m), "median {m}");
+    }
+
+    #[test]
+    fn sampled_discards_warmup() {
+        let mut calls = 0u32;
+        let m = sampled(2, 5, || {
+            calls += 1;
+            if calls <= 2 {
+                1_000.0 // poisoned warmup values
+            } else {
+                1.0
+            }
+        });
+        assert_eq!(calls, 7);
+        assert_eq!(m.samples, 5);
+        assert_eq!(m.median_secs, 1.0);
+        assert_eq!(m.min_secs, 1.0);
+        assert_eq!(m.max_secs, 1.0);
+    }
+
+    #[test]
+    fn steady_secs_reports_consistent_stats() {
+        let m = steady_secs(5, 1, || black_box(2u64).wrapping_mul(3));
+        assert!(m.batch >= 1);
+        assert_eq!(m.samples, 5);
+        assert!(m.min_secs <= m.median_secs && m.median_secs <= m.max_secs);
+        assert!(m.min_secs > 0.0);
+    }
+}

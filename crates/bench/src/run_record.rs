@@ -8,8 +8,18 @@
 //! hand-assembled via [`vaer_obs::json`] — the workspace carries no
 //! serialisation dependency.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use vaer_obs::json;
+
+/// Version of the record schema. Bump when field meanings change so
+/// `vaer-report` can refuse (or adapt to) incompatible history.
+/// History: 1 = implicit pre-versioning records; 2 = adds per-stage
+/// memory accounting, median-based lane timings, and this field.
+pub const SCHEMA_VERSION: u64 = 2;
+
+/// Maximum `BENCH_run.json` lines kept on disk; older lines are dropped
+/// on append so history stays bounded and `vaer-report` reads stay O(1).
+pub const MAX_RUN_RECORDS: usize = 200;
 
 /// A builder for one `BENCH_run.json` line. Field order is preserved.
 pub struct RunRecord {
@@ -22,6 +32,7 @@ impl RunRecord {
     pub fn new(bench: &str) -> Self {
         let mut r = Self { fields: Vec::new() };
         r.str_field("bench", bench);
+        r.int("schema_version", SCHEMA_VERSION);
         r.str_field("scale", &format!("{:?}", crate::scale_from_env()));
         r.int("seed", crate::seed_from_env());
         r.int("threads", vaer_linalg::runtime::threads() as u64);
@@ -106,6 +117,7 @@ impl RunRecord {
             .and_then(|mut f| writeln!(f, "{line}"));
         match res {
             Ok(()) => {
+                compact(&path, MAX_RUN_RECORDS);
                 println!("(run record appended to {})", path.display());
                 Some(path)
             }
@@ -114,6 +126,29 @@ impl RunRecord {
                 None
             }
         }
+    }
+}
+
+/// Keeps only the newest `keep` lines of a JSONL file. Best-effort: any
+/// I/O failure leaves the file as it was (benches never fail on
+/// housekeeping). Benches run serially, so the read-rewrite is not
+/// racing other writers.
+pub fn compact(path: &Path, keep: usize) {
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return;
+    };
+    let lines: Vec<&str> = text.lines().collect();
+    if lines.len() <= keep {
+        return;
+    }
+    let mut kept = lines[lines.len() - keep..].join("\n");
+    kept.push('\n');
+    if std::fs::write(path, kept).is_ok() {
+        println!(
+            "(rotated {}: kept newest {keep} of {} records)",
+            path.display(),
+            lines.len()
+        );
     }
 }
 
@@ -143,7 +178,32 @@ mod tests {
         let line = r.to_json();
         assert!(json::is_valid(&line), "invalid: {line}");
         assert!(line.starts_with("{\"bench\":\"unit_test\""));
+        assert!(line.contains(&format!("\"schema_version\":{SCHEMA_VERSION}")));
         assert!(line.contains("\"bad\":null"));
         assert!(line.contains("\"repr.encode.calls\":"));
+    }
+
+    #[test]
+    fn compact_keeps_newest_lines() {
+        let dir = std::env::temp_dir().join(format!("vaer_compact_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rotate.jsonl");
+        let lines: Vec<String> = (0..10).map(|i| format!("{{\"run\":{i}}}")).collect();
+        std::fs::write(&path, lines.join("\n") + "\n").unwrap();
+
+        compact(&path, 4);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let kept: Vec<&str> = text.lines().collect();
+        assert_eq!(kept.len(), 4);
+        assert_eq!(kept[0], "{\"run\":6}");
+        assert_eq!(kept[3], "{\"run\":9}");
+        assert!(text.ends_with('\n'));
+
+        // Under the cap: untouched.
+        compact(&path, 100);
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), text);
+        // Missing file: no-op, no panic.
+        compact(&dir.join("absent.jsonl"), 4);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

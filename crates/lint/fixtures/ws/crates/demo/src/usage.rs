@@ -1,5 +1,5 @@
-//! failpoint-registry + obs-registry: one registered use of each, one
-//! unregistered use of each.
+//! failpoint-registry + obs-registry: one registered use of each kind
+//! (failpoint site, metric name, env knob), one unregistered use of each.
 
 pub fn failpoints() {
     vaer_fault::check("known.site");
@@ -10,6 +10,12 @@ pub fn metrics() {
     let c = counter("demo.widgets");
     let d = counter("undeclared.widgets");
     let _ = (c, d);
+}
+
+pub fn knobs() {
+    let registered = std::env::var("VAER_DEMO");
+    let rogue = std::env::var("VAER_ROGUE");
+    let _ = (registered, rogue);
 }
 
 fn counter(name: &str) -> &str {

@@ -127,6 +127,7 @@ impl Engine {
         }
         let mut used_failpoints: Vec<&str> = Vec::new();
         let mut used_prefixes: Vec<&str> = Vec::new();
+        let mut used_knobs: Vec<&str> = Vec::new();
         for file in files {
             let toks: Vec<_> = file.toks.iter().filter(|t| !t.is_comment()).collect();
             for (i, t) in toks.iter().enumerate() {
@@ -162,6 +163,13 @@ impl Engine {
                         used_prefixes.push(s.text.split('.').next().unwrap_or(&s.text));
                     }
                 }
+                if t.text == "var" && (i == 0 || !toks[i - 1].is_punct(".")) {
+                    if let Some(s) = next_str() {
+                        if s.text.starts_with("VAER_") {
+                            used_knobs.push(&s.text);
+                        }
+                    }
+                }
             }
         }
         let mut report_stale = |name: &str, registry: &str| {
@@ -175,6 +183,11 @@ impl Engine {
                 ),
             });
         };
+        for k in &ctx.env_knobs {
+            if !used_knobs.iter().any(|u| u == k) {
+                report_stale(k, "ENV_KNOBS");
+            }
+        }
         for fp in &ctx.failpoints {
             if !used_failpoints.iter().any(|u| u == fp) {
                 report_stale(fp, "FAILPOINTS");
@@ -250,6 +263,7 @@ fn build_context(root: &Path, files: &[SourceFile]) -> Context {
     for file in files {
         extract_const_strings(file, "FAILPOINTS", &mut ctx.failpoints);
         extract_const_strings(file, "NAME_PREFIXES", &mut ctx.obs_prefixes);
+        extract_const_strings(file, "ENV_KNOBS", &mut ctx.env_knobs);
     }
     let ledger = root.join("UNSAFE_LEDGER.md");
     if let Ok(text) = std::fs::read_to_string(&ledger) {

@@ -14,6 +14,8 @@ pub struct Context {
     pub failpoints: Vec<String>,
     /// Prefixes in `vaer_obs`'s `NAME_PREFIXES` registry const.
     pub obs_prefixes: Vec<String>,
+    /// Environment knobs in `vaer_obs`'s `ENV_KNOBS` registry const.
+    pub env_knobs: Vec<String>,
     /// Files listed in `UNSAFE_LEDGER.md`.
     pub ledger_files: Vec<String>,
     /// Whether an `UNSAFE_LEDGER.md` was found at the workspace root.
@@ -415,7 +417,9 @@ impl Rule for FailpointRegistry {
 
 /// observability: every obs counter/gauge/histogram/span/event name
 /// registered in library code must use a prefix from the `NAME_PREFIXES`
-/// registry const, keeping the metric namespace enumerable by tests.
+/// registry const, and every `VAER_*` environment knob read through
+/// `env::var` must be listed in the `ENV_KNOBS` registry const — both
+/// keep the observable surface enumerable by tests and docs.
 struct ObsRegistry;
 
 pub(crate) const OBS_FNS: &[&str] = &["counter", "gauge", "histogram", "span", "event"];
@@ -425,7 +429,7 @@ impl Rule for ObsRegistry {
         "obs-registry"
     }
     fn description(&self) -> &'static str {
-        "obs metric/span names must use a prefix listed in vaer_obs NAME_PREFIXES"
+        "obs metric/span names need a NAME_PREFIXES prefix; VAER_* env reads need an ENV_KNOBS row"
     }
     fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
         if file.kind != FileKind::Lib {
@@ -435,25 +439,38 @@ impl Rule for ObsRegistry {
         for i in 1..code.len().saturating_sub(2) {
             let t = code[i];
             if t.kind != TokKind::Ident
-                || !OBS_FNS.contains(&t.text.as_str())
+                || code[i - 1].is_punct(".") // method call, not a registration
                 || !code[i + 1].is_punct("(")
                 || code[i + 2].kind != TokKind::Str
-                || code[i - 1].is_punct(".") // method call, not a registration
                 || file.is_test_line(t.line)
             {
                 continue;
             }
-            let name = &code[i + 2].text;
-            let prefix = name.split('.').next().unwrap_or(name);
-            if !ctx.obs_prefixes.iter().any(|p| p == prefix) {
-                out.push(finding(
-                    file,
-                    self.id(),
-                    t.line,
-                    format!(
-                        "obs name `{name}` uses unregistered prefix `{prefix}`; add it to NAME_PREFIXES or reuse a registered namespace"
-                    ),
-                ));
+            if OBS_FNS.contains(&t.text.as_str()) {
+                let name = &code[i + 2].text;
+                let prefix = name.split('.').next().unwrap_or(name);
+                if !ctx.obs_prefixes.iter().any(|p| p == prefix) {
+                    out.push(finding(
+                        file,
+                        self.id(),
+                        t.line,
+                        format!(
+                            "obs name `{name}` uses unregistered prefix `{prefix}`; add it to NAME_PREFIXES or reuse a registered namespace"
+                        ),
+                    ));
+                }
+            } else if t.text == "var" && code[i + 2].text.starts_with("VAER_") {
+                let knob = &code[i + 2].text;
+                if !ctx.env_knobs.iter().any(|k| k == knob) {
+                    out.push(finding(
+                        file,
+                        self.id(),
+                        t.line,
+                        format!(
+                            "env knob `{knob}` is not in the ENV_KNOBS registry; add it so the knob surface stays enumerable"
+                        ),
+                    ));
+                }
             }
         }
     }
@@ -663,6 +680,20 @@ mod tests {
         let f = run(&ObsRegistry, src, &ctx);
         assert_eq!(f.len(), 1, "{f:?}");
         assert!(f[0].message.contains("mystery"));
+    }
+
+    #[test]
+    fn env_knobs_checked_against_registry() {
+        let ctx = Context {
+            env_knobs: vec!["VAER_OBS".into()],
+            ..Context::default()
+        };
+        // Registered knob, unregistered knob, and a non-VAER env read
+        // (outside the rule's scope entirely).
+        let src = "fn f() { let a = std::env::var(\"VAER_OBS\"); let b = std::env::var(\"VAER_SECRET_KNOB\"); let c = std::env::var(\"HOME\"); let _ = (a, b, c); }";
+        let f = run(&ObsRegistry, src, &ctx);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("VAER_SECRET_KNOB"));
     }
 
     #[test]

@@ -125,6 +125,14 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Wall-clock duration in microseconds.
     pub dur_us: u64,
+    /// Heap allocations performed while the span was open (process-wide
+    /// delta of the counting allocator, so concurrent threads bleed in).
+    pub allocs: u64,
+    /// Heap bytes allocated while the span was open (same caveat).
+    pub bytes: u64,
+    /// Peak RSS (`VmHWM`) in bytes sampled when the span closed; 0 when
+    /// the sampler is unavailable.
+    pub rss_peak: u64,
 }
 
 pub(crate) enum Record {
@@ -226,6 +234,8 @@ pub(crate) struct ActiveSpan {
     parent: u64,
     start_us: u64,
     start: Instant,
+    start_allocs: u64,
+    start_bytes: u64,
 }
 
 pub(crate) fn start_span(name: &'static str) -> ActiveSpan {
@@ -236,17 +246,26 @@ pub(crate) fn start_span(name: &'static str) -> ActiveSpan {
         stack.push(id);
         parent
     });
+    let mem = crate::alloc::stats();
     ActiveSpan {
         name,
         id,
         parent,
         start_us: now_us(),
         start: Instant::now(),
+        start_allocs: mem.allocs,
+        start_bytes: mem.bytes,
     }
 }
 
 pub(crate) fn finish_span(active: ActiveSpan) {
     let elapsed = active.start.elapsed();
+    // Deltas before the RSS sample: reading /proc allocates a transient
+    // buffer that must not count against this span.
+    let mem = crate::alloc::stats();
+    let allocs = mem.allocs.saturating_sub(active.start_allocs);
+    let bytes = mem.bytes.saturating_sub(active.start_bytes);
+    let rss_peak = crate::alloc::rss_peak_bytes();
     SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
         // Guards drop LIFO in well-formed code; tolerate leaks anyway.
@@ -256,7 +275,12 @@ pub(crate) fn finish_span(active: ActiveSpan) {
             stack.retain(|&id| id != active.id);
         }
     });
-    crate::metrics::histogram(active.name).record(elapsed);
+    crate::metrics::histogram(active.name).record_span(
+        elapsed.as_nanos() as u64,
+        allocs,
+        bytes,
+        rss_peak,
+    );
     if crate::trace_enabled() {
         push(Record::Span(SpanRecord {
             name: active.name,
@@ -265,6 +289,9 @@ pub(crate) fn finish_span(active: ActiveSpan) {
             thread: thread_slot(),
             start_us: active.start_us,
             dur_us: elapsed.as_micros() as u64,
+            allocs,
+            bytes,
+            rss_peak,
         }));
     }
 }

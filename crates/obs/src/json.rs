@@ -1,6 +1,7 @@
 //! Minimal JSON helpers: string escaping for the JSONL writer and a
-//! strict single-value validator used by tests to check exported lines
-//! without pulling in a JSON crate.
+//! strict single-value parser ([`parse`] / [`is_valid`]) used by tests
+//! and by `vaer-report` to read exported lines without pulling in a
+//! JSON crate.
 
 /// Escapes a string for embedding between JSON double quotes.
 pub fn escape(s: &str) -> String {
@@ -31,16 +32,96 @@ pub fn number(v: f64) -> String {
     }
 }
 
-/// Returns true iff `s` is exactly one valid JSON value (recursive
-/// descent, no extensions). Meant for validating exported JSONL lines.
-pub fn is_valid(s: &str) -> bool {
+/// A parsed JSON value. Object members keep source order (exports are
+/// already name-sorted where determinism matters).
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number token, held as `f64` (exact for integers ≤ 2^53,
+    /// which covers every counter this workspace exports).
+    Num(f64),
+    /// Unescaped string contents.
+    Str(String),
+    /// Array of values.
+    Arr(Vec<JsonValue>),
+    /// Object members in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Object member lookup (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor.
+    pub fn num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor rounded to `u64` (negative → `None`).
+    pub fn u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(v) if *v >= 0.0 => Some(v.round() as u64),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(v) => Some(v.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Shorthand for `get(key).and_then(num)`.
+    pub fn get_num(&self, key: &str) -> Option<f64> {
+        self.get(key)?.num()
+    }
+
+    /// Shorthand for `get(key).and_then(str)`.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.get(key)?.str()
+    }
+}
+
+/// Parses exactly one JSON value (recursive descent, no extensions).
+/// Returns `None` on any deviation from the grammar, including trailing
+/// garbage.
+pub fn parse(s: &str) -> Option<JsonValue> {
     let bytes = s.as_bytes();
     let mut pos = 0;
-    if !parse_value(bytes, &mut pos) {
-        return false;
-    }
+    let value = parse_value(bytes, &mut pos)?;
     skip_ws(bytes, &mut pos);
-    pos == bytes.len()
+    if pos == bytes.len() {
+        Some(value)
+    } else {
+        None
+    }
+}
+
+/// Returns true iff `s` is exactly one valid JSON value. Meant for
+/// validating exported JSONL lines.
+pub fn is_valid(s: &str) -> bool {
+    parse(s).is_some()
 }
 
 fn skip_ws(b: &[u8], pos: &mut usize) {
@@ -49,119 +130,164 @@ fn skip_ws(b: &[u8], pos: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], pos: &mut usize) -> bool {
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
     skip_ws(b, pos);
     match b.get(*pos) {
         Some(b'{') => parse_object(b, pos),
         Some(b'[') => parse_array(b, pos),
-        Some(b'"') => parse_string(b, pos),
-        Some(b't') => parse_lit(b, pos, b"true"),
-        Some(b'f') => parse_lit(b, pos, b"false"),
-        Some(b'n') => parse_lit(b, pos, b"null"),
+        Some(b'"') => parse_string(b, pos).map(JsonValue::Str),
+        Some(b't') => parse_lit(b, pos, b"true", JsonValue::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, b"false", JsonValue::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, b"null", JsonValue::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, pos),
-        _ => false,
+        _ => None,
     }
 }
 
-fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8]) -> bool {
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &[u8], value: JsonValue) -> Option<JsonValue> {
     if b.len() - *pos >= lit.len() && &b[*pos..*pos + lit.len()] == lit {
         *pos += lit.len();
-        true
+        Some(value)
     } else {
-        false
+        None
     }
 }
 
-fn parse_object(b: &[u8], pos: &mut usize) -> bool {
+fn parse_object(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
     *pos += 1; // '{'
     skip_ws(b, pos);
+    let mut members = Vec::new();
     if b.get(*pos) == Some(&b'}') {
         *pos += 1;
-        return true;
+        return Some(JsonValue::Obj(members));
     }
     loop {
         skip_ws(b, pos);
-        if !parse_string(b, pos) {
-            return false;
-        }
+        let key = parse_string(b, pos)?;
         skip_ws(b, pos);
         if b.get(*pos) != Some(&b':') {
-            return false;
+            return None;
         }
         *pos += 1;
-        if !parse_value(b, pos) {
-            return false;
-        }
+        let value = parse_value(b, pos)?;
+        members.push((key, value));
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b'}') => {
                 *pos += 1;
-                return true;
+                return Some(JsonValue::Obj(members));
             }
-            _ => return false,
+            _ => return None,
         }
     }
 }
 
-fn parse_array(b: &[u8], pos: &mut usize) -> bool {
+fn parse_array(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
     *pos += 1; // '['
     skip_ws(b, pos);
+    let mut items = Vec::new();
     if b.get(*pos) == Some(&b']') {
         *pos += 1;
-        return true;
+        return Some(JsonValue::Arr(items));
     }
     loop {
-        if !parse_value(b, pos) {
-            return false;
-        }
+        items.push(parse_value(b, pos)?);
         skip_ws(b, pos);
         match b.get(*pos) {
             Some(b',') => *pos += 1,
             Some(b']') => {
                 *pos += 1;
-                return true;
+                return Some(JsonValue::Arr(items));
             }
-            _ => return false,
+            _ => return None,
         }
     }
 }
 
-fn parse_string(b: &[u8], pos: &mut usize) -> bool {
+fn parse_string(b: &[u8], pos: &mut usize) -> Option<String> {
     if b.get(*pos) != Some(&b'"') {
-        return false;
+        return None;
     }
     *pos += 1;
-    while let Some(&c) = b.get(*pos) {
-        match c {
+    let mut out = String::new();
+    loop {
+        // The writer only emits valid UTF-8; walk it byte-wise and copy
+        // multi-byte sequences through untouched.
+        match b.get(*pos)? {
             b'"' => {
                 *pos += 1;
-                return true;
+                return Some(out);
             }
             b'\\' => {
                 *pos += 1;
-                match b.get(*pos) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
-                    Some(b'u') => {
+                match b.get(*pos)? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
                         *pos += 1;
-                        for _ in 0..4 {
-                            match b.get(*pos) {
-                                Some(h) if h.is_ascii_hexdigit() => *pos += 1,
-                                _ => return false,
+                        let first = parse_hex4(b, pos)?;
+                        let c = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: require the low half.
+                            if b.get(*pos) != Some(&b'\\') || b.get(*pos + 1) != Some(&b'u') {
+                                return None;
                             }
-                        }
+                            *pos += 2;
+                            let second = parse_hex4(b, pos)?;
+                            if !(0xDC00..0xE000).contains(&second) {
+                                return None;
+                            }
+                            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                            char::from_u32(code)?
+                        } else {
+                            char::from_u32(first)?
+                        };
+                        out.push(c);
+                        continue; // pos already past the escape
                     }
-                    _ => return false,
+                    _ => return None,
+                }
+                *pos += 1;
+            }
+            0x00..=0x1f => return None,
+            &c => {
+                out.push(c as char);
+                *pos += 1;
+                // Re-assemble multi-byte UTF-8 sequences.
+                if c >= 0x80 {
+                    out.pop();
+                    let start = *pos - 1;
+                    let mut end = *pos;
+                    while matches!(b.get(end), Some(x) if (x & 0xC0) == 0x80) {
+                        end += 1;
+                    }
+                    let chunk = std::str::from_utf8(&b[start..end]).ok()?;
+                    out.push_str(chunk);
+                    *pos = end;
                 }
             }
-            0x00..=0x1f => return false,
-            _ => *pos += 1,
         }
     }
-    false
 }
 
-fn parse_number(b: &[u8], pos: &mut usize) -> bool {
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Option<u32> {
+    let mut v = 0u32;
+    for _ in 0..4 {
+        let c = *b.get(*pos)?;
+        let d = (c as char).to_digit(16)?;
+        v = v * 16 + d;
+        *pos += 1;
+    }
+    Some(v)
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Option<JsonValue> {
     let start = *pos;
     if b.get(*pos) == Some(&b'-') {
         *pos += 1;
@@ -172,7 +298,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> bool {
         digits += 1;
     }
     if digits == 0 {
-        return false;
+        return None;
     }
     if b.get(*pos) == Some(&b'.') {
         *pos += 1;
@@ -182,7 +308,7 @@ fn parse_number(b: &[u8], pos: &mut usize) -> bool {
             frac += 1;
         }
         if frac == 0 {
-            return false;
+            return None;
         }
     }
     if matches!(b.get(*pos), Some(b'e' | b'E')) {
@@ -196,10 +322,15 @@ fn parse_number(b: &[u8], pos: &mut usize) -> bool {
             exp += 1;
         }
         if exp == 0 {
-            return false;
+            return None;
         }
     }
-    *pos > start
+    // The token is grammatically sound; f64 conversion cannot fail.
+    std::str::from_utf8(&b[start..*pos])
+        .ok()?
+        .parse::<f64>()
+        .ok()
+        .map(JsonValue::Num)
 }
 
 #[cfg(test)]
@@ -255,5 +386,34 @@ mod tests {
         ] {
             assert!(!is_valid(bad), "should reject: {bad}");
         }
+    }
+
+    #[test]
+    fn parser_builds_values() {
+        let v = parse(r#"{"name":"aé\n","n":3.5,"list":[1,true,null]}"#).unwrap();
+        assert_eq!(v.get_str("name"), Some("aé\n"));
+        assert_eq!(v.get_num("n"), Some(3.5));
+        let list = v.get("list").unwrap().arr().unwrap();
+        assert_eq!(list[0].num(), Some(1.0));
+        assert_eq!(list[1], JsonValue::Bool(true));
+        assert_eq!(list[2], JsonValue::Null);
+        assert_eq!(v.get("missing"), None);
+        assert_eq!(v.get("n").unwrap().u64(), Some(4));
+    }
+
+    #[test]
+    fn parser_round_trips_escapes() {
+        let original = "quote\" slash\\ newline\n tab\t ctrl\u{1} é—😀";
+        let encoded = format!("\"{}\"", escape(original));
+        let parsed = parse(&encoded).unwrap();
+        assert_eq!(parsed.str(), Some(original));
+    }
+
+    #[test]
+    fn parser_handles_surrogate_pairs() {
+        // U+1F600 spelled as an escaped surrogate pair.
+        assert_eq!(parse("\"\\ud83d\\ude00\"").unwrap().str(), Some("😀"));
+        // A lone high surrogate is invalid.
+        assert!(parse("\"\\ud83d\"").is_none());
     }
 }

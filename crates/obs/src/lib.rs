@@ -23,15 +23,18 @@
 //! ([`ObsSink::write_jsonl`], one JSON object per line) or rendered as a
 //! human table ([`ObsSink::summary`]). See DESIGN.md §9 for the schema.
 
+pub mod alloc;
 mod collect;
 pub mod json;
 pub mod metrics;
 pub mod registry;
 mod sink;
+mod trace;
 
+pub use alloc::AllocStats;
 pub use collect::{records_len, EventRecord, SpanRecord, Value};
 pub use metrics::{counter, gauge, histogram, Counter, Gauge, Histogram};
-pub use registry::NAME_PREFIXES;
+pub use registry::{ENV_KNOBS, NAME_PREFIXES};
 pub use sink::{HistSnapshot, ObsSink};
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -107,6 +110,17 @@ pub fn trace_enabled() -> bool {
     level() == Level::Trace
 }
 
+/// Allocator-hook view of the level: a single raw load with NO env
+/// fallback. `init_level` reads `VAER_OBS` via `std::env::var`, which
+/// allocates — calling it from inside the allocator would recurse — so
+/// the counting hook treats an unresolved level as off and waits for
+/// the first ordinary probe (or [`set_level`]) to resolve it. This is
+/// the "hook ordering contract" of DESIGN.md §14.
+#[inline]
+pub(crate) fn counting_enabled() -> bool {
+    matches!(LEVEL.load(Ordering::Relaxed), 1 | 2)
+}
+
 /// Starts a span; the returned guard records the span when dropped.
 ///
 /// When the level is `off` this returns an inert guard without reading
@@ -180,6 +194,9 @@ mod tests {
         {
             let _outer = span("obs.test.outer");
             let _inner = span!("obs.test.inner");
+            // Give the allocation accounting something to see.
+            let ballast: Vec<u8> = Vec::with_capacity(4096);
+            drop(ballast);
             event(
                 "obs.test.event",
                 &[("k", Value::U64(7)), ("f", Value::F64(0.5))],
@@ -211,6 +228,17 @@ mod tests {
             .unwrap();
         assert_eq!(inner.parent, outer.id, "inner span must nest under outer");
         assert_eq!(outer.parent, 0, "outer span is a root");
+        assert!(outer.allocs >= 1, "outer span saw the ballast alloc");
+        assert!(outer.bytes >= 4096, "outer span counted ballast bytes");
+        if cfg!(target_os = "linux") {
+            assert!(outer.rss_peak > 0, "span carries a VmHWM sample");
+        }
+        let outer_hist = sink
+            .histograms
+            .iter()
+            .find(|h| h.name == "obs.test.outer")
+            .unwrap();
+        assert!(outer_hist.allocs >= 1 && outer_hist.bytes >= 4096);
         let ev = sink.events_named("obs.test.event").next().unwrap();
         assert_eq!(ev.u64("k"), Some(7));
         assert_eq!(ev.f64("f"), Some(0.5));

@@ -20,8 +20,16 @@ pub const MAX_COUNTERS: usize = 512;
 pub const MAX_GAUGES: usize = 128;
 /// Maximum number of distinct histograms.
 pub const MAX_HISTOGRAMS: usize = 128;
-/// Buckets per histogram (log2-spaced nanoseconds, see [`bucket_index`]).
-pub const HIST_BUCKETS: usize = 16;
+/// Sub-bucket precision bits: each octave is split into `2^3 = 8`
+/// linear sub-buckets, HDR-histogram style, bounding quantile error to
+/// ~12.5% of the value.
+pub const HIST_SUB_BITS: usize = 3;
+/// Sub-buckets per octave.
+pub const HIST_SUB: usize = 1 << HIST_SUB_BITS;
+/// Number of octaves (powers of two above the 1.024 µs base range).
+pub const HIST_OCTAVES: usize = 16;
+/// Buckets per histogram (octave × sub-bucket grid, see [`bucket_index`]).
+pub const HIST_BUCKETS: usize = HIST_OCTAVES * HIST_SUB;
 
 // Repeating a const with interior mutability in an array initialiser
 // creates one fresh atomic per slot — exactly what we want here.
@@ -37,6 +45,10 @@ struct HistCell {
     sum_nanos: AtomicU64,
     min_nanos: AtomicU64, // u64::MAX when empty
     max_nanos: AtomicU64,
+    // Memory accounting, fed by span accounting via `record_span`.
+    allocs: AtomicU64,
+    bytes: AtomicU64,
+    rss_peak: AtomicU64,
     buckets: [AtomicU64; HIST_BUCKETS],
 }
 
@@ -46,6 +58,9 @@ const HIST_EMPTY: HistCell = HistCell {
     sum_nanos: AtomicU64::new(0),
     min_nanos: AtomicU64::new(u64::MAX),
     max_nanos: AtomicU64::new(0),
+    allocs: AtomicU64::new(0),
+    bytes: AtomicU64::new(0),
+    rss_peak: AtomicU64::new(0),
     buckets: [ZERO; HIST_BUCKETS],
 };
 
@@ -158,13 +173,49 @@ impl Gauge {
     }
 }
 
-/// Maps a nanosecond duration to its log2 bucket: bucket 0 holds
-/// everything under 1.024 µs, bucket `b` (1..15) holds
-/// `[2^(9+b), 2^(10+b))` ns, bucket 15 holds everything ≥ ~16.8 ms.
+/// Maps a nanosecond value to its HDR-style bucket.
+///
+/// Octave 0 covers `[0, 1024)` ns in 8 linear 128 ns sub-buckets;
+/// octave `o ≥ 1` covers `[2^(9+o), 2^(10+o))` ns split into 8 linear
+/// sub-buckets of `2^(6+o)` ns each (the value's top three bits below
+/// the leading one select the sub-bucket). Values past the last octave
+/// land in the final bucket. Relative width is ≤ 1/8 everywhere, which
+/// bounds quantile interpolation error to ~12.5%.
 #[inline]
 pub fn bucket_index(nanos: u64) -> usize {
     let bits = 64 - (nanos | 1).leading_zeros() as usize;
-    bits.saturating_sub(10).min(HIST_BUCKETS - 1)
+    if bits <= 10 {
+        // Octave 0: plain linear 128 ns sub-buckets.
+        return (nanos >> 7) as usize;
+    }
+    let octave = (bits - 10).min(HIST_OCTAVES - 1);
+    let sub = if bits - 10 > HIST_OCTAVES - 1 {
+        // Beyond the covered range: clamp into the last sub-bucket so
+        // the mapping stays monotone.
+        HIST_SUB - 1
+    } else {
+        (nanos >> (bits - 1 - HIST_SUB_BITS)) as usize & (HIST_SUB - 1)
+    };
+    octave * HIST_SUB + sub
+}
+
+/// Inclusive-exclusive `[lo, hi)` nanosecond range of a bucket. The
+/// final bucket's upper bound is `u64::MAX` (open-ended).
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    let octave = index / HIST_SUB;
+    let sub = (index % HIST_SUB) as u64;
+    if octave == 0 {
+        return (sub * 128, (sub + 1) * 128);
+    }
+    let base = 1u64 << (9 + octave);
+    let width = 1u64 << (6 + octave);
+    let lo = base + sub * width;
+    let hi = if index == HIST_BUCKETS - 1 {
+        u64::MAX
+    } else {
+        lo + width
+    };
+    (lo, hi)
 }
 
 /// Fixed-bucket duration histogram handle (nanosecond values).
@@ -179,6 +230,14 @@ impl Histogram {
     /// Records one duration. No-op when telemetry is off or inert.
     #[inline]
     pub fn record_nanos(self, nanos: u64) {
+        self.record_span(nanos, 0, 0, 0);
+    }
+
+    /// Records one duration together with its memory accounting: the
+    /// span's allocation count/bytes deltas are accumulated and the RSS
+    /// peak sample is folded in with a running max.
+    #[inline]
+    pub fn record_span(self, nanos: u64, allocs: u64, bytes: u64, rss_peak: u64) {
         if !crate::enabled() || self.0 >= MAX_HISTOGRAMS {
             return;
         }
@@ -187,6 +246,15 @@ impl Histogram {
         cell.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
         cell.min_nanos.fetch_min(nanos, Ordering::Relaxed);
         cell.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+        if allocs > 0 {
+            cell.allocs.fetch_add(allocs, Ordering::Relaxed);
+        }
+        if bytes > 0 {
+            cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+        if rss_peak > 0 {
+            cell.rss_peak.fetch_max(rss_peak, Ordering::Relaxed);
+        }
         cell.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
     }
 
@@ -228,9 +296,20 @@ pub(crate) fn snapshot_gauges() -> Vec<(String, f64)> {
         .collect()
 }
 
-/// Raw histogram snapshot: (name, count, sum, min, max, buckets).
-#[allow(clippy::type_complexity)]
-pub(crate) fn snapshot_histograms() -> Vec<(String, u64, u64, u64, u64, [u64; HIST_BUCKETS])> {
+/// Raw histogram snapshot, one per registered histogram.
+pub(crate) struct RawHist {
+    pub name: String,
+    pub count: u64,
+    pub sum_nanos: u64,
+    pub min_nanos: u64,
+    pub max_nanos: u64,
+    pub allocs: u64,
+    pub bytes: u64,
+    pub rss_peak: u64,
+    pub buckets: [u64; HIST_BUCKETS],
+}
+
+pub(crate) fn snapshot_histograms() -> Vec<RawHist> {
     let names = NAMES
         .lock()
         .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -246,14 +325,17 @@ pub(crate) fn snapshot_histograms() -> Vec<(String, u64, u64, u64, u64, [u64; HI
             for (b, slot) in buckets.iter_mut().zip(cell.buckets.iter()) {
                 *b = slot.load(Ordering::Relaxed);
             }
-            (
-                n.clone(),
+            RawHist {
+                name: n.clone(),
                 count,
-                cell.sum_nanos.load(Ordering::Relaxed),
-                if count == 0 { 0 } else { min },
-                cell.max_nanos.load(Ordering::Relaxed),
+                sum_nanos: cell.sum_nanos.load(Ordering::Relaxed),
+                min_nanos: if count == 0 { 0 } else { min },
+                max_nanos: cell.max_nanos.load(Ordering::Relaxed),
+                allocs: cell.allocs.load(Ordering::Relaxed),
+                bytes: cell.bytes.load(Ordering::Relaxed),
+                rss_peak: cell.rss_peak.load(Ordering::Relaxed),
                 buckets,
-            )
+            }
         })
         .collect()
 }
@@ -276,6 +358,9 @@ pub(crate) fn reset_values() {
         cell.sum_nanos.store(0, Ordering::Relaxed);
         cell.min_nanos.store(u64::MAX, Ordering::Relaxed);
         cell.max_nanos.store(0, Ordering::Relaxed);
+        cell.allocs.store(0, Ordering::Relaxed);
+        cell.bytes.store(0, Ordering::Relaxed);
+        cell.rss_peak.store(0, Ordering::Relaxed);
         for b in cell.buckets.iter() {
             b.store(0, Ordering::Relaxed);
         }
@@ -288,14 +373,48 @@ mod tests {
 
     #[test]
     fn bucket_index_edges() {
+        // Octave 0: linear 128 ns sub-buckets.
         assert_eq!(bucket_index(0), 0);
-        assert_eq!(bucket_index(1), 0);
-        assert_eq!(bucket_index(1023), 0);
-        assert_eq!(bucket_index(1024), 1);
-        assert_eq!(bucket_index(2047), 1);
-        assert_eq!(bucket_index(2048), 2);
-        assert_eq!(bucket_index(1 << 24), HIST_BUCKETS - 1);
+        assert_eq!(bucket_index(127), 0);
+        assert_eq!(bucket_index(128), 1);
+        assert_eq!(bucket_index(1023), 7);
+        // Octave 1 starts at 1024 ns with 128 ns sub-buckets.
+        assert_eq!(bucket_index(1024), HIST_SUB);
+        assert_eq!(bucket_index(1535), HIST_SUB + 3);
+        assert_eq!(bucket_index(2047), 2 * HIST_SUB - 1);
+        // Octave 2 starts at 2048 ns.
+        assert_eq!(bucket_index(2048), 2 * HIST_SUB);
+        // Last octave starts at 2^24 ns; everything past it clamps to
+        // the final bucket.
+        assert_eq!(bucket_index(1 << 24), (HIST_OCTAVES - 1) * HIST_SUB);
+        assert_eq!(bucket_index(1 << 25), HIST_BUCKETS - 1);
         assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_bounds_round_trip() {
+        let mut prev_hi = 0u64;
+        for i in 0..HIST_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert!(lo < hi, "bucket {i} is non-empty");
+            assert_eq!(lo, prev_hi, "bucket {i} is contiguous");
+            assert_eq!(bucket_index(lo), i, "lo of bucket {i} maps back");
+            assert_eq!(bucket_index(hi - 1), i, "hi-1 of bucket {i} maps back");
+            prev_hi = hi;
+        }
+        assert_eq!(prev_hi, u64::MAX, "grid covers the whole u64 range");
+    }
+
+    #[test]
+    fn bucket_index_is_monotone() {
+        let mut prev = 0usize;
+        let mut n = 0u64;
+        while n < (1u64 << 30) {
+            let b = bucket_index(n);
+            assert!(b >= prev, "bucket_index regressed at {n}");
+            prev = b;
+            n = n * 2 + 77;
+        }
     }
 
     #[test]

@@ -27,6 +27,8 @@ pub const NAME_PREFIXES: &[&str] = &[
     "linalg",
     // Siamese matcher training and rollback guard.
     "matcher",
+    // Allocator totals and RSS gauges from the profiling layer.
+    "mem",
     // End-to-end pipeline stage spans.
     "pipeline",
     // VAE representation model encode/train surface.
@@ -42,6 +44,38 @@ pub const NAME_PREFIXES: &[&str] = &[
 pub fn is_registered(name: &str) -> bool {
     let prefix = name.split('.').next().unwrap_or(name);
     NAME_PREFIXES.binary_search(&prefix).is_ok()
+}
+
+/// Registered `VAER_*` environment knobs (sorted, unique). Library and
+/// example code may only read knobs listed here — the `obs-registry`
+/// lint rule enforces it, and a stale-registry check flags entries no
+/// code reads any more. Keep each knob documented where it is consumed.
+pub const ENV_KNOBS: &[&str] = &[
+    // Quick/CI mode for the bench suite (vaer-bench).
+    "VAER_BENCH_QUICK",
+    // Checkpoint directory for resumable runs (examples).
+    "VAER_CKPT_DIR",
+    // Generator domain list for benches (vaer-bench).
+    "VAER_DOMAINS",
+    // Failpoint plan for fault injection (vaer-fault).
+    "VAER_FAILPOINTS",
+    // Telemetry level: off | summary | trace (vaer-obs).
+    "VAER_OBS",
+    // Bench problem-size multiplier (vaer-bench).
+    "VAER_SCALE",
+    // Score-stage precision lane: f32 | int8 (examples).
+    "VAER_SCORE_PRECISION",
+    // Bench RNG seed (vaer-bench).
+    "VAER_SEED",
+    // Worker-pool width (vaer-linalg).
+    "VAER_THREADS",
+    // Chrome-trace output path (vaer-obs).
+    "VAER_TRACE_OUT",
+];
+
+/// Whether a `VAER_*` environment knob is registered.
+pub fn is_registered_knob(name: &str) -> bool {
+    ENV_KNOBS.binary_search(&name).is_ok()
 }
 
 #[cfg(test)]
@@ -63,7 +97,21 @@ mod tests {
     fn lookup_uses_first_segment() {
         assert!(is_registered("vae.epoch"));
         assert!(is_registered("latent.cache.hits"));
+        assert!(is_registered("mem.rss.peak"));
         assert!(!is_registered("mystery.count"));
         assert!(!is_registered(""));
+    }
+
+    #[test]
+    fn knobs_are_sorted_unique_and_well_formed() {
+        assert!(!ENV_KNOBS.is_empty());
+        for pair in ENV_KNOBS.windows(2) {
+            assert!(pair[0] < pair[1], "{pair:?} out of order or duplicated");
+        }
+        for k in ENV_KNOBS {
+            assert!(k.starts_with("VAER_"), "knob `{k}` outside the namespace");
+        }
+        assert!(is_registered_knob("VAER_TRACE_OUT"));
+        assert!(!is_registered_knob("VAER_ROGUE"));
     }
 }

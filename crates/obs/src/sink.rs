@@ -20,7 +20,14 @@ pub struct HistSnapshot {
     pub min_nanos: u64,
     /// Largest recorded duration.
     pub max_nanos: u64,
-    /// Log2 buckets, see [`metrics::bucket_index`].
+    /// Heap allocations attributed to recorded spans (0 for plain
+    /// duration histograms).
+    pub allocs: u64,
+    /// Heap bytes attributed to recorded spans.
+    pub bytes: u64,
+    /// Largest peak-RSS sample across recorded spans, bytes.
+    pub rss_peak: u64,
+    /// HDR octave × sub-bucket grid, see [`metrics::bucket_index`].
     pub buckets: [u64; HIST_BUCKETS],
 }
 
@@ -28,6 +35,79 @@ impl HistSnapshot {
     /// Mean duration in nanoseconds (0 when empty).
     pub fn mean_nanos(&self) -> u64 {
         self.sum_nanos.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Quantile estimate in nanoseconds, `q` in `[0, 1]` (0 when empty).
+    ///
+    /// Walks the cumulative bucket counts to the bucket holding the
+    /// requested rank and interpolates linearly inside it, clamping the
+    /// bucket's range by the observed min/max — so a histogram holding a
+    /// single distinct value reports that value exactly, and in general
+    /// the error is bounded by the bucket's ~12.5% relative width.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= rank {
+                let (blo, bhi) = metrics::bucket_bounds(i);
+                let lo = blo.max(self.min_nanos);
+                let hi = bhi.min(self.max_nanos.saturating_add(1)).max(lo + 1);
+                let pos = (rank - cum) as f64 / c as f64;
+                return lo + (((hi - lo - 1) as f64) * pos).round() as u64;
+            }
+            cum += c;
+        }
+        self.max_nanos
+    }
+
+    /// Median (p50) in nanoseconds.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile in nanoseconds.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile in nanoseconds.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Folds another snapshot into this one (bucket-wise sum; min/max and
+    /// RSS peak combine; the name is kept from `self`). Merging shards of
+    /// the same distribution preserves quantile estimates exactly because
+    /// both sides share one bucket grid.
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        if other.count == 0 {
+            self.allocs += other.allocs;
+            self.bytes += other.bytes;
+            self.rss_peak = self.rss_peak.max(other.rss_peak);
+            return;
+        }
+        if self.count == 0 {
+            self.min_nanos = other.min_nanos;
+            self.max_nanos = other.max_nanos;
+        } else {
+            self.min_nanos = self.min_nanos.min(other.min_nanos);
+            self.max_nanos = self.max_nanos.max(other.max_nanos);
+        }
+        self.count += other.count;
+        self.sum_nanos += other.sum_nanos;
+        self.allocs += other.allocs;
+        self.bytes += other.bytes;
+        self.rss_peak = self.rss_peak.max(other.rss_peak);
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += src;
+        }
     }
 }
 
@@ -54,22 +134,26 @@ impl ObsSink {
     /// worth instrumenting, but not free — call between phases, not in
     /// inner loops.
     pub fn snapshot() -> Self {
+        // Freeze the memory picture first so the gauges below reflect
+        // the run being snapshotted, not the snapshot's own allocations.
+        crate::alloc::publish_gauges();
         let (spans, events) = collect::snapshot_records();
         // Metrics register in first-touch order, which can differ between
         // runs when worker threads race; sort by name so every export of
         // the same telemetry is byte-identical.
         let mut histograms: Vec<HistSnapshot> = metrics::snapshot_histograms()
             .into_iter()
-            .map(
-                |(name, count, sum_nanos, min_nanos, max_nanos, buckets)| HistSnapshot {
-                    name,
-                    count,
-                    sum_nanos,
-                    min_nanos,
-                    max_nanos,
-                    buckets,
-                },
-            )
+            .map(|h| HistSnapshot {
+                name: h.name,
+                count: h.count,
+                sum_nanos: h.sum_nanos,
+                min_nanos: h.min_nanos,
+                max_nanos: h.max_nanos,
+                allocs: h.allocs,
+                bytes: h.bytes,
+                rss_peak: h.rss_peak,
+                buckets: h.buckets,
+            })
             .collect();
         histograms.sort_by(|a, b| a.name.cmp(&b.name));
         let mut counters = metrics::snapshot_counters();
@@ -150,12 +234,18 @@ impl ObsSink {
             let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
             writeln!(
                 w,
-                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_nanos\":{},\"min_nanos\":{},\"max_nanos\":{},\"buckets\":[{}]}}",
+                "{{\"type\":\"histogram\",\"name\":\"{}\",\"count\":{},\"sum_nanos\":{},\"min_nanos\":{},\"max_nanos\":{},\"p50_nanos\":{},\"p90_nanos\":{},\"p99_nanos\":{},\"allocs\":{},\"bytes\":{},\"rss_peak\":{},\"buckets\":[{}]}}",
                 json::escape(&h.name),
                 h.count,
                 h.sum_nanos,
                 h.min_nanos,
                 h.max_nanos,
+                h.p50(),
+                h.p90(),
+                h.p99(),
+                h.allocs,
+                h.bytes,
+                h.rss_peak,
                 buckets.join(",")
             )?;
         }
@@ -170,13 +260,16 @@ impl ObsSink {
         for s in &self.spans {
             writeln!(
                 w,
-                "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{}}}",
+                "{{\"type\":\"span\",\"name\":\"{}\",\"id\":{},\"parent\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{},\"allocs\":{},\"bytes\":{},\"rss_peak\":{}}}",
                 json::escape(s.name),
                 s.id,
                 s.parent,
                 s.thread,
                 s.start_us,
-                s.dur_us
+                s.dur_us,
+                s.allocs,
+                s.bytes,
+                s.rss_peak
             )?;
         }
         for e in &self.events {
@@ -216,6 +309,35 @@ impl ObsSink {
         self.write_jsonl(&mut buf)
     }
 
+    /// Renders the span tree and events as Chrome Trace Event JSON
+    /// (loadable in Perfetto / `chrome://tracing`). See `trace` module
+    /// docs for the mapping.
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> io::Result<()> {
+        crate::trace::write(self, w)
+    }
+
+    /// [`Self::write_chrome_trace`] into a file (truncating).
+    pub fn write_chrome_trace_path(&self, path: &Path) -> io::Result<()> {
+        let mut file = std::fs::File::create(path)?;
+        let mut buf = io::BufWriter::new(&mut file);
+        self.write_chrome_trace(&mut buf)
+    }
+
+    /// Writes a Chrome trace to the path named by `VAER_TRACE_OUT`, if
+    /// set. Returns the path written, or `None` when the knob is unset.
+    /// Call this after the run completes, with a `trace`-level snapshot —
+    /// at lower levels the file is still valid but contains no spans.
+    pub fn write_chrome_trace_if_requested(&self) -> io::Result<Option<std::path::PathBuf>> {
+        match std::env::var("VAER_TRACE_OUT") {
+            Ok(path) if !path.is_empty() => {
+                let path = std::path::PathBuf::from(path);
+                self.write_chrome_trace_path(&path)?;
+                Ok(Some(path))
+            }
+            _ => Ok(None),
+        }
+    }
+
     /// Human-readable summary table: counters, gauges, span/histogram
     /// timings, derived GFLOP/s, and event counts by name.
     pub fn summary(&self) -> String {
@@ -238,15 +360,30 @@ impl ObsSink {
         }
         let live_hists: Vec<_> = self.histograms.iter().filter(|h| h.count > 0).collect();
         if !live_hists.is_empty() {
-            out.push_str("-- timings (count / mean / max) --------------------------------\n");
-            for h in live_hists {
+            out.push_str("-- timings (count / mean / p50 / p99 / max) --------------------\n");
+            for h in &live_hists {
                 out.push_str(&format!(
-                    "  {:<40} {:>6} {:>9} {:>9}\n",
+                    "  {:<40} {:>6} {:>9} {:>9} {:>9} {:>9}\n",
                     h.name,
                     h.count,
                     human_duration(h.mean_nanos()),
+                    human_duration(h.p50()),
+                    human_duration(h.p99()),
                     human_duration(h.max_nanos)
                 ));
+            }
+            let mem_hists: Vec<_> = live_hists.iter().filter(|h| h.allocs > 0).collect();
+            if !mem_hists.is_empty() {
+                out.push_str("-- memory (allocs / bytes / rss peak) --------------------------\n");
+                for h in mem_hists {
+                    out.push_str(&format!(
+                        "  {:<40} {:>9} {:>10} {:>10}\n",
+                        h.name,
+                        h.allocs,
+                        human_bytes(h.bytes),
+                        human_bytes(h.rss_peak)
+                    ));
+                }
             }
         }
         let gflops = self.derived_gflops();
@@ -279,6 +416,19 @@ impl ObsSink {
     }
 }
 
+/// Renders a byte count with a unit picked for readability.
+pub(crate) fn human_bytes(bytes: u64) -> String {
+    if bytes >= 1 << 30 {
+        format!("{:.2}GiB", bytes as f64 / (1u64 << 30) as f64)
+    } else if bytes >= 1 << 20 {
+        format!("{:.1}MiB", bytes as f64 / (1u64 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1}KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
 /// Renders nanoseconds with a unit picked for readability.
 fn human_duration(nanos: u64) -> String {
     if nanos >= 1_000_000_000 {
@@ -302,6 +452,120 @@ mod tests {
         assert_eq!(human_duration(2_500), "2.5us");
         assert_eq!(human_duration(3_100_000), "3.1ms");
         assert_eq!(human_duration(1_500_000_000), "1.50s");
+    }
+
+    #[test]
+    fn human_bytes_units() {
+        assert_eq!(human_bytes(512), "512B");
+        assert_eq!(human_bytes(2048), "2.0KiB");
+        assert_eq!(human_bytes(3 << 20), "3.0MiB");
+        assert_eq!(human_bytes(5 << 30), "5.00GiB");
+    }
+
+    /// Builds a snapshot holding the given nanosecond values, the same
+    /// way `Histogram::record_nanos` would bucket them.
+    fn hist_of(values: &[u64]) -> HistSnapshot {
+        let mut h = HistSnapshot {
+            name: "test".into(),
+            count: 0,
+            sum_nanos: 0,
+            min_nanos: 0,
+            max_nanos: 0,
+            allocs: 0,
+            bytes: 0,
+            rss_peak: 0,
+            buckets: [0; HIST_BUCKETS],
+        };
+        for &v in values {
+            if h.count == 0 {
+                h.min_nanos = v;
+                h.max_nanos = v;
+            } else {
+                h.min_nanos = h.min_nanos.min(v);
+                h.max_nanos = h.max_nanos.max(v);
+            }
+            h.count += 1;
+            h.sum_nanos += v;
+            h.buckets[metrics::bucket_index(v)] += 1;
+        }
+        h
+    }
+
+    #[test]
+    fn quantile_single_value_is_exact() {
+        let h = hist_of(&[777_777; 10]);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 777_777, "q={q}");
+        }
+    }
+
+    #[test]
+    fn quantile_empty_is_zero() {
+        let h = hist_of(&[]);
+        assert_eq!(h.p50(), 0);
+        assert_eq!(h.p99(), 0);
+    }
+
+    #[test]
+    fn quantile_two_point_distribution() {
+        // 90 fast + 10 slow values, far apart: p50 must sit on the fast
+        // mode and p99 on the slow one, exactly (single-value buckets
+        // clamp to min/max... the two modes land in distinct buckets).
+        let mut values = vec![1_000u64; 90];
+        values.extend(vec![1_000_000u64; 10]);
+        let h = hist_of(&values);
+        let p50 = h.p50();
+        let p99 = h.p99();
+        let (lo50, hi50) = metrics::bucket_bounds(metrics::bucket_index(1_000));
+        assert!(p50 >= lo50 && p50 < hi50, "p50={p50} in fast bucket");
+        let (lo99, hi99) = metrics::bucket_bounds(metrics::bucket_index(1_000_000));
+        assert!(p99 >= lo99 && p99 < hi99, "p99={p99} in slow bucket");
+        assert_eq!(h.quantile(1.0), 1_000_000);
+        assert_eq!(h.quantile(0.0), 1_000);
+    }
+
+    #[test]
+    fn quantile_uniform_error_is_bounded() {
+        // 0..10_000 µs uniformly: HDR sub-buckets bound relative error
+        // to ~12.5% plus interpolation slack.
+        let values: Vec<u64> = (1..=10_000u64).map(|i| i * 1_000).collect();
+        let h = hist_of(&values);
+        for (q, exact) in [(0.5, 5_000_000u64), (0.9, 9_000_000), (0.99, 9_900_000)] {
+            let got = h.quantile(q);
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.15, "q={q}: got {got}, exact {exact}, err {err:.3}");
+        }
+    }
+
+    #[test]
+    fn merge_matches_single_histogram() {
+        let all: Vec<u64> = (1..=2_000u64).map(|i| i * 731).collect();
+        let (left, right) = all.split_at(700);
+        let mut merged = hist_of(left);
+        merged.merge(&hist_of(right));
+        let whole = hist_of(&all);
+        assert_eq!(merged.count, whole.count);
+        assert_eq!(merged.sum_nanos, whole.sum_nanos);
+        assert_eq!(merged.min_nanos, whole.min_nanos);
+        assert_eq!(merged.max_nanos, whole.max_nanos);
+        assert_eq!(merged.buckets, whole.buckets);
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(merged.quantile(q), whole.quantile(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_sides() {
+        let mut empty = hist_of(&[]);
+        let full = hist_of(&[5_000, 6_000, 7_000]);
+        empty.merge(&full);
+        assert_eq!(empty.count, 3);
+        assert_eq!(empty.min_nanos, 5_000);
+        assert_eq!(empty.max_nanos, 7_000);
+        let mut full2 = hist_of(&[5_000, 6_000, 7_000]);
+        full2.merge(&hist_of(&[]));
+        assert_eq!(full2.count, 3);
+        assert_eq!(full2.min_nanos, 5_000);
     }
 
     #[test]

@@ -1,0 +1,96 @@
+//! Chrome Trace Event export: renders an [`ObsSink`]'s span tree and
+//! events as the JSON understood by Perfetto and `chrome://tracing`.
+//!
+//! Mapping (Trace Event Format, JSON Object variant):
+//!
+//! * Each [`SpanRecord`] becomes one complete event (`"ph":"X"`) with
+//!   `ts`/`dur` in microseconds since the obs epoch, `pid` fixed at 1,
+//!   and `tid` set to the recording thread's slot. The span id, parent
+//!   id, and memory accounting ride along in `args`, so parent/child
+//!   structure survives even across threads (the viewer's visual
+//!   nesting is per-`tid` stack-based, which matches how spans nest on
+//!   one thread).
+//! * Each [`EventRecord`] becomes a thread-scoped instant event
+//!   (`"ph":"i"`, `"s":"t"`) with its typed fields in `args`.
+//! * One metadata event (`"ph":"M"`, `thread_name`) names every thread
+//!   lane that appears, so lanes read `vaer-thread-N` in the UI.
+//!
+//! Output is deterministic for a given sink: spans and events are
+//! emitted in the sink's (time-sorted) order and lanes in ascending
+//! slot order — the golden test pins the exact bytes.
+
+use crate::collect::Value;
+use crate::json;
+use crate::sink::ObsSink;
+use std::io::{self, Write};
+
+pub(crate) fn write<W: Write>(sink: &ObsSink, w: &mut W) -> io::Result<()> {
+    write!(w, "{{\"displayTimeUnit\":\"ms\",\"traceEvents\":[")?;
+    let mut first = true;
+    let sep = |w: &mut W, first: &mut bool| -> io::Result<()> {
+        if *first {
+            *first = false;
+            Ok(())
+        } else {
+            write!(w, ",")
+        }
+    };
+
+    let mut threads: Vec<u32> = sink
+        .spans
+        .iter()
+        .map(|s| s.thread)
+        .chain(sink.events.iter().map(|e| e.thread))
+        .collect();
+    threads.sort_unstable();
+    threads.dedup();
+    for t in threads {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":{t},\"args\":{{\"name\":\"vaer-thread-{t}\"}}}}"
+        )?;
+    }
+
+    for s in &sink.spans {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\":\"X\",\"name\":\"{}\",\"cat\":\"span\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{\"id\":{},\"parent\":{},\"allocs\":{},\"bytes\":{},\"rss_peak\":{}}}}}",
+            json::escape(s.name),
+            s.thread,
+            s.start_us,
+            s.dur_us,
+            s.id,
+            s.parent,
+            s.allocs,
+            s.bytes,
+            s.rss_peak
+        )?;
+    }
+
+    for e in &sink.events {
+        sep(w, &mut first)?;
+        write!(
+            w,
+            "{{\"ph\":\"i\",\"name\":\"{}\",\"cat\":\"event\",\"pid\":1,\"tid\":{},\"ts\":{},\"s\":\"t\",\"args\":{{",
+            json::escape(e.name),
+            e.thread,
+            e.at_us
+        )?;
+        for (i, (key, value)) in e.fields.iter().enumerate() {
+            if i > 0 {
+                write!(w, ",")?;
+            }
+            write!(w, "\"{}\":", json::escape(key))?;
+            match value {
+                Value::U64(v) => write!(w, "{v}")?,
+                Value::F64(v) => write!(w, "{}", json::number(*v))?,
+                Value::Str(v) => write!(w, "\"{}\"", json::escape(v))?,
+            }
+        }
+        write!(w, "}}}}")?;
+    }
+
+    write!(w, "]}}")
+}

@@ -1,0 +1,163 @@
+//! Golden test for the Chrome Trace Event export: pins the exact bytes
+//! produced for a hand-built sink (escaping, nested spans, multi-thread
+//! lanes) and re-parses the output to check structural reconstruction.
+//!
+//! Builds the `ObsSink` directly instead of recording through the
+//! global collector, so it is independent of the process-wide telemetry
+//! level and safe to run in parallel with other tests.
+
+use vaer_obs::json::{self, JsonValue};
+use vaer_obs::{EventRecord, HistSnapshot, ObsSink, SpanRecord, Value};
+
+fn sample_sink() -> ObsSink {
+    ObsSink {
+        level: vaer_obs::Level::Trace,
+        counters: vec![],
+        gauges: vec![],
+        histograms: Vec::<HistSnapshot>::new(),
+        spans: vec![
+            SpanRecord {
+                name: "pipeline.fit",
+                id: 1,
+                parent: 0,
+                thread: 0,
+                start_us: 10,
+                dur_us: 500,
+                allocs: 3,
+                bytes: 4096,
+                rss_peak: 1_048_576,
+            },
+            SpanRecord {
+                name: "exec.\"quote\"\npath",
+                id: 2,
+                parent: 1,
+                thread: 0,
+                start_us: 20,
+                dur_us: 100,
+                allocs: 0,
+                bytes: 0,
+                rss_peak: 0,
+            },
+            SpanRecord {
+                name: "repr.train",
+                id: 3,
+                parent: 0,
+                thread: 1,
+                start_us: 15,
+                dur_us: 300,
+                allocs: 7,
+                bytes: 512,
+                rss_peak: 2_097_152,
+            },
+        ],
+        events: vec![EventRecord {
+            name: "al.round",
+            thread: 1,
+            at_us: 40,
+            fields: vec![
+                ("round", Value::U64(2)),
+                ("note", Value::Str("a\"b\\c".to_string())),
+                ("f", Value::F64(0.5)),
+            ],
+        }],
+    }
+}
+
+#[test]
+fn chrome_trace_golden_bytes() {
+    let mut buf = Vec::new();
+    sample_sink().write_chrome_trace(&mut buf).unwrap();
+    let got = String::from_utf8(buf).unwrap();
+    let expected = concat!(
+        "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[",
+        "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":0,",
+        "\"args\":{\"name\":\"vaer-thread-0\"}},",
+        "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":1,",
+        "\"args\":{\"name\":\"vaer-thread-1\"}},",
+        "{\"ph\":\"X\",\"name\":\"pipeline.fit\",\"cat\":\"span\",\"pid\":1,",
+        "\"tid\":0,\"ts\":10,\"dur\":500,",
+        "\"args\":{\"id\":1,\"parent\":0,\"allocs\":3,\"bytes\":4096,\"rss_peak\":1048576}},",
+        "{\"ph\":\"X\",\"name\":\"exec.\\\"quote\\\"\\npath\",\"cat\":\"span\",\"pid\":1,",
+        "\"tid\":0,\"ts\":20,\"dur\":100,",
+        "\"args\":{\"id\":2,\"parent\":1,\"allocs\":0,\"bytes\":0,\"rss_peak\":0}},",
+        "{\"ph\":\"X\",\"name\":\"repr.train\",\"cat\":\"span\",\"pid\":1,",
+        "\"tid\":1,\"ts\":15,\"dur\":300,",
+        "\"args\":{\"id\":3,\"parent\":0,\"allocs\":7,\"bytes\":512,\"rss_peak\":2097152}},",
+        "{\"ph\":\"i\",\"name\":\"al.round\",\"cat\":\"event\",\"pid\":1,",
+        "\"tid\":1,\"ts\":40,\"s\":\"t\",",
+        "\"args\":{\"round\":2,\"note\":\"a\\\"b\\\\c\",\"f\":0.5}}",
+        "]}"
+    );
+    assert_eq!(got, expected, "Chrome-trace bytes drifted from the golden");
+}
+
+#[test]
+fn chrome_trace_parses_and_reconstructs() {
+    let mut buf = Vec::new();
+    sample_sink().write_chrome_trace(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(json::is_valid(&text), "trace JSON must be valid");
+    let root = json::parse(&text).unwrap();
+    let events = root.get("traceEvents").unwrap().arr().unwrap();
+
+    // Two thread lanes, both named.
+    let lanes: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| e.get_str("ph") == Some("M"))
+        .collect();
+    assert_eq!(lanes.len(), 2);
+    assert_eq!(
+        lanes[0].get("args").unwrap().get_str("name"),
+        Some("vaer-thread-0")
+    );
+
+    // Span names survive escaping, and the parent/thread relationship of
+    // the nested span is reconstructible from args.
+    let spans: Vec<&JsonValue> = events
+        .iter()
+        .filter(|e| e.get_str("ph") == Some("X"))
+        .collect();
+    assert_eq!(spans.len(), 3);
+    let nested = spans
+        .iter()
+        .find(|s| s.get_str("name") == Some("exec.\"quote\"\npath"))
+        .unwrap();
+    let parent_id = nested.get("args").unwrap().get_num("parent").unwrap();
+    let parent = spans
+        .iter()
+        .find(|s| s.get("args").unwrap().get_num("id") == Some(parent_id))
+        .unwrap();
+    assert_eq!(parent.get_str("name"), Some("pipeline.fit"));
+    assert_eq!(parent.get_num("tid"), nested.get_num("tid"));
+    // The child lies inside the parent's [ts, ts+dur) window.
+    let (pts, pdur) = (
+        parent.get_num("ts").unwrap(),
+        parent.get_num("dur").unwrap(),
+    );
+    let (cts, cdur) = (
+        nested.get_num("ts").unwrap(),
+        nested.get_num("dur").unwrap(),
+    );
+    assert!(cts >= pts && cts + cdur <= pts + pdur);
+
+    // Memory accounting rides along on span args.
+    let fit = spans
+        .iter()
+        .find(|s| s.get_str("name") == Some("pipeline.fit"))
+        .unwrap();
+    let args = fit.get("args").unwrap();
+    assert_eq!(args.get_num("allocs"), Some(3.0));
+    assert_eq!(args.get_num("bytes"), Some(4096.0));
+    assert_eq!(args.get_num("rss_peak"), Some(1_048_576.0));
+
+    // The instant event keeps its typed fields.
+    let instant = events
+        .iter()
+        .find(|e| e.get_str("ph") == Some("i"))
+        .unwrap();
+    assert_eq!(instant.get_str("name"), Some("al.round"));
+    let args = instant.get("args").unwrap();
+    assert_eq!(args.get_num("round"), Some(2.0));
+    assert_eq!(args.get_str("note"), Some("a\"b\\c"));
+    assert_eq!(args.get_num("f"), Some(0.5));
+}

@@ -1,0 +1,115 @@
+//! CLI entry point: `cargo run -p vaer-report -- [--deny] [--out x.md]`.
+
+use std::process::ExitCode;
+use vaer_report::{parse_jsonl, render, Inputs, Verdict};
+
+const USAGE: &str = "vaer-report — bench-history regression report
+
+USAGE:
+    cargo run -p vaer-report -- [OPTIONS]
+
+OPTIONS:
+    --run <path>       Run-record JSONL history (default: BENCH_run.json)
+    --kernels <path>   Kernel report JSON (default: BENCH_kernels.json)
+    --obs <path>       ObsSink JSONL dump to include (default: none)
+    --history <n>      History window for noise bands (default: 20)
+    --out <path>       Write the markdown there instead of stdout
+    --deny             Exit nonzero on any REGRESSION verdict
+    --help             Show this help
+";
+
+fn main() -> ExitCode {
+    let mut run_path = String::from("BENCH_run.json");
+    let mut kernels_path = String::from("BENCH_kernels.json");
+    let mut obs_path: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut history = 20usize;
+    let mut deny = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--run" => match args.next() {
+                Some(v) => run_path = v,
+                None => return fail("--run needs a value"),
+            },
+            "--kernels" => match args.next() {
+                Some(v) => kernels_path = v,
+                None => return fail("--kernels needs a value"),
+            },
+            "--obs" => match args.next() {
+                Some(v) => obs_path = Some(v),
+                None => return fail("--obs needs a value"),
+            },
+            "--history" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) => history = n,
+                None => return fail("--history needs a number"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out_path = Some(v),
+                None => return fail("--out needs a value"),
+            },
+            "--deny" => deny = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return fail(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let records = match std::fs::read_to_string(&run_path) {
+        Ok(text) => parse_jsonl(&text),
+        Err(e) => {
+            eprintln!("vaer-report: cannot read {run_path}: {e}");
+            Vec::new()
+        }
+    };
+    // The kernel report is optional by design: its default path simply
+    // may not exist before the first `cargo bench` run.
+    let kernels = std::fs::read_to_string(&kernels_path)
+        .ok()
+        .and_then(|text| vaer_obs::json::parse(&text));
+    let obs = match &obs_path {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => parse_jsonl(&text),
+            Err(e) => return fail(&format!("cannot read {path}: {e}")),
+        },
+        None => Vec::new(),
+    };
+
+    let (markdown, metrics) = render(&Inputs {
+        records: &records,
+        kernels: kernels.as_ref(),
+        obs: &obs,
+        history,
+    });
+    match &out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &markdown) {
+                return fail(&format!("cannot write {path}: {e}"));
+            }
+            println!("(report written to {path})");
+        }
+        None => print!("{markdown}"),
+    }
+
+    let regressions: Vec<String> = metrics
+        .iter()
+        .filter(|m| m.verdict == Verdict::Regression)
+        .map(|m| format!("{}.{} = {}", m.bench, m.key, m.current))
+        .collect();
+    for r in &regressions {
+        eprintln!("vaer-report: REGRESSION {r}");
+    }
+    if deny && !regressions.is_empty() {
+        eprintln!("vaer-report: {} regression verdict(s)", regressions.len());
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("vaer-report: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::FAILURE
+}

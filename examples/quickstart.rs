@@ -81,9 +81,18 @@ fn main() {
     );
 
     // 7. Telemetry: run with VAER_OBS=summary (or trace) to collect
-    //    counters, timings, and throughput from the hot paths above and
-    //    print the summary table (see DESIGN.md §9).
+    //    counters, timings, memory accounting, and throughput from the
+    //    hot paths above and print the summary table (see DESIGN.md §9).
+    //    With VAER_OBS=trace and VAER_TRACE_OUT=<path>, the span tree is
+    //    also exported as Chrome Trace Event JSON (open in Perfetto or
+    //    chrome://tracing — see DESIGN.md §14).
     if vaer::obs::enabled() {
-        println!("\n{}", vaer::obs::ObsSink::snapshot().summary());
+        let sink = vaer::obs::ObsSink::snapshot();
+        println!("\n{}", sink.summary());
+        match sink.write_chrome_trace_if_requested() {
+            Ok(Some(path)) => println!("(chrome trace written to {})", path.display()),
+            Ok(None) => {}
+            Err(e) => println!("(could not write chrome trace: {e})"),
+        }
     }
 }

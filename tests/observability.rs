@@ -2,7 +2,8 @@
 //! active-learning run at `VAER_OBS=trace` must export one `al.round`
 //! record per checkpoint with monotone label spend and a populated
 //! sample mix, VAE epoch losses, latent-cache counters, derived matmul
-//! GFLOP/s, and valid JSONL.
+//! GFLOP/s, per-span memory accounting (allocs/bytes/peak RSS), valid
+//! JSONL, and a structurally sound Chrome trace.
 //!
 //! This binary mutates the global observability level, so everything
 //! lives in ONE #[test]: sibling tests in the same process could observe
@@ -139,6 +140,46 @@ fn trace_run_exports_full_telemetry() {
             "missing span {name}"
         );
     }
+
+    // Memory accounting rides on the span histograms: the trainers
+    // allocate (weights, minibatches), so their counts must be nonzero,
+    // and on Linux the RSS sampler must have produced a peak.
+    for name in ["repr.train", "matcher.fit"] {
+        let h = sink
+            .histograms
+            .iter()
+            .find(|h| h.name == name)
+            .unwrap_or_else(|| panic!("missing histogram {name}"));
+        assert!(h.allocs > 0, "{name} recorded no allocations");
+        assert!(h.bytes > 0, "{name} recorded no allocated bytes");
+        if cfg!(target_os = "linux") {
+            assert!(h.rss_peak > 0, "{name} recorded no peak RSS");
+        }
+        assert!(h.p99() >= h.p50(), "{name} quantiles out of order");
+    }
+
+    // Chrome-trace export of the same sink is valid JSON with one "X"
+    // event per span and reconstructible parent links.
+    let mut trace = Vec::new();
+    sink.write_chrome_trace(&mut trace).unwrap();
+    let trace = String::from_utf8(trace).unwrap();
+    let root = json::parse(&trace).expect("chrome trace parses");
+    let events = root.get("traceEvents").unwrap().arr().unwrap();
+    let xs: Vec<_> = events
+        .iter()
+        .filter(|e| e.get_str("ph") == Some("X"))
+        .collect();
+    assert_eq!(xs.len(), sink.spans.len(), "one X event per span");
+    let fit_id = xs
+        .iter()
+        .find(|e| e.get_str("name") == Some("pipeline.fit"))
+        .and_then(|e| e.get("args")?.get_num("id"))
+        .expect("pipeline.fit span in trace");
+    assert!(
+        xs.iter()
+            .any(|e| e.get("args").and_then(|a| a.get_num("parent")) == Some(fit_id)),
+        "no span nests under pipeline.fit"
+    );
 
     // JSONL export: every line is valid JSON; human summary is non-empty.
     let mut out = Vec::new();
