@@ -7,6 +7,13 @@
 //! the trainer spans from the fit phase, the hardware-thread count, and
 //! thread-scaling numbers when more than one core is available.
 //!
+//! Resilience riders: the record also carries the clean-path resilience
+//! counters (`degradations_fired`, `stage_retries`,
+//! `checkpoint_write_retries` — all gated at zero by `vaer-report`, so a
+//! run that silently fell back to a degraded lane fails the report) and
+//! `score_degraded_secs`, the cost of a resolution that loses its int8
+//! lane to an injected one-shot Score failure and reruns on f32.
+//!
 //! Lane timings come from the `vaer_bench::measure` harness: one warmup
 //! run, then five measured runs per lane; `score_int8_speedup` is the
 //! ratio of **medians** (mins ride along in the record). The old
@@ -182,7 +189,50 @@ fn main() {
         println!("score scaling  skipped ({hardware_threads} hardware thread)");
     }
 
+    // Clean-path resilience counters: everything above ran without fault
+    // injection, so any degradation or retry here means the executor
+    // silently absorbed a problem — vaer-report gates these at zero.
+    let clean = ObsSink::snapshot();
+    let degradations_fired = clean.counter("degrade.fired");
+    let stage_retries = clean.counter("exec.stage.retries");
+    let checkpoint_write_retries = clean.counter("checkpoint.write.retries");
+
+    // Degraded lane: arm a one-shot Score failure per run so the int8
+    // request falls back to the f32 lane (`degrade.score.f32_fallback`),
+    // and time what a resolution that takes the fallback costs.
+    let degraded_lane = measure::sampled(1, 5, || {
+        vaer_fault::configure("exec.score=err@1").expect("arm score failpoint");
+        let before = score_nanos();
+        let mut plan = pipeline.resolve_plan();
+        let res = plan
+            .run_with_precision(k, 0.5, ScorePrecision::Int8)
+            .expect("degraded resolve");
+        assert_eq!(
+            res.precision,
+            ScorePrecision::F32,
+            "int8 score failure must land on the f32 lane"
+        );
+        assert!(
+            res.health.degraded("degrade.score.f32_fallback"),
+            "fallback ran but the resolution health does not report it"
+        );
+        (score_nanos() - before) as f64 / 1e9
+    });
+    vaer_fault::clear();
+    println!(
+        "score degraded int8->f32 {:>9.3} ms (median of {} runs; min {:.3} ms)",
+        degraded_lane.median_secs * 1e3,
+        degraded_lane.samples,
+        degraded_lane.min_secs * 1e3
+    );
+
     if quick {
+        assert_eq!(degradations_fired, 0, "clean path fired a degradation");
+        assert_eq!(stage_retries, 0, "clean path burned stage retries");
+        assert_eq!(
+            checkpoint_write_retries, 0,
+            "clean path burned checkpoint write retries"
+        );
         assert_eq!(
             index_builds, 1,
             "LSH index must be built exactly once per fitted pipeline"
@@ -225,6 +275,11 @@ fn main() {
         .num("score_f32_min_secs", f32_lane.min_secs)
         .num("score_int8_min_secs", int8_lane.min_secs)
         .num("score_int8_speedup", speedup)
+        .num("score_degraded_secs", degraded_lane.median_secs)
+        .num("score_degraded_min_secs", degraded_lane.min_secs)
+        .int("degradations_fired", degradations_fired)
+        .int("stage_retries", stage_retries)
+        .int("checkpoint_write_retries", checkpoint_write_retries)
         .int("hardware_threads", hardware_threads as u64)
         .bool_field("multithread_skipped", multithread_skipped);
     if let Some((one, all)) = scaled {

@@ -26,6 +26,7 @@
 //! error per attempt), `checkpoint.torn` (torn snapshot written in
 //! place), `journal.append` (IO error).
 
+use crate::resilience::{RetryPolicy, RunBudget};
 use crate::CoreError;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write as _;
@@ -39,10 +40,6 @@ const MAGIC: &[u8; 8] = b"VAERCKP1";
 const VERSION: u32 = 1;
 /// Envelope header size: magic + version + seq + payload_len.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8;
-/// Write attempts before giving up (first try + retries).
-const WRITE_ATTEMPTS: u32 = 3;
-/// Base backoff between write retries; doubles per retry.
-const BACKOFF: std::time::Duration = std::time::Duration::from_millis(10);
 
 /// Wraps `payload` in the `VAERCKP1` envelope: magic, version, sequence
 /// number, payload length, payload, then a trailing CRC-32 computed over
@@ -179,10 +176,13 @@ pub(crate) fn put_rng_state(out: &mut Vec<u8>, s: [u64; 4]) {
 pub struct CheckpointStore {
     dir: PathBuf,
     prefix: String,
+    retry: RetryPolicy,
 }
 
 impl CheckpointStore {
-    /// Opens (creating if needed) the snapshot directory.
+    /// Opens (creating if needed) the snapshot directory. Writes retry
+    /// under [`RetryPolicy::checkpoint_default`]; override with
+    /// [`with_retry`](Self::with_retry).
     ///
     /// # Errors
     /// [`CoreError::Io`] if the directory cannot be created.
@@ -192,7 +192,15 @@ impl CheckpointStore {
         Ok(Self {
             dir,
             prefix: prefix.to_string(),
+            retry: RetryPolicy::checkpoint_default(),
         })
+    }
+
+    /// Replaces the write-retry policy.
+    #[must_use]
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
     }
 
     /// The snapshot directory.
@@ -205,31 +213,52 @@ impl CheckpointStore {
     }
 
     /// Writes snapshot `seq` atomically: envelope to a temp file, fsync,
-    /// rename into place. IO failures are retried up to two more times
-    /// with doubling backoff.
+    /// rename into place. Transient IO failures retry under the store's
+    /// [`RetryPolicy`] (capped, jittered exponential backoff).
     ///
     /// # Errors
-    /// [`CoreError::Io`] once every attempt has failed.
+    /// [`CoreError::Io`] once the retry budget is spent.
     pub fn write(&self, seq: u64, payload: &[u8]) -> Result<(), CoreError> {
+        self.write_budgeted(seq, payload, &RunBudget::unlimited())
+            .map(|_| ())
+    }
+
+    /// [`write`](Self::write) under a [`RunBudget`]: retry sleeps are
+    /// clamped to the remaining deadline (a retrying writer can never
+    /// sleep through it). Returns the number of retries burned so callers
+    /// can account them in a `ResolutionHealth` report.
+    ///
+    /// # Errors
+    /// [`CoreError::Io`] once the retry budget is spent or the run
+    /// budget no longer allows a retry sleep.
+    pub fn write_budgeted(
+        &self,
+        seq: u64,
+        payload: &[u8],
+        budget: &RunBudget,
+    ) -> Result<u32, CoreError> {
         let envelope = seal(seq, payload);
         let final_path = self.path_for(seq);
         let tmp_path = self.dir.join(format!(".{}-{seq:08}.tmp", self.prefix));
-        let mut last_err: Option<std::io::Error> = None;
-        for attempt in 0..WRITE_ATTEMPTS {
-            if attempt > 0 {
+        let mut retries = 0u32;
+        let out = self.retry.run(
+            budget,
+            |_| self.try_write(&final_path, &tmp_path, &envelope),
+            |_, _| {
+                retries += 1;
                 crate::obs::handles().checkpoint_write_retries.add(1);
-                std::thread::sleep(BACKOFF * 2u32.pow(attempt - 1));
+            },
+        );
+        match out {
+            Ok(()) => {
+                crate::obs::handles().checkpoint_writes.add(1);
+                Ok(retries)
             }
-            match self.try_write(&final_path, &tmp_path, &envelope) {
-                Ok(()) => {
-                    crate::obs::handles().checkpoint_writes.add(1);
-                    return Ok(());
-                }
-                Err(e) => last_err = Some(e),
+            Err(e) => {
+                let _ = fs::remove_file(&tmp_path);
+                Err(CoreError::Io(e))
             }
         }
-        let _ = fs::remove_file(&tmp_path);
-        Err(CoreError::Io(last_err.expect("at least one attempt ran"))) // vaer-lint: allow(panic) -- the retry loop always records an error before falling through
     }
 
     fn try_write(
@@ -634,6 +663,33 @@ mod tests {
         let (seq, payload) = store.read_latest().unwrap().unwrap();
         assert_eq!(seq, 1, "fallback must pick the newest valid snapshot");
         assert_eq!(payload, b"good");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn write_retries_transient_failures_and_respects_budget() {
+        let _g = vaer_fault::test_lock();
+        let dir = temp_dir("retry");
+        let store = CheckpointStore::open(&dir, "t").unwrap();
+        // First attempt fails, the retry succeeds.
+        vaer_fault::configure("checkpoint.write=err@1").unwrap();
+        let retries = store
+            .write_budgeted(1, b"payload", &RunBudget::unlimited())
+            .unwrap();
+        assert_eq!(retries, 1);
+        assert_eq!(store.read(1).unwrap(), b"payload");
+        // Under an exhausted budget the writer must not sleep-and-retry.
+        vaer_fault::configure("checkpoint.write=err").unwrap();
+        let b = RunBudget::unlimited().with_deadline(std::time::Duration::ZERO);
+        assert!(store.write_budgeted(2, b"payload", &b).is_err());
+        assert_eq!(
+            vaer_fault::hits("checkpoint.write"),
+            1,
+            "exhausted budget must stop after the first attempt"
+        );
+        vaer_fault::clear();
+        // The failed write leaves no artifact behind.
+        assert_eq!(store.list().unwrap(), vec![1]);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -42,7 +42,9 @@ use crate::latent::{self, LatentTable};
 use crate::matcher::PairExamples;
 use crate::pipeline::{Pipeline, ScorePrecision};
 use crate::repr::ReprModel;
+use crate::resilience::{ResolutionHealth, RetryClass, RetryPolicy, RunBudget};
 use crate::CoreError;
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use vaer_index::{CandidatePair, JoinCache};
 use vaer_linalg::Matrix;
@@ -161,26 +163,36 @@ pub trait Stage {
     }
 }
 
-/// Runs stages with uniform telemetry, fault injection, and durability.
+/// Runs stages with uniform telemetry, fault injection, durability, and
+/// resilience policy (budget probes, retries, degradation accounting).
 ///
 /// Checkpointed artifacts are stamped with the caller's `fingerprint`
 /// (seed ⊕ model ⊕ plan parameters); a stored artifact whose stamp does
-/// not match is ignored, not trusted.
+/// not match is ignored, not trusted. A stored artifact that *should*
+/// match but cannot be read back (torn envelope, CRC failure, undecodable
+/// body) degrades to a recompute and is recorded in the executor's
+/// [`ResolutionHealth`] rather than silently swallowed.
 #[derive(Default)]
 pub struct Executor {
     store: Option<CheckpointStore>,
+    budget: RunBudget,
+    retry: RetryPolicy,
+    health: RefCell<ResolutionHealth>,
 }
 
 impl Executor {
     /// An executor without durability: stages always recompute.
     pub fn new() -> Self {
-        Self { store: None }
+        Self::default()
     }
 
     /// An executor that loads/saves checkpointable stage artifacts in
     /// `store`.
     pub fn with_checkpoints(store: CheckpointStore) -> Self {
-        Self { store: Some(store) }
+        Self {
+            store: Some(store),
+            ..Self::default()
+        }
     }
 
     /// Whether a checkpoint store is mounted.
@@ -188,13 +200,50 @@ impl Executor {
         self.store.is_some()
     }
 
-    /// Runs one stage: span + counters + failpoint, resuming from a
-    /// fingerprint-matching checkpoint when possible and persisting the
-    /// artifact afterwards when the stage opts in via [`Stage::save`].
+    /// Installs the run budget probed at every stage boundary (and handed
+    /// to stages with long inner loops).
+    pub fn set_budget(&mut self, budget: RunBudget) {
+        self.budget = budget;
+    }
+
+    /// The installed run budget (defaults to unlimited).
+    pub fn budget(&self) -> &RunBudget {
+        &self.budget
+    }
+
+    /// Installs the retry policy [`run_retrying`](Self::run_retrying)
+    /// applies to transient stage failures (defaults to
+    /// [`RetryPolicy::none`]).
+    pub fn set_retry(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Records a degradation into this executor's health accumulator
+    /// (also fires the matching obs event and counter).
+    pub fn note_degrade(&self, name: &'static str, detail: impl Into<String>) {
+        self.health.borrow_mut().degrade(name, detail);
+    }
+
+    /// Clears accumulated health (call at the start of a logical run).
+    pub fn reset_health(&self) {
+        *self.health.borrow_mut() = ResolutionHealth::default();
+    }
+
+    /// Takes the accumulated health, leaving a clean slate behind.
+    pub fn take_health(&self) -> ResolutionHealth {
+        std::mem::take(&mut *self.health.borrow_mut())
+    }
+
+    /// Runs one stage: budget probe + span + counters + failpoint,
+    /// resuming from a fingerprint-matching checkpoint when possible and
+    /// persisting the artifact afterwards when the stage opts in via
+    /// [`Stage::save`].
     ///
     /// # Errors
     /// The stage's own validation errors, [`CoreError::Io`] when the
-    /// stage's failpoint injects one or a checkpoint write fails.
+    /// stage's failpoint injects one or a checkpoint write fails,
+    /// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] when the
+    /// installed budget trips at the stage boundary.
     ///
     /// # Panics
     /// Panics when the stage's failpoint is armed with
@@ -206,6 +255,7 @@ impl Executor {
         fingerprint: u64,
     ) -> Result<S::Output, CoreError> {
         let kind = stage.kind();
+        self.budget.probe(kind.name())?;
         let _span = kind.span();
         crate::obs::handles().exec_stage_runs.incr();
         if let Some(vaer_fault::Action::Err) = kind.trigger() {
@@ -215,9 +265,16 @@ impl Executor {
             ))));
         }
         if let Some(store) = &self.store {
-            if let Some(out) = try_resume(store, stage, fingerprint) {
-                crate::obs::handles().exec_stage_resumed.incr();
-                return Ok(out);
+            match try_resume(store, stage, fingerprint) {
+                Resume::Hit(out) => {
+                    crate::obs::handles().exec_stage_resumed.incr();
+                    return Ok(out);
+                }
+                Resume::Corrupt(why) => self.note_degrade(
+                    "degrade.stage.recompute",
+                    format!("{} checkpoint unusable ({why}); recomputing", kind.name()),
+                ),
+                Resume::Miss => {}
             }
         }
         let out = stage.run(input)?;
@@ -225,22 +282,90 @@ impl Executor {
             if let Some(body) = stage.save(&out) {
                 let mut payload = fingerprint.to_le_bytes().to_vec();
                 payload.extend_from_slice(&body);
-                store.write(kind.seq(), &payload)?;
+                let retries = store.write_budgeted(kind.seq(), &payload, &self.budget)?;
+                if retries > 0 {
+                    self.health.borrow_mut().add_retries(retries);
+                }
             }
         }
         Ok(out)
     }
+
+    /// [`run`](Self::run) wrapped in the installed [`RetryPolicy`]: a
+    /// retryable stage failure (per [`RetryClass`]) is re-attempted with
+    /// backoff, within the budget. With the default `RetryPolicy::none`
+    /// this is exactly `run` — fault-injection contracts on plans that
+    /// never opted in stay exact.
+    ///
+    /// # Errors
+    /// Same as [`run`](Self::run); the last attempt's error when retries
+    /// are exhausted.
+    ///
+    /// # Panics
+    /// Same as [`run`](Self::run).
+    pub fn run_retrying<S: Stage>(
+        &self,
+        stage: &mut S,
+        input: S::Input,
+        fingerprint: u64,
+    ) -> Result<S::Output, CoreError>
+    where
+        S::Input: Clone,
+    {
+        if !self.retry.retries() {
+            return self.run(stage, input, fingerprint);
+        }
+        let mut retries = 0u32;
+        let out = self.retry.run(
+            &self.budget,
+            |_| self.run(stage, input.clone(), fingerprint),
+            |_, _| {
+                retries += 1;
+                crate::obs::handles().exec_stage_retries.add(1);
+            },
+        );
+        if retries > 0 {
+            self.health.borrow_mut().add_retries(retries);
+        }
+        out
+    }
+}
+
+/// Outcome of a checkpoint-resume attempt.
+enum Resume<T> {
+    /// A fingerprint-matching artifact was loaded.
+    Hit(T),
+    /// No usable artifact for this run (absent, or stamped by a run with
+    /// different parameters) — the expected cold-start case.
+    Miss,
+    /// An artifact that should have served this run exists but cannot be
+    /// trusted (torn/CRC-failed envelope, undecodable body). The executor
+    /// degrades to recompute and records why.
+    Corrupt(String),
 }
 
 /// Loads a stage's checkpointed artifact when present, uncorrupted, and
 /// stamped with the expected fingerprint.
-fn try_resume<S: Stage>(store: &CheckpointStore, stage: &S, fingerprint: u64) -> Option<S::Output> {
-    let payload = store.read(stage.kind().seq()).ok()?;
-    let stamp = u64::from_le_bytes(payload.get(..8)?.try_into().ok()?);
+fn try_resume<S: Stage>(store: &CheckpointStore, stage: &S, fingerprint: u64) -> Resume<S::Output> {
+    let payload = match store.read(stage.kind().seq()) {
+        Ok(p) => p,
+        // Every stored generation failed validation — corruption, not a
+        // cold start (an empty slot reads as a clean NotFound Io error).
+        Err(CoreError::Checkpoint(why)) => return Resume::Corrupt(why),
+        Err(_) => return Resume::Miss,
+    };
+    let stamp = match payload.get(..8).and_then(|b| <[u8; 8]>::try_from(b).ok()) {
+        Some(b) => u64::from_le_bytes(b),
+        None => return Resume::Corrupt("fingerprint stamp truncated".into()),
+    };
     if stamp != fingerprint {
-        return None;
+        // A different run's artifact: stale, not corrupt.
+        return Resume::Miss;
     }
-    stage.load(&payload[8..])
+    match stage.load(&payload[8..]) {
+        Some(out) => Resume::Hit(out),
+        None => Resume::Corrupt("artifact body failed to decode".into()),
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -252,6 +377,9 @@ fn try_resume<S: Stage>(store: &CheckpointStore, stage: &S, fingerprint: u64) ->
 pub struct BlockStage<'c, 'p> {
     /// Per-`k` join memo owned by the plan.
     pub cache: &'c mut JoinCache<'p>,
+    /// Run budget probed once per query row inside the join (a memoised
+    /// `k` is served without probing).
+    pub budget: RunBudget,
 }
 
 impl Stage for BlockStage<'_, '_> {
@@ -263,7 +391,21 @@ impl Stage for BlockStage<'_, '_> {
     }
 
     fn run(&mut self, k: usize) -> Result<Self::Output, CoreError> {
-        Ok(self.cache.candidates(k).to_vec())
+        let budget = &self.budget;
+        let mut stop = None;
+        let mut probe = || match budget.probe("exec.block") {
+            Ok(()) => false,
+            Err(e) => {
+                stop = Some(e);
+                true
+            }
+        };
+        match self.cache.candidates_probed(k, &mut probe) {
+            Some(c) => Ok(c.to_vec()),
+            None => {
+                Err(stop.unwrap_or_else(|| CoreError::Cancelled("blocking join abandoned".into())))
+            }
+        }
     }
 
     fn save(&self, out: &Self::Output) -> Option<Vec<u8>> {
@@ -455,6 +597,10 @@ pub struct FusedScoreStage<'p> {
     /// Which scoring lane to run. `Int8` requires the pipeline to carry a
     /// calibrated [`crate::quant::QuantizedMatcher`].
     pub precision: ScorePrecision,
+    /// Run budget probed once per [`SCORE_BLOCK`] chunk, so cancellation
+    /// and deadlines surface mid-Score instead of only at stage
+    /// boundaries.
+    pub budget: RunBudget,
 }
 
 impl Stage for FusedScoreStage<'_> {
@@ -486,6 +632,7 @@ impl Stage for FusedScoreStage<'_> {
         let mut probs = Vec::with_capacity(pairs.len());
         let mut buf = Matrix::zeros(SCORE_BLOCK.min(pairs.len().max(1)), width);
         for chunk in pairs.chunks(SCORE_BLOCK) {
+            self.budget.probe("exec.score")?;
             if buf.rows() != chunk.len() {
                 buf = Matrix::zeros(chunk.len(), width);
             }
@@ -602,8 +749,13 @@ pub struct Resolution {
     pub reused: bool,
     /// The precision that actually scored this run. An `Int8` request
     /// falls back to `F32` when the pipeline carries no quantized matcher
-    /// (fine-tuned encoder).
+    /// (fine-tuned encoder) or when the int8 lane degrades mid-run; every
+    /// such downgrade is recorded in [`health`](Self::health).
     pub precision: ScorePrecision,
+    /// Degradations and retries this run survived. A clean run reports
+    /// [`ResolutionHealth::is_clean`]; anything else means the result is
+    /// honest but was produced on a fallback path.
+    pub health: ResolutionHealth,
 }
 
 /// A re-runnable resolution over one fitted pipeline.
@@ -627,22 +779,67 @@ pub struct ResolvePlan<'p> {
 
 impl<'p> ResolvePlan<'p> {
     /// A plan over `pipeline`, building the blocking index now if no
-    /// earlier plan/resolve call already has.
+    /// earlier plan/resolve call already has. The stage budget starts from
+    /// [`RunBudget::from_env`], so `VAER_DEADLINE_MS` bounds resolutions
+    /// out of the box; the eager index build here is not budgeted — use
+    /// [`new_budgeted`](Self::new_budgeted) to bound that too.
     pub fn new(pipeline: &'p Pipeline) -> Self {
+        let mut executor = Executor::new();
+        executor.set_budget(RunBudget::from_env());
         Self {
             pipeline,
-            executor: Executor::new(),
+            executor,
             blocks: JoinCache::new(pipeline.query_keys(), pipeline.blocking_index()),
             scored: BTreeMap::new(),
             top_candidates: None,
         }
     }
 
+    /// A plan over `pipeline` under an explicit [`RunBudget`]: the LSH
+    /// index build (when this plan is the first to need it) is probed
+    /// cooperatively, and every subsequent stage runs under the same
+    /// budget.
+    ///
+    /// # Errors
+    /// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] when the
+    /// budget trips during the index build.
+    pub fn new_budgeted(pipeline: &'p Pipeline, budget: RunBudget) -> Result<Self, CoreError> {
+        let index = pipeline.blocking_index_budgeted(&budget)?;
+        let mut executor = Executor::new();
+        executor.set_budget(budget);
+        Ok(Self {
+            pipeline,
+            executor,
+            blocks: JoinCache::new(pipeline.query_keys(), index),
+            scored: BTreeMap::new(),
+            top_candidates: None,
+        })
+    }
+
     /// Mounts a checkpoint store: Block and Score artifacts become
     /// durable, and a plan opened on the same store after a crash resumes
     /// from them instead of recomputing.
     pub fn with_checkpoints(mut self, store: CheckpointStore) -> Self {
+        let budget = self.executor.budget().clone();
         self.executor = Executor::with_checkpoints(store);
+        self.executor.set_budget(budget);
+        self
+    }
+
+    /// Replaces the stage budget (deadline/cancellation) probed at stage
+    /// boundaries and inside long stage loops. The blocking index is
+    /// already built by the time a plan exists; use
+    /// [`new_budgeted`](Self::new_budgeted) to bound that too.
+    pub fn with_budget(mut self, budget: RunBudget) -> Self {
+        self.executor.set_budget(budget);
+        self
+    }
+
+    /// Installs a retry policy: transient stage failures (injected IO
+    /// faults, torn checkpoint reads) are re-attempted with backoff
+    /// instead of failing the run. Defaults to [`RetryPolicy::none`].
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.executor.set_retry(retry);
         self
     }
 
@@ -711,9 +908,36 @@ impl<'p> ResolvePlan<'p> {
         precision: ScorePrecision,
     ) -> Result<Resolution, CoreError> {
         crate::obs::handles().exec_plan_runs.incr();
-        let precision = self.effective_precision(precision);
-        let fingerprint = self.fingerprint(k, precision);
-        let reused = self.blocks.contains(k) && self.scored.contains_key(&(k, precision));
+        self.executor.reset_health();
+        let requested = precision;
+        let mut precision = self.effective_precision(precision);
+        if requested == ScorePrecision::Int8 && precision == ScorePrecision::F32 {
+            self.executor.note_degrade(
+                "degrade.score.f32_fallback",
+                "int8 requested but no quantized matcher is calibrated; scoring f32",
+            );
+        }
+        let mut fingerprint = self.fingerprint(k, precision);
+        let mut reused = self.blocks.contains(k) && self.scored.contains_key(&(k, precision));
+        if reused {
+            // Memo-poisoning ladder: a score memo whose length disagrees
+            // with its candidate list can only produce garbage links —
+            // rebuild this k cold instead of trusting it.
+            let n_probs = self.scored[&(k, precision)].len();
+            let n_cands = self.blocks.candidates(k).len();
+            if n_probs != n_cands {
+                self.executor.note_degrade(
+                    "degrade.plan.rebuild",
+                    format!(
+                        "poisoned memo for k={k}: {n_probs} probabilities for {n_cands} \
+                         candidates; rebuilding cold"
+                    ),
+                );
+                self.scored.remove(&(k, precision));
+                self.blocks.invalidate(k);
+                reused = false;
+            }
+        }
         let (candidates, probs) = if reused {
             crate::obs::handles().exec_plan_cache_hits.incr();
             (
@@ -721,9 +945,10 @@ impl<'p> ResolvePlan<'p> {
                 self.scored[&(k, precision)].clone(),
             )
         } else {
-            let candidates = self.executor.run(
+            let candidates = self.executor.run_retrying(
                 &mut BlockStage {
                     cache: &mut self.blocks,
+                    budget: self.executor.budget().clone(),
                 },
                 k,
                 fingerprint,
@@ -735,22 +960,51 @@ impl<'p> ResolvePlan<'p> {
             }
             let pairs: Vec<(usize, usize)> = candidates.iter().map(|c| (c.left, c.right)).collect();
             let probs = if self.pipeline.matcher.encoder_frozen() {
-                self.executor.run(
+                let scored = self.executor.run_retrying(
                     &mut FusedScoreStage {
                         pipeline: self.pipeline,
                         precision,
+                        budget: self.executor.budget().clone(),
                     },
-                    pairs,
+                    pairs.clone(),
                     fingerprint,
-                )?
+                );
+                match scored {
+                    Ok(p) => p,
+                    // Int8-lane ladder: a transiently failing quantized
+                    // Score retries (above) and then degrades to the f32
+                    // lane rather than failing the resolution. Fatal
+                    // errors (bad input, cancellation, deadline) are not
+                    // masked.
+                    Err(e) if precision == ScorePrecision::Int8 && e.retryable() => {
+                        self.executor.note_degrade(
+                            "degrade.score.f32_fallback",
+                            format!("int8 score lane failed ({e}); retrying on the f32 lane"),
+                        );
+                        precision = ScorePrecision::F32;
+                        fingerprint = self.fingerprint(k, precision);
+                        self.executor.run_retrying(
+                            &mut FusedScoreStage {
+                                pipeline: self.pipeline,
+                                precision,
+                                budget: self.executor.budget().clone(),
+                            },
+                            pairs,
+                            fingerprint,
+                        )?
+                    }
+                    Err(e) => return Err(e),
+                }
             } else {
-                let features = self.executor.run(
+                let features = self.executor.run_retrying(
                     &mut EncodeStage {
                         pipeline: self.pipeline,
                     },
                     pairs,
                     fingerprint,
                 )?;
+                // PairFeatures is not Clone; Score on the staged path is
+                // pure compute over it, so a retry could not help anyway.
                 self.executor.run(
                     &mut ScoreStage {
                         pipeline: self.pipeline,
@@ -767,7 +1021,7 @@ impl<'p> ResolvePlan<'p> {
             Some(m) => select_top_per_row(candidates, probs, m),
             None => (candidates, probs),
         };
-        let links = self.executor.run(
+        let links = self.executor.run_retrying(
             &mut LinkStage { threshold },
             (candidates, probs),
             fingerprint,
@@ -777,7 +1031,16 @@ impl<'p> ResolvePlan<'p> {
             candidates: n_candidates,
             reused,
             precision,
+            health: self.executor.take_health(),
         })
+    }
+
+    /// Seeds (or, in tests, deliberately poisons) the score memo for
+    /// `(k, precision)`. A seeded entry whose length disagrees with the
+    /// blocking memo is detected on the next run and rebuilt cold via the
+    /// `degrade.plan.rebuild` ladder.
+    pub fn seed_scores(&mut self, k: usize, precision: ScorePrecision, probs: Vec<f32>) {
+        self.scored.insert((k, precision), probs);
     }
 
     /// Runs the full dataflow through Cluster: resolved entity clusters

@@ -37,6 +37,7 @@ mod obs;
 pub mod pipeline;
 pub mod quant;
 pub mod repr;
+pub mod resilience;
 pub mod transfer;
 
 /// Errors surfaced by the core pipeline.
@@ -56,6 +57,11 @@ pub enum CoreError {
     /// Training diverged (non-finite loss or exploding gradients) and
     /// exhausted its rollback retries.
     Diverged(String),
+    /// The run's [`resilience::RunBudget`] deadline passed before the
+    /// work completed.
+    DeadlineExceeded(String),
+    /// The run's [`resilience::CancelToken`] was cancelled.
+    Cancelled(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -67,6 +73,8 @@ impl std::fmt::Display for CoreError {
             CoreError::Io(e) => write!(f, "checkpoint io error: {e}"),
             CoreError::Checkpoint(why) => write!(f, "checkpoint error: {why}"),
             CoreError::Diverged(why) => write!(f, "training diverged: {why}"),
+            CoreError::DeadlineExceeded(why) => write!(f, "deadline exceeded: {why}"),
+            CoreError::Cancelled(why) => write!(f, "cancelled: {why}"),
         }
     }
 }

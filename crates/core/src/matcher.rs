@@ -12,6 +12,7 @@
 
 use crate::entity::IrTable;
 use crate::repr::ReprModel;
+use crate::resilience::RunBudget;
 use crate::CoreError;
 use vaer_data::PairSet;
 use vaer_linalg::Matrix;
@@ -310,10 +311,27 @@ impl SiameseMatcher {
         examples: &PairExamples,
         config: &MatcherConfig,
     ) -> Result<Self, CoreError> {
+        Self::train_budgeted(repr, examples, config, &RunBudget::unlimited())
+    }
+
+    /// [`train`](Self::train) under a [`RunBudget`]: the budget is probed
+    /// at the top of every epoch, including epochs retried by the
+    /// divergence guard, so a flapping trainer consumes its deadline
+    /// instead of looping past it.
+    ///
+    /// # Errors
+    /// Same as [`train`](Self::train), plus [`CoreError::Cancelled`] /
+    /// [`CoreError::DeadlineExceeded`] when the budget trips.
+    pub fn train_budgeted(
+        repr: &ReprModel,
+        examples: &PairExamples,
+        config: &MatcherConfig,
+        budget: &RunBudget,
+    ) -> Result<Self, CoreError> {
         check_labels(&examples.labels)?;
         let arity = examples.arity();
         let (mut matcher, mut rng) = Self::init(repr, arity, examples.len(), config);
-        matcher.fit(examples, &mut rng)?;
+        matcher.fit(examples, &mut rng, budget)?;
         Ok(matcher)
     }
 
@@ -335,6 +353,23 @@ impl SiameseMatcher {
         labels: &[f32],
         config: &MatcherConfig,
     ) -> Result<Self, CoreError> {
+        Self::train_cached_budgeted(repr, features, labels, config, &RunBudget::unlimited())
+    }
+
+    /// [`train_cached`](Self::train_cached) under a [`RunBudget`] (see
+    /// [`train_budgeted`](Self::train_budgeted)).
+    ///
+    /// # Errors
+    /// Same as [`train_cached`](Self::train_cached), plus
+    /// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] when the
+    /// budget trips.
+    pub fn train_cached_budgeted(
+        repr: &ReprModel,
+        features: &Matrix,
+        labels: &[f32],
+        config: &MatcherConfig,
+        budget: &RunBudget,
+    ) -> Result<Self, CoreError> {
         if !Self::frozen_for(config, labels.len()) {
             return Err(CoreError::BadInput(
                 "cached training requires a frozen encoder".into(),
@@ -351,7 +386,7 @@ impl SiameseMatcher {
         }
         let arity = features.cols() / latent_dim;
         let (mut matcher, mut rng) = Self::init(repr, arity, labels.len(), config);
-        matcher.fit_mlp_on_features(features, labels, &mut rng)?;
+        matcher.fit_mlp_on_features(features, labels, &mut rng, budget)?;
         Ok(matcher)
     }
 
@@ -405,7 +440,12 @@ impl SiameseMatcher {
             .max(min_steps.div_ceil(batches_per_epoch))
     }
 
-    fn fit(&mut self, examples: &PairExamples, rng: &mut NnRng) -> Result<(), CoreError> {
+    fn fit(
+        &mut self,
+        examples: &PairExamples,
+        rng: &mut NnRng,
+        budget: &RunBudget,
+    ) -> Result<(), CoreError> {
         let _span = vaer_obs::span("matcher.fit");
         if self.frozen_encoder {
             // The encoder is fixed, so the Distance-layer features are
@@ -414,7 +454,7 @@ impl SiameseMatcher {
             // supervised stage optimises a small classifier over a frozen
             // representation space.
             let features = self.distance_features(examples);
-            return self.fit_mlp_on_features(&features, &examples.labels, rng);
+            return self.fit_mlp_on_features(&features, &examples.labels, rng, budget);
         }
         let mut adam =
             Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
@@ -424,6 +464,10 @@ impl SiameseMatcher {
         let mut epoch = 0usize;
         let mut rollbacks = 0u32;
         while epoch < epochs {
+            // Probed every epoch, including divergence-guard retries
+            // (`continue` re-enters here): a flapping trainer consumes its
+            // run budget instead of looping past it.
+            budget.probe("matcher.fit")?;
             let guard = MatcherGuard {
                 store: self.store.clone(),
                 adam: adam.clone(),
@@ -503,6 +547,7 @@ impl SiameseMatcher {
         features: &Matrix,
         labels: &[f32],
         rng: &mut NnRng,
+        budget: &RunBudget,
     ) -> Result<(), CoreError> {
         let mut adam =
             Adam::with_rate(self.config.learning_rate).with_weight_decay(self.config.weight_decay);
@@ -513,6 +558,9 @@ impl SiameseMatcher {
         let mut epoch = 0usize;
         let mut rollbacks = 0u32;
         while epoch < epochs {
+            // Same probe contract as [`fit`]: every epoch, including
+            // divergence-guard retries.
+            budget.probe("matcher.fit")?;
             let guard = MatcherGuard {
                 store: self.store.clone(),
                 adam: adam.clone(),

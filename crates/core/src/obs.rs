@@ -51,6 +51,16 @@ pub(crate) struct CoreObs {
     /// Plan runs that reused memoised candidates/probabilities (threshold
     /// re-runs skip Block/Encode/Score entirely).
     pub exec_plan_cache_hits: Counter,
+    /// Budget probes that surfaced `CoreError::Cancelled`.
+    pub budget_cancels: Counter,
+    /// Budget probes that surfaced `CoreError::DeadlineExceeded`.
+    pub budget_deadlines: Counter,
+    /// Stage-level retry sleeps burned by the executor's `RetryPolicy`
+    /// (checkpoint-write retries count separately, above).
+    pub exec_stage_retries: Counter,
+    /// Degradations recorded in a `ResolutionHealth` report
+    /// ([`crate::resilience::ResolutionHealth::degrade`]).
+    pub degrade_fired: Counter,
 }
 
 static CORE_OBS: OnceLock<CoreObs> = OnceLock::new();
@@ -75,5 +85,9 @@ pub(crate) fn handles() -> &'static CoreObs {
         exec_index_builds: vaer_obs::counter("exec.index.builds"),
         exec_plan_runs: vaer_obs::counter("exec.plan.runs"),
         exec_plan_cache_hits: vaer_obs::counter("exec.plan.cache.hits"),
+        budget_cancels: vaer_obs::counter("exec.budget.cancelled"),
+        budget_deadlines: vaer_obs::counter("exec.budget.deadline"),
+        exec_stage_retries: vaer_obs::counter("exec.stage.retries"),
+        degrade_fired: vaer_obs::counter("degrade.fired"),
     })
 }

@@ -8,6 +8,7 @@ use crate::exec::{self, ResolvePlan};
 use crate::latent::{self, LatentTable};
 use crate::matcher::{MatcherConfig, PairExamples, SiameseMatcher};
 use crate::repr::{ReprConfig, ReprModel, ReprTrainStats};
+use crate::resilience::RunBudget;
 use crate::CoreError;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -175,7 +176,25 @@ impl Pipeline {
     /// # Errors
     /// Propagates representation/matcher training failures.
     pub fn fit(dataset: &Dataset, config: &PipelineConfig) -> Result<Self, CoreError> {
-        Self::fit_inner(dataset, config, None)
+        Self::fit_inner(dataset, config, None, &RunBudget::from_env())
+    }
+
+    /// [`fit`](Self::fit) under an explicit [`RunBudget`]: representation
+    /// and matcher training probe the budget at every epoch (including
+    /// divergence-guard retries), and the table-encoding stages probe at
+    /// their boundaries, so a deadline or cancellation surfaces as a typed
+    /// error instead of a hang. The plain [`fit`](Self::fit) reads
+    /// `VAER_DEADLINE_MS` from the environment for the same effect.
+    ///
+    /// # Errors
+    /// Same as [`fit`](Self::fit), plus [`CoreError::Cancelled`] /
+    /// [`CoreError::DeadlineExceeded`] when the budget trips.
+    pub fn fit_budgeted(
+        dataset: &Dataset,
+        config: &PipelineConfig,
+        budget: &RunBudget,
+    ) -> Result<Self, CoreError> {
+        Self::fit_inner(dataset, config, None, budget)
     }
 
     /// Fits with a *transferred* representation model (paper §III-D):
@@ -195,13 +214,14 @@ impl Pipeline {
                 config.ir_dim
             )));
         }
-        Self::fit_inner(dataset, config, Some(repr))
+        Self::fit_inner(dataset, config, Some(repr), &RunBudget::from_env())
     }
 
     fn fit_inner(
         dataset: &Dataset,
         config: &PipelineConfig,
         transferred: Option<ReprModel>,
+        budget: &RunBudget,
     ) -> Result<Self, CoreError> {
         let arity = dataset.table_a.schema.arity();
         if arity != dataset.table_b.schema.arity() {
@@ -241,14 +261,15 @@ impl Pipeline {
                 let (model, stats) = match &config.checkpoint_dir {
                     Some(dir) => {
                         let snapshots = crate::checkpoint::CheckpointStore::open(dir, "vae")?;
-                        ReprModel::train_checkpointed(
+                        ReprModel::train_checkpointed_budgeted(
                             &all_irs,
                             &repr_config,
                             &snapshots,
                             config.checkpoint_every,
+                            budget,
                         )?
                     }
-                    None => ReprModel::train(&all_irs, &repr_config)?,
+                    None => ReprModel::train_budgeted(&all_irs, &repr_config, budget)?,
                 };
                 (model, stats, t1.elapsed().as_secs_f64())
             }
@@ -257,7 +278,8 @@ impl Pipeline {
         // table once into a latent cache via the executor's Encode stage;
         // entity representations, matcher features, and resolution all
         // read from it.
-        let executor = exec::Executor::new();
+        let mut executor = exec::Executor::new();
+        executor.set_budget(budget.clone());
         let lat_a = executor.run(
             &mut exec::EncodeTableStage {
                 repr: &repr,
@@ -317,8 +339,13 @@ impl Pipeline {
                     .collect();
                 let features =
                     latent::distance_features(matcher_config.distance, &lat_a, &lat_b, &pairs);
-                let matcher =
-                    SiameseMatcher::train_cached(&repr, &features, &labels, &matcher_config)?;
+                let matcher = SiameseMatcher::train_cached_budgeted(
+                    &repr,
+                    &features,
+                    &labels,
+                    &matcher_config,
+                    budget,
+                )?;
                 // The training features double as the int8 calibration set:
                 // deterministic, already materialised, and drawn from the
                 // same distance-feature distribution resolution will score.
@@ -330,7 +357,7 @@ impl Pipeline {
                 // lane reads from, so no int8 twin is built (Int8 requests
                 // fall back to f32 at resolution time).
                 (
-                    SiameseMatcher::train(&repr, &examples, &matcher_config)?,
+                    SiameseMatcher::train_budgeted(&repr, &examples, &matcher_config, budget)?,
                     None,
                 )
             };
@@ -435,6 +462,45 @@ impl Pipeline {
         })
     }
 
+    /// [`blocking_index`](Self::blocking_index) under a [`RunBudget`]:
+    /// when the index is not built yet, the build is probed cooperatively
+    /// (per hash table and every few dozen insertions) so a deadline or
+    /// cancellation interrupts it; an already built index is returned
+    /// without probing.
+    ///
+    /// # Errors
+    /// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] when the
+    /// budget trips mid-build (nothing is cached in that case).
+    pub fn blocking_index_budgeted(&self, budget: &RunBudget) -> Result<&E2Lsh, CoreError> {
+        if let Some(index) = self.artifacts.index.get() {
+            return Ok(index);
+        }
+        let b_keys: Vec<Vec<f32>> = self.reprs_b.iter().map(EntityRepr::flat_mu).collect();
+        let mut stop = None;
+        let mut probe = || match budget.probe("exec.block") {
+            Ok(()) => false,
+            Err(e) => {
+                stop = Some(e);
+                true
+            }
+        };
+        match E2Lsh::build_calibrated_probed(b_keys, self.config.seed ^ 0xB10C, &mut probe) {
+            Some(index) => {
+                let mut built = false;
+                let index = self.artifacts.index.get_or_init(|| {
+                    built = true;
+                    index
+                });
+                if built {
+                    crate::obs::handles().exec_index_builds.incr();
+                }
+                Ok(index)
+            }
+            None => Err(stop
+                .unwrap_or_else(|| CoreError::Cancelled("blocking index build abandoned".into()))),
+        }
+    }
+
     /// Table A's flattened latent means — the blocking query keys, built
     /// once alongside the index.
     pub(crate) fn query_keys(&self) -> &[Vec<f32>] {
@@ -456,6 +522,17 @@ impl Pipeline {
     /// re-blocking or to survive mid-resolution crashes.
     pub fn resolve_plan(&self) -> ResolvePlan<'_> {
         ResolvePlan::new(self)
+    }
+
+    /// [`resolve_plan`](Self::resolve_plan) under an explicit
+    /// [`RunBudget`]: the blocking-index build (when this plan triggers
+    /// it) and every stage of every run are probed against the budget.
+    ///
+    /// # Errors
+    /// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] when the
+    /// budget trips during the index build.
+    pub fn resolve_plan_budgeted(&self, budget: RunBudget) -> Result<ResolvePlan<'_>, CoreError> {
+        ResolvePlan::new_budgeted(self, budget)
     }
 
     /// Full ER resolution: LSH blocking with top-`k` candidates, then

@@ -15,6 +15,7 @@
 //! `KL(q(z|IR) ‖ N(0, I))`.
 
 use crate::checkpoint::{put_blob, put_f32_vec, put_rng_state, CheckpointStore, Cur};
+use crate::resilience::RunBudget;
 use crate::CoreError;
 use vaer_linalg::Matrix;
 use vaer_nn::schedule::minibatches;
@@ -140,7 +141,23 @@ impl ReprModel {
     /// [`CoreError::BadInput`] when `irs` is empty or its width disagrees
     /// with `config.ir_dim`.
     pub fn train(irs: &Matrix, config: &ReprConfig) -> Result<(Self, ReprTrainStats), CoreError> {
-        Self::train_impl(irs, config, None)
+        Self::train_impl(irs, config, None, &RunBudget::unlimited())
+    }
+
+    /// [`train`](Self::train) under a [`RunBudget`]: the budget is probed
+    /// at the top of every epoch — including epochs retried by the
+    /// divergence guard, so a flapping trainer consumes its deadline
+    /// instead of looping past it.
+    ///
+    /// # Errors
+    /// Same as [`train`](Self::train), plus [`CoreError::Cancelled`] /
+    /// [`CoreError::DeadlineExceeded`] when the budget trips.
+    pub fn train_budgeted(
+        irs: &Matrix,
+        config: &ReprConfig,
+        budget: &RunBudget,
+    ) -> Result<(Self, ReprTrainStats), CoreError> {
+        Self::train_impl(irs, config, None, budget)
     }
 
     /// Like [`train`](Self::train), but durable: training state (weights,
@@ -165,13 +182,36 @@ impl ReprModel {
         snapshots: &CheckpointStore,
         every: usize,
     ) -> Result<(Self, ReprTrainStats), CoreError> {
-        Self::train_impl(irs, config, Some((snapshots, every.max(1))))
+        Self::train_impl(
+            irs,
+            config,
+            Some((snapshots, every.max(1))),
+            &RunBudget::unlimited(),
+        )
+    }
+
+    /// [`train_checkpointed`](Self::train_checkpointed) under a
+    /// [`RunBudget`] (see [`train_budgeted`](Self::train_budgeted)).
+    ///
+    /// # Errors
+    /// Same as [`train_checkpointed`](Self::train_checkpointed), plus
+    /// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`] when the
+    /// budget trips.
+    pub fn train_checkpointed_budgeted(
+        irs: &Matrix,
+        config: &ReprConfig,
+        snapshots: &CheckpointStore,
+        every: usize,
+        budget: &RunBudget,
+    ) -> Result<(Self, ReprTrainStats), CoreError> {
+        Self::train_impl(irs, config, Some((snapshots, every.max(1))), budget)
     }
 
     fn train_impl(
         irs: &Matrix,
         config: &ReprConfig,
         snapshots: Option<(&CheckpointStore, usize)>,
+        budget: &RunBudget,
     ) -> Result<(Self, ReprTrainStats), CoreError> {
         if irs.rows() == 0 {
             return Err(CoreError::BadInput("no IRs to train on".into()));
@@ -191,7 +231,7 @@ impl ReprModel {
             Some(s) => s,
             None => VaeTrainState::fresh(config),
         };
-        Self::train_loop(irs, config, &mut state, snapshots)?;
+        Self::train_loop(irs, config, &mut state, snapshots, budget)?;
         Ok((
             Self {
                 store: state.store,
@@ -233,12 +273,18 @@ impl ReprModel {
         config: &ReprConfig,
         state: &mut VaeTrainState,
         snapshots: Option<(&CheckpointStore, usize)>,
+        budget: &RunBudget,
     ) -> Result<(), CoreError> {
         // One tape per shard slot, reused for the whole training run.
         let mut tapes = GraphPool::new();
         let _span = vaer_obs::span("repr.train");
         let mut rollbacks = 0u32;
         while state.epoch < config.epochs {
+            // Probed every epoch, *including* divergence-guard retries
+            // (`continue` below re-enters here), so a flapping trainer
+            // consumes its run budget instead of looping past it. State is
+            // only mutated after the probe, so a trip loses nothing.
+            budget.probe("repr.train")?;
             // Crash-test kill switch: a `vae.epoch=panic@N` failpoint
             // aborts the run at the top of the Nth epoch.
             vaer_fault::trigger("vae.epoch");

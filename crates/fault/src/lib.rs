@@ -10,16 +10,23 @@
 //!
 //! # Spec syntax
 //!
-//! A spec is a comma-separated list of `name=action[@N[+]]` clauses:
+//! A spec is a comma-separated list of `name=action[@N[+]]` or
+//! `name=action~p` clauses:
 //!
 //! ```text
 //! VAER_FAILPOINTS=checkpoint.write=err@2,al.round=panic@3
+//! VAER_FAILPOINTS=exec.score=err~0.25
 //! ```
 //!
 //! - `action` is one of `err`, `panic`, `torn`, `nan`.
 //! - `@N` fires on the Nth hit only (1-based).
 //! - `@N+` fires on the Nth and every later hit.
-//! - No `@` clause fires on every hit.
+//! - `~p` fires each hit independently with probability `p` in `(0, 1]`,
+//!   drawn from a per-failpoint deterministic RNG (seed it with
+//!   [`configure_seeded`]; plain [`configure`] uses seed 0). Same spec +
+//!   same seed + same hit order = same firing schedule — the substrate
+//!   chaos-soak harnesses randomise over.
+//! - No `@`/`~` clause fires on every hit.
 //!
 //! The environment variable is read once, on the first [`check`] call;
 //! tests arm failpoints programmatically with [`configure`] and disarm
@@ -97,6 +104,32 @@ struct Failpoint {
     /// Last hit it fires on (`u64::MAX` = open-ended).
     to: u64,
     hits: u64,
+    /// Hits that actually fired (≤ `hits`; differs under `~p`).
+    fired: u64,
+    /// `~p` clause: per-hit firing probability.
+    prob: Option<f64>,
+    /// Deterministic per-failpoint RNG state for `~p` draws.
+    rng: u64,
+}
+
+/// FNV-1a, folding a failpoint name into its RNG stream so two `~p`
+/// clauses under one seed still draw independent schedules.
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 step: advances `state` and returns a uniform draw.
+fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
 }
 
 static ARMED: AtomicBool = AtomicBool::new(false);
@@ -118,6 +151,18 @@ fn registry() -> MutexGuard<'static, Vec<Failpoint>> {
 /// Returns a description of the first malformed clause; the previously
 /// armed set is left untouched in that case.
 pub fn configure(spec: &str) -> Result<(), String> {
+    configure_seeded(spec, 0)
+}
+
+/// Like [`configure`], but seeds the RNG streams behind `~p` clauses:
+/// each probabilistic failpoint draws from `seed ^ fnv1a(name)`, so a
+/// chaos harness gets a reproducible firing schedule per `(spec, seed)`
+/// pair while distinct sites stay decorrelated.
+///
+/// # Errors
+/// Returns a description of the first malformed clause; the previously
+/// armed set is left untouched in that case.
+pub fn configure_seeded(spec: &str, seed: u64) -> Result<(), String> {
     let mut parsed = Vec::new();
     for clause in spec.split(',').map(str::trim).filter(|c| !c.is_empty()) {
         let (name, rhs) = clause
@@ -127,22 +172,36 @@ pub fn configure(spec: &str) -> Result<(), String> {
         if name.is_empty() {
             return Err(format!("failpoint clause '{clause}' has an empty name"));
         }
-        let (action, from, to) = match rhs.split_once('@') {
-            None => (Action::parse(rhs.trim())?, 1, u64::MAX),
-            Some((action, count)) => {
-                let action = Action::parse(action.trim())?;
-                let (count, open) = match count.strip_suffix('+') {
-                    Some(c) => (c, true),
-                    None => (count, false),
-                };
-                let n: u64 = count
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("failpoint clause '{clause}' has a bad hit count"))?;
-                if n == 0 {
-                    return Err(format!("failpoint clause '{clause}': hits are 1-based"));
+        let (action, from, to, prob) = if let Some((action, p)) = rhs.split_once('~') {
+            let action = Action::parse(action.trim())?;
+            let p: f64 = p
+                .trim()
+                .parse()
+                .map_err(|_| format!("failpoint clause '{clause}' has a bad probability"))?;
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(format!(
+                    "failpoint clause '{clause}': probability must be in (0, 1]"
+                ));
+            }
+            (action, 1, u64::MAX, Some(p))
+        } else {
+            match rhs.split_once('@') {
+                None => (Action::parse(rhs.trim())?, 1, u64::MAX, None),
+                Some((action, count)) => {
+                    let action = Action::parse(action.trim())?;
+                    let (count, open) = match count.strip_suffix('+') {
+                        Some(c) => (c, true),
+                        None => (count, false),
+                    };
+                    let n: u64 = count
+                        .trim()
+                        .parse()
+                        .map_err(|_| format!("failpoint clause '{clause}' has a bad hit count"))?;
+                    if n == 0 {
+                        return Err(format!("failpoint clause '{clause}': hits are 1-based"));
+                    }
+                    (action, n, if open { u64::MAX } else { n }, None)
                 }
-                (action, n, if open { u64::MAX } else { n })
             }
         };
         parsed.push(Failpoint {
@@ -151,6 +210,9 @@ pub fn configure(spec: &str) -> Result<(), String> {
             from,
             to,
             hits: 0,
+            fired: 0,
+            prob,
+            rng: seed ^ fnv1a(name),
         });
     }
     let armed = !parsed.is_empty();
@@ -172,6 +234,18 @@ pub fn hits(name: &str) -> u64 {
         .iter()
         .find(|fp| fp.name == name)
         .map_or(0, |fp| fp.hits)
+}
+
+/// Number of times the named failpoint actually *fired* (injected its
+/// action) since it was armed. Equals [`hits`] inside the window for
+/// deterministic clauses; under `~p` it counts the successful draws, so
+/// chaos harnesses can reconcile injected faults against the health
+/// report a run returned.
+pub fn fired(name: &str) -> u64 {
+    registry()
+        .iter()
+        .find(|fp| fp.name == name)
+        .map_or(0, |fp| fp.fired)
 }
 
 /// Checks the named failpoint site. Returns the action to inject if the
@@ -198,11 +272,19 @@ fn check_slow(name: &str) -> Option<Action> {
     let mut fps = registry();
     let fp = fps.iter_mut().find(|fp| fp.name == name)?;
     fp.hits += 1;
-    if fp.hits >= fp.from && fp.hits <= fp.to {
-        Some(fp.action)
-    } else {
-        None
+    if fp.hits < fp.from || fp.hits > fp.to {
+        return None;
     }
+    if let Some(p) = fp.prob {
+        // Every in-window hit consumes exactly one draw, so schedules
+        // are a pure function of (spec, seed, hit order).
+        let draw = (next_u64(&mut fp.rng) >> 11) as f64 / (1u64 << 53) as f64;
+        if draw >= p {
+            return None;
+        }
+    }
+    fp.fired += 1;
+    Some(fp.action)
 }
 
 static TEST_LOCK: Mutex<()> = Mutex::new(());
@@ -304,6 +386,64 @@ mod tests {
             assert_eq!(check(name), Some(Action::Err), "site `{name}` did not fire");
             clear();
         }
+    }
+
+    #[test]
+    fn probabilistic_clause_is_seed_deterministic() {
+        let _g = guard();
+        let schedule = |seed: u64| -> Vec<bool> {
+            configure_seeded("p=err~0.5", seed).unwrap();
+            let s = (0..64).map(|_| check("p").is_some()).collect();
+            clear();
+            s
+        };
+        let a = schedule(42);
+        let b = schedule(42);
+        assert_eq!(a, b, "same (spec, seed) must give the same schedule");
+        let c = schedule(43);
+        assert_ne!(a, c, "different seeds should differ over 64 draws");
+        let fires = a.iter().filter(|&&f| f).count();
+        assert!(
+            (8..=56).contains(&fires),
+            "p=0.5 over 64 draws fired {fires} times — draw mapping broken?"
+        );
+    }
+
+    #[test]
+    fn probabilistic_fired_counts_successful_draws() {
+        let _g = guard();
+        configure_seeded("p=err~0.5", 7).unwrap();
+        let mut expect = 0;
+        for _ in 0..32 {
+            if check("p").is_some() {
+                expect += 1;
+            }
+        }
+        assert_eq!(hits("p"), 32);
+        assert_eq!(fired("p"), expect);
+        assert!(fired("p") < hits("p"), "p=0.5 over 32 draws never skipped?");
+        clear();
+    }
+
+    #[test]
+    fn probability_one_fires_every_hit() {
+        let _g = guard();
+        configure_seeded("p=nan~1.0", 9).unwrap();
+        for _ in 0..8 {
+            assert_eq!(check("p"), Some(Action::Nan));
+        }
+        assert_eq!(fired("p"), 8);
+        clear();
+    }
+
+    #[test]
+    fn malformed_probabilities_are_rejected() {
+        let _g = guard();
+        clear();
+        assert!(configure("x=err~0").is_err());
+        assert!(configure("x=err~1.5").is_err());
+        assert!(configure("x=err~nope").is_err());
+        assert!(configure("x=err~-0.1").is_err());
     }
 
     #[test]

@@ -29,8 +29,25 @@ pub struct CandidatePair {
 /// neighbours of each. This is the blocking step of §VI-B: pairs that
 /// never meet in a top-K list are never compared by the matcher.
 pub fn knn_join(queries: &[Vec<f32>], index: &dyn KnnIndex, k: usize) -> Vec<CandidatePair> {
+    let mut probe = || false;
+    knn_join_probed(queries, index, k, &mut probe).unwrap_or_default()
+}
+
+/// [`knn_join`] with a cooperative stop probe, called once per query
+/// row. Returning `true` from `probe` abandons the join and yields
+/// `None` (callers map this to their own cancellation/deadline error) —
+/// the partial candidate list is dropped, never returned.
+pub fn knn_join_probed(
+    queries: &[Vec<f32>],
+    index: &dyn KnnIndex,
+    k: usize,
+    probe: &mut dyn FnMut() -> bool,
+) -> Option<Vec<CandidatePair>> {
     let mut out = Vec::with_capacity(queries.len() * k);
     for (qi, q) in queries.iter().enumerate() {
+        if probe() {
+            return None;
+        }
         for n in index.knn(q, k) {
             out.push(CandidatePair {
                 left: qi,
@@ -39,7 +56,7 @@ pub fn knn_join(queries: &[Vec<f32>], index: &dyn KnnIndex, k: usize) -> Vec<Can
             });
         }
     }
-    out
+    Some(out)
 }
 
 /// Memoises [`knn_join`] results per `k` over one immutable index.
@@ -73,10 +90,32 @@ impl<'a> JoinCache<'a> {
             .or_insert_with(|| knn_join(self.queries, self.index, k))
     }
 
+    /// [`candidates`](Self::candidates) with a cooperative stop probe
+    /// (see [`knn_join_probed`]). A memoised `k` is returned without
+    /// probing; on an abandoned join nothing is memoised and `None` is
+    /// returned.
+    pub fn candidates_probed(
+        &mut self,
+        k: usize,
+        probe: &mut dyn FnMut() -> bool,
+    ) -> Option<&[CandidatePair]> {
+        if !self.per_k.contains_key(&k) {
+            let joined = knn_join_probed(self.queries, self.index, k, probe)?;
+            self.per_k.insert(k, joined);
+        }
+        Some(&self.per_k[&k])
+    }
+
     /// Seeds the memo for `k` with an externally recovered candidate list
     /// (e.g. a checkpointed blocking artifact), avoiding a recompute.
     pub fn insert(&mut self, k: usize, pairs: Vec<CandidatePair>) {
         self.per_k.insert(k, pairs);
+    }
+
+    /// Drops the memo for `k` (degradation path: a poisoned plan memo is
+    /// rebuilt cold rather than trusted).
+    pub fn invalidate(&mut self, k: usize) {
+        self.per_k.remove(&k);
     }
 
     /// Whether `k`'s join is already memoised.
@@ -178,6 +217,33 @@ mod tests {
         cache.insert(1, fake.clone());
         assert_eq!(cache.candidates(1), &fake[..]);
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn probed_join_stops_cooperatively_and_memoises_nothing() {
+        let points = vec![vec![0.0], vec![10.0], vec![20.0]];
+        let idx = BruteForceKnn::build(points);
+        let queries = vec![vec![1.0], vec![19.0], vec![21.0]];
+        // A probe that trips on the third query abandons the join.
+        let mut calls = 0;
+        let mut probe = || {
+            calls += 1;
+            calls > 2
+        };
+        assert_eq!(knn_join_probed(&queries, &idx, 1, &mut probe), None);
+        assert_eq!(calls, 3, "probe must run once per query until tripped");
+        // Through the cache: nothing is memoised on abandonment…
+        let mut cache = JoinCache::new(&queries, &idx);
+        let mut stop = || true;
+        assert!(cache.candidates_probed(1, &mut stop).is_none());
+        assert!(cache.is_empty());
+        // …and a memoised k is served without consulting the probe.
+        let mut go = || false;
+        assert!(cache.candidates_probed(1, &mut go).is_some());
+        assert!(cache.candidates_probed(1, &mut stop).is_some());
+        // invalidate() really drops the memo.
+        cache.invalidate(1);
+        assert!(cache.is_empty());
     }
 
     #[test]

@@ -113,6 +113,24 @@ impl E2Lsh {
     /// Panics on inconsistent point dimensions or a non-positive bucket
     /// width.
     pub fn build(points: Vec<Vec<f32>>, config: E2LshConfig) -> Self {
+        let mut probe = || false;
+        Self::build_probed(points, config, &mut probe)
+            .expect("an always-false probe never abandons the build") // vaer-lint: allow(panic) -- infallible by construction
+    }
+
+    /// [`build`](Self::build) with a cooperative stop probe, called once
+    /// per hash table and once per 64 point insertions. Returning `true`
+    /// abandons the build and yields `None` — the partially built index
+    /// is dropped, never returned.
+    ///
+    /// # Panics
+    /// Panics on inconsistent point dimensions or a non-positive bucket
+    /// width.
+    pub fn build_probed(
+        points: Vec<Vec<f32>>,
+        config: E2LshConfig,
+        probe: &mut dyn FnMut() -> bool,
+    ) -> Option<Self> {
         assert!(config.bucket_width > 0.0, "bucket_width must be positive");
         assert!(config.num_tables > 0 && config.hashes_per_table > 0);
         let dims = points.first().map_or(0, Vec::len);
@@ -127,6 +145,9 @@ impl E2Lsh {
         let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
         let mut tables = Vec::with_capacity(config.num_tables);
         for _ in 0..config.num_tables {
+            if probe() {
+                return None;
+            }
             let projections = (0..config.hashes_per_table)
                 .map(|_| (0..dims).map(|_| gaussian(&mut rng)).collect())
                 .collect();
@@ -139,23 +160,37 @@ impl E2Lsh {
                 buckets: BTreeMap::new(),
             };
             for (i, p) in points.iter().enumerate() {
+                if i % 64 == 0 && probe() {
+                    return None;
+                }
                 let key = table.key(p, config.bucket_width);
                 table.buckets.entry(key).or_default().push(i as u32);
             }
             tables.push(table);
         }
-        Self {
+        Some(Self {
             config,
             tables,
             points,
             dims,
-        }
+        })
     }
 
     /// Builds with a data-calibrated bucket width.
     pub fn build_calibrated(points: Vec<Vec<f32>>, seed: u64) -> Self {
         let config = E2LshConfig::calibrated(&points, seed);
         Self::build(points, config)
+    }
+
+    /// [`build_calibrated`](Self::build_calibrated) with a cooperative
+    /// stop probe (see [`build_probed`](Self::build_probed)).
+    pub fn build_calibrated_probed(
+        points: Vec<Vec<f32>>,
+        seed: u64,
+        probe: &mut dyn FnMut() -> bool,
+    ) -> Option<Self> {
+        let config = E2LshConfig::calibrated(&points, seed);
+        Self::build_probed(points, config, probe)
     }
 
     /// Dimensionality of the indexed points.

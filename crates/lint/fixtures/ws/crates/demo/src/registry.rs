@@ -1,8 +1,10 @@
-//! Registries for the fixture workspace. `never.used`, `ghost`, and
-//! `VAER_PHANTOM` are stale on purpose.
+//! Registries for the fixture workspace. `never.used`, `ghost`,
+//! `VAER_PHANTOM`, and `degrade.stale` are stale on purpose.
 
 pub const FAILPOINTS: &[&str] = &["known.site", "never.used"];
 
 pub const NAME_PREFIXES: &[&str] = &["demo", "ghost"];
 
 pub const ENV_KNOBS: &[&str] = &["VAER_DEMO", "VAER_PHANTOM"];
+
+pub const DEGRADATIONS: &[&str] = &["degrade.stale", "degrade.used"];

@@ -1,5 +1,6 @@
-//! failpoint-registry + obs-registry: one registered use of each kind
-//! (failpoint site, metric name, env knob), one unregistered use of each.
+//! failpoint-registry + obs-registry + degradation-registry: one
+//! registered use of each kind (failpoint site, metric name, env knob,
+//! degradation name), one unregistered use of each.
 
 pub fn failpoints() {
     vaer_fault::check("known.site");
@@ -19,5 +20,15 @@ pub fn knobs() {
 }
 
 fn counter(name: &str) -> &str {
+    name
+}
+
+pub fn degradations() {
+    let ok = degrade("degrade.used");
+    let rogue = degrade("degrade.rogue");
+    let _ = (ok, rogue);
+}
+
+fn degrade(name: &str) -> &str {
     name
 }

@@ -128,6 +128,7 @@ impl Engine {
         let mut used_failpoints: Vec<&str> = Vec::new();
         let mut used_prefixes: Vec<&str> = Vec::new();
         let mut used_knobs: Vec<&str> = Vec::new();
+        let mut used_degradations: Vec<&str> = Vec::new();
         for file in files {
             let toks: Vec<_> = file.toks.iter().filter(|t| !t.is_comment()).collect();
             for (i, t) in toks.iter().enumerate() {
@@ -163,6 +164,11 @@ impl Engine {
                         used_prefixes.push(s.text.split('.').next().unwrap_or(&s.text));
                     }
                 }
+                if t.text == "degrade" || t.text == "note_degrade" {
+                    if let Some(s) = next_str() {
+                        used_degradations.push(&s.text);
+                    }
+                }
                 if t.text == "var" && (i == 0 || !toks[i - 1].is_punct(".")) {
                     if let Some(s) = next_str() {
                         if s.text.starts_with("VAER_") {
@@ -183,6 +189,11 @@ impl Engine {
                 ),
             });
         };
+        for d in &ctx.degradations {
+            if !used_degradations.iter().any(|u| u == d) {
+                report_stale(d, "DEGRADATIONS");
+            }
+        }
         for k in &ctx.env_knobs {
             if !used_knobs.iter().any(|u| u == k) {
                 report_stale(k, "ENV_KNOBS");
@@ -264,6 +275,7 @@ fn build_context(root: &Path, files: &[SourceFile]) -> Context {
         extract_const_strings(file, "FAILPOINTS", &mut ctx.failpoints);
         extract_const_strings(file, "NAME_PREFIXES", &mut ctx.obs_prefixes);
         extract_const_strings(file, "ENV_KNOBS", &mut ctx.env_knobs);
+        extract_const_strings(file, "DEGRADATIONS", &mut ctx.degradations);
     }
     let ledger = root.join("UNSAFE_LEDGER.md");
     if let Ok(text) = std::fs::read_to_string(&ledger) {

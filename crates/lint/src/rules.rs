@@ -16,6 +16,8 @@ pub struct Context {
     pub obs_prefixes: Vec<String>,
     /// Environment knobs in `vaer_obs`'s `ENV_KNOBS` registry const.
     pub env_knobs: Vec<String>,
+    /// Degradation names in `vaer_core`'s `DEGRADATIONS` registry const.
+    pub degradations: Vec<String>,
     /// Files listed in `UNSAFE_LEDGER.md`.
     pub ledger_files: Vec<String>,
     /// Whether an `UNSAFE_LEDGER.md` was found at the workspace root.
@@ -45,6 +47,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(FailpointRegistry),
         Box::new(ObsRegistry),
         Box::new(StageRegistry),
+        Box::new(DegradationRegistry),
     ]
 }
 
@@ -544,6 +547,51 @@ impl Rule for StageRegistry {
     }
 }
 
+/// resilience: every degradation name fired at a `degrade` /
+/// `note_degrade` site must appear in the `DEGRADATIONS` registry const,
+/// so the chaos soak and `vaer-report` can enumerate every way a run is
+/// allowed to weaken itself. Method receivers are deliberately matched
+/// (unlike obs registrations): real sites are `health.degrade(…)` and
+/// `executor.note_degrade(…)` calls.
+struct DegradationRegistry;
+
+impl Rule for DegradationRegistry {
+    fn id(&self) -> &'static str {
+        "degradation-registry"
+    }
+    fn description(&self) -> &'static str {
+        "degradation names at degrade/note_degrade sites must be listed in DEGRADATIONS"
+    }
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        let code = code(file);
+        for i in 0..code.len().saturating_sub(2) {
+            let t = code[i];
+            if t.kind != TokKind::Ident
+                || (t.text != "degrade" && t.text != "note_degrade")
+                || !code[i + 1].is_punct("(")
+                || code[i + 2].kind != TokKind::Str
+                || file.is_test_line(t.line)
+            {
+                continue;
+            }
+            let name = &code[i + 2].text;
+            if !ctx.degradations.iter().any(|d| d == name) {
+                out.push(finding(
+                    file,
+                    self.id(),
+                    t.line,
+                    format!(
+                        "degradation `{name}` is not in the DEGRADATIONS registry; add it so every fallback lane stays enumerable"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -668,6 +716,23 @@ mod tests {
         let f = run(&FailpointRegistry, src, &ctx);
         assert_eq!(f.len(), 1);
         assert!(f[0].message.contains("rogue.site"));
+    }
+
+    #[test]
+    fn degradation_names_checked_against_registry() {
+        let ctx = Context {
+            degradations: vec!["degrade.score.f32_fallback".into()],
+            ..Context::default()
+        };
+        // Both free-fn and method-receiver spellings are in scope; only
+        // the unregistered name fires.
+        let src = "fn f(h: &mut Health, e: &Exec) { h.degrade(\"degrade.score.f32_fallback\", \"no twin\"); e.note_degrade(\"degrade.rogue\", \"oops\"); }";
+        let f = run(&DegradationRegistry, src, &ctx);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("degrade.rogue"));
+        // Non-literal names (runtime values) are out of scope.
+        let dynamic = "fn g(h: &mut Health, n: &str) { h.degrade(n, \"detail\"); }";
+        assert!(run(&DegradationRegistry, dynamic, &ctx).is_empty());
     }
 
     #[test]

@@ -17,6 +17,8 @@ pub const NAME_PREFIXES: &[&str] = &[
     "al",
     // Durable snapshot writes/retries/corruption skips.
     "checkpoint",
+    // Degradation ladder firings (vaer-core::resilience, DESIGN.md §15).
+    "degrade",
     // Staged resolution executor: per-stage spans, resume/cache counters.
     "exec",
     // Label journal appends and replays.
@@ -55,6 +57,8 @@ pub const ENV_KNOBS: &[&str] = &[
     "VAER_BENCH_QUICK",
     // Checkpoint directory for resumable runs (examples).
     "VAER_CKPT_DIR",
+    // Run deadline in milliseconds (vaer-core::resilience::RunBudget).
+    "VAER_DEADLINE_MS",
     // Generator domain list for benches (vaer-bench).
     "VAER_DOMAINS",
     // Failpoint plan for fault injection (vaer-fault).

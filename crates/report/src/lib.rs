@@ -113,7 +113,11 @@ pub struct MetricSpec {
 /// The gated metric set: kernel throughput and the tape zero-alloc
 /// contract from `micro`, lane medians and the int8 speedup from
 /// `resolve_stages`. Wall-clock seconds are deliberately judged via the
-/// noise band rather than absolute thresholds.
+/// noise band rather than absolute thresholds. The resilience counters
+/// (`degradations_fired`, `stage_retries`, `checkpoint_write_retries`)
+/// ride the same machinery: their history is all zeros on a healthy
+/// clean path, which collapses the band to `[0, 0]`, so the first run
+/// that silently degrades or burns retries gates as a regression.
 pub const GATED_METRICS: &[MetricSpec] = &[
     MetricSpec {
         bench: "micro",
@@ -164,6 +168,21 @@ pub const GATED_METRICS: &[MetricSpec] = &[
         bench: "resolve_stages",
         key: "score_int8_speedup",
         higher_is_better: true,
+    },
+    MetricSpec {
+        bench: "resolve_stages",
+        key: "degradations_fired",
+        higher_is_better: false,
+    },
+    MetricSpec {
+        bench: "resolve_stages",
+        key: "stage_retries",
+        higher_is_better: false,
+    },
+    MetricSpec {
+        bench: "resolve_stages",
+        key: "checkpoint_write_retries",
+        higher_is_better: false,
     },
 ];
 
@@ -383,6 +402,41 @@ pub fn render(inputs: &Inputs) -> (String, Vec<MetricReport>) {
         }
     }
 
+    if let Some(rec) = newest(inputs.records, "resolve_stages") {
+        let counters = [
+            ("degradations_fired", "degradations"),
+            ("stage_retries", "stage retries"),
+            ("checkpoint_write_retries", "checkpoint write retries"),
+        ];
+        let present: Vec<(&str, u64)> = counters
+            .iter()
+            .filter_map(|(key, label)| Some((*label, rec.get(key)?.u64()?)))
+            .collect();
+        if !present.is_empty() {
+            out.push_str("\n## Resilience (resolve_stages)\n\n");
+            let total: u64 = present.iter().map(|(_, v)| v).sum();
+            let line = present
+                .iter()
+                .map(|(label, v)| format!("{label} {v}"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            if total == 0 {
+                out.push_str(&format!("- clean path: {line} — no silent degradation\n"));
+            } else {
+                out.push_str(&format!(
+                    "- **SILENTLY DEGRADED clean path: {line}** — the run produced a \
+                     result through a fallback lane; check the `degrade.*` obs events\n"
+                ));
+            }
+            if let Some(secs) = rec.get_num("score_degraded_secs") {
+                out.push_str(&format!(
+                    "- injected int8→f32 fallback lane: {} per resolve\n",
+                    human_secs(secs)
+                ));
+            }
+        }
+    }
+
     if let Some(JsonValue::Obj(entries)) = inputs.kernels.and_then(|k| k.get("kernels")) {
         out.push_str("\n## Kernel throughput (micro, single thread)\n\n");
         out.push_str("| kernel | optimised | reference | speedup |\n");
@@ -518,6 +572,56 @@ mod tests {
             .find(|m| m.key == "tape_warm_allocs")
             .unwrap();
         assert_eq!(m.verdict, Verdict::Regression, "a warm alloc must gate");
+    }
+
+    #[test]
+    fn degradation_counters_gate_at_zero() {
+        let mut records: Vec<JsonValue> = (0..4)
+            .map(|_| record("resolve_stages", &[("degradations_fired", 0.0)]))
+            .collect();
+        records.push(record("resolve_stages", &[("degradations_fired", 1.0)]));
+        let metrics = analyze(&records, 20);
+        let m = metrics
+            .iter()
+            .find(|m| m.key == "degradations_fired")
+            .unwrap();
+        assert_eq!(
+            m.verdict,
+            Verdict::Regression,
+            "a silent degradation must gate"
+        );
+    }
+
+    #[test]
+    fn render_flags_silently_degraded_runs() {
+        let clean = record(
+            "resolve_stages",
+            &[
+                ("degradations_fired", 0.0),
+                ("stage_retries", 0.0),
+                ("checkpoint_write_retries", 0.0),
+                ("score_degraded_secs", 0.012),
+            ],
+        );
+        let inputs = Inputs {
+            records: std::slice::from_ref(&clean),
+            kernels: None,
+            obs: &[],
+            history: 20,
+        };
+        let (md, _) = render(&inputs);
+        assert!(md.contains("no silent degradation"), "{md}");
+        assert!(md.contains("fallback lane: 12.00 ms"), "{md}");
+        let degraded = record("resolve_stages", &[("degradations_fired", 2.0)]);
+        let inputs = Inputs {
+            records: std::slice::from_ref(&degraded),
+            kernels: None,
+            obs: &[],
+            history: 20,
+        };
+        let (md, _) = render(&inputs);
+        assert!(md.contains("SILENTLY DEGRADED"), "{md}");
+        assert!(md.contains("degradations 2"), "{md}");
     }
 
     #[test]

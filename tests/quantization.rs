@@ -11,6 +11,7 @@
 use vaer::core::exec::{FusedScoreStage, Stage, SCORE_BLOCK};
 use vaer::core::latent;
 use vaer::core::pipeline::{Pipeline, PipelineConfig, ScorePrecision};
+use vaer::core::resilience::RunBudget;
 use vaer::data::domains::{Domain, DomainSpec, Scale};
 
 /// Per-candidate probability tolerance of the int8 lane. Weights carry
@@ -63,12 +64,14 @@ fn int8_scores_match_f32_within_epsilon_on_every_domain() {
         let exact = FusedScoreStage {
             pipeline: &p,
             precision: ScorePrecision::F32,
+            budget: RunBudget::unlimited(),
         }
         .run(pairs.clone())
         .unwrap();
         let fast = FusedScoreStage {
             pipeline: &p,
             precision: ScorePrecision::Int8,
+            budget: RunBudget::unlimited(),
         }
         .run(pairs)
         .unwrap();
@@ -173,6 +176,7 @@ fn fused_f32_scoring_is_bit_identical_to_the_full_matrix_pass() {
     let fused = FusedScoreStage {
         pipeline: &p,
         precision: ScorePrecision::F32,
+        budget: RunBudget::unlimited(),
     }
     .run(pairs.clone())
     .unwrap();
