@@ -425,6 +425,7 @@ impl<'a> ActiveLearner<'a> {
     fn verify_bootstrap(&mut self, oracle: &Oracle) {
         let pos = std::mem::take(&mut self.labeled_pos);
         let neg = std::mem::take(&mut self.labeled_neg);
+        // vaer-lint: allow(cancel-probe-coverage) -- one-shot audit over already-labeled pairs at setup; bounded by label count
         for (l, r) in pos {
             if oracle.peek(l, r) {
                 self.labeled_pos.push((l, r));
@@ -433,6 +434,7 @@ impl<'a> ActiveLearner<'a> {
                 self.labeled_neg.push((l, r));
             }
         }
+        // vaer-lint: allow(cancel-probe-coverage) -- same bounded audit as the positive half above
         for (l, r) in neg {
             if oracle.peek(l, r) {
                 self.bootstrap_corrections += 1;
@@ -818,6 +820,7 @@ impl AlState {
             }
         }
         out.extend_from_slice(&(learner.history.len() as u64).to_le_bytes());
+        // vaer-lint: allow(cancel-probe-coverage) -- checkpoint codec: bounded by history length, no budget handle in the wire format
         for cp in &learner.history {
             out.extend_from_slice(&(cp.labels_used as u64).to_le_bytes());
             out.extend_from_slice(&(cp.pool_sizes.0 as u64).to_le_bytes());
@@ -874,6 +877,7 @@ impl AlState {
             return Err(CoreError::Checkpoint("history length overflow".into()));
         }
         let mut history = Vec::with_capacity(n_history);
+        // vaer-lint: allow(cancel-probe-coverage) -- checkpoint codec: bounded by the length-checked stored count
         for _ in 0..n_history {
             let labels_used = cur.u64()? as usize;
             let pool_sizes = (cur.u64()? as usize, cur.u64()? as usize);

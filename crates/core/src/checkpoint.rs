@@ -301,6 +301,7 @@ impl CheckpointStore {
     /// [`CoreError::Io`] if the directory cannot be read.
     pub fn list(&self) -> Result<Vec<u64>, CoreError> {
         let mut seqs = Vec::new();
+        // vaer-lint: allow(cancel-probe-coverage) -- directory scan bounded by checkpoint-file count
         for entry in fs::read_dir(&self.dir)? {
             let name = entry?.file_name();
             let Some(name) = name.to_str() else { continue };
@@ -399,6 +400,7 @@ impl JournalEntry {
     fn from_json(line: &str) -> Option<Self> {
         let body = line.trim().strip_prefix('{')?.strip_suffix('}')?;
         let (mut seq, mut left, mut right, mut is_match) = (None, None, None, None);
+        // vaer-lint: allow(cancel-probe-coverage) -- parses one journal line; field count is tiny and fixed
         for field in body.split(',') {
             let (key, value) = field.split_once(':')?;
             let key = key.trim().trim_matches('"');
@@ -477,6 +479,7 @@ impl Journal {
         };
         let lines: Vec<&str> = text.lines().collect();
         let mut entries = Vec::with_capacity(lines.len());
+        // vaer-lint: allow(cancel-probe-coverage) -- journal replay bounded by the on-disk line count
         for (i, line) in lines.iter().enumerate() {
             match JournalEntry::from_json(line) {
                 Some(e) => entries.push(e),
@@ -489,6 +492,7 @@ impl Journal {
                 }
             }
         }
+        // vaer-lint: allow(cancel-probe-coverage) -- sequence-gap check over the same bounded entry list
         for (i, e) in entries.iter().enumerate() {
             if e.seq != i as u64 {
                 return Err(CoreError::Checkpoint(format!(

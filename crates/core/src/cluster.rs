@@ -116,6 +116,7 @@ pub fn cluster_links(
 ) -> Result<Vec<EntityCluster>, crate::CoreError> {
     let total = len_a + len_b;
     let mut uf = UnionFind::new(total);
+    // vaer-lint: allow(cancel-probe-coverage) -- union-find pass bounded by the link count handed in by the caller
     for &(a, b) in links {
         if a >= len_a || b >= len_b {
             return Err(crate::CoreError::BadInput(format!(
@@ -130,6 +131,7 @@ pub fn cluster_links(
         linked[a] = true;
         linked[len_a + b] = true;
     }
+    // vaer-lint: allow(cancel-probe-coverage) -- grouping pass bounded by total row count
     for (x, &is_linked) in linked.iter().enumerate() {
         if !include_singletons && !is_linked {
             continue;

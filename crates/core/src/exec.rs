@@ -1103,6 +1103,7 @@ fn select_top_per_row(
         }
     };
     let mut keep = vec![true; candidates.len()];
+    // vaer-lint: allow(cancel-probe-coverage) -- per-row top-m truncation bounded by candidate count; runs inside a probed stage
     for indices in by_row.values_mut() {
         if indices.len() <= m {
             continue;

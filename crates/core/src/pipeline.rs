@@ -686,7 +686,9 @@ pub(crate) fn sample_auto_negatives(
     const MAX_RETRIES: usize = 32;
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::with_capacity(n);
+    // vaer-lint: allow(cancel-probe-coverage) -- rejection sampler outer loop, bounded by the requested n
     for _ in 0..n {
+        // vaer-lint: allow(cancel-probe-coverage) -- rejection retries hard-capped at MAX_RETRIES draws
         for _ in 0..MAX_RETRIES {
             let left = rng.random_range(0..len_a);
             let right = rng.random_range(0..len_b);

@@ -491,6 +491,7 @@ impl ReprModel {
             (DEC_OUT, config.hidden_dim, config.ir_dim),
         ];
         let bad = |why: String| CoreError::Model(vaer_nn::NnError::BadFormat(why));
+        // vaer-lint: allow(cancel-probe-coverage) -- shape check over a fixed four-layer table
         for (name, in_dim, out_dim) in expect {
             let w = store
                 .find(&format!("{name}.w"))

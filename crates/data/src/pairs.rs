@@ -53,6 +53,7 @@ impl PairSet {
     /// # Errors
     /// [`DataError::PairOutOfBounds`] for the first offending pair.
     pub fn validate(&self, a: &Table, b: &Table) -> Result<(), DataError> {
+        // vaer-lint: allow(cancel-probe-coverage) -- single bounds pass over the pair list at load time
         for p in &self.pairs {
             if p.left >= a.len() {
                 return Err(DataError::PairOutOfBounds {

@@ -21,6 +21,7 @@ impl BruteForceKnn {
     /// Panics if points have inconsistent dimensions.
     pub fn build(points: Vec<Vec<f32>>) -> Self {
         let dims = points.first().map_or(0, Vec::len);
+        // vaer-lint: allow(cancel-probe-coverage) -- dimension check pass bounded by point count at build time
         for (i, p) in points.iter().enumerate() {
             assert_eq!(
                 p.len(),

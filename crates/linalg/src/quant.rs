@@ -82,8 +82,17 @@ fn quantize_value(v: f32, inv_scale: f32) -> i8 {
 /// input, including NaN (→ 0), infinities (→ ±127), and exact `.5`
 /// boundaries (`f32::round` rounds half away from zero; the vector
 /// path emulates that with a `copysign(0.5)` add before truncation).
+///
+/// # Panics
+/// If `src` and `out` lengths differ. The AVX-512 lane derives its
+/// store offsets from `src.len()`, so the check must hold in release
+/// builds, not just under `debug_assertions`.
 fn quantize_slice(src: &[f32], inv_scale: f32, out: &mut [i8]) {
-    debug_assert_eq!(src.len(), out.len());
+    assert_eq!(
+        src.len(),
+        out.len(),
+        "quantize_slice: src/out length mismatch"
+    );
     #[allow(unused_mut)]
     let mut done = 0;
     #[cfg(target_arch = "x86_64")]
@@ -313,6 +322,13 @@ impl PackedI8Rhs {
 /// accumulation is exact, so the order of additions is irrelevant for
 /// correctness — the SIMD tiers below exist purely for speed and are
 /// bit-identical to the scalar body by construction.
+///
+/// # Panics
+/// If any slice is shorter than the `MR`/`NR_I8`/`kp` layout contract
+/// requires, or `kp` is not a multiple of [`QUAD`]. The unsafe SIMD
+/// tiers justify their raw loads against exactly these bounds, so the
+/// checks are enforced at this dispatch boundary in release builds
+/// (the tiers themselves keep `debug_assert!` restatements only).
 fn i8_microkernel(
     staged: &[i8],
     kp: usize,
@@ -321,6 +337,18 @@ fn i8_microkernel(
     colsum128: &[i32],
     acc: &mut [[i32; NR_I8]; MR],
 ) {
+    assert!(
+        panel.len() >= kp * NR_I8,
+        "i8_microkernel: panel must hold kp x NR_I8 quad-interleaved bytes"
+    );
+    assert!(
+        staged.len() >= MR * kp && kp.is_multiple_of(QUAD),
+        "i8_microkernel: staged must hold MR zero-padded rows of quad-padded kp bytes"
+    );
+    assert!(
+        colsum128.len() >= NR_I8,
+        "i8_microkernel: colsum128 needs one +128-shift correction per column"
+    );
     #[cfg(target_arch = "x86_64")]
     if mr == MR {
         if std::arch::is_x86_feature_detected!("avx512f")

@@ -1,0 +1,12 @@
+//! `atomic-ordering-policy`: this file's declared policy allows only
+//! Relaxed, so the SeqCst store violates it.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+pub fn seal(c: &AtomicU64) {
+    c.store(1, Ordering::SeqCst);
+}

@@ -1,0 +1,8 @@
+//! `atomic-ordering-policy`: no `[atomics."..."]` section covers this
+//! file, so even Relaxed is an undeclared-policy finding.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn count(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,39 @@
+//! `cancel-probe-coverage`: `GoodStage` probes its loop through a
+//! helper; `BadStage` spins with no probe on any path.
+
+pub struct GoodStage;
+pub struct BadStage;
+pub struct Budget;
+
+impl Budget {
+    pub fn probe(&self) -> bool {
+        true
+    }
+}
+
+pub fn probed_helper(b: &Budget) {
+    b.probe();
+}
+
+impl Stage for GoodStage {
+    fn run(&self, b: &Budget) {
+        for i in 0..1000 {
+            let _ = i;
+            probed_helper(b);
+            let _ = i;
+            let _ = i;
+        }
+    }
+}
+
+impl Stage for BadStage {
+    fn run(&self, b: &Budget) {
+        let _ = b;
+        for i in 0..1000 {
+            let _ = i;
+            let _ = i;
+            let _ = i;
+            let _ = i;
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! `feature-guard-dominance`: one call dominated by the detection
+//! macro, one un-guarded call on the fallback path.
+
+// SAFETY: compiled for avx2; every caller must detect the feature.
+#[target_feature(enable = "avx2")]
+pub unsafe fn kernel_avx2(x: u32) -> u32 {
+    x + 1
+}
+
+pub fn dispatch(x: u32) -> u32 {
+    if is_x86_feature_detected!("avx2") {
+        // SAFETY: avx2 detected on the line above.
+        unsafe { kernel_avx2(x) }
+    } else {
+        // SAFETY: (wrong) nothing proves avx2 exists on this path.
+        unsafe { kernel_avx2(x) }
+    }
+}

@@ -1,0 +1,241 @@
+//! Intra-workspace call graph over the per-file item trees.
+//!
+//! Nodes are fn definitions; edges resolve call expressions to every
+//! workspace fn sharing the callee's name (paths and receivers are not
+//! tracked, so resolution is deliberately over-approximate — fine for
+//! reachability questions, where extra edges only make rules see more
+//! code, never less). Two derived facts feed the semantic rules:
+//! which fns are reachable from a `Stage::run` impl, and from which fns
+//! a cancellation probe (any [`PROBE_NAMES`] call — the
+//! `CancelToken`/`RunBudget` cooperation points) is reachable.
+
+use crate::source::SourceFile;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Method names the cancel-probe rule accepts as cooperation points:
+/// the polling surface of `RunBudget` and `CancelToken`.
+pub const PROBE_NAMES: &[&str] = &["probe", "is_cancelled", "exhausted", "exceeded"];
+
+/// One fn definition in the workspace.
+#[derive(Clone, Debug)]
+pub struct Node {
+    /// Workspace-relative file path.
+    pub file: String,
+    /// Fn name.
+    pub name: String,
+    /// Line of the `fn` keyword (together with `file`, the node key).
+    pub line: u32,
+}
+
+/// The resolved graph plus the reachability facts rules consume.
+#[derive(Clone, Debug, Default)]
+pub struct CallGraph {
+    /// All fn definitions, in (file, line) order.
+    pub nodes: Vec<Node>,
+    /// Resolved callee node ids per node.
+    pub edges: Vec<Vec<usize>>,
+    /// Node ids of `run` fns inside `impl ... Stage for ...` blocks.
+    pub stage_run: Vec<usize>,
+    /// Whether each node is reachable from any `Stage::run` impl
+    /// (sources included).
+    pub stage_reachable: Vec<bool>,
+    /// Whether each node makes a [`PROBE_NAMES`] call directly or
+    /// through callees.
+    pub reaches_probe: Vec<bool>,
+    index: BTreeMap<(String, u32), usize>,
+}
+
+impl CallGraph {
+    /// Builds the graph from every scanned file's item tree.
+    pub fn build(files: &[SourceFile]) -> Self {
+        let mut g = CallGraph::default();
+        let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for file in files {
+            for f in &file.tree.fns {
+                let id = g.nodes.len();
+                g.nodes.push(Node {
+                    file: file.rel.clone(),
+                    name: f.name.clone(),
+                    line: f.line,
+                });
+                g.index.insert((file.rel.clone(), f.line), id);
+                by_name.entry(f.name.as_str()).or_default().push(id);
+                if f.in_stage_impl && f.name == "run" {
+                    g.stage_run.push(id);
+                }
+            }
+        }
+        let mut calls_probe = vec![false; g.nodes.len()];
+        g.edges = vec![Vec::new(); g.nodes.len()];
+        for file in files {
+            for f in &file.tree.fns {
+                let id = g.index[&(file.rel.clone(), f.line)];
+                let mut seen: BTreeSet<usize> = BTreeSet::new();
+                for call in &f.calls {
+                    if PROBE_NAMES.contains(&call.name.as_str()) {
+                        calls_probe[id] = true;
+                    }
+                    if let Some(ids) = by_name.get(call.name.as_str()) {
+                        for &callee in ids {
+                            if callee != id && seen.insert(callee) {
+                                g.edges[id].push(callee);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        g.stage_reachable = g.forward_closure(&g.stage_run);
+        g.reaches_probe = g.backward_closure(&calls_probe);
+        g
+    }
+
+    /// Node id of the fn defined at `(file, line)`.
+    pub fn node_id(&self, file: &str, line: u32) -> Option<usize> {
+        self.index.get(&(file.to_string(), line)).copied()
+    }
+
+    /// Total resolved edge count.
+    pub fn edge_count(&self) -> usize {
+        self.edges.iter().map(Vec::len).sum()
+    }
+
+    /// Whether any fn with this name reaches a probe call — the
+    /// over-approximate form the cancel-probe rule uses for call sites
+    /// (same resolution policy as edge building).
+    pub fn name_reaches_probe(&self, name: &str) -> bool {
+        self.nodes
+            .iter()
+            .enumerate()
+            .any(|(id, n)| n.name == name && self.reaches_probe[id])
+    }
+
+    /// Every node reachable from `sources` following call edges
+    /// (sources included).
+    fn forward_closure(&self, sources: &[usize]) -> Vec<bool> {
+        let mut hit = vec![false; self.nodes.len()];
+        let mut queue: Vec<usize> = sources.to_vec();
+        for &s in sources {
+            hit[s] = true;
+        }
+        while let Some(id) = queue.pop() {
+            for &callee in &self.edges[id] {
+                if !hit[callee] {
+                    hit[callee] = true;
+                    queue.push(callee);
+                }
+            }
+        }
+        hit
+    }
+
+    /// Every node from which a `seed` node is reachable (seeds
+    /// included) — computed over reversed edges.
+    fn backward_closure(&self, seeds: &[bool]) -> Vec<bool> {
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); self.nodes.len()];
+        for (id, callees) in self.edges.iter().enumerate() {
+            for &callee in callees {
+                rev[callee].push(id);
+            }
+        }
+        let mut hit = seeds.to_vec();
+        let mut queue: Vec<usize> = hit
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &h)| h.then_some(i))
+            .collect();
+        while let Some(id) = queue.pop() {
+            for &caller in &rev[id] {
+                if !hit[caller] {
+                    hit[caller] = true;
+                    queue.push(caller);
+                }
+            }
+        }
+        hit
+    }
+}
+
+/// Aggregate numbers for the CI artifact: proves at a glance that the
+/// analysis saw the workspace (non-trivial node/edge counts) and that
+/// no call to a `#[target_feature]` fn escaped its guard.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct GraphSummary {
+    /// Fn definitions in the workspace.
+    pub nodes: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// `Stage::run` impl fns (cancel-probe coverage sources).
+    pub stage_run_fns: usize,
+    /// Fns reachable from a `Stage::run` impl.
+    pub stage_reachable_fns: usize,
+    /// `#[target_feature]` fn definitions.
+    pub target_feature_fns: usize,
+    /// Calls to `#[target_feature]` fns dominated by the full
+    /// `is_x86_feature_detected!` set.
+    pub guarded_calls: usize,
+    /// Calls to `#[target_feature]` fns missing a guard — the deny gate
+    /// holds this at zero.
+    pub unguarded_calls: usize,
+}
+
+impl GraphSummary {
+    /// One-object JSON rendering (the artifact published next to the
+    /// JSONL findings report).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"type\":\"callgraph\",\"nodes\":{},\"edges\":{},\"stage_run_fns\":{},\"stage_reachable_fns\":{},\"target_feature_fns\":{},\"guarded_calls\":{},\"unguarded_calls\":{}}}\n",
+            self.nodes,
+            self.edges,
+            self.stage_run_fns,
+            self.stage_reachable_fns,
+            self.target_feature_fns,
+            self.guarded_calls,
+            self.unguarded_calls
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::{FileKind, SourceFile};
+    use std::path::PathBuf;
+
+    fn file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from(rel), rel.into(), FileKind::Lib, src)
+    }
+
+    #[test]
+    fn reachability_crosses_files_and_finds_probes() {
+        let a = file(
+            "crates/a/src/lib.rs",
+            "struct S;\nimpl Stage for S {\n    fn run(&self) { helper(); }\n}\n",
+        );
+        let b = file(
+            "crates/b/src/lib.rs",
+            "pub fn helper() { budget.probe(\"x\"); }\npub fn unrelated() { spin(); }\npub fn spin() {}\n",
+        );
+        let g = CallGraph::build(&[a, b]);
+        assert_eq!(g.stage_run.len(), 1);
+        let helper = g.node_id("crates/b/src/lib.rs", 1).unwrap();
+        let unrelated = g.node_id("crates/b/src/lib.rs", 2).unwrap();
+        let run = g.node_id("crates/a/src/lib.rs", 3).unwrap();
+        assert!(g.stage_reachable[helper]);
+        assert!(g.stage_reachable[run]);
+        assert!(!g.stage_reachable[unrelated]);
+        assert!(g.reaches_probe[helper]);
+        assert!(g.reaches_probe[run], "probe reachable through helper");
+        assert!(!g.reaches_probe[unrelated]);
+    }
+
+    #[test]
+    fn name_collisions_resolve_to_every_definition() {
+        let a = file("a.rs", "fn go() { work(); }\nfn work() {}\n");
+        let b = file("b.rs", "fn work() { probe(); }\n");
+        let g = CallGraph::build(&[a, b]);
+        let go = g.node_id("a.rs", 1).unwrap();
+        assert_eq!(g.edges[go].len(), 2, "both `work` definitions are callees");
+        assert!(g.reaches_probe[go], "over-approximate, never under");
+    }
+}

@@ -10,6 +10,16 @@
 //!     "crates/obs/",        # path prefixes, workspace-relative
 //!     "crates/bench/",
 //! ]
+//!
+//! [rule.cancel-probe-coverage]
+//! min_loop_lines = 10       # loop-size threshold (this rule only)
+//!
+//! # Atomic-ordering policy table: one section per path prefix, naming
+//! # the `Ordering::*` variants the module is allowed to use. The most
+//! # specific (longest) matching prefix wins; a module that uses
+//! # atomics without any matching entry is an undeclared-policy finding.
+//! [atomics."crates/obs/"]
+//! allow = ["Relaxed"]
 //! ```
 //!
 //! Unknown sections and keys are reported as errors rather than ignored:
@@ -57,6 +67,8 @@ pub struct RuleConfig {
     pub level: Level,
     /// Workspace-relative path prefixes the rule skips entirely.
     pub exempt: Vec<String>,
+    /// Loop-size threshold (lines) for `cancel-probe-coverage`.
+    pub min_loop_lines: Option<u32>,
 }
 
 impl Default for RuleConfig {
@@ -64,22 +76,42 @@ impl Default for RuleConfig {
         Self {
             level: Level::Deny,
             exempt: Vec::new(),
+            min_loop_lines: None,
         }
     }
 }
+
+/// One row of the atomic-ordering policy table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AtomicsPolicy {
+    /// Workspace-relative path prefix the row covers.
+    pub prefix: String,
+    /// `Ordering::*` variants the covered modules may use.
+    pub allow: Vec<String>,
+}
+
+/// The five `std::sync::atomic::Ordering` variants (the only values a
+/// policy row may allow).
+pub const ATOMIC_ORDERINGS: &[&str] = &["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// Parsed `lints.toml`.
 #[derive(Clone, Debug, Default)]
 pub struct Config {
     rules: BTreeMap<String, RuleConfig>,
+    atomics: Vec<AtomicsPolicy>,
 }
 
 impl Config {
     /// Parses config text. `known_rules` guards against configuring a
     /// rule that does not exist.
     pub fn parse(text: &str, known_rules: &[&str]) -> Result<Self, String> {
+        enum Section {
+            Rule(String),
+            Atomics(usize),
+        }
         let mut rules: BTreeMap<String, RuleConfig> = BTreeMap::new();
-        let mut current: Option<String> = None;
+        let mut atomics: Vec<AtomicsPolicy> = Vec::new();
+        let mut current: Option<Section> = None;
         let mut lines = text.lines().enumerate().peekable();
         while let Some((ln, raw)) = lines.next() {
             let line = strip_comment(raw).trim();
@@ -88,23 +120,34 @@ impl Config {
             }
             let err = |msg: String| format!("lints.toml:{}: {msg}", ln + 1);
             if let Some(section) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
-                let Some(rule) = section.strip_prefix("rule.") else {
+                if let Some(rule) = section.strip_prefix("rule.") {
+                    if !known_rules.contains(&rule) {
+                        return Err(err(format!("unknown rule '{rule}'")));
+                    }
+                    rules.entry(rule.to_string()).or_default();
+                    current = Some(Section::Rule(rule.to_string()));
+                } else if let Some(prefix) = section.strip_prefix("atomics.") {
+                    let prefix = parse_string(prefix).map_err(&err)?;
+                    if atomics.iter().any(|p| p.prefix == prefix) {
+                        return Err(err(format!("duplicate atomics policy for '{prefix}'")));
+                    }
+                    atomics.push(AtomicsPolicy {
+                        prefix,
+                        allow: Vec::new(),
+                    });
+                    current = Some(Section::Atomics(atomics.len() - 1));
+                } else {
                     return Err(err(format!(
-                        "unknown section '[{section}]' (only [rule.<name>] is supported)"
+                        "unknown section '[{section}]' (expected [rule.<name>] or [atomics.\"<prefix>\"])"
                     )));
-                };
-                if !known_rules.contains(&rule) {
-                    return Err(err(format!("unknown rule '{rule}'")));
                 }
-                rules.entry(rule.to_string()).or_default();
-                current = Some(rule.to_string());
                 continue;
             }
             let Some((key, value)) = line.split_once('=') else {
                 return Err(err(format!("expected 'key = value', got '{line}'")));
             };
-            let Some(rule) = current.clone() else {
-                return Err(err("key outside a [rule.<name>] section".into()));
+            let Some(section) = &current else {
+                return Err(err("key outside a section".into()));
             };
             let key = key.trim();
             let mut value = value.trim().to_string();
@@ -118,22 +161,60 @@ impl Config {
                     }
                 }
             }
-            let entry = rules.entry(rule).or_default();
-            match key {
-                "level" => {
-                    entry.level =
-                        Level::parse(&parse_string(&value).map_err(&err)?).map_err(&err)?
+            match section {
+                Section::Rule(rule) => {
+                    let entry = rules.entry(rule.clone()).or_default();
+                    match key {
+                        "level" => {
+                            entry.level =
+                                Level::parse(&parse_string(&value).map_err(&err)?).map_err(&err)?
+                        }
+                        "exempt" => entry.exempt = parse_string_array(&value).map_err(&err)?,
+                        "min_loop_lines" => {
+                            entry.min_loop_lines =
+                                Some(value.trim().parse::<u32>().map_err(|_| {
+                                    err(format!("expected an integer, got '{}'", value.trim()))
+                                })?)
+                        }
+                        other => return Err(err(format!("unknown key '{other}'"))),
+                    }
                 }
-                "exempt" => entry.exempt = parse_string_array(&value).map_err(&err)?,
-                other => return Err(err(format!("unknown key '{other}'"))),
+                Section::Atomics(idx) => match key {
+                    "allow" => {
+                        let orderings = parse_string_array(&value).map_err(&err)?;
+                        for o in &orderings {
+                            if !ATOMIC_ORDERINGS.contains(&o.as_str()) {
+                                return Err(err(format!(
+                                    "unknown atomic ordering '{o}' (expected one of {ATOMIC_ORDERINGS:?})"
+                                )));
+                            }
+                        }
+                        atomics[*idx].allow = orderings;
+                    }
+                    other => return Err(err(format!("unknown key '{other}'"))),
+                },
             }
         }
-        Ok(Self { rules })
+        Ok(Self { rules, atomics })
     }
 
     /// Configuration for a rule (defaults when not mentioned).
     pub fn rule(&self, id: &str) -> RuleConfig {
         self.rules.get(id).cloned().unwrap_or_default()
+    }
+
+    /// The atomic-ordering policy table (section order preserved).
+    pub fn atomics(&self) -> &[AtomicsPolicy] {
+        &self.atomics
+    }
+
+    /// The policy covering `rel`, if any — the longest matching prefix
+    /// wins, so a file-specific row overrides its crate's row.
+    pub fn atomics_for(&self, rel: &str) -> Option<&AtomicsPolicy> {
+        self.atomics
+            .iter()
+            .filter(|p| rel.starts_with(p.prefix.as_str()))
+            .max_by_key(|p| p.prefix.len())
     }
 
     /// Whether `rel` is exempt from the rule.
@@ -206,6 +287,49 @@ mod tests {
         assert!(Config::parse("[rule.panic]\nwhatever = 3\n", RULES).is_err());
         assert!(Config::parse("[paths]\n", RULES).is_err());
         assert!(Config::parse("level = \"deny\"\n", RULES).is_err());
+    }
+
+    #[test]
+    fn atomics_policy_longest_prefix_wins() {
+        let cfg = Config::parse(
+            "[atomics.\"crates/obs/\"]\nallow = [\"Relaxed\"]\n[atomics.\"crates/obs/src/seal.rs\"]\nallow = [\"Release\", \"Acquire\"]\n",
+            RULES,
+        )
+        .unwrap();
+        assert_eq!(cfg.atomics().len(), 2);
+        assert_eq!(
+            cfg.atomics_for("crates/obs/src/lib.rs").unwrap().allow,
+            vec!["Relaxed"]
+        );
+        assert_eq!(
+            cfg.atomics_for("crates/obs/src/seal.rs").unwrap().allow,
+            vec!["Release", "Acquire"]
+        );
+        assert!(cfg.atomics_for("crates/core/src/lib.rs").is_none());
+    }
+
+    #[test]
+    fn atomics_rejects_unknown_orderings_and_duplicates() {
+        assert!(
+            Config::parse("[atomics.\"a/\"]\nallow = [\"Chaotic\"]\n", RULES).is_err(),
+            "made-up ordering"
+        );
+        assert!(
+            Config::parse(
+                "[atomics.\"a/\"]\nallow = [\"Relaxed\"]\n[atomics.\"a/\"]\nallow = [\"SeqCst\"]\n",
+                RULES
+            )
+            .is_err(),
+            "duplicate prefix"
+        );
+    }
+
+    #[test]
+    fn min_loop_lines_parses_and_rejects_garbage() {
+        let cfg = Config::parse("[rule.panic]\nmin_loop_lines = 12\n", RULES).unwrap();
+        assert_eq!(cfg.rule("panic").min_loop_lines, Some(12));
+        assert_eq!(cfg.rule("det-wallclock").min_loop_lines, None);
+        assert!(Config::parse("[rule.panic]\nmin_loop_lines = \"ten\"\n", RULES).is_err());
     }
 
     #[test]

@@ -1,9 +1,11 @@
 //! Workspace walk + rule driving + suppression/level application.
 
+use crate::callgraph::{CallGraph, GraphSummary};
 use crate::config::{Config, Level};
 use crate::report::{Finding, Report};
-use crate::rules::{all_rules, known_rule_ids, Context};
+use crate::rules::{all_rules, known_rule_ids, Context, LedgerRow, DEFAULT_MIN_LOOP_LINES};
 use crate::scanner::TokKind;
+use crate::semantic;
 use crate::source::{FileKind, SourceFile};
 use std::io;
 use std::path::{Path, PathBuf};
@@ -51,7 +53,7 @@ impl Engine {
     /// Runs every rule over every workspace source file.
     pub fn run(&self) -> io::Result<Report> {
         let files = self.load_files()?;
-        let ctx = build_context(&self.root, &files);
+        let ctx = build_context(&self.root, &files, &self.config);
         let rules = all_rules();
         let mut findings = Vec::new();
         for file in &files {
@@ -74,6 +76,7 @@ impl Engine {
             self.check_markers(file, &mut findings);
         }
         self.check_stale_registries(&files, &ctx, &mut findings);
+        self.check_ledger_rows(&files, &ctx, &mut findings);
         findings.sort_by(|a, b| {
             (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
         });
@@ -81,7 +84,54 @@ impl Engine {
         Ok(Report {
             findings,
             files_scanned: files.len(),
+            graph: summarize_graph(&files, &ctx),
         })
+    }
+
+    /// Engine half of `unsafe-ledger-sync`: rows that point at files the
+    /// walk never saw (moved or deleted), or at files whose unsafe
+    /// surface is gone, are stale claims in the audit trail. (The
+    /// per-file half — unsafe without a row, constructs that vanished —
+    /// lives in `semantic::UnsafeLedgerSync`.)
+    fn check_ledger_rows(&self, files: &[SourceFile], ctx: &Context, findings: &mut Vec<Finding>) {
+        let cfg = self.config.rule("unsafe-ledger-sync");
+        if cfg.level == Level::Off {
+            return;
+        }
+        if !ctx.has_ledger {
+            // Deleting the ledger must not silently disable the rule:
+            // a workspace with unsafe code and no UNSAFE_LEDGER.md fails.
+            if files.iter().any(|f| f.tree.has_unsafe_surface()) {
+                findings.push(Finding {
+                    rule: "unsafe-ledger-sync",
+                    level: cfg.level,
+                    file: "UNSAFE_LEDGER.md".into(),
+                    line: 0,
+                    message: "workspace contains `unsafe`/`#[target_feature]` code but has no UNSAFE_LEDGER.md".into(),
+                });
+            }
+            return;
+        }
+        for row in &ctx.ledger_rows {
+            let message = match files.iter().find(|f| f.rel == row.file) {
+                None => format!(
+                    "ledger row points at `{}`, which is not in the workspace (moved or deleted); fix the path or drop the row",
+                    row.file
+                ),
+                Some(f) if !f.tree.has_unsafe_surface() => format!(
+                    "ledger row is stale: `{}` no longer contains `unsafe` or `#[target_feature]`; drop the row",
+                    row.file
+                ),
+                Some(_) => continue,
+            };
+            findings.push(Finding {
+                rule: "unsafe-ledger-sync",
+                level: cfg.level,
+                file: "UNSAFE_LEDGER.md".into(),
+                line: row.line,
+                message,
+            });
+        }
     }
 
     /// Engine pseudo-rule `bare-allow`: markers must carry a reason
@@ -266,10 +316,12 @@ fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Builds registry context: the `FAILPOINTS` / `NAME_PREFIXES` consts are
-/// read straight from the scanned token streams (so fixtures can ship
-/// their own), and the unsafe ledger from `<root>/UNSAFE_LEDGER.md`.
-fn build_context(root: &Path, files: &[SourceFile]) -> Context {
+/// Builds the shared context: registry consts are read straight from the
+/// scanned token streams (so fixtures can ship their own), the unsafe
+/// ledger from `<root>/UNSAFE_LEDGER.md`, the call graph and feature-fn
+/// table from the per-file item trees, and the atomics policy /
+/// loop-size threshold from `lints.toml`.
+fn build_context(root: &Path, files: &[SourceFile], config: &Config) -> Context {
     let mut ctx = Context::default();
     for file in files {
         extract_const_strings(file, "FAILPOINTS", &mut ctx.failpoints);
@@ -280,18 +332,52 @@ fn build_context(root: &Path, files: &[SourceFile]) -> Context {
     let ledger = root.join("UNSAFE_LEDGER.md");
     if let Ok(text) = std::fs::read_to_string(&ledger) {
         ctx.has_ledger = true;
-        for line in text.lines() {
-            // Markdown table rows whose first cell is a source path.
-            let mut cells = line.split('|').map(str::trim).filter(|c| !c.is_empty());
-            if let Some(first) = cells.next() {
-                let path = first.trim_matches('`');
-                if path.ends_with(".rs") {
-                    ctx.ledger_files.push(path.to_string());
-                }
+        for (ln, line) in text.lines().enumerate() {
+            // Markdown table rows whose first cell is a source path; the
+            // second cell is the construct the row claims exists.
+            let Some(body) = line.trim().strip_prefix('|') else {
+                continue;
+            };
+            let cells: Vec<&str> = body.split('|').map(str::trim).collect();
+            let Some(first) = cells.first() else {
+                continue;
+            };
+            let path = first.trim_matches('`');
+            if path.ends_with(".rs") {
+                ctx.ledger_rows.push(LedgerRow {
+                    file: path.to_string(),
+                    construct: cells.get(1).copied().unwrap_or("").to_string(),
+                    line: ln as u32 + 1,
+                });
             }
         }
     }
+    ctx.feature_fns = semantic::collect_feature_fns(files);
+    ctx.callgraph = CallGraph::build(files);
+    ctx.atomics = config.atomics().to_vec();
+    ctx.min_loop_lines = config
+        .rule("cancel-probe-coverage")
+        .min_loop_lines
+        .unwrap_or(DEFAULT_MIN_LOOP_LINES);
     ctx
+}
+
+/// Aggregates the call-graph numbers published as a CI artifact.
+fn summarize_graph(files: &[SourceFile], ctx: &Context) -> GraphSummary {
+    let (guarded, unguarded) = semantic::feature_call_counts(files, &ctx.feature_fns);
+    GraphSummary {
+        nodes: ctx.callgraph.nodes.len(),
+        edges: ctx.callgraph.edge_count(),
+        stage_run_fns: ctx.callgraph.stage_run.len(),
+        stage_reachable_fns: ctx.callgraph.stage_reachable.iter().filter(|&&b| b).count(),
+        target_feature_fns: files
+            .iter()
+            .flat_map(|f| &f.tree.fns)
+            .filter(|f| !f.features.is_empty())
+            .count(),
+        guarded_calls: guarded,
+        unguarded_calls: unguarded,
+    }
 }
 
 /// Collects the string literals of `pub const <NAME>: &[&str] = [ … ]`.

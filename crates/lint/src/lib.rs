@@ -6,30 +6,41 @@
 //! into serialized paths, no stray wall-clock reads, no unaudited
 //! `unsafe`, no undocumented panics, and registries that actually cover
 //! the failpoint / telemetry surface. This crate encodes those
-//! invariants as rules over a line-aware token scan of the workspace,
-//! with:
+//! invariants as rules over a line-aware token scan of the workspace.
+//! On top of the token stream sits a lightweight analysis layer — an
+//! item-tree parser (`syntax`) and an intra-workspace call graph
+//! (`callgraph`) — powering the semantic rules: feature-guard
+//! dominance, unsafe-ledger sync, the atomic-ordering policy table, and
+//! cancel-probe coverage. The toolbox:
 //!
-//! - per-rule config + path exemptions in `lints.toml`,
+//! - per-rule config, path exemptions, and the `[atomics."<prefix>"]`
+//!   policy table in `lints.toml`,
 //! - inline suppressions: `// vaer-lint: allow(<rule>) -- <reason>`
 //!   (the reason is mandatory; a bare marker suppresses nothing and is
 //!   itself reported),
-//! - human-table and JSONL reports (`--format json`),
+//! - human-table and JSONL reports (`--format json`), plus a call-graph
+//!   summary artifact (`--graph <path>`),
 //! - a `--deny` CI gate that exits nonzero on any deny-level finding.
 //!
 //! Run it as `cargo run -p vaer-lint -- --deny` from the workspace root.
 //! The rule catalogue and suppression policy are documented in
-//! DESIGN.md §11.
+//! DESIGN.md §11; the analysis layer in DESIGN.md §16.
 
+mod callgraph;
 mod config;
 mod engine;
 mod report;
 mod rules;
 mod scanner;
+mod semantic;
 mod source;
+mod syntax;
 
-pub use config::{Config, Level, RuleConfig};
+pub use callgraph::{CallGraph, GraphSummary, Node, PROBE_NAMES};
+pub use config::{AtomicsPolicy, Config, Level, RuleConfig, ATOMIC_ORDERINGS};
 pub use engine::Engine;
 pub use report::{Finding, Report};
-pub use rules::{all_rules, known_rule_ids, Context, Rule};
+pub use rules::{all_rules, known_rule_ids, Context, LedgerRow, Rule};
 pub use scanner::{scan, Tok, TokKind};
 pub use source::{AllowMarker, FileKind, SourceFile};
+pub use syntax::{Call, FnItem, GuardRegion, ItemTree, LoopSpan};

@@ -11,6 +11,7 @@ USAGE:
 OPTIONS:
     --root <path>      Workspace root to scan (default: .)
     --format <fmt>     Output format: human (default) or json (JSONL)
+    --graph <path>     Write the call-graph summary (JSON) to <path>
     --deny             Exit nonzero when any deny-level finding remains
     --list-rules       Print the rule catalogue and exit
     --help             Show this help
@@ -19,6 +20,7 @@ OPTIONS:
 fn main() -> ExitCode {
     let mut root = String::from(".");
     let mut format = String::from("human");
+    let mut graph_path: Option<String> = None;
     let mut deny = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -26,6 +28,10 @@ fn main() -> ExitCode {
             "--root" => match args.next() {
                 Some(v) => root = v,
                 None => return fail("--root needs a value"),
+            },
+            "--graph" => match args.next() {
+                Some(v) => graph_path = Some(v),
+                None => return fail("--graph needs a value"),
             },
             "--format" => match args.next() {
                 Some(v) if v == "human" || v == "json" => format = v,
@@ -65,6 +71,11 @@ fn main() -> ExitCode {
     match format.as_str() {
         "json" => print!("{}", report.jsonl()),
         _ => print!("{}", report.human()),
+    }
+    if let Some(path) = graph_path {
+        if let Err(e) = std::fs::write(&path, report.graph.to_json()) {
+            return fail(&format!("writing {path}: {e}"));
+        }
     }
     let denials = report.denials().count();
     if deny && denials > 0 {

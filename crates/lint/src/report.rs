@@ -2,6 +2,7 @@
 //! `vaer_obs::ObsSink::summary()`, and machine-readable JSONL matching
 //! the obs export convention (one self-describing object per line).
 
+use crate::callgraph::GraphSummary;
 use crate::config::Level;
 
 /// One rule violation.
@@ -26,6 +27,8 @@ pub struct Report {
     pub findings: Vec<Finding>,
     /// Number of files scanned.
     pub files_scanned: usize,
+    /// Call-graph aggregates (published as a CI artifact via `--graph`).
+    pub graph: GraphSummary,
 }
 
 impl Report {
@@ -127,6 +130,7 @@ mod tests {
                 message: "bare `unwrap()` in library code".into(),
             }],
             files_scanned: 3,
+            graph: GraphSummary::default(),
         }
     }
 

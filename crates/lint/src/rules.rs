@@ -2,13 +2,33 @@
 //! findings; the engine applies config levels, path exemptions, and
 //! inline allow markers afterwards.
 
-use crate::config::Level;
+use crate::callgraph::CallGraph;
+use crate::config::{AtomicsPolicy, Level};
 use crate::report::Finding;
 use crate::scanner::{Tok, TokKind};
+use crate::semantic::{
+    AtomicOrderingPolicy, CancelProbeCoverage, FeatureGuardDominance, UnsafeLedgerSync,
+};
 use crate::source::{FileKind, SourceFile};
+use std::collections::BTreeMap;
 
-/// Workspace-level facts shared by registry-backed rules.
-#[derive(Clone, Debug, Default)]
+/// Loop-size threshold for `cancel-probe-coverage` when `lints.toml`
+/// does not override it.
+pub const DEFAULT_MIN_LOOP_LINES: u32 = 8;
+
+/// One parsed `UNSAFE_LEDGER.md` table row.
+#[derive(Clone, Debug)]
+pub struct LedgerRow {
+    /// Workspace-relative path from the first cell.
+    pub file: String,
+    /// The Construct cell — what the row claims the file contains.
+    pub construct: String,
+    /// 1-based line of the row in the ledger.
+    pub line: u32,
+}
+
+/// Workspace-level facts shared by registry-backed and semantic rules.
+#[derive(Clone, Debug)]
 pub struct Context {
     /// Names in `vaer_fault`'s `FAILPOINTS` registry const.
     pub failpoints: Vec<String>,
@@ -18,10 +38,35 @@ pub struct Context {
     pub env_knobs: Vec<String>,
     /// Degradation names in `vaer_core`'s `DEGRADATIONS` registry const.
     pub degradations: Vec<String>,
-    /// Files listed in `UNSAFE_LEDGER.md`.
-    pub ledger_files: Vec<String>,
+    /// Rows parsed from `UNSAFE_LEDGER.md`.
+    pub ledger_rows: Vec<LedgerRow>,
     /// Whether an `UNSAFE_LEDGER.md` was found at the workspace root.
     pub has_ledger: bool,
+    /// `#[target_feature]` fn name -> required feature set, workspace-wide.
+    pub feature_fns: BTreeMap<String, Vec<String>>,
+    /// The intra-workspace call graph.
+    pub callgraph: CallGraph,
+    /// The `[atomics."<prefix>"]` policy table from `lints.toml`.
+    pub atomics: Vec<AtomicsPolicy>,
+    /// Loop-size threshold for `cancel-probe-coverage`.
+    pub min_loop_lines: u32,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self {
+            failpoints: Vec::new(),
+            obs_prefixes: Vec::new(),
+            env_knobs: Vec::new(),
+            degradations: Vec::new(),
+            ledger_rows: Vec::new(),
+            has_ledger: false,
+            feature_fns: BTreeMap::new(),
+            callgraph: CallGraph::default(),
+            atomics: Vec::new(),
+            min_loop_lines: DEFAULT_MIN_LOOP_LINES,
+        }
+    }
 }
 
 /// A single lint rule.
@@ -48,6 +93,10 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(ObsRegistry),
         Box::new(StageRegistry),
         Box::new(DegradationRegistry),
+        Box::new(FeatureGuardDominance),
+        Box::new(UnsafeLedgerSync),
+        Box::new(AtomicOrderingPolicy),
+        Box::new(CancelProbeCoverage),
     ]
 }
 
@@ -60,7 +109,12 @@ pub fn known_rule_ids() -> Vec<&'static str> {
     ids
 }
 
-fn finding(file: &SourceFile, rule: &'static str, line: u32, message: String) -> Finding {
+pub(crate) fn finding(
+    file: &SourceFile,
+    rule: &'static str,
+    line: u32,
+    message: String,
+) -> Finding {
     Finding {
         rule,
         level: Level::Deny,
@@ -71,13 +125,13 @@ fn finding(file: &SourceFile, rule: &'static str, line: u32, message: String) ->
 }
 
 /// Indices of non-comment tokens, the stream rules pattern-match over.
-fn code(file: &SourceFile) -> Vec<&Tok> {
+pub(crate) fn code(file: &SourceFile) -> Vec<&Tok> {
     file.toks.iter().filter(|t| !t.is_comment()).collect()
 }
 
 /// Marks which code-token positions sit inside a `use …;` declaration,
 /// so type-name rules flag usage sites rather than imports.
-fn in_use_decl(code: &[&Tok]) -> Vec<bool> {
+pub(crate) fn in_use_decl(code: &[&Tok]) -> Vec<bool> {
     let mut marks = vec![false; code.len()];
     let mut i = 0;
     while i < code.len() {
@@ -213,8 +267,8 @@ impl Rule for DetThreadSpawn {
 
 /// safety: every `unsafe` occurrence (blocks, fns, impls) and every
 /// `#[target_feature]` fn must carry a `// SAFETY:` comment just above
-/// (or on) its line, and the file must be registered in
-/// `UNSAFE_LEDGER.md` so reviewers have one place to audit.
+/// (or on) its line. Ledger membership is the `unsafe-ledger-sync`
+/// rule's job.
 struct SafetyComment;
 
 impl SafetyComment {
@@ -226,31 +280,13 @@ impl SafetyComment {
         })
     }
 
-    fn require(
-        &self,
-        file: &SourceFile,
-        ctx: &Context,
-        line: u32,
-        what: &str,
-        out: &mut Vec<Finding>,
-    ) {
+    fn require(&self, file: &SourceFile, line: u32, what: &str, out: &mut Vec<Finding>) {
         if !Self::has_safety_comment(file, line) {
             out.push(finding(
                 file,
                 self.id(),
                 line,
                 format!("{what} without a `// SAFETY:` comment on or directly above it"),
-            ));
-        }
-        if ctx.has_ledger && !ctx.ledger_files.iter().any(|f| f == &file.rel) {
-            out.push(finding(
-                file,
-                self.id(),
-                line,
-                format!(
-                    "{what} in a file missing from UNSAFE_LEDGER.md; add a ledger row for `{}`",
-                    file.rel
-                ),
             ));
         }
     }
@@ -261,9 +297,9 @@ impl Rule for SafetyComment {
         "safety-comment"
     }
     fn description(&self) -> &'static str {
-        "unsafe blocks/fns and #[target_feature] need a SAFETY: comment and an UNSAFE_LEDGER.md row"
+        "unsafe blocks/fns and #[target_feature] need a SAFETY: comment on or directly above them"
     }
-    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+    fn check(&self, file: &SourceFile, _ctx: &Context, out: &mut Vec<Finding>) {
         if file.kind != FileKind::Lib {
             return;
         }
@@ -273,7 +309,7 @@ impl Rule for SafetyComment {
                 continue;
             }
             if t.is_ident("unsafe") {
-                self.require(file, ctx, t.line, "`unsafe`", out);
+                self.require(file, t.line, "`unsafe`", out);
             }
             // `#[target_feature(...)]` — the call contract (CPU must
             // support the feature) is an unsafe-style obligation.
@@ -282,7 +318,7 @@ impl Rule for SafetyComment {
                 && code[i - 1].is_punct("[")
                 && code[i - 2].is_punct("#")
             {
-                self.require(file, ctx, t.line, "`#[target_feature]`", out);
+                self.require(file, t.line, "`#[target_feature]`", out);
             }
         }
     }
@@ -665,20 +701,12 @@ mod tests {
     }
 
     #[test]
-    fn unsafe_needs_comment_and_ledger() {
-        let ctx = Context {
-            has_ledger: true,
-            ..Context::default()
-        };
+    fn unsafe_needs_comment() {
+        let ctx = Context::default();
         let f = run(&SafetyComment, "fn f() { unsafe { work() } }", &ctx);
-        assert_eq!(f.len(), 2, "missing comment AND missing ledger row: {f:?}");
+        assert_eq!(f.len(), 1, "missing SAFETY comment: {f:?}");
         let ok_src = "fn f() {\n    // SAFETY: bounds checked above.\n    unsafe { work() }\n}";
-        let ctx2 = Context {
-            has_ledger: true,
-            ledger_files: vec!["crates/x/src/lib.rs".into()],
-            ..Context::default()
-        };
-        assert!(run(&SafetyComment, ok_src, &ctx2).is_empty());
+        assert!(run(&SafetyComment, ok_src, &ctx).is_empty());
     }
 
     #[test]

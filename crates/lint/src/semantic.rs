@@ -1,0 +1,500 @@
+//! The semantic rule set: rules that consume the item tree and call
+//! graph (`syntax.rs` / `callgraph.rs`) rather than raw token windows.
+//!
+//! These four rules turn hand-maintained safety conventions into
+//! machine-checked contracts:
+//!
+//! - `feature-guard-dominance` — every call to a `#[target_feature]` fn
+//!   is dominated by `is_x86_feature_detected!` checks covering the
+//!   callee's full feature set (or the caller itself enables them).
+//! - `unsafe-ledger-sync` — `UNSAFE_LEDGER.md` rows and actual unsafe /
+//!   `target_feature` sites are diffed both ways: unsafe without a row,
+//!   rows whose named constructs vanished, and rows pointing at moved
+//!   or cleaned-up files (the last two via the engine pass) all fail.
+//! - `atomic-ordering-policy` — every `Ordering::*` argument is checked
+//!   against the `[atomics."<prefix>"]` policy table in `lints.toml`;
+//!   atomics in an undeclared module are themselves a finding.
+//! - `cancel-probe-coverage` — every sufficiently large loop in a fn
+//!   reachable from a `Stage::run` impl must contain a `CancelToken` /
+//!   `RunBudget` probe call, directly or through a callee that probes
+//!   (call-graph reachability, not per-file grepping).
+
+use crate::config::{AtomicsPolicy, ATOMIC_ORDERINGS};
+use crate::report::Finding;
+use crate::rules::{code, finding, in_use_decl, Context, Rule};
+use crate::scanner::TokKind;
+use crate::source::{FileKind, SourceFile};
+use crate::syntax::{Call, FnItem};
+use std::collections::BTreeMap;
+
+/// Collects `#[target_feature]` fns by name across the workspace. A
+/// name defined twice with different sets requires the union — the
+/// over-approximation errs toward demanding more guarding, never less.
+pub fn collect_feature_fns(files: &[SourceFile]) -> BTreeMap<String, Vec<String>> {
+    let mut out: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for file in files {
+        for f in &file.tree.fns {
+            if f.features.is_empty() {
+                continue;
+            }
+            let entry = out.entry(f.name.clone()).or_default();
+            for feat in &f.features {
+                if !entry.contains(feat) {
+                    entry.push(feat.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The features `call` requires but is not guarded for: `None` when the
+/// callee is not a `#[target_feature]` fn, `Some(vec![])` when fully
+/// dominated (guard regions at the call line plus the caller's own
+/// feature set cover the callee's requirements), `Some(missing)` when a
+/// path reaches the intrinsic without proof the CPU supports it.
+pub(crate) fn missing_guard_features(
+    file: &SourceFile,
+    caller: &FnItem,
+    call: &Call,
+    feature_fns: &BTreeMap<String, Vec<String>>,
+) -> Option<Vec<String>> {
+    let required = feature_fns.get(&call.name)?;
+    let guarded = file.tree.guard_features_at(call.line);
+    Some(
+        required
+            .iter()
+            .filter(|r| !guarded.contains(&r.as_str()) && !caller.features.iter().any(|c| c == *r))
+            .cloned()
+            .collect(),
+    )
+}
+
+/// Counts (guarded, unguarded) calls to `#[target_feature]` fns across
+/// the workspace — the call-graph summary's headline numbers.
+pub fn feature_call_counts(
+    files: &[SourceFile],
+    feature_fns: &BTreeMap<String, Vec<String>>,
+) -> (usize, usize) {
+    let mut guarded = 0usize;
+    let mut unguarded = 0usize;
+    for file in files {
+        for f in &file.tree.fns {
+            for call in &f.calls {
+                match missing_guard_features(file, f, call, feature_fns) {
+                    Some(missing) if missing.is_empty() => guarded += 1,
+                    Some(_) => unguarded += 1,
+                    None => {}
+                }
+            }
+        }
+    }
+    (guarded, unguarded)
+}
+
+/// safety: a `#[target_feature(enable = "X")]` fn compiled for X may use
+/// instructions the running CPU lacks; calling one is only sound after a
+/// dynamic `is_x86_feature_detected!("X")` check (or from a caller that
+/// already enables X). The rule demands the *exact* feature set: a
+/// weaker guard (`avx2` around an `avx512vnni` kernel) is a finding.
+pub struct FeatureGuardDominance;
+
+impl Rule for FeatureGuardDominance {
+    fn id(&self) -> &'static str {
+        "feature-guard-dominance"
+    }
+    fn description(&self) -> &'static str {
+        "calls to #[target_feature] fns need a dominating is_x86_feature_detected! guard for the full set"
+    }
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+        // Applies to every file kind and to test code: an unguarded
+        // tier call SIGILLs on older CPUs wherever it lives.
+        for f in &file.tree.fns {
+            for call in &f.calls {
+                let Some(missing) = missing_guard_features(file, f, call, &ctx.feature_fns) else {
+                    continue;
+                };
+                if missing.is_empty() {
+                    continue;
+                }
+                out.push(finding(
+                    file,
+                    self.id(),
+                    call.line,
+                    format!(
+                        "call to `{}` is not dominated by is_x86_feature_detected! checks for {}; guard the call or enable the feature on `{}`",
+                        call.name,
+                        quote_list(&missing),
+                        f.name
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// safety: `UNSAFE_LEDGER.md` is the single audit surface for unsafe
+/// code, so it must stay in sync mechanically. This per-file half flags
+/// unsafe surface without a ledger row and rows whose backticked
+/// construct names no longer appear in the file; the engine pass
+/// (`check_ledger_rows`) flags rows pointing at moved or cleaned files.
+pub struct UnsafeLedgerSync;
+
+impl Rule for UnsafeLedgerSync {
+    fn id(&self) -> &'static str {
+        "unsafe-ledger-sync"
+    }
+    fn description(&self) -> &'static str {
+        "UNSAFE_LEDGER.md rows must match actual unsafe/target_feature sites (missing, stale, or moved rows fail)"
+    }
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+        if !ctx.has_ledger {
+            return;
+        }
+        let rows: Vec<_> = ctx
+            .ledger_rows
+            .iter()
+            .filter(|r| r.file == file.rel)
+            .collect();
+        if file.tree.has_unsafe_surface() && rows.is_empty() {
+            let line = file
+                .tree
+                .unsafe_lines
+                .iter()
+                .chain(&file.tree.target_feature_lines)
+                .min()
+                .copied()
+                .unwrap_or(1);
+            out.push(finding(
+                file,
+                self.id(),
+                line,
+                format!(
+                    "unsafe surface in `{}` has no UNSAFE_LEDGER.md row; add one describing the construct and its audit story",
+                    file.rel
+                ),
+            ));
+        }
+        for row in rows {
+            for ident in construct_idents(&row.construct) {
+                if !file.src.contains(&ident) {
+                    out.push(Finding {
+                        rule: self.id(),
+                        level: crate::config::Level::Deny,
+                        file: "UNSAFE_LEDGER.md".into(),
+                        line: row.line,
+                        message: format!(
+                            "ledger row for `{}` names `{ident}`, which no longer appears in the file; update the row to match the code",
+                            file.rel
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Identifier-shaped backticked names in a ledger row's construct cell
+/// (length >= 3, word characters only) — the claims the row makes about
+/// what the file contains, checked by substring against the source.
+pub(crate) fn construct_idents(construct: &str) -> Vec<String> {
+    construct
+        .split('`')
+        .skip(1)
+        .step_by(2)
+        .filter(|s| s.len() >= 3 && s.chars().all(|c| c.is_alphanumeric() || c == '_'))
+        .map(str::to_string)
+        .collect()
+}
+
+/// concurrency: memory orderings are a per-module design decision (the
+/// alloc hook must never synchronize, the fault checkpoint seal needs
+/// Release), not a per-call-site improvisation. Every `Ordering::*`
+/// argument must fall under a declared `[atomics."<prefix>"]` policy in
+/// `lints.toml` allowing that variant.
+pub struct AtomicOrderingPolicy;
+
+impl Rule for AtomicOrderingPolicy {
+    fn id(&self) -> &'static str {
+        "atomic-ordering-policy"
+    }
+    fn description(&self) -> &'static str {
+        "Ordering::* arguments must match the module's declared [atomics] policy in lints.toml"
+    }
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        let code = code(file);
+        let uses = in_use_decl(&code);
+        for i in 0..code.len().saturating_sub(3) {
+            if !code[i].is_ident("Ordering")
+                || !code[i + 1].is_punct(":")
+                || !code[i + 2].is_punct(":")
+                || code[i + 3].kind != TokKind::Ident
+                || uses[i]
+                || file.is_test_line(code[i].line)
+            {
+                continue;
+            }
+            let ord = code[i + 3].text.as_str();
+            // `cmp::Ordering::{Less, Equal, Greater}` share the type
+            // name but not the variants; only atomic orderings match.
+            if !ATOMIC_ORDERINGS.contains(&ord) {
+                continue;
+            }
+            let line = code[i].line;
+            match policy_for(&ctx.atomics, &file.rel) {
+                None => out.push(finding(
+                    file,
+                    self.id(),
+                    line,
+                    format!(
+                        "`Ordering::{ord}` in a module with no declared atomics policy; add an [atomics.\"...\"] section for `{}` to lints.toml",
+                        file.rel
+                    ),
+                )),
+                Some(p) if !p.allow.iter().any(|a| a == ord) => out.push(finding(
+                    file,
+                    self.id(),
+                    line,
+                    format!(
+                        "`Ordering::{ord}` violates the `[atomics.\"{}\"]` policy (allowed: {}); use an allowed ordering or change the declared policy",
+                        p.prefix,
+                        quote_list(&p.allow)
+                    ),
+                )),
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// The policy covering `rel` — longest matching prefix wins, so a
+/// file-specific row overrides its crate's row.
+fn policy_for<'a>(policies: &'a [AtomicsPolicy], rel: &str) -> Option<&'a AtomicsPolicy> {
+    policies
+        .iter()
+        .filter(|p| rel.starts_with(p.prefix.as_str()))
+        .max_by_key(|p| p.prefix.len())
+}
+
+/// resilience: PR 9's contract — cancellation is cooperative, so every
+/// stage-reachable loop big enough to matter must hit a `CancelToken` /
+/// `RunBudget` probe. Reachability runs over the call graph: a loop
+/// whose body calls a helper that probes is covered; a loop nothing
+/// probes inside is a stall window the executor cannot interrupt.
+pub struct CancelProbeCoverage;
+
+impl Rule for CancelProbeCoverage {
+    fn id(&self) -> &'static str {
+        "cancel-probe-coverage"
+    }
+    fn description(&self) -> &'static str {
+        "loops reachable from Stage::run above min_loop_lines must reach a CancelToken/RunBudget probe"
+    }
+    fn check(&self, file: &SourceFile, ctx: &Context, out: &mut Vec<Finding>) {
+        if file.kind != FileKind::Lib {
+            return;
+        }
+        let g = &ctx.callgraph;
+        for f in &file.tree.fns {
+            let reachable = g
+                .node_id(&file.rel, f.line)
+                .is_some_and(|id| g.stage_reachable[id]);
+            if !reachable {
+                continue;
+            }
+            for lp in &f.loops {
+                if file.is_test_line(lp.line) {
+                    continue;
+                }
+                let span = lp.end_line.saturating_sub(lp.line) + 1;
+                if span < ctx.min_loop_lines {
+                    continue;
+                }
+                let probed = f.calls.iter().any(|c| {
+                    c.line >= lp.line
+                        && c.line <= lp.end_line
+                        && (crate::callgraph::PROBE_NAMES.contains(&c.name.as_str())
+                            || g.name_reaches_probe(&c.name))
+                });
+                if !probed {
+                    out.push(finding(
+                        file,
+                        self.id(),
+                        lp.line,
+                        format!(
+                            "{span}-line loop in stage-reachable `{}` never reaches a CancelToken/RunBudget probe; add a probe call on the loop body's path",
+                            f.name
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+fn quote_list(items: &[String]) -> String {
+    items
+        .iter()
+        .map(|i| format!("`{i}`"))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use crate::rules::LedgerRow;
+    use std::path::PathBuf;
+
+    fn lib_file(rel: &str, src: &str) -> SourceFile {
+        SourceFile::parse(PathBuf::from(rel), rel.into(), FileKind::Lib, src)
+    }
+
+    fn run_on(rule: &dyn Rule, file: &SourceFile, ctx: &Context) -> Vec<Finding> {
+        let mut out = Vec::new();
+        rule.check(file, ctx, &mut out);
+        out
+    }
+
+    const KERNELS: &str = "#[target_feature(enable = \"avx2\")]\nunsafe fn fast(_x: u32) {}\n\
+                           #[target_feature(enable = \"avx512f,avx512vnni\")]\nunsafe fn faster(_x: u32) {}\n";
+
+    #[test]
+    fn feature_guard_requires_the_exact_set() {
+        let src = format!(
+            "{KERNELS}fn dispatch(x: u32) {{\n    if is_x86_feature_detected!(\"avx2\") {{\n        unsafe {{ fast(x) }}\n    }}\n    if is_x86_feature_detected!(\"avx2\") {{\n        unsafe {{ faster(x) }}\n    }}\n    unsafe {{ fast(x) }}\n}}\n"
+        );
+        let file = lib_file("crates/x/src/lib.rs", &src);
+        let ctx = Context {
+            feature_fns: collect_feature_fns(std::slice::from_ref(&file)),
+            ..Context::default()
+        };
+        let f = run_on(&FeatureGuardDominance, &file, &ctx);
+        assert_eq!(f.len(), 2, "{f:?}");
+        assert!(
+            f[0].message.contains("faster") && f[0].message.contains("avx512"),
+            "weaker guard is not enough: {f:?}"
+        );
+        assert!(f[1].message.contains("`fast`"), "unguarded call: {f:?}");
+        let (guarded, unguarded) =
+            feature_call_counts(std::slice::from_ref(&file), &ctx.feature_fns);
+        assert_eq!((guarded, unguarded), (1, 2));
+    }
+
+    #[test]
+    fn feature_guard_accepts_callers_own_features() {
+        let src = "#[target_feature(enable = \"avx2\")]\nunsafe fn inner(_x: u32) {}\n\
+                   #[target_feature(enable = \"avx2\")]\nunsafe fn outer(x: u32) { unsafe { inner(x) } }\n";
+        let file = lib_file("crates/x/src/lib.rs", src);
+        let ctx = Context {
+            feature_fns: collect_feature_fns(std::slice::from_ref(&file)),
+            ..Context::default()
+        };
+        assert!(run_on(&FeatureGuardDominance, &file, &ctx).is_empty());
+    }
+
+    #[test]
+    fn ledger_sync_flags_missing_rows_and_stale_constructs() {
+        let file = lib_file(
+            "crates/x/src/lib.rs",
+            "pub fn read(p: *const u8) -> u8 {\n    // SAFETY: caller contract.\n    unsafe { *p }\n}\n",
+        );
+        let ctx = Context {
+            has_ledger: true,
+            ..Context::default()
+        };
+        let f = run_on(&UnsafeLedgerSync, &file, &ctx);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("no UNSAFE_LEDGER.md row"));
+
+        let good_row = Context {
+            has_ledger: true,
+            ledger_rows: vec![LedgerRow {
+                file: "crates/x/src/lib.rs".into(),
+                construct: "`unsafe` deref in `read`".into(),
+                line: 14,
+            }],
+            ..Context::default()
+        };
+        assert!(run_on(&UnsafeLedgerSync, &file, &good_row).is_empty());
+
+        let stale_row = Context {
+            has_ledger: true,
+            ledger_rows: vec![LedgerRow {
+                file: "crates/x/src/lib.rs".into(),
+                construct: "`unsafe` deref in `read_volatile_twice`".into(),
+                line: 14,
+            }],
+            ..Context::default()
+        };
+        let f = run_on(&UnsafeLedgerSync, &file, &stale_row);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].file, "UNSAFE_LEDGER.md");
+        assert_eq!(f[0].line, 14);
+        assert!(f[0].message.contains("read_volatile_twice"));
+    }
+
+    #[test]
+    fn construct_ident_extraction_keeps_names_only() {
+        let c = "`unsafe` block in `i8_microkernel_vnni` behind `#[target_feature(enable = \"avx512f\")]`";
+        assert_eq!(
+            construct_idents(c),
+            vec!["unsafe".to_string(), "i8_microkernel_vnni".to_string()]
+        );
+        assert!(construct_idents("plain words, no backticks").is_empty());
+    }
+
+    #[test]
+    fn atomic_policy_checks_declared_and_undeclared_modules() {
+        let src = "use std::sync::atomic::{AtomicU64, Ordering};\n\
+                   pub fn bump(c: &AtomicU64) { c.fetch_add(1, Ordering::Relaxed); }\n\
+                   pub fn seal(c: &AtomicU64) { c.store(1, Ordering::SeqCst); }\n\
+                   pub fn order(a: u32, b: u32) -> std::cmp::Ordering { a.cmp(&b) }\n";
+        let declared = lib_file("crates/obs/src/lib.rs", src);
+        let ctx = Context {
+            atomics: vec![AtomicsPolicy {
+                prefix: "crates/obs/".into(),
+                allow: vec!["Relaxed".into()],
+            }],
+            ..Context::default()
+        };
+        let f = run_on(&AtomicOrderingPolicy, &declared, &ctx);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("SeqCst") && f[0].message.contains("crates/obs/"));
+
+        let undeclared = lib_file("crates/core/src/lib.rs", src);
+        let f = run_on(&AtomicOrderingPolicy, &undeclared, &ctx);
+        assert_eq!(f.len(), 2, "both orderings are undeclared: {f:?}");
+        assert!(f
+            .iter()
+            .all(|x| x.message.contains("no declared atomics policy")));
+    }
+
+    #[test]
+    fn cancel_probe_walks_the_call_graph() {
+        let stage = lib_file(
+            "crates/a/src/lib.rs",
+            "struct S;\nimpl Stage for S {\n    fn run(&self) {\n        for i in 0..10 {\n            let _ = i;\n            touch();\n            touch();\n            touch();\n        }\n        for j in 0..10 {\n            let _ = j;\n            helper();\n            touch();\n            touch();\n        }\n    }\n}\npub fn touch() {}\n",
+        );
+        let lib = lib_file(
+            "crates/b/src/lib.rs",
+            "pub fn helper(b: &Budget) { b.probe(\"b.helper\"); }\n\
+             pub fn free_loop() {\n    for k in 0..10 {\n        let _ = k;\n        let _ = k;\n        let _ = k;\n        let _ = k;\n    }\n}\n",
+        );
+        let files = vec![stage, lib];
+        let ctx = Context {
+            callgraph: CallGraph::build(&files),
+            min_loop_lines: 4,
+            ..Context::default()
+        };
+        let f = run_on(&CancelProbeCoverage, &files[0], &ctx);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].line, 4, "only the probe-free loop fires: {f:?}");
+        // `free_loop` is not stage-reachable, so its loop is fine.
+        assert!(run_on(&CancelProbeCoverage, &files[1], &ctx).is_empty());
+    }
+}

@@ -3,6 +3,7 @@
 //! fall inside functions documented with a `# Panics` section.
 
 use crate::scanner::{scan, Tok, TokKind};
+use crate::syntax::{self, ItemTree};
 use std::path::PathBuf;
 
 /// How a file entered the workspace walk. Rules use this to decide
@@ -44,6 +45,10 @@ pub struct SourceFile {
     pub kind: FileKind,
     /// Token stream.
     pub toks: Vec<Tok>,
+    /// Item tree: fns, calls, loops, attributes, guard regions.
+    pub tree: ItemTree,
+    /// Raw source text (the ledger-sync rule greps construct names).
+    pub src: String,
     /// Total number of lines.
     pub num_lines: u32,
     /// `true` for each 1-based line inside a `#[cfg(test)]` item.
@@ -63,11 +68,14 @@ impl SourceFile {
         let test_lines = mark_cfg_test_regions(&toks, num_lines);
         let panics_doc_lines = mark_panics_doc_fns(&toks, num_lines);
         let allows = collect_allow_markers(&toks);
+        let tree = syntax::parse(&toks);
         Self {
             path,
             rel,
             kind,
             toks,
+            tree,
+            src: src.to_string(),
             num_lines,
             test_lines,
             panics_doc_lines,
@@ -243,13 +251,20 @@ fn mark_panics_doc_fns(toks: &[Tok], num_lines: u32) -> Vec<bool> {
         };
         let mut m = fn_pos + 1;
         let mut open = None;
+        // Track paren/bracket depth so a `;` inside an array type in the
+        // signature (`[[i32; N]; M]`) is not mistaken for a bodyless
+        // trait-method declaration.
+        let mut depth = 0i32;
         while m < code.len() {
             let t = code[m].1;
-            if t.is_punct("{") {
+            if t.is_punct("(") || t.is_punct("[") {
+                depth += 1;
+            } else if t.is_punct(")") || t.is_punct("]") {
+                depth -= 1;
+            } else if t.is_punct("{") && depth == 0 {
                 open = Some(m);
                 break;
-            }
-            if t.is_punct(";") {
+            } else if t.is_punct(";") && depth == 0 {
                 break; // trait method declaration, no body
             }
             m += 1;
@@ -325,6 +340,15 @@ mod tests {
         let f = file(src);
         assert!(f.in_panics_documented_fn(6));
         assert!(!f.in_panics_documented_fn(9));
+    }
+
+    #[test]
+    fn panics_doc_survives_semicolons_in_array_types() {
+        // `[[i32; 4]; 2]` puts `;` tokens in the signature; they must
+        // not be read as a bodyless trait-method declaration.
+        let src = "/// # Panics\n/// When y.\nfn f(acc: &mut [[i32; 4]; 2]) {\n  assert!(acc[0][0] == 0);\n}\n";
+        let f = file(src);
+        assert!(f.in_panics_documented_fn(4));
     }
 
     #[test]

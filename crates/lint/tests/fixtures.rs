@@ -47,8 +47,8 @@ fn golden_findings_snapshot() {
     );
 }
 
-/// Each of the nine rules (plus both engine pseudo-rules) is exercised
-/// by at least one fixture finding.
+/// Every rule — token-level and semantic — plus both engine
+/// pseudo-rules is exercised by at least one fixture finding.
 #[test]
 fn every_rule_has_a_fixture() {
     let report = run_fixture();

@@ -1,0 +1,232 @@
+//! Mutation tests for the semantic safety contracts: the workspace as
+//! checked in passes, and deleting any `is_x86_feature_detected!`
+//! guard or any `UNSAFE_LEDGER.md` row makes the lint fail.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use vaer_lint::{all_rules, Context, Engine, FileKind, Finding, Rule, SourceFile};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn rule(id: &str) -> Box<dyn Rule> {
+    all_rules()
+        .into_iter()
+        .find(|r| r.id() == id)
+        .unwrap_or_else(|| panic!("rule `{id}` exists"))
+}
+
+fn parse(rel: &str, src: &str) -> SourceFile {
+    SourceFile::parse(PathBuf::from(rel), rel.to_string(), FileKind::Lib, src)
+}
+
+/// Context with `feature_fns` collected from the given file, the way
+/// the engine does it workspace-wide.
+fn guard_ctx(file: &SourceFile) -> Context {
+    let mut feature_fns: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for f in &file.tree.fns {
+        if !f.features.is_empty() {
+            feature_fns.insert(f.name.clone(), f.features.clone());
+        }
+    }
+    Context {
+        feature_fns,
+        ..Context::default()
+    }
+}
+
+fn guard_findings(rel: &str, src: &str) -> Vec<Finding> {
+    let file = parse(rel, src);
+    let ctx = guard_ctx(&file);
+    let mut out = Vec::new();
+    rule("feature-guard-dominance").check(&file, &ctx, &mut out);
+    out
+}
+
+const MACRO: &str = "is_x86_feature_detected!";
+
+/// Byte offsets of real (non-comment) `is_x86_feature_detected!`
+/// invocations — SAFETY comments quote the macro too.
+fn guard_offsets(src: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    while let Some(pos) = src[start..].find(MACRO) {
+        let off = start + pos;
+        let line_start = src[..off].rfind('\n').map_or(0, |p| p + 1);
+        if !src[line_start..off].contains("//") {
+            out.push(off);
+        }
+        start = off + MACRO.len();
+    }
+    out
+}
+
+/// Replaces the invocation at byte offset `off` with `true`,
+/// simulating a deleted guard.
+fn delete_guard(src: &str, off: usize) -> String {
+    let paren = src[off..].find('(').expect("macro has args") + off;
+    let close = src[paren..].find(')').expect("macro args close") + paren;
+    format!("{}true{}", &src[..off], &src[close + 1..])
+}
+
+/// Every `is_x86_feature_detected!` guard in the SIMD dispatch code is
+/// load-bearing: the unmutated files produce zero findings, and
+/// deleting any single guard produces at least one.
+#[test]
+fn deleting_any_feature_guard_fails_the_lint() {
+    let dir = workspace_root().join("crates/linalg/src");
+    let mut guards_seen = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("linalg src dir") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("rs") {
+            continue;
+        }
+        let src = std::fs::read_to_string(&path).expect("readable source");
+        let offsets = guard_offsets(&src);
+        let rel = format!(
+            "crates/linalg/src/{}",
+            path.file_name().unwrap().to_str().unwrap()
+        );
+        // Only dispatch files count: obs.rs reports feature availability
+        // into a gauge, where the macro guards nothing.
+        if offsets.is_empty() || guard_ctx(&parse(&rel, &src)).feature_fns.is_empty() {
+            continue;
+        }
+        assert!(
+            guard_findings(&rel, &src).is_empty(),
+            "{rel}: the checked-in dispatch code must be fully guarded"
+        );
+        for off in offsets {
+            let mutated = delete_guard(&src, off);
+            assert!(
+                !guard_findings(&rel, &mutated).is_empty(),
+                "{rel}: deleting the guard at byte {off} must produce a feature-guard-dominance finding"
+            );
+            guards_seen += 1;
+        }
+    }
+    assert!(
+        guards_seen >= 4,
+        "expected several real guards in crates/linalg/src, found {guards_seen}"
+    );
+}
+
+/// A throwaway two-file workspace whose ledger has exactly one row per
+/// unsafe file, so every row is individually load-bearing.
+struct MiniWs {
+    root: PathBuf,
+}
+
+const LEDGER_HEADER: &str =
+    "# Unsafe ledger\n\n| File | Construct | Invariant |\n|------|-----------|-----------|\n";
+const ROW_A: &str =
+    "| `crates/demo/src/a.rs` | `unsafe` block in `read` | Caller passes a non-empty slice. |\n";
+const ROW_B: &str = "| `crates/demo/src/b.rs` | `#[target_feature]` fn `kern` | Only called behind a runtime check. |\n";
+
+impl MiniWs {
+    fn create(tag: &str) -> Self {
+        let root =
+            std::env::temp_dir().join(format!("vaer-lint-semantic-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("crates/demo/src")).expect("temp workspace dir");
+        std::fs::write(root.join("lints.toml"), "").expect("write lints.toml");
+        std::fs::write(
+            root.join("crates/demo/src/a.rs"),
+            "//! A.\npub fn read(x: &[u8]) -> u8 {\n    // SAFETY: callers pass non-empty slices.\n    unsafe { *x.get_unchecked(0) }\n}\n",
+        )
+        .expect("write a.rs");
+        std::fs::write(
+            root.join("crates/demo/src/b.rs"),
+            "//! B.\n// SAFETY: only called behind an avx2 runtime check.\n#[target_feature(enable = \"avx2\")]\npub fn kern(x: &mut [f32]) {\n    let _ = x;\n}\n",
+        )
+        .expect("write b.rs");
+        let ws = Self { root };
+        ws.write_ledger(&format!("{LEDGER_HEADER}{ROW_A}{ROW_B}"));
+        ws
+    }
+
+    fn write_ledger(&self, content: &str) {
+        std::fs::write(self.root.join("UNSAFE_LEDGER.md"), content).expect("write ledger");
+    }
+
+    fn ledger_findings(&self) -> Vec<Finding> {
+        Engine::new(self.root.clone())
+            .expect("mini workspace config parses")
+            .run()
+            .expect("mini workspace scans")
+            .findings
+            .into_iter()
+            .filter(|f| f.rule == "unsafe-ledger-sync")
+            .collect()
+    }
+}
+
+impl Drop for MiniWs {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+/// Deleting any single ledger row — or the whole ledger — fails the
+/// lint for the file whose coverage the row provided.
+#[test]
+fn deleting_any_ledger_row_fails_the_lint() {
+    let ws = MiniWs::create("rows");
+    assert!(
+        ws.ledger_findings().is_empty(),
+        "complete ledger must be clean"
+    );
+
+    for (dropped, kept, victim) in [(ROW_A, ROW_B, "a.rs"), (ROW_B, ROW_A, "b.rs")] {
+        let _ = dropped;
+        ws.write_ledger(&format!("{LEDGER_HEADER}{kept}"));
+        let findings = ws.ledger_findings();
+        assert!(
+            findings.iter().any(|f| f.file.ends_with(victim)),
+            "dropping the {victim} row must flag {victim}; got {findings:?}"
+        );
+    }
+
+    std::fs::remove_file(ws.root.join("UNSAFE_LEDGER.md")).expect("remove ledger");
+    let findings = ws.ledger_findings();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.file == "UNSAFE_LEDGER.md" && f.message.contains("no UNSAFE_LEDGER.md")),
+        "deleting the ledger outright must fail; got {findings:?}"
+    );
+}
+
+/// A row whose backticked construct no longer appears in its file is a
+/// stale claim and must fail, even though the file still has a row.
+#[test]
+fn renaming_a_construct_stales_its_ledger_row() {
+    let ws = MiniWs::create("constructs");
+    let stale_row =
+        "| `crates/demo/src/a.rs` | `unsafe` block in `read_renamed` | Row predates a rename. |\n";
+    ws.write_ledger(&format!("{LEDGER_HEADER}{stale_row}{ROW_B}"));
+    let findings = ws.ledger_findings();
+    assert!(
+        findings
+            .iter()
+            .any(|f| f.file == "UNSAFE_LEDGER.md" && f.message.contains("read_renamed")),
+        "stale construct must be flagged on its ledger row; got {findings:?}"
+    );
+}
+
+/// The real workspace ledger stays in lockstep with the real unsafe
+/// surface: the same engine pass CI runs reports nothing.
+#[test]
+fn workspace_ledger_is_in_sync() {
+    let report = Engine::new(workspace_root())
+        .expect("workspace config parses")
+        .run()
+        .expect("workspace scans");
+    let ledger: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule == "unsafe-ledger-sync")
+        .collect();
+    assert!(ledger.is_empty(), "ledger out of sync: {ledger:?}");
+}
